@@ -1,0 +1,14 @@
+//! # elba-align — pairwise alignment for ELBA-RS
+//!
+//! The x-drop seed-and-extend kernel applied to every candidate overlap
+//! (nonzero of `C = AAᵀ`), and the classification of alignments into
+//! bidirected string-graph edges with the paper's `pre(e)` / `post(e)`
+//! payloads (§4.4). The classifier handles all four dovetail orientations
+//! plus containment (redundant vertices) and repeat-induced internal
+//! matches.
+
+pub mod overlap;
+pub mod xdrop;
+
+pub use overlap::{classify, dovetail_edges, OverlapAln, OverlapClass, SgEdge};
+pub use xdrop::{extend_seed, xdrop_extend, Extension, Scoring, SeedAlignment};

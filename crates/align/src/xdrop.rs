@@ -1,0 +1,301 @@
+//! X-drop seed-and-extend pairwise alignment (Zhang et al. 2000), the
+//! kernel diBELLA 2D / ELBA apply to every nonzero of the candidate
+//! overlap matrix `C`. Extension proceeds over antidiagonals with a band
+//! that drops cells scoring more than `x` below the running best — the
+//! same scheme as SeqAn's / LOGAN's x-drop, including its signature
+//! behaviour of *ending alignments early* in noisy regions (which is why
+//! ELBA must store `post(e)` explicitly, §4.4).
+
+/// Alignment scoring (linear gaps, as in BELLA).
+#[derive(Debug, Clone, Copy)]
+pub struct Scoring {
+    pub match_score: i32,
+    pub mismatch: i32,
+    pub gap: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Scoring { match_score: 1, mismatch: -1, gap: -1 }
+    }
+}
+
+/// Result of extending in one direction from a seed boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extension {
+    /// Best score achieved (≥ 0; 0 means no extension).
+    pub score: i32,
+    /// Bases of the first sequence consumed by the best extension.
+    pub a_len: usize,
+    /// Bases of the second sequence consumed.
+    pub b_len: usize,
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Extend an alignment from `(0, 0)` over `a` and `b`, stopping when every
+/// cell of the current antidiagonal falls more than `xdrop` below the best
+/// score seen. Returns the best-scoring endpoint.
+pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
+    if a.is_empty() || b.is_empty() {
+        return Extension { score: 0, a_len: 0, b_len: 0 };
+    }
+    // Antidiagonal d holds cells (i, j) with i + j = d; arrays are indexed
+    // by j relative to their live-band start. Only the live band is ever
+    // scanned: a cell on antidiagonal d can only descend from live cells
+    // on d-1 (gap moves: j, j-1) or d-2 (diagonal: j-1), so the candidate
+    // window is the union of those shifted bands — the x-drop prune keeps
+    // it O(error band), not O(sequence length).
+    let (alen, blen) = (a.len(), b.len());
+    let mut best = Extension { score: 0, a_len: 0, b_len: 0 };
+    // (band values, j of first cell); empty vec = fully pruned level.
+    // Three buffers rotate to avoid per-antidiagonal allocation in this
+    // innermost pipeline kernel.
+    let mut prev: (Vec<i32>, usize) = (vec![0], 0); // d = 0: cell (0,0)
+    let mut prev2: (Vec<i32>, usize) = (Vec::new(), 0);
+    let mut scratch: Vec<i32> = Vec::new();
+    for d in 1..=(alen + blen) {
+        let jmin = d.saturating_sub(alen);
+        let jmax = d.min(blen);
+        // Candidate window from the live parents.
+        let mut lo_cand = usize::MAX;
+        let mut hi_cand = 0usize;
+        if !prev.0.is_empty() {
+            lo_cand = lo_cand.min(prev.1); // gap from (i-1, j)
+            hi_cand = hi_cand.max(prev.1 + prev.0.len()); // gap from (i, j-1)
+        }
+        if !prev2.0.is_empty() {
+            lo_cand = lo_cand.min(prev2.1 + 1); // diagonal from (i-1, j-1)
+            hi_cand = hi_cand.max(prev2.1 + prev2.0.len());
+        }
+        if lo_cand == usize::MAX {
+            break; // both parent levels fully pruned
+        }
+        let lo_cand = lo_cand.max(jmin);
+        let hi_cand = hi_cand.min(jmax);
+        if lo_cand > hi_cand {
+            // band slid off the matrix edge; nothing left to extend
+            if prev.0.is_empty() {
+                break;
+            }
+            prev2 = std::mem::replace(&mut prev, (Vec::new(), jmin));
+            continue;
+        }
+        scratch.clear();
+        scratch.resize(hi_cand - lo_cand + 1, NEG);
+        let cur = &mut scratch;
+        let fetch = |band: &(Vec<i32>, usize), j: usize| -> Option<i32> {
+            j.checked_sub(band.1).and_then(|idx| band.0.get(idx)).copied().filter(|&v| v > NEG)
+        };
+        for j in lo_cand..=hi_cand {
+            let i = d - j;
+            let mut s = NEG;
+            if i >= 1 {
+                if let Some(v) = fetch(&prev, j) {
+                    s = s.max(v + sc.gap); // gap in b: from (i-1, j)
+                }
+            }
+            if j >= 1 {
+                if let Some(v) = fetch(&prev, j - 1) {
+                    s = s.max(v + sc.gap); // gap in a: from (i, j-1)
+                }
+                if i >= 1 {
+                    if let Some(v) = fetch(&prev2, j - 1) {
+                        let m =
+                            if a[i - 1] == b[j - 1] { sc.match_score } else { sc.mismatch };
+                        s = s.max(v + m); // diagonal from (i-1, j-1)
+                    }
+                }
+            }
+            if s > NEG && s >= best.score - xdrop {
+                cur[j - lo_cand] = s;
+                if s > best.score {
+                    best = Extension { score: s, a_len: i, b_len: j };
+                }
+            }
+        }
+        // Trim pruned cells from both ends so the band stays tight
+        // (in-place: drain the head, truncate the tail — no allocation).
+        let new_lo = match cur.iter().position(|&v| v > NEG) {
+            None => {
+                cur.clear();
+                lo_cand
+            }
+            Some(first) => {
+                let last = cur.iter().rposition(|&v| v > NEG).expect("live cell exists");
+                cur.truncate(last + 1);
+                cur.drain(..first);
+                lo_cand + first
+            }
+        };
+        if cur.is_empty() && prev.0.is_empty() {
+            // two consecutive dead antidiagonals: no diagonal move can
+            // revive the extension
+            break;
+        }
+        // rotate buffers: prev2 <- prev <- cur, reuse old prev2 as scratch
+        let recycled = std::mem::replace(&mut prev2, std::mem::replace(&mut prev, (std::mem::take(&mut scratch), new_lo)));
+        scratch = recycled.0;
+    }
+    best
+}
+
+/// A gapped local alignment around a seed, with inclusive coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedAlignment {
+    pub score: i32,
+    /// Inclusive aligned span on the first read.
+    pub a_beg: usize,
+    pub a_end: usize,
+    /// Inclusive aligned span on the second (oriented) read.
+    pub b_beg: usize,
+    pub b_end: usize,
+}
+
+/// Seed-and-extend: the k-mer match `a[a_pos .. a_pos+k) == b[b_pos ..
+/// b_pos+k)` is extended left and right with x-drop. Sequences are base
+/// codes; `b` must already be in the orientation that produced the seed.
+pub fn extend_seed(
+    a: &[u8],
+    b: &[u8],
+    a_pos: usize,
+    b_pos: usize,
+    k: usize,
+    xdrop: i32,
+    sc: Scoring,
+) -> SeedAlignment {
+    debug_assert!(a_pos + k <= a.len() && b_pos + k <= b.len());
+    // Right of the seed.
+    let right = xdrop_extend(&a[a_pos + k..], &b[b_pos + k..], xdrop, sc);
+    // Left of the seed: reverse the prefixes.
+    let a_prefix: Vec<u8> = a[..a_pos].iter().rev().copied().collect();
+    let b_prefix: Vec<u8> = b[..b_pos].iter().rev().copied().collect();
+    let left = xdrop_extend(&a_prefix, &b_prefix, xdrop, sc);
+    SeedAlignment {
+        score: k as i32 * sc.match_score + left.score + right.score,
+        a_beg: a_pos - left.a_len,
+        a_end: a_pos + k + right.a_len - 1,
+        b_beg: b_pos - left.b_len,
+        b_end: b_pos + k + right.b_len - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elba_seq::Seq;
+
+    fn codes(s: &str) -> Vec<u8> {
+        s.parse::<Seq>().expect("dna").codes().to_vec()
+    }
+
+    #[test]
+    fn identical_extends_fully() {
+        let a = codes("ACGTACGTACGT");
+        let ext = xdrop_extend(&a, &a, 5, Scoring::default());
+        assert_eq!(ext, Extension { score: 12, a_len: 12, b_len: 12 });
+    }
+
+    #[test]
+    fn stops_at_garbage_tail() {
+        // 10 matching bases then pure mismatch; x-drop must stop near 10.
+        let a = codes(&("ACGTACGTAC".to_owned() + "GGGGGGGG"));
+        let b = codes(&("ACGTACGTAC".to_owned() + "TTTTTTTT"));
+        let ext = xdrop_extend(&a, &b, 3, Scoring::default());
+        assert_eq!(ext.score, 10);
+        assert_eq!(ext.a_len, 10);
+    }
+
+    #[test]
+    fn tolerates_single_mismatch() {
+        let a = codes("ACGTACGTAC");
+        let mut b = a.clone();
+        b[4] = (b[4] + 1) % 4;
+        let ext = xdrop_extend(&a, &b, 5, Scoring::default());
+        assert_eq!(ext.a_len, 10);
+        assert_eq!(ext.score, 9 - 1);
+    }
+
+    #[test]
+    fn handles_insertion_with_gap() {
+        // b has one extra base inserted in the middle.
+        let a = codes("ACGTACGTACGTACGT");
+        let b = codes("ACGTACGTTACGTACGT");
+        let ext = xdrop_extend(&a, &b, 6, Scoring::default());
+        assert_eq!(ext.a_len, 16);
+        assert_eq!(ext.b_len, 17);
+        assert_eq!(ext.score, 16 - 1); // 16 matches, one gap
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(
+            xdrop_extend(&[], &[0, 1], 3, Scoring::default()),
+            Extension { score: 0, a_len: 0, b_len: 0 }
+        );
+    }
+
+    #[test]
+    fn xdrop_zero_stops_at_first_mismatch() {
+        let a = codes("AAAATAAAA");
+        let b = codes("AAAACAAAA");
+        let ext = xdrop_extend(&a, &b, 0, Scoring::default());
+        assert_eq!(ext.a_len, 4);
+        assert_eq!(ext.score, 4);
+    }
+
+    #[test]
+    fn seed_extension_covers_true_overlap() {
+        // a = g[0..30], b = g[20..50]; seed at the start of the shared span.
+        let g = codes("ACGTTGCAACGTGGATCCATTTACGGCAATCGGTTACCAGGTTCAAGCCA");
+        let a = &g[0..30];
+        let b = &g[20..50];
+        // shared region: a[20..30] == b[0..10]; seed k=6 at a_pos=20,b_pos=0
+        let aln = extend_seed(a, b, 20, 0, 6, 10, Scoring::default());
+        assert_eq!((aln.a_beg, aln.a_end), (20, 29));
+        assert_eq!((aln.b_beg, aln.b_end), (0, 9));
+        assert_eq!(aln.score, 10);
+    }
+
+    #[test]
+    fn seed_in_middle_extends_both_ways() {
+        let g = codes("ACGTTGCAACGTGGATCCATTTACGGCAATCGGTTACCAGGTTCAAGCCA");
+        let a = &g[0..40];
+        let b = &g[10..50];
+        // seed inside the shared region g[10..40]: a_pos=25, b_pos=15
+        let aln = extend_seed(a, b, 25, 15, 5, 10, Scoring::default());
+        assert_eq!((aln.a_beg, aln.a_end), (10, 39));
+        assert_eq!((aln.b_beg, aln.b_end), (0, 29));
+        assert_eq!(aln.score, 30);
+    }
+
+    #[test]
+    fn noisy_overlap_still_found() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let g: Vec<u8> = (0..400).map(|_| rng.gen_range(0..4u8)).collect();
+        let mut a = g[0..250].to_vec();
+        let b = g[150..400].to_vec();
+        // sprinkle 1% substitutions into a
+        for _ in 0..2 {
+            let at = rng.gen_range(0..a.len());
+            a[at] = (a[at] + 1) % 4;
+        }
+        // find an exact seed in the overlap region a[150..250] == b[0..100]
+        let mut seed = None;
+        'outer: for off in (0..80).step_by(7) {
+            let a_pos = 160 + off;
+            let b_pos = 10 + off;
+            if a[a_pos..a_pos + 15] == b[b_pos..b_pos + 15] {
+                seed = Some((a_pos, b_pos));
+                break 'outer;
+            }
+        }
+        let (a_pos, b_pos) = seed.expect("an error-free 15-mer seed exists");
+        let aln = extend_seed(&a, &b, a_pos, b_pos, 15, 20, Scoring::default());
+        // must span (nearly) the full 100-base true overlap
+        assert!(aln.a_end - aln.a_beg + 1 >= 90, "span {}", aln.a_end - aln.a_beg + 1);
+        assert!(aln.score >= 80);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 4 — strong scaling of the full ELBA pipeline on C. elegans
+//! (left) and O. sativa (right), Cori Haswell and Summit CPU.
+//!
+//! Two series per dataset:
+//! 1. **measured** — real runs on in-process thread ranks P ∈ {1,4,9,16}
+//!    (the host has few cores; beyond them the measured series validates
+//!    correctness and communication structure, not speedup);
+//! 2. **projected** — the α–β machine models applied to the recorded
+//!    per-phase work/communication trace at the paper's node counts
+//!    {18, 32, 50, 72, 128} × 32 ranks. The paper reports 75 % / 80 %
+//!    parallel efficiency at 128 nodes on Cori (C. elegans / O. sativa)
+//!    and 69 % / 64 % on Summit — the projected efficiencies should land
+//!    in the same neighbourhood.
+
+use elba_bench::{
+    banner, dataset, measured_rank_counts, pipeline_time, project_series, run_pipeline,
+    MeasuredRun, PAPER_NODE_COUNTS,
+};
+use elba_comm::MachineModel;
+use elba_core::PipelineConfig;
+use elba_seq::DatasetSpec;
+
+fn efficiency(series: &[(usize, f64)]) -> Vec<f64> {
+    let ranks: Vec<usize> = series.iter().map(|&(p, _)| p).collect();
+    let times: Vec<f64> = series.iter().map(|&(_, t)| t).collect();
+    MachineModel::parallel_efficiency(&ranks, &times)
+}
+
+fn scaling_for(spec: &DatasetSpec) {
+    let (_genome, reads) = dataset(spec);
+    let cfg = PipelineConfig::for_dataset(spec);
+    println!("\n--- {} ({} reads) ---", spec.name, reads.len());
+    println!("{:>8} {:>12} {:>12}", "ranks", "measured s", "pipeline s");
+    let mut best: Option<MeasuredRun> = None;
+    for nranks in measured_rank_counts() {
+        let run = run_pipeline(&reads, &cfg, nranks);
+        println!(
+            "{:>8} {:>12.3} {:>12.3}",
+            nranks,
+            run.wall_secs,
+            pipeline_time(&run.profile)
+        );
+        // keep the most parallel measured run as the projection base
+        best = Some(run);
+    }
+    let base = best.expect("at least one measured run");
+    for model in [MachineModel::cori_haswell(), MachineModel::summit_cpu()] {
+        let series = project_series(&base, &model, &PAPER_NODE_COUNTS);
+        let eff = efficiency(&series);
+        println!("\n  projected on {} (paper Fig. 4 series):", model.name);
+        println!("  {:>7} {:>8} {:>14} {:>12}", "nodes", "ranks", "projected s", "efficiency");
+        for ((nodes, (ranks, secs)), e) in
+            PAPER_NODE_COUNTS.iter().zip(&series).zip(&eff)
+        {
+            println!("  {:>7} {:>8} {:>14.4} {:>11.0}%", nodes, ranks, secs, e * 100.0);
+        }
+    }
+}
+
+fn main() {
+    banner("Figure 4 — ELBA strong scaling (C. elegans left, O. sativa right)");
+    // Scaled datasets: large enough to exercise every phase, small enough
+    // for a laptop-class bench run.
+    scaling_for(&DatasetSpec::celegans_like(0.35, 41));
+    scaling_for(&DatasetSpec::osativa_like(0.30, 42));
+    println!(
+        "\npaper reference points: parallel efficiency at 128 nodes — C. elegans\n\
+         75% (Cori) / 69% (Summit); O. sativa 80% (Cori) / 64% (Summit);\n\
+         O. sativa on Summit between 72 and 128 nodes: 83%."
+    );
+}

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the computational kernels underneath
+//! every figure: local SpGEMM (overlap detection's inner loop), x-drop
+//! extension (the Alignment phase), k-mer scanning (CountKmer), the
+//! DCSC→CSC expansion (§4.4), and the connected-components sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use elba_align::{xdrop_extend, Scoring};
+use elba_core::UnionFind;
+use elba_seq::kmer::canonical_kmers;
+use elba_seq::Seq;
+use elba_sparse::semiring::PlusTimes;
+use elba_sparse::spgemm::spgemm;
+use elba_sparse::{Csr, Dcsc};
+
+fn random_csr(rng: &mut StdRng, n: usize, nnz_per_row: usize) -> Csr<f64> {
+    let mut triples = Vec::with_capacity(n * nnz_per_row);
+    for r in 0..n {
+        for _ in 0..nnz_per_row {
+            triples.push((r as u32, rng.gen_range(0..n as u32), 1.0));
+        }
+    }
+    Csr::from_triples(n, n, triples, |acc, v| *acc += v)
+}
+
+fn random_seq(rng: &mut StdRng, len: usize) -> Seq {
+    Seq::from_codes((0..len).map(|_| rng.gen_range(0..4u8)).collect())
+}
+
+fn bench_spgemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = random_csr(&mut rng, 2_000, 8);
+    let b = random_csr(&mut rng, 2_000, 8);
+    c.bench_function("spgemm_2000x2000_d8", |bencher| {
+        bencher.iter(|| spgemm(black_box(&a), black_box(&b), &PlusTimes))
+    });
+}
+
+fn bench_xdrop(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let genome = random_seq(&mut rng, 30_000);
+    // two overlapping reads with 1% substitutions
+    let mut a = genome.codes()[0..12_000].to_vec();
+    let b = genome.codes()[4_000..16_000].to_vec();
+    for _ in 0..120 {
+        let at = rng.gen_range(0..a.len());
+        a[at] = (a[at] + 1) % 4;
+    }
+    c.bench_function("xdrop_8kb_overlap_1pct_err", |bencher| {
+        bencher.iter(|| {
+            xdrop_extend(black_box(&a[4_000..]), black_box(&b), 30, Scoring::default())
+        })
+    });
+    let noisy_b: Vec<u8> = b
+        .iter()
+        .map(|&x| if rng.gen_bool(0.15) { rng.gen_range(0..4u8) } else { x })
+        .collect();
+    c.bench_function("xdrop_early_stop_15pct_err", |bencher| {
+        bencher.iter(|| {
+            xdrop_extend(black_box(&a[4_000..]), black_box(&noisy_b), 7, Scoring::default())
+        })
+    });
+}
+
+fn bench_kmer_scan(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let read = random_seq(&mut rng, 20_000);
+    c.bench_function("kmer_scan_20kb_k31", |bencher| {
+        bencher.iter(|| canonical_kmers(black_box(&read), 31).len())
+    });
+    c.bench_function("kmer_scan_20kb_k17", |bencher| {
+        bencher.iter(|| canonical_kmers(black_box(&read), 17).len())
+    });
+}
+
+fn bench_dcsc_to_csc(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    // hypersparse: 100k columns, 5k entries (an induced-subgraph block)
+    let triples: Vec<(u32, u32, u64)> = (0..5_000)
+        .map(|_| (rng.gen_range(0..100_000u32), rng.gen_range(0..100_000u32), 1u64))
+        .collect();
+    c.bench_function("dcsc_to_csc_hypersparse", |bencher| {
+        bencher.iter_batched(
+            || Dcsc::from_triples(100_000, 100_000, triples.clone(), |_, _| {}),
+            |dcsc| dcsc.to_csc(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 50_000;
+    let edges: Vec<(usize, usize)> =
+        (0..n).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    c.bench_function("union_find_50k", |bencher| {
+        bencher.iter(|| {
+            let mut uf = UnionFind::new(n);
+            for &(u, v) in &edges {
+                uf.union(u, v);
+            }
+            uf.labels().len()
+        })
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_spgemm, bench_xdrop, bench_kmer_scan, bench_dcsc_to_csc, bench_union_find
+);
+criterion_main!(kernels);

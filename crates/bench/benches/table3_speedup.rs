@@ -1,0 +1,95 @@
+//! Table 3 — ELBA's speedup over the shared-memory state of the art.
+//!
+//! The paper runs Hifiasm and HiCanu on one Cori node and ELBA on 18–128
+//! nodes, reporting 3–36× (Hifiasm) and 11–159× (HiCanu) speedups. Here
+//! the comparators are the two from-scratch serial baselines (minimizer
+//! ≈ Hifiasm-family, BOG ≈ HiCanu-family). Two views are printed:
+//! measured in-process runs (P ≤ 16 ranks sharing the host's cores —
+//! here ELBA does *not* win, consistent with the paper's own per-core
+//! economics: their ELBA needs 576 ranks to beat 32-thread Hifiasm 3×)
+//! and the α–β projection at the paper's 18–128 node counts, where the
+//! reproduced shape appears: (a) ELBA beats both, (b) the BOG-family
+//! column is the larger speedup, (c) speedup grows with node count.
+
+use std::time::Instant;
+
+use elba_baseline::{assemble_bog, assemble_minimizer, BaselineConfig};
+use elba_bench::{banner, dataset, pipeline_time, project_series, run_pipeline, PAPER_NODE_COUNTS};
+use elba_comm::MachineModel;
+use elba_core::PipelineConfig;
+use elba_seq::DatasetSpec;
+
+fn main() {
+    banner("Table 3 — ELBA speedup over shared-memory assemblers");
+    for spec in [DatasetSpec::celegans_like(0.30, 71), DatasetSpec::osativa_like(0.25, 72)] {
+        let (_genome, reads) = dataset(&spec);
+        println!("\n--- {} ({} reads) ---", spec.name, reads.len());
+
+        let bcfg = BaselineConfig {
+            k: spec.k,
+            xdrop: spec.xdrop,
+            min_overlap: (spec.reads.mean_len as f64 * 0.05) as usize,
+            fuzz: (spec.reads.mean_len as f64 * 0.05) as usize,
+            ..BaselineConfig::default()
+        };
+        let started = Instant::now();
+        let (_contigs, _stats) = assemble_minimizer(&reads, &bcfg);
+        let minimizer_secs = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let (_contigs, _stats) = assemble_bog(&reads, &bcfg);
+        let bog_secs = started.elapsed().as_secs_f64();
+        println!(
+            "{:<28} {:>10.2}s   (Hifiasm-family comparator)",
+            "minimizer baseline", minimizer_secs
+        );
+        println!(
+            "{:<28} {:>10.2}s   (HiCanu-family comparator)",
+            "best-overlap-graph baseline", bog_secs
+        );
+
+        let cfg = PipelineConfig::for_dataset(&spec);
+        println!(
+            "{:>8} {:>12} {:>18} {:>14}   (measured, in-process ranks)",
+            "ranks", "ELBA s", "vs minimizer", "vs BOG"
+        );
+        let mut last = None;
+        for nranks in [1usize, 4, 16] {
+            let run = run_pipeline(&reads, &cfg, nranks);
+            let elba_secs = pipeline_time(&run.profile);
+            println!(
+                "{:>8} {:>12.3} {:>17.1}x {:>13.1}x",
+                nranks,
+                elba_secs,
+                minimizer_secs / elba_secs,
+                bog_secs / elba_secs
+            );
+            last = Some(run);
+        }
+        // The paper's experimental design: baselines on ONE node, ELBA on
+        // 18-128. In-process ranks on a small host cannot show that; the
+        // projection at the paper's node counts can. (Per-core, ELBA is
+        // *less* efficient than the shared-memory tools — the paper's own
+        // numbers imply the same — it wins on scale-out.)
+        let base = last.expect("measured run");
+        let model = MachineModel::cori_haswell();
+        let series = project_series(&base, &model, &PAPER_NODE_COUNTS);
+        println!(
+            "{:>8} {:>12} {:>18} {:>14}   (projected, {})",
+            "nodes", "ELBA s", "vs minimizer", "vs BOG", model.name
+        );
+        for (nodes, (_, secs)) in PAPER_NODE_COUNTS.iter().zip(&series) {
+            println!(
+                "{:>8} {:>12.4} {:>17.0}x {:>13.0}x",
+                nodes,
+                secs,
+                minimizer_secs / secs,
+                bog_secs / secs
+            );
+        }
+    }
+    println!(
+        "\npaper reference: C. elegans — Hifiasm 1,015s, HiCanu 3,819s, ELBA\n\
+         3–15x and 11–58x at 18–128 nodes; O. sativa — Hifiasm 4,131.9s,\n\
+         HiCanu 18,131s, ELBA 18–36x and 78–159x at 50–128 nodes."
+    );
+}

@@ -1,0 +1,64 @@
+//! Table 4 — assembly quality: completeness, longest contig, number of
+//! contigs, misassemblies, for ELBA and the two baselines on the
+//! low-error datasets (O. sativa top, C. elegans bottom in the paper).
+//!
+//! Paper shape to reproduce: ELBA's completeness is competitive (higher
+//! than both tools on C. elegans), its misassembly count is small, but —
+//! with no polishing stage — its contigs are shorter and more numerous
+//! than the polished comparators'.
+
+use elba_baseline::{assemble_bog, assemble_minimizer, BaselineConfig};
+use elba_bench::{banner, dataset, run_pipeline};
+use elba_core::PipelineConfig;
+use elba_quality::{evaluate, QualityConfig};
+use elba_seq::{DatasetSpec, Seq};
+
+fn report_row(tool: &str, genome: &Seq, contigs: &[Seq]) {
+    let report = evaluate(genome, contigs, &QualityConfig::default());
+    println!(
+        "{:<26} {:>14.2} {:>16} {:>9} {:>14}",
+        tool,
+        report.completeness,
+        report.longest_contig,
+        report.n_contigs,
+        report.misassembled_contigs
+    );
+}
+
+fn main() {
+    banner("Table 4 — assembler quality (O. sativa top, C. elegans bottom)");
+    for spec in [DatasetSpec::osativa_like(0.30, 81), DatasetSpec::celegans_like(0.30, 82)] {
+        let (genome, reads) = dataset(&spec);
+        println!("\n--- {} (genome {} bp, {} reads) ---", spec.name, genome.len(), reads.len());
+        println!(
+            "{:<26} {:>14} {:>16} {:>9} {:>14}",
+            "tool", "completeness %", "longest contig", "contigs", "misassembled"
+        );
+
+        let cfg = PipelineConfig::for_dataset(&spec);
+        let run = run_pipeline(&reads, &cfg, 4);
+        let elba_seqs: Vec<Seq> = run.contigs.iter().map(|c| c.seq.clone()).collect();
+        report_row("ELBA (this repro, P=4)", &genome, &elba_seqs);
+
+        let bcfg = BaselineConfig {
+            k: spec.k,
+            xdrop: spec.xdrop,
+            min_overlap: (spec.reads.mean_len as f64 * 0.05) as usize,
+            fuzz: (spec.reads.mean_len as f64 * 0.05) as usize,
+            ..BaselineConfig::default()
+        };
+        let (mini, _) = assemble_minimizer(&reads, &bcfg);
+        let mini_seqs: Vec<Seq> = mini.iter().map(|c| c.seq.clone()).collect();
+        report_row("minimizer (Hifiasm-family)", &genome, &mini_seqs);
+
+        let (bog, _) = assemble_bog(&reads, &bcfg);
+        let bog_seqs: Vec<Seq> = bog.iter().map(|c| c.seq.clone()).collect();
+        report_row("BOG (HiCanu-family)", &genome, &bog_seqs);
+    }
+    println!(
+        "\npaper reference (O. sativa / C. elegans): ELBA completeness 37.09 /\n\
+         98.93 with 6,411 / 4,287 contigs and 2 / 5 misassemblies; polished\n\
+         comparators produce far fewer, far longer contigs — the same trade\n\
+         this table shows."
+    );
+}

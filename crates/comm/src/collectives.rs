@@ -1,0 +1,347 @@
+//! Collective operations over a [`Comm`], implemented with the classic
+//! algorithms whose message counts match what an MPI library would issue:
+//! binomial trees for broadcast/reduce, dissemination barrier, flat
+//! personalized exchange for `alltoallv`. Reduction operators must be
+//! associative and commutative (as for `MPI_Op`).
+
+use std::time::Instant;
+
+use crate::msg::CommMsg;
+use crate::runtime::{op, Comm, Rank};
+
+impl Comm {
+    /// Synchronize all ranks (dissemination barrier, ⌈log₂ P⌉ rounds).
+    pub fn barrier(&self) {
+        let tag = self.next_coll_tag(op::BARRIER);
+        let started = Instant::now();
+        let p = self.size();
+        let mut step = 1;
+        while step < p {
+            let dst = (self.rank() + step) % p;
+            let src = (self.rank() + p - step) % p;
+            self.coll_send(dst, tag, ());
+            self.coll_recv::<()>(src, tag);
+            step <<= 1;
+        }
+        self.record_collective("barrier", 0, started.elapsed().as_secs_f64());
+    }
+
+    /// Broadcast from `root`: the root passes `Some(value)`, everyone else
+    /// `None`; all ranks return the value (binomial tree, ⌈log₂ P⌉ depth).
+    pub fn bcast<T: CommMsg + Clone>(&self, root: Rank, value: Option<T>) -> T {
+        let tag = self.next_coll_tag(op::BCAST);
+        let started = Instant::now();
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p; // virtual rank, root at 0
+        let mut value = if vr == 0 {
+            value.expect("bcast root must supply a value")
+        } else {
+            let lsb = vr & vr.wrapping_neg();
+            let parent = (vr - lsb + root) % p;
+            self.coll_recv::<T>(parent, tag)
+        };
+        let limit = if vr == 0 { p.next_power_of_two() } else { vr & vr.wrapping_neg() };
+        let mut bytes = 0;
+        let mut j = limit >> 1;
+        while j >= 1 {
+            if vr + j < p {
+                let child = (vr + j + root) % p;
+                bytes += value.nbytes();
+                self.coll_send(child, tag, value.clone());
+            }
+            j >>= 1;
+        }
+        // Keep `value` unmoved for the return; the clone above covers sends.
+        self.record_collective("bcast", bytes, started.elapsed().as_secs_f64());
+        let _ = &mut value;
+        value
+    }
+
+    /// Gather every rank's value at `root` (rank-ordered). Non-roots get `None`.
+    pub fn gather<T: CommMsg>(&self, root: Rank, value: T) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag(op::GATHER);
+        let started = Instant::now();
+        let result = if self.rank() == root {
+            let mut all: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            all[root] = Some(value);
+            for src in 0..self.size() {
+                if src != root {
+                    all[src] = Some(self.coll_recv::<T>(src, tag));
+                }
+            }
+            Some(all.into_iter().map(|v| v.expect("gather slot filled")).collect())
+        } else {
+            let bytes = value.nbytes();
+            self.coll_send(root, tag, value);
+            self.record_collective("gather", bytes, 0.0);
+            None
+        };
+        self.record_collective("gather", 0, started.elapsed().as_secs_f64());
+        result
+    }
+
+    /// All ranks receive every rank's value, rank-ordered
+    /// (gather at rank 0 + broadcast; 2(P−1) messages).
+    pub fn allgather<T: CommMsg + Clone>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.bcast(0, gathered)
+    }
+
+    /// Reduce all values to `root` with `op` (binomial tree). `op` must be
+    /// associative + commutative. Non-roots get `None`.
+    pub fn reduce<T: CommMsg>(&self, root: Rank, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+        let tag = self.next_coll_tag(op::REDUCE);
+        let started = Instant::now();
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        let mut acc = Some(value);
+        let mut step = 1;
+        while step < p {
+            if vr & step != 0 {
+                let parent = (vr - step + root) % p;
+                let value = acc.take().expect("value still held before sending");
+                let bytes = value.nbytes();
+                self.coll_send(parent, tag, value);
+                self.record_collective("reduce", bytes, started.elapsed().as_secs_f64());
+                return None;
+            }
+            if vr + step < p {
+                let child = (vr + step + root) % p;
+                let other = self.coll_recv::<T>(child, tag);
+                acc = Some(op(acc.take().expect("accumulator held"), other));
+            }
+            step <<= 1;
+        }
+        self.record_collective("reduce", 0, started.elapsed().as_secs_f64());
+        acc
+    }
+
+    /// Reduction whose result is available on every rank.
+    pub fn allreduce<T: CommMsg + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+        let reduced = self.reduce(0, value, op);
+        self.bcast(0, reduced)
+    }
+
+    /// Personalized all-to-all: `bufs[dst]` is shipped to rank `dst`;
+    /// returns the buffers received, indexed by source rank. The analogue
+    /// of `MPI_Alltoallv` (and ELBA's "custom all-to-all" for edge triples).
+    pub fn alltoallv<T: CommMsg>(&self, bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(bufs.len(), self.size(), "alltoallv needs one buffer per rank");
+        let tag = self.next_coll_tag(op::ALLTOALLV);
+        let started = Instant::now();
+        let mut bytes = 0;
+        for (dst, buf) in bufs.into_iter().enumerate() {
+            bytes += buf.nbytes();
+            self.coll_send(dst, tag, buf);
+        }
+        let received: Vec<Vec<T>> =
+            (0..self.size()).map(|src| self.coll_recv::<Vec<T>>(src, tag)).collect();
+        self.record_collective("alltoallv", bytes, started.elapsed().as_secs_f64());
+        received
+    }
+
+    /// Block reduce-scatter: every rank contributes one value *per rank*;
+    /// rank `i` returns the reduction of all ranks' `i`-th contribution
+    /// (`MPI_Reduce_scatter_block`). Used for global contig sizes (§4.2).
+    pub fn reduce_scatter_block<T: CommMsg>(
+        &self,
+        contributions: Vec<T>,
+        op: impl Fn(T, T) -> T,
+    ) -> T {
+        assert_eq!(
+            contributions.len(),
+            self.size(),
+            "reduce_scatter_block needs one contribution per rank"
+        );
+        let tag = self.next_coll_tag(op::REDUCE_SCATTER);
+        let started = Instant::now();
+        let mut bytes = 0;
+        for (dst, value) in contributions.into_iter().enumerate() {
+            bytes += value.nbytes();
+            self.coll_send(dst, tag, value);
+        }
+        let mut acc: Option<T> = None;
+        for src in 0..self.size() {
+            let value = self.coll_recv::<T>(src, tag);
+            acc = Some(match acc.take() {
+                None => value,
+                Some(prev) => op(prev, value),
+            });
+        }
+        self.record_collective("reduce_scatter", bytes, started.elapsed().as_secs_f64());
+        acc.expect("at least one contribution")
+    }
+
+    /// Exclusive prefix scan: rank `r` returns `op` folded over the values
+    /// of ranks `0..r`; rank 0 returns `identity`.
+    pub fn exscan<T: CommMsg + Clone>(&self, value: T, identity: T, op: impl Fn(T, T) -> T) -> T {
+        let tag = self.next_coll_tag(op::EXSCAN);
+        let started = Instant::now();
+        let prefix = if self.rank() == 0 {
+            identity
+        } else {
+            self.coll_recv::<T>(self.rank() - 1, tag)
+        };
+        if self.rank() + 1 < self.size() {
+            let next = op(prefix.clone(), value);
+            let bytes = next.nbytes();
+            self.coll_send(self.rank() + 1, tag, next);
+            self.record_collective("exscan", bytes, 0.0);
+        }
+        self.record_collective("exscan", 0, started.elapsed().as_secs_f64());
+        prefix
+    }
+
+    /// Convenience: `alltoallv` message counts per destination, useful for
+    /// tests and diagnostics.
+    pub fn alltoallv_counts<T: CommMsg>(&self, bufs: &[Vec<T>]) -> Vec<usize> {
+        bufs.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::Cluster;
+
+    fn nonpow2_sizes() -> Vec<usize> {
+        vec![1, 2, 3, 4, 5, 7, 8, 9]
+    }
+
+    #[test]
+    fn barrier_all_sizes() {
+        for p in nonpow2_sizes() {
+            Cluster::run(p, |comm| {
+                for _ in 0..3 {
+                    comm.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for p in nonpow2_sizes() {
+            for root in 0..p {
+                let out = Cluster::run(p, move |comm| {
+                    let value = if comm.rank() == root { Some(42u64 + root as u64) } else { None };
+                    comm.bcast(root, value)
+                });
+                assert!(out.iter().all(|&v| v == 42 + root as u64), "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_vectors() {
+        let out = Cluster::run(6, |comm| {
+            let value = if comm.rank() == 2 { Some(vec![1u32, 2, 3]) } else { None };
+            comm.bcast(2, value)
+        });
+        assert!(out.iter().all(|v| v == &vec![1u32, 2, 3]));
+    }
+
+    #[test]
+    fn gather_rank_ordered() {
+        for p in nonpow2_sizes() {
+            let out = Cluster::run(p, |comm| comm.gather(0, comm.rank() as u64 * 10));
+            let root = out[0].as_ref().expect("root holds result");
+            assert_eq!(root, &(0..p as u64).map(|r| r * 10).collect::<Vec<_>>());
+            assert!(out[1..].iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn reduce_sum_every_root() {
+        for p in nonpow2_sizes() {
+            for root in 0..p {
+                let out = Cluster::run(p, move |comm| {
+                    comm.reduce(root, comm.rank() as u64 + 1, |a, b| a + b)
+                });
+                let expect = (p * (p + 1) / 2) as u64;
+                assert_eq!(out[root], Some(expect), "p={p} root={root}");
+                for (r, v) in out.iter().enumerate() {
+                    if r != root {
+                        assert!(v.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let out = Cluster::run(7, |comm| comm.allreduce(comm.rank() as u64, u64::max));
+        assert!(out.iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        for p in nonpow2_sizes() {
+            let out = Cluster::run(p, |comm| comm.allgather(comm.rank() as u64));
+            for v in out {
+                assert_eq!(v, (0..p as u64).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_personalizes() {
+        let p = 4;
+        let out = Cluster::run(p, move |comm| {
+            // rank r sends [r*10 + dst] to each dst.
+            let bufs: Vec<Vec<u64>> =
+                (0..p).map(|dst| vec![comm.rank() as u64 * 10 + dst as u64]).collect();
+            comm.alltoallv(bufs)
+        });
+        for (dst, received) in out.iter().enumerate() {
+            for (src, buf) in received.iter().enumerate() {
+                assert_eq!(buf, &vec![src as u64 * 10 + dst as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_empty_buffers_ok() {
+        let out = Cluster::run(3, |comm| {
+            let bufs: Vec<Vec<u64>> = vec![Vec::new(); 3];
+            comm.alltoallv(bufs)
+        });
+        assert!(out.iter().all(|bufs| bufs.iter().all(Vec::is_empty)));
+    }
+
+    #[test]
+    fn reduce_scatter_block_sums_columns() {
+        let p = 5;
+        let out = Cluster::run(p, move |comm| {
+            // contribution[i] = rank + i; reduced column i = sum over ranks.
+            let contributions: Vec<u64> =
+                (0..p).map(|i| comm.rank() as u64 + i as u64).collect();
+            comm.reduce_scatter_block(contributions, |a, b| a + b)
+        });
+        let rank_sum: u64 = (0..p as u64).sum();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, rank_sum + (p * i) as u64);
+        }
+    }
+
+    #[test]
+    fn exscan_prefix_sums() {
+        let out = Cluster::run(6, |comm| comm.exscan(comm.rank() as u64 + 1, 0, |a, b| a + b));
+        // rank r gets sum of 1..=r
+        assert_eq!(out, vec![0, 1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn collectives_interleave_with_p2p() {
+        let out = Cluster::run(4, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(right, 5, comm.rank() as u64);
+            let sum = comm.allreduce(1u64, |a, b| a + b);
+            let from_left = comm.recv::<u64>(left, 5);
+            comm.barrier();
+            sum + from_left
+        });
+        assert_eq!(out, vec![4 + 3, 4 + 0, 4 + 1, 4 + 2]);
+    }
+}

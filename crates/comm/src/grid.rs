@@ -1,0 +1,169 @@
+//! √P×√P logical process grid (CombBLAS-style), the layout every
+//! distributed matrix in ELBA lives on.
+//!
+//! Rank `r` sits at grid position `(r / q, r % q)` for `q = √P`. The grid
+//! carries three communicators: the world, a row communicator (all ranks
+//! with the same row index, ordered by column) and a column communicator.
+//! ELBA's induced-subgraph exchange (paper Fig. 2) is expressed with
+//! exactly these: an allgather over the row dimension plus point-to-point
+//! with the *transposed* rank `(col, row)`.
+
+use crate::runtime::{Comm, Rank};
+
+/// A square process grid over a world communicator.
+pub struct ProcGrid {
+    world: Comm,
+    row: Comm,
+    col: Comm,
+    q: usize,
+}
+
+impl ProcGrid {
+    /// Build the grid. Collective over `world`; `world.size()` must be a
+    /// perfect square (as ELBA requires for its 2D distribution).
+    pub fn new(world: Comm) -> Self {
+        let p = world.size();
+        let q = (p as f64).sqrt().round() as usize;
+        assert_eq!(q * q, p, "process grid needs a perfect square rank count, got {p}");
+        let myrow = world.rank() / q;
+        let mycol = world.rank() % q;
+        let row = world.split(myrow, mycol);
+        let col = world.split(mycol, myrow);
+        debug_assert_eq!(row.rank(), mycol);
+        debug_assert_eq!(col.rank(), myrow);
+        ProcGrid { world, row, col, q }
+    }
+
+    /// Grid side length √P.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// World communicator spanning the whole grid.
+    #[inline]
+    pub fn world(&self) -> &Comm {
+        &self.world
+    }
+
+    /// Communicator over this rank's grid row (rank within = column index).
+    #[inline]
+    pub fn row(&self) -> &Comm {
+        &self.row
+    }
+
+    /// Communicator over this rank's grid column (rank within = row index).
+    #[inline]
+    pub fn col(&self) -> &Comm {
+        &self.col
+    }
+
+    /// This rank's grid row index.
+    #[inline]
+    pub fn myrow(&self) -> usize {
+        self.world.rank() / self.q
+    }
+
+    /// This rank's grid column index.
+    #[inline]
+    pub fn mycol(&self) -> usize {
+        self.world.rank() % self.q
+    }
+
+    /// World rank of grid position `(i, j)`.
+    #[inline]
+    pub fn rank_of(&self, i: usize, j: usize) -> Rank {
+        debug_assert!(i < self.q && j < self.q);
+        i * self.q + j
+    }
+
+    /// World rank of the transposed position `(mycol, myrow)` — the partner
+    /// in ELBA's induced-subgraph vector exchange.
+    #[inline]
+    pub fn transpose_rank(&self) -> Rank {
+        self.rank_of(self.mycol(), self.myrow())
+    }
+
+    /// Whether this rank sits on the grid diagonal (its own transpose).
+    #[inline]
+    pub fn is_diagonal(&self) -> bool {
+        self.myrow() == self.mycol()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Cluster;
+
+    #[test]
+    fn grid_coordinates() {
+        let out = Cluster::run(9, |comm| {
+            let rank = comm.rank();
+            let grid = ProcGrid::new(comm);
+            assert_eq!(grid.rank_of(grid.myrow(), grid.mycol()), rank);
+            (grid.myrow(), grid.mycol(), grid.row().rank(), grid.col().rank())
+        });
+        assert_eq!(out[5], (1, 2, 2, 1));
+        assert_eq!(out[0], (0, 0, 0, 0));
+        assert_eq!(out[8], (2, 2, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn non_square_rejected() {
+        let _ = Cluster::run(6, |comm| {
+            let _ = ProcGrid::new(comm);
+        });
+    }
+
+    #[test]
+    fn row_allgather_collects_row() {
+        // Mirrors the first half of the paper's Fig. 2 exchange.
+        let out = Cluster::run(4, |comm| {
+            let rank = comm.rank();
+            let grid = ProcGrid::new(comm);
+            grid.row().allgather(rank as u64)
+        });
+        assert_eq!(out[0], vec![0, 1]);
+        assert_eq!(out[1], vec![0, 1]);
+        assert_eq!(out[2], vec![2, 3]);
+        assert_eq!(out[3], vec![2, 3]);
+    }
+
+    #[test]
+    fn transpose_exchange() {
+        // Second half of Fig. 2: p2p with the transposed processor.
+        let out = Cluster::run(9, |comm| {
+            let rank = comm.rank();
+            let grid = ProcGrid::new(comm);
+            let partner = grid.transpose_rank();
+            grid.world().send(partner, 3, rank as u64);
+            grid.world().recv::<u64>(partner, 3)
+        });
+        for (rank, &got) in out.iter().enumerate() {
+            let (i, j) = (rank / 3, rank % 3);
+            assert_eq!(got, (j * 3 + i) as u64);
+        }
+    }
+
+    #[test]
+    fn diagonal_detection() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            grid.is_diagonal()
+        });
+        assert_eq!(out, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn column_communicator_spans_columns() {
+        let out = Cluster::run(9, |comm| {
+            let rank = comm.rank();
+            let grid = ProcGrid::new(comm);
+            grid.col().allgather(rank as u64)
+        });
+        // Column of rank 5 (=pos (1,2)) is ranks {2, 5, 8}.
+        assert_eq!(out[5], vec![2, 5, 8]);
+    }
+}

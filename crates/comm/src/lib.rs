@@ -1,0 +1,48 @@
+//! # elba-comm — in-process message-passing runtime for ELBA-RS
+//!
+//! The ICPP 2022 ELBA paper runs on MPI over thousands of ranks. Rust MPI
+//! bindings are immature, so this crate provides the substitute substrate:
+//! an in-process SPMD runtime where *each rank is an OS thread* and a
+//! [`Comm`] handle exposes the MPI operations the paper's algorithms use:
+//!
+//! * point-to-point `send`/`recv` with tags (non-blocking buffered sends,
+//!   matching-by-`(source, tag)` receives),
+//! * the collectives used by ELBA: `barrier`, `bcast`, `gather`,
+//!   `allgather`, `reduce`, `allreduce`, `reduce_scatter`, `alltoallv`,
+//!   `exscan`,
+//! * communicator `split` (colors/keys) for building the
+//!   √P×√P [`grid::ProcGrid`] with row and column sub-communicators,
+//! * per-phase wall-time and message-volume accounting ([`profile`]),
+//! * an α–β (Hockney) machine model ([`model`]) that projects the recorded
+//!   communication trace onto Cori-Haswell / Summit-like clusters so that
+//!   the paper's 576–4096-rank strong-scaling figures can be regenerated
+//!   in *shape* from laptop-scale runs.
+//!
+//! Because everything lives in one address space, message payloads move as
+//! `Box<dyn Any>` — identical communication *structure* to MPI (who sends
+//! what to whom, and how many bytes it would be on a wire) without
+//! serialization cost. Byte volumes are metered through [`msg::CommMsg`].
+//!
+//! ```
+//! use elba_comm::Cluster;
+//!
+//! // SPMD "hello": every rank contributes its rank id, all check the sum.
+//! let results = Cluster::run(4, |comm| {
+//!     let sum: u64 = comm.allreduce(comm.rank() as u64, |a, b| a + b);
+//!     sum
+//! });
+//! assert!(results.iter().all(|&s| s == 0 + 1 + 2 + 3));
+//! ```
+
+pub mod collectives;
+pub mod grid;
+pub mod model;
+pub mod msg;
+pub mod profile;
+pub mod runtime;
+
+pub use grid::ProcGrid;
+pub use model::MachineModel;
+pub use msg::CommMsg;
+pub use profile::{PhaseProfile, Profile, RunProfile};
+pub use runtime::{Cluster, Comm, Rank, Tag};

@@ -1,0 +1,147 @@
+//! Message metering: everything sent through a [`crate::Comm`] reports how
+//! many bytes it would occupy on an MPI wire, so that the profiler can
+//! reconstruct communication volumes identical to a real distributed run.
+
+/// A value that can travel between ranks.
+///
+/// Implementors report their wire size via [`CommMsg::nbytes`]; the runtime
+/// moves the value itself through an in-process channel without copying.
+pub trait CommMsg: Send + 'static {
+    /// Number of bytes this value would occupy in an MPI message.
+    fn nbytes(&self) -> usize;
+}
+
+macro_rules! impl_scalar_msg {
+    ($($t:ty),* $(,)?) => {
+        $(impl CommMsg for $t {
+            #[inline]
+            fn nbytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_scalar_msg!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+impl CommMsg for () {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: CommMsg> CommMsg for Vec<T> {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        // Length header (MPI count) + payload. For scalar `T` the sum
+        // vectorizes to `len * size_of::<T>()`.
+        8 + self.iter().map(CommMsg::nbytes).sum::<usize>()
+    }
+}
+
+impl<T: CommMsg> CommMsg for Option<T> {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, CommMsg::nbytes)
+    }
+}
+
+impl<T: CommMsg> CommMsg for Box<T> {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        self.as_ref().nbytes()
+    }
+}
+
+impl CommMsg for String {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl<A: CommMsg, B: CommMsg> CommMsg for (A, B) {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes()
+    }
+}
+
+impl<A: CommMsg, B: CommMsg, C: CommMsg> CommMsg for (A, B, C) {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes() + self.2.nbytes()
+    }
+}
+
+impl<A: CommMsg, B: CommMsg, C: CommMsg, D: CommMsg> CommMsg for (A, B, C, D) {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        self.0.nbytes() + self.1.nbytes() + self.2.nbytes() + self.3.nbytes()
+    }
+}
+
+/// Implement [`CommMsg`] for a plain-old-data struct whose wire size is its
+/// in-memory size. Use for `#[derive(Clone, Copy)]` message structs such as
+/// sparse-matrix triples.
+#[macro_export]
+macro_rules! impl_comm_msg_pod {
+    ($($t:ty),* $(,)?) => {
+        $(impl $crate::msg::CommMsg for $t {
+            #[inline]
+            fn nbytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(1u8.nbytes(), 1);
+        assert_eq!(1u64.nbytes(), 8);
+        assert_eq!(1.0f64.nbytes(), 8);
+        assert_eq!(true.nbytes(), 1);
+        assert_eq!(().nbytes(), 0);
+    }
+
+    #[test]
+    fn vec_includes_header() {
+        let v = vec![0u32; 10];
+        assert_eq!(v.nbytes(), 8 + 40);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.nbytes(), 8);
+    }
+
+    #[test]
+    fn nested_vec() {
+        let v = vec![vec![0u8; 4], vec![0u8; 6]];
+        assert_eq!(v.nbytes(), 8 + (8 + 4) + (8 + 6));
+    }
+
+    #[test]
+    fn tuple_and_option() {
+        assert_eq!((1u32, 2u64).nbytes(), 12);
+        assert_eq!(Some(7u64).nbytes(), 9);
+        assert_eq!(Option::<u64>::None.nbytes(), 1);
+    }
+
+    #[derive(Clone, Copy)]
+    struct Triple {
+        _r: u64,
+        _c: u64,
+        _v: f64,
+    }
+    impl_comm_msg_pod!(Triple);
+
+    #[test]
+    fn pod_macro() {
+        let t = Triple { _r: 0, _c: 0, _v: 0.0 };
+        assert_eq!(t.nbytes(), std::mem::size_of::<Triple>());
+    }
+}

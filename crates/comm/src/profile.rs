@@ -1,0 +1,341 @@
+//! Per-rank, per-phase accounting of wall time and communication volume.
+//!
+//! ELBA's evaluation (Figs. 4–6) is organized around named pipeline phases
+//! (`CountKmer`, `DetectOverlap`, `Alignment`, `TrReduction`,
+//! `ExtractContig`). Every [`crate::Comm`] operation books its bytes and
+//! blocking time into the phase that is active on its rank, so a run
+//! yields the exact ingredients those figures plot: max-over-ranks wall
+//! time per phase, communication fraction, and message volumes for the
+//! α–β model in [`crate::model`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Name used for activity recorded outside any explicit phase.
+pub const UNPHASED: &str = "(unphased)";
+
+/// Accounting for a single named phase on one rank.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfile {
+    /// Wall-clock seconds spent inside the phase.
+    pub wall_secs: f64,
+    /// Seconds spent blocked inside communication calls.
+    pub comm_secs: f64,
+    /// Point-to-point messages sent.
+    pub p2p_msgs: u64,
+    /// Point-to-point bytes sent.
+    pub p2p_bytes: u64,
+    /// Collective calls: (operation, calls, bytes sent by this rank).
+    pub collectives: Vec<(&'static str, u64, u64)>,
+}
+
+impl PhaseProfile {
+    /// Total bytes this rank pushed into the network during the phase.
+    pub fn bytes_sent(&self) -> u64 {
+        self.p2p_bytes + self.collectives.iter().map(|&(_, _, b)| b).sum::<u64>()
+    }
+
+    /// Total collective invocations in the phase.
+    pub fn coll_calls(&self) -> u64 {
+        self.collectives.iter().map(|&(_, c, _)| c).sum()
+    }
+
+    fn merge_coll(&mut self, op: &'static str, bytes: usize) {
+        if let Some(entry) = self.collectives.iter_mut().find(|(name, _, _)| *name == op) {
+            entry.1 += 1;
+            entry.2 += bytes as u64;
+        } else {
+            self.collectives.push((op, 1, bytes as u64));
+        }
+    }
+}
+
+/// Phase accounting for one rank. Phases appear in first-entered order.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    rank: usize,
+    phases: Vec<(String, PhaseProfile)>,
+    stack: Vec<usize>,
+}
+
+impl Profile {
+    pub fn new(rank: usize) -> Self {
+        Profile { rank, phases: Vec::new(), stack: Vec::new() }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Phases recorded on this rank, in first-entered order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, &PhaseProfile)> {
+        self.phases.iter().map(|(name, p)| (name.as_str(), p))
+    }
+
+    /// Look up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseProfile> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, p)| p)
+    }
+
+    fn index_of(&mut self, name: &str) -> usize {
+        if let Some(idx) = self.phases.iter().position(|(n, _)| n == name) {
+            idx
+        } else {
+            self.phases.push((name.to_owned(), PhaseProfile::default()));
+            self.phases.len() - 1
+        }
+    }
+
+    fn current_mut(&mut self) -> &mut PhaseProfile {
+        let idx = match self.stack.last() {
+            Some(&idx) => idx,
+            None => self.index_of(UNPHASED),
+        };
+        &mut self.phases[idx].1
+    }
+
+    pub(crate) fn record_p2p(&mut self, bytes: usize) {
+        let phase = self.current_mut();
+        phase.p2p_msgs += 1;
+        phase.p2p_bytes += bytes as u64;
+    }
+
+    pub(crate) fn record_coll(&mut self, op: &'static str, bytes: usize) {
+        self.current_mut().merge_coll(op, bytes);
+    }
+
+    pub(crate) fn record_comm_time(&mut self, secs: f64) {
+        self.current_mut().comm_secs += secs;
+    }
+
+    fn enter(&mut self, name: &str) -> usize {
+        let idx = self.index_of(name);
+        self.stack.push(idx);
+        idx
+    }
+
+    fn exit(&mut self, idx: usize, wall: f64) {
+        let popped = self.stack.pop();
+        debug_assert_eq!(popped, Some(idx), "phase guards must nest");
+        self.phases[idx].1.wall_secs += wall;
+    }
+}
+
+/// RAII scope for a profiling phase; created via [`crate::Comm::phase`].
+pub struct PhaseGuard {
+    profile: Arc<Mutex<Profile>>,
+    idx: usize,
+    start: Instant,
+}
+
+impl PhaseGuard {
+    pub(crate) fn enter(profile: Arc<Mutex<Profile>>, name: &str) -> Self {
+        let idx = profile.lock().enter(name);
+        PhaseGuard { profile, idx, start: Instant::now() }
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let wall = self.start.elapsed().as_secs_f64();
+        self.profile.lock().exit(self.idx, wall);
+    }
+}
+
+/// Profiles of every rank in one [`crate::Cluster`] run, with the
+/// aggregations the paper's figures are built from.
+#[derive(Debug, Clone)]
+pub struct RunProfile {
+    ranks: Vec<Profile>,
+}
+
+impl RunProfile {
+    pub fn new(ranks: Vec<Profile>) -> Self {
+        RunProfile { ranks }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn rank_profiles(&self) -> &[Profile] {
+        &self.ranks
+    }
+
+    /// Phase names in first-seen order across all ranks.
+    pub fn phase_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for rank in &self.ranks {
+            for (name, _) in rank.phases() {
+                if name != UNPHASED && !names.iter().any(|n| n == name) {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        names
+    }
+
+    /// Max-over-ranks wall time for a phase — the number a strong-scaling
+    /// plot reports (the slowest rank gates the pipeline).
+    pub fn max_wall(&self, phase: &str) -> f64 {
+        self.ranks
+            .iter()
+            .filter_map(|r| r.phase(phase))
+            .map(|p| p.wall_secs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean-over-ranks wall time for a phase.
+    pub fn mean_wall(&self, phase: &str) -> f64 {
+        let times: Vec<f64> =
+            self.ranks.iter().filter_map(|r| r.phase(phase)).map(|p| p.wall_secs).collect();
+        if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        }
+    }
+
+    /// Max-over-ranks communication time within a phase.
+    pub fn max_comm_secs(&self, phase: &str) -> f64 {
+        self.ranks
+            .iter()
+            .filter_map(|r| r.phase(phase))
+            .map(|p| p.comm_secs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total point-to-point bytes across all ranks in a phase.
+    pub fn total_p2p_bytes(&self, phase: &str) -> u64 {
+        self.ranks.iter().filter_map(|r| r.phase(phase)).map(|p| p.p2p_bytes).sum()
+    }
+
+    /// Total bytes (p2p + collectives) across all ranks in a phase.
+    pub fn total_bytes(&self, phase: &str) -> u64 {
+        self.ranks.iter().filter_map(|r| r.phase(phase)).map(|p| p.bytes_sent()).sum()
+    }
+
+    /// Mean collective calls per rank in a phase.
+    pub fn mean_coll_calls(&self, phase: &str) -> f64 {
+        let calls: Vec<u64> =
+            self.ranks.iter().filter_map(|r| r.phase(phase)).map(|p| p.coll_calls()).collect();
+        if calls.is_empty() {
+            0.0
+        } else {
+            calls.iter().sum::<u64>() as f64 / calls.len() as f64
+        }
+    }
+
+    /// Condensed per-phase observation consumed by [`crate::model`].
+    pub fn observe(&self, phase: &str) -> crate::model::PhaseObservation {
+        let max_wall = self.max_wall(phase);
+        let max_comm = self.max_comm_secs(phase);
+        crate::model::PhaseObservation {
+            phase: phase.to_owned(),
+            wall_secs: max_wall,
+            compute_secs: (max_wall - max_comm).max(0.0),
+            coll_calls_per_rank: self.mean_coll_calls(phase),
+            total_bytes: self.total_bytes(phase) as f64,
+        }
+    }
+
+    /// Render a plain-text per-phase table (used by examples and benches).
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>10} {:>12} {:>10}",
+            "phase", "max-wall-s", "comm-s", "bytes", "colls/rank"
+        );
+        for name in self.phase_names() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>10.4} {:>10.4} {:>12} {:>10.1}",
+                name,
+                self.max_wall(&name),
+                self.max_comm_secs(&name),
+                self.total_bytes(&name),
+                self.mean_coll_calls(&name)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate() {
+        let profile = Arc::new(Mutex::new(Profile::new(0)));
+        {
+            let _g = PhaseGuard::enter(Arc::clone(&profile), "a");
+            profile.lock().record_p2p(100);
+        }
+        {
+            let _g = PhaseGuard::enter(Arc::clone(&profile), "a");
+            profile.lock().record_p2p(50);
+        }
+        let p = profile.lock();
+        let phase = p.phase("a").expect("phase exists");
+        assert_eq!(phase.p2p_msgs, 2);
+        assert_eq!(phase.p2p_bytes, 150);
+        assert!(phase.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn nested_phases_book_to_innermost() {
+        let profile = Arc::new(Mutex::new(Profile::new(0)));
+        {
+            let _outer = PhaseGuard::enter(Arc::clone(&profile), "outer");
+            {
+                let _inner = PhaseGuard::enter(Arc::clone(&profile), "inner");
+                profile.lock().record_p2p(7);
+            }
+            profile.lock().record_p2p(3);
+        }
+        let p = profile.lock();
+        assert_eq!(p.phase("inner").map(|ph| ph.p2p_bytes), Some(7));
+        assert_eq!(p.phase("outer").map(|ph| ph.p2p_bytes), Some(3));
+    }
+
+    #[test]
+    fn unphased_bucket() {
+        let profile = Arc::new(Mutex::new(Profile::new(0)));
+        profile.lock().record_p2p(9);
+        let p = profile.lock();
+        assert_eq!(p.phase(UNPHASED).map(|ph| ph.p2p_bytes), Some(9));
+    }
+
+    #[test]
+    fn run_profile_aggregates() {
+        let mut a = Profile::new(0);
+        let idx = a.enter("x");
+        a.record_p2p(10);
+        a.exit(idx, 2.0);
+        let mut b = Profile::new(1);
+        let idx = b.enter("x");
+        b.record_p2p(30);
+        b.exit(idx, 3.0);
+        let run = RunProfile::new(vec![a, b]);
+        assert_eq!(run.max_wall("x"), 3.0);
+        assert_eq!(run.mean_wall("x"), 2.5);
+        assert_eq!(run.total_p2p_bytes("x"), 40);
+        assert_eq!(run.phase_names(), vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn collectives_merge_by_op() {
+        let mut p = PhaseProfile::default();
+        p.merge_coll("bcast", 10);
+        p.merge_coll("bcast", 5);
+        p.merge_coll("reduce", 1);
+        assert_eq!(p.collectives.len(), 2);
+        assert_eq!(p.coll_calls(), 3);
+        assert_eq!(p.bytes_sent(), 16);
+    }
+}

@@ -1,0 +1,478 @@
+//! SPMD runtime: [`Cluster`] spawns one thread per rank, each holding a
+//! [`Comm`] — the analogue of an MPI communicator. Point-to-point messages
+//! travel over per-pair unbounded channels (buffered, non-blocking sends;
+//! blocking receives matched by `(source, tag)`), exactly mirroring the
+//! eager-protocol MPI semantics that ELBA relies on.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::msg::CommMsg;
+use crate::profile::{Profile, RunProfile};
+
+/// Index of a process within a communicator.
+pub type Rank = usize;
+/// Message tag. User tags must be below [`Comm::USER_TAG_LIMIT`].
+pub type Tag = u64;
+
+pub(crate) struct Envelope {
+    tag: Tag,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Per-rank handle on a communicator (MPI_Comm analogue).
+///
+/// All operations take `&self`; a `Comm` is owned by exactly one rank
+/// thread. Sub-communicators created through [`Comm::split`] share the
+/// rank's [`Profile`] so that communication accounting aggregates across
+/// the whole grid.
+pub struct Comm {
+    rank: Rank,
+    size: usize,
+    /// senders[dst]: channel into rank `dst`'s mailbox for messages from us.
+    senders: Vec<Sender<Envelope>>,
+    /// receivers[src]: our mailbox for messages from rank `src`.
+    receivers: Vec<Receiver<Envelope>>,
+    /// Out-of-order buffer: messages that arrived before being asked for.
+    pending: RefCell<Vec<VecDeque<Envelope>>>,
+    /// Collective sequence number; identical across ranks by SPMD order.
+    coll_seq: Cell<u64>,
+    profile: Arc<Mutex<Profile>>,
+}
+
+impl Comm {
+    /// Largest tag value available to user code; higher tags are reserved
+    /// for internal collective sequencing.
+    pub const USER_TAG_LIMIT: Tag = 1 << 32;
+
+    /// This rank's index within the communicator.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Shared per-rank profile (phase timers + communication volumes).
+    pub fn profile_handle(&self) -> Arc<Mutex<Profile>> {
+        Arc::clone(&self.profile)
+    }
+
+    /// Enter a named profiling phase; the phase ends when the returned
+    /// guard drops. See [`crate::profile`].
+    pub fn phase(&self, name: &str) -> crate::profile::PhaseGuard {
+        crate::profile::PhaseGuard::enter(Arc::clone(&self.profile), name)
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Buffered (non-blocking) send of `data` to `dst` with `tag`.
+    pub fn send<T: CommMsg>(&self, dst: Rank, tag: Tag, data: T) {
+        assert!(tag < Self::USER_TAG_LIMIT, "tag {tag} is reserved for internal use");
+        let bytes = data.nbytes();
+        self.profile.lock().record_p2p(bytes);
+        self.raw_send(dst, tag, Box::new(data));
+    }
+
+    /// Blocking receive of a message from `src` carrying `tag`.
+    ///
+    /// Panics if the payload type does not match `T` (a programming error
+    /// that MPI would surface as a datatype mismatch).
+    pub fn recv<T: CommMsg>(&self, src: Rank, tag: Tag) -> T {
+        assert!(tag < Self::USER_TAG_LIMIT, "tag {tag} is reserved for internal use");
+        self.raw_recv(src, tag)
+    }
+
+    pub(crate) fn raw_send(&self, dst: Rank, tag: Tag, payload: Box<dyn Any + Send>) {
+        self.senders[dst]
+            .send(Envelope { tag, payload })
+            .unwrap_or_else(|_| panic!("rank {} unreachable from rank {}", dst, self.rank));
+    }
+
+    pub(crate) fn raw_recv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> T {
+        let start = Instant::now();
+        let envelope = self.wait_for(src, tag);
+        self.profile.lock().record_comm_time(start.elapsed().as_secs_f64());
+        *envelope.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {} received wrong payload type from rank {src} (tag {tag:#x}); \
+                 expected {}",
+                self.rank,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    fn wait_for(&self, src: Rank, tag: Tag) -> Envelope {
+        // Check messages that already arrived out of order.
+        {
+            let mut pending = self.pending.borrow_mut();
+            let queue = &mut pending[src];
+            if let Some(pos) = queue.iter().position(|e| e.tag == tag) {
+                return queue.remove(pos).expect("position was just found");
+            }
+        }
+        loop {
+            let envelope = self.receivers[src].recv().unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: rank {src} disconnected while waiting for tag {tag:#x} \
+                     (peer rank likely panicked)",
+                    self.rank
+                )
+            });
+            if envelope.tag == tag {
+                return envelope;
+            }
+            self.pending.borrow_mut()[src].push_back(envelope);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal collective plumbing
+    // ------------------------------------------------------------------
+
+    /// Next internal tag; all ranks call collectives in the same order
+    /// (SPMD), so sequence numbers line up across the communicator.
+    pub(crate) fn next_coll_tag(&self, op: u8) -> Tag {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        (1 << 63) | ((op as u64) << 48) | (seq & ((1 << 48) - 1))
+    }
+
+    pub(crate) fn coll_send<T: Send + 'static>(&self, dst: Rank, tag: Tag, data: T) {
+        self.raw_send(dst, tag, Box::new(data));
+    }
+
+    /// Receive inside a collective: blocking time is *not* booked here —
+    /// the collective itself records its full elapsed time once, so
+    /// booking per-message waits too would double-count communication.
+    pub(crate) fn coll_recv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> T {
+        let envelope = self.wait_for(src, tag);
+        *envelope.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {} received wrong payload type from rank {src} (tag {tag:#x});                  expected {}",
+                self.rank,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    pub(crate) fn record_collective(&self, op: &'static str, bytes: usize, secs: f64) {
+        let mut profile = self.profile.lock();
+        profile.record_coll(op, bytes);
+        profile.record_comm_time(secs);
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    /// Partition the communicator: ranks passing the same `color` form a new
+    /// communicator; `key` orders ranks within it (ties broken by old rank).
+    /// Collective — every rank of `self` must call it.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        let info = self.allgather((self.rank as u64, color as u64, key as u64));
+        let mut group: Vec<(u64, u64)> = info
+            .iter()
+            .filter(|&&(_, c, _)| c as usize == color)
+            .map(|&(r, _, k)| (k, r))
+            .collect();
+        group.sort_unstable();
+        let new_size = group.len();
+        let new_rank = group
+            .iter()
+            .position(|&(_, r)| r as usize == self.rank)
+            .expect("calling rank must be in its own color group");
+        let leader = group[0].1 as usize;
+        let tag = self.next_coll_tag(op::SPLIT);
+
+        if self.rank == leader {
+            // Build the new_size x new_size channel mesh and deal each
+            // member its row of senders and column of receivers.
+            let mut send_rows: Vec<Vec<Sender<Envelope>>> =
+                (0..new_size).map(|_| Vec::with_capacity(new_size)).collect();
+            let mut recv_rows: Vec<Vec<Receiver<Envelope>>> =
+                (0..new_size).map(|_| Vec::with_capacity(new_size)).collect();
+            for src in 0..new_size {
+                for dst in 0..new_size {
+                    let (tx, rx) = unbounded();
+                    send_rows[src].push(tx);
+                    recv_rows[dst].push(rx);
+                }
+            }
+            // recv_rows[dst] currently interleaved by construction order:
+            // iteration pushes rx for (src, dst) while sweeping src outer,
+            // dst inner, so recv_rows[dst] receives entries in src order. OK.
+            for ((slot, &(_, old_rank)), receivers) in
+                group.iter().enumerate().zip(recv_rows.into_iter())
+            {
+                let senders_for_member = std::mem::take(&mut send_rows[slot]);
+                self.raw_send(
+                    old_rank as usize,
+                    tag,
+                    Box::new(SplitPack {
+                        new_rank: slot,
+                        senders: senders_for_member,
+                        receivers,
+                    }),
+                );
+            }
+        }
+
+        let pack: SplitPack = self.raw_recv(leader, tag);
+        debug_assert_eq!(pack.new_rank, new_rank);
+        Comm {
+            rank: pack.new_rank,
+            size: new_size,
+            senders: pack.senders,
+            receivers: pack.receivers,
+            pending: RefCell::new((0..new_size).map(|_| VecDeque::new()).collect()),
+            coll_seq: Cell::new(0),
+            profile: Arc::clone(&self.profile),
+        }
+    }
+
+    /// Duplicate the communicator (same group, fresh channels/sequencing).
+    pub fn dup(&self) -> Comm {
+        self.split(0, self.rank)
+    }
+}
+
+struct SplitPack {
+    new_rank: usize,
+    senders: Vec<Sender<Envelope>>,
+    receivers: Vec<Receiver<Envelope>>,
+}
+
+/// Internal collective opcodes (namespace the reserved tag space).
+pub(crate) mod op {
+    pub const BARRIER: u8 = 1;
+    pub const BCAST: u8 = 2;
+    pub const GATHER: u8 = 3;
+    pub const REDUCE: u8 = 4;
+    pub const ALLTOALLV: u8 = 6;
+    pub const REDUCE_SCATTER: u8 = 7;
+    pub const EXSCAN: u8 = 8;
+    pub const SPLIT: u8 = 9;
+}
+
+/// Entry point: run an SPMD function over `nranks` in-process ranks.
+pub struct Cluster;
+
+impl Cluster {
+    /// Stack size for rank threads. Generous because local assembly and
+    /// test oracles may recurse.
+    const STACK_SIZE: usize = 16 * 1024 * 1024;
+
+    /// Run `f` on `nranks` ranks; returns each rank's result, rank-ordered.
+    pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        Self::run_profiled(nranks, f).0
+    }
+
+    /// Like [`Cluster::run`] but also returns the per-rank profiles
+    /// (phase wall times + communication volumes) recorded during the run.
+    pub fn run_profiled<T, F>(nranks: usize, f: F) -> (Vec<T>, RunProfile)
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        assert!(nranks > 0, "cluster needs at least one rank");
+        // Channel mesh: (src, dst) -> channel.
+        let mut send_rows: Vec<Vec<Sender<Envelope>>> =
+            (0..nranks).map(|_| Vec::with_capacity(nranks)).collect();
+        let mut recv_rows: Vec<Vec<Receiver<Envelope>>> =
+            (0..nranks).map(|_| Vec::with_capacity(nranks)).collect();
+        for src in 0..nranks {
+            for dst in 0..nranks {
+                let (tx, rx) = unbounded();
+                send_rows[src].push(tx);
+                recv_rows[dst].push(rx);
+            }
+        }
+
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, (senders, receivers)) in
+            send_rows.into_iter().zip(recv_rows.into_iter()).enumerate()
+        {
+            let f = Arc::clone(&f);
+            let profile = Arc::new(Mutex::new(Profile::new(rank)));
+            let profile_out = Arc::clone(&profile);
+            let comm = Comm {
+                rank,
+                size: nranks,
+                senders,
+                receivers,
+                pending: RefCell::new((0..nranks).map(|_| VecDeque::new()).collect()),
+                coll_seq: Cell::new(0),
+                profile,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(Self::STACK_SIZE)
+                .spawn(move || {
+                    let result = f(comm);
+                    (result, profile_out)
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+
+        let mut results = Vec::with_capacity(nranks);
+        let mut profiles = Vec::with_capacity(nranks);
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok((result, profile)) => {
+                    results.push(result);
+                    profiles.push(
+                        Arc::try_unwrap(profile)
+                            .map(Mutex::into_inner)
+                            .unwrap_or_else(|arc| arc.lock().clone()),
+                    );
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("rank {rank} panicked: {msg}");
+                }
+            }
+        }
+        (results, RunProfile::new(profiles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Cluster::run(1, |comm| comm.rank() + comm.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let out = Cluster::run(5, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, comm.rank() as u64);
+            comm.recv::<u64>(prev, 7)
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10u64);
+                comm.send(1, 2, 20u64);
+                comm.send(1, 3, 30u64);
+                0
+            } else {
+                // Receive in reverse tag order; earlier messages must wait
+                // in the pending buffer without being lost.
+                let c = comm.recv::<u64>(0, 3);
+                let b = comm.recv::<u64>(0, 2);
+                let a = comm.recv::<u64>(0, 1);
+                (a + b + c) as usize
+            }
+        });
+        assert_eq!(out[1], 60);
+    }
+
+    #[test]
+    fn send_to_self() {
+        let out = Cluster::run(3, |comm| {
+            comm.send(comm.rank(), 9, comm.rank() as u64 * 3);
+            comm.recv::<u64>(comm.rank(), 9)
+        });
+        assert_eq!(out, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn moves_large_buffers_without_copy() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1u8; 1 << 20]);
+                0usize
+            } else {
+                comm.recv::<Vec<u8>>(0, 0).len()
+            }
+        });
+        assert_eq!(out[1], 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn rank_panic_propagates() {
+        let _ = Cluster::run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate failure");
+            }
+            // Rank 0 exits immediately; no deadlock because it never blocks.
+            0
+        });
+    }
+
+    #[test]
+    fn split_into_rows() {
+        // 6 ranks -> two colors {0,1,2} and {3,4,5}.
+        let out = Cluster::run(6, |comm| {
+            let color = comm.rank() / 3;
+            let sub = comm.split(color, comm.rank());
+            // ring within subgroup
+            let next = (sub.rank() + 1) % sub.size();
+            let prev = (sub.rank() + sub.size() - 1) % sub.size();
+            sub.send(next, 1, comm.rank() as u64);
+            let from_prev = sub.recv::<u64>(prev, 1);
+            (sub.rank(), sub.size(), from_prev)
+        });
+        assert_eq!(out[0], (0, 3, 2));
+        assert_eq!(out[3], (0, 3, 5));
+        assert_eq!(out[5], (2, 3, 4));
+    }
+
+    #[test]
+    fn split_reverse_key_reverses_ranks() {
+        let out = Cluster::run(4, |comm| {
+            let sub = comm.split(0, comm.size() - comm.rank());
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn profiles_capture_phase_bytes() {
+        let (_, profile) = Cluster::run_profiled(2, |comm| {
+            let _g = comm.phase("exchange");
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u64; 100]);
+            } else {
+                let _ = comm.recv::<Vec<u64>>(0, 0);
+            }
+        });
+        let bytes = profile.total_p2p_bytes("exchange");
+        assert_eq!(bytes, 8 + 800);
+    }
+}

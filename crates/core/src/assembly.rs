@@ -1,0 +1,421 @@
+//! Local contig assembly (§4.4) — line 6 of Algorithm 2.
+//!
+//! Each rank walks its induced subgraph, which by construction has
+//! maximum degree 2: "there is always only one vertex in the frontier,
+//! and the search is thus a linear walk". The walk scans all vertices for
+//! unvisited roots (`JC[c+1] − JC[c] == 1`), follows intermediate
+//! vertices to the opposite root, and stitches the contig as
+//!
+//! ```text
+//! l_r[α : pre(e₀)] ⊕ l_c₁[post(e₀) : pre(e₁)] ⊕ … ⊕ l_r'[post(e_q−2) : β]
+//! ```
+//!
+//! with `α ∈ {0, |l_r|−1}` and `β` chosen by traversal orientation, and
+//! slices taken directly from the packed read buffer via stored offsets.
+//! Reverse-complement strand flips are handled by the inclusive
+//! `l[j:i]` slicing convention (see `elba_seq::dna`).
+
+use elba_align::SgEdge;
+use elba_seq::{ReadStore, Seq};
+
+use crate::induced::LocalGraph;
+
+/// One assembled contig.
+#[derive(Debug, Clone)]
+pub struct Contig {
+    pub seq: Seq,
+    /// Global ids of the reads concatenated into this contig, walk order.
+    pub read_ids: Vec<u64>,
+    /// The component was a cycle broken at an arbitrary vertex.
+    pub circular: bool,
+}
+
+/// Local assembly options.
+#[derive(Debug, Clone)]
+pub struct AssemblyConfig {
+    /// Also emit circular components (broken at an arbitrary vertex).
+    /// The paper's contig definition covers only linear chains; cycles
+    /// are rare repeat artifacts on linear genomes.
+    pub emit_cycles: bool,
+}
+
+impl Default for AssemblyConfig {
+    fn default() -> Self {
+        AssemblyConfig { emit_cycles: true }
+    }
+}
+
+/// Counters for diagnostics and the contig-stage statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AssemblyStats {
+    pub contigs: usize,
+    pub cycles: usize,
+    pub reads_used: usize,
+    pub orientation_breaks: usize,
+}
+
+/// Oriented slice of a stored read: forward when `reversed` is false,
+/// reverse-complement otherwise; an exhausted read (overlap covering all
+/// that remains) contributes nothing.
+fn slice_oriented(store: &ReadStore, id: u64, from: usize, to: usize, reversed: bool) -> Seq {
+    if reversed {
+        match from.cmp(&to) {
+            std::cmp::Ordering::Less => Seq::new(),
+            std::cmp::Ordering::Equal => {
+                let codes = store.get(id).expect("read stored locally");
+                Seq::from_codes(vec![elba_seq::dna::complement(codes[from])])
+            }
+            std::cmp::Ordering::Greater => store.subsequence(id, from, to),
+        }
+    } else if from > to {
+        Seq::new()
+    } else {
+        store.subsequence(id, from, to)
+    }
+}
+
+/// Assemble every contig stored in this rank's induced subgraph.
+pub fn local_assembly(
+    graph: &LocalGraph,
+    store: &ReadStore,
+    cfg: &AssemblyConfig,
+) -> (Vec<Contig>, AssemblyStats) {
+    let n = graph.n_vertices();
+    let csc = &graph.csc;
+    let mut visited = vec![false; n];
+    let mut contigs = Vec::new();
+    let mut stats = AssemblyStats::default();
+
+    let neighbors = |v: usize| -> &[u32] { csc.col(v).0 };
+    let edge_of = |from: usize, to: usize| -> SgEdge {
+        *csc.get(from, to).unwrap_or_else(|| {
+            panic!("missing directed edge {from}->{to} in symmetric local matrix")
+        })
+    };
+
+    let walk = |start: usize, visited: &mut [bool], stats: &mut AssemblyStats| -> Contig {
+        let gid = |v: usize| graph.global_ids[v];
+        let mut read_ids = Vec::new();
+        let mut seq = Seq::new();
+        visited[start] = true;
+        read_ids.push(gid(start));
+        let mut prev = start;
+        let mut cur = neighbors(start)[0] as usize;
+        let first = edge_of(prev, cur);
+        let alpha = if first.src_rev {
+            store.read_len(gid(start)).expect("root read stored") - 1
+        } else {
+            0
+        };
+        seq.extend_from(&slice_oriented(store, gid(start), alpha, first.pre as usize, first.src_rev));
+        let mut in_edge = first;
+        let mut circular = false;
+        loop {
+            visited[cur] = true;
+            read_ids.push(gid(cur));
+            let nbrs = neighbors(cur);
+            let next = nbrs
+                .iter()
+                .map(|&x| x as usize)
+                .find(|&nb| nb != prev && !visited[nb]);
+            match next {
+                None => {
+                    // Opposite root reached (or cycle closed / orientation
+                    // anomaly): emit the terminal slice.
+                    if nbrs.len() == 2 && nbrs.iter().all(|&x| visited[x as usize]) {
+                        circular = true;
+                    }
+                    let len = store.read_len(gid(cur)).expect("read stored");
+                    let beta = if in_edge.dst_rev { 0 } else { len - 1 };
+                    seq.extend_from(&slice_oriented(
+                        store,
+                        gid(cur),
+                        in_edge.post as usize,
+                        beta,
+                        in_edge.dst_rev,
+                    ));
+                    break;
+                }
+                Some(nb) => {
+                    let out_edge = edge_of(cur, nb);
+                    if in_edge.dst_rev != out_edge.src_rev {
+                        // Inconsistent traversal orientation (fuzz artifact):
+                        // terminate the contig cleanly at this read.
+                        stats.orientation_breaks += 1;
+                        let len = store.read_len(gid(cur)).expect("read stored");
+                        let beta = if in_edge.dst_rev { 0 } else { len - 1 };
+                        seq.extend_from(&slice_oriented(
+                            store,
+                            gid(cur),
+                            in_edge.post as usize,
+                            beta,
+                            in_edge.dst_rev,
+                        ));
+                        break;
+                    }
+                    seq.extend_from(&slice_oriented(
+                        store,
+                        gid(cur),
+                        in_edge.post as usize,
+                        out_edge.pre as usize,
+                        in_edge.dst_rev,
+                    ));
+                    prev = cur;
+                    cur = nb;
+                    in_edge = out_edge;
+                }
+            }
+        }
+        Contig { seq, read_ids, circular }
+    };
+
+    // Root scan over all n vertices (paper: linear search for JC-degree 1).
+    for s in 0..n {
+        if !visited[s] && csc.degree(s) == 1 {
+            let contig = walk(s, &mut visited, &mut stats);
+            stats.reads_used += contig.read_ids.len();
+            stats.contigs += 1;
+            contigs.push(contig);
+        }
+    }
+    // Remaining unvisited degree-2 vertices form cycles.
+    if cfg.emit_cycles {
+        for s in 0..n {
+            if !visited[s] && csc.degree(s) == 2 {
+                let mut contig = walk(s, &mut visited, &mut stats);
+                contig.circular = true;
+                stats.reads_used += contig.read_ids.len();
+                stats.contigs += 1;
+                stats.cycles += 1;
+                contigs.push(contig);
+            }
+        }
+    }
+    (contigs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elba_align::{dovetail_edges, OverlapAln};
+    use elba_sparse::{Csc, Dcsc};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn genome(len: usize, seed: u64) -> Seq {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Seq::from_codes((0..len).map(|_| rng.gen_range(0..4u8)).collect())
+    }
+
+    /// Build a LocalGraph + ReadStore for a chain of reads tiling a
+    /// genome, each read optionally reverse-complemented.
+    fn chain_graph(g: &Seq, read_len: usize, stride: usize, strands: &[bool]) -> (LocalGraph, ReadStore) {
+        let n = strands.len();
+        assert!(stride * (n - 1) + read_len <= g.len());
+        let mut store = ReadStore::empty(n);
+        let mut reads = Vec::new();
+        for (i, &rc) in strands.iter().enumerate() {
+            let r = g.substring(i * stride, i * stride + read_len);
+            let r = if rc { r.reverse_complement() } else { r };
+            store.push(i as u64, r.codes());
+            reads.push(r);
+        }
+        let mut triples: Vec<(u32, u32, SgEdge)> = Vec::new();
+        for i in 0..n - 1 {
+            // true alignment between read i and read i+1 in oriented space
+            let overlap = read_len - stride;
+            // coordinates on forward-genome layout
+            let rc = strands[i] != strands[i + 1];
+            // oriented w = v if same strand as u else rc(v); we need the
+            // alignment of u against w where w is v oriented to match u.
+            // Work in u's frame: if u is fwd, u's overlap is its suffix;
+            // if u is rc, it is its prefix.
+            let aln = if !strands[i] {
+                OverlapAln {
+                    rc,
+                    u_beg: stride,
+                    u_end: read_len - 1,
+                    w_beg: 0,
+                    w_end: overlap - 1,
+                    u_len: read_len,
+                    v_len: read_len,
+                    score: overlap as i32,
+                }
+            } else {
+                // u is rc: in u's forward coords the overlap with the next
+                // read (to the genome-right) sits at u[0..=overlap-1], and
+                // in w coords (v oriented to u) at the suffix.
+                OverlapAln {
+                    rc,
+                    u_beg: 0,
+                    u_end: overlap - 1,
+                    w_beg: stride,
+                    w_end: read_len - 1,
+                    u_len: read_len,
+                    v_len: read_len,
+                    score: overlap as i32,
+                }
+            };
+            let (fwd, bwd) = dovetail_edges(&aln);
+            triples.push((i as u32, (i + 1) as u32, fwd));
+            triples.push(((i + 1) as u32, i as u32, bwd));
+        }
+        let dcsc = Dcsc::from_triples(n, n, triples, |_, _| unreachable!());
+        let graph = LocalGraph { global_ids: (0..n as u64).collect(), csc: dcsc.to_csc() };
+        (graph, store)
+    }
+
+    fn assert_rebuilds(g: &Seq, contig: &Contig) {
+        assert!(
+            contig.seq == *g || contig.seq == g.reverse_complement(),
+            "contig (len {}) != genome (len {}):\n  {}\n  {}",
+            contig.seq.len(),
+            g.len(),
+            contig.seq,
+            g
+        );
+    }
+
+    #[test]
+    fn all_forward_chain_rebuilds_genome() {
+        let g = genome(400, 1);
+        let (graph, store) = chain_graph(&g, 100, 75, &[false; 5]);
+        let (contigs, stats) = local_assembly(&graph, &store, &AssemblyConfig::default());
+        assert_eq!(stats.contigs, 1);
+        assert_eq!(contigs[0].read_ids.len(), 5);
+        assert!(!contigs[0].circular);
+        assert_rebuilds(&g, &contigs[0]);
+    }
+
+    #[test]
+    fn alternating_strand_chain_rebuilds_genome() {
+        let g = genome(400, 2);
+        let strands = [false, true, false, true, false];
+        let (graph, store) = chain_graph(&g, 100, 75, &strands);
+        let (contigs, stats) = local_assembly(&graph, &store, &AssemblyConfig::default());
+        assert_eq!(stats.contigs, 1);
+        assert_eq!(stats.orientation_breaks, 0);
+        assert_rebuilds(&g, &contigs[0]);
+    }
+
+    #[test]
+    fn all_reverse_chain_rebuilds_genome() {
+        let g = genome(325, 3);
+        let (graph, store) = chain_graph(&g, 100, 75, &[true; 4]);
+        let (contigs, _) = local_assembly(&graph, &store, &AssemblyConfig::default());
+        assert_eq!(contigs.len(), 1);
+        assert_rebuilds(&g, &contigs[0]);
+    }
+
+    #[test]
+    fn random_strand_chains_rebuild_genome() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..10);
+            let read_len = 80;
+            let stride = rng.gen_range(30..70);
+            let g = genome(stride * (n - 1) + read_len, 100 + trial);
+            let strands: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let (graph, store) = chain_graph(&g, read_len, stride, &strands);
+            let (contigs, stats) = local_assembly(&graph, &store, &AssemblyConfig::default());
+            assert_eq!(stats.contigs, 1, "strands={strands:?}");
+            assert_eq!(stats.orientation_breaks, 0);
+            assert_rebuilds(&g, &contigs[0]);
+        }
+    }
+
+    #[test]
+    fn two_read_contig() {
+        let g = genome(150, 4);
+        let (graph, store) = chain_graph(&g, 100, 50, &[false, false]);
+        let (contigs, _) = local_assembly(&graph, &store, &AssemblyConfig::default());
+        assert_eq!(contigs.len(), 1);
+        assert_eq!(contigs[0].read_ids, vec![0, 1]);
+        assert_rebuilds(&g, &contigs[0]);
+    }
+
+    #[test]
+    fn multiple_components_yield_multiple_contigs() {
+        // two disjoint 3-read chains in one local graph
+        let g1 = genome(250, 5);
+        let g2 = genome(250, 6);
+        let (graph1, store1) = chain_graph(&g1, 100, 75, &[false; 3]);
+        let (_graph2, store2) = chain_graph(&g2, 100, 75, &[false; 3]);
+        // merge: shift ids of the second chain by 3
+        let mut store = ReadStore::empty(6);
+        for (id, codes) in store1.iter() {
+            store.push(id, codes);
+        }
+        for (id, codes) in store2.iter() {
+            store.push(id + 3, codes);
+        }
+        let mut triples: Vec<(u32, u32, SgEdge)> = Vec::new();
+        for (r, c, e) in graph1.csc.iter() {
+            triples.push((r, c, *e));
+            triples.push((r + 3, c + 3, *e));
+        }
+        let dcsc = Dcsc::from_triples(6, 6, triples, |_, _| unreachable!());
+        let graph = LocalGraph { global_ids: (0..6).collect(), csc: dcsc.to_csc() };
+        let (contigs, stats) = local_assembly(&graph, &store, &AssemblyConfig::default());
+        assert_eq!(stats.contigs, 2);
+        assert_eq!(contigs[0].read_ids.len(), 3);
+        // second chain reuses chain-1 edge payloads over chain-2 reads, so
+        // only the first contig is checked against its genome
+        assert_rebuilds(&g1, &contigs[0]);
+    }
+
+    #[test]
+    fn cycle_emitted_only_when_enabled() {
+        // 3-cycle: reads tile a circular genome
+        let g = genome(300, 7);
+        let read_len = 140;
+        let n = 3;
+        let stride = 100;
+        let mut store = ReadStore::empty(n);
+        let mut circ = g.clone();
+        circ.extend_from(&g.substring(0, read_len)); // wraparound copy
+        for i in 0..n {
+            store.push(i as u64, circ.substring(i * stride, i * stride + read_len).codes());
+        }
+        let overlap = (read_len - stride) as u32;
+        let mut triples = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            let fwd = SgEdge {
+                pre: stride as u32 - 1,
+                post: 0,
+                src_rev: false,
+                dst_rev: false,
+                suffix: stride as u32,
+            };
+            let bwd = SgEdge {
+                pre: overlap,
+                post: read_len as u32 - 1,
+                src_rev: true,
+                dst_rev: true,
+                suffix: stride as u32,
+            };
+            triples.push((i as u32, j as u32, fwd));
+            triples.push((j as u32, i as u32, bwd));
+        }
+        let dcsc = Dcsc::from_triples(n, n, triples, |_, _| unreachable!());
+        let graph = LocalGraph { global_ids: (0..n as u64).collect(), csc: dcsc.to_csc() };
+        let (with_cycles, stats) =
+            local_assembly(&graph, &store, &AssemblyConfig { emit_cycles: true });
+        assert_eq!(stats.cycles, 1);
+        assert!(with_cycles[0].circular);
+        let (without, stats2) =
+            local_assembly(&graph, &store, &AssemblyConfig { emit_cycles: false });
+        assert!(without.is_empty());
+        assert_eq!(stats2.contigs, 0);
+    }
+
+    #[test]
+    fn empty_graph_produces_nothing() {
+        let graph = LocalGraph { global_ids: Vec::new(), csc: Csc::empty(0, 0) };
+        let store = ReadStore::empty(0);
+        let (contigs, stats) = local_assembly(&graph, &store, &AssemblyConfig::default());
+        assert!(contigs.is_empty());
+        assert_eq!(stats.contigs, 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The induced subgraph function (§4.3) — line 5 of Algorithm 2.
+//!
+//! Given the unbranched string matrix `L`, the component labels `v`, and
+//! the contig→processor assignment, every rank must end up with the local
+//! adjacency matrix `L(Pᵢ)` of exactly the contigs assigned to it.
+//!
+//! The communication follows the paper's Fig. 2: each rank learns `v[u]`
+//! and `v[w]` for every local nonzero `(u, w)` through an allgather over
+//! the grid-row communicator plus a point-to-point exchange with the
+//! transposed rank ([`DistVec::fetch_aligned`]); each edge triple
+//! `(u, w, S(u,w))` is then routed to its owner with a custom all-to-all.
+//! The local block is re-indexed to its new, smaller size while keeping
+//! "a map of the original global vertex indices" (`global_ids`), and —
+//! per §4.4 — handed to local assembly in CSC form (built through the
+//! DCSC→CSC expansion the paper describes).
+
+use std::collections::HashMap;
+
+use elba_align::SgEdge;
+use elba_comm::ProcGrid;
+use elba_sparse::{Csc, Dcsc, DistMat, DistVec};
+
+/// A rank-local induced subgraph: one or more whole linear components.
+#[derive(Debug, Clone)]
+pub struct LocalGraph {
+    /// Sorted original global vertex ids; position = local index.
+    pub global_ids: Vec<u64>,
+    /// Symmetric local adjacency in the paper's CSC form (`JC`/`IR`/`VAL`).
+    pub csc: Csc<SgEdge>,
+}
+
+impl LocalGraph {
+    pub fn n_vertices(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    pub fn n_edges(&self) -> usize {
+        self.csc.nnz()
+    }
+
+    /// Local index of a global vertex id.
+    pub fn local_of(&self, global: u64) -> Option<usize> {
+        self.global_ids.binary_search(&global).ok()
+    }
+}
+
+/// Build each rank's induced subgraph (collective).
+///
+/// `owner_of_label` maps a component label to the rank that will assemble
+/// it (components absent from the map — e.g. singletons — are dropped).
+pub fn induced_subgraph(
+    grid: &ProcGrid,
+    l: &DistMat<SgEdge>,
+    labels: &DistVec<u64>,
+    owner_of_label: &HashMap<u64, usize>,
+) -> LocalGraph {
+    let p = grid.world().size();
+    // Fig. 2 exchange: v restricted to the local block's row/col ranges.
+    let (row_labels, col_labels) = labels.fetch_aligned(grid);
+    let (row0, col0) = l.local_offsets(grid);
+    let mut outgoing: Vec<Vec<(u64, u64, SgEdge)>> = vec![Vec::new(); p];
+    for (u, w, edge) in l.iter_global(grid) {
+        let label_u = row_labels[u as usize - row0];
+        let label_w = col_labels[w as usize - col0];
+        debug_assert_eq!(
+            label_u, label_w,
+            "edge ({u},{w}) spans two components — CC must have failed"
+        );
+        if let Some(&dest) = owner_of_label.get(&label_u) {
+            outgoing[dest].push((u, w, *edge));
+        }
+    }
+    let incoming = grid.world().alltoallv(outgoing);
+
+    // Re-index to the new, smaller size, keeping the global-id map.
+    let mut edges: Vec<(u64, u64, SgEdge)> = incoming.into_iter().flatten().collect();
+    let mut global_ids: Vec<u64> =
+        edges.iter().flat_map(|&(u, w, _)| [u, w]).collect();
+    global_ids.sort_unstable();
+    global_ids.dedup();
+    let local_of: HashMap<u64, u32> =
+        global_ids.iter().enumerate().map(|(i, &g)| (g, i as u32)).collect();
+    let n = global_ids.len();
+    let triples: Vec<(u32, u32, SgEdge)> = edges
+        .drain(..)
+        .map(|(u, w, e)| (local_of[&u], local_of[&w], e))
+        .collect();
+    // DCSC is the storage format of the earlier pipeline stages; convert
+    // to CSC for the traversal (§4.4's linear-time uncompression).
+    let dcsc = Dcsc::from_triples(n, n, triples, |_, duplicate| {
+        // The same directed edge can only arrive once (it had one owner
+        // block); tolerate exact duplicates defensively.
+        let _ = duplicate;
+    });
+    LocalGraph { global_ids, csc: dcsc.to_csc() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elba_comm::Cluster;
+
+    fn edge(suffix: u32) -> SgEdge {
+        SgEdge { pre: 0, post: 0, src_rev: false, dst_rev: false, suffix }
+    }
+
+    /// Two chains 0-1-2 and 3-4; labels = min id; chain 0 → rank 0,
+    /// chain 3 → last rank.
+    fn setup(grid: &ProcGrid) -> (DistMat<SgEdge>, DistVec<u64>, HashMap<u64, usize>) {
+        let chain_edges: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (3, 4)];
+        let triples: Vec<(u64, u64, SgEdge)> = if grid.world().rank() == 0 {
+            chain_edges
+                .iter()
+                .flat_map(|&(a, b)| [(a, b, edge(1)), (b, a, edge(2))])
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let l = DistMat::from_triples(grid, 5, 5, triples, |_, _| unreachable!());
+        let label_data: Vec<u64> = vec![0, 0, 0, 3, 3];
+        let labels = DistVec::from_global(grid, &label_data);
+        let mut owners = HashMap::new();
+        owners.insert(0u64, 0usize);
+        owners.insert(3u64, grid.world().size() - 1);
+        (l, labels, owners)
+    }
+
+    #[test]
+    fn components_land_whole_on_their_owner() {
+        for p in [1usize, 4, 9] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let (l, labels, owners) = setup(&grid);
+                let local = induced_subgraph(&grid, &l, &labels, &owners);
+                (grid.world().rank(), local.global_ids.clone(), local.n_edges())
+            });
+            let last = p - 1;
+            for (rank, ids, nedges) in &out {
+                if p == 1 {
+                    assert_eq!(ids, &vec![0, 1, 2, 3, 4]);
+                    assert_eq!(*nedges, 6);
+                } else if *rank == 0 {
+                    assert_eq!(ids, &vec![0, 1, 2], "p={p}");
+                    assert_eq!(*nedges, 4);
+                } else if *rank == last {
+                    assert_eq!(ids, &vec![3, 4], "p={p}");
+                    assert_eq!(*nedges, 2);
+                } else {
+                    assert!(ids.is_empty(), "p={p} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_reindexing_preserves_edge_payloads() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let (l, labels, owners) = setup(&grid);
+            let local = induced_subgraph(&grid, &l, &labels, &owners);
+            if grid.world().rank() == 0 {
+                // vertex 1 is local index 1; its column must hold edges
+                // from 0 and 2 with the payloads we created.
+                let i0 = local.local_of(0).expect("vertex 0 present");
+                let i1 = local.local_of(1).expect("vertex 1 present");
+                let e01 = local.csc.get(i0, i1).expect("edge 0->1 stored");
+                Some((local.csc.degree(i1), e01.suffix))
+            } else {
+                None
+            }
+        });
+        assert_eq!(out[0], Some((2, 1)));
+    }
+
+    #[test]
+    fn unassigned_components_are_dropped() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let (l, labels, mut owners) = setup(&grid);
+            owners.remove(&3); // second chain unassigned
+            let local = induced_subgraph(&grid, &l, &labels, &owners);
+            (grid.world().rank(), local.global_ids.clone())
+        });
+        for (rank, ids) in &out {
+            if *rank == 0 {
+                assert_eq!(ids, &vec![0, 1, 2]);
+            } else {
+                assert!(ids.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_match_paper_walk_precondition() {
+        // After induction, every component must have exactly two degree-1
+        // vertices (the roots) — the local-assembly invariant.
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let (l, labels, owners) = setup(&grid);
+            let local = induced_subgraph(&grid, &l, &labels, &owners);
+            let roots = (0..local.n_vertices())
+                .filter(|&j| local.csc.degree(j) == 1)
+                .count();
+            (grid.world().rank(), local.n_vertices(), roots)
+        });
+        assert_eq!(out[0].2, 2); // chain of 3: two roots
+        assert_eq!(out[3].2, 2); // chain of 2: both are roots
+    }
+}

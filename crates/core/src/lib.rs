@@ -1,0 +1,33 @@
+//! # elba-core — distributed contig generation (the ELBA contribution)
+//!
+//! Implementation of Algorithms 1 and 2 of *Distributed-Memory Parallel
+//! Contig Generation for De Novo Long-Read Genome Assembly* (ICPP 2022):
+//!
+//! * [`partition`] — LPT multiway number partitioning for contig load
+//!   balancing (plus the ablation baselines),
+//! * [`lacc`] — distributed connected components (Awerbuch–Shiloach
+//!   family, FastSV formulation) over the unbranched string matrix,
+//! * [`induced`] — the induced subgraph function with the Fig. 2
+//!   row-allgather + transposed-p2p exchange and the custom all-to-all
+//!   edge routing,
+//! * [`assembly`] — per-rank linear-walk local assembly with the paper's
+//!   `pre`/`post` concatenation over packed read buffers,
+//! * [`contig`] — Algorithm 2 end-to-end (`ContigGeneration`),
+//! * [`pipeline`] — Algorithm 1 end-to-end (`ELBA`), with the paper's
+//!   phase names for profiling.
+
+pub mod assembly;
+pub mod contig;
+pub mod induced;
+pub mod lacc;
+pub mod partition;
+pub mod pipeline;
+pub mod scaffold;
+
+pub use assembly::{local_assembly, AssemblyConfig, AssemblyStats, Contig};
+pub use contig::{contig_generation, gather_contigs, ContigConfig, ContigStats};
+pub use induced::{induced_subgraph, LocalGraph};
+pub use lacc::{connected_components, ComponentLabels, UnionFind};
+pub use partition::{partition, PartitionStrategy, Partitioning};
+pub use pipeline::{assemble, assemble_gathered, PipelineConfig, PipelineResult};
+pub use scaffold::{scaffold_contigs, scaffold_distributed, ScaffoldConfig, ScaffoldStats};

@@ -1,0 +1,304 @@
+//! The end-to-end ELBA pipeline (Algorithm 1): k-mer counting, sparse
+//! overlap detection, x-drop alignment, transitive reduction, and the
+//! contig generation of Algorithm 2. Phases carry the paper's Fig. 5
+//! names (`CountKmer`, `DetectOverlap`, `Alignment`, `TrReduction`,
+//! `ExtractContig`) so a profiled run yields the breakdown figures
+//! directly.
+
+use elba_comm::ProcGrid;
+use elba_graph::{
+    align_and_classify, candidate_matrix, overlap_graph, symmetrize, transitive_reduction,
+    AlignStats, OverlapConfig, ReductionStats,
+};
+use elba_seq::{build_a_triples, count_kmers, AEntry, DatasetSpec, KmerConfig, ReadStore, Seq};
+use elba_sparse::DistMat;
+
+use crate::assembly::Contig;
+use crate::contig::{contig_generation, gather_contigs, ContigConfig, ContigStats};
+
+/// All pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    pub kmer: KmerConfig,
+    pub overlap: OverlapConfig,
+    /// Overhang fuzz for transitive reduction.
+    pub tr_fuzz: u32,
+    pub tr_max_iters: usize,
+    pub contig: ContigConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            kmer: KmerConfig::default(),
+            overlap: OverlapConfig::default(),
+            tr_fuzz: 400,
+            tr_max_iters: 10,
+            contig: ContigConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Parameters for a simulated dataset: the paper's `k` and x-drop
+    /// values, with alignment thresholds scaled to the dataset's read
+    /// length and error rate.
+    pub fn for_dataset(spec: &DatasetSpec) -> Self {
+        let high_error = spec.reads.error_rate > 0.05;
+        let mean_len = spec.reads.mean_len as f64;
+        let min_overlap = (mean_len * 0.05) as usize;
+        PipelineConfig {
+            kmer: KmerConfig {
+                k: spec.k,
+                reliable_min: 2,
+                // repeats at ~depth× multiplicity; allow a generous band
+                reliable_max: (spec.reads.depth * 8.0) as u32,
+            },
+            overlap: OverlapConfig {
+                k: spec.k,
+                xdrop: spec.xdrop,
+                scoring: elba_align::Scoring::default(),
+                min_shared_kmers: 1,
+                min_overlap,
+                min_score_ratio: if high_error { 0.25 } else { 0.7 },
+                // x-drop stops earlier on noisy data → larger overhangs
+                fuzz: if high_error { (mean_len * 0.25) as usize } else { (mean_len * 0.05) as usize },
+            },
+            tr_fuzz: if high_error { (mean_len * 0.3) as u32 } else { (mean_len * 0.1) as u32 },
+            tr_max_iters: 10,
+            contig: ContigConfig::default(),
+        }
+    }
+}
+
+/// Everything a pipeline run reports.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// Contigs assembled by *this rank*.
+    pub local_contigs: Vec<Contig>,
+    pub n_reads: usize,
+    pub n_reliable_kmers: u64,
+    pub candidate_nnz: u64,
+    pub string_graph_nnz: u64,
+    pub align_stats: AlignStats,
+    pub reduction_stats: ReductionStats,
+    pub contig_stats: ContigStats,
+}
+
+/// Run Algorithm 1 on a replicated read set (each rank passes the same
+/// slice; the store keeps only the rank's block). Collective.
+pub fn assemble(grid: &ProcGrid, reads: &[Seq], cfg: &PipelineConfig) -> PipelineResult {
+    let world = grid.world();
+    let n_reads = reads.len();
+    let store = ReadStore::from_replicated(grid, reads);
+
+    // CountKmer: reliable k-mer table (Algorithm 1, line 3).
+    let table = {
+        let _g = world.phase("CountKmer");
+        count_kmers(grid, &store, &cfg.kmer)
+    };
+
+    // DetectOverlap: A, Aᵀ, candidate matrix C = AAᵀ (lines 4–6).
+    let c = {
+        let _g = world.phase("DetectOverlap");
+        let triples = build_a_triples(grid, &store, &table);
+        let a = DistMat::from_triples(
+            grid,
+            n_reads,
+            table.n_global as usize,
+            triples,
+            |acc: &mut AEntry, v| {
+                if v.pos < acc.pos {
+                    *acc = v;
+                }
+            },
+        );
+        candidate_matrix(grid, &a, &cfg.overlap)
+    };
+    let candidate_nnz = c.nnz_global(grid);
+
+    // Alignment: x-drop + classification + pruning (lines 7–9).
+    let (r, align_stats) = {
+        let _g = world.phase("Alignment");
+        let (triples, contained, align_stats) = align_and_classify(grid, &c, &store, &cfg.overlap);
+        (overlap_graph(grid, n_reads, triples, &contained), align_stats)
+    };
+
+    // TrReduction: R → S (line 10).
+    let (s, reduction_stats) = {
+        let _g = world.phase("TrReduction");
+        let (s, stats) = transitive_reduction(grid, r, cfg.tr_fuzz, cfg.tr_max_iters);
+        (symmetrize(grid, s), stats)
+    };
+    let string_graph_nnz = s.nnz_global(grid);
+
+    // ExtractContig: Algorithm 2 (line 11).
+    let (local_contigs, contig_stats) = {
+        let _g = world.phase("ExtractContig");
+        contig_generation(grid, &s, &store, &cfg.contig)
+    };
+
+    PipelineResult {
+        local_contigs,
+        n_reads,
+        n_reliable_kmers: table.n_global,
+        candidate_nnz,
+        string_graph_nnz,
+        align_stats,
+        reduction_stats,
+        contig_stats,
+    }
+}
+
+/// [`assemble`] + gather: returns the full contig set on every rank.
+pub fn assemble_gathered(
+    grid: &ProcGrid,
+    reads: &[Seq],
+    cfg: &PipelineConfig,
+) -> (Vec<Contig>, PipelineResult) {
+    let result = assemble(grid, reads, cfg);
+    let contigs = gather_contigs(grid, &result.local_contigs);
+    (contigs, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elba_comm::Cluster;
+    use elba_seq::sim::{random_genome, simulate_reads, GenomeConfig, ReadSimConfig};
+
+    fn small_cfg(k: usize) -> PipelineConfig {
+        PipelineConfig {
+            kmer: KmerConfig { k, reliable_min: 2, reliable_max: 60 },
+            overlap: OverlapConfig {
+                k,
+                xdrop: 15,
+                scoring: elba_align::Scoring::default(),
+                min_shared_kmers: 1,
+                min_overlap: 100,
+                min_score_ratio: 0.55,
+                fuzz: 60,
+            },
+            tr_fuzz: 150,
+            tr_max_iters: 10,
+            contig: ContigConfig::default(),
+        }
+    }
+
+    #[test]
+    fn error_free_dataset_assembles_most_of_genome() {
+        for p in [1usize, 4] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let genome = random_genome(&GenomeConfig {
+                    length: 8_000,
+                    repeat_fraction: 0.0,
+                    repeat_unit_len: 0,
+                    repeat_divergence: 0.0,
+                    seed: 61,
+                });
+                let reads: Vec<Seq> = simulate_reads(
+                    &genome,
+                    &ReadSimConfig {
+                        depth: 12.0,
+                        mean_len: 1_200,
+                        min_len: 600,
+                        error_rate: 0.0,
+                        seed: 62,
+                    },
+                )
+                .into_iter()
+                .map(|r| r.seq)
+                .collect();
+                let (contigs, result) = assemble_gathered(&grid, &reads, &small_cfg(17));
+                let longest = contigs.first().map_or(0, |c| c.seq.len());
+                (longest, contigs.len(), result.contig_stats.n_components, genome.len())
+            });
+            let (longest, n_contigs, _components, genome_len) = out[0];
+            assert!(n_contigs >= 1, "p={p}");
+            assert!(
+                longest as f64 >= 0.5 * genome_len as f64,
+                "p={p}: longest contig {longest} vs genome {genome_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn results_identical_across_rank_counts() {
+        let mut all: Vec<Vec<String>> = Vec::new();
+        for p in [1usize, 4] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let genome = random_genome(&GenomeConfig {
+                    length: 5_000,
+                    repeat_fraction: 0.0,
+                    repeat_unit_len: 0,
+                    repeat_divergence: 0.0,
+                    seed: 71,
+                });
+                let reads: Vec<Seq> = simulate_reads(
+                    &genome,
+                    &ReadSimConfig {
+                        depth: 10.0,
+                        mean_len: 1_000,
+                        min_len: 500,
+                        error_rate: 0.0,
+                        seed: 72,
+                    },
+                )
+                .into_iter()
+                .map(|r| r.seq)
+                .collect();
+                let (contigs, _) = assemble_gathered(&grid, &reads, &small_cfg(17));
+                contigs
+                    .iter()
+                    .map(|c| {
+                        let f = c.seq.to_string();
+                        let r = c.seq.reverse_complement().to_string();
+                        if f <= r {
+                            f
+                        } else {
+                            r
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+            all.push(out.into_iter().next().expect("rank 0"));
+        }
+        assert_eq!(all[0], all[1], "contig sets must not depend on P");
+    }
+
+    #[test]
+    fn noisy_reads_still_produce_contigs() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let genome = random_genome(&GenomeConfig {
+                length: 6_000,
+                repeat_fraction: 0.0,
+                repeat_unit_len: 0,
+                repeat_divergence: 0.0,
+                seed: 81,
+            });
+            let reads: Vec<Seq> = simulate_reads(
+                &genome,
+                &ReadSimConfig {
+                    depth: 15.0,
+                    mean_len: 1_200,
+                    min_len: 600,
+                    error_rate: 0.005,
+                    seed: 82,
+                },
+            )
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
+            let (contigs, result) = assemble_gathered(&grid, &reads, &small_cfg(17));
+            let total: usize = contigs.iter().map(|c| c.seq.len()).sum();
+            (contigs.len(), total, result.align_stats.dovetails)
+        });
+        let (n, total_bases, dovetails) = out[0];
+        assert!(n >= 1);
+        assert!(dovetails > 0);
+        assert!(total_bases >= 3_000, "assembled {total_bases} bases");
+    }
+}

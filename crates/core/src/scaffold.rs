@@ -1,0 +1,351 @@
+//! Contig scaffolding — the paper's §7 future work: "One possibility is
+//! to once again use the sparse matrix abstraction to find similarities
+//! within the contig set and obtain even longer sequences."
+//!
+//! This module implements exactly that loop: treat the contig set as a
+//! new read set, rerun reliable-k-mer overlap detection and x-drop
+//! alignment *on the contigs*, keep dovetail joins, and walk the
+//! resulting (branch-masked) contig-of-contigs graph with the same
+//! `pre`/`post` machinery as local assembly. Because the contig set is
+//! orders of magnitude smaller than the read set, one serial pass per
+//! rank-0 suffices (mirroring the paper's single-rank LPT argument); the
+//! distributed entry point gathers contigs, scaffolds once, and
+//! broadcasts the result.
+
+use std::collections::HashMap;
+
+use elba_align::{classify, extend_seed, OverlapAln, OverlapClass, Scoring, SgEdge};
+use elba_comm::ProcGrid;
+use elba_seq::kmer::canonical_kmers;
+use elba_seq::{ReadStore, Seq};
+use elba_sparse::Dcsc;
+
+use crate::assembly::{local_assembly, AssemblyConfig, Contig};
+use crate::induced::LocalGraph;
+
+/// Scaffolding parameters.
+#[derive(Debug, Clone)]
+pub struct ScaffoldConfig {
+    /// Seed k-mer length for contig-vs-contig overlap detection.
+    pub k: usize,
+    pub xdrop: i32,
+    pub scoring: Scoring,
+    /// Minimum end-overlap between two contigs to join them.
+    pub min_overlap: usize,
+    /// Score/span acceptance ratio (as in the pipeline).
+    pub min_score_ratio: f64,
+    /// Classification fuzz.
+    pub fuzz: usize,
+}
+
+impl Default for ScaffoldConfig {
+    fn default() -> Self {
+        ScaffoldConfig {
+            k: 31,
+            xdrop: 20,
+            scoring: Scoring::default(),
+            min_overlap: 150,
+            min_score_ratio: 0.6,
+            fuzz: 100,
+        }
+    }
+}
+
+/// Outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScaffoldStats {
+    pub input_contigs: usize,
+    pub joins: usize,
+    pub output_scaffolds: usize,
+    pub contained_dropped: usize,
+}
+
+/// Serial scaffolding pass over a contig set.
+pub fn scaffold_contigs(contigs: &[Seq], cfg: &ScaffoldConfig) -> (Vec<Seq>, ScaffoldStats) {
+    let n = contigs.len();
+    let mut stats = ScaffoldStats { input_contigs: n, ..Default::default() };
+    if n == 0 {
+        return (Vec::new(), stats);
+    }
+    // Seed index over contig ends — k-mers occurring in exactly two
+    // contigs are join candidates (a contig-end k-mer shared by three is
+    // a repeat and would create a branch anyway).
+    let mut index: HashMap<u64, Vec<(u32, u32, bool)>> = HashMap::new();
+    for (cid, contig) in contigs.iter().enumerate() {
+        let mut seen: HashMap<u64, ()> = HashMap::new();
+        for hit in canonical_kmers(contig, cfg.k) {
+            if seen.insert(hit.kmer, ()).is_none() {
+                index.entry(hit.kmer).or_default().push((cid as u32, hit.pos, hit.fwd));
+            }
+        }
+    }
+    let mut pair_seed: HashMap<(u32, u32), (u32, u32, bool)> = HashMap::new();
+    for occurrences in index.into_values() {
+        if occurrences.len() != 2 {
+            continue;
+        }
+        let (a, b) = (occurrences[0], occurrences[1]);
+        if a.0 == b.0 {
+            continue;
+        }
+        let (u, v) = if a.0 < b.0 { (a, b) } else { (b, a) };
+        pair_seed.entry((u.0, v.0)).or_insert((u.1, v.1, u.2 == v.2));
+    }
+
+    // Align candidate pairs, keep dovetail joins.
+    let mut contained = vec![false; n];
+    let mut edges: Vec<(u32, u32, SgEdge)> = Vec::new();
+    let mut pairs: Vec<((u32, u32), (u32, u32, bool))> = pair_seed.into_iter().collect();
+    pairs.sort_unstable_by_key(|&(key, _)| key);
+    for ((u, v), (pos_u, pos_v, same_strand)) in pairs {
+        let cu = &contigs[u as usize];
+        let cv = &contigs[v as usize];
+        let aln = if same_strand {
+            if pos_u as usize + cfg.k > cu.len() || pos_v as usize + cfg.k > cv.len() {
+                continue;
+            }
+            let aln = extend_seed(
+                cu.codes(),
+                cv.codes(),
+                pos_u as usize,
+                pos_v as usize,
+                cfg.k,
+                cfg.xdrop,
+                cfg.scoring,
+            );
+            OverlapAln::from_seed(aln, false, cu.len(), cv.len())
+        } else {
+            let w = cv.reverse_complement();
+            let w_pos = cv.len() - pos_v as usize - cfg.k;
+            if pos_u as usize + cfg.k > cu.len() || w_pos + cfg.k > w.len() {
+                continue;
+            }
+            let aln = extend_seed(
+                cu.codes(),
+                w.codes(),
+                pos_u as usize,
+                w_pos,
+                cfg.k,
+                cfg.xdrop,
+                cfg.scoring,
+            );
+            OverlapAln::from_seed(aln, true, cu.len(), cv.len())
+        };
+        match classify(&aln, cfg.fuzz) {
+            OverlapClass::ContainedU => contained[u as usize] = true,
+            OverlapClass::ContainedV => contained[v as usize] = true,
+            OverlapClass::Internal => {}
+            OverlapClass::Dovetail { fwd, bwd } => {
+                let score_ok = aln.score as f64 >= cfg.min_score_ratio * aln.span() as f64;
+                if aln.span() >= cfg.min_overlap && score_ok {
+                    edges.push((u, v, fwd));
+                    edges.push((v, u, bwd));
+                }
+            }
+        }
+    }
+    stats.contained_dropped = contained.iter().filter(|&&c| c).count();
+    edges.retain(|&(u, v, _)| !contained[u as usize] && !contained[v as usize]);
+
+    // Branch masking on the contig graph, then the standard linear walk.
+    let mut degree = vec![0usize; n];
+    for &(u, _, _) in &edges {
+        degree[u as usize] += 1;
+    }
+    edges.retain(|&(u, v, _)| degree[u as usize] <= 2 && degree[v as usize] <= 2);
+    stats.joins = edges.len() / 2;
+
+    let mut store = ReadStore::empty(n);
+    for (cid, contig) in contigs.iter().enumerate() {
+        store.push(cid as u64, contig.codes());
+    }
+    let joined_ids: std::collections::HashSet<u32> =
+        edges.iter().map(|&(u, _, _)| u).collect();
+    let dcsc = Dcsc::from_triples(n, n, edges, |_, _| {});
+    let graph = LocalGraph { global_ids: (0..n as u64).collect(), csc: dcsc.to_csc() };
+    let (walked, _) = local_assembly(&graph, &store, &AssemblyConfig { emit_cycles: true });
+
+    // Scaffolds = walked chains + untouched (unjoined, uncontained) contigs.
+    let mut out: Vec<Seq> = walked.into_iter().map(|c| c.seq).collect();
+    for cid in 0..n {
+        if !joined_ids.contains(&(cid as u32)) && !contained[cid] {
+            out.push(contigs[cid].clone());
+        }
+    }
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.codes().cmp(b.codes())));
+    stats.output_scaffolds = out.len();
+    (out, stats)
+}
+
+/// Distributed entry point: gather the contig set, scaffold on rank 0,
+/// broadcast the scaffolds (collective). The contig set is small (§4.3's
+/// n ≪ reads argument), so this mirrors the paper's single-rank LPT.
+pub fn scaffold_distributed(
+    grid: &ProcGrid,
+    local_contigs: &[Contig],
+    cfg: &ScaffoldConfig,
+) -> (Vec<Seq>, ScaffoldStats) {
+    let packed: Vec<Vec<u8>> = local_contigs.iter().map(|c| c.seq.codes().to_vec()).collect();
+    let gathered = grid.world().gather(0, packed);
+    let result = gathered.map(|all| {
+        let contigs: Vec<Seq> =
+            all.into_iter().flatten().map(Seq::from_codes).collect();
+        let (scaffolds, stats) = scaffold_contigs(&contigs, cfg);
+        let packed: Vec<Vec<u8>> = scaffolds.iter().map(|s| s.codes().to_vec()).collect();
+        (
+            packed,
+            vec![
+                stats.input_contigs as u64,
+                stats.joins as u64,
+                stats.output_scaffolds as u64,
+                stats.contained_dropped as u64,
+            ],
+        )
+    });
+    let (packed, stats_vec) = match result {
+        Some((p, s)) => (Some(p), Some(s)),
+        None => (None, None),
+    };
+    let packed = grid.world().bcast(0, packed);
+    let stats_vec = grid.world().bcast(0, stats_vec);
+    let scaffolds = packed.into_iter().map(Seq::from_codes).collect();
+    let stats = ScaffoldStats {
+        input_contigs: stats_vec[0] as usize,
+        joins: stats_vec[1] as usize,
+        output_scaffolds: stats_vec[2] as usize,
+        contained_dropped: stats_vec[3] as usize,
+    };
+    (scaffolds, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elba_comm::Cluster;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn genome(len: usize, seed: u64) -> Seq {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Seq::from_codes((0..len).map(|_| rng.gen_range(0..4u8)).collect())
+    }
+
+    fn cfg() -> ScaffoldConfig {
+        ScaffoldConfig { k: 15, min_overlap: 50, ..Default::default() }
+    }
+
+    #[test]
+    fn two_overlapping_contigs_merge() {
+        let g = genome(2_000, 1);
+        let contigs = vec![g.substring(0, 1_100), g.substring(1_000, 2_000)];
+        let (scaffolds, stats) = scaffold_contigs(&contigs, &cfg());
+        assert_eq!(stats.joins, 1);
+        assert_eq!(scaffolds.len(), 1);
+        assert!(
+            scaffolds[0] == g || scaffolds[0] == g.reverse_complement(),
+            "scaffold len {} vs genome {}",
+            scaffolds[0].len(),
+            g.len()
+        );
+    }
+
+    #[test]
+    fn reverse_complement_contig_still_joins() {
+        let g = genome(2_000, 2);
+        let contigs =
+            vec![g.substring(0, 1_100), g.substring(1_000, 2_000).reverse_complement()];
+        let (scaffolds, stats) = scaffold_contigs(&contigs, &cfg());
+        assert_eq!(stats.joins, 1);
+        assert_eq!(scaffolds.len(), 1);
+        assert!(scaffolds[0] == g || scaffolds[0] == g.reverse_complement());
+    }
+
+    #[test]
+    fn chain_of_three_contigs() {
+        let g = genome(3_000, 3);
+        let contigs = vec![
+            g.substring(0, 1_200),
+            g.substring(1_100, 2_200),
+            g.substring(2_100, 3_000),
+        ];
+        let (scaffolds, stats) = scaffold_contigs(&contigs, &cfg());
+        assert_eq!(stats.joins, 2);
+        assert_eq!(scaffolds.len(), 1);
+        assert_eq!(scaffolds[0].len(), 3_000);
+    }
+
+    #[test]
+    fn disjoint_contigs_pass_through() {
+        let a = genome(1_000, 4);
+        let b = genome(1_000, 5);
+        let (scaffolds, stats) = scaffold_contigs(&[a.clone(), b.clone()], &cfg());
+        assert_eq!(stats.joins, 0);
+        assert_eq!(scaffolds.len(), 2);
+        assert!(scaffolds.contains(&a) && scaffolds.contains(&b));
+    }
+
+    #[test]
+    fn contained_contig_is_absorbed() {
+        let g = genome(2_000, 6);
+        let contigs = vec![g.clone(), g.substring(500, 1_200)];
+        let (scaffolds, stats) = scaffold_contigs(&contigs, &cfg());
+        assert_eq!(stats.contained_dropped, 1);
+        assert_eq!(scaffolds.len(), 1);
+        assert_eq!(scaffolds[0], g);
+    }
+
+    #[test]
+    fn branching_join_is_masked() {
+        // contig 0 overlaps both 1 and 2 at the same end region → degree 3
+        // on 0 after symmetric edges; branch masking must avoid a chimeric
+        // join (0 keeps at most a linear chain).
+        let g = genome(3_000, 7);
+        let shared = g.substring(900, 1_200);
+        let mut c1 = g.substring(0, 1_200); // ends with `shared`
+        let mut c2 = shared.clone();
+        c2.extend_from(&genome(800, 8)); // divergent continuation A
+        let mut c3 = shared.clone();
+        c3.extend_from(&genome(800, 9)); // divergent continuation B
+        let _ = &mut c1;
+        let (scaffolds, _stats) = scaffold_contigs(&[c1, c2, c3], &cfg());
+        // no scaffold may be longer than a single valid join
+        assert!(scaffolds.len() >= 2, "branch must prevent a 3-way merge");
+    }
+
+    #[test]
+    fn empty_input() {
+        let (scaffolds, stats) = scaffold_contigs(&[], &cfg());
+        assert!(scaffolds.is_empty());
+        assert_eq!(stats.output_scaffolds, 0);
+    }
+
+    #[test]
+    fn distributed_matches_serial() {
+        let g = genome(2_400, 10);
+        let pieces = [
+            g.substring(0, 900),
+            g.substring(800, 1_700),
+            g.substring(1_600, 2_400),
+        ];
+        let (serial, serial_stats) = scaffold_contigs(&pieces, &cfg());
+        let pieces_in = pieces.to_vec();
+        let (dist, dist_stats) = Cluster::run(4, move |comm| {
+            let grid = ProcGrid::new(comm);
+            // distribute pieces: rank r holds piece r (if any)
+            let local: Vec<Contig> = pieces_in
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i % 4 == grid.world().rank())
+                .map(|(i, seq)| Contig {
+                    seq: seq.clone(),
+                    read_ids: vec![i as u64],
+                    circular: false,
+                })
+                .collect();
+            scaffold_distributed(&grid, &local, &cfg())
+        })
+        .remove(0);
+        assert_eq!(dist_stats, serial_stats);
+        assert_eq!(dist, serial);
+    }
+}

@@ -1,0 +1,24 @@
+//! # elba-graph — overlap graph construction and layout for ELBA-RS
+//!
+//! The `O` and `L` of the OLC pipeline, as diBELLA 2D / ELBA formulate
+//! them in sparse linear algebra:
+//!
+//! * [`semirings`] — the BELLA overlap-detection semiring (shared-k-mer
+//!   counting with ≤2 retained seeds) and the direction-aware min-plus
+//!   semiring driving transitive reduction,
+//! * [`overlap_stage`] — `C = AAᵀ` over SUMMA, x-drop alignment of every
+//!   candidate pair, classification into containment / internal /
+//!   dovetail, and assembly of the symmetric overlap matrix `R` with
+//!   contained reads pruned,
+//! * [`reduction`] — bidirected transitive reduction of `R` into the
+//!   string matrix `S` (plus a structural symmetrization pass).
+
+pub mod overlap_stage;
+pub mod reduction;
+pub mod semirings;
+
+pub use overlap_stage::{
+    align_and_classify, align_pair, candidate_matrix, overlap_graph, AlignStats, OverlapConfig,
+};
+pub use reduction::{symmetrize, transitive_reduction, ReductionStats};
+pub use semirings::{dir_index, MinPlusDir, OverlapSemiring, ReductionSemiring, Seed, SharedSeeds};

@@ -1,0 +1,388 @@
+//! Overlap detection (`DetectOverlap`) and pairwise alignment
+//! (`Alignment`) — lines 4–9 of the paper's Algorithm 1.
+//!
+//! `C = AAᵀ` is computed with the BELLA semiring over the distributed
+//! SUMMA SpGEMM, pruned to the strict upper triangle (each read pair is
+//! aligned once; the mirrored string-graph edge is emitted analytically).
+//! Every surviving nonzero is x-drop aligned from its retained seeds and
+//! classified into containment / internal / dovetail; containments feed
+//! the `IsContainedRead` prune, dovetails become the symmetric pair of
+//! directed edges of the overlap matrix `R`.
+
+use elba_align::{classify, extend_seed, OverlapAln, OverlapClass, Scoring, SgEdge};
+use elba_comm::ProcGrid;
+use elba_seq::{AEntry, ReadStore};
+use elba_sparse::{DistMat, DistVec};
+
+use crate::semirings::{OverlapSemiring, SharedSeeds};
+
+/// Parameters of the overlap + alignment stage.
+#[derive(Debug, Clone)]
+pub struct OverlapConfig {
+    pub k: usize,
+    pub xdrop: i32,
+    pub scoring: Scoring,
+    /// Minimum shared k-mers for a candidate pair to be aligned.
+    pub min_shared_kmers: u32,
+    /// Minimum aligned span for a dovetail edge to survive.
+    pub min_overlap: usize,
+    /// Minimum alignment score as a fraction of the aligned span — the
+    /// paper's `AlignmentScoreLessThan(t)` prune. Rejects spurious
+    /// alignments seeded by coincidental shared k-mers (score ≈ 0 over a
+    /// long "span") while keeping genuine noisy overlaps.
+    pub min_score_ratio: f64,
+    /// Overhang tolerance when classifying (x-drop may stop early).
+    pub fuzz: usize,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        OverlapConfig {
+            k: 31,
+            xdrop: 15,
+            scoring: Scoring::default(),
+            min_shared_kmers: 1,
+            min_overlap: 500,
+            min_score_ratio: 0.55,
+            fuzz: 200,
+        }
+    }
+}
+
+/// Counters reported by the alignment stage (for Fig. 5-style tables).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlignStats {
+    pub candidate_pairs: u64,
+    pub aligned_pairs: u64,
+    pub dovetails: u64,
+    pub contained: u64,
+    pub internal: u64,
+    pub rejected: u64,
+}
+
+impl AlignStats {
+    fn merge(self, other: AlignStats) -> AlignStats {
+        AlignStats {
+            candidate_pairs: self.candidate_pairs + other.candidate_pairs,
+            aligned_pairs: self.aligned_pairs + other.aligned_pairs,
+            dovetails: self.dovetails + other.dovetails,
+            contained: self.contained + other.contained,
+            internal: self.internal + other.internal,
+            rejected: self.rejected + other.rejected,
+        }
+    }
+
+    pub fn allreduce(self, grid: &ProcGrid) -> AlignStats {
+        let v = vec![
+            self.candidate_pairs,
+            self.aligned_pairs,
+            self.dovetails,
+            self.contained,
+            self.internal,
+            self.rejected,
+        ];
+        let merged = grid.world().allreduce(v, |a, b| {
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        });
+        AlignStats {
+            candidate_pairs: merged[0],
+            aligned_pairs: merged[1],
+            dovetails: merged[2],
+            contained: merged[3],
+            internal: merged[4],
+            rejected: merged[5],
+        }
+    }
+}
+
+/// `C = AAᵀ` restricted to the strict upper triangle, with candidate
+/// pairs below the shared-k-mer threshold pruned (collective).
+pub fn candidate_matrix(
+    grid: &ProcGrid,
+    a: &DistMat<AEntry>,
+    cfg: &OverlapConfig,
+) -> DistMat<SharedSeeds> {
+    let at = a.transpose(grid);
+    let c = a.spgemm(grid, &at, &OverlapSemiring);
+    c.prune(grid, |r, col, v| r < col && v.count >= cfg.min_shared_kmers)
+}
+
+/// X-drop align one candidate pair from its retained seeds; returns the
+/// best-scoring overlap alignment.
+pub fn align_pair(
+    u_codes: &[u8],
+    v_codes: &[u8],
+    seeds: &SharedSeeds,
+    cfg: &OverlapConfig,
+) -> Option<OverlapAln> {
+    let mut best: Option<OverlapAln> = None;
+    // Compute rc(v) lazily, once, if any seed needs it.
+    let mut v_rc: Option<Vec<u8>> = None;
+    for seed in seeds.seeds() {
+        let candidate = if seed.same_strand {
+            if seed.pos_v as usize + cfg.k > u_codes.len()
+                || seed.pos_h as usize + cfg.k > v_codes.len()
+            {
+                continue;
+            }
+            let aln = extend_seed(
+                u_codes,
+                v_codes,
+                seed.pos_v as usize,
+                seed.pos_h as usize,
+                cfg.k,
+                cfg.xdrop,
+                cfg.scoring,
+            );
+            OverlapAln::from_seed(aln, false, u_codes.len(), v_codes.len())
+        } else {
+            let w = v_rc.get_or_insert_with(|| {
+                v_codes.iter().rev().map(|&b| 3 - b).collect::<Vec<u8>>()
+            });
+            let w_pos = v_codes.len() - seed.pos_h as usize - cfg.k;
+            if seed.pos_v as usize + cfg.k > u_codes.len() || w_pos + cfg.k > w.len() {
+                continue;
+            }
+            let aln = extend_seed(
+                u_codes,
+                w,
+                seed.pos_v as usize,
+                w_pos,
+                cfg.k,
+                cfg.xdrop,
+                cfg.scoring,
+            );
+            OverlapAln::from_seed(aln, true, u_codes.len(), v_codes.len())
+        };
+        if best.as_ref().map_or(true, |b| candidate.score > b.score) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Align and classify every local candidate (collective because of the
+/// sequence fetch). Returns the dovetail edge triples (both directions),
+/// the contained-read mask, and global statistics.
+pub fn align_and_classify(
+    grid: &ProcGrid,
+    c: &DistMat<SharedSeeds>,
+    store: &ReadStore,
+    cfg: &OverlapConfig,
+) -> (Vec<(u64, u64, SgEdge)>, DistVec<bool>, AlignStats) {
+    let seqs = store.fetch_block_aligned(grid);
+    let mut triples: Vec<(u64, u64, SgEdge)> = Vec::new();
+    let mut contained_ids: Vec<(usize, bool)> = Vec::new();
+    let mut stats = AlignStats::default();
+    for (i, j, seeds) in c.iter_global(grid) {
+        stats.candidate_pairs += 1;
+        let u_codes = seqs.get(i).unwrap_or_else(|| panic!("read {i} not fetched"));
+        let v_codes = seqs.get(j).unwrap_or_else(|| panic!("read {j} not fetched"));
+        let Some(aln) = align_pair(u_codes, v_codes, seeds, cfg) else {
+            stats.rejected += 1;
+            continue;
+        };
+        stats.aligned_pairs += 1;
+        match classify(&aln, cfg.fuzz) {
+            OverlapClass::ContainedU => {
+                stats.contained += 1;
+                contained_ids.push((i as usize, true));
+            }
+            OverlapClass::ContainedV => {
+                stats.contained += 1;
+                contained_ids.push((j as usize, true));
+            }
+            OverlapClass::Internal => stats.internal += 1,
+            OverlapClass::Dovetail { fwd, bwd } => {
+                let score_ok =
+                    aln.score as f64 >= cfg.min_score_ratio * aln.span() as f64;
+                if aln.span() >= cfg.min_overlap && score_ok {
+                    stats.dovetails += 1;
+                    triples.push((i, j, fwd));
+                    triples.push((j, i, bwd));
+                } else {
+                    stats.rejected += 1;
+                }
+            }
+        }
+    }
+    let mut contained = DistVec::from_fn(grid, store.n_global(), |_| false);
+    contained.scatter_combine(grid, contained_ids, |acc, v| *acc |= v);
+    let stats = AlignStats::default().merge(stats).allreduce(grid);
+    (triples, contained, stats)
+}
+
+/// Assemble the overlap matrix `R` from dovetail triples and prune the
+/// rows/columns of contained reads (Algorithm 1 lines 8–9). Collective.
+pub fn overlap_graph(
+    grid: &ProcGrid,
+    n_reads: usize,
+    triples: Vec<(u64, u64, SgEdge)>,
+    contained: &DistVec<bool>,
+) -> DistMat<SgEdge> {
+    let r = DistMat::from_triples(grid, n_reads, n_reads, triples, |acc, v| {
+        // Two seeds of the same pair can classify to the same directed
+        // edge; keep the tighter overlap (smaller overhang).
+        if v.suffix < acc.suffix {
+            *acc = v;
+        }
+    });
+    r.mask_rows_cols(grid, contained)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elba_comm::Cluster;
+    use elba_seq::{build_a_triples, count_kmers, KmerConfig, Seq};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn genome(len: usize, seed: u64) -> Seq {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Seq::from_codes((0..len).map(|_| rng.gen_range(0..4u8)).collect())
+    }
+
+    /// Tile a genome with overlapping error-free reads, alternating strands.
+    fn tiled_reads(g: &Seq, read_len: usize, stride: usize) -> Vec<Seq> {
+        let mut reads = Vec::new();
+        let mut start = 0;
+        let mut flip = false;
+        while start + read_len <= g.len() {
+            let r = g.substring(start, start + read_len);
+            reads.push(if flip { r.reverse_complement() } else { r });
+            flip = !flip;
+            start += stride;
+        }
+        reads
+    }
+
+    fn test_cfg() -> OverlapConfig {
+        OverlapConfig {
+            k: 15,
+            xdrop: 10,
+            scoring: Scoring::default(),
+            min_shared_kmers: 1,
+            min_overlap: 30,
+            min_score_ratio: 0.55,
+            fuzz: 10,
+        }
+    }
+
+    #[test]
+    fn pipeline_to_overlap_graph_is_linear_chain() {
+        for p in [1usize, 4] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let g = genome(600, 42);
+                let reads = tiled_reads(&g, 200, 100);
+                let n = reads.len();
+                let store = ReadStore::from_replicated(&grid, &reads);
+                let cfg = test_cfg();
+                let kcfg = KmerConfig { k: cfg.k, reliable_min: 2, reliable_max: 16 };
+                let table = count_kmers(&grid, &store, &kcfg);
+                let a_triples = build_a_triples(&grid, &store, &table);
+                let a = DistMat::from_triples(
+                    &grid,
+                    n,
+                    table.n_global as usize,
+                    a_triples,
+                    |acc, v: AEntry| {
+                        if v.pos < acc.pos {
+                            *acc = v;
+                        }
+                    },
+                );
+                let c = candidate_matrix(&grid, &a, &cfg);
+                let (triples, contained, stats) = align_and_classify(&grid, &c, &store, &cfg);
+                let r = overlap_graph(&grid, n, triples, &contained);
+                let degrees = r.row_degrees(&grid).to_global(&grid);
+                (degrees, stats.dovetails, n)
+            });
+            let (degrees, dovetails, n) = &out[0];
+            // consecutive 200-base reads at stride 100 overlap by 100;
+            // reads two apart share nothing → a clean path graph.
+            assert!(*dovetails >= (*n as u64) - 1, "p={p}: dovetails={dovetails}");
+            assert_eq!(degrees.len(), *n);
+            let ends = degrees.iter().filter(|&&d| d == 1).count();
+            assert!(ends >= 2, "chain endpoints, got degrees {degrees:?}");
+            assert!(degrees.iter().all(|&d| d >= 1), "no isolated reads");
+        }
+    }
+
+    #[test]
+    fn align_pair_same_strand() {
+        let g = genome(300, 7);
+        let u = g.substring(0, 200);
+        let v = g.substring(100, 300);
+        let cfg = test_cfg();
+        // seed inside the true overlap g[100..200): u_pos 120, v_pos 20
+        let seeds = SharedSeeds::single(crate::semirings::Seed {
+            pos_v: 120,
+            pos_h: 20,
+            same_strand: true,
+        });
+        let aln = align_pair(u.codes(), v.codes(), &seeds, &cfg).expect("alignment");
+        assert!(!aln.rc);
+        assert_eq!(aln.u_beg, 100);
+        assert_eq!(aln.u_end, 199);
+        assert_eq!(aln.w_beg, 0);
+        assert_eq!(aln.w_end, 99);
+    }
+
+    #[test]
+    fn align_pair_opposite_strand() {
+        let g = genome(300, 8);
+        let u = g.substring(0, 200);
+        let v = g.substring(100, 300).reverse_complement();
+        let cfg = test_cfg();
+        // canonical k-mer at u pos 150 sits at w pos 50 (w = rc(v) =
+        // g[100..300)); in v-forward coordinates that's 200-50-15 = 135.
+        let seeds = SharedSeeds::single(crate::semirings::Seed {
+            pos_v: 150,
+            pos_h: 135,
+            same_strand: false,
+        });
+        let aln = align_pair(u.codes(), v.codes(), &seeds, &cfg).expect("alignment");
+        assert!(aln.rc);
+        assert_eq!(aln.u_beg, 100);
+        assert_eq!(aln.u_end, 199);
+        assert_eq!(aln.w_beg, 0);
+        assert_eq!(aln.w_end, 99);
+    }
+
+    #[test]
+    fn contained_reads_masked_out() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let g = genome(400, 11);
+            // read 1 is contained inside read 0; read 2 dovetails read 0.
+            let reads = vec![
+                g.substring(0, 300),
+                g.substring(50, 250),
+                g.substring(200, 400),
+            ];
+            let store = ReadStore::from_replicated(&grid, &reads);
+            let cfg = test_cfg();
+            let kcfg = KmerConfig { k: cfg.k, reliable_min: 2, reliable_max: 16 };
+            let table = count_kmers(&grid, &store, &kcfg);
+            let a_triples = build_a_triples(&grid, &store, &table);
+            let a = DistMat::from_triples(&grid, 3, table.n_global as usize, a_triples, |acc, v: AEntry| {
+                if v.pos < acc.pos {
+                    *acc = v;
+                }
+            });
+            let c = candidate_matrix(&grid, &a, &cfg);
+            let (triples, contained, stats) = align_and_classify(&grid, &c, &store, &cfg);
+            let r = overlap_graph(&grid, 3, triples, &contained);
+            let degrees = r.row_degrees(&grid).to_global(&grid);
+            (degrees, contained.to_global(&grid), stats.contained)
+        });
+        let (degrees, contained, n_contained) = &out[0];
+        assert!(*n_contained >= 1);
+        assert!(contained[1], "middle read is contained");
+        assert_eq!(degrees[1], 0, "contained read must lose all edges");
+        assert_eq!(degrees[0], 1);
+        assert_eq!(degrees[2], 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Bidirected transitive reduction (`TrReduction`, Algorithm 1 line 10) —
+//! the diBELLA 2D layout stage that turns the overlap matrix `R` into the
+//! string matrix `S`.
+//!
+//! Each sweep computes `N = R ⊗ R` under the min-plus, direction-aware
+//! [`crate::semirings::ReductionSemiring`]: `N(u,v)` holds, per direction
+//! pair, the smallest two-hop overhang sum `u→w→v` with a consistently
+//! oriented middle read `w`. An edge `e = (u,v)` is *transitive* — i.e.
+//! carries no information a parallel path doesn't — when
+//! `N(u,v)[dir(e)] ≤ suffix(e) + fuzz`. Marked edges are removed
+//! simultaneously and the sweep repeats until a global fixed point.
+
+use elba_align::SgEdge;
+use elba_comm::ProcGrid;
+use elba_sparse::DistMat;
+
+use crate::semirings::{dir_index, ReductionSemiring};
+
+/// Outcome of the reduction.
+#[derive(Debug, Clone, Copy)]
+pub struct ReductionStats {
+    pub iterations: usize,
+    pub removed: u64,
+    pub nnz_before: u64,
+    pub nnz_after: u64,
+}
+
+/// Run transitive reduction to a fixed point (or `max_iters`). Collective.
+pub fn transitive_reduction(
+    grid: &ProcGrid,
+    mut s: DistMat<SgEdge>,
+    fuzz: u32,
+    max_iters: usize,
+) -> (DistMat<SgEdge>, ReductionStats) {
+    let nnz_before = s.nnz_global(grid);
+    let mut removed_total = 0u64;
+    let mut iterations = 0usize;
+    while iterations < max_iters {
+        iterations += 1;
+        let n = s.spgemm(grid, &s, &ReductionSemiring);
+        let before = s.nnz_global(grid);
+        s = s.zip_prune(grid, &n, |_, _, edge, two_hop| match two_hop {
+            Some(paths) => {
+                let best = paths.per_dir[dir_index(edge.src_rev, edge.dst_rev)];
+                // Keep the edge unless a parallel two-hop path subsumes it.
+                best > edge.suffix.saturating_add(fuzz)
+            }
+            None => true,
+        });
+        let after = s.nnz_global(grid);
+        removed_total += before - after;
+        if before == after {
+            break;
+        }
+    }
+    let nnz_after = s.nnz_global(grid);
+    (s, ReductionStats { iterations, removed: removed_total, nnz_before, nnz_after })
+}
+
+/// Drop any directed edge whose mirror is absent, restoring exact
+/// structural symmetry after fuzz-boundary effects. Collective.
+pub fn symmetrize(grid: &ProcGrid, s: DistMat<SgEdge>) -> DistMat<SgEdge> {
+    let t = s.transpose(grid);
+    s.zip_prune(grid, &t, |_, _, _, mirror| mirror.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elba_comm::Cluster;
+
+    /// Build the symmetric edge pair for two reads laid consecutively on a
+    /// genome: read i covers [i*stride, i*stride + len).
+    fn chain_edges(n: usize, len: u32, stride: u32) -> Vec<(u64, u64, SgEdge)> {
+        let mut triples = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let gap = (j - i) as u32 * stride;
+                if gap >= len {
+                    continue; // no overlap
+                }
+                // same-strand dovetail, read i left of read j
+                triples.push((
+                    i as u64,
+                    j as u64,
+                    SgEdge { pre: gap - 1, post: 0, src_rev: false, dst_rev: false, suffix: gap },
+                ));
+                triples.push((
+                    j as u64,
+                    i as u64,
+                    SgEdge {
+                        pre: len - gap,
+                        post: len - 1,
+                        src_rev: true,
+                        dst_rev: true,
+                        suffix: gap,
+                    },
+                ));
+            }
+        }
+        triples
+    }
+
+    #[test]
+    fn chain_reduces_to_adjacent_edges() {
+        for p in [1usize, 4] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                // 6 reads of length 100 at stride 30: read i overlaps
+                // i+1, i+2, i+3 — reduction must keep only i↔i+1.
+                let triples = if grid.world().rank() == 0 {
+                    chain_edges(6, 100, 30)
+                } else {
+                    Vec::new()
+                };
+                let r = DistMat::from_triples(&grid, 6, 6, triples, |_, _| unreachable!());
+                let (s, stats) = transitive_reduction(&grid, r, 5, 10);
+                let mut kept: Vec<(u64, u64)> =
+                    s.gather_triples(&grid).into_iter().map(|(a, b, _)| (a, b)).collect();
+                kept.sort_unstable();
+                (kept, stats.removed)
+            });
+            let (kept, removed) = &out[0];
+            let want: Vec<(u64, u64)> = (0..5u64)
+                .flat_map(|i| [(i, i + 1), (i + 1, i)])
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            assert_eq!(kept, &want, "p={p}");
+            assert!(*removed > 0);
+        }
+    }
+
+    #[test]
+    fn reduction_respects_direction_compatibility() {
+        // u→w→v exists but w's orientation is inconsistent between the two
+        // hops, so the direct edge u→v must survive.
+        let out = Cluster::run(1, |comm| {
+            let grid = ProcGrid::new(comm);
+            let triples = vec![
+                (0u64, 1u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 10 }),
+                // w (=1) leaves reversed — incompatible with arriving forward
+                (1u64, 2u64, SgEdge { pre: 9, post: 0, src_rev: true, dst_rev: false, suffix: 10 }),
+                (0u64, 2u64, SgEdge { pre: 19, post: 0, src_rev: false, dst_rev: false, suffix: 20 }),
+            ];
+            let r = DistMat::from_triples(&grid, 3, 3, triples, |_, _| unreachable!());
+            let (s, _) = transitive_reduction(&grid, r, 2, 10);
+            s.nnz_global(&grid)
+        });
+        assert_eq!(out[0], 3, "no edge may be removed");
+    }
+
+    #[test]
+    fn compatible_two_hop_removes_direct_edge() {
+        let out = Cluster::run(1, |comm| {
+            let grid = ProcGrid::new(comm);
+            let triples = vec![
+                (0u64, 1u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 10 }),
+                (1u64, 2u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 10 }),
+                (0u64, 2u64, SgEdge { pre: 19, post: 0, src_rev: false, dst_rev: false, suffix: 20 }),
+            ];
+            let r = DistMat::from_triples(&grid, 3, 3, triples, |_, _| unreachable!());
+            let (s, stats) = transitive_reduction(&grid, r, 2, 10);
+            let mut kept: Vec<(u64, u64)> =
+                s.gather_triples(&grid).into_iter().map(|(a, b, _)| (a, b)).collect();
+            kept.sort_unstable();
+            (kept, stats.iterations)
+        });
+        assert_eq!(out[0].0, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn fuzz_tolerates_inexact_suffix_sums() {
+        let out = Cluster::run(1, |comm| {
+            let grid = ProcGrid::new(comm);
+            // two-hop sum 23 vs direct suffix 20: transitive only if fuzz >= 3
+            let triples = vec![
+                (0u64, 1u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 11 }),
+                (1u64, 2u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 12 }),
+                (0u64, 2u64, SgEdge { pre: 19, post: 0, src_rev: false, dst_rev: false, suffix: 20 }),
+            ];
+            let strict = {
+                let r = DistMat::from_triples(&grid, 3, 3, triples.clone(), |_, _| unreachable!());
+                transitive_reduction(&grid, r, 0, 10).0.nnz_global(&grid)
+            };
+            let fuzzy = {
+                let r = DistMat::from_triples(&grid, 3, 3, triples, |_, _| unreachable!());
+                transitive_reduction(&grid, r, 5, 10).0.nnz_global(&grid)
+            };
+            (strict, fuzzy)
+        });
+        assert_eq!(out[0].0, 3, "strict keeps the direct edge");
+        assert_eq!(out[0].1, 2, "fuzzy removes it");
+    }
+
+    #[test]
+    fn symmetrize_drops_unpaired_edges() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let e = SgEdge { pre: 0, post: 0, src_rev: false, dst_rev: false, suffix: 1 };
+            let triples = if grid.world().rank() == 0 {
+                vec![(0u64, 1u64, e), (1u64, 0u64, e), (2u64, 3u64, e)]
+            } else {
+                Vec::new()
+            };
+            let s = DistMat::from_triples(&grid, 4, 4, triples, |_, _| unreachable!());
+            let sym = symmetrize(&grid, s);
+            let mut kept: Vec<(u64, u64)> =
+                sym.gather_triples(&grid).into_iter().map(|(a, b, _)| (a, b)).collect();
+            kept.sort_unstable();
+            kept
+        });
+        assert_eq!(out[0], vec![(0, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The overlap-detection semiring (BELLA) and the transitive-reduction
+//! semiring (diBELLA 2D), instantiated over the generic
+//! [`elba_sparse::Semiring`] machinery.
+
+use elba_align::SgEdge;
+use elba_seq::AEntry;
+use elba_sparse::Semiring;
+
+/// One shared-k-mer seed between a read pair: the k-mer's position in
+/// both reads and whether the two occurrences sat on the same strand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seed {
+    pub pos_v: u32,
+    pub pos_h: u32,
+    pub same_strand: bool,
+}
+
+/// Value of the candidate overlap matrix `C = AAᵀ`: the number of shared
+/// k-mers plus up to two retained seed positions (BELLA keeps at most two
+/// seeds, preferring a well-separated pair, to drive x-drop extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedSeeds {
+    pub count: u32,
+    n: u8,
+    seeds: [Seed; 2],
+}
+
+elba_comm::impl_comm_msg_pod!(SharedSeeds, Seed);
+
+impl SharedSeeds {
+    pub fn single(seed: Seed) -> Self {
+        SharedSeeds { count: 1, n: 1, seeds: [seed, seed] }
+    }
+
+    /// Retained seeds (1 or 2).
+    pub fn seeds(&self) -> &[Seed] {
+        &self.seeds[..self.n as usize]
+    }
+
+    /// Merge another accumulation into this one, keeping the pair of
+    /// seeds with the largest vertical-position separation.
+    pub fn merge(&mut self, other: SharedSeeds) {
+        self.count += other.count;
+        for &seed in other.seeds() {
+            if self.n == 1 {
+                if seed != self.seeds[0] {
+                    self.seeds[1] = seed;
+                    self.n = 2;
+                }
+            } else {
+                // Keep {first, farthest-from-first}.
+                let d_cur = self.seeds[0].pos_v.abs_diff(self.seeds[1].pos_v);
+                let d_new = self.seeds[0].pos_v.abs_diff(seed.pos_v);
+                if d_new > d_cur {
+                    self.seeds[1] = seed;
+                }
+            }
+        }
+    }
+}
+
+/// `C = A ⊗ Aᵀ` semiring: multiplying the k-mer occurrence in read *v*
+/// (row) with the occurrence in read *h* (column) yields a seed; addition
+/// accumulates the shared-k-mer count and keeps ≤ 2 seeds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlapSemiring;
+
+impl Semiring for OverlapSemiring {
+    type A = AEntry;
+    type B = AEntry;
+    type Out = SharedSeeds;
+
+    #[inline]
+    fn multiply(&self, a: &AEntry, b: &AEntry) -> Option<SharedSeeds> {
+        Some(SharedSeeds::single(Seed {
+            pos_v: a.pos,
+            pos_h: b.pos,
+            same_strand: a.fwd == b.fwd,
+        }))
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut SharedSeeds, other: SharedSeeds) {
+        acc.merge(other);
+    }
+}
+
+/// Direction index of a directed string-graph edge: two bits encoding the
+/// traversal orientation of source and destination (the bidirected
+/// arrowheads).
+#[inline]
+pub fn dir_index(src_rev: bool, dst_rev: bool) -> usize {
+    (src_rev as usize) << 1 | dst_rev as usize
+}
+
+/// Value of `N = S ⊗ S` during transitive reduction: the minimum two-hop
+/// overhang sum for each of the four direction combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinPlusDir {
+    pub per_dir: [u32; 4],
+}
+
+elba_comm::impl_comm_msg_pod!(MinPlusDir);
+
+impl MinPlusDir {
+    pub const EMPTY: MinPlusDir = MinPlusDir { per_dir: [u32::MAX; 4] };
+}
+
+/// Transitive-reduction semiring (diBELLA 2D): composing `u→w` with
+/// `w→v` is legal only when `w` is traversed in one consistent
+/// orientation (`dst_rev(u→w) == src_rev(w→v)`); the product records the
+/// min-plus overhang sum under the composite direction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReductionSemiring;
+
+impl Semiring for ReductionSemiring {
+    type A = SgEdge;
+    type B = SgEdge;
+    type Out = MinPlusDir;
+
+    #[inline]
+    fn multiply(&self, e1: &SgEdge, e2: &SgEdge) -> Option<MinPlusDir> {
+        if e1.dst_rev != e2.src_rev {
+            return None;
+        }
+        let mut out = MinPlusDir::EMPTY;
+        out.per_dir[dir_index(e1.src_rev, e2.dst_rev)] = e1.suffix.saturating_add(e2.suffix);
+        Some(out)
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut MinPlusDir, other: MinPlusDir) {
+        for (a, b) in acc.per_dir.iter_mut().zip(other.per_dir) {
+            *a = (*a).min(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(pos_v: u32, pos_h: u32) -> Seed {
+        Seed { pos_v, pos_h, same_strand: true }
+    }
+
+    #[test]
+    fn overlap_semiring_counts_and_keeps_two_seeds() {
+        let s = OverlapSemiring;
+        let a = AEntry { pos: 10, fwd: true };
+        let b = AEntry { pos: 20, fwd: true };
+        let mut acc = s.multiply(&a, &b).expect("always produces a seed");
+        for pos in [30u32, 50, 40] {
+            let x = s
+                .multiply(&AEntry { pos, fwd: true }, &AEntry { pos: pos + 5, fwd: false })
+                .expect("seed");
+            s.add(&mut acc, x);
+        }
+        assert_eq!(acc.count, 4);
+        assert_eq!(acc.seeds().len(), 2);
+        // keeps the farthest pair: positions 10 and 50
+        assert_eq!(acc.seeds()[0].pos_v, 10);
+        assert_eq!(acc.seeds()[1].pos_v, 50);
+    }
+
+    #[test]
+    fn strand_agreement_recorded() {
+        let s = OverlapSemiring;
+        let out = s
+            .multiply(&AEntry { pos: 1, fwd: true }, &AEntry { pos: 2, fwd: false })
+            .expect("seed");
+        assert!(!out.seeds()[0].same_strand);
+    }
+
+    #[test]
+    fn reduction_semiring_requires_consistent_middle() {
+        let s = ReductionSemiring;
+        let e1 = SgEdge { pre: 0, post: 0, src_rev: false, dst_rev: false, suffix: 10 };
+        let e2 = SgEdge { pre: 0, post: 0, src_rev: false, dst_rev: true, suffix: 20 };
+        let product = s.multiply(&e1, &e2).expect("compatible");
+        assert_eq!(product.per_dir[dir_index(false, true)], 30);
+        // incompatible middle orientation annihilates
+        let e3 = SgEdge { pre: 0, post: 0, src_rev: true, dst_rev: false, suffix: 20 };
+        assert_eq!(s.multiply(&e1, &e3), None);
+    }
+
+    #[test]
+    fn reduction_add_takes_min_per_direction() {
+        let s = ReductionSemiring;
+        let mut acc = MinPlusDir::EMPTY;
+        let mut a = MinPlusDir::EMPTY;
+        a.per_dir[0] = 100;
+        let mut b = MinPlusDir::EMPTY;
+        b.per_dir[0] = 50;
+        b.per_dir[3] = 70;
+        s.add(&mut acc, a);
+        s.add(&mut acc, b);
+        assert_eq!(acc.per_dir[0], 50);
+        assert_eq!(acc.per_dir[3], 70);
+        assert_eq!(acc.per_dir[1], u32::MAX);
+    }
+
+    #[test]
+    fn merge_dedups_identical_seed() {
+        let mut acc = SharedSeeds::single(seed(5, 6));
+        acc.merge(SharedSeeds::single(seed(5, 6)));
+        assert_eq!(acc.count, 2);
+        assert_eq!(acc.seeds().len(), 1);
+    }
+}

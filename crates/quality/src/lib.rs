@@ -1,0 +1,336 @@
+//! # elba-quality — QUAST-style assembly evaluation for ELBA-RS
+//!
+//! Reproduces the metrics of the paper's Table 4: **completeness** (the
+//! fraction of the reference covered by at least one aligned contig
+//! block), **longest contig**, **number of contigs**, and **misassembled
+//! contigs** (contigs whose aligned blocks come from discordant reference
+//! regions or orientations), plus NG50.
+//!
+//! Because every dataset in this reproduction is simulated, the reference
+//! is known exactly; contigs are mapped back to it with unique-k-mer
+//! anchoring and collinear chaining (the same alignment-free strategy
+//! QUAST's minimap stage approximates for near-exact contigs).
+
+use std::collections::HashMap;
+
+use elba_seq::kmer::canonical_kmers;
+use elba_seq::Seq;
+
+/// Evaluation parameters.
+#[derive(Debug, Clone)]
+pub struct QualityConfig {
+    /// Anchor k-mer length (unique within the reference).
+    pub k: usize,
+    /// Two adjacent anchor blocks more than this far apart on the
+    /// reference (or order/orientation-discordant) flag a misassembly.
+    pub misassembly_gap: usize,
+    /// Anchors tolerate this much diagonal drift within one block
+    /// (absorbs indel noise in uncorrected contigs).
+    pub diagonal_tolerance: i64,
+    /// Minimum anchors for a block to count as aligned.
+    pub min_block_anchors: usize,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        QualityConfig {
+            k: 21,
+            misassembly_gap: 1_000,
+            diagonal_tolerance: 60,
+            min_block_anchors: 3,
+        }
+    }
+}
+
+/// The Table 4 row for one assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// % of reference bases covered by ≥ 1 aligned contig block.
+    pub completeness: f64,
+    pub longest_contig: usize,
+    pub n_contigs: usize,
+    pub misassembled_contigs: usize,
+    /// Total assembled bases.
+    pub total_len: usize,
+    /// NG50: largest L such that contigs ≥ L cover half the *reference*.
+    pub ng50: usize,
+    /// Contigs with no aligned block at all.
+    pub unaligned_contigs: usize,
+}
+
+/// One collinear run of anchors.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    ref_start: usize,
+    ref_end: usize,
+    anchors: usize,
+    forward: bool,
+}
+
+/// Index of k-mers occurring exactly once in the reference.
+pub struct ReferenceIndex {
+    k: usize,
+    ref_len: usize,
+    /// canonical k-mer → (position, canonical-matched-forward-strand)
+    unique: HashMap<u64, (u32, bool)>,
+}
+
+impl ReferenceIndex {
+    pub fn build(reference: &Seq, k: usize) -> Self {
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for hit in canonical_kmers(reference, k) {
+            *counts.entry(hit.kmer).or_insert(0) += 1;
+        }
+        let mut unique = HashMap::new();
+        for hit in canonical_kmers(reference, k) {
+            if counts.get(&hit.kmer) == Some(&1) {
+                unique.insert(hit.kmer, (hit.pos, hit.fwd));
+            }
+        }
+        ReferenceIndex { k, ref_len: reference.len(), unique }
+    }
+
+    /// Fraction of reference k-mers that are unique (diagnostic).
+    pub fn unique_fraction(&self) -> f64 {
+        if self.ref_len < self.k {
+            return 0.0;
+        }
+        self.unique.len() as f64 / (self.ref_len - self.k + 1) as f64
+    }
+}
+
+/// Chain a contig's unique-k-mer anchors into collinear blocks.
+fn blocks_of(contig: &Seq, index: &ReferenceIndex, cfg: &QualityConfig) -> Vec<Block> {
+    // anchors: (contig_pos, ref_pos, same_strand)
+    let mut anchors: Vec<(i64, i64, bool)> = Vec::new();
+    for hit in canonical_kmers(contig, index.k) {
+        if let Some(&(ref_pos, ref_fwd)) = index.unique.get(&hit.kmer) {
+            anchors.push((hit.pos as i64, ref_pos as i64, hit.fwd == ref_fwd));
+        }
+    }
+    // contig order is already ascending in contig position
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut current: Option<(Block, i64)> = None; // block + its diagonal
+    for (cpos, rpos, fwd) in anchors {
+        let diag = if fwd { rpos - cpos } else { rpos + cpos };
+        match current.as_mut() {
+            Some((block, bdiag))
+                if block.forward == fwd && (diag - *bdiag).abs() <= cfg.diagonal_tolerance =>
+            {
+                block.ref_start = block.ref_start.min(rpos as usize);
+                block.ref_end = block.ref_end.max(rpos as usize + index.k);
+                block.anchors += 1;
+                // track drift slowly so long indel-y blocks stay chained
+                *bdiag = (*bdiag * 3 + diag) / 4;
+            }
+            _ => {
+                if let Some((block, _)) = current.take() {
+                    if block.anchors >= cfg.min_block_anchors {
+                        blocks.push(block);
+                    }
+                }
+                current = Some((
+                    Block {
+                        ref_start: rpos as usize,
+                        ref_end: rpos as usize + index.k,
+                        anchors: 1,
+                        forward: fwd,
+                    },
+                    diag,
+                ));
+            }
+        }
+    }
+    if let Some((block, _)) = current {
+        if block.anchors >= cfg.min_block_anchors {
+            blocks.push(block);
+        }
+    }
+    blocks
+}
+
+/// Whether a contig's block list constitutes a misassembly.
+fn is_misassembled(blocks: &[Block], cfg: &QualityConfig) -> bool {
+    blocks.windows(2).any(|w| {
+        let (a, b) = (&w[0], &w[1]);
+        let discordant_strand = a.forward != b.forward;
+        let gap = if b.ref_start > a.ref_end {
+            b.ref_start - a.ref_end
+        } else if a.ref_start > b.ref_end {
+            a.ref_start - b.ref_end
+        } else {
+            0
+        };
+        discordant_strand || gap > cfg.misassembly_gap
+    })
+}
+
+/// Evaluate an assembly against its reference.
+pub fn evaluate(reference: &Seq, contigs: &[Seq], cfg: &QualityConfig) -> QualityReport {
+    let index = ReferenceIndex::build(reference, cfg.k);
+    let mut covered = vec![false; reference.len()];
+    let mut misassembled = 0usize;
+    let mut unaligned = 0usize;
+    for contig in contigs {
+        let blocks = blocks_of(contig, &index, cfg);
+        if blocks.is_empty() {
+            unaligned += 1;
+            continue;
+        }
+        if is_misassembled(&blocks, cfg) {
+            misassembled += 1;
+        }
+        for block in &blocks {
+            for flag in covered
+                .iter_mut()
+                .take(block.ref_end.min(reference.len()))
+                .skip(block.ref_start)
+            {
+                *flag = true;
+            }
+        }
+    }
+    let covered_bases = covered.iter().filter(|&&c| c).count();
+    let mut lengths: Vec<usize> = contigs.iter().map(Seq::len).collect();
+    lengths.sort_unstable_by(|a, b| b.cmp(a));
+    let half = reference.len() / 2;
+    let mut acc = 0usize;
+    let mut ng50 = 0usize;
+    for &len in &lengths {
+        acc += len;
+        if acc >= half {
+            ng50 = len;
+            break;
+        }
+    }
+    QualityReport {
+        completeness: 100.0 * covered_bases as f64 / reference.len().max(1) as f64,
+        longest_contig: lengths.first().copied().unwrap_or(0),
+        n_contigs: contigs.len(),
+        misassembled_contigs: misassembled,
+        total_len: lengths.iter().sum(),
+        ng50,
+        unaligned_contigs: unaligned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn genome(len: usize, seed: u64) -> Seq {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Seq::from_codes((0..len).map(|_| rng.gen_range(0..4u8)).collect())
+    }
+
+    #[test]
+    fn perfect_single_contig_is_complete() {
+        let g = genome(10_000, 1);
+        let report = evaluate(&g, &[g.clone()], &QualityConfig::default());
+        assert!(report.completeness > 99.0, "{}", report.completeness);
+        assert_eq!(report.misassembled_contigs, 0);
+        assert_eq!(report.longest_contig, 10_000);
+        assert_eq!(report.ng50, 10_000);
+    }
+
+    #[test]
+    fn reverse_complement_contig_also_maps() {
+        let g = genome(8_000, 2);
+        let report =
+            evaluate(&g, &[g.reverse_complement()], &QualityConfig::default());
+        assert!(report.completeness > 99.0);
+        assert_eq!(report.misassembled_contigs, 0);
+    }
+
+    #[test]
+    fn half_genome_gives_half_completeness() {
+        let g = genome(10_000, 3);
+        let half = g.substring(0, 5_000);
+        let report = evaluate(&g, &[half], &QualityConfig::default());
+        assert!((report.completeness - 50.0).abs() < 2.0, "{}", report.completeness);
+    }
+
+    #[test]
+    fn chimeric_contig_flags_misassembly() {
+        let g = genome(20_000, 4);
+        // join two distant regions
+        let mut chimera = g.substring(0, 4_000);
+        chimera.extend_from(&g.substring(12_000, 16_000));
+        let report = evaluate(&g, &[chimera], &QualityConfig::default());
+        assert_eq!(report.misassembled_contigs, 1);
+    }
+
+    #[test]
+    fn strand_flip_flags_misassembly() {
+        let g = genome(20_000, 5);
+        let mut flipped = g.substring(0, 4_000);
+        flipped.extend_from(&g.substring(4_000, 8_000).reverse_complement());
+        let report = evaluate(&g, &[flipped], &QualityConfig::default());
+        assert_eq!(report.misassembled_contigs, 1);
+    }
+
+    #[test]
+    fn adjacent_regions_are_not_misassemblies() {
+        let g = genome(20_000, 6);
+        // contig with a 300-base unaligned insert (below the 1 kb gap)
+        let mut contig = g.substring(0, 4_000);
+        contig.extend_from(&genome(300, 99));
+        contig.extend_from(&g.substring(4_300, 8_000));
+        let report = evaluate(&g, &[contig], &QualityConfig::default());
+        assert_eq!(report.misassembled_contigs, 0);
+    }
+
+    #[test]
+    fn noisy_contig_still_maps() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = genome(10_000, 7);
+        // 1% substitutions
+        let mut codes = g.codes().to_vec();
+        for _ in 0..100 {
+            let at = rng.gen_range(0..codes.len());
+            codes[at] = (codes[at] + 1) % 4;
+        }
+        let noisy = Seq::from_codes(codes);
+        let report = evaluate(&g, &[noisy], &QualityConfig::default());
+        assert!(report.completeness > 90.0, "{}", report.completeness);
+        assert_eq!(report.misassembled_contigs, 0);
+    }
+
+    #[test]
+    fn random_contig_is_unaligned() {
+        let g = genome(10_000, 8);
+        let junk = genome(5_000, 999);
+        let report = evaluate(&g, &[junk], &QualityConfig::default());
+        assert_eq!(report.unaligned_contigs, 1);
+        assert!(report.completeness < 1.0);
+    }
+
+    #[test]
+    fn ng50_uses_reference_length() {
+        let g = genome(10_000, 9);
+        // three contigs: 4k, 2k, 1k; half the genome = 5000; 4k+2k ≥ 5000
+        let contigs =
+            vec![g.substring(0, 4_000), g.substring(4_000, 6_000), g.substring(6_000, 7_000)];
+        let report = evaluate(&g, &contigs, &QualityConfig::default());
+        assert_eq!(report.ng50, 2_000);
+        assert_eq!(report.n_contigs, 3);
+    }
+
+    #[test]
+    fn empty_assembly() {
+        let g = genome(1_000, 10);
+        let report = evaluate(&g, &[], &QualityConfig::default());
+        assert_eq!(report.completeness, 0.0);
+        assert_eq!(report.longest_contig, 0);
+        assert_eq!(report.ng50, 0);
+    }
+
+    #[test]
+    fn unique_fraction_reasonable_for_random_genome() {
+        let g = genome(50_000, 11);
+        let index = ReferenceIndex::build(&g, 21);
+        assert!(index.unique_fraction() > 0.95);
+    }
+}

@@ -1,0 +1,236 @@
+//! DNA alphabet and sequence type.
+//!
+//! Bases are stored one code per byte (`A=0, C=1, G=2, T=3`); Watson–Crick
+//! complement is `3 − code`. [`Seq::paper_slice`] implements the inclusive
+//! indexing convention of the paper's §4.4: `l[i:j]` with `i ≤ j` is the
+//! substring `(l[i], …, l[j])`, and `l[j:i]` with `j > i` is its
+//! *reverse-complement* substring `(l[j]ᶜ, l[j−1]ᶜ, …, l[i]ᶜ)` — the
+//! operation local assembly uses to stitch contigs across strand flips.
+
+/// One nucleotide code: `A=0, C=1, G=2, T=3`.
+pub type Base = u8;
+
+/// Watson–Crick complement of a base code.
+#[inline]
+pub fn complement(b: Base) -> Base {
+    debug_assert!(b < 4);
+    3 - b
+}
+
+/// ASCII letter for a base code.
+#[inline]
+pub fn base_to_char(b: Base) -> char {
+    match b {
+        0 => 'A',
+        1 => 'C',
+        2 => 'G',
+        3 => 'T',
+        _ => panic!("invalid base code {b}"),
+    }
+}
+
+/// Base code for an ASCII letter (case-insensitive). `None` for ambiguity
+/// codes (N etc.).
+#[inline]
+pub fn char_to_base(c: u8) -> Option<Base> {
+    match c {
+        b'A' | b'a' => Some(0),
+        b'C' | b'c' => Some(1),
+        b'G' | b'g' => Some(2),
+        b'T' | b't' => Some(3),
+        _ => None,
+    }
+}
+
+/// A DNA sequence (read, contig, or genome).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Seq {
+    codes: Vec<Base>,
+}
+
+impl Seq {
+    pub fn new() -> Self {
+        Seq { codes: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Seq { codes: Vec::with_capacity(cap) }
+    }
+
+    /// From base codes (each must be < 4).
+    pub fn from_codes(codes: Vec<Base>) -> Self {
+        debug_assert!(codes.iter().all(|&b| b < 4));
+        Seq { codes }
+    }
+
+    /// Parse from ASCII; ambiguity codes are replaced by `A` (as common
+    /// assemblers do when ingesting simulated data without Ns).
+    pub fn from_ascii(s: &[u8]) -> Self {
+        Seq { codes: s.iter().map(|&c| char_to_base(c).unwrap_or(0)).collect() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> Base {
+        self.codes[i]
+    }
+
+    #[inline]
+    pub fn codes(&self) -> &[Base] {
+        &self.codes
+    }
+
+    #[inline]
+    pub fn push(&mut self, b: Base) {
+        debug_assert!(b < 4);
+        self.codes.push(b);
+    }
+
+    /// Append another sequence (the `⊕` of the paper's contig equation).
+    pub fn extend_from(&mut self, other: &Seq) {
+        self.codes.extend_from_slice(&other.codes);
+    }
+
+    /// Reverse complement of the whole sequence.
+    pub fn reverse_complement(&self) -> Seq {
+        Seq { codes: self.codes.iter().rev().map(|&b| complement(b)).collect() }
+    }
+
+    /// Inclusive paper slice: forward `l[a:b]` when `a ≤ b`, or the
+    /// reverse-complement slice `l[a:b]` (reading from `a` down to `b`,
+    /// complemented) when `a > b`. Bounds are inclusive on both ends.
+    pub fn paper_slice(&self, a: usize, b: usize) -> Seq {
+        if a <= b {
+            Seq { codes: self.codes[a..=b].to_vec() }
+        } else {
+            Seq { codes: (b..=a).rev().map(|i| complement(self.codes[i])).collect() }
+        }
+    }
+
+    /// Contiguous subsequence `start..end` (exclusive end, forward strand).
+    pub fn substring(&self, start: usize, end: usize) -> Seq {
+        Seq { codes: self.codes[start..end].to_vec() }
+    }
+}
+
+impl std::fmt::Display for Seq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for &b in &self.codes {
+            write!(f, "{}", base_to_char(b))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Seq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.len() <= 60 {
+            write!(f, "Seq(\"{self}\")")
+        } else {
+            write!(
+                f,
+                "Seq(len={}, \"{}…\")",
+                self.len(),
+                self.paper_slice(0, 29)
+            )
+        }
+    }
+}
+
+impl std::str::FromStr for Seq {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(Seq::from_ascii(s.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> Seq {
+        s.parse().expect("valid")
+    }
+
+    #[test]
+    fn round_trip_ascii() {
+        let s = seq("ACGTACGT");
+        assert_eq!(s.to_string(), "ACGTACGT");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn complement_pairs() {
+        // A<->T and C<->G, as stated in the paper's background section.
+        assert_eq!(base_to_char(complement(char_to_base(b'A').expect("base"))), 'T');
+        assert_eq!(base_to_char(complement(char_to_base(b'C').expect("base"))), 'G');
+    }
+
+    #[test]
+    fn paper_background_example() {
+        // §2: "Given a string v = ATTCG, its reverse complement is CGAAT."
+        assert_eq!(seq("ATTCG").reverse_complement().to_string(), "CGAAT");
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let s = seq("GATTACAGATTACA");
+        assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn forward_paper_slice_is_inclusive() {
+        // Fig. 3: l_u = AGAACT, overlap is l_u[2:5] = AACT.
+        assert_eq!(seq("AGAACT").paper_slice(2, 5).to_string(), "AACT");
+        // prefix l_0[0:pre(e0)] with pre = 1 -> "AG"
+        assert_eq!(seq("AGAACT").paper_slice(0, 1).to_string(), "AG");
+    }
+
+    #[test]
+    fn reverse_paper_slice_is_rc() {
+        // Fig. 3 rc case: l_v^c = CTTCAGTT (rc of l1 = AACTGAAG);
+        // l_v^c[7:4] must equal AACT (the overlap on the rc strand).
+        let l1c = seq("AACTGAAG").reverse_complement();
+        assert_eq!(l1c.to_string(), "CTTCAGTT");
+        assert_eq!(l1c.paper_slice(7, 4).to_string(), "AACT");
+    }
+
+    #[test]
+    fn fig3_contig_concatenation() {
+        // l_r[α:pre(e0)] ⊕ l_c1[post(e0):pre(e1)] ⊕ l_r'[post(e1):β]
+        // with l0=AGAACT (pre=1), l1=AACTGAAG (post=0, pre=4),
+        // l2=TGAAGAA (post=2, β=|l2|-1) must rebuild the merged contig.
+        let l0 = seq("AGAACT");
+        let l1 = seq("AACTGAAG");
+        let l2 = seq("TGAAGAA");
+        let mut contig = l0.paper_slice(0, 1);
+        contig.extend_from(&l1.paper_slice(0, 4));
+        contig.extend_from(&l2.paper_slice(2, l2.len() - 1));
+        assert_eq!(contig.to_string(), "AGAACTGAAGAA");
+    }
+
+    #[test]
+    fn single_base_slice() {
+        assert_eq!(seq("ACGT").paper_slice(2, 2).to_string(), "G");
+    }
+
+    #[test]
+    fn substring_exclusive() {
+        assert_eq!(seq("ACGTAC").substring(1, 4).to_string(), "CGT");
+    }
+
+    #[test]
+    fn ambiguity_maps_to_a() {
+        assert_eq!(seq("ANGT").to_string(), "AAGT");
+    }
+}

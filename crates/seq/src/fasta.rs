@@ -1,0 +1,117 @@
+//! Minimal FASTA reader/writer (80-column wrapped), enough to ingest
+//! simulated datasets and emit contig sets for downstream inspection.
+
+use std::io::{self, BufRead, Write};
+
+use crate::dna::Seq;
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastaRecord {
+    pub id: String,
+    pub seq: Seq,
+}
+
+/// Parse FASTA records from a reader. Lines are concatenated per record;
+/// ambiguity codes map to `A` (see [`Seq::from_ascii`]).
+pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<FastaRecord>> {
+    let mut records = Vec::new();
+    let mut id: Option<String> = None;
+    let mut bases: Vec<u8> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some(prev) = id.take() {
+                records.push(FastaRecord { id: prev, seq: Seq::from_ascii(&bases) });
+                bases.clear();
+            }
+            id = Some(
+                header.split_whitespace().next().unwrap_or("").to_owned(),
+            );
+        } else if id.is_some() {
+            bases.extend_from_slice(trimmed.as_bytes());
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "FASTA data before first header",
+            ));
+        }
+    }
+    if let Some(prev) = id {
+        records.push(FastaRecord { id: prev, seq: Seq::from_ascii(&bases) });
+    }
+    Ok(records)
+}
+
+/// Write records in FASTA format, wrapping sequence lines at 80 columns.
+pub fn write_fasta<W: Write>(mut writer: W, records: &[FastaRecord]) -> io::Result<()> {
+    for record in records {
+        writeln!(writer, ">{}", record.id)?;
+        let text = record.seq.to_string();
+        for chunk in text.as_bytes().chunks(80) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+        if text.is_empty() {
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip() {
+        let records = vec![
+            FastaRecord { id: "read1".into(), seq: "ACGTACGT".parse().expect("dna") },
+            FastaRecord { id: "read2".into(), seq: "TTTT".parse().expect("dna") },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).expect("write");
+        let back = read_fasta(BufReader::new(&buf[..])).expect("read");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn long_sequences_wrap() {
+        let records = vec![FastaRecord {
+            id: "long".into(),
+            seq: Seq::from_codes(vec![0; 200]),
+        }];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).expect("write");
+        let text = String::from_utf8(buf.clone()).expect("utf8");
+        assert!(text.lines().skip(1).all(|l| l.len() <= 80));
+        let back = read_fasta(BufReader::new(&buf[..])).expect("read");
+        assert_eq!(back[0].seq.len(), 200);
+    }
+
+    #[test]
+    fn header_description_is_dropped() {
+        let input = b">r1 some description here\nACGT\n";
+        let back = read_fasta(BufReader::new(&input[..])).expect("read");
+        assert_eq!(back[0].id, "r1");
+        assert_eq!(back[0].seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn multi_line_record_concatenates() {
+        let input = b">r\nAC\nGT\nAA\n";
+        let back = read_fasta(BufReader::new(&input[..])).expect("read");
+        assert_eq!(back[0].seq.to_string(), "ACGTAA");
+    }
+
+    #[test]
+    fn data_before_header_is_error() {
+        let input = b"ACGT\n>r\nAC\n";
+        assert!(read_fasta(BufReader::new(&input[..])).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Distributed k-mer counting and construction of the |reads|×|k-mers|
+//! matrix **A** (the `KmerCounter` + `GenerateA` steps of Algorithm 1).
+//!
+//! Canonical k-mers are hashed to an owner rank, counted there, and
+//! filtered to the *reliable* band `[reliable_min, reliable_max]`:
+//! singletons are almost surely sequencing errors, ultra-frequent k-mers
+//! come from repeats and would densify `C = AAᵀ` (diBELLA 2D's reliable
+//! k-mer selection). Surviving k-mers get dense global column ids via an
+//! exclusive scan over per-owner counts.
+
+use std::collections::HashMap;
+
+use elba_comm::ProcGrid;
+
+use crate::kmer::canonical_kmers;
+use crate::store::ReadStore;
+
+/// Parameters for k-mer selection.
+#[derive(Debug, Clone)]
+pub struct KmerConfig {
+    pub k: usize,
+    /// Minimum global multiplicity for a reliable k-mer (≥2 drops errors).
+    pub reliable_min: u32,
+    /// Maximum multiplicity (drops repeat-induced k-mers).
+    pub reliable_max: u32,
+}
+
+impl Default for KmerConfig {
+    fn default() -> Self {
+        KmerConfig { k: 31, reliable_min: 2, reliable_max: u32::MAX }
+    }
+}
+
+/// Owner rank of a packed k-mer (multiplicative hash).
+#[inline]
+pub fn kmer_owner(kmer: u64, p: usize) -> usize {
+    ((kmer.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % p as u64) as usize
+}
+
+/// The distributed reliable-k-mer table: each rank holds the k-mers it
+/// owns with their dense global column ids.
+#[derive(Debug, Clone)]
+pub struct KmerTable {
+    pub k: usize,
+    /// Total reliable k-mers across all ranks (= #columns of A).
+    pub n_global: u64,
+    /// Locally owned k-mer → global id.
+    local: HashMap<u64, u64>,
+}
+
+impl KmerTable {
+    /// Locally owned k-mer count.
+    pub fn n_local(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Global id of a locally owned k-mer.
+    pub fn id_of(&self, kmer: u64) -> Option<u64> {
+        self.local.get(&kmer).copied()
+    }
+}
+
+/// One entry of the A matrix: the position (and strand) of a reliable
+/// k-mer occurrence within a read. This is the value BELLA's overlap
+/// semiring consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AEntry {
+    /// Position of the k-mer's first base within the read.
+    pub pos: u32,
+    /// Whether the canonical k-mer matched the read's forward strand.
+    pub fwd: bool,
+}
+
+elba_comm::impl_comm_msg_pod!(AEntry);
+
+/// Count canonical k-mers across all ranks and keep the reliable band
+/// (collective). Global ids are assigned deterministically (sorted within
+/// each owner, offset by exclusive scan).
+pub fn count_kmers(grid: &ProcGrid, store: &ReadStore, cfg: &KmerConfig) -> KmerTable {
+    let p = grid.world().size();
+    // Local counting pass.
+    let mut local_counts: HashMap<u64, u32> = HashMap::new();
+    for (_, codes) in store.iter() {
+        let seq = crate::dna::Seq::from_codes(codes.to_vec());
+        for hit in canonical_kmers(&seq, cfg.k) {
+            *local_counts.entry(hit.kmer).or_insert(0) += 1;
+        }
+    }
+    // Route partial counts to owners.
+    let mut outgoing: Vec<Vec<(u64, u32)>> = vec![Vec::new(); p];
+    for (kmer, count) in local_counts {
+        outgoing[kmer_owner(kmer, p)].push((kmer, count));
+    }
+    let incoming = grid.world().alltoallv(outgoing);
+    let mut owned: HashMap<u64, u32> = HashMap::new();
+    for batch in incoming {
+        for (kmer, count) in batch {
+            *owned.entry(kmer).or_insert(0) += count;
+        }
+    }
+    // Reliable band filter.
+    let mut reliable: Vec<u64> = owned
+        .into_iter()
+        .filter(|&(_, c)| c >= cfg.reliable_min && c <= cfg.reliable_max)
+        .map(|(kmer, _)| kmer)
+        .collect();
+    reliable.sort_unstable();
+    // Dense ids via exclusive scan of per-owner counts.
+    let offset = grid.world().exscan(reliable.len() as u64, 0, |a, b| a + b);
+    let n_global = grid.world().allreduce(reliable.len() as u64, |a, b| a + b);
+    let local: HashMap<u64, u64> =
+        reliable.into_iter().enumerate().map(|(i, kmer)| (kmer, offset + i as u64)).collect();
+    KmerTable { k: cfg.k, n_global, local }
+}
+
+/// Generate the triples of the |reads|×|k-mers| matrix A (collective):
+/// `(read_id, kmer_column, AEntry)` for every reliable k-mer occurrence.
+/// A read contributes one entry per distinct k-mer (first occurrence), as
+/// in BELLA's sparse A construction. Triples are returned with arbitrary
+/// distribution, ready for `DistMat::from_triples`.
+pub fn build_a_triples(
+    grid: &ProcGrid,
+    store: &ReadStore,
+    table: &KmerTable,
+) -> Vec<(u64, u64, AEntry)> {
+    let p = grid.world().size();
+    // (kmer, read, pos, fwd) routed to the kmer's owner for id lookup.
+    let mut outgoing: Vec<Vec<(u64, u64, u32, bool)>> = vec![Vec::new(); p];
+    for (read_id, codes) in store.iter() {
+        let seq = crate::dna::Seq::from_codes(codes.to_vec());
+        let mut seen: HashMap<u64, ()> = HashMap::new();
+        for hit in canonical_kmers(&seq, table.k) {
+            if seen.insert(hit.kmer, ()).is_none() {
+                outgoing[kmer_owner(hit.kmer, p)].push((hit.kmer, read_id, hit.pos, hit.fwd));
+            }
+        }
+    }
+    let incoming = grid.world().alltoallv(outgoing);
+    let mut triples = Vec::new();
+    for batch in incoming {
+        for (kmer, read_id, pos, fwd) in batch {
+            if let Some(col) = table.id_of(kmer) {
+                triples.push((read_id, col, AEntry { pos, fwd }));
+            }
+        }
+    }
+    triples
+}
+
+/// Convenience: total occurrences of reliable k-mers (collective), useful
+/// for diagnostics and the dataset table.
+pub fn reliable_occurrences(grid: &ProcGrid, triples_local: usize) -> u64 {
+    grid.world().allreduce(triples_local as u64, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::Seq;
+    use elba_comm::Cluster;
+
+    fn store_from(grid: &ProcGrid, reads: &[&str]) -> ReadStore {
+        let seqs: Vec<Seq> = reads.iter().map(|s| s.parse().expect("dna")).collect();
+        ReadStore::from_replicated(grid, &seqs)
+    }
+
+    #[test]
+    fn counts_match_serial_reference() {
+        for p in [1usize, 4, 9] {
+            let out = Cluster::run(p, |comm| {
+                let grid = ProcGrid::new(comm);
+                let reads = ["ACGTACGTACGT", "CGTACGTACG", "TTTTTTTTTT"];
+                let store = store_from(&grid, &reads);
+                let cfg = KmerConfig { k: 5, reliable_min: 1, reliable_max: u32::MAX };
+                let table = count_kmers(&grid, &store, &cfg);
+                grid.world().allreduce(table.n_local() as u64, |a, b| a + b)
+            });
+            // serial reference
+            let mut set = std::collections::HashSet::new();
+            for r in ["ACGTACGTACGT", "CGTACGTACG", "TTTTTTTTTT"] {
+                let s: Seq = r.parse().expect("dna");
+                for h in canonical_kmers(&s, 5) {
+                    set.insert(h.kmer);
+                }
+            }
+            assert!(out.iter().all(|&n| n == set.len() as u64), "p={p}");
+        }
+    }
+
+    #[test]
+    fn reliable_band_filters_singletons() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            // reads 0/1 are identical (all their k-mers have multiplicity
+            // >= 2); read 2 contributes only singletons, which the
+            // reliable_min = 2 band must drop.
+            let reads = ["ACGTACGTAC", "ACGTACGTAC", "GGGTTCAAGC"];
+            let store = store_from(&grid, &reads);
+            let cfg = KmerConfig { k: 5, reliable_min: 2, reliable_max: u32::MAX };
+            let table = count_kmers(&grid, &store, &cfg);
+            let n = grid.world().allreduce(table.n_local() as u64, |a, b| a + b);
+            assert_eq!(table.n_global, n);
+            n
+        });
+        // serial reference: distinct canonical 5-mers of the repeated read
+        // (each occurs >= 2 times globally), minus any that also appear in
+        // the singleton read (none do, but compute it faithfully).
+        let s: Seq = "ACGTACGTAC".parse().expect("dna");
+        let repeated: std::collections::HashSet<u64> =
+            canonical_kmers(&s, 5).into_iter().map(|h| h.kmer).collect();
+        assert!(out.iter().all(|&n| n == repeated.len() as u64), "{out:?}");
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let reads = ["ACGTACGTACGTGGCCA", "GGCCATTACGAACGT"];
+            let store = store_from(&grid, &reads);
+            let cfg = KmerConfig { k: 4, reliable_min: 1, reliable_max: u32::MAX };
+            let table = count_kmers(&grid, &store, &cfg);
+            let ids: Vec<u64> = table.local.values().copied().collect();
+            (table.n_global, grid.world().allgather(ids))
+        });
+        let (n_global, all_ids) = &out[0];
+        let mut flat: Vec<u64> = all_ids.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(flat.len() as u64, *n_global);
+        assert_eq!(flat, (0..*n_global).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_triples_cover_occurrences() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let reads = ["ACGTACGTAC", "ACGTACGTAC"];
+            let store = store_from(&grid, &reads);
+            let cfg = KmerConfig { k: 5, reliable_min: 2, reliable_max: u32::MAX };
+            let table = count_kmers(&grid, &store, &cfg);
+            let triples = build_a_triples(&grid, &store, &table);
+            let all: Vec<(u64, u64, u32)> = grid
+                .world()
+                .allgather(
+                    triples.iter().map(|&(r, c, e)| (r, c, e.pos)).collect::<Vec<_>>(),
+                )
+                .into_iter()
+                .flatten()
+                .collect();
+            all
+        });
+        let all = &out[0];
+        // one entry per (read, distinct canonical 5-mer)
+        let s: Seq = "ACGTACGTAC".parse().expect("dna");
+        let distinct: std::collections::HashSet<u64> =
+            canonical_kmers(&s, 5).into_iter().map(|h| h.kmer).collect();
+        assert_eq!(all.len(), 2 * distinct.len());
+        // identical reads produce identical (column, position) sets
+        let mut read0: Vec<(u64, u32)> =
+            all.iter().filter(|t| t.0 == 0).map(|t| (t.1, t.2)).collect();
+        let mut read1: Vec<(u64, u32)> =
+            all.iter().filter(|t| t.0 == 1).map(|t| (t.1, t.2)).collect();
+        read0.sort_unstable();
+        read1.sort_unstable();
+        assert_eq!(read0, read1);
+    }
+
+    #[test]
+    fn strand_flag_consistent_for_rc_read_pair() {
+        let out = Cluster::run(1, |comm| {
+            let grid = ProcGrid::new(comm);
+            // chosen so no 5-mer window is the reverse complement (or a
+            // duplicate) of another window: every canonical k-mer occurs
+            // exactly once per read, with opposite strand flags.
+            let fwd: Seq = "AAAACCCCAGT".parse().expect("dna");
+            let rc = fwd.reverse_complement();
+            let store = ReadStore::from_replicated(&grid, &[fwd, rc]);
+            let cfg = KmerConfig { k: 5, reliable_min: 2, reliable_max: u32::MAX };
+            let table = count_kmers(&grid, &store, &cfg);
+            let triples = build_a_triples(&grid, &store, &table);
+            // every shared k-mer appears in both reads with opposite strand
+            let mut by_col: HashMap<u64, Vec<(u64, bool)>> = HashMap::new();
+            for (r, c, e) in triples {
+                by_col.entry(c).or_default().push((r, e.fwd));
+            }
+            by_col.values().all(|v| {
+                v.len() == 2 && {
+                    let f0 = v.iter().find(|x| x.0 == 0).expect("read0").1;
+                    let f1 = v.iter().find(|x| x.0 == 1).expect("read1").1;
+                    f0 != f1
+                }
+            })
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn owner_hash_spreads() {
+        let p = 8;
+        let mut buckets = vec![0usize; p];
+        for kmer in 0..4000u64 {
+            buckets[kmer_owner(kmer * 2654435761, p)] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 4000 / p / 4), "{buckets:?}");
+    }
+}

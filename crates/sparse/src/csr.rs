@@ -1,0 +1,328 @@
+//! Compressed sparse row storage — the workhorse local format for SpGEMM
+//! and row-oriented reductions. Indices are `u32` (a local matrix block
+//! never exceeds 2³² rows/columns in any ELBA workload).
+
+/// A sparse matrix in CSR form with explicit `(indptr, indices, values)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T> Csr<T> {
+    /// Empty matrix of the given shape.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Csr { nrows, ncols, indptr: vec![0; nrows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Build from (row, col, value) triples; duplicates are merged with
+    /// `combine` (applied left-to-right in input order).
+    pub fn from_triples(
+        nrows: usize,
+        ncols: usize,
+        mut triples: Vec<(u32, u32, T)>,
+        mut combine: impl FnMut(&mut T, T),
+    ) -> Self {
+        triples.sort_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut indptr = vec![0usize; nrows + 1];
+        let mut indices = Vec::with_capacity(triples.len());
+        let mut values: Vec<T> = Vec::with_capacity(triples.len());
+        let mut last: Option<(u32, u32)> = None;
+        for (r, c, v) in triples {
+            debug_assert!((r as usize) < nrows && (c as usize) < ncols);
+            if last == Some((r, c)) {
+                let acc = values.last_mut().expect("duplicate follows an entry");
+                combine(acc, v);
+            } else {
+                indptr[r as usize + 1] += 1;
+                indices.push(c);
+                values.push(v);
+                last = Some((r, c));
+            }
+        }
+        for i in 0..nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        Csr { nrows, ncols, indptr, indices, values }
+    }
+
+    /// Build from parts already in canonical CSR order (sorted, deduped).
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<T>,
+    ) -> Self {
+        assert_eq!(indptr.len(), nrows + 1);
+        assert_eq!(indices.len(), values.len());
+        assert_eq!(*indptr.last().expect("indptr non-empty"), indices.len());
+        debug_assert!(indices.iter().all(|&c| (c as usize) < ncols));
+        Csr { nrows, ncols, indptr, indices, values }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[T]) {
+        let span = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[span.clone()], &self.values[span])
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Value at `(i, j)` if stored.
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        let (cols, vals) = self.row(i);
+        cols.binary_search(&(j as u32)).ok().map(|k| &vals[k])
+    }
+
+    /// Iterate all stored entries as `(row, col, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &T)> {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&c, v)| (i as u32, c, v))
+        })
+    }
+
+    /// Consume into (row, col, value) triples in row-major order.
+    pub fn into_triples(self) -> Vec<(u32, u32, T)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        let mut values = self.values.into_iter();
+        for i in 0..self.nrows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                out.push((i as u32, self.indices[k], values.next().expect("value per index")));
+            }
+        }
+        out
+    }
+
+    /// Map stored values, preserving structure.
+    pub fn map<U>(self, mut f: impl FnMut(u32, u32, T) -> U) -> Csr<U> {
+        let mut values = Vec::with_capacity(self.values.len());
+        let mut it = self.values.into_iter();
+        for i in 0..self.nrows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                values.push(f(i as u32, self.indices[k], it.next().expect("value per index")));
+            }
+        }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: self.indptr,
+            indices: self.indices,
+            values,
+        }
+    }
+
+    /// Keep only entries satisfying the predicate (CombBLAS `Prune`).
+    pub fn retain(self, mut keep: impl FnMut(u32, u32, &T) -> bool) -> Csr<T> {
+        let mut indptr = vec![0usize; self.nrows + 1];
+        let mut indices = Vec::with_capacity(self.indices.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        let mut it = self.values.into_iter();
+        for i in 0..self.nrows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let v = it.next().expect("value per index");
+                let c = self.indices[k];
+                if keep(i as u32, c, &v) {
+                    indices.push(c);
+                    values.push(v);
+                    indptr[i + 1] += 1;
+                }
+            }
+        }
+        for i in 0..self.nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, indptr, indices, values }
+    }
+
+    /// Local transpose (O(nnz + dims)).
+    pub fn transpose(self) -> Csr<T> {
+        let mut indptr = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            indptr[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            indptr[j + 1] += indptr[j];
+        }
+        let mut cursor = indptr.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values: Vec<Option<T>> = (0..self.nnz()).map(|_| None).collect();
+        let mut it = self.values.into_iter();
+        for i in 0..self.nrows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let c = self.indices[k] as usize;
+                let pos = cursor[c];
+                cursor[c] += 1;
+                indices[pos] = i as u32;
+                values[pos] = Some(it.next().expect("value per index"));
+            }
+        }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            values: values.into_iter().map(|v| v.expect("slot filled")).collect(),
+        }
+    }
+
+    /// Row-wise reduction: fold each row's values into one output.
+    pub fn row_reduce<U>(
+        &self,
+        mut init: impl FnMut() -> U,
+        mut fold: impl FnMut(&mut U, u32, &T),
+    ) -> Vec<U> {
+        (0..self.nrows)
+            .map(|i| {
+                let mut acc = init();
+                let (cols, vals) = self.row(i);
+                for (&c, v) in cols.iter().zip(vals) {
+                    fold(&mut acc, c, v);
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+impl<T: elba_comm::CommMsg + Clone> elba_comm::CommMsg for Csr<T> {
+    fn nbytes(&self) -> usize {
+        // Shape header + indptr + indices + values.
+        16 + self.indptr.len() * 8
+            + self.indices.len() * 4
+            + self.values.iter().map(|v| v.nbytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f64> {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        Csr::from_triples(
+            3,
+            3,
+            vec![(2, 1, 4.0), (0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0)],
+            |_, _| panic!("no duplicates"),
+        )
+    }
+
+    #[test]
+    fn from_triples_sorts() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(m.row(1).0.len(), 0);
+        assert_eq!(m.row(2), (&[0u32, 1][..], &[3.0, 4.0][..]));
+    }
+
+    #[test]
+    fn duplicates_merge() {
+        let m = Csr::from_triples(
+            2,
+            2,
+            vec![(0, 1, 1.0), (0, 1, 2.0), (0, 1, 4.0)],
+            |acc, v| *acc += v,
+        );
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), Some(&7.0));
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let m = sample();
+        assert_eq!(m.get(2, 1), Some(&4.0));
+        assert_eq!(m.get(1, 1), None);
+        let triples: Vec<_> = m.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        assert_eq!(triples, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.clone().transpose();
+        assert_eq!(t.get(1, 2), Some(&4.0));
+        assert_eq!(t.get(0, 0), Some(&1.0));
+        assert_eq!(t.get(2, 0), Some(&2.0));
+        let back = t.transpose();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let m = sample().retain(|_, _, &v| v > 2.0);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(2, 0), Some(&3.0));
+        assert_eq!(m.get(0, 0), None);
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let m = sample().map(|r, c, v| (r + c) as f64 + v);
+        assert_eq!(m.get(2, 1), Some(&7.0));
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn row_reduce_degrees() {
+        let deg = sample().row_reduce(|| 0u64, |acc, _, _| *acc += 1);
+        assert_eq!(deg, vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn into_triples_round_trip() {
+        let m = sample();
+        let t = m.clone().into_triples();
+        let rebuilt = Csr::from_triples(3, 3, t, |_, _| unreachable!());
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m: Csr<u8> = Csr::empty(4, 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row(3).0.len(), 0);
+    }
+}

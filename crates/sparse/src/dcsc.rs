@@ -1,0 +1,218 @@
+//! Doubly compressed sparse column (DCSC) storage (Buluç & Gilbert 2008).
+//!
+//! A 2D-distributed block is *hypersparse*: its nnz is far smaller than
+//! its dimension, so a CSC column-pointer array of length `ncols + 1`
+//! would dwarf the payload. DCSC stores pointers only for the non-empty
+//! columns. ELBA keeps pipeline matrices in DCSC and converts each local
+//! induced-subgraph block to CSC just before local assembly (§4.4) — "only
+//! column pointers need to be uncompressed and the row indices array stays
+//! intact"; [`Dcsc::to_csc`] reproduces exactly that linear-time expansion.
+
+use crate::csc::Csc;
+use crate::csr::Csr;
+
+/// Sparse matrix storing only non-empty columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dcsc<T> {
+    nrows: usize,
+    ncols: usize,
+    /// Indices of the non-empty columns, ascending (`JC` in DCSC papers).
+    jc: Vec<u32>,
+    /// Pointer per non-empty column into `ir`/`val` (`CP`), length `jc.len()+1`.
+    cp: Vec<usize>,
+    /// Row indices, grouped by non-empty column.
+    ir: Vec<u32>,
+    val: Vec<T>,
+}
+
+impl<T> Dcsc<T> {
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Dcsc { nrows, ncols, jc: Vec::new(), cp: vec![0], ir: Vec::new(), val: Vec::new() }
+    }
+
+    /// Build from triples; duplicates merged with `combine`.
+    pub fn from_triples(
+        nrows: usize,
+        ncols: usize,
+        mut triples: Vec<(u32, u32, T)>,
+        mut combine: impl FnMut(&mut T, T),
+    ) -> Self {
+        triples.sort_by_key(|&(r, c, _)| ((c as u64) << 32) | r as u64);
+        let mut jc = Vec::new();
+        let mut cp = vec![0usize];
+        let mut ir = Vec::with_capacity(triples.len());
+        let mut val: Vec<T> = Vec::with_capacity(triples.len());
+        let mut last: Option<(u32, u32)> = None;
+        for (r, c, v) in triples {
+            debug_assert!((r as usize) < nrows && (c as usize) < ncols);
+            if last == Some((r, c)) {
+                combine(val.last_mut().expect("duplicate follows entry"), v);
+                continue;
+            }
+            if jc.last() != Some(&c) {
+                jc.push(c);
+                cp.push(ir.len());
+            }
+            ir.push(r);
+            val.push(v);
+            *cp.last_mut().expect("cp non-empty") = ir.len();
+            last = Some((r, c));
+        }
+        Dcsc { nrows, ncols, jc, cp, ir, val }
+    }
+
+    pub fn from_csr(m: Csr<T>) -> Self {
+        let (nrows, ncols) = (m.nrows(), m.ncols());
+        let triples: Vec<(u32, u32, T)> = m.into_triples();
+        Self::from_triples(nrows, ncols, triples, |_, _| unreachable!("CSR has no duplicates"))
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.ir.len()
+    }
+
+    /// Number of non-empty columns (the quantity DCSC compresses on).
+    #[inline]
+    pub fn nzc(&self) -> usize {
+        self.jc.len()
+    }
+
+    /// Look up a column by global index (binary search over `jc`).
+    pub fn col(&self, j: usize) -> (&[u32], &[T]) {
+        match self.jc.binary_search(&(j as u32)) {
+            Ok(k) => {
+                let span = self.cp[k]..self.cp[k + 1];
+                (&self.ir[span.clone()], &self.val[span])
+            }
+            Err(_) => (&[], &[]),
+        }
+    }
+
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        let (rows, vals) = self.col(j);
+        rows.binary_search(&(i as u32)).ok().map(|k| &vals[k])
+    }
+
+    /// Iterate entries as `(row, col, &value)` in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &T)> {
+        (0..self.jc.len()).flat_map(move |k| {
+            let col = self.jc[k];
+            let span = self.cp[k]..self.cp[k + 1];
+            self.ir[span.clone()].iter().zip(&self.val[span]).map(move |(&r, v)| (r, col, v))
+        })
+    }
+
+    /// Uncompress to CSC: expand `jc`/`cp` into a full column-pointer
+    /// array; `ir` and `val` are reused unchanged (the paper's §4.4
+    /// conversion, linear in the number of columns).
+    pub fn to_csc(self) -> Csc<T> {
+        let mut triples: Vec<(u32, u32, T)> = Vec::with_capacity(self.nnz());
+        let mut vals = self.val.into_iter();
+        for k in 0..self.jc.len() {
+            let col = self.jc[k];
+            for idx in self.cp[k]..self.cp[k + 1] {
+                triples.push((self.ir[idx], col, vals.next().expect("value per entry")));
+            }
+        }
+        Csc::from_triples(self.nrows, self.ncols, triples, |_, _| {
+            unreachable!("DCSC has no duplicates")
+        })
+    }
+
+    /// Memory footprint in bytes of the index structure (excludes values);
+    /// used by tests asserting DCSC beats CSC on hypersparse blocks.
+    pub fn index_bytes(&self) -> usize {
+        self.jc.len() * 4 + self.cp.len() * 8 + self.ir.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hypersparse() -> Dcsc<u8> {
+        // 1000x1000 with 3 entries in 2 columns.
+        Dcsc::from_triples(
+            1000,
+            1000,
+            vec![(5, 700, 1), (900, 2, 2), (10, 700, 3)],
+            |_, _| unreachable!(),
+        )
+    }
+
+    #[test]
+    fn stores_only_nonempty_columns() {
+        let m = hypersparse();
+        assert_eq!(m.nzc(), 2);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(700), (&[5u32, 10][..], &[1u8, 3][..]));
+        assert_eq!(m.col(3).0.len(), 0);
+    }
+
+    #[test]
+    fn get_matches() {
+        let m = hypersparse();
+        assert_eq!(m.get(900, 2), Some(&2));
+        assert_eq!(m.get(5, 700), Some(&1));
+        assert_eq!(m.get(5, 701), None);
+    }
+
+    #[test]
+    fn to_csc_preserves_entries() {
+        let m = hypersparse();
+        let entries: Vec<_> = m.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        let csc = m.to_csc();
+        let csc_entries: Vec<_> = csc.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        assert_eq!(entries, csc_entries);
+        assert_eq!(csc.degree(700), 2);
+    }
+
+    #[test]
+    fn index_smaller_than_csc_for_hypersparse() {
+        let m = hypersparse();
+        let csc_index_bytes = (m.ncols() + 1) * 8 + m.nnz() * 4;
+        assert!(m.index_bytes() < csc_index_bytes / 10);
+    }
+
+    #[test]
+    fn from_csr_round_trip() {
+        let csr = Csr::from_triples(
+            6,
+            6,
+            vec![(0u32, 5u32, 1.5f64), (3, 2, 2.5), (5, 5, 3.5)],
+            |_, _| unreachable!(),
+        );
+        let entries: Vec<_> = csr.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        let dcsc = Dcsc::from_csr(csr);
+        let mut got: Vec<_> = dcsc.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        got.sort_by_key(|&(r, c, _)| (r, c));
+        let mut want = entries;
+        want.sort_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicates_merge() {
+        let m = Dcsc::from_triples(4, 4, vec![(1, 1, 10u32), (1, 1, 5)], |acc, v| *acc += v);
+        assert_eq!(m.get(1, 1), Some(&15));
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn empty() {
+        let m: Dcsc<u8> = Dcsc::empty(10, 10);
+        assert_eq!(m.nzc(), 0);
+        assert_eq!(m.col(5).0.len(), 0);
+    }
+}

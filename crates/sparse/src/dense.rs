@@ -1,0 +1,119 @@
+//! Tiny dense matrix used as a *test oracle* for the sparse kernels
+//! (exact `f64` arithmetic on small integer-valued matrices).
+
+/// Row-major dense `f64` matrix. Not for production use — it exists so
+/// property tests can check SpGEMM/SUMMA against straightforward
+/// triple-loop multiplication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dense { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|r| r.len() == ncols));
+        Dense { nrows, ncols, data: rows.into_iter().flatten().collect() }
+    }
+
+    pub fn from_csr(m: &crate::csr::Csr<f64>) -> Self {
+        let mut out = Dense::zeros(m.nrows(), m.ncols());
+        for (r, c, &v) in m.iter() {
+            out.set(r as usize, c as usize, v);
+        }
+        out
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.ncols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Nonzero entries as sparse triples.
+    pub fn triples(&self) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                let v = self.get(i, j);
+                if v != 0.0 {
+                    out.push((i as u32, j as u32, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Triple-loop reference multiply.
+    pub fn matmul(&self, other: &Dense) -> Dense {
+        assert_eq!(self.ncols, other.nrows);
+        let mut out = Dense::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    out.set(i, j, out.get(i, j) + a * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    pub fn transpose(&self) -> Dense {
+        let mut out = Dense::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Dense::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let id = Dense::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Dense::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn triples_skip_zeros() {
+        let a = Dense::from_rows(vec![vec![0.0, 2.0], vec![0.0, 0.0]]);
+        assert_eq!(a.triples(), vec![(0, 1, 2.0)]);
+    }
+}

@@ -1,0 +1,553 @@
+//! 2D-distributed sparse matrix (CombBLAS-style) over a √P×√P grid.
+//!
+//! Rank `(i, j)` owns block `(i, j)`: rows `row_layout.block_range(i)` ×
+//! columns `col_layout.block_range(j)`, stored locally as CSR with local
+//! indices. Provides the distributed operations ELBA's pipeline is built
+//! from: triple routing, SUMMA SpGEMM under an arbitrary semiring,
+//! transpose, element-wise apply/prune, row-wise reduction into a
+//! [`DistVec`], and symmetric row+column masking (branch removal).
+
+use elba_comm::{CommMsg, ProcGrid};
+
+use crate::csr::Csr;
+use crate::dist_vec::DistVec;
+use crate::layout::Layout2D;
+use crate::semiring::Semiring;
+use crate::spgemm::spgemm;
+
+/// Tag for the transpose block exchange.
+const TRANSPOSE_TAG: u64 = 0x00F1_7A7A;
+
+/// A sparse matrix distributed in 2D blocks over the process grid.
+#[derive(Debug, Clone)]
+pub struct DistMat<T> {
+    row_layout: Layout2D,
+    col_layout: Layout2D,
+    local: Csr<T>,
+}
+
+impl<T: Clone + CommMsg> DistMat<T> {
+    /// Collectively build from triples with *global* indices; each rank may
+    /// contribute any subset (triples are routed to their owner block).
+    /// Duplicate entries are merged with `combine`.
+    pub fn from_triples(
+        grid: &ProcGrid,
+        nrows: usize,
+        ncols: usize,
+        triples: Vec<(u64, u64, T)>,
+        mut combine: impl FnMut(&mut T, T),
+    ) -> Self {
+        let q = grid.q();
+        let row_layout = Layout2D::new(nrows, q);
+        let col_layout = Layout2D::new(ncols, q);
+        let p = grid.world().size();
+        let mut outgoing: Vec<Vec<(u64, u64, T)>> = (0..p).map(|_| Vec::new()).collect();
+        for (r, c, v) in triples {
+            let bi = row_layout.block_of(r as usize);
+            let bj = col_layout.block_of(c as usize);
+            outgoing[grid.rank_of(bi, bj)].push((r, c, v));
+        }
+        let incoming = grid.world().alltoallv(outgoing);
+        let row_range = row_layout.block_range(grid.myrow());
+        let col_range = col_layout.block_range(grid.mycol());
+        let local_triples: Vec<(u32, u32, T)> = incoming
+            .into_iter()
+            .flatten()
+            .map(|(r, c, v)| {
+                ((r as usize - row_range.start) as u32, (c as usize - col_range.start) as u32, v)
+            })
+            .collect();
+        let local = Csr::from_triples(
+            row_range.len(),
+            col_range.len(),
+            local_triples,
+            |acc, v| combine(acc, v),
+        );
+        DistMat { row_layout, col_layout, local }
+    }
+
+    /// Wrap an existing local block (layouts must match the grid).
+    pub fn from_local(grid: &ProcGrid, nrows: usize, ncols: usize, local: Csr<T>) -> Self {
+        let row_layout = Layout2D::new(nrows, grid.q());
+        let col_layout = Layout2D::new(ncols, grid.q());
+        assert_eq!(local.nrows(), row_layout.block_range(grid.myrow()).len());
+        assert_eq!(local.ncols(), col_layout.block_range(grid.mycol()).len());
+        DistMat { row_layout, col_layout, local }
+    }
+
+    /// Global row count.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.row_layout.len()
+    }
+
+    /// Global column count.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.col_layout.len()
+    }
+
+    #[inline]
+    pub fn row_layout(&self) -> Layout2D {
+        self.row_layout
+    }
+
+    #[inline]
+    pub fn col_layout(&self) -> Layout2D {
+        self.col_layout
+    }
+
+    /// This rank's local block.
+    #[inline]
+    pub fn local(&self) -> &Csr<T> {
+        &self.local
+    }
+
+    /// Global nonzero count (collective).
+    pub fn nnz_global(&self, grid: &ProcGrid) -> u64 {
+        grid.world().allreduce(self.local.nnz() as u64, |a, b| a + b)
+    }
+
+    /// Global index offsets of the local block: `(row_start, col_start)`.
+    pub fn local_offsets(&self, grid: &ProcGrid) -> (usize, usize) {
+        (
+            self.row_layout.block_range(grid.myrow()).start,
+            self.col_layout.block_range(grid.mycol()).start,
+        )
+    }
+
+    /// Iterate local entries with *global* coordinates.
+    pub fn iter_global<'a>(
+        &'a self,
+        grid: &ProcGrid,
+    ) -> impl Iterator<Item = (u64, u64, &'a T)> + 'a {
+        let (r0, c0) = self.local_offsets(grid);
+        self.local.iter().map(move |(r, c, v)| ((r as usize + r0) as u64, (c as usize + c0) as u64, v))
+    }
+
+    /// Gather every triple on every rank (test/diagnostic helper; global
+    /// coordinates, unsorted).
+    pub fn gather_triples(&self, grid: &ProcGrid) -> Vec<(u64, u64, T)> {
+        let local: Vec<(u64, u64, T)> =
+            self.iter_global(grid).map(|(r, c, v)| (r, c, v.clone())).collect();
+        grid.world().allgather(local).into_iter().flatten().collect()
+    }
+
+    /// Element-wise value transform (CombBLAS `Apply`); local, no
+    /// communication. `f` sees global coordinates.
+    pub fn map_values<U: Clone + CommMsg>(
+        self,
+        grid: &ProcGrid,
+        mut f: impl FnMut(u64, u64, T) -> U,
+    ) -> DistMat<U> {
+        let (r0, c0) = (
+            self.row_layout.block_range(grid.myrow()).start,
+            self.col_layout.block_range(grid.mycol()).start,
+        );
+        DistMat {
+            row_layout: self.row_layout,
+            col_layout: self.col_layout,
+            local: self
+                .local
+                .map(|r, c, v| f((r as usize + r0) as u64, (c as usize + c0) as u64, v)),
+        }
+    }
+
+    /// Keep only entries satisfying `keep` (CombBLAS `Prune`); local.
+    pub fn prune(self, grid: &ProcGrid, mut keep: impl FnMut(u64, u64, &T) -> bool) -> DistMat<T> {
+        let (r0, c0) = (
+            self.row_layout.block_range(grid.myrow()).start,
+            self.col_layout.block_range(grid.mycol()).start,
+        );
+        DistMat {
+            row_layout: self.row_layout,
+            col_layout: self.col_layout,
+            local: self
+                .local
+                .retain(|r, c, v| keep((r as usize + r0) as u64, (c as usize + c0) as u64, v)),
+        }
+    }
+
+    /// Prune entries of `self` using the co-located entry of another
+    /// same-shape, same-layout matrix (local; no communication). `keep`
+    /// receives global coordinates, the value, and the other matrix's
+    /// entry at the same position if present.
+    pub fn zip_prune<U>(
+        self,
+        grid: &ProcGrid,
+        other: &DistMat<U>,
+        mut keep: impl FnMut(u64, u64, &T, Option<&U>) -> bool,
+    ) -> DistMat<T> {
+        assert_eq!(self.row_layout, other.row_layout);
+        assert_eq!(self.col_layout, other.col_layout);
+        let (r0, c0) = (
+            self.row_layout.block_range(grid.myrow()).start,
+            self.col_layout.block_range(grid.mycol()).start,
+        );
+        let other_local = &other.local;
+        DistMat {
+            row_layout: self.row_layout,
+            col_layout: self.col_layout,
+            local: self.local.retain(|r, c, v| {
+                keep(
+                    (r as usize + r0) as u64,
+                    (c as usize + c0) as u64,
+                    v,
+                    other_local.get(r as usize, c as usize),
+                )
+            }),
+        }
+    }
+
+    /// Distributed transpose: block `(i, j)` swaps (transposed) triples
+    /// with the rank at `(j, i)`.
+    pub fn transpose(&self, grid: &ProcGrid) -> DistMat<T> {
+        let transposed: Vec<(u64, u64, T)> =
+            self.iter_global(grid).map(|(r, c, v)| (c, r, v.clone())).collect();
+        let received = if grid.is_diagonal() {
+            transposed
+        } else {
+            let partner = grid.transpose_rank();
+            grid.world().send(partner, TRANSPOSE_TAG, transposed);
+            grid.world().recv::<Vec<(u64, u64, T)>>(partner, TRANSPOSE_TAG)
+        };
+        // After the swap this rank holds block (myrow, mycol) of Aᵀ, whose
+        // row layout is A's column layout and vice versa.
+        let row_layout = self.col_layout;
+        let col_layout = self.row_layout;
+        let row_range = row_layout.block_range(grid.myrow());
+        let col_range = col_layout.block_range(grid.mycol());
+        let local_triples: Vec<(u32, u32, T)> = received
+            .into_iter()
+            .map(|(r, c, v)| {
+                ((r as usize - row_range.start) as u32, (c as usize - col_range.start) as u32, v)
+            })
+            .collect();
+        let local = Csr::from_triples(row_range.len(), col_range.len(), local_triples, |_, _| {
+            unreachable!("transpose cannot create duplicates")
+        });
+        DistMat { row_layout, col_layout, local }
+    }
+
+    /// Distributed SpGEMM `C = self ⊗ other` under `semiring`, via the 2D
+    /// SUMMA algorithm: at stage `s`, block column `s` of `A` is broadcast
+    /// along grid rows and block row `s` of `B` along grid columns; each
+    /// rank multiplies the pair locally and accumulates its `C` block.
+    pub fn spgemm<S, U>(
+        &self,
+        grid: &ProcGrid,
+        other: &DistMat<U>,
+        semiring: &S,
+    ) -> DistMat<S::Out>
+    where
+        S: Semiring<A = T, B = U>,
+        U: Clone + CommMsg,
+        S::Out: Clone + CommMsg,
+    {
+        assert_eq!(
+            self.col_layout, other.row_layout,
+            "inner dimension layouts must agree for SUMMA"
+        );
+        let q = grid.q();
+        let mut acc: Vec<(u32, u32, S::Out)> = Vec::new();
+        for s in 0..q {
+            let a_block = grid
+                .row()
+                .bcast(s, (grid.mycol() == s).then(|| self.local.clone()));
+            let b_block = grid
+                .col()
+                .bcast(s, (grid.myrow() == s).then(|| other.local.clone()));
+            let stage = spgemm(&a_block, &b_block, semiring);
+            acc.extend(stage.into_triples());
+        }
+        let row_range = self.row_layout.block_range(grid.myrow());
+        let col_range = other.col_layout.block_range(grid.mycol());
+        let local = Csr::from_triples(row_range.len(), col_range.len(), acc, |a, v| {
+            semiring.add(a, v)
+        });
+        DistMat { row_layout: self.row_layout, col_layout: other.col_layout, local }
+    }
+
+    /// Row-wise reduction into a [`DistVec`] aligned with the row layout:
+    /// `out[i] = fold over row i's entries`. Implemented as a local
+    /// reduction followed by a reduce-scatter over the grid-row
+    /// communicator (each rank ends up with its vector sub-chunk).
+    pub fn row_reduce<U>(
+        &self,
+        grid: &ProcGrid,
+        mut init: impl FnMut() -> U,
+        mut fold: impl FnMut(&mut U, u64, &T),
+        merge: impl Fn(U, U) -> U + Copy,
+    ) -> DistVec<U>
+    where
+        U: Clone + CommMsg,
+    {
+        let (_, c0) = self.local_offsets(grid);
+        let partial: Vec<U> = self.local.row_reduce(&mut init, |acc, c, v| {
+            fold(acc, (c as usize + c0) as u64, v)
+        });
+        // Slice the block-row partials into the q vector sub-chunks owned
+        // by this grid row and reduce-scatter them across the row comm.
+        let row_range = self.row_layout.block_range(grid.myrow());
+        let contributions: Vec<Vec<U>> = (0..grid.q())
+            .map(|j| {
+                let chunk = self.row_layout.chunk_range(grid.myrow(), j);
+                partial[(chunk.start - row_range.start)..(chunk.end - row_range.start)].to_vec()
+            })
+            .collect();
+        let reduced = grid.row().reduce_scatter_block(contributions, |a, b| {
+            a.into_iter().zip(b).map(|(x, y)| merge(x, y)).collect()
+        });
+        DistVec::from_local(grid, self.row_layout.len(), reduced)
+    }
+
+    /// Vertex degrees: row-wise nonzero count (the paper's "summation
+    /// reduction over the row dimension" producing the degree vector `d`).
+    pub fn row_degrees(&self, grid: &ProcGrid) -> DistVec<u64> {
+        self.row_reduce(grid, || 0u64, |acc, _, _| *acc += 1, |a, b| a + b)
+    }
+
+    /// Zero out every row **and** column whose mask entry is `true`
+    /// (ELBA's branch-vertex masking; requires a square matrix). The
+    /// matrix keeps its dimensions — "row 10 is still a row in the
+    /// matrix" — only its nonzeros change.
+    pub fn mask_rows_cols(self, grid: &ProcGrid, mask: &DistVec<bool>) -> DistMat<T> {
+        assert_eq!(self.row_layout, self.col_layout, "mask_rows_cols needs a square matrix");
+        assert_eq!(mask.len(), self.nrows());
+        let (row_mask, col_mask) = mask.fetch_aligned(grid);
+        // Local indices are block-relative and the fetched masks cover
+        // exactly this block's row/column ranges, so direct indexing works.
+        DistMat {
+            row_layout: self.row_layout,
+            col_layout: self.col_layout,
+            local: self
+                .local
+                .retain(|r, c, _| !row_mask[r as usize] && !col_mask[c as usize]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::semiring::{Count, PlusTimes};
+    use elba_comm::Cluster;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_triples(
+        rng: &mut StdRng,
+        nrows: usize,
+        ncols: usize,
+        density: f64,
+    ) -> Vec<(u64, u64, f64)> {
+        let mut out = Vec::new();
+        for r in 0..nrows {
+            for c in 0..ncols {
+                if rng.gen_bool(density) {
+                    out.push((r as u64, c as u64, rng.gen_range(-3..4) as f64));
+                }
+            }
+        }
+        out.retain(|&(_, _, v)| v != 0.0);
+        out
+    }
+
+    fn dense_from_triples(nrows: usize, ncols: usize, t: &[(u64, u64, f64)]) -> Dense {
+        let mut d = Dense::zeros(nrows, ncols);
+        for &(r, c, v) in t {
+            d.set(r as usize, c as usize, v);
+        }
+        d
+    }
+
+    #[test]
+    fn from_triples_round_trip() {
+        for p in [1usize, 4, 9] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                // Only rank 0 contributes; routing must deliver to owners.
+                let triples = if grid.world().rank() == 0 {
+                    vec![(0u64, 0u64, 1.0f64), (6, 3, 2.0), (3, 6, 3.0), (9, 9, 4.0)]
+                } else {
+                    Vec::new()
+                };
+                let m = DistMat::from_triples(&grid, 10, 10, triples, |_, _| unreachable!());
+                let mut all = m.gather_triples(&grid);
+                all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                all
+            });
+            assert_eq!(
+                out[0],
+                vec![(0, 0, 1.0), (3, 6, 3.0), (6, 3, 2.0), (9, 9, 4.0)],
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_triples_combined() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            // every rank contributes the same entry
+            let triples = vec![(2u64, 2u64, 1.0f64)];
+            let m = DistMat::from_triples(&grid, 5, 5, triples, |acc, v| *acc += v);
+            m.gather_triples(&grid)
+        });
+        assert_eq!(out[0], vec![(2, 2, 4.0)]);
+    }
+
+    #[test]
+    fn transpose_matches_serial() {
+        for p in [1usize, 4, 9] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut rng = StdRng::seed_from_u64(11);
+                let triples = random_triples(&mut rng, 13, 7, 0.2);
+                let mine = if grid.world().rank() == 0 { triples.clone() } else { Vec::new() };
+                let m = DistMat::from_triples(&grid, 13, 7, mine, |_, _| unreachable!());
+                let t = m.transpose(&grid);
+                assert_eq!(t.nrows(), 7);
+                assert_eq!(t.ncols(), 13);
+                let mut got = t.gather_triples(&grid);
+                got.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                let mut want: Vec<(u64, u64, f64)> =
+                    triples.iter().map(|&(r, c, v)| (c, r, v)).collect();
+                want.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                got == want
+            });
+            assert!(out.iter().all(|&ok| ok), "p={p}");
+        }
+    }
+
+    #[test]
+    fn summa_matches_dense_reference() {
+        for p in [1usize, 4, 9, 16] {
+            let ok = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut rng = StdRng::seed_from_u64(23 + p as u64);
+                let (n, k, m) = (17, 11, 9);
+                let a_triples = random_triples(&mut rng, n, k, 0.25);
+                let b_triples = random_triples(&mut rng, k, m, 0.25);
+                let mine_a = if grid.world().rank() == 0 { a_triples.clone() } else { Vec::new() };
+                let mine_b = if grid.world().rank() == 0 { b_triples.clone() } else { Vec::new() };
+                let a = DistMat::from_triples(&grid, n, k, mine_a, |_, _| unreachable!());
+                let b = DistMat::from_triples(&grid, k, m, mine_b, |_, _| unreachable!());
+                let c = a.spgemm(&grid, &b, &PlusTimes);
+                let want = dense_from_triples(n, k, &a_triples)
+                    .matmul(&dense_from_triples(k, m, &b_triples));
+                let got_triples = c.gather_triples(&grid);
+                let got = dense_from_triples(n, m, &got_triples);
+                got == want
+            });
+            assert!(ok.iter().all(|&x| x), "p={p}");
+        }
+    }
+
+    #[test]
+    fn aat_with_count_semiring_counts_shared_columns() {
+        // Mirrors overlap detection: A is reads×kmers, C = AAᵀ counts
+        // shared k-mers between each read pair.
+        let ok = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            // reads: 0 has kmers {0,1}, 1 has {1,2}, 2 has {3}
+            let triples = if grid.world().rank() == 0 {
+                vec![(0u64, 0u64, 1u8), (0, 1, 1), (1, 1, 1), (1, 2, 1), (2, 3, 1)]
+            } else {
+                Vec::new()
+            };
+            let a = DistMat::from_triples(&grid, 3, 4, triples, |_, _| unreachable!());
+            let at = a.transpose(&grid);
+            let c = a.spgemm(&grid, &at, &Count::<u8, u8>::new());
+            let mut got = c.gather_triples(&grid);
+            got.sort();
+            got == vec![
+                (0, 0, 2),
+                (0, 1, 1),
+                (1, 0, 1),
+                (1, 1, 2),
+                (2, 2, 1),
+            ]
+        });
+        assert!(ok.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn row_degrees_match_serial() {
+        for p in [1usize, 4, 9] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                // path graph 0-1-2-3-4 plus branch 2-5, symmetric
+                let edges: Vec<(u64, u64)> =
+                    vec![(0, 1), (1, 2), (2, 3), (3, 4), (2, 5)];
+                let triples: Vec<(u64, u64, u8)> = if grid.world().rank() == 0 {
+                    edges.iter().flat_map(|&(u, v)| [(u, v, 1u8), (v, u, 1u8)]).collect()
+                } else {
+                    Vec::new()
+                };
+                let m = DistMat::from_triples(&grid, 6, 6, triples, |_, _| unreachable!());
+                let deg = m.row_degrees(&grid);
+                deg.to_global(&grid)
+            });
+            assert_eq!(out[0], vec![1, 2, 3, 2, 1, 1], "p={p}");
+        }
+    }
+
+    #[test]
+    fn mask_rows_cols_removes_branch_vertex() {
+        // The §4.2 worked example: v1→v2→v3, v3→v4→v5→v6, v3→v7→v8
+        // (0-indexed: v3 = vertex 2). Masking vertex 2 leaves chains
+        // {0,1}, {3,4,5}, {6,7}.
+        for p in [1usize, 4] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let edges: Vec<(u64, u64)> =
+                    vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6), (6, 7)];
+                let triples: Vec<(u64, u64, u8)> = if grid.world().rank() == 0 {
+                    edges.iter().flat_map(|&(u, v)| [(u, v, 1u8), (v, u, 1u8)]).collect()
+                } else {
+                    Vec::new()
+                };
+                let s = DistMat::from_triples(&grid, 8, 8, triples, |_, _| unreachable!());
+                let deg = s.row_degrees(&grid);
+                let mask = deg.map(&grid, |_, &d| d >= 3);
+                let l = s.mask_rows_cols(&grid, &mask);
+                let mut got: Vec<(u64, u64)> =
+                    l.gather_triples(&grid).into_iter().map(|(r, c, _)| (r, c)).collect();
+                got.sort();
+                got
+            });
+            let want: Vec<(u64, u64)> = vec![
+                (0, 1),
+                (1, 0),
+                (3, 4),
+                (4, 3),
+                (4, 5),
+                (5, 4),
+                (6, 7),
+                (7, 6),
+            ];
+            assert_eq!(out[0], want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn map_values_and_prune() {
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let triples = if grid.world().rank() == 0 {
+                vec![(0u64, 1u64, 5u64), (1, 0, 6), (2, 2, 7)]
+            } else {
+                Vec::new()
+            };
+            let m = DistMat::from_triples(&grid, 3, 3, triples, |_, _| unreachable!());
+            let doubled = m.map_values(&grid, |_, _, v| v * 2);
+            let kept = doubled.prune(&grid, |r, c, _| r != c);
+            let mut got = kept.gather_triples(&grid);
+            got.sort();
+            got
+        });
+        assert_eq!(out[0], vec![(0, 1, 10), (1, 0, 12)]);
+    }
+}

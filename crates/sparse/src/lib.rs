@@ -1,0 +1,37 @@
+//! # elba-sparse — sparse matrix substrate for ELBA-RS
+//!
+//! ELBA (ICPP 2022) expresses the whole assembly pipeline in the language
+//! of sparse linear algebra over CombBLAS. This crate rebuilds that
+//! substrate in Rust:
+//!
+//! * local formats: [`csr::Csr`], [`csc::Csc`] (with the paper's
+//!   `JC`/`IR`/`VAL` naming used by local assembly), and hypersparse
+//!   [`dcsc::Dcsc`] with the §4.4 linear-time DCSC→CSC expansion,
+//! * [`semiring::Semiring`] overloading of `(+, ×)`, including filtering
+//!   semirings (a `multiply` that can annihilate),
+//! * local kernels: Gustavson [`spgemm::spgemm`] with a sparse
+//!   accumulator, [`spgemm::spmv`], element-wise merge,
+//! * the 2D-distributed layer: [`dist_mat::DistMat`] (SUMMA SpGEMM,
+//!   transpose, apply/prune, row reduction, branch masking) and
+//!   [`dist_vec::DistVec`] (gather/scatter by global index and the
+//!   paper's Fig. 2 row-allgather + transposed-p2p `fetch_aligned`
+//!   exchange),
+//! * [`dense::Dense`], a tiny dense oracle used by the test suite.
+
+pub mod csc;
+pub mod csr;
+pub mod dcsc;
+pub mod dense;
+pub mod dist_mat;
+pub mod dist_vec;
+pub mod layout;
+pub mod semiring;
+pub mod spgemm;
+
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dcsc::Dcsc;
+pub use dist_mat::DistMat;
+pub use dist_vec::DistVec;
+pub use layout::Layout2D;
+pub use semiring::Semiring;

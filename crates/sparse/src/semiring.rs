@@ -1,0 +1,222 @@
+//! Semiring abstraction: CombBLAS-style overloading of `(+, ×)` so the
+//! same SpGEMM/SpMV kernels serve numeric algebra, boolean reachability,
+//! and ELBA's overlap-detection and transitive-reduction algebras.
+
+/// A (possibly filtering) semiring over input types `A`, `B` and output
+/// `Out`.
+///
+/// `multiply` may return `None` to annihilate a contribution — the sparse
+/// analogue of multiplying by zero, used e.g. by the transitive-reduction
+/// step to drop direction-incompatible paths.
+pub trait Semiring {
+    type A: Clone + Send;
+    type B: Clone + Send;
+    type Out: Clone + Send;
+
+    fn multiply(&self, a: &Self::A, b: &Self::B) -> Option<Self::Out>;
+    fn add(&self, acc: &mut Self::Out, other: Self::Out);
+}
+
+/// Standard arithmetic `(+, ×)` semiring over `f64`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlusTimes;
+
+impl Semiring for PlusTimes {
+    type A = f64;
+    type B = f64;
+    type Out = f64;
+
+    #[inline]
+    fn multiply(&self, a: &f64, b: &f64) -> Option<f64> {
+        Some(a * b)
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut f64, other: f64) {
+        *acc += other;
+    }
+}
+
+/// Counting semiring over arbitrary inputs: every structural match
+/// contributes 1; addition sums. Row-reducing with it yields degrees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Count<A, B>(std::marker::PhantomData<(A, B)>);
+
+impl<A, B> Count<A, B> {
+    pub fn new() -> Self {
+        Count(std::marker::PhantomData)
+    }
+}
+
+impl<A: Clone + Send, B: Clone + Send> Semiring for Count<A, B> {
+    type A = A;
+    type B = B;
+    type Out = u64;
+
+    #[inline]
+    fn multiply(&self, _: &A, _: &B) -> Option<u64> {
+        Some(1)
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut u64, other: u64) {
+        *acc += other;
+    }
+}
+
+/// Boolean `(∨, ∧)` semiring: structural reachability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolOrAnd;
+
+impl Semiring for BoolOrAnd {
+    type A = bool;
+    type B = bool;
+    type Out = bool;
+
+    #[inline]
+    fn multiply(&self, a: &bool, b: &bool) -> Option<bool> {
+        (*a && *b).then_some(true)
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut bool, other: bool) {
+        *acc |= other;
+    }
+}
+
+/// Tropical `(min, +)` semiring over `u64` path lengths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type A = u64;
+    type B = u64;
+    type Out = u64;
+
+    #[inline]
+    fn multiply(&self, a: &u64, b: &u64) -> Option<u64> {
+        Some(a.saturating_add(*b))
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut u64, other: u64) {
+        *acc = (*acc).min(other);
+    }
+}
+
+/// `(min, select2nd)` semiring used by label-propagation style algorithms
+/// (LACC hooking): multiplying an edge by a vertex label selects the
+/// label; addition keeps the minimum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinSelect2nd;
+
+impl Semiring for MinSelect2nd {
+    /// Edge presence (structural).
+    type A = ();
+    /// Vertex label.
+    type B = u64;
+    type Out = u64;
+
+    #[inline]
+    fn multiply(&self, _: &(), label: &u64) -> Option<u64> {
+        Some(*label)
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut u64, other: u64) {
+        *acc = (*acc).min(other);
+    }
+}
+
+/// Adapt a plain closure pair into a semiring.
+pub struct FnSemiring<A, B, Out, M, Add>
+where
+    M: Fn(&A, &B) -> Option<Out>,
+    Add: Fn(&mut Out, Out),
+{
+    pub multiply: M,
+    pub add: Add,
+    _marker: std::marker::PhantomData<(A, B, Out)>,
+}
+
+impl<A, B, Out, M, Add> FnSemiring<A, B, Out, M, Add>
+where
+    M: Fn(&A, &B) -> Option<Out>,
+    Add: Fn(&mut Out, Out),
+{
+    pub fn new(multiply: M, add: Add) -> Self {
+        FnSemiring { multiply, add, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<A, B, Out, M, Add> Semiring for FnSemiring<A, B, Out, M, Add>
+where
+    A: Clone + Send,
+    B: Clone + Send,
+    Out: Clone + Send,
+    M: Fn(&A, &B) -> Option<Out>,
+    Add: Fn(&mut Out, Out),
+{
+    type A = A;
+    type B = B;
+    type Out = Out;
+
+    #[inline]
+    fn multiply(&self, a: &A, b: &B) -> Option<Out> {
+        (self.multiply)(a, b)
+    }
+
+    #[inline]
+    fn add(&self, acc: &mut Out, other: Out) {
+        (self.add)(acc, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_times() {
+        let s = PlusTimes;
+        assert_eq!(s.multiply(&3.0, &4.0), Some(12.0));
+        let mut acc = 1.0;
+        s.add(&mut acc, 2.0);
+        assert_eq!(acc, 3.0);
+    }
+
+    #[test]
+    fn bool_annihilates_false() {
+        let s = BoolOrAnd;
+        assert_eq!(s.multiply(&true, &false), None);
+        assert_eq!(s.multiply(&true, &true), Some(true));
+    }
+
+    #[test]
+    fn min_plus_saturates() {
+        let s = MinPlus;
+        assert_eq!(s.multiply(&u64::MAX, &1), Some(u64::MAX));
+        let mut acc = 9;
+        s.add(&mut acc, 3);
+        assert_eq!(acc, 3);
+    }
+
+    #[test]
+    fn min_select2nd_propagates_labels() {
+        let s = MinSelect2nd;
+        assert_eq!(s.multiply(&(), &7), Some(7));
+        let mut acc = 7;
+        s.add(&mut acc, 4);
+        assert_eq!(acc, 4);
+    }
+
+    #[test]
+    fn fn_semiring_filters() {
+        let s = FnSemiring::new(
+            |a: &u64, b: &u64| (a + b > 5).then(|| a + b),
+            |acc: &mut u64, x| *acc = (*acc).max(x),
+        );
+        assert_eq!(s.multiply(&1, &2), None);
+        assert_eq!(s.multiply(&4, &3), Some(7));
+    }
+}

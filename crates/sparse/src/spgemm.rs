@@ -1,0 +1,253 @@
+//! Local sparse kernels: Gustavson SpGEMM with a sparse accumulator (SPA)
+//! and semiring-generic SpMV. These run inside every SUMMA stage of the
+//! distributed multiply (overlap detection `C = AAᵀ`) and inside the
+//! transitive-reduction iteration.
+
+use crate::csr::Csr;
+use crate::semiring::Semiring;
+
+/// Sparse accumulator for one output row: dense value+generation arrays
+/// plus a touched-list, giving O(1) amortized insert and O(k log k) sorted
+/// extraction for k entries. Reused across rows without clearing.
+struct Spa<T> {
+    values: Vec<Option<T>>,
+    generation: Vec<u32>,
+    current: u32,
+    touched: Vec<u32>,
+}
+
+impl<T> Spa<T> {
+    fn new(ncols: usize) -> Self {
+        Spa {
+            values: (0..ncols).map(|_| None).collect(),
+            generation: vec![0; ncols],
+            current: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    fn next_row(&mut self) {
+        self.current += 1;
+        self.touched.clear();
+    }
+
+    fn accumulate<S>(&mut self, semiring: &S, col: u32, value: T)
+    where
+        S: Semiring<Out = T>,
+    {
+        let j = col as usize;
+        if self.generation[j] == self.current {
+            let acc = self.values[j].as_mut().expect("touched slot holds value");
+            semiring.add(acc, value);
+        } else {
+            self.generation[j] = self.current;
+            self.values[j] = Some(value);
+            self.touched.push(col);
+        }
+    }
+
+    fn drain_sorted(&mut self, indices: &mut Vec<u32>, values: &mut Vec<T>) {
+        self.touched.sort_unstable();
+        for &col in &self.touched {
+            indices.push(col);
+            values.push(self.values[col as usize].take().expect("touched slot holds value"));
+        }
+    }
+}
+
+/// C = A ⊗ B under `semiring` (Gustavson's row-by-row algorithm).
+///
+/// `A` is nrows×k with values of type `S::A`, `B` is k×ncols with values
+/// of type `S::B`; entries for which `multiply` returns `None` contribute
+/// nothing (filtering semirings).
+pub fn spgemm<S: Semiring>(a: &Csr<S::A>, b: &Csr<S::B>, semiring: &S) -> Csr<S::Out> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let mut spa = Spa::new(ncols);
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..nrows {
+        spa.next_row();
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, a_ik) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, b_kj) in b_cols.iter().zip(b_vals) {
+                if let Some(product) = semiring.multiply(a_ik, b_kj) {
+                    spa.accumulate(semiring, j, product);
+                }
+            }
+        }
+        spa.drain_sorted(&mut indices, &mut values);
+        indptr.push(indices.len());
+    }
+    Csr::from_parts(nrows, ncols, indptr, indices, values)
+}
+
+/// Merge two same-shape matrices entry-wise: values present in both are
+/// combined with `add`; the result keeps the union structure. Used to
+/// accumulate SUMMA stage outputs.
+pub fn ewise_add<T: Clone>(a: Csr<T>, b: Csr<T>, mut add: impl FnMut(&mut T, T)) -> Csr<T> {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    let mut triples = a.into_triples();
+    triples.extend(b.into_triples());
+    Csr::from_triples(nrows, ncols, triples, |acc, v| add(acc, v))
+}
+
+/// Sparse matrix × dense vector under `semiring`: `y[i] = ⊕_j m[i,j] ⊗ x[j]`.
+/// Rows with no surviving contribution yield `None`.
+pub fn spmv<S: Semiring>(m: &Csr<S::A>, x: &[S::B], semiring: &S) -> Vec<Option<S::Out>> {
+    assert_eq!(m.ncols(), x.len());
+    (0..m.nrows())
+        .map(|i| {
+            let (cols, vals) = m.row(i);
+            let mut acc: Option<S::Out> = None;
+            for (&j, v) in cols.iter().zip(vals) {
+                if let Some(product) = semiring.multiply(v, &x[j as usize]) {
+                    match acc.as_mut() {
+                        Some(a) => semiring.add(a, product),
+                        None => acc = Some(product),
+                    }
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::semiring::{BoolOrAnd, MinPlus, PlusTimes};
+
+    fn csr_from_dense(d: &Dense) -> Csr<f64> {
+        Csr::from_triples(d.nrows(), d.ncols(), d.triples(), |_, _| unreachable!())
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let a = Dense::from_rows(vec![vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0]]);
+        let b = Dense::from_rows(vec![vec![0.0, 1.0], vec![4.0, 0.0], vec![5.0, 6.0]]);
+        let c = spgemm(&csr_from_dense(&a), &csr_from_dense(&b), &PlusTimes);
+        let want = a.matmul(&b);
+        assert_eq!(Dense::from_csr(&c), want);
+    }
+
+    #[test]
+    fn empty_rows_and_columns() {
+        let a: Csr<f64> = Csr::empty(3, 4);
+        let b: Csr<f64> = Csr::empty(4, 2);
+        let c = spgemm(&a, &b, &PlusTimes);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!((c.nrows(), c.ncols()), (3, 2));
+    }
+
+    #[test]
+    fn boolean_path_semiring() {
+        // Path graph 0-1-2 squared reaches two hops.
+        let adj = Csr::from_triples(
+            3,
+            3,
+            vec![(0u32, 1u32, true), (1, 0, true), (1, 2, true), (2, 1, true)],
+            |_, _| unreachable!(),
+        );
+        let two_hop = spgemm(&adj, &adj, &BoolOrAnd);
+        assert_eq!(two_hop.get(0, 2), Some(&true));
+        assert_eq!(two_hop.get(0, 0), Some(&true)); // back and forth
+        assert_eq!(two_hop.get(0, 1), None); // no 2-hop path 0→1 in a path graph
+    }
+
+    #[test]
+    fn min_plus_shortest_two_hop() {
+        let w = Csr::from_triples(
+            3,
+            3,
+            vec![(0u32, 1u32, 5u64), (1, 2, 7), (0, 2, 100)],
+            |_, _| unreachable!(),
+        );
+        let two = spgemm(&w, &w, &MinPlus);
+        assert_eq!(two.get(0, 2), Some(&12));
+    }
+
+    #[test]
+    fn filtering_semiring_drops_products() {
+        use crate::semiring::FnSemiring;
+        let s = FnSemiring::new(
+            |a: &u64, b: &u64| {
+                let p = a + b;
+                (p % 2 == 0).then_some(p)
+            },
+            |acc: &mut u64, v| *acc = (*acc).min(v),
+        );
+        let m = Csr::from_triples(2, 2, vec![(0u32, 0u32, 1u64), (0, 1, 2)], |_, _| unreachable!());
+        let n = Csr::from_triples(2, 2, vec![(0u32, 0u32, 1u64), (1, 0, 3)], |_, _| unreachable!());
+        // products into (0,0): 1+1=2 (kept), 2+3=5 (dropped)
+        let c = spgemm(&m, &n, &s);
+        assert_eq!(c.get(0, 0), Some(&2));
+        assert_eq!(c.nnz(), 1);
+    }
+
+    #[test]
+    fn ewise_add_unions() {
+        let a = Csr::from_triples(2, 2, vec![(0u32, 0u32, 1.0f64)], |_, _| unreachable!());
+        let b = Csr::from_triples(2, 2, vec![(0u32, 0u32, 2.0f64), (1, 1, 5.0)], |_, _| {
+            unreachable!()
+        });
+        let c = ewise_add(a, b, |acc, v| *acc += v);
+        assert_eq!(c.get(0, 0), Some(&3.0));
+        assert_eq!(c.get(1, 1), Some(&5.0));
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn spmv_plus_times() {
+        let m = Csr::from_triples(
+            2,
+            3,
+            vec![(0u32, 0u32, 1.0f64), (0, 2, 2.0), (1, 1, 3.0)],
+            |_, _| unreachable!(),
+        );
+        let y = spmv(&m, &[1.0, 10.0, 100.0], &PlusTimes);
+        assert_eq!(y, vec![Some(201.0), Some(30.0)]);
+    }
+
+    #[test]
+    fn spmv_empty_row_is_none() {
+        let m: Csr<f64> = Csr::empty(2, 2);
+        let y = spmv(&m, &[1.0, 1.0], &PlusTimes);
+        assert_eq!(y, vec![None, None]);
+    }
+
+    #[test]
+    fn randomized_against_dense() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let (n, m, k) = (rng.gen_range(1..12), rng.gen_range(1..12), rng.gen_range(1..12));
+            let mut a = Dense::zeros(n, k);
+            let mut b = Dense::zeros(k, m);
+            for i in 0..n {
+                for j in 0..k {
+                    if rng.gen_bool(0.3) {
+                        a.set(i, j, rng.gen_range(-4..5) as f64);
+                    }
+                }
+            }
+            for i in 0..k {
+                for j in 0..m {
+                    if rng.gen_bool(0.3) {
+                        b.set(i, j, rng.gen_range(-4..5) as f64);
+                    }
+                }
+            }
+            let c = spgemm(&csr_from_dense(&a), &csr_from_dense(&b), &PlusTimes);
+            assert_eq!(Dense::from_csr(&c), a.matmul(&b));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! ELBA vs the shared-memory baselines (the paper's Table 3/4 scenario,
+//! in miniature): same dataset through the distributed pipeline and the
+//! two serial comparator assemblers, comparing wall time and quality.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use std::time::Instant;
+
+use elba::prelude::*;
+
+fn quality_row(name: &str, secs: f64, genome: &Seq, contigs: &[Seq]) {
+    let report = evaluate(genome, contigs, &QualityConfig::default());
+    println!(
+        "{:<18} {:>8.2}s {:>12.2}% {:>12} {:>9} {:>14}",
+        name,
+        secs,
+        report.completeness,
+        report.longest_contig,
+        report.n_contigs,
+        report.misassembled_contigs
+    );
+}
+
+fn main() {
+    let spec = DatasetSpec::celegans_like(0.3, 13); // 30 kb genome
+    let (genome, sim_reads) = spec.generate();
+    let reads: Vec<Seq> = sim_reads.into_iter().map(|r| r.seq).collect();
+    println!("{}: genome {} bp, {} reads\n", spec.name, genome.len(), reads.len());
+    println!(
+        "{:<18} {:>9} {:>13} {:>12} {:>9} {:>14}",
+        "assembler", "time", "completeness", "longest", "contigs", "misassemblies"
+    );
+
+    // ELBA on 4 in-process ranks.
+    let cfg = PipelineConfig::for_dataset(&spec);
+    let reads_clone = reads.clone();
+    let started = Instant::now();
+    let contigs = Cluster::run(4, move |comm| {
+        let grid = ProcGrid::new(comm);
+        let (contigs, _) = assemble_gathered(&grid, &reads_clone, &cfg);
+        contigs
+    })
+    .remove(0);
+    let elba_secs = started.elapsed().as_secs_f64();
+    let elba_seqs: Vec<Seq> = contigs.iter().map(|c| c.seq.clone()).collect();
+    quality_row("ELBA (P=4)", elba_secs, &genome, &elba_seqs);
+
+    // Baselines share the pipeline's k / x-drop parameters.
+    let bcfg = BaselineConfig {
+        k: spec.k,
+        xdrop: spec.xdrop,
+        min_overlap: (spec.reads.mean_len as f64 * 0.05) as usize,
+        fuzz: (spec.reads.mean_len as f64 * 0.05) as usize,
+        ..BaselineConfig::default()
+    };
+
+    let started = Instant::now();
+    let (bog, _) = assemble_bog(&reads, &bcfg);
+    let bog_secs = started.elapsed().as_secs_f64();
+    let bog_seqs: Vec<Seq> = bog.iter().map(|c| c.seq.clone()).collect();
+    quality_row("BOG (HiCanu-like)", bog_secs, &genome, &bog_seqs);
+
+    let started = Instant::now();
+    let (mini, _) = assemble_minimizer(&reads, &bcfg);
+    let mini_secs = started.elapsed().as_secs_f64();
+    let mini_seqs: Vec<Seq> = mini.iter().map(|c| c.seq.clone()).collect();
+    quality_row("minimizer (miniasm-like)", mini_secs, &genome, &mini_seqs);
+
+    println!(
+        "\nELBA speedup: {:.1}× over BOG, {:.1}× over minimizer \
+         (paper Table 3 reports 11–159× over HiCanu and 3–36× over Hifiasm\n\
+         at 18–128 nodes; shapes match — the thorough BOG baseline is the slower one)",
+        bog_secs / elba_secs,
+        mini_secs / elba_secs
+    );
+}

@@ -1,0 +1,211 @@
+//! `elba` — command-line front end for ELBA-RS.
+//!
+//! ```text
+//! elba simulate --dataset celegans --scale 0.3 --seed 7 \
+//!               --reads reads.fasta --genome genome.fasta
+//! elba assemble --reads reads.fasta --ranks 4 --out contigs.fasta \
+//!               [--k 31 --xdrop 15] [--scaffold] [--gfa graph.gfa]
+//! elba evaluate --reference genome.fasta --contigs contigs.fasta
+//! ```
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use elba::prelude::*;
+use elba::seq::fasta::{read_fasta, write_fasta, FastaRecord};
+use elba::seq::gfa::GfaGraph;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument '{arg}'"));
+        };
+        match it.next() {
+            Some(value) => flags.insert(key.to_owned(), value.clone()),
+            None => return Err(format!("flag --{key} needs a value")),
+        };
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("--{key}: cannot parse '{raw}'")),
+    }
+}
+
+fn spec_of(name: &str, scale: f64, seed: u64) -> Result<DatasetSpec, String> {
+    match name {
+        "celegans" => Ok(DatasetSpec::celegans_like(scale, seed)),
+        "osativa" => Ok(DatasetSpec::osativa_like(scale, seed)),
+        "hsapiens" => Ok(DatasetSpec::hsapiens_like(scale, seed)),
+        other => Err(format!("unknown dataset '{other}' (celegans|osativa|hsapiens)")),
+    }
+}
+
+fn write_seqs(path: &str, prefix: &str, seqs: &[Seq]) -> Result<(), String> {
+    let records: Vec<FastaRecord> = seqs
+        .iter()
+        .enumerate()
+        .map(|(i, seq)| FastaRecord { id: format!("{prefix}{i}"), seq: seq.clone() })
+        .collect();
+    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    write_fasta(BufWriter::new(file), &records).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn read_seqs(path: &str) -> Result<Vec<Seq>, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    Ok(read_fasta(BufReader::new(file))
+        .map_err(|e| format!("parse {path}: {e}"))?
+        .into_iter()
+        .map(|r| r.seq)
+        .collect())
+}
+
+fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
+    let dataset = get(&flags, "dataset")?;
+    let scale: f64 = num(&flags, "scale", 0.2)?;
+    let seed: u64 = num(&flags, "seed", 2022)?;
+    let spec = spec_of(dataset, scale, seed)?;
+    let (genome, sim_reads) = spec.generate();
+    let reads: Vec<Seq> = sim_reads.into_iter().map(|r| r.seq).collect();
+    println!(
+        "{}: genome {} bp, {} reads, depth {:.0}x, error {:.1}%",
+        spec.name,
+        genome.len(),
+        reads.len(),
+        spec.reads.depth,
+        spec.reads.error_rate * 100.0
+    );
+    write_seqs(get(&flags, "reads")?, "read_", &reads)?;
+    if let Some(genome_path) = flags.get("genome") {
+        write_seqs(genome_path, "genome_", std::slice::from_ref(&genome))?;
+    }
+    Ok(())
+}
+
+fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
+    let reads = read_seqs(get(&flags, "reads")?)?;
+    let ranks: usize = num(&flags, "ranks", 4)?;
+    let q = (ranks as f64).sqrt().round() as usize;
+    if q * q != ranks {
+        return Err(format!("--ranks must be a perfect square, got {ranks}"));
+    }
+    let mut cfg = PipelineConfig::default();
+    cfg.kmer.k = num(&flags, "k", 31usize)?;
+    cfg.overlap.k = cfg.kmer.k;
+    cfg.overlap.xdrop = num(&flags, "xdrop", 15i32)?;
+    cfg.overlap.min_overlap = num(&flags, "min-overlap", 100usize)?;
+    cfg.overlap.min_score_ratio = num(&flags, "min-score-ratio", 0.55f64)?;
+    cfg.overlap.fuzz = num(&flags, "fuzz", 100usize)?;
+    cfg.tr_fuzz = num(&flags, "tr-fuzz", 250u32)?;
+
+    println!("assembling {} reads on {ranks} in-process ranks (k={})", reads.len(), cfg.kmer.k);
+    let reads_run = reads.clone();
+    let cfg_run = cfg.clone();
+    let (mut outputs, profile) = Cluster::run_profiled(ranks, move |comm| {
+        let grid = ProcGrid::new(comm);
+        assemble_gathered(&grid, &reads_run, &cfg_run)
+    });
+    let (contigs, result) = outputs.remove(0);
+    print!("{}", profile.render_table());
+    println!(
+        "contigs: {} | reliable k-mers: {} | candidate pairs: {} | string-graph nnz: {}",
+        contigs.len(),
+        result.n_reliable_kmers,
+        result.candidate_nnz,
+        result.string_graph_nnz
+    );
+
+    let mut seqs: Vec<Seq> = contigs.iter().map(|c| c.seq.clone()).collect();
+    if flags.contains_key("scaffold") || flags.get("scaffold").is_some() {
+        let scfg = elba::core::scaffold::ScaffoldConfig {
+            k: cfg.kmer.k.min(21),
+            min_overlap: cfg.overlap.min_overlap,
+            ..Default::default()
+        };
+        let (scaffolds, stats) = elba::core::scaffold::scaffold_contigs(&seqs, &scfg);
+        println!(
+            "scaffolding: {} contigs -> {} scaffolds ({} joins)",
+            stats.input_contigs, stats.output_scaffolds, stats.joins
+        );
+        seqs = scaffolds;
+    }
+    write_seqs(get(&flags, "out")?, "contig_", &seqs)?;
+
+    if let Some(gfa_path) = flags.get("gfa") {
+        let mut graph = GfaGraph::new();
+        for (i, seq) in seqs.iter().enumerate() {
+            graph.add_segment(format!("contig_{i}"), seq.clone());
+        }
+        for (i, contig) in contigs.iter().enumerate() {
+            graph.add_path(
+                format!("walk_{i}"),
+                contig.read_ids.iter().map(|id| (format!("read_{id}"), false)).collect(),
+            );
+        }
+        let file = File::create(gfa_path).map_err(|e| format!("create {gfa_path}: {e}"))?;
+        graph.write(BufWriter::new(file)).map_err(|e| format!("write {gfa_path}: {e}"))?;
+        println!("assembly graph written to {gfa_path}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(flags: HashMap<String, String>) -> Result<(), String> {
+    let reference = read_seqs(get(&flags, "reference")?)?;
+    let contigs = read_seqs(get(&flags, "contigs")?)?;
+    let Some(reference) = reference.into_iter().next() else {
+        return Err("reference FASTA is empty".into());
+    };
+    let report = evaluate(&reference, &contigs, &QualityConfig::default());
+    println!("completeness        : {:.2}%", report.completeness);
+    println!("longest contig      : {} bp", report.longest_contig);
+    println!("contigs             : {}", report.n_contigs);
+    println!("misassembled contigs: {}", report.misassembled_contigs);
+    println!("NG50                : {} bp", report.ng50);
+    println!("total length        : {} bp", report.total_len);
+    println!("unaligned contigs   : {}", report.unaligned_contigs);
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: elba <simulate|assemble|evaluate> [--flag value]...\n\
+     \n\
+     simulate --dataset celegans|osativa|hsapiens --reads OUT.fasta\n\
+     \u{20}        [--genome OUT.fasta] [--scale 0.2] [--seed 2022]\n\
+     assemble --reads IN.fasta --out contigs.fasta [--ranks 4] [--k 31]\n\
+     \u{20}        [--xdrop 15] [--min-overlap 100] [--scaffold true]\n\
+     \u{20}        [--gfa graph.gfa]\n\
+     evaluate --reference genome.fasta --contigs contigs.fasta"
+        .to_owned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = parse_flags(rest).and_then(|flags| match command.as_str() {
+        "simulate" => cmd_simulate(flags),
+        "assemble" => cmd_assemble(flags),
+        "evaluate" => cmd_evaluate(flags),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

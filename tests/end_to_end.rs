@@ -1,0 +1,150 @@
+//! Integration tests spanning all crates: the full Algorithm 1 + 2
+//! pipeline on simulated datasets, checked for quality, determinism and
+//! distribution invariance.
+
+use elba::prelude::*;
+
+fn reads_of(spec: &DatasetSpec) -> (Seq, Vec<Seq>) {
+    let (genome, sim_reads) = spec.generate();
+    (genome, sim_reads.into_iter().map(|r| r.seq).collect())
+}
+
+fn canonical(contigs: &[Contig]) -> Vec<String> {
+    let mut out: Vec<String> = contigs
+        .iter()
+        .map(|c| {
+            let f = c.seq.to_string();
+            let r = c.seq.reverse_complement().to_string();
+            if f <= r {
+                f
+            } else {
+                r
+            }
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn run_at(nranks: usize, reads: &[Seq], cfg: &PipelineConfig) -> Vec<Contig> {
+    let reads = reads.to_vec();
+    let cfg = cfg.clone();
+    Cluster::run(nranks, move |comm| {
+        let grid = ProcGrid::new(comm);
+        let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+        contigs
+    })
+    .remove(0)
+}
+
+#[test]
+fn low_error_dataset_assembles_with_good_quality() {
+    let spec = DatasetSpec::celegans_like(0.15, 314); // 15 kb genome
+    let (genome, reads) = reads_of(&spec);
+    let cfg = PipelineConfig::for_dataset(&spec);
+    let contigs = run_at(4, &reads, &cfg);
+    assert!(!contigs.is_empty());
+    let seqs: Vec<Seq> = contigs.iter().map(|c| c.seq.clone()).collect();
+    let report = evaluate(&genome, &seqs, &QualityConfig::default());
+    assert!(report.completeness > 60.0, "completeness {}", report.completeness);
+    assert!(
+        report.longest_contig > genome.len() / 10,
+        "longest {} of {}",
+        report.longest_contig,
+        genome.len()
+    );
+}
+
+#[test]
+fn contig_set_is_invariant_across_rank_counts() {
+    let spec = DatasetSpec::celegans_like(0.08, 999);
+    let (_genome, reads) = reads_of(&spec);
+    let cfg = PipelineConfig::for_dataset(&spec);
+    let c1 = canonical(&run_at(1, &reads, &cfg));
+    let c4 = canonical(&run_at(4, &reads, &cfg));
+    let c9 = canonical(&run_at(9, &reads, &cfg));
+    assert_eq!(c1, c4, "P=1 vs P=4");
+    assert_eq!(c4, c9, "P=4 vs P=9");
+}
+
+#[test]
+fn each_read_belongs_to_at_most_one_contig() {
+    let spec = DatasetSpec::osativa_like(0.1, 77);
+    let (_genome, reads) = reads_of(&spec);
+    let cfg = PipelineConfig::for_dataset(&spec);
+    let contigs = run_at(4, &reads, &cfg);
+    let mut seen = std::collections::HashSet::new();
+    for contig in &contigs {
+        assert!(contig.read_ids.len() >= 2, "contigs are chains of >= 2 reads");
+        for &id in &contig.read_ids {
+            assert!(seen.insert(id), "read {id} appears in two contigs");
+            assert!((id as usize) < reads.len());
+        }
+    }
+}
+
+#[test]
+fn contig_length_is_bounded_by_member_reads() {
+    let spec = DatasetSpec::celegans_like(0.1, 55);
+    let (_genome, reads) = reads_of(&spec);
+    let cfg = PipelineConfig::for_dataset(&spec);
+    for contig in run_at(4, &reads, &cfg) {
+        let member_total: usize =
+            contig.read_ids.iter().map(|&id| reads[id as usize].len()).sum();
+        assert!(
+            contig.seq.len() <= member_total,
+            "contig ({}) longer than its reads combined ({})",
+            contig.seq.len(),
+            member_total
+        );
+    }
+}
+
+#[test]
+fn high_error_dataset_survives_the_pipeline() {
+    // 15 % error with the paper's k=17/x=7: mainly checks the noisy code
+    // paths (reliable band, early x-drop stops, fuzz classification).
+    let spec = DatasetSpec::hsapiens_like(0.08, 4242);
+    let (_genome, reads) = reads_of(&spec);
+    let cfg = PipelineConfig::for_dataset(&spec);
+    let reads_run = reads.clone();
+    let cfg_run = cfg.clone();
+    let result = Cluster::run(4, move |comm| {
+        let grid = ProcGrid::new(comm);
+        let result = assemble(&grid, &reads_run, &cfg_run);
+        (
+            result.align_stats.candidate_pairs,
+            result.contig_stats.assembly.contigs as u64,
+        )
+    })
+    .remove(0);
+    // the pipeline must at least look at candidates and not crash;
+    // at this scale and error rate contigs may be few
+    assert!(result.0 > 0, "no candidate pairs at 15% error");
+}
+
+#[test]
+fn pipeline_profile_contains_paper_phases() {
+    let spec = DatasetSpec::celegans_like(0.05, 321);
+    let (_genome, reads) = reads_of(&spec);
+    let cfg = PipelineConfig::for_dataset(&spec);
+    let (_, profile) = Cluster::run_profiled(4, move |comm| {
+        let grid = ProcGrid::new(comm);
+        assemble(&grid, &reads, &cfg)
+    });
+    let names = profile.phase_names();
+    for phase in ["CountKmer", "DetectOverlap", "Alignment", "TrReduction", "ExtractContig"] {
+        assert!(names.iter().any(|n| n == phase), "missing phase {phase}: {names:?}");
+        assert!(profile.max_wall(phase) >= 0.0);
+    }
+    // contig-stage sub-phases exist for the Fig. 5 / §6.1 analyses
+    for phase in [
+        "ExtractContig:BranchRemoval",
+        "ExtractContig:ConnectedComponent",
+        "ExtractContig:GreedyPartitioning",
+        "ExtractContig:InducedSubgraph",
+        "ExtractContig:LocalAssembly",
+    ] {
+        assert!(names.iter().any(|n| n == phase), "missing sub-phase {phase}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based integration tests: randomized mini-genomes through the
+//! full distributed pipeline, checking structural invariants that must
+//! hold for *any* input.
+
+use elba::prelude::*;
+use proptest::prelude::*;
+
+fn pipeline_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::default();
+    cfg.kmer.k = 15;
+    cfg.kmer.reliable_min = 2;
+    cfg.kmer.reliable_max = 100;
+    cfg.overlap.k = 15;
+    cfg.overlap.xdrop = 12;
+    cfg.overlap.min_overlap = 60;
+    cfg.overlap.fuzz = 40;
+    cfg.tr_fuzz = 120;
+    cfg
+}
+
+/// Deterministically tile a random genome with overlapping reads.
+fn tiled_reads(genome: &Seq, read_len: usize, stride: usize, flip_every: usize) -> Vec<Seq> {
+    let mut reads = Vec::new();
+    let mut start = 0;
+    let mut i = 0usize;
+    while start + read_len <= genome.len() {
+        let r = genome.substring(start, start + read_len);
+        reads.push(if flip_every > 0 && i % flip_every == 0 {
+            r.reverse_complement()
+        } else {
+            r
+        });
+        start += stride;
+        i += 1;
+    }
+    reads
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case spins up an in-process cluster
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn tiled_error_free_reads_reassemble_one_contig(
+        seed in 0u64..1000,
+        stride in 60usize..120,
+        flip_every in 0usize..4,
+    ) {
+        let read_len = 200usize;
+        let n_reads = 6usize;
+        let glen = stride * (n_reads - 1) + read_len;
+        let genome = {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            Seq::from_codes((0..glen).map(|_| rng.gen_range(0..4u8)).collect())
+        };
+        let reads = tiled_reads(&genome, read_len, stride, flip_every);
+        let cfg = pipeline_cfg();
+        let genome_check = genome.clone();
+        let out = Cluster::run(4, move |comm| {
+            let grid = ProcGrid::new(comm);
+            let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+            contigs
+        }).remove(0);
+
+        // Exactly one contig covering the genome (or its rc), because the
+        // reads tile a repeat-free random genome with unique overlaps.
+        prop_assert_eq!(out.len(), 1, "expected one contig, got {}", out.len());
+        let contig = &out[0].seq;
+        prop_assert!(
+            contig == &genome_check || *contig == genome_check.reverse_complement(),
+            "contig (len {}) differs from genome (len {})",
+            contig.len(),
+            genome_check.len()
+        );
+    }
+
+    #[test]
+    fn read_ids_always_valid_and_unique(
+        seed in 0u64..1000,
+        depth in 6u32..12,
+    ) {
+        let spec = DatasetSpec {
+            name: "prop",
+            genome: elba::seq::sim::GenomeConfig {
+                length: 6_000,
+                repeat_fraction: 0.0,
+                repeat_unit_len: 0,
+                repeat_divergence: 0.0,
+                seed,
+            },
+            reads: elba::seq::sim::ReadSimConfig {
+                depth: depth as f64,
+                mean_len: 900,
+                min_len: 400,
+                error_rate: 0.0,
+                seed: seed ^ 0xF00D,
+            },
+            k: 15,
+            xdrop: 12,
+        };
+        let (_genome, sim_reads) = spec.generate();
+        let reads: Vec<Seq> = sim_reads.into_iter().map(|r| r.seq).collect();
+        let n = reads.len();
+        let cfg = pipeline_cfg();
+        let contigs = Cluster::run(4, move |comm| {
+            let grid = ProcGrid::new(comm);
+            let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+            contigs
+        }).remove(0);
+        let mut seen = std::collections::HashSet::new();
+        for contig in &contigs {
+            prop_assert!(contig.read_ids.len() >= 2);
+            for &id in &contig.read_ids {
+                prop_assert!((id as usize) < n, "read id {id} out of range {n}");
+                prop_assert!(seen.insert(id), "read {id} reused");
+            }
+        }
+    }
+}
