@@ -490,7 +490,11 @@ mod tests {
             let u = g.substring(a_start, a_end);
             let v_fwd = g.substring(b_start, b_end);
             let rc = rng.gen_bool(0.5);
-            let v = if rc { v_fwd.reverse_complement() } else { v_fwd };
+            let v = if rc {
+                v_fwd.reverse_complement()
+            } else {
+                v_fwd
+            };
             // true overlap in oriented space
             let aln = OverlapAln {
                 rc,

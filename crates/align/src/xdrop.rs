@@ -16,7 +16,11 @@ pub struct Scoring {
 
 impl Default for Scoring {
     fn default() -> Self {
-        Scoring { match_score: 1, mismatch: -1, gap: -1 }
+        Scoring {
+            match_score: 1,
+            mismatch: -1,
+            gap: -1,
+        }
     }
 }
 
@@ -38,7 +42,11 @@ const NEG: i32 = i32::MIN / 4;
 /// score seen. Returns the best-scoring endpoint.
 pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
     if a.is_empty() || b.is_empty() {
-        return Extension { score: 0, a_len: 0, b_len: 0 };
+        return Extension {
+            score: 0,
+            a_len: 0,
+            b_len: 0,
+        };
     }
     // Antidiagonal d holds cells (i, j) with i + j = d; arrays are indexed
     // by j relative to their live-band start. Only the live band is ever
@@ -47,7 +55,11 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
     // window is the union of those shifted bands — the x-drop prune keeps
     // it O(error band), not O(sequence length).
     let (alen, blen) = (a.len(), b.len());
-    let mut best = Extension { score: 0, a_len: 0, b_len: 0 };
+    let mut best = Extension {
+        score: 0,
+        a_len: 0,
+        b_len: 0,
+    };
     // (band values, j of first cell); empty vec = fully pruned level.
     // Three buffers rotate to avoid per-antidiagonal allocation in this
     // innermost pipeline kernel.
@@ -85,7 +97,10 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
         scratch.resize(hi_cand - lo_cand + 1, NEG);
         let cur = &mut scratch;
         let fetch = |band: &(Vec<i32>, usize), j: usize| -> Option<i32> {
-            j.checked_sub(band.1).and_then(|idx| band.0.get(idx)).copied().filter(|&v| v > NEG)
+            j.checked_sub(band.1)
+                .and_then(|idx| band.0.get(idx))
+                .copied()
+                .filter(|&v| v > NEG)
         };
         for j in lo_cand..=hi_cand {
             let i = d - j;
@@ -101,8 +116,11 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
                 }
                 if i >= 1 {
                     if let Some(v) = fetch(&prev2, j - 1) {
-                        let m =
-                            if a[i - 1] == b[j - 1] { sc.match_score } else { sc.mismatch };
+                        let m = if a[i - 1] == b[j - 1] {
+                            sc.match_score
+                        } else {
+                            sc.mismatch
+                        };
                         s = s.max(v + m); // diagonal from (i-1, j-1)
                     }
                 }
@@ -110,7 +128,11 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
             if s > NEG && s >= best.score - xdrop {
                 cur[j - lo_cand] = s;
                 if s > best.score {
-                    best = Extension { score: s, a_len: i, b_len: j };
+                    best = Extension {
+                        score: s,
+                        a_len: i,
+                        b_len: j,
+                    };
                 }
             }
         }
@@ -122,7 +144,10 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
                 lo_cand
             }
             Some(first) => {
-                let last = cur.iter().rposition(|&v| v > NEG).expect("live cell exists");
+                let last = cur
+                    .iter()
+                    .rposition(|&v| v > NEG)
+                    .expect("live cell exists");
                 cur.truncate(last + 1);
                 cur.drain(..first);
                 lo_cand + first
@@ -134,7 +159,10 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
             break;
         }
         // rotate buffers: prev2 <- prev <- cur, reuse old prev2 as scratch
-        let recycled = std::mem::replace(&mut prev2, std::mem::replace(&mut prev, (std::mem::take(&mut scratch), new_lo)));
+        let recycled = std::mem::replace(
+            &mut prev2,
+            std::mem::replace(&mut prev, (std::mem::take(&mut scratch), new_lo)),
+        );
         scratch = recycled.0;
     }
     best
@@ -193,7 +221,14 @@ mod tests {
     fn identical_extends_fully() {
         let a = codes("ACGTACGTACGT");
         let ext = xdrop_extend(&a, &a, 5, Scoring::default());
-        assert_eq!(ext, Extension { score: 12, a_len: 12, b_len: 12 });
+        assert_eq!(
+            ext,
+            Extension {
+                score: 12,
+                a_len: 12,
+                b_len: 12
+            }
+        );
     }
 
     #[test]
@@ -231,7 +266,11 @@ mod tests {
     fn empty_inputs() {
         assert_eq!(
             xdrop_extend(&[], &[0, 1], 3, Scoring::default()),
-            Extension { score: 0, a_len: 0, b_len: 0 }
+            Extension {
+                score: 0,
+                a_len: 0,
+                b_len: 0
+            }
         );
     }
 
@@ -295,7 +334,11 @@ mod tests {
         let (a_pos, b_pos) = seed.expect("an error-free 15-mer seed exists");
         let aln = extend_seed(&a, &b, a_pos, b_pos, 15, 20, Scoring::default());
         // must span (nearly) the full 100-base true overlap
-        assert!(aln.a_end - aln.a_beg + 1 >= 90, "span {}", aln.a_end - aln.a_beg + 1);
+        assert!(
+            aln.a_end - aln.a_beg + 1 >= 90,
+            "span {}",
+            aln.a_end - aln.a_beg + 1
+        );
         assert!(aln.score >= 80);
     }
 }

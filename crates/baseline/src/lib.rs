@@ -93,7 +93,10 @@ fn candidates_all_kmers(reads: &[Seq], cfg: &BaselineConfig) -> Vec<PairSeed> {
         let mut seen: HashMap<u64, ()> = HashMap::new();
         for hit in canonical_kmers(read, cfg.k) {
             if seen.insert(hit.kmer, ()).is_none() {
-                index.entry(hit.kmer).or_default().push((rid as u32, hit.pos, hit.fwd));
+                index
+                    .entry(hit.kmer)
+                    .or_default()
+                    .push((rid as u32, hit.pos, hit.fwd));
             }
         }
     }
@@ -116,7 +119,10 @@ fn candidates_minimizer(reads: &[Seq], cfg: &BaselineConfig) -> Vec<PairSeed> {
                 .expect("window non-empty");
             if last_pick != Some(pick.pos) {
                 last_pick = Some(pick.pos);
-                index.entry(pick.kmer).or_default().push((rid as u32, pick.pos, pick.fwd));
+                index
+                    .entry(pick.kmer)
+                    .or_default()
+                    .push((rid as u32, pick.pos, pick.fwd));
             }
         }
     }
@@ -140,8 +146,11 @@ fn collect_pair_seeds(
                 if ru == rv {
                     continue;
                 }
-                let (u, v, pos_u, pos_v, fu, fv) =
-                    if ru < rv { (ru, rv, pu, pv, fu, fv) } else { (rv, ru, pv, pu, fv, fu) };
+                let (u, v, pos_u, pos_v, fu, fv) = if ru < rv {
+                    (ru, rv, pu, pv, fu, fv)
+                } else {
+                    (rv, ru, pv, pu, fv, fu)
+                };
                 seeds.entry((u, v)).or_insert(PairSeed {
                     u,
                     v,
@@ -172,8 +181,7 @@ fn build_edges(
         let u_codes = reads[seed.u as usize].codes();
         let v = &reads[seed.v as usize];
         let aln = if seed.same_strand {
-            if seed.pos_u as usize + cfg.k > u_codes.len()
-                || seed.pos_v as usize + cfg.k > v.len()
+            if seed.pos_u as usize + cfg.k > u_codes.len() || seed.pos_v as usize + cfg.k > v.len()
             {
                 continue;
             }
@@ -210,8 +218,7 @@ fn build_edges(
             OverlapClass::ContainedV => contained[seed.v as usize] = true,
             OverlapClass::Internal => {}
             OverlapClass::Dovetail { fwd, bwd } => {
-                let score_ok =
-                    aln.score as f64 >= cfg.min_score_ratio * aln.span() as f64;
+                let score_ok = aln.score as f64 >= cfg.min_score_ratio * aln.span() as f64;
                 if aln.span() >= cfg.min_overlap && score_ok {
                     edges.push((seed.u, seed.v, fwd));
                     edges.push((seed.v, seed.u, bwd));
@@ -240,14 +247,14 @@ fn best_overlap_filter(n: usize, edges: Vec<(u32, u32, SgEdge)>) -> Vec<(u32, u3
             }
         }
     }
-    let is_best = |u: u32, v: u32, e: &SgEdge| best.get(&(u, e.src_rev)).map(|&(p, _)| p) == Some(v);
+    let is_best =
+        |u: u32, v: u32, e: &SgEdge| best.get(&(u, e.src_rev)).map(|&(p, _)| p) == Some(v);
     let _ = n;
     edges
         .into_iter()
         .filter(|&(u, v, ref e)| {
             // mutual: the reverse edge must also be v's best on its end
-            is_best(u, v, e)
-                && best.iter().any(|(&(r, _), &(p, _))| r == v && p == u)
+            is_best(u, v, e) && best.iter().any(|(&(r, _), &(p, _))| r == v && p == u)
         })
         .collect()
 }
@@ -274,8 +281,7 @@ fn serial_transitive_reduction(
                             && e1.dst_rev == e2.src_rev
                             && e1.src_rev == e.src_rev
                             && e2.dst_rev == e.dst_rev
-                            && e1.suffix.saturating_add(e2.suffix)
-                                <= e.suffix.saturating_add(fuzz)
+                            && e1.suffix.saturating_add(e2.suffix) <= e.suffix.saturating_add(fuzz)
                     })
             })
         });
@@ -303,7 +309,10 @@ fn assemble_from_edges(
         .collect();
     stats.dovetail_edges = kept.len();
     let dcsc = Dcsc::from_triples(n, n, kept, |_, _| {});
-    let graph = LocalGraph { global_ids: (0..n as u64).collect(), csc: dcsc.to_csc() };
+    let graph = LocalGraph {
+        global_ids: (0..n as u64).collect(),
+        csc: dcsc.to_csc(),
+    };
     let mut store = ReadStore::empty(n);
     for (rid, read) in reads.iter().enumerate() {
         store.push(rid as u64, read.codes());

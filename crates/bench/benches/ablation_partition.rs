@@ -15,7 +15,10 @@ use elba_core::{partition, PartitionStrategy, Partitioning};
 use elba_seq::DatasetSpec;
 
 fn compare(sizes: &[u64], nparts: usize, label: &str) {
-    println!("\n--- {label}: {} contigs over P = {nparts} ---", sizes.len());
+    println!(
+        "\n--- {label}: {} contigs over P = {nparts} ---",
+        sizes.len()
+    );
     let widths = [16, 12, 12, 12, 12];
     println!(
         "{}",
@@ -63,15 +66,15 @@ fn main() {
     let (_genome, reads) = dataset(&spec);
     let cfg = elba_core::PipelineConfig::for_dataset(&spec);
     let run = elba_bench::run_pipeline(&reads, &cfg, 4);
-    let contig_sizes: Vec<u64> =
-        run.contigs.iter().map(|c| c.read_ids.len() as u64).collect();
+    let contig_sizes: Vec<u64> = run
+        .contigs
+        .iter()
+        .map(|c| c.read_ids.len() as u64)
+        .collect();
     if !contig_sizes.is_empty() {
         for nparts in [4usize, 16, 64] {
             compare(&contig_sizes, nparts, &format!("measured ({})", spec.name));
-            let _ = nparts; // each P reported separately below
-            break;
         }
-        compare(&contig_sizes, 16, &format!("measured ({})", spec.name));
     }
 
     // (b) synthetic skew: power-law-ish contig sizes, the adversarial case

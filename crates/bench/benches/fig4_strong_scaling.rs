@@ -48,11 +48,18 @@ fn scaling_for(spec: &DatasetSpec) {
         let series = project_series(&base, &model, &PAPER_NODE_COUNTS);
         let eff = efficiency(&series);
         println!("\n  projected on {} (paper Fig. 4 series):", model.name);
-        println!("  {:>7} {:>8} {:>14} {:>12}", "nodes", "ranks", "projected s", "efficiency");
-        for ((nodes, (ranks, secs)), e) in
-            PAPER_NODE_COUNTS.iter().zip(&series).zip(&eff)
-        {
-            println!("  {:>7} {:>8} {:>14.4} {:>11.0}%", nodes, ranks, secs, e * 100.0);
+        println!(
+            "  {:>7} {:>8} {:>14} {:>12}",
+            "nodes", "ranks", "projected s", "efficiency"
+        );
+        for ((nodes, (ranks, secs)), e) in PAPER_NODE_COUNTS.iter().zip(&series).zip(&eff) {
+            println!(
+                "  {:>7} {:>8} {:>14.4} {:>11.0}%",
+                nodes,
+                ranks,
+                secs,
+                e * 100.0
+            );
         }
     }
 }

@@ -7,9 +7,7 @@
 //!   induced subgraph function, which mainly involves communication";
 //! * "ExtractContig never requires more than 5 % of the computation".
 
-use elba_bench::{
-    banner, dataset, pipeline_time, run_pipeline, CONTIG_PHASES, PAPER_PHASES,
-};
+use elba_bench::{banner, dataset, pipeline_time, run_pipeline, CONTIG_PHASES, PAPER_PHASES};
 use elba_core::PipelineConfig;
 use elba_seq::DatasetSpec;
 
@@ -18,16 +16,26 @@ fn breakdown_for(spec: &DatasetSpec, nranks: usize) {
     let cfg = PipelineConfig::for_dataset(spec);
     let run = run_pipeline(&reads, &cfg, nranks);
     let total = pipeline_time(&run.profile);
-    println!("\n--- {} at P = {nranks} (pipeline {total:.3}s) ---", spec.name);
+    println!(
+        "\n--- {} at P = {nranks} (pipeline {total:.3}s) ---",
+        spec.name
+    );
     println!("{:<16} {:>10} {:>8}", "phase", "max-wall s", "share");
     for phase in PAPER_PHASES {
         let t = run.profile.max_wall(phase);
-        println!("{:<16} {:>10.4} {:>7.1}%", phase, t, 100.0 * t / total.max(1e-12));
+        println!(
+            "{:<16} {:>10.4} {:>7.1}%",
+            phase,
+            t,
+            100.0 * t / total.max(1e-12)
+        );
     }
 
     // §6.1 internal breakdown of ExtractContig.
-    let contig_total: f64 =
-        CONTIG_PHASES.iter().map(|ph| run.profile.max_wall(ph)).sum();
+    let contig_total: f64 = CONTIG_PHASES
+        .iter()
+        .map(|ph| run.profile.max_wall(ph))
+        .sum();
     println!("  └─ ExtractContig internals (contig stage {contig_total:.4}s):");
     for phase in CONTIG_PHASES {
         let t = run.profile.max_wall(phase);
@@ -52,7 +60,10 @@ fn breakdown_for(spec: &DatasetSpec, nranks: usize) {
 
 fn main() {
     banner("Figure 5 — runtime breakdown of the main pipeline stages");
-    for spec in [DatasetSpec::celegans_like(0.35, 51), DatasetSpec::osativa_like(0.30, 52)] {
+    for spec in [
+        DatasetSpec::celegans_like(0.35, 51),
+        DatasetSpec::osativa_like(0.30, 52),
+    ] {
         for nranks in [4usize, 16] {
             breakdown_for(&spec, nranks);
         }

@@ -41,7 +41,10 @@ fn main() {
     let times: Vec<f64> = series.iter().map(|&(_, t)| t).collect();
     let eff = MachineModel::parallel_efficiency(&ranks, &times);
     println!("\nprojected on {} at the paper's node counts:", model.name);
-    println!("{:>7} {:>8} {:>14} {:>12}", "nodes", "ranks", "projected s", "efficiency");
+    println!(
+        "{:>7} {:>8} {:>14} {:>12}",
+        "nodes", "ranks", "projected s", "efficiency"
+    );
     for ((nodes, (p, secs)), e) in PAPER_NODE_COUNTS_HSAPIENS.iter().zip(&series).zip(&eff) {
         println!("{:>7} {:>8} {:>14.4} {:>11.0}%", nodes, p, secs, e * 100.0);
     }
@@ -52,7 +55,12 @@ fn main() {
     println!("{:<16} {:>10} {:>8}", "phase", "max-wall s", "share");
     for phase in PAPER_PHASES {
         let t = base.profile.max_wall(phase);
-        println!("{:<16} {:>10.4} {:>7.1}%", phase, t, 100.0 * t / total.max(1e-12));
+        println!(
+            "{:<16} {:>10.4} {:>7.1}%",
+            phase,
+            t,
+            100.0 * t / total.max(1e-12)
+        );
     }
     println!(
         "\npaper shape: Alignment dominates the H. sapiens breakdown (high error\n\

@@ -1,19 +1,23 @@
 //! Criterion micro-benchmarks of the computational kernels underneath
 //! every figure: local SpGEMM (overlap detection's inner loop), x-drop
 //! extension (the Alignment phase), k-mer scanning (CountKmer), the
-//! DCSC→CSC expansion (§4.4), and the connected-components sweep.
+//! DCSC→CSC expansion (§4.4), the connected-components sweep, and the
+//! distributed SUMMA schedules (eager vs. pipelined vs. blocked).
+
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use elba_align::{xdrop_extend, Scoring};
+use elba_comm::{Cluster, ProcGrid};
 use elba_core::UnionFind;
 use elba_seq::kmer::canonical_kmers;
 use elba_seq::Seq;
 use elba_sparse::semiring::PlusTimes;
 use elba_sparse::spgemm::spgemm;
-use elba_sparse::{Csr, Dcsc};
+use elba_sparse::{Csr, Dcsc, DistMat, SpGemmOptions};
 
 fn random_csr(rng: &mut StdRng, n: usize, nnz_per_row: usize) -> Csr<f64> {
     let mut triples = Vec::with_capacity(n * nnz_per_row);
@@ -50,16 +54,32 @@ fn bench_xdrop(c: &mut Criterion) {
     }
     c.bench_function("xdrop_8kb_overlap_1pct_err", |bencher| {
         bencher.iter(|| {
-            xdrop_extend(black_box(&a[4_000..]), black_box(&b), 30, Scoring::default())
+            xdrop_extend(
+                black_box(&a[4_000..]),
+                black_box(&b),
+                30,
+                Scoring::default(),
+            )
         })
     });
     let noisy_b: Vec<u8> = b
         .iter()
-        .map(|&x| if rng.gen_bool(0.15) { rng.gen_range(0..4u8) } else { x })
+        .map(|&x| {
+            if rng.gen_bool(0.15) {
+                rng.gen_range(0..4u8)
+            } else {
+                x
+            }
+        })
         .collect();
     c.bench_function("xdrop_early_stop_15pct_err", |bencher| {
         bencher.iter(|| {
-            xdrop_extend(black_box(&a[4_000..]), black_box(&noisy_b), 7, Scoring::default())
+            xdrop_extend(
+                black_box(&a[4_000..]),
+                black_box(&noisy_b),
+                7,
+                Scoring::default(),
+            )
         })
     });
 }
@@ -79,7 +99,13 @@ fn bench_dcsc_to_csc(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     // hypersparse: 100k columns, 5k entries (an induced-subgraph block)
     let triples: Vec<(u32, u32, u64)> = (0..5_000)
-        .map(|_| (rng.gen_range(0..100_000u32), rng.gen_range(0..100_000u32), 1u64))
+        .map(|_| {
+            (
+                rng.gen_range(0..100_000u32),
+                rng.gen_range(0..100_000u32),
+                1u64,
+            )
+        })
         .collect();
     c.bench_function("dcsc_to_csc_hypersparse", |bencher| {
         bencher.iter_batched(
@@ -93,8 +119,9 @@ fn bench_dcsc_to_csc(c: &mut Criterion) {
 fn bench_union_find(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let n = 50_000;
-    let edges: Vec<(usize, usize)> =
-        (0..n).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    let edges: Vec<(usize, usize)> = (0..n)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
     c.bench_function("union_find_50k", |bencher| {
         bencher.iter(|| {
             let mut uf = UnionFind::new(n);
@@ -106,9 +133,51 @@ fn bench_union_find(c: &mut Criterion) {
     });
 }
 
+/// The distributed `C = AAᵀ` multiply under each SUMMA schedule on a
+/// 2×2 in-process grid — the eager-vs-pipelined-vs-blocked comparison
+/// behind the pipelined-SpGEMM refactor. The pipelined schedule should
+/// shave the broadcast serialization; blocked should match eager's time
+/// shape while never materializing the global triple buffer.
+fn bench_summa_schedules(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let (n_reads, n_kmers, per_row) = (600usize, 4_000usize, 12usize);
+    let mut triples = Vec::with_capacity(n_reads * per_row);
+    for r in 0..n_reads {
+        for _ in 0..per_row {
+            triples.push((r as u64, rng.gen_range(0..n_kmers as u64), 1.0f64));
+        }
+    }
+    let triples = Arc::new(triples);
+    for (label, opts) in [
+        ("eager", SpGemmOptions::eager()),
+        ("pipelined", SpGemmOptions::pipelined()),
+        ("blocked_64", SpGemmOptions::blocked(64)),
+    ] {
+        let triples = Arc::clone(&triples);
+        c.bench_function(&format!("summa_aat_600x4000_p4_{label}"), |bencher| {
+            bencher.iter(|| {
+                let triples = Arc::clone(&triples);
+                Cluster::run(4, move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let mine = if grid.world().rank() == 0 {
+                        triples.as_ref().clone()
+                    } else {
+                        Vec::new()
+                    };
+                    let a =
+                        DistMat::from_triples(&grid, n_reads, n_kmers, mine, |acc, _| *acc += 1.0);
+                    let at = a.transpose(&grid);
+                    let c = a.spgemm_with(&grid, &at, &PlusTimes, &opts);
+                    black_box(c.local().nnz())
+                })
+            })
+        });
+    }
+}
+
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_spgemm, bench_xdrop, bench_kmer_scan, bench_dcsc_to_csc, bench_union_find
+    targets = bench_spgemm, bench_xdrop, bench_kmer_scan, bench_dcsc_to_csc, bench_union_find, bench_summa_schedules
 );
 criterion_main!(kernels);

@@ -21,7 +21,10 @@ use elba_seq::DatasetSpec;
 
 fn main() {
     banner("Table 3 — ELBA speedup over shared-memory assemblers");
-    for spec in [DatasetSpec::celegans_like(0.30, 71), DatasetSpec::osativa_like(0.25, 72)] {
+    for spec in [
+        DatasetSpec::celegans_like(0.30, 71),
+        DatasetSpec::osativa_like(0.25, 72),
+    ] {
         let (_genome, reads) = dataset(&spec);
         println!("\n--- {} ({} reads) ---", spec.name, reads.len());
 

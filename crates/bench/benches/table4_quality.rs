@@ -27,9 +27,17 @@ fn report_row(tool: &str, genome: &Seq, contigs: &[Seq]) {
 
 fn main() {
     banner("Table 4 — assembler quality (O. sativa top, C. elegans bottom)");
-    for spec in [DatasetSpec::osativa_like(0.30, 81), DatasetSpec::celegans_like(0.30, 82)] {
+    for spec in [
+        DatasetSpec::osativa_like(0.30, 81),
+        DatasetSpec::celegans_like(0.30, 82),
+    ] {
         let (genome, reads) = dataset(&spec);
-        println!("\n--- {} (genome {} bp, {} reads) ---", spec.name, genome.len(), reads.len());
+        println!(
+            "\n--- {} (genome {} bp, {} reads) ---",
+            spec.name,
+            genome.len(),
+            reads.len()
+        );
         println!(
             "{:<26} {:>14} {:>16} {:>9} {:>14}",
             "tool", "completeness %", "longest contig", "contigs", "misassembled"

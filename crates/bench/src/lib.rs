@@ -18,8 +18,13 @@ use elba_core::{assemble, Contig, PipelineConfig, PipelineResult};
 use elba_seq::{DatasetSpec, Seq};
 
 /// The paper's five Fig. 5 phases, in legend order.
-pub const PAPER_PHASES: [&str; 5] =
-    ["CountKmer", "DetectOverlap", "Alignment", "TrReduction", "ExtractContig"];
+pub const PAPER_PHASES: [&str; 5] = [
+    "CountKmer",
+    "DetectOverlap",
+    "Alignment",
+    "TrReduction",
+    "ExtractContig",
+];
 
 /// The contig-stage sub-phases (§6.1 internal breakdown).
 pub const CONTIG_PHASES: [&str; 5] = [
@@ -53,7 +58,13 @@ pub fn run_pipeline(reads: &[Seq], cfg: &PipelineConfig, nranks: usize) -> Measu
     });
     let wall_secs = started.elapsed().as_secs_f64();
     let (result, contigs) = outputs.remove(0);
-    MeasuredRun { nranks, wall_secs, profile, result, contigs }
+    MeasuredRun {
+        nranks,
+        wall_secs,
+        profile,
+        result,
+        contigs,
+    }
 }
 
 /// Materialize a dataset spec into `(genome, reads)`.
@@ -66,7 +77,10 @@ pub fn dataset(spec: &DatasetSpec) -> (Seq, Vec<Seq>) {
 /// scaling plot reports (ignores I/O and harness overhead, as the paper
 /// does: "we omit I/O and other minor computation").
 pub fn pipeline_time(profile: &RunProfile) -> f64 {
-    PAPER_PHASES.iter().map(|phase| profile.max_wall(phase)).sum()
+    PAPER_PHASES
+        .iter()
+        .map(|phase| profile.max_wall(phase))
+        .sum()
 }
 
 /// Project a measured run onto a machine model at the paper's node
@@ -76,8 +90,10 @@ pub fn project_series(
     model: &MachineModel,
     node_counts: &[usize],
 ) -> Vec<(usize, f64)> {
-    let observations: Vec<_> =
-        PAPER_PHASES.iter().map(|phase| run.profile.observe(phase)).collect();
+    let observations: Vec<_> = PAPER_PHASES
+        .iter()
+        .map(|phase| run.profile.observe(phase))
+        .collect();
     node_counts
         .iter()
         .map(|&nodes| {
@@ -141,6 +157,8 @@ mod tests {
         let model = MachineModel::cori_haswell();
         let series = project_series(&run, &model, &PAPER_NODE_COUNTS);
         assert_eq!(series.len(), 5);
-        assert!(series.iter().all(|&(ranks, secs)| ranks % 32 == 0 && secs > 0.0));
+        assert!(series
+            .iter()
+            .all(|&(ranks, secs)| ranks % 32 == 0 && secs > 0.0));
     }
 }

@@ -7,7 +7,7 @@
 use std::time::Instant;
 
 use crate::msg::CommMsg;
-use crate::runtime::{op, Comm, Rank};
+use crate::runtime::{op, Comm, Rank, RecvRequest, Tag};
 
 impl Comm {
     /// Synchronize all ranks (dissemination barrier, ⌈log₂ P⌉ rounds).
@@ -33,27 +33,17 @@ impl Comm {
         let started = Instant::now();
         let p = self.size();
         let vr = (self.rank() + p - root) % p; // virtual rank, root at 0
-        let mut value = if vr == 0 {
+        let value = if vr == 0 {
             value.expect("bcast root must supply a value")
         } else {
             let lsb = vr & vr.wrapping_neg();
             let parent = (vr - lsb + root) % p;
             self.coll_recv::<T>(parent, tag)
         };
-        let limit = if vr == 0 { p.next_power_of_two() } else { vr & vr.wrapping_neg() };
-        let mut bytes = 0;
-        let mut j = limit >> 1;
-        while j >= 1 {
-            if vr + j < p {
-                let child = (vr + j + root) % p;
-                bytes += value.nbytes();
-                self.coll_send(child, tag, value.clone());
-            }
-            j >>= 1;
-        }
-        // Keep `value` unmoved for the return; the clone above covers sends.
+        // Same tree shape as the non-blocking broadcast: one forwarding
+        // routine serves both, so the schedules can never diverge.
+        let bytes = ibcast_forward(self, root, tag, vr, &value);
         self.record_collective("bcast", bytes, started.elapsed().as_secs_f64());
-        let _ = &mut value;
         value
     }
 
@@ -64,12 +54,16 @@ impl Comm {
         let result = if self.rank() == root {
             let mut all: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             all[root] = Some(value);
-            for src in 0..self.size() {
+            for (src, slot) in all.iter_mut().enumerate() {
                 if src != root {
-                    all[src] = Some(self.coll_recv::<T>(src, tag));
+                    *slot = Some(self.coll_recv::<T>(src, tag));
                 }
             }
-            Some(all.into_iter().map(|v| v.expect("gather slot filled")).collect())
+            Some(
+                all.into_iter()
+                    .map(|v| v.expect("gather slot filled"))
+                    .collect(),
+            )
         } else {
             let bytes = value.nbytes();
             self.coll_send(root, tag, value);
@@ -126,7 +120,11 @@ impl Comm {
     /// returns the buffers received, indexed by source rank. The analogue
     /// of `MPI_Alltoallv` (and ELBA's "custom all-to-all" for edge triples).
     pub fn alltoallv<T: CommMsg>(&self, bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(bufs.len(), self.size(), "alltoallv needs one buffer per rank");
+        assert_eq!(
+            bufs.len(),
+            self.size(),
+            "alltoallv needs one buffer per rank"
+        );
         let tag = self.next_coll_tag(op::ALLTOALLV);
         let started = Instant::now();
         let mut bytes = 0;
@@ -134,8 +132,9 @@ impl Comm {
             bytes += buf.nbytes();
             self.coll_send(dst, tag, buf);
         }
-        let received: Vec<Vec<T>> =
-            (0..self.size()).map(|src| self.coll_recv::<Vec<T>>(src, tag)).collect();
+        let received: Vec<Vec<T>> = (0..self.size())
+            .map(|src| self.coll_recv::<Vec<T>>(src, tag))
+            .collect();
         self.record_collective("alltoallv", bytes, started.elapsed().as_secs_f64());
         received
     }
@@ -197,6 +196,145 @@ impl Comm {
     pub fn alltoallv_counts<T: CommMsg>(&self, bufs: &[Vec<T>]) -> Vec<usize> {
         bufs.iter().map(Vec::len).collect()
     }
+
+    /// Non-blocking broadcast (`MPI_Ibcast` analogue): posts the same
+    /// binomial tree as [`Comm::bcast`] but returns immediately with an
+    /// [`IbcastRequest`]; the value is obtained by `wait`ing the request.
+    ///
+    /// The root's sends to its children go out at post time, so posting
+    /// the broadcast for stage `s+1` before computing stage `s` overlaps
+    /// the transfer with local work — the heart of pipelined SUMMA. An
+    /// inner tree node forwards to its children as soon as it completes
+    /// its own request (via `wait` or a successful `test`).
+    ///
+    /// Every rank of the communicator must post the matching `ibcast` in
+    /// the same SPMD order as any other collective, and must eventually
+    /// complete the request: dropping it un-waited starves the subtree
+    /// below this rank.
+    pub fn ibcast<T: CommMsg + Clone>(&self, root: Rank, value: Option<T>) -> IbcastRequest<'_, T> {
+        let tag = self.next_coll_tag(op::IBCAST);
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p; // virtual rank, root at 0
+        if vr == 0 {
+            let value = value.expect("ibcast root must supply a value");
+            let bytes = ibcast_forward(self, root, tag, vr, &value);
+            self.record_coll_bytes("ibcast", bytes);
+            IbcastRequest {
+                comm: self,
+                root,
+                tag,
+                state: IbcastState::Ready(value),
+            }
+        } else {
+            let lsb = vr & vr.wrapping_neg();
+            let parent = (vr - lsb + root) % p;
+            let req = self.raw_irecv::<T>(parent, tag);
+            IbcastRequest {
+                comm: self,
+                root,
+                tag,
+                state: IbcastState::Waiting(req),
+            }
+        }
+    }
+}
+
+/// Send `value` down this rank's binomial subtree for an (i)bcast rooted
+/// at `root`; returns the bytes pushed onto the (virtual) wire.
+fn ibcast_forward<T: CommMsg + Clone>(
+    comm: &Comm,
+    root: Rank,
+    tag: Tag,
+    vr: usize,
+    value: &T,
+) -> usize {
+    let p = comm.size();
+    let limit = if vr == 0 {
+        p.next_power_of_two()
+    } else {
+        vr & vr.wrapping_neg()
+    };
+    let mut bytes = 0;
+    let mut j = limit >> 1;
+    while j >= 1 {
+        if vr + j < p {
+            let child = (vr + j + root) % p;
+            bytes += value.nbytes();
+            comm.coll_send(child, tag, value.clone());
+        }
+        j >>= 1;
+    }
+    bytes
+}
+
+enum IbcastState<'c, T: Send + 'static> {
+    /// Value in hand and subtree already fed (root, or an inner node
+    /// whose `test` completed).
+    Ready(T),
+    /// Still waiting on the parent tree node.
+    Waiting(RecvRequest<'c, T>),
+    /// Transient marker while `test` swaps states; never observable.
+    Poisoned,
+}
+
+/// In-flight non-blocking broadcast; see [`Comm::ibcast`].
+#[must_use = "ibcast must be completed with wait() — dropping it starves the subtree"]
+pub struct IbcastRequest<'c, T: CommMsg + Clone> {
+    comm: &'c Comm,
+    root: Rank,
+    tag: Tag,
+    state: IbcastState<'c, T>,
+}
+
+impl<T: CommMsg + Clone> IbcastRequest<'_, T> {
+    fn virtual_rank(&self) -> usize {
+        let p = self.comm.size();
+        (self.comm.rank() + p - self.root) % p
+    }
+
+    /// Forward to children and book this rank's share of the collective.
+    fn complete(&self, value: &T) {
+        let bytes = ibcast_forward(self.comm, self.root, self.tag, self.virtual_rank(), value);
+        self.comm.record_coll_bytes("ibcast", bytes);
+    }
+
+    /// Poll for completion without blocking. On the transition to
+    /// complete, the value is forwarded down the tree immediately, so
+    /// polling ranks keep the pipeline moving even before they `wait`.
+    pub fn test(&mut self) -> bool {
+        match &mut self.state {
+            IbcastState::Ready(_) => true,
+            IbcastState::Waiting(req) => {
+                if !req.test() {
+                    return false;
+                }
+                let IbcastState::Waiting(req) =
+                    std::mem::replace(&mut self.state, IbcastState::Poisoned)
+                else {
+                    unreachable!("state was just matched as Waiting");
+                };
+                let value = req.wait(); // non-blocking: test() buffered it
+                self.complete(&value);
+                self.state = IbcastState::Ready(value);
+                true
+            }
+            IbcastState::Poisoned => unreachable!("ibcast state poisoned"),
+        }
+    }
+
+    /// Block until the broadcast value arrives, forward it down the
+    /// tree, and return it. Blocked time is booked as *wait* time.
+    pub fn wait(mut self) -> T {
+        match std::mem::replace(&mut self.state, IbcastState::Poisoned) {
+            IbcastState::Ready(value) => value,
+            IbcastState::Waiting(req) => {
+                let value = req.wait();
+                self.complete(&value);
+                value
+            }
+            IbcastState::Poisoned => unreachable!("ibcast state poisoned"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,10 +361,17 @@ mod tests {
         for p in nonpow2_sizes() {
             for root in 0..p {
                 let out = Cluster::run(p, move |comm| {
-                    let value = if comm.rank() == root { Some(42u64 + root as u64) } else { None };
+                    let value = if comm.rank() == root {
+                        Some(42u64 + root as u64)
+                    } else {
+                        None
+                    };
                     comm.bcast(root, value)
                 });
-                assert!(out.iter().all(|&v| v == 42 + root as u64), "p={p} root={root}");
+                assert!(
+                    out.iter().all(|&v| v == 42 + root as u64),
+                    "p={p} root={root}"
+                );
             }
         }
     }
@@ -234,7 +379,11 @@ mod tests {
     #[test]
     fn bcast_vectors() {
         let out = Cluster::run(6, |comm| {
-            let value = if comm.rank() == 2 { Some(vec![1u32, 2, 3]) } else { None };
+            let value = if comm.rank() == 2 {
+                Some(vec![1u32, 2, 3])
+            } else {
+                None
+            };
             comm.bcast(2, value)
         });
         assert!(out.iter().all(|v| v == &vec![1u32, 2, 3]));
@@ -289,8 +438,9 @@ mod tests {
         let p = 4;
         let out = Cluster::run(p, move |comm| {
             // rank r sends [r*10 + dst] to each dst.
-            let bufs: Vec<Vec<u64>> =
-                (0..p).map(|dst| vec![comm.rank() as u64 * 10 + dst as u64]).collect();
+            let bufs: Vec<Vec<u64>> = (0..p)
+                .map(|dst| vec![comm.rank() as u64 * 10 + dst as u64])
+                .collect();
             comm.alltoallv(bufs)
         });
         for (dst, received) in out.iter().enumerate() {
@@ -314,8 +464,7 @@ mod tests {
         let p = 5;
         let out = Cluster::run(p, move |comm| {
             // contribution[i] = rank + i; reduced column i = sum over ranks.
-            let contributions: Vec<u64> =
-                (0..p).map(|i| comm.rank() as u64 + i as u64).collect();
+            let contributions: Vec<u64> = (0..p).map(|i| comm.rank() as u64 + i as u64).collect();
             comm.reduce_scatter_block(contributions, |a, b| a + b)
         });
         let rank_sum: u64 = (0..p as u64).sum();
@@ -326,9 +475,103 @@ mod tests {
 
     #[test]
     fn exscan_prefix_sums() {
-        let out = Cluster::run(6, |comm| comm.exscan(comm.rank() as u64 + 1, 0, |a, b| a + b));
+        let out = Cluster::run(6, |comm| {
+            comm.exscan(comm.rank() as u64 + 1, 0, |a, b| a + b)
+        });
         // rank r gets sum of 1..=r
         assert_eq!(out, vec![0, 1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn ibcast_from_every_root_all_sizes() {
+        for p in nonpow2_sizes() {
+            for root in 0..p {
+                let out = Cluster::run(p, move |comm| {
+                    let value = if comm.rank() == root {
+                        Some(root as u64 + 7)
+                    } else {
+                        None
+                    };
+                    comm.ibcast(root, value).wait()
+                });
+                assert!(
+                    out.iter().all(|&v| v == root as u64 + 7),
+                    "p={p} root={root}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ibcast_overlaps_with_local_work() {
+        // Post, do local work, then wait — the canonical pipelined shape.
+        let out = Cluster::run(5, |comm| {
+            let req = comm.ibcast(0, (comm.rank() == 0).then(|| vec![1u64, 2, 3]));
+            let local: u64 = (0..1000u64).sum(); // stand-in compute
+            let value = req.wait();
+            value.iter().sum::<u64>() + local % 2
+        });
+        assert!(out.iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn two_outstanding_ibcasts_complete_in_any_order() {
+        // The double-buffered SUMMA posts A and B broadcasts for the next
+        // stage before waiting on either.
+        let out = Cluster::run(4, |comm| {
+            let a = comm.ibcast(0, (comm.rank() == 0).then_some(10u64));
+            let b = comm.ibcast(1, (comm.rank() == 1).then_some(20u64));
+            let vb = b.wait();
+            let va = a.wait();
+            va + vb
+        });
+        assert!(out.iter().all(|&v| v == 30));
+    }
+
+    #[test]
+    fn ibcast_test_completes_without_wait_blocking() {
+        let out = Cluster::run(3, |comm| {
+            let mut req = comm.ibcast(0, (comm.rank() == 0).then_some(5u64));
+            while !req.test() {
+                std::thread::yield_now();
+            }
+            req.wait()
+        });
+        assert_eq!(out, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn ibcast_interleaves_with_blocking_collectives() {
+        let out = Cluster::run(4, |comm| {
+            let req = comm.ibcast(2, (comm.rank() == 2).then_some(9u64));
+            let sum = comm.allreduce(1u64, |a, b| a + b);
+            let v = req.wait();
+            comm.barrier();
+            v * 100 + sum
+        });
+        assert!(out.iter().all(|&v| v == 904));
+    }
+
+    #[test]
+    fn ibcast_books_wait_not_comm_time() {
+        use crate::runtime::Cluster;
+        let (_, profile) = Cluster::run_profiled(2, |comm| {
+            let _g = comm.phase("stage");
+            if comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                comm.ibcast(0, Some(3u64)).wait()
+            } else {
+                comm.ibcast(0, None).wait()
+            }
+        });
+        assert!(
+            profile.max_wait_secs("stage") > 0.005,
+            "wait bucket must fill"
+        );
+        assert!(
+            profile.max_comm_secs("stage") < 0.005,
+            "comm bucket must not"
+        );
     }
 
     #[test]
@@ -342,6 +585,6 @@ mod tests {
             comm.barrier();
             sum + from_left
         });
-        assert_eq!(out, vec![4 + 3, 4 + 0, 4 + 1, 4 + 2]);
+        assert_eq!(out, vec![7, 4, 5, 6]);
     }
 }

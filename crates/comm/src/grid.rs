@@ -24,7 +24,11 @@ impl ProcGrid {
     pub fn new(world: Comm) -> Self {
         let p = world.size();
         let q = (p as f64).sqrt().round() as usize;
-        assert_eq!(q * q, p, "process grid needs a perfect square rank count, got {p}");
+        assert_eq!(
+            q * q,
+            p,
+            "process grid needs a perfect square rank count, got {p}"
+        );
         let myrow = world.rank() / q;
         let mycol = world.rank() % q;
         let row = world.split(myrow, mycol);
@@ -102,7 +106,12 @@ mod tests {
             let rank = comm.rank();
             let grid = ProcGrid::new(comm);
             assert_eq!(grid.rank_of(grid.myrow(), grid.mycol()), rank);
-            (grid.myrow(), grid.mycol(), grid.row().rank(), grid.col().rank())
+            (
+                grid.myrow(),
+                grid.mycol(),
+                grid.row().rank(),
+                grid.col().rank(),
+            )
         });
         assert_eq!(out[5], (1, 2, 2, 1));
         assert_eq!(out[0], (0, 0, 0, 0));

@@ -7,9 +7,12 @@
 //!
 //! * point-to-point `send`/`recv` with tags (non-blocking buffered sends,
 //!   matching-by-`(source, tag)` receives),
+//! * non-blocking point-to-point `isend`/`irecv` returning request
+//!   handles with MPI-style `wait`/`test`, the substrate for
+//!   communication/computation overlap,
 //! * the collectives used by ELBA: `barrier`, `bcast`, `gather`,
 //!   `allgather`, `reduce`, `allreduce`, `reduce_scatter`, `alltoallv`,
-//!   `exscan`,
+//!   `exscan`, plus non-blocking `ibcast` (the pipelined SUMMA's engine),
 //! * communicator `split` (colors/keys) for building the
 //!   √P×√P [`grid::ProcGrid`] with row and column sub-communicators,
 //! * per-phase wall-time and message-volume accounting ([`profile`]),
@@ -41,8 +44,9 @@ pub mod msg;
 pub mod profile;
 pub mod runtime;
 
+pub use collectives::IbcastRequest;
 pub use grid::ProcGrid;
 pub use model::MachineModel;
 pub use msg::CommMsg;
 pub use profile::{PhaseProfile, Profile, RunProfile};
-pub use runtime::{Cluster, Comm, Rank, Tag};
+pub use runtime::{Cluster, Comm, Rank, RecvRequest, SendRequest, Tag};

@@ -87,8 +87,7 @@ impl MachineModel {
     ) -> f64 {
         assert!(measured_ranks > 0 && target_ranks > 0);
         let p = target_ranks as f64;
-        let compute =
-            obs.compute_secs / self.compute_speed * measured_ranks as f64 / p;
+        let compute = obs.compute_secs / self.compute_speed * measured_ranks as f64 / p;
         let latency = obs.coll_calls_per_rank * self.alpha * p.log2().max(1.0);
         let bandwidth = (obs.total_bytes / p) / self.beta;
         compute + latency + bandwidth
@@ -115,7 +114,11 @@ impl MachineModel {
             return Vec::new();
         }
         let base = times[0] * ranks[0] as f64;
-        ranks.iter().zip(times).map(|(&p, &t)| base / (t * p as f64)).collect()
+        ranks
+            .iter()
+            .zip(times)
+            .map(|(&p, &t)| base / (t * p as f64))
+            .collect()
     }
 }
 
@@ -176,8 +179,7 @@ mod tests {
         let m = MachineModel::cori_haswell();
         let obs_list = vec![obs(10.0, 1.0, 1e3), obs(20.0, 1.0, 1e3)];
         let total = m.project_total(&obs_list, 16, 64);
-        let by_hand: f64 =
-            obs_list.iter().map(|o| m.project_phase(o, 16, 64)).sum();
+        let by_hand: f64 = obs_list.iter().map(|o| m.project_phase(o, 16, 64)).sum();
         assert!((total - by_hand).abs() < 1e-12);
     }
 }

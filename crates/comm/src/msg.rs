@@ -22,7 +22,9 @@ macro_rules! impl_scalar_msg {
     };
 }
 
-impl_scalar_msg!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+impl_scalar_msg!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char
+);
 
 impl CommMsg for () {
     #[inline]
@@ -141,7 +143,11 @@ mod tests {
 
     #[test]
     fn pod_macro() {
-        let t = Triple { _r: 0, _c: 0, _v: 0.0 };
+        let t = Triple {
+            _r: 0,
+            _c: 0,
+            _v: 0.0,
+        };
         assert_eq!(t.nbytes(), std::mem::size_of::<Triple>());
     }
 }

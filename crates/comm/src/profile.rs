@@ -8,10 +8,14 @@
 //! time per phase, communication fraction, and message volumes for the
 //! α–β model in [`crate::model`].
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+/// Lock a shared profile, tolerating poison: a panicking rank must not
+/// turn its unwind into a second panic inside a `PhaseGuard` drop.
+pub(crate) fn lock_profile(profile: &Mutex<Profile>) -> MutexGuard<'_, Profile> {
+    profile.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Name used for activity recorded outside any explicit phase.
 pub const UNPHASED: &str = "(unphased)";
@@ -21,8 +25,13 @@ pub const UNPHASED: &str = "(unphased)";
 pub struct PhaseProfile {
     /// Wall-clock seconds spent inside the phase.
     pub wall_secs: f64,
-    /// Seconds spent blocked inside communication calls.
+    /// Seconds spent blocked inside *blocking* communication calls.
     pub comm_secs: f64,
+    /// Seconds spent blocked inside `wait` on non-blocking requests
+    /// (`irecv`/`ibcast`). Kept separate from `comm_secs`: when
+    /// communication is overlapped with computation this bucket shrinks
+    /// toward zero while the same bytes still flow.
+    pub wait_secs: f64,
     /// Point-to-point messages sent.
     pub p2p_msgs: u64,
     /// Point-to-point bytes sent.
@@ -62,7 +71,11 @@ pub struct Profile {
 
 impl Profile {
     pub fn new(rank: usize) -> Self {
-        Profile { rank, phases: Vec::new(), stack: Vec::new() }
+        Profile {
+            rank,
+            phases: Vec::new(),
+            stack: Vec::new(),
+        }
     }
 
     pub fn rank(&self) -> usize {
@@ -110,6 +123,10 @@ impl Profile {
         self.current_mut().comm_secs += secs;
     }
 
+    pub(crate) fn record_wait_time(&mut self, secs: f64) {
+        self.current_mut().wait_secs += secs;
+    }
+
     fn enter(&mut self, name: &str) -> usize {
         let idx = self.index_of(name);
         self.stack.push(idx);
@@ -132,15 +149,19 @@ pub struct PhaseGuard {
 
 impl PhaseGuard {
     pub(crate) fn enter(profile: Arc<Mutex<Profile>>, name: &str) -> Self {
-        let idx = profile.lock().enter(name);
-        PhaseGuard { profile, idx, start: Instant::now() }
+        let idx = lock_profile(&profile).enter(name);
+        PhaseGuard {
+            profile,
+            idx,
+            start: Instant::now(),
+        }
     }
 }
 
 impl Drop for PhaseGuard {
     fn drop(&mut self) {
         let wall = self.start.elapsed().as_secs_f64();
-        self.profile.lock().exit(self.idx, wall);
+        lock_profile(&self.profile).exit(self.idx, wall);
     }
 }
 
@@ -189,8 +210,12 @@ impl RunProfile {
 
     /// Mean-over-ranks wall time for a phase.
     pub fn mean_wall(&self, phase: &str) -> f64 {
-        let times: Vec<f64> =
-            self.ranks.iter().filter_map(|r| r.phase(phase)).map(|p| p.wall_secs).collect();
+        let times: Vec<f64> = self
+            .ranks
+            .iter()
+            .filter_map(|r| r.phase(phase))
+            .map(|p| p.wall_secs)
+            .collect();
         if times.is_empty() {
             0.0
         } else {
@@ -198,7 +223,7 @@ impl RunProfile {
         }
     }
 
-    /// Max-over-ranks communication time within a phase.
+    /// Max-over-ranks blocking-communication time within a phase.
     pub fn max_comm_secs(&self, phase: &str) -> f64 {
         self.ranks
             .iter()
@@ -207,20 +232,44 @@ impl RunProfile {
             .fold(0.0, f64::max)
     }
 
+    /// Max-over-ranks non-blocking wait time within a phase — the time
+    /// ranks spent parked in `Request::wait`/`IbcastRequest::wait`. A
+    /// pipelined stage that truly overlaps communication shows a small
+    /// value here relative to the same stage run eagerly.
+    pub fn max_wait_secs(&self, phase: &str) -> f64 {
+        self.ranks
+            .iter()
+            .filter_map(|r| r.phase(phase))
+            .map(|p| p.wait_secs)
+            .fold(0.0, f64::max)
+    }
+
     /// Total point-to-point bytes across all ranks in a phase.
     pub fn total_p2p_bytes(&self, phase: &str) -> u64 {
-        self.ranks.iter().filter_map(|r| r.phase(phase)).map(|p| p.p2p_bytes).sum()
+        self.ranks
+            .iter()
+            .filter_map(|r| r.phase(phase))
+            .map(|p| p.p2p_bytes)
+            .sum()
     }
 
     /// Total bytes (p2p + collectives) across all ranks in a phase.
     pub fn total_bytes(&self, phase: &str) -> u64 {
-        self.ranks.iter().filter_map(|r| r.phase(phase)).map(|p| p.bytes_sent()).sum()
+        self.ranks
+            .iter()
+            .filter_map(|r| r.phase(phase))
+            .map(|p| p.bytes_sent())
+            .sum()
     }
 
     /// Mean collective calls per rank in a phase.
     pub fn mean_coll_calls(&self, phase: &str) -> f64 {
-        let calls: Vec<u64> =
-            self.ranks.iter().filter_map(|r| r.phase(phase)).map(|p| p.coll_calls()).collect();
+        let calls: Vec<u64> = self
+            .ranks
+            .iter()
+            .filter_map(|r| r.phase(phase))
+            .map(|p| p.coll_calls())
+            .collect();
         if calls.is_empty() {
             0.0
         } else {
@@ -231,7 +280,7 @@ impl RunProfile {
     /// Condensed per-phase observation consumed by [`crate::model`].
     pub fn observe(&self, phase: &str) -> crate::model::PhaseObservation {
         let max_wall = self.max_wall(phase);
-        let max_comm = self.max_comm_secs(phase);
+        let max_comm = self.max_comm_secs(phase) + self.max_wait_secs(phase);
         crate::model::PhaseObservation {
             phase: phase.to_owned(),
             wall_secs: max_wall,
@@ -247,16 +296,17 @@ impl RunProfile {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>10} {:>10} {:>12} {:>10}",
-            "phase", "max-wall-s", "comm-s", "bytes", "colls/rank"
+            "{:<24} {:>10} {:>10} {:>10} {:>12} {:>10}",
+            "phase", "max-wall-s", "comm-s", "wait-s", "bytes", "colls/rank"
         );
         for name in self.phase_names() {
             let _ = writeln!(
                 out,
-                "{:<24} {:>10.4} {:>10.4} {:>12} {:>10.1}",
+                "{:<24} {:>10.4} {:>10.4} {:>10.4} {:>12} {:>10.1}",
                 name,
                 self.max_wall(&name),
                 self.max_comm_secs(&name),
+                self.max_wait_secs(&name),
                 self.total_bytes(&name),
                 self.mean_coll_calls(&name)
             );
@@ -274,13 +324,13 @@ mod tests {
         let profile = Arc::new(Mutex::new(Profile::new(0)));
         {
             let _g = PhaseGuard::enter(Arc::clone(&profile), "a");
-            profile.lock().record_p2p(100);
+            lock_profile(&profile).record_p2p(100);
         }
         {
             let _g = PhaseGuard::enter(Arc::clone(&profile), "a");
-            profile.lock().record_p2p(50);
+            lock_profile(&profile).record_p2p(50);
         }
-        let p = profile.lock();
+        let p = lock_profile(&profile);
         let phase = p.phase("a").expect("phase exists");
         assert_eq!(phase.p2p_msgs, 2);
         assert_eq!(phase.p2p_bytes, 150);
@@ -294,11 +344,11 @@ mod tests {
             let _outer = PhaseGuard::enter(Arc::clone(&profile), "outer");
             {
                 let _inner = PhaseGuard::enter(Arc::clone(&profile), "inner");
-                profile.lock().record_p2p(7);
+                lock_profile(&profile).record_p2p(7);
             }
-            profile.lock().record_p2p(3);
+            lock_profile(&profile).record_p2p(3);
         }
-        let p = profile.lock();
+        let p = lock_profile(&profile);
         assert_eq!(p.phase("inner").map(|ph| ph.p2p_bytes), Some(7));
         assert_eq!(p.phase("outer").map(|ph| ph.p2p_bytes), Some(3));
     }
@@ -306,8 +356,8 @@ mod tests {
     #[test]
     fn unphased_bucket() {
         let profile = Arc::new(Mutex::new(Profile::new(0)));
-        profile.lock().record_p2p(9);
-        let p = profile.lock();
+        lock_profile(&profile).record_p2p(9);
+        let p = lock_profile(&profile);
         assert_eq!(p.phase(UNPHASED).map(|ph| ph.p2p_bytes), Some(9));
     }
 

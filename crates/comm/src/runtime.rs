@@ -3,18 +3,23 @@
 //! travel over per-pair unbounded channels (buffered, non-blocking sends;
 //! blocking receives matched by `(source, tag)`), exactly mirroring the
 //! eager-protocol MPI semantics that ELBA relies on.
+//!
+//! On top of the blocking primitives sits a non-blocking layer:
+//! [`Comm::isend`] / [`Comm::irecv`] return request handles
+//! ([`SendRequest`], [`RecvRequest`]) with MPI-style `wait` / `test`, and
+//! the time a rank spends blocked inside `wait` is attributed to the
+//! profile's *wait* bucket — separate from blocking-receive time — so
+//! communication/computation overlap is visible in a [`RunProfile`].
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-
 use crate::msg::CommMsg;
-use crate::profile::{Profile, RunProfile};
+use crate::profile::{lock_profile, Profile, RunProfile};
 
 /// Index of a process within a communicator.
 pub type Rank = usize;
@@ -75,14 +80,17 @@ impl Comm {
     }
 
     // ------------------------------------------------------------------
-    // Point-to-point
+    // Point-to-point (blocking)
     // ------------------------------------------------------------------
 
     /// Buffered (non-blocking) send of `data` to `dst` with `tag`.
     pub fn send<T: CommMsg>(&self, dst: Rank, tag: Tag, data: T) {
-        assert!(tag < Self::USER_TAG_LIMIT, "tag {tag} is reserved for internal use");
+        assert!(
+            tag < Self::USER_TAG_LIMIT,
+            "tag {tag} is reserved for internal use"
+        );
         let bytes = data.nbytes();
-        self.profile.lock().record_p2p(bytes);
+        lock_profile(&self.profile).record_p2p(bytes);
         self.raw_send(dst, tag, Box::new(data));
     }
 
@@ -91,8 +99,52 @@ impl Comm {
     /// Panics if the payload type does not match `T` (a programming error
     /// that MPI would surface as a datatype mismatch).
     pub fn recv<T: CommMsg>(&self, src: Rank, tag: Tag) -> T {
-        assert!(tag < Self::USER_TAG_LIMIT, "tag {tag} is reserved for internal use");
+        assert!(
+            tag < Self::USER_TAG_LIMIT,
+            "tag {tag} is reserved for internal use"
+        );
         self.raw_recv(src, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point (non-blocking)
+    // ------------------------------------------------------------------
+
+    /// Non-blocking send: the eager buffered protocol completes the send
+    /// at post time (the payload is already in `dst`'s mailbox), so the
+    /// returned [`SendRequest`] is born complete. It exists so call sites
+    /// read like their MPI counterparts and so `wait`/`test` discipline
+    /// is uniform across both request kinds.
+    pub fn isend<T: CommMsg>(&self, dst: Rank, tag: Tag, data: T) -> SendRequest {
+        assert!(
+            tag < Self::USER_TAG_LIMIT,
+            "tag {tag} is reserved for internal use"
+        );
+        let bytes = data.nbytes();
+        lock_profile(&self.profile).record_p2p(bytes);
+        self.raw_send(dst, tag, Box::new(data));
+        SendRequest(())
+    }
+
+    /// Non-blocking receive: returns immediately with a [`RecvRequest`]
+    /// that can be `test`ed (poll) or `wait`ed (block). Time blocked in
+    /// `wait` is booked to the profile's *wait* bucket, separate from
+    /// blocking-`recv` communication time.
+    pub fn irecv<T: CommMsg>(&self, src: Rank, tag: Tag) -> RecvRequest<'_, T> {
+        assert!(
+            tag < Self::USER_TAG_LIMIT,
+            "tag {tag} is reserved for internal use"
+        );
+        self.raw_irecv(src, tag)
+    }
+
+    pub(crate) fn raw_irecv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> RecvRequest<'_, T> {
+        RecvRequest {
+            comm: self,
+            src,
+            tag,
+            ready: None,
+        }
     }
 
     pub(crate) fn raw_send(&self, dst: Rank, tag: Tag, payload: Box<dyn Any + Send>) {
@@ -104,25 +156,13 @@ impl Comm {
     pub(crate) fn raw_recv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> T {
         let start = Instant::now();
         let envelope = self.wait_for(src, tag);
-        self.profile.lock().record_comm_time(start.elapsed().as_secs_f64());
-        *envelope.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "rank {} received wrong payload type from rank {src} (tag {tag:#x}); \
-                 expected {}",
-                self.rank,
-                std::any::type_name::<T>()
-            )
-        })
+        lock_profile(&self.profile).record_comm_time(start.elapsed().as_secs_f64());
+        downcast_payload(envelope, self.rank, src, tag)
     }
 
     fn wait_for(&self, src: Rank, tag: Tag) -> Envelope {
-        // Check messages that already arrived out of order.
-        {
-            let mut pending = self.pending.borrow_mut();
-            let queue = &mut pending[src];
-            if let Some(pos) = queue.iter().position(|e| e.tag == tag) {
-                return queue.remove(pos).expect("position was just found");
-            }
+        if let Some(envelope) = self.take_pending(src, tag) {
+            return envelope;
         }
         loop {
             let envelope = self.receivers[src].recv().unwrap_or_else(|_| {
@@ -137,6 +177,37 @@ impl Comm {
             }
             self.pending.borrow_mut()[src].push_back(envelope);
         }
+    }
+
+    /// Non-blocking probe: drain whatever has arrived from `src` into the
+    /// pending buffer and take the first message matching `tag`, if any.
+    fn try_take(&self, src: Rank, tag: Tag) -> Option<Envelope> {
+        if let Some(envelope) = self.take_pending(src, tag) {
+            return Some(envelope);
+        }
+        loop {
+            match self.receivers[src].try_recv() {
+                Ok(envelope) if envelope.tag == tag => return Some(envelope),
+                Ok(envelope) => self.pending.borrow_mut()[src].push_back(envelope),
+                Err(TryRecvError::Empty) => return None,
+                // The peer is gone and the channel is drained: this
+                // message can never arrive. Panic like the blocking path
+                // would, instead of letting a test() poll loop spin
+                // forever.
+                Err(TryRecvError::Disconnected) => panic!(
+                    "rank {}: rank {src} disconnected while polling for tag {tag:#x} \
+                     (peer rank likely panicked)",
+                    self.rank
+                ),
+            }
+        }
+    }
+
+    fn take_pending(&self, src: Rank, tag: Tag) -> Option<Envelope> {
+        let mut pending = self.pending.borrow_mut();
+        let queue = &mut pending[src];
+        let pos = queue.iter().position(|e| e.tag == tag)?;
+        queue.remove(pos)
     }
 
     // ------------------------------------------------------------------
@@ -160,19 +231,26 @@ impl Comm {
     /// booking per-message waits too would double-count communication.
     pub(crate) fn coll_recv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> T {
         let envelope = self.wait_for(src, tag);
-        *envelope.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "rank {} received wrong payload type from rank {src} (tag {tag:#x});                  expected {}",
-                self.rank,
-                std::any::type_name::<T>()
-            )
-        })
+        downcast_payload(envelope, self.rank, src, tag)
+    }
+
+    /// Blocking receive whose blocked time is booked to the *wait* bucket
+    /// (used by request `wait` and the non-blocking collectives).
+    pub(crate) fn wait_recv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> T {
+        let start = Instant::now();
+        let envelope = self.wait_for(src, tag);
+        lock_profile(&self.profile).record_wait_time(start.elapsed().as_secs_f64());
+        downcast_payload(envelope, self.rank, src, tag)
     }
 
     pub(crate) fn record_collective(&self, op: &'static str, bytes: usize, secs: f64) {
-        let mut profile = self.profile.lock();
+        let mut profile = lock_profile(&self.profile);
         profile.record_coll(op, bytes);
         profile.record_comm_time(secs);
+    }
+
+    pub(crate) fn record_coll_bytes(&self, op: &'static str, bytes: usize) {
+        lock_profile(&self.profile).record_coll(op, bytes);
     }
 
     // ------------------------------------------------------------------
@@ -201,23 +279,23 @@ impl Comm {
         if self.rank == leader {
             // Build the new_size x new_size channel mesh and deal each
             // member its row of senders and column of receivers.
-            let mut send_rows: Vec<Vec<Sender<Envelope>>> =
-                (0..new_size).map(|_| Vec::with_capacity(new_size)).collect();
-            let mut recv_rows: Vec<Vec<Receiver<Envelope>>> =
-                (0..new_size).map(|_| Vec::with_capacity(new_size)).collect();
-            for src in 0..new_size {
-                for dst in 0..new_size {
-                    let (tx, rx) = unbounded();
-                    send_rows[src].push(tx);
-                    recv_rows[dst].push(rx);
+            let mut send_rows: Vec<Vec<Sender<Envelope>>> = (0..new_size)
+                .map(|_| Vec::with_capacity(new_size))
+                .collect();
+            let mut recv_rows: Vec<Vec<Receiver<Envelope>>> = (0..new_size)
+                .map(|_| Vec::with_capacity(new_size))
+                .collect();
+            for send_row in send_rows.iter_mut() {
+                for recv_row in recv_rows.iter_mut() {
+                    let (tx, rx) = channel();
+                    send_row.push(tx);
+                    recv_row.push(rx);
                 }
             }
             // recv_rows[dst] currently interleaved by construction order:
             // iteration pushes rx for (src, dst) while sweeping src outer,
             // dst inner, so recv_rows[dst] receives entries in src order. OK.
-            for ((slot, &(_, old_rank)), receivers) in
-                group.iter().enumerate().zip(recv_rows.into_iter())
-            {
+            for ((slot, &(_, old_rank)), receivers) in group.iter().enumerate().zip(recv_rows) {
                 let senders_for_member = std::mem::take(&mut send_rows[slot]);
                 self.raw_send(
                     old_rank as usize,
@@ -250,6 +328,97 @@ impl Comm {
     }
 }
 
+fn downcast_payload<T: Send + 'static>(envelope: Envelope, rank: Rank, src: Rank, tag: Tag) -> T {
+    *envelope.payload.downcast::<T>().unwrap_or_else(|_| {
+        panic!(
+            "rank {rank} received wrong payload type from rank {src} (tag {tag:#x}); \
+             expected {}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Handle for a posted [`Comm::isend`]. Under the eager buffered protocol
+/// the transfer is complete at post time; `wait`/`test` exist for MPI
+/// call-shape parity and future rendezvous protocols.
+#[must_use = "requests should be completed with wait() (or polled with test())"]
+#[derive(Debug)]
+pub struct SendRequest(());
+
+impl SendRequest {
+    /// Complete the send. Never blocks under the eager protocol.
+    pub fn wait(self) {}
+
+    /// Poll for completion; eager sends are always complete.
+    pub fn test(&mut self) -> bool {
+        true
+    }
+}
+
+/// Handle for a posted [`Comm::irecv`].
+///
+/// `test` polls the mailbox without blocking; `wait` blocks until the
+/// matching message arrives, booking the blocked time to the profile's
+/// wait bucket. Dropping a request without `wait`ing is allowed and
+/// never loses a message: if the message already arrived (including one
+/// buffered by a successful `test`), the drop re-queues it for a later
+/// matching receive, mirroring MPI_Cancel-free usage.
+#[must_use = "requests should be completed with wait() (or polled with test())"]
+pub struct RecvRequest<'c, T: Send + 'static> {
+    comm: &'c Comm,
+    src: Rank,
+    tag: Tag,
+    ready: Option<T>,
+}
+
+impl<T: Send + 'static> Drop for RecvRequest<'_, T> {
+    fn drop(&mut self) {
+        // A value buffered by test() belongs to the mailbox, not to this
+        // abandoned request: put it back so a later recv/irecv on the
+        // same (source, tag) still matches it. It re-enters at the FRONT
+        // because test() always captured the oldest unconsumed match —
+        // re-queuing behind younger same-tag messages would invert MPI's
+        // per-(source, tag) delivery order. wait() takes the value out
+        // before dropping, so completed requests re-queue nothing.
+        if let Some(value) = self.ready.take() {
+            self.comm.pending.borrow_mut()[self.src].push_front(Envelope {
+                tag: self.tag,
+                payload: Box::new(value),
+            });
+        }
+    }
+}
+
+impl<T: Send + 'static> RecvRequest<'_, T> {
+    /// Poll for completion without blocking. Once this returns `true`,
+    /// [`RecvRequest::wait`] returns the value without blocking.
+    pub fn test(&mut self) -> bool {
+        if self.ready.is_some() {
+            return true;
+        }
+        if let Some(envelope) = self.comm.try_take(self.src, self.tag) {
+            self.ready = Some(downcast_payload(
+                envelope,
+                self.comm.rank,
+                self.src,
+                self.tag,
+            ));
+            return true;
+        }
+        false
+    }
+
+    /// Block until the message arrives and return it. Blocked time is
+    /// recorded as wait time (not blocking-communication time), keeping
+    /// overlap measurable.
+    pub fn wait(mut self) -> T {
+        if let Some(value) = self.ready.take() {
+            return value;
+        }
+        self.comm.wait_recv(self.src, self.tag)
+    }
+}
+
 struct SplitPack {
     new_rank: usize,
     senders: Vec<Sender<Envelope>>,
@@ -266,6 +435,7 @@ pub(crate) mod op {
     pub const REDUCE_SCATTER: u8 = 7;
     pub const EXSCAN: u8 = 8;
     pub const SPLIT: u8 = 9;
+    pub const IBCAST: u8 = 10;
 }
 
 /// Entry point: run an SPMD function over `nranks` in-process ranks.
@@ -298,19 +468,17 @@ impl Cluster {
             (0..nranks).map(|_| Vec::with_capacity(nranks)).collect();
         let mut recv_rows: Vec<Vec<Receiver<Envelope>>> =
             (0..nranks).map(|_| Vec::with_capacity(nranks)).collect();
-        for src in 0..nranks {
-            for dst in 0..nranks {
-                let (tx, rx) = unbounded();
-                send_rows[src].push(tx);
-                recv_rows[dst].push(rx);
+        for send_row in send_rows.iter_mut() {
+            for recv_row in recv_rows.iter_mut() {
+                let (tx, rx) = channel();
+                send_row.push(tx);
+                recv_row.push(rx);
             }
         }
 
         let f = Arc::new(f);
         let mut handles = Vec::with_capacity(nranks);
-        for (rank, (senders, receivers)) in
-            send_rows.into_iter().zip(recv_rows.into_iter()).enumerate()
-        {
+        for (rank, (senders, receivers)) in send_rows.into_iter().zip(recv_rows).enumerate() {
             let f = Arc::clone(&f);
             let profile = Arc::new(Mutex::new(Profile::new(rank)));
             let profile_out = Arc::clone(&profile);
@@ -340,11 +508,12 @@ impl Cluster {
             match handle.join() {
                 Ok((result, profile)) => {
                     results.push(result);
-                    profiles.push(
-                        Arc::try_unwrap(profile)
-                            .map(Mutex::into_inner)
-                            .unwrap_or_else(|arc| arc.lock().clone()),
-                    );
+                    profiles.push(match Arc::try_unwrap(profile) {
+                        Ok(mutex) => mutex
+                            .into_inner()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                        Err(arc) => lock_profile(&arc).clone(),
+                    });
                 }
                 Err(panic) => {
                     let msg = panic
@@ -474,5 +643,177 @@ mod tests {
         });
         let bytes = profile.total_p2p_bytes("exchange");
         assert_eq!(bytes, 8 + 800);
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking point-to-point
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn irecv_wait_delivers() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, 4, 99u64).wait();
+                0
+            } else {
+                let req = comm.irecv::<u64>(0, 4);
+                req.wait()
+            }
+        });
+        assert_eq!(out[1], 99);
+    }
+
+    #[test]
+    fn irecv_test_polls_to_completion() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, 4, 7u64).wait();
+                0
+            } else {
+                let mut req = comm.irecv::<u64>(0, 4);
+                while !req.test() {
+                    std::thread::yield_now();
+                }
+                // test() already buffered the value: wait() must not block.
+                req.wait()
+            }
+        });
+        assert_eq!(out[1], 7);
+    }
+
+    #[test]
+    fn nonblocking_interoperates_with_blocking() {
+        // isend -> recv and send -> irecv must pair up, including when
+        // requests are posted before the matching blocking op runs.
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.irecv::<u64>(1, 21);
+                comm.isend(1, 20, 5u64).wait();
+                req.wait()
+            } else {
+                let got = comm.recv::<u64>(0, 20);
+                comm.send(0, 21, got * 2);
+                got
+            }
+        });
+        assert_eq!(out, vec![10, 5]);
+    }
+
+    #[test]
+    fn multiple_outstanding_irecvs_match_by_tag() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, 2, 200u64).wait();
+                comm.isend(1, 1, 100u64).wait();
+                0
+            } else {
+                let req_a = comm.irecv::<u64>(0, 1);
+                let req_b = comm.irecv::<u64>(0, 2);
+                let a = req_a.wait();
+                let b = req_b.wait();
+                (a + b) as usize
+            }
+        });
+        assert_eq!(out[1], 300);
+    }
+
+    #[test]
+    fn dropped_request_leaves_message_for_blocking_recv() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 6, 42u64);
+                0
+            } else {
+                {
+                    let mut req = comm.irecv::<u64>(0, 6);
+                    // Poll until the message has actually arrived so the
+                    // drop is the interesting case (value was buffered
+                    // into the request by test()).
+                    while !req.test() {
+                        std::thread::yield_now();
+                    }
+                    // dropped without wait(): must re-queue the value
+                }
+                // The abandoned request's message stays receivable.
+                comm.recv::<u64>(0, 6)
+            }
+        });
+        assert_eq!(out[1], 42);
+    }
+
+    #[test]
+    fn dropped_request_requeue_preserves_fifo_order() {
+        // m1 buffered by test(), m2 already drained into pending behind
+        // it: the drop must put m1 back at the FRONT so per-(src, tag)
+        // delivery order survives the abandoned request.
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 6, 1u64); // m1
+                comm.send(1, 6, 2u64); // m2
+                comm.send(1, 7, 0u64); // unblocks rank 1's drain
+                0
+            } else {
+                let mut req = comm.irecv::<u64>(0, 6);
+                while !req.test() {
+                    std::thread::yield_now();
+                }
+                // Force m2 into the pending buffer: the blocking recv on
+                // tag 7 drains everything that has arrived from rank 0.
+                let _ = comm.recv::<u64>(0, 7);
+                drop(req); // m1 must re-enter ahead of m2
+                let first = comm.recv::<u64>(0, 6);
+                let second = comm.recv::<u64>(0, 6);
+                (first * 10 + second) as usize
+            }
+        });
+        assert_eq!(out[1], 12, "delivery order must stay m1 then m2");
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected while polling")]
+    fn test_poll_panics_when_peer_is_gone() {
+        let _ = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                return; // exits without sending; its channels disconnect
+            }
+            let mut req = comm.irecv::<u64>(0, 5);
+            while !req.test() {
+                std::thread::yield_now();
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_unarrived_request_loses_nothing() {
+        let out = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(1, 6, 9u64);
+                0
+            } else {
+                drop(comm.irecv::<u64>(0, 6)); // dropped before any send
+                comm.barrier();
+                comm.recv::<u64>(0, 6)
+            }
+        });
+        assert_eq!(out[1], 9);
+    }
+
+    #[test]
+    fn wait_time_is_attributed_separately() {
+        let (_, profile) = Cluster::run_profiled(2, |comm| {
+            let _g = comm.phase("overlap");
+            if comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                comm.isend(1, 3, 1u64).wait();
+            } else {
+                let req = comm.irecv::<u64>(0, 3);
+                let _ = req.wait();
+            }
+        });
+        // Rank 1 blocked in wait() for ~20ms; none of it may be booked as
+        // blocking-communication time.
+        assert!(profile.max_wait_secs("overlap") > 0.005);
+        assert!(profile.max_comm_secs("overlap") < 0.005);
     }
 }

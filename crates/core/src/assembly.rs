@@ -107,7 +107,13 @@ pub fn local_assembly(
         } else {
             0
         };
-        seq.extend_from(&slice_oriented(store, gid(start), alpha, first.pre as usize, first.src_rev));
+        seq.extend_from(&slice_oriented(
+            store,
+            gid(start),
+            alpha,
+            first.pre as usize,
+            first.src_rev,
+        ));
         let mut in_edge = first;
         let mut circular = false;
         loop {
@@ -166,7 +172,11 @@ pub fn local_assembly(
                 }
             }
         }
-        Contig { seq, read_ids, circular }
+        Contig {
+            seq,
+            read_ids,
+            circular,
+        }
     };
 
     // Root scan over all n vertices (paper: linear search for JC-degree 1).
@@ -209,7 +219,12 @@ mod tests {
 
     /// Build a LocalGraph + ReadStore for a chain of reads tiling a
     /// genome, each read optionally reverse-complemented.
-    fn chain_graph(g: &Seq, read_len: usize, stride: usize, strands: &[bool]) -> (LocalGraph, ReadStore) {
+    fn chain_graph(
+        g: &Seq,
+        read_len: usize,
+        stride: usize,
+        strands: &[bool],
+    ) -> (LocalGraph, ReadStore) {
         let n = strands.len();
         assert!(stride * (n - 1) + read_len <= g.len());
         let mut store = ReadStore::empty(n);
@@ -261,7 +276,10 @@ mod tests {
             triples.push(((i + 1) as u32, i as u32, bwd));
         }
         let dcsc = Dcsc::from_triples(n, n, triples, |_, _| unreachable!());
-        let graph = LocalGraph { global_ids: (0..n as u64).collect(), csc: dcsc.to_csc() };
+        let graph = LocalGraph {
+            global_ids: (0..n as u64).collect(),
+            csc: dcsc.to_csc(),
+        };
         (graph, store)
     }
 
@@ -355,7 +373,10 @@ mod tests {
             triples.push((r + 3, c + 3, *e));
         }
         let dcsc = Dcsc::from_triples(6, 6, triples, |_, _| unreachable!());
-        let graph = LocalGraph { global_ids: (0..6).collect(), csc: dcsc.to_csc() };
+        let graph = LocalGraph {
+            global_ids: (0..6).collect(),
+            csc: dcsc.to_csc(),
+        };
         let (contigs, stats) = local_assembly(&graph, &store, &AssemblyConfig::default());
         assert_eq!(stats.contigs, 2);
         assert_eq!(contigs[0].read_ids.len(), 3);
@@ -375,7 +396,10 @@ mod tests {
         let mut circ = g.clone();
         circ.extend_from(&g.substring(0, read_len)); // wraparound copy
         for i in 0..n {
-            store.push(i as u64, circ.substring(i * stride, i * stride + read_len).codes());
+            store.push(
+                i as u64,
+                circ.substring(i * stride, i * stride + read_len).codes(),
+            );
         }
         let overlap = (read_len - stride) as u32;
         let mut triples = Vec::new();
@@ -399,7 +423,10 @@ mod tests {
             triples.push((j as u32, i as u32, bwd));
         }
         let dcsc = Dcsc::from_triples(n, n, triples, |_, _| unreachable!());
-        let graph = LocalGraph { global_ids: (0..n as u64).collect(), csc: dcsc.to_csc() };
+        let graph = LocalGraph {
+            global_ids: (0..n as u64).collect(),
+            csc: dcsc.to_csc(),
+        };
         let (with_cycles, stats) =
             local_assembly(&graph, &store, &AssemblyConfig { emit_cycles: true });
         assert_eq!(stats.cycles, 1);
@@ -412,7 +439,10 @@ mod tests {
 
     #[test]
     fn empty_graph_produces_nothing() {
-        let graph = LocalGraph { global_ids: Vec::new(), csc: Csc::empty(0, 0) };
+        let graph = LocalGraph {
+            global_ids: Vec::new(),
+            csc: Csc::empty(0, 0),
+        };
         let store = ReadStore::empty(0);
         let (contigs, stats) = local_assembly(&graph, &store, &AssemblyConfig::default());
         assert!(contigs.is_empty());

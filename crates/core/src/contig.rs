@@ -134,8 +134,7 @@ pub fn contig_generation(
         } else {
             Vec::new()
         };
-        let assignment =
-            world.bcast(0, (world.rank() == 0).then_some(assignment));
+        let assignment = world.bcast(0, (world.rank() == 0).then_some(assignment));
         // Broadcast the scalar stats too so every rank reports them.
         let scalars = world.bcast(
             0,
@@ -154,7 +153,10 @@ pub fn contig_generation(
         stats.n_components = scalars[2];
         stats.reads_in_contigs = scalars[3];
         stats.imbalance = f64::from_bits(scalars[4]);
-        assignment.into_iter().map(|(label, rank)| (label, rank as usize)).collect()
+        assignment
+            .into_iter()
+            .map(|(label, rank)| (label, rank as usize))
+            .collect()
     };
 
     // --- InducedSubgraph + sequence redistribution (line 5) -------------
@@ -224,7 +226,10 @@ pub fn gather_contigs(grid: &ProcGrid, local: &[Contig]) -> Vec<Contig> {
         })
         .collect();
     all.sort_by(|a, b| {
-        b.seq.len().cmp(&a.seq.len()).then_with(|| a.read_ids.cmp(&b.read_ids))
+        b.seq
+            .len()
+            .cmp(&a.seq.len())
+            .then_with(|| a.read_ids.cmp(&b.read_ids))
     });
     all
 }
@@ -343,7 +348,13 @@ mod tests {
             let g = genome(650, 33); // 6 reads: vertices 0..=5 exist
             let (s, store, _) = exact_string_graph(&grid, &g, 150, 100, 7);
             // add a spurious symmetric edge 2-5 (repeat-like)
-            let e = SgEdge { pre: 99, post: 0, src_rev: false, dst_rev: false, suffix: 100 };
+            let e = SgEdge {
+                pre: 99,
+                post: 0,
+                src_rev: false,
+                dst_rev: false,
+                suffix: 100,
+            };
             let extra = if grid.world().rank() == 0 {
                 vec![(2u64, 5u64, e), (5u64, 2u64, e)]
             } else {
@@ -352,16 +363,27 @@ mod tests {
             let merged: Vec<(u64, u64, SgEdge)> = s
                 .gather_triples(&grid)
                 .into_iter()
-                .chain(if grid.world().rank() == 0 { extra } else { Vec::new() })
+                .chain(if grid.world().rank() == 0 {
+                    extra
+                } else {
+                    Vec::new()
+                })
                 .collect();
-            let merged = if grid.world().rank() == 0 { merged } else { Vec::new() };
+            let merged = if grid.world().rank() == 0 {
+                merged
+            } else {
+                Vec::new()
+            };
             let s2 = DistMat::from_triples(&grid, s.nrows(), s.ncols(), merged, |a, _| {
                 let _ = a;
             });
             let cfg = ContigConfig::default();
             let (local, stats) = contig_generation(&grid, &s2, &store, &cfg);
             let all = gather_contigs(&grid, &local);
-            (stats.branch_vertices, all.iter().map(|c| c.read_ids.len()).collect::<Vec<_>>())
+            (
+                stats.branch_vertices,
+                all.iter().map(|c| c.read_ids.len()).collect::<Vec<_>>(),
+            )
         });
         let (branches, contig_sizes) = &out[0];
         assert_eq!(*branches, 1);

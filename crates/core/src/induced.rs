@@ -74,12 +74,14 @@ pub fn induced_subgraph(
 
     // Re-index to the new, smaller size, keeping the global-id map.
     let mut edges: Vec<(u64, u64, SgEdge)> = incoming.into_iter().flatten().collect();
-    let mut global_ids: Vec<u64> =
-        edges.iter().flat_map(|&(u, w, _)| [u, w]).collect();
+    let mut global_ids: Vec<u64> = edges.iter().flat_map(|&(u, w, _)| [u, w]).collect();
     global_ids.sort_unstable();
     global_ids.dedup();
-    let local_of: HashMap<u64, u32> =
-        global_ids.iter().enumerate().map(|(i, &g)| (g, i as u32)).collect();
+    let local_of: HashMap<u64, u32> = global_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| (g, i as u32))
+        .collect();
     let n = global_ids.len();
     let triples: Vec<(u32, u32, SgEdge)> = edges
         .drain(..)
@@ -92,7 +94,10 @@ pub fn induced_subgraph(
         // block); tolerate exact duplicates defensively.
         let _ = duplicate;
     });
-    LocalGraph { global_ids, csc: dcsc.to_csc() }
+    LocalGraph {
+        global_ids,
+        csc: dcsc.to_csc(),
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +106,13 @@ mod tests {
     use elba_comm::Cluster;
 
     fn edge(suffix: u32) -> SgEdge {
-        SgEdge { pre: 0, post: 0, src_rev: false, dst_rev: false, suffix }
+        SgEdge {
+            pre: 0,
+            post: 0,
+            src_rev: false,
+            dst_rev: false,
+            suffix,
+        }
     }
 
     /// Two chains 0-1-2 and 3-4; labels = min id; chain 0 → rank 0,
@@ -132,7 +143,11 @@ mod tests {
                 let grid = ProcGrid::new(comm);
                 let (l, labels, owners) = setup(&grid);
                 let local = induced_subgraph(&grid, &l, &labels, &owners);
-                (grid.world().rank(), local.global_ids.clone(), local.n_edges())
+                (
+                    grid.world().rank(),
+                    local.global_ids.clone(),
+                    local.n_edges(),
+                )
             });
             let last = p - 1;
             for (rank, ids, nedges) in &out {

@@ -88,7 +88,9 @@ pub struct UnionFind {
 
 impl UnionFind {
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     pub fn find(&mut self, x: usize) -> usize {
@@ -110,7 +112,9 @@ impl UnionFind {
 
     /// Min-id labels for all vertices.
     pub fn labels(&mut self) -> Vec<u64> {
-        (0..self.parent.len()).map(|x| self.find(x) as u64).collect()
+        (0..self.parent.len())
+            .map(|x| self.find(x) as u64)
+            .collect()
     }
 }
 
@@ -125,7 +129,10 @@ mod tests {
         let out = Cluster::run(p, move |comm| {
             let grid = ProcGrid::new(comm);
             let triples: Vec<(u64, u64, u8)> = if grid.world().rank() == 0 {
-                edges.iter().flat_map(|&(a, b)| [(a, b, 1u8), (b, a, 1u8)]).collect()
+                edges
+                    .iter()
+                    .flat_map(|&(a, b)| [(a, b, 1u8), (b, a, 1u8)])
+                    .collect()
             } else {
                 Vec::new()
             };
@@ -177,7 +184,10 @@ mod tests {
         let edges: Vec<(u64, u64)> = (0..n as u64 - 1).map(|i| (i, i + 1)).collect();
         let (labels, rounds) = run_cc(4, n, edges);
         assert!(labels.iter().all(|&l| l == 0));
-        assert!(rounds <= 20, "pointer jumping should converge fast, took {rounds}");
+        assert!(
+            rounds <= 20,
+            "pointer jumping should converge fast, took {rounds}"
+        );
     }
 
     #[test]

@@ -66,9 +66,7 @@ pub fn partition(sizes: &[u64], nparts: usize, strategy: PartitionStrategy) -> P
             order.sort_by_key(|&i| Reverse(sizes[i]));
             greedy_in_order(sizes, nparts, order.into_iter())
         }
-        PartitionStrategy::GreedyUnsorted => {
-            greedy_in_order(sizes, nparts, 0..sizes.len())
-        }
+        PartitionStrategy::GreedyUnsorted => greedy_in_order(sizes, nparts, 0..sizes.len()),
         PartitionStrategy::RoundRobin => {
             let mut loads = vec![0u64; nparts];
             let assignment: Vec<usize> = (0..sizes.len()).map(|i| i % nparts).collect();
@@ -113,7 +111,8 @@ mod tests {
         // (4P−1)/(3P) approximation gap. 17/15 ≤ 7/6 holds.
         let p = partition(&[8, 7, 6, 5, 4], 2, PartitionStrategy::Lpt);
         assert_eq!(p.makespan(), 17);
-        assert!(17.0 / 15.0 <= (4.0 * 2.0 - 1.0) / (3.0 * 2.0) + 1e-9);
+        // 17/15 ≤ (4·2−1)/(3·2) = 7/6: the Graham bound holds (compile-
+        // time constants, so stated rather than asserted).
         assert_eq!(p.loads.iter().sum::<u64>(), 30);
     }
 

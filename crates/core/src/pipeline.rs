@@ -7,11 +7,11 @@
 
 use elba_comm::ProcGrid;
 use elba_graph::{
-    align_and_classify, candidate_matrix, overlap_graph, symmetrize, transitive_reduction,
+    align_and_classify, candidate_matrix, overlap_graph, symmetrize, transitive_reduction_with,
     AlignStats, OverlapConfig, ReductionStats,
 };
 use elba_seq::{build_a_triples, count_kmers, AEntry, DatasetSpec, KmerConfig, ReadStore, Seq};
-use elba_sparse::DistMat;
+use elba_sparse::{DistMat, SpGemmOptions};
 
 use crate::assembly::Contig;
 use crate::contig::{contig_generation, gather_contigs, ContigConfig, ContigStats};
@@ -62,12 +62,30 @@ impl PipelineConfig {
                 min_overlap,
                 min_score_ratio: if high_error { 0.25 } else { 0.7 },
                 // x-drop stops earlier on noisy data → larger overhangs
-                fuzz: if high_error { (mean_len * 0.25) as usize } else { (mean_len * 0.05) as usize },
+                fuzz: if high_error {
+                    (mean_len * 0.25) as usize
+                } else {
+                    (mean_len * 0.05) as usize
+                },
+                spgemm: SpGemmOptions::default(),
             },
-            tr_fuzz: if high_error { (mean_len * 0.3) as u32 } else { (mean_len * 0.1) as u32 },
+            tr_fuzz: if high_error {
+                (mean_len * 0.3) as u32
+            } else {
+                (mean_len * 0.1) as u32
+            },
             tr_max_iters: 10,
             contig: ContigConfig::default(),
         }
+    }
+
+    /// Run every distributed SpGEMM in the pipeline under `opts`.
+    /// `overlap.spgemm` is the single schedule knob: overlap detection
+    /// reads it directly and [`assemble`] hands the same options to the
+    /// transitive-reduction sweeps, so the two stages cannot drift.
+    pub fn with_spgemm(mut self, opts: SpGemmOptions) -> Self {
+        self.overlap.spgemm = opts;
+        self
     }
 }
 
@@ -121,13 +139,17 @@ pub fn assemble(grid: &ProcGrid, reads: &[Seq], cfg: &PipelineConfig) -> Pipelin
     let (r, align_stats) = {
         let _g = world.phase("Alignment");
         let (triples, contained, align_stats) = align_and_classify(grid, &c, &store, &cfg.overlap);
-        (overlap_graph(grid, n_reads, triples, &contained), align_stats)
+        (
+            overlap_graph(grid, n_reads, triples, &contained),
+            align_stats,
+        )
     };
 
     // TrReduction: R → S (line 10).
     let (s, reduction_stats) = {
         let _g = world.phase("TrReduction");
-        let (s, stats) = transitive_reduction(grid, r, cfg.tr_fuzz, cfg.tr_max_iters);
+        let (s, stats) =
+            transitive_reduction_with(grid, r, cfg.tr_fuzz, cfg.tr_max_iters, &cfg.overlap.spgemm);
         (symmetrize(grid, s), stats)
     };
     let string_graph_nnz = s.nnz_global(grid);
@@ -169,7 +191,11 @@ mod tests {
 
     fn small_cfg(k: usize) -> PipelineConfig {
         PipelineConfig {
-            kmer: KmerConfig { k, reliable_min: 2, reliable_max: 60 },
+            kmer: KmerConfig {
+                k,
+                reliable_min: 2,
+                reliable_max: 60,
+            },
             overlap: OverlapConfig {
                 k,
                 xdrop: 15,
@@ -178,6 +204,7 @@ mod tests {
                 min_overlap: 100,
                 min_score_ratio: 0.55,
                 fuzz: 60,
+                spgemm: SpGemmOptions::default(),
             },
             tr_fuzz: 150,
             tr_max_iters: 10,
@@ -212,7 +239,12 @@ mod tests {
                 .collect();
                 let (contigs, result) = assemble_gathered(&grid, &reads, &small_cfg(17));
                 let longest = contigs.first().map_or(0, |c| c.seq.len());
-                (longest, contigs.len(), result.contig_stats.n_components, genome.len())
+                (
+                    longest,
+                    contigs.len(),
+                    result.contig_stats.n_components,
+                    genome.len(),
+                )
             });
             let (longest, n_contigs, _components, genome_len) = out[0];
             assert!(n_contigs >= 1, "p={p}");

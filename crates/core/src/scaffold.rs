@@ -63,7 +63,10 @@ pub struct ScaffoldStats {
 /// Serial scaffolding pass over a contig set.
 pub fn scaffold_contigs(contigs: &[Seq], cfg: &ScaffoldConfig) -> (Vec<Seq>, ScaffoldStats) {
     let n = contigs.len();
-    let mut stats = ScaffoldStats { input_contigs: n, ..Default::default() };
+    let mut stats = ScaffoldStats {
+        input_contigs: n,
+        ..Default::default()
+    };
     if n == 0 {
         return (Vec::new(), stats);
     }
@@ -75,7 +78,10 @@ pub fn scaffold_contigs(contigs: &[Seq], cfg: &ScaffoldConfig) -> (Vec<Seq>, Sca
         let mut seen: HashMap<u64, ()> = HashMap::new();
         for hit in canonical_kmers(contig, cfg.k) {
             if seen.insert(hit.kmer, ()).is_none() {
-                index.entry(hit.kmer).or_default().push((cid as u32, hit.pos, hit.fwd));
+                index
+                    .entry(hit.kmer)
+                    .or_default()
+                    .push((cid as u32, hit.pos, hit.fwd));
             }
         }
     }
@@ -89,13 +95,17 @@ pub fn scaffold_contigs(contigs: &[Seq], cfg: &ScaffoldConfig) -> (Vec<Seq>, Sca
             continue;
         }
         let (u, v) = if a.0 < b.0 { (a, b) } else { (b, a) };
-        pair_seed.entry((u.0, v.0)).or_insert((u.1, v.1, u.2 == v.2));
+        pair_seed
+            .entry((u.0, v.0))
+            .or_insert((u.1, v.1, u.2 == v.2));
     }
 
     // Align candidate pairs, keep dovetail joins.
     let mut contained = vec![false; n];
     let mut edges: Vec<(u32, u32, SgEdge)> = Vec::new();
-    let mut pairs: Vec<((u32, u32), (u32, u32, bool))> = pair_seed.into_iter().collect();
+    // (contig u, contig v) -> (seed position in u, in v, same strand)
+    type PairSeed = ((u32, u32), (u32, u32, bool));
+    let mut pairs: Vec<PairSeed> = pair_seed.into_iter().collect();
     pairs.sort_unstable_by_key(|&(key, _)| key);
     for ((u, v), (pos_u, pos_v, same_strand)) in pairs {
         let cu = &contigs[u as usize];
@@ -159,10 +169,12 @@ pub fn scaffold_contigs(contigs: &[Seq], cfg: &ScaffoldConfig) -> (Vec<Seq>, Sca
     for (cid, contig) in contigs.iter().enumerate() {
         store.push(cid as u64, contig.codes());
     }
-    let joined_ids: std::collections::HashSet<u32> =
-        edges.iter().map(|&(u, _, _)| u).collect();
+    let joined_ids: std::collections::HashSet<u32> = edges.iter().map(|&(u, _, _)| u).collect();
     let dcsc = Dcsc::from_triples(n, n, edges, |_, _| {});
-    let graph = LocalGraph { global_ids: (0..n as u64).collect(), csc: dcsc.to_csc() };
+    let graph = LocalGraph {
+        global_ids: (0..n as u64).collect(),
+        csc: dcsc.to_csc(),
+    };
     let (walked, _) = local_assembly(&graph, &store, &AssemblyConfig { emit_cycles: true });
 
     // Scaffolds = walked chains + untouched (unjoined, uncontained) contigs.
@@ -185,11 +197,13 @@ pub fn scaffold_distributed(
     local_contigs: &[Contig],
     cfg: &ScaffoldConfig,
 ) -> (Vec<Seq>, ScaffoldStats) {
-    let packed: Vec<Vec<u8>> = local_contigs.iter().map(|c| c.seq.codes().to_vec()).collect();
+    let packed: Vec<Vec<u8>> = local_contigs
+        .iter()
+        .map(|c| c.seq.codes().to_vec())
+        .collect();
     let gathered = grid.world().gather(0, packed);
     let result = gathered.map(|all| {
-        let contigs: Vec<Seq> =
-            all.into_iter().flatten().map(Seq::from_codes).collect();
+        let contigs: Vec<Seq> = all.into_iter().flatten().map(Seq::from_codes).collect();
         let (scaffolds, stats) = scaffold_contigs(&contigs, cfg);
         let packed: Vec<Vec<u8>> = scaffolds.iter().map(|s| s.codes().to_vec()).collect();
         (
@@ -231,7 +245,11 @@ mod tests {
     }
 
     fn cfg() -> ScaffoldConfig {
-        ScaffoldConfig { k: 15, min_overlap: 50, ..Default::default() }
+        ScaffoldConfig {
+            k: 15,
+            min_overlap: 50,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -252,8 +270,10 @@ mod tests {
     #[test]
     fn reverse_complement_contig_still_joins() {
         let g = genome(2_000, 2);
-        let contigs =
-            vec![g.substring(0, 1_100), g.substring(1_000, 2_000).reverse_complement()];
+        let contigs = vec![
+            g.substring(0, 1_100),
+            g.substring(1_000, 2_000).reverse_complement(),
+        ];
         let (scaffolds, stats) = scaffold_contigs(&contigs, &cfg());
         assert_eq!(stats.joins, 1);
         assert_eq!(scaffolds.len(), 1);

@@ -14,11 +14,7 @@ use rand::{Rng, SeedableRng};
 /// Build one exact chain over a fresh random genome; returns reads (with
 /// chosen strands) and the symmetric directed edge pairs, ids offset by
 /// `base`.
-fn make_chain(
-    seed: u64,
-    n_reads: usize,
-    base: u64,
-) -> (Seq, Vec<Seq>, Vec<(u64, u64, SgEdge)>) {
+fn make_chain(seed: u64, n_reads: usize, base: u64) -> (Seq, Vec<Seq>, Vec<(u64, u64, SgEdge)>) {
     let read_len = 120usize;
     let stride = 70usize;
     let glen = stride * (n_reads - 1) + read_len;

@@ -20,5 +20,5 @@ pub mod semirings;
 pub use overlap_stage::{
     align_and_classify, align_pair, candidate_matrix, overlap_graph, AlignStats, OverlapConfig,
 };
-pub use reduction::{symmetrize, transitive_reduction, ReductionStats};
+pub use reduction::{symmetrize, transitive_reduction, transitive_reduction_with, ReductionStats};
 pub use semirings::{dir_index, MinPlusDir, OverlapSemiring, ReductionSemiring, Seed, SharedSeeds};

@@ -12,7 +12,7 @@
 use elba_align::{classify, extend_seed, OverlapAln, OverlapClass, Scoring, SgEdge};
 use elba_comm::ProcGrid;
 use elba_seq::{AEntry, ReadStore};
-use elba_sparse::{DistMat, DistVec};
+use elba_sparse::{DistMat, DistVec, SpGemmOptions};
 
 use crate::semirings::{OverlapSemiring, SharedSeeds};
 
@@ -33,6 +33,9 @@ pub struct OverlapConfig {
     pub min_score_ratio: f64,
     /// Overhang tolerance when classifying (x-drop may stop early).
     pub fuzz: usize,
+    /// Schedule for the distributed `C = AAᵀ` multiply (pipelined by
+    /// default; blocked bounds memory on large inputs).
+    pub spgemm: SpGemmOptions,
 }
 
 impl Default for OverlapConfig {
@@ -45,6 +48,7 @@ impl Default for OverlapConfig {
             min_overlap: 500,
             min_score_ratio: 0.55,
             fuzz: 200,
+            spgemm: SpGemmOptions::default(),
         }
     }
 }
@@ -81,9 +85,9 @@ impl AlignStats {
             self.internal,
             self.rejected,
         ];
-        let merged = grid.world().allreduce(v, |a, b| {
-            a.iter().zip(&b).map(|(x, y)| x + y).collect()
-        });
+        let merged = grid
+            .world()
+            .allreduce(v, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect());
         AlignStats {
             candidate_pairs: merged[0],
             aligned_pairs: merged[1],
@@ -103,7 +107,7 @@ pub fn candidate_matrix(
     cfg: &OverlapConfig,
 ) -> DistMat<SharedSeeds> {
     let at = a.transpose(grid);
-    let c = a.spgemm(grid, &at, &OverlapSemiring);
+    let c = a.spgemm_with(grid, &at, &OverlapSemiring, &cfg.spgemm);
     c.prune(grid, |r, col, v| r < col && v.count >= cfg.min_shared_kmers)
 }
 
@@ -136,9 +140,8 @@ pub fn align_pair(
             );
             OverlapAln::from_seed(aln, false, u_codes.len(), v_codes.len())
         } else {
-            let w = v_rc.get_or_insert_with(|| {
-                v_codes.iter().rev().map(|&b| 3 - b).collect::<Vec<u8>>()
-            });
+            let w = v_rc
+                .get_or_insert_with(|| v_codes.iter().rev().map(|&b| 3 - b).collect::<Vec<u8>>());
             let w_pos = v_codes.len() - seed.pos_h as usize - cfg.k;
             if seed.pos_v as usize + cfg.k > u_codes.len() || w_pos + cfg.k > w.len() {
                 continue;
@@ -154,7 +157,7 @@ pub fn align_pair(
             );
             OverlapAln::from_seed(aln, true, u_codes.len(), v_codes.len())
         };
-        if best.as_ref().map_or(true, |b| candidate.score > b.score) {
+        if best.as_ref().is_none_or(|b| candidate.score > b.score) {
             best = Some(candidate);
         }
     }
@@ -176,8 +179,12 @@ pub fn align_and_classify(
     let mut stats = AlignStats::default();
     for (i, j, seeds) in c.iter_global(grid) {
         stats.candidate_pairs += 1;
-        let u_codes = seqs.get(i).unwrap_or_else(|| panic!("read {i} not fetched"));
-        let v_codes = seqs.get(j).unwrap_or_else(|| panic!("read {j} not fetched"));
+        let u_codes = seqs
+            .get(i)
+            .unwrap_or_else(|| panic!("read {i} not fetched"));
+        let v_codes = seqs
+            .get(j)
+            .unwrap_or_else(|| panic!("read {j} not fetched"));
         let Some(aln) = align_pair(u_codes, v_codes, seeds, cfg) else {
             stats.rejected += 1;
             continue;
@@ -194,8 +201,7 @@ pub fn align_and_classify(
             }
             OverlapClass::Internal => stats.internal += 1,
             OverlapClass::Dovetail { fwd, bwd } => {
-                let score_ok =
-                    aln.score as f64 >= cfg.min_score_ratio * aln.span() as f64;
+                let score_ok = aln.score as f64 >= cfg.min_score_ratio * aln.span() as f64;
                 if aln.span() >= cfg.min_overlap && score_ok {
                     stats.dovetails += 1;
                     triples.push((i, j, fwd));
@@ -266,6 +272,7 @@ mod tests {
             min_overlap: 30,
             min_score_ratio: 0.55,
             fuzz: 10,
+            spgemm: elba_sparse::SpGemmOptions::default(),
         }
     }
 
@@ -279,7 +286,11 @@ mod tests {
                 let n = reads.len();
                 let store = ReadStore::from_replicated(&grid, &reads);
                 let cfg = test_cfg();
-                let kcfg = KmerConfig { k: cfg.k, reliable_min: 2, reliable_max: 16 };
+                let kcfg = KmerConfig {
+                    k: cfg.k,
+                    reliable_min: 2,
+                    reliable_max: 16,
+                };
                 let table = count_kmers(&grid, &store, &kcfg);
                 let a_triples = build_a_triples(&grid, &store, &table);
                 let a = DistMat::from_triples(
@@ -302,12 +313,96 @@ mod tests {
             let (degrees, dovetails, n) = &out[0];
             // consecutive 200-base reads at stride 100 overlap by 100;
             // reads two apart share nothing → a clean path graph.
-            assert!(*dovetails >= (*n as u64) - 1, "p={p}: dovetails={dovetails}");
+            assert!(
+                *dovetails >= (*n as u64) - 1,
+                "p={p}: dovetails={dovetails}"
+            );
             assert_eq!(degrees.len(), *n);
             let ends = degrees.iter().filter(|&&d| d == 1).count();
             assert!(ends >= 2, "chain endpoints, got degrees {degrees:?}");
             assert!(degrees.iter().all(|&d| d >= 1), "no isolated reads");
         }
+    }
+
+    #[test]
+    fn pipelined_overlap_stage_reports_wait_separately() {
+        // Acceptance check for the pipelined SUMMA refactor: a profiled
+        // DetectOverlap phase must (a) produce the same candidate matrix
+        // as the eager schedule and (b) attribute non-blocking wait time
+        // in its own bucket, with ibcast traffic visible — proving the
+        // overlap is instrumented, not just claimed.
+        let mut results: Vec<Vec<(u64, u64, u32)>> = Vec::new();
+        for eager in [false, true] {
+            let (out, profile) = elba_comm::Cluster::run_profiled(4, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let g = genome(600, 42);
+                let reads = tiled_reads(&g, 200, 100);
+                let n = reads.len();
+                let store = ReadStore::from_replicated(&grid, &reads);
+                let mut cfg = test_cfg();
+                cfg.spgemm = if eager {
+                    elba_sparse::SpGemmOptions::eager()
+                } else {
+                    elba_sparse::SpGemmOptions::pipelined()
+                };
+                let kcfg = KmerConfig {
+                    k: cfg.k,
+                    reliable_min: 2,
+                    reliable_max: 16,
+                };
+                let table = count_kmers(&grid, &store, &kcfg);
+                let a_triples = build_a_triples(&grid, &store, &table);
+                let a = DistMat::from_triples(
+                    &grid,
+                    n,
+                    table.n_global as usize,
+                    a_triples,
+                    |acc, v: AEntry| {
+                        if v.pos < acc.pos {
+                            *acc = v;
+                        }
+                    },
+                );
+                let c = {
+                    let _g = grid.world().phase("DetectOverlap");
+                    candidate_matrix(&grid, &a, &cfg)
+                };
+                let mut triples: Vec<(u64, u64, u32)> = c
+                    .gather_triples(&grid)
+                    .into_iter()
+                    .map(|(r, s, v)| (r, s, v.count))
+                    .collect();
+                triples.sort_unstable();
+                triples
+            });
+            if eager {
+                assert_eq!(
+                    profile.max_wait_secs("DetectOverlap"),
+                    0.0,
+                    "eager schedule never parks in a request wait"
+                );
+            } else {
+                assert!(
+                    profile.max_wait_secs("DetectOverlap") > 0.0,
+                    "pipelined schedule must book its request waits in the wait bucket"
+                );
+                let ibcasts: u64 = profile
+                    .rank_profiles()
+                    .iter()
+                    .filter_map(|r| r.phase("DetectOverlap"))
+                    .flat_map(|p| p.collectives.iter())
+                    .filter(|(op, _, _)| *op == "ibcast")
+                    .map(|&(_, calls, _)| calls)
+                    .sum();
+                // q = 2 stages × 2 (A and B) ibcasts per rank, 4 ranks.
+                assert_eq!(ibcasts, 16, "every SUMMA stage must go through ibcast");
+            }
+            results.push(out.into_iter().next().expect("rank 0"));
+        }
+        assert_eq!(
+            results[0], results[1],
+            "pipelined and eager candidates must agree"
+        );
     }
 
     #[test]
@@ -364,14 +459,24 @@ mod tests {
             ];
             let store = ReadStore::from_replicated(&grid, &reads);
             let cfg = test_cfg();
-            let kcfg = KmerConfig { k: cfg.k, reliable_min: 2, reliable_max: 16 };
+            let kcfg = KmerConfig {
+                k: cfg.k,
+                reliable_min: 2,
+                reliable_max: 16,
+            };
             let table = count_kmers(&grid, &store, &kcfg);
             let a_triples = build_a_triples(&grid, &store, &table);
-            let a = DistMat::from_triples(&grid, 3, table.n_global as usize, a_triples, |acc, v: AEntry| {
-                if v.pos < acc.pos {
-                    *acc = v;
-                }
-            });
+            let a = DistMat::from_triples(
+                &grid,
+                3,
+                table.n_global as usize,
+                a_triples,
+                |acc, v: AEntry| {
+                    if v.pos < acc.pos {
+                        *acc = v;
+                    }
+                },
+            );
             let c = candidate_matrix(&grid, &a, &cfg);
             let (triples, contained, stats) = align_and_classify(&grid, &c, &store, &cfg);
             let r = overlap_graph(&grid, 3, triples, &contained);

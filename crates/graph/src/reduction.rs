@@ -12,7 +12,7 @@
 
 use elba_align::SgEdge;
 use elba_comm::ProcGrid;
-use elba_sparse::DistMat;
+use elba_sparse::{DistMat, SpGemmOptions};
 
 use crate::semirings::{dir_index, ReductionSemiring};
 
@@ -26,18 +26,33 @@ pub struct ReductionStats {
 }
 
 /// Run transitive reduction to a fixed point (or `max_iters`). Collective.
+/// Each sweep's `N = R ⊗ R` runs under the default (pipelined) SpGEMM
+/// schedule; use [`transitive_reduction_with`] to pick one explicitly.
 pub fn transitive_reduction(
+    grid: &ProcGrid,
+    s: DistMat<SgEdge>,
+    fuzz: u32,
+    max_iters: usize,
+) -> (DistMat<SgEdge>, ReductionStats) {
+    transitive_reduction_with(grid, s, fuzz, max_iters, &SpGemmOptions::default())
+}
+
+/// [`transitive_reduction`] under an explicit SpGEMM schedule (the sweep
+/// is SpGEMM-dominated, so the schedule choice is what bounds its memory
+/// and exposes its overlap). Collective.
+pub fn transitive_reduction_with(
     grid: &ProcGrid,
     mut s: DistMat<SgEdge>,
     fuzz: u32,
     max_iters: usize,
+    opts: &SpGemmOptions,
 ) -> (DistMat<SgEdge>, ReductionStats) {
     let nnz_before = s.nnz_global(grid);
     let mut removed_total = 0u64;
     let mut iterations = 0usize;
     while iterations < max_iters {
         iterations += 1;
-        let n = s.spgemm(grid, &s, &ReductionSemiring);
+        let n = s.spgemm_with(grid, &s, &ReductionSemiring, opts);
         let before = s.nnz_global(grid);
         s = s.zip_prune(grid, &n, |_, _, edge, two_hop| match two_hop {
             Some(paths) => {
@@ -54,7 +69,15 @@ pub fn transitive_reduction(
         }
     }
     let nnz_after = s.nnz_global(grid);
-    (s, ReductionStats { iterations, removed: removed_total, nnz_before, nnz_after })
+    (
+        s,
+        ReductionStats {
+            iterations,
+            removed: removed_total,
+            nnz_before,
+            nnz_after,
+        },
+    )
 }
 
 /// Drop any directed edge whose mirror is absent, restoring exact
@@ -83,7 +106,13 @@ mod tests {
                 triples.push((
                     i as u64,
                     j as u64,
-                    SgEdge { pre: gap - 1, post: 0, src_rev: false, dst_rev: false, suffix: gap },
+                    SgEdge {
+                        pre: gap - 1,
+                        post: 0,
+                        src_rev: false,
+                        dst_rev: false,
+                        suffix: gap,
+                    },
                 ));
                 triples.push((
                     j as u64,
@@ -115,8 +144,11 @@ mod tests {
                 };
                 let r = DistMat::from_triples(&grid, 6, 6, triples, |_, _| unreachable!());
                 let (s, stats) = transitive_reduction(&grid, r, 5, 10);
-                let mut kept: Vec<(u64, u64)> =
-                    s.gather_triples(&grid).into_iter().map(|(a, b, _)| (a, b)).collect();
+                let mut kept: Vec<(u64, u64)> = s
+                    .gather_triples(&grid)
+                    .into_iter()
+                    .map(|(a, b, _)| (a, b))
+                    .collect();
                 kept.sort_unstable();
                 (kept, stats.removed)
             });
@@ -138,10 +170,40 @@ mod tests {
         let out = Cluster::run(1, |comm| {
             let grid = ProcGrid::new(comm);
             let triples = vec![
-                (0u64, 1u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 10 }),
+                (
+                    0u64,
+                    1u64,
+                    SgEdge {
+                        pre: 9,
+                        post: 0,
+                        src_rev: false,
+                        dst_rev: false,
+                        suffix: 10,
+                    },
+                ),
                 // w (=1) leaves reversed — incompatible with arriving forward
-                (1u64, 2u64, SgEdge { pre: 9, post: 0, src_rev: true, dst_rev: false, suffix: 10 }),
-                (0u64, 2u64, SgEdge { pre: 19, post: 0, src_rev: false, dst_rev: false, suffix: 20 }),
+                (
+                    1u64,
+                    2u64,
+                    SgEdge {
+                        pre: 9,
+                        post: 0,
+                        src_rev: true,
+                        dst_rev: false,
+                        suffix: 10,
+                    },
+                ),
+                (
+                    0u64,
+                    2u64,
+                    SgEdge {
+                        pre: 19,
+                        post: 0,
+                        src_rev: false,
+                        dst_rev: false,
+                        suffix: 20,
+                    },
+                ),
             ];
             let r = DistMat::from_triples(&grid, 3, 3, triples, |_, _| unreachable!());
             let (s, _) = transitive_reduction(&grid, r, 2, 10);
@@ -155,14 +217,47 @@ mod tests {
         let out = Cluster::run(1, |comm| {
             let grid = ProcGrid::new(comm);
             let triples = vec![
-                (0u64, 1u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 10 }),
-                (1u64, 2u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 10 }),
-                (0u64, 2u64, SgEdge { pre: 19, post: 0, src_rev: false, dst_rev: false, suffix: 20 }),
+                (
+                    0u64,
+                    1u64,
+                    SgEdge {
+                        pre: 9,
+                        post: 0,
+                        src_rev: false,
+                        dst_rev: false,
+                        suffix: 10,
+                    },
+                ),
+                (
+                    1u64,
+                    2u64,
+                    SgEdge {
+                        pre: 9,
+                        post: 0,
+                        src_rev: false,
+                        dst_rev: false,
+                        suffix: 10,
+                    },
+                ),
+                (
+                    0u64,
+                    2u64,
+                    SgEdge {
+                        pre: 19,
+                        post: 0,
+                        src_rev: false,
+                        dst_rev: false,
+                        suffix: 20,
+                    },
+                ),
             ];
             let r = DistMat::from_triples(&grid, 3, 3, triples, |_, _| unreachable!());
             let (s, stats) = transitive_reduction(&grid, r, 2, 10);
-            let mut kept: Vec<(u64, u64)> =
-                s.gather_triples(&grid).into_iter().map(|(a, b, _)| (a, b)).collect();
+            let mut kept: Vec<(u64, u64)> = s
+                .gather_triples(&grid)
+                .into_iter()
+                .map(|(a, b, _)| (a, b))
+                .collect();
             kept.sort_unstable();
             (kept, stats.iterations)
         });
@@ -175,9 +270,39 @@ mod tests {
             let grid = ProcGrid::new(comm);
             // two-hop sum 23 vs direct suffix 20: transitive only if fuzz >= 3
             let triples = vec![
-                (0u64, 1u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 11 }),
-                (1u64, 2u64, SgEdge { pre: 9, post: 0, src_rev: false, dst_rev: false, suffix: 12 }),
-                (0u64, 2u64, SgEdge { pre: 19, post: 0, src_rev: false, dst_rev: false, suffix: 20 }),
+                (
+                    0u64,
+                    1u64,
+                    SgEdge {
+                        pre: 9,
+                        post: 0,
+                        src_rev: false,
+                        dst_rev: false,
+                        suffix: 11,
+                    },
+                ),
+                (
+                    1u64,
+                    2u64,
+                    SgEdge {
+                        pre: 9,
+                        post: 0,
+                        src_rev: false,
+                        dst_rev: false,
+                        suffix: 12,
+                    },
+                ),
+                (
+                    0u64,
+                    2u64,
+                    SgEdge {
+                        pre: 19,
+                        post: 0,
+                        src_rev: false,
+                        dst_rev: false,
+                        suffix: 20,
+                    },
+                ),
             ];
             let strict = {
                 let r = DistMat::from_triples(&grid, 3, 3, triples.clone(), |_, _| unreachable!());
@@ -197,7 +322,13 @@ mod tests {
     fn symmetrize_drops_unpaired_edges() {
         let out = Cluster::run(4, |comm| {
             let grid = ProcGrid::new(comm);
-            let e = SgEdge { pre: 0, post: 0, src_rev: false, dst_rev: false, suffix: 1 };
+            let e = SgEdge {
+                pre: 0,
+                post: 0,
+                src_rev: false,
+                dst_rev: false,
+                suffix: 1,
+            };
             let triples = if grid.world().rank() == 0 {
                 vec![(0u64, 1u64, e), (1u64, 0u64, e), (2u64, 3u64, e)]
             } else {
@@ -205,8 +336,11 @@ mod tests {
             };
             let s = DistMat::from_triples(&grid, 4, 4, triples, |_, _| unreachable!());
             let sym = symmetrize(&grid, s);
-            let mut kept: Vec<(u64, u64)> =
-                sym.gather_triples(&grid).into_iter().map(|(a, b, _)| (a, b)).collect();
+            let mut kept: Vec<(u64, u64)> = sym
+                .gather_triples(&grid)
+                .into_iter()
+                .map(|(a, b, _)| (a, b))
+                .collect();
             kept.sort_unstable();
             kept
         });

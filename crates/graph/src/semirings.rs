@@ -29,7 +29,11 @@ elba_comm::impl_comm_msg_pod!(SharedSeeds, Seed);
 
 impl SharedSeeds {
     pub fn single(seed: Seed) -> Self {
-        SharedSeeds { count: 1, n: 1, seeds: [seed, seed] }
+        SharedSeeds {
+            count: 1,
+            n: 1,
+            seeds: [seed, seed],
+        }
     }
 
     /// Retained seeds (1 or 2).
@@ -103,7 +107,9 @@ pub struct MinPlusDir {
 elba_comm::impl_comm_msg_pod!(MinPlusDir);
 
 impl MinPlusDir {
-    pub const EMPTY: MinPlusDir = MinPlusDir { per_dir: [u32::MAX; 4] };
+    pub const EMPTY: MinPlusDir = MinPlusDir {
+        per_dir: [u32::MAX; 4],
+    };
 }
 
 /// Transitive-reduction semiring (diBELLA 2D): composing `u→w` with
@@ -141,7 +147,11 @@ mod tests {
     use super::*;
 
     fn seed(pos_v: u32, pos_h: u32) -> Seed {
-        Seed { pos_v, pos_h, same_strand: true }
+        Seed {
+            pos_v,
+            pos_h,
+            same_strand: true,
+        }
     }
 
     #[test]
@@ -152,7 +162,13 @@ mod tests {
         let mut acc = s.multiply(&a, &b).expect("always produces a seed");
         for pos in [30u32, 50, 40] {
             let x = s
-                .multiply(&AEntry { pos, fwd: true }, &AEntry { pos: pos + 5, fwd: false })
+                .multiply(
+                    &AEntry { pos, fwd: true },
+                    &AEntry {
+                        pos: pos + 5,
+                        fwd: false,
+                    },
+                )
                 .expect("seed");
             s.add(&mut acc, x);
         }
@@ -167,7 +183,10 @@ mod tests {
     fn strand_agreement_recorded() {
         let s = OverlapSemiring;
         let out = s
-            .multiply(&AEntry { pos: 1, fwd: true }, &AEntry { pos: 2, fwd: false })
+            .multiply(
+                &AEntry { pos: 1, fwd: true },
+                &AEntry { pos: 2, fwd: false },
+            )
             .expect("seed");
         assert!(!out.seeds()[0].same_strand);
     }
@@ -175,12 +194,30 @@ mod tests {
     #[test]
     fn reduction_semiring_requires_consistent_middle() {
         let s = ReductionSemiring;
-        let e1 = SgEdge { pre: 0, post: 0, src_rev: false, dst_rev: false, suffix: 10 };
-        let e2 = SgEdge { pre: 0, post: 0, src_rev: false, dst_rev: true, suffix: 20 };
+        let e1 = SgEdge {
+            pre: 0,
+            post: 0,
+            src_rev: false,
+            dst_rev: false,
+            suffix: 10,
+        };
+        let e2 = SgEdge {
+            pre: 0,
+            post: 0,
+            src_rev: false,
+            dst_rev: true,
+            suffix: 20,
+        };
         let product = s.multiply(&e1, &e2).expect("compatible");
         assert_eq!(product.per_dir[dir_index(false, true)], 30);
         // incompatible middle orientation annihilates
-        let e3 = SgEdge { pre: 0, post: 0, src_rev: true, dst_rev: false, suffix: 20 };
+        let e3 = SgEdge {
+            pre: 0,
+            post: 0,
+            src_rev: true,
+            dst_rev: false,
+            suffix: 20,
+        };
         assert_eq!(s.multiply(&e1, &e3), None);
     }
 

@@ -87,7 +87,11 @@ impl ReferenceIndex {
                 unique.insert(hit.kmer, (hit.pos, hit.fwd));
             }
         }
-        ReferenceIndex { k, ref_len: reference.len(), unique }
+        ReferenceIndex {
+            k,
+            ref_len: reference.len(),
+            unique,
+        }
     }
 
     /// Fraction of reference k-mers that are unique (diagnostic).
@@ -154,13 +158,8 @@ fn is_misassembled(blocks: &[Block], cfg: &QualityConfig) -> bool {
     blocks.windows(2).any(|w| {
         let (a, b) = (&w[0], &w[1]);
         let discordant_strand = a.forward != b.forward;
-        let gap = if b.ref_start > a.ref_end {
-            b.ref_start - a.ref_end
-        } else if a.ref_start > b.ref_end {
-            a.ref_start - b.ref_end
-        } else {
-            0
-        };
+        let gap =
+            (b.ref_start.saturating_sub(a.ref_end)).max(a.ref_start.saturating_sub(b.ref_end));
         discordant_strand || gap > cfg.misassembly_gap
     })
 }
@@ -228,7 +227,7 @@ mod tests {
     #[test]
     fn perfect_single_contig_is_complete() {
         let g = genome(10_000, 1);
-        let report = evaluate(&g, &[g.clone()], &QualityConfig::default());
+        let report = evaluate(&g, std::slice::from_ref(&g), &QualityConfig::default());
         assert!(report.completeness > 99.0, "{}", report.completeness);
         assert_eq!(report.misassembled_contigs, 0);
         assert_eq!(report.longest_contig, 10_000);
@@ -238,8 +237,7 @@ mod tests {
     #[test]
     fn reverse_complement_contig_also_maps() {
         let g = genome(8_000, 2);
-        let report =
-            evaluate(&g, &[g.reverse_complement()], &QualityConfig::default());
+        let report = evaluate(&g, &[g.reverse_complement()], &QualityConfig::default());
         assert!(report.completeness > 99.0);
         assert_eq!(report.misassembled_contigs, 0);
     }
@@ -249,7 +247,11 @@ mod tests {
         let g = genome(10_000, 3);
         let half = g.substring(0, 5_000);
         let report = evaluate(&g, &[half], &QualityConfig::default());
-        assert!((report.completeness - 50.0).abs() < 2.0, "{}", report.completeness);
+        assert!(
+            (report.completeness - 50.0).abs() < 2.0,
+            "{}",
+            report.completeness
+        );
     }
 
     #[test]
@@ -311,8 +313,11 @@ mod tests {
     fn ng50_uses_reference_length() {
         let g = genome(10_000, 9);
         // three contigs: 4k, 2k, 1k; half the genome = 5000; 4k+2k ≥ 5000
-        let contigs =
-            vec![g.substring(0, 4_000), g.substring(4_000, 6_000), g.substring(6_000, 7_000)];
+        let contigs = vec![
+            g.substring(0, 4_000),
+            g.substring(4_000, 6_000),
+            g.substring(6_000, 7_000),
+        ];
         let report = evaluate(&g, &contigs, &QualityConfig::default());
         assert_eq!(report.ng50, 2_000);
         assert_eq!(report.n_contigs, 3);

@@ -54,7 +54,9 @@ impl Seq {
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        Seq { codes: Vec::with_capacity(cap) }
+        Seq {
+            codes: Vec::with_capacity(cap),
+        }
     }
 
     /// From base codes (each must be < 4).
@@ -66,7 +68,9 @@ impl Seq {
     /// Parse from ASCII; ambiguity codes are replaced by `A` (as common
     /// assemblers do when ingesting simulated data without Ns).
     pub fn from_ascii(s: &[u8]) -> Self {
-        Seq { codes: s.iter().map(|&c| char_to_base(c).unwrap_or(0)).collect() }
+        Seq {
+            codes: s.iter().map(|&c| char_to_base(c).unwrap_or(0)).collect(),
+        }
     }
 
     #[inline]
@@ -102,7 +106,9 @@ impl Seq {
 
     /// Reverse complement of the whole sequence.
     pub fn reverse_complement(&self) -> Seq {
-        Seq { codes: self.codes.iter().rev().map(|&b| complement(b)).collect() }
+        Seq {
+            codes: self.codes.iter().rev().map(|&b| complement(b)).collect(),
+        }
     }
 
     /// Inclusive paper slice: forward `l[a:b]` when `a ≤ b`, or the
@@ -110,15 +116,21 @@ impl Seq {
     /// complemented) when `a > b`. Bounds are inclusive on both ends.
     pub fn paper_slice(&self, a: usize, b: usize) -> Seq {
         if a <= b {
-            Seq { codes: self.codes[a..=b].to_vec() }
+            Seq {
+                codes: self.codes[a..=b].to_vec(),
+            }
         } else {
-            Seq { codes: (b..=a).rev().map(|i| complement(self.codes[i])).collect() }
+            Seq {
+                codes: (b..=a).rev().map(|i| complement(self.codes[i])).collect(),
+            }
         }
     }
 
     /// Contiguous subsequence `start..end` (exclusive end, forward strand).
     pub fn substring(&self, start: usize, end: usize) -> Seq {
-        Seq { codes: self.codes[start..end].to_vec() }
+        Seq {
+            codes: self.codes[start..end].to_vec(),
+        }
     }
 }
 
@@ -172,8 +184,14 @@ mod tests {
     #[test]
     fn complement_pairs() {
         // A<->T and C<->G, as stated in the paper's background section.
-        assert_eq!(base_to_char(complement(char_to_base(b'A').expect("base"))), 'T');
-        assert_eq!(base_to_char(complement(char_to_base(b'C').expect("base"))), 'G');
+        assert_eq!(
+            base_to_char(complement(char_to_base(b'A').expect("base"))),
+            'T'
+        );
+        assert_eq!(
+            base_to_char(complement(char_to_base(b'C').expect("base"))),
+            'G'
+        );
     }
 
     #[test]

@@ -26,12 +26,13 @@ pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<FastaRecord>> {
         }
         if let Some(header) = trimmed.strip_prefix('>') {
             if let Some(prev) = id.take() {
-                records.push(FastaRecord { id: prev, seq: Seq::from_ascii(&bases) });
+                records.push(FastaRecord {
+                    id: prev,
+                    seq: Seq::from_ascii(&bases),
+                });
                 bases.clear();
             }
-            id = Some(
-                header.split_whitespace().next().unwrap_or("").to_owned(),
-            );
+            id = Some(header.split_whitespace().next().unwrap_or("").to_owned());
         } else if id.is_some() {
             bases.extend_from_slice(trimmed.as_bytes());
         } else {
@@ -42,7 +43,10 @@ pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<FastaRecord>> {
         }
     }
     if let Some(prev) = id {
-        records.push(FastaRecord { id: prev, seq: Seq::from_ascii(&bases) });
+        records.push(FastaRecord {
+            id: prev,
+            seq: Seq::from_ascii(&bases),
+        });
     }
     Ok(records)
 }
@@ -71,8 +75,14 @@ mod tests {
     #[test]
     fn round_trip() {
         let records = vec![
-            FastaRecord { id: "read1".into(), seq: "ACGTACGT".parse().expect("dna") },
-            FastaRecord { id: "read2".into(), seq: "TTTT".parse().expect("dna") },
+            FastaRecord {
+                id: "read1".into(),
+                seq: "ACGTACGT".parse().expect("dna"),
+            },
+            FastaRecord {
+                id: "read2".into(),
+                seq: "TTTT".parse().expect("dna"),
+            },
         ];
         let mut buf = Vec::new();
         write_fasta(&mut buf, &records).expect("write");

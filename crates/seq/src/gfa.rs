@@ -48,7 +48,10 @@ impl GfaGraph {
     }
 
     pub fn add_segment(&mut self, name: impl Into<String>, seq: Seq) {
-        self.segments.push(GfaSegment { name: name.into(), seq });
+        self.segments.push(GfaSegment {
+            name: name.into(),
+            seq,
+        });
     }
 
     pub fn add_link(
@@ -69,14 +72,23 @@ impl GfaGraph {
     }
 
     pub fn add_path(&mut self, name: impl Into<String>, steps: Vec<(String, bool)>) {
-        self.paths.push(GfaPath { name: name.into(), steps });
+        self.paths.push(GfaPath {
+            name: name.into(),
+            steps,
+        });
     }
 
     /// Serialize as GFA 1.0.
     pub fn write<W: Write>(&self, mut out: W) -> io::Result<()> {
         writeln!(out, "H\tVN:Z:1.0")?;
         for segment in &self.segments {
-            writeln!(out, "S\t{}\t{}\tLN:i:{}", segment.name, segment.seq, segment.seq.len())?;
+            writeln!(
+                out,
+                "S\t{}\t{}\tLN:i:{}",
+                segment.name,
+                segment.seq,
+                segment.seq.len()
+            )?;
         }
         for link in &self.links {
             writeln!(
@@ -123,14 +135,22 @@ impl GfaGraph {
                     let from_reverse =
                         fields.next().ok_or_else(|| bad("missing from orient"))? == "-";
                     let to = fields.next().ok_or_else(|| bad("missing to"))?.to_owned();
-                    let to_reverse =
-                        fields.next().ok_or_else(|| bad("missing to orient"))? == "-";
+                    let to_reverse = fields.next().ok_or_else(|| bad("missing to orient"))? == "-";
                     let cigar = fields.next().unwrap_or("0M");
                     let overlap = cigar.trim_end_matches('M').parse::<usize>().unwrap_or(0);
-                    graph.links.push(GfaLink { from, from_reverse, to, to_reverse, overlap });
+                    graph.links.push(GfaLink {
+                        from,
+                        from_reverse,
+                        to,
+                        to_reverse,
+                        overlap,
+                    });
                 }
                 Some("P") => {
-                    let name = fields.next().ok_or_else(|| bad("missing path name"))?.to_owned();
+                    let name = fields
+                        .next()
+                        .ok_or_else(|| bad("missing path name"))?
+                        .to_owned();
                     let steps_field = fields.next().ok_or_else(|| bad("missing steps"))?;
                     let steps = steps_field
                         .split(',')
@@ -151,8 +171,11 @@ impl GfaGraph {
     /// Basic structural validation: every link/path endpoint must name an
     /// existing segment. Returns the offending names.
     pub fn dangling_references(&self) -> Vec<String> {
-        let known: HashMap<&str, ()> =
-            self.segments.iter().map(|s| (s.name.as_str(), ())).collect();
+        let known: HashMap<&str, ()> = self
+            .segments
+            .iter()
+            .map(|s| (s.name.as_str(), ()))
+            .collect();
         let mut bad = Vec::new();
         for link in &self.links {
             for name in [&link.from, &link.to] {

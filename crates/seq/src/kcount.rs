@@ -27,7 +27,11 @@ pub struct KmerConfig {
 
 impl Default for KmerConfig {
     fn default() -> Self {
-        KmerConfig { k: 31, reliable_min: 2, reliable_max: u32::MAX }
+        KmerConfig {
+            k: 31,
+            reliable_min: 2,
+            reliable_max: u32::MAX,
+        }
     }
 }
 
@@ -108,9 +112,16 @@ pub fn count_kmers(grid: &ProcGrid, store: &ReadStore, cfg: &KmerConfig) -> Kmer
     // Dense ids via exclusive scan of per-owner counts.
     let offset = grid.world().exscan(reliable.len() as u64, 0, |a, b| a + b);
     let n_global = grid.world().allreduce(reliable.len() as u64, |a, b| a + b);
-    let local: HashMap<u64, u64> =
-        reliable.into_iter().enumerate().map(|(i, kmer)| (kmer, offset + i as u64)).collect();
-    KmerTable { k: cfg.k, n_global, local }
+    let local: HashMap<u64, u64> = reliable
+        .into_iter()
+        .enumerate()
+        .map(|(i, kmer)| (kmer, offset + i as u64))
+        .collect();
+    KmerTable {
+        k: cfg.k,
+        n_global,
+        local,
+    }
 }
 
 /// Generate the triples of the |reads|×|k-mers| matrix A (collective):
@@ -171,7 +182,11 @@ mod tests {
                 let grid = ProcGrid::new(comm);
                 let reads = ["ACGTACGTACGT", "CGTACGTACG", "TTTTTTTTTT"];
                 let store = store_from(&grid, &reads);
-                let cfg = KmerConfig { k: 5, reliable_min: 1, reliable_max: u32::MAX };
+                let cfg = KmerConfig {
+                    k: 5,
+                    reliable_min: 1,
+                    reliable_max: u32::MAX,
+                };
                 let table = count_kmers(&grid, &store, &cfg);
                 grid.world().allreduce(table.n_local() as u64, |a, b| a + b)
             });
@@ -196,7 +211,11 @@ mod tests {
             // reliable_min = 2 band must drop.
             let reads = ["ACGTACGTAC", "ACGTACGTAC", "GGGTTCAAGC"];
             let store = store_from(&grid, &reads);
-            let cfg = KmerConfig { k: 5, reliable_min: 2, reliable_max: u32::MAX };
+            let cfg = KmerConfig {
+                k: 5,
+                reliable_min: 2,
+                reliable_max: u32::MAX,
+            };
             let table = count_kmers(&grid, &store, &cfg);
             let n = grid.world().allreduce(table.n_local() as u64, |a, b| a + b);
             assert_eq!(table.n_global, n);
@@ -217,7 +236,11 @@ mod tests {
             let grid = ProcGrid::new(comm);
             let reads = ["ACGTACGTACGTGGCCA", "GGCCATTACGAACGT"];
             let store = store_from(&grid, &reads);
-            let cfg = KmerConfig { k: 4, reliable_min: 1, reliable_max: u32::MAX };
+            let cfg = KmerConfig {
+                k: 4,
+                reliable_min: 1,
+                reliable_max: u32::MAX,
+            };
             let table = count_kmers(&grid, &store, &cfg);
             let ids: Vec<u64> = table.local.values().copied().collect();
             (table.n_global, grid.world().allgather(ids))
@@ -235,13 +258,20 @@ mod tests {
             let grid = ProcGrid::new(comm);
             let reads = ["ACGTACGTAC", "ACGTACGTAC"];
             let store = store_from(&grid, &reads);
-            let cfg = KmerConfig { k: 5, reliable_min: 2, reliable_max: u32::MAX };
+            let cfg = KmerConfig {
+                k: 5,
+                reliable_min: 2,
+                reliable_max: u32::MAX,
+            };
             let table = count_kmers(&grid, &store, &cfg);
             let triples = build_a_triples(&grid, &store, &table);
             let all: Vec<(u64, u64, u32)> = grid
                 .world()
                 .allgather(
-                    triples.iter().map(|&(r, c, e)| (r, c, e.pos)).collect::<Vec<_>>(),
+                    triples
+                        .iter()
+                        .map(|&(r, c, e)| (r, c, e.pos))
+                        .collect::<Vec<_>>(),
                 )
                 .into_iter()
                 .flatten()
@@ -255,10 +285,16 @@ mod tests {
             canonical_kmers(&s, 5).into_iter().map(|h| h.kmer).collect();
         assert_eq!(all.len(), 2 * distinct.len());
         // identical reads produce identical (column, position) sets
-        let mut read0: Vec<(u64, u32)> =
-            all.iter().filter(|t| t.0 == 0).map(|t| (t.1, t.2)).collect();
-        let mut read1: Vec<(u64, u32)> =
-            all.iter().filter(|t| t.0 == 1).map(|t| (t.1, t.2)).collect();
+        let mut read0: Vec<(u64, u32)> = all
+            .iter()
+            .filter(|t| t.0 == 0)
+            .map(|t| (t.1, t.2))
+            .collect();
+        let mut read1: Vec<(u64, u32)> = all
+            .iter()
+            .filter(|t| t.0 == 1)
+            .map(|t| (t.1, t.2))
+            .collect();
         read0.sort_unstable();
         read1.sort_unstable();
         assert_eq!(read0, read1);
@@ -274,7 +310,11 @@ mod tests {
             let fwd: Seq = "AAAACCCCAGT".parse().expect("dna");
             let rc = fwd.reverse_complement();
             let store = ReadStore::from_replicated(&grid, &[fwd, rc]);
-            let cfg = KmerConfig { k: 5, reliable_min: 2, reliable_max: u32::MAX };
+            let cfg = KmerConfig {
+                k: 5,
+                reliable_min: 2,
+                reliable_max: u32::MAX,
+            };
             let table = count_kmers(&grid, &store, &cfg);
             let triples = build_a_triples(&grid, &store, &table);
             // every shared k-mer appears in both reads with opposite strand

@@ -62,9 +62,20 @@ pub struct KmerScan<'a> {
 
 impl<'a> KmerScan<'a> {
     pub fn new(seq: &'a Seq, k: usize) -> Self {
-        assert!(k >= 1 && k <= MAX_K, "k must be in 1..={MAX_K}");
-        let mask = if 2 * k == 64 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
-        let mut scan = KmerScan { seq, k, pos: 0, fwd: 0, rc: 0, mask };
+        assert!((1..=MAX_K).contains(&k), "k must be in 1..={MAX_K}");
+        let mask = if 2 * k == 64 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
+        let mut scan = KmerScan {
+            seq,
+            k,
+            pos: 0,
+            fwd: 0,
+            rc: 0,
+            mask,
+        };
         if seq.len() >= k {
             scan.fwd = pack(seq, 0, k);
             scan.rc = revcomp_packed(scan.fwd, k);
@@ -81,7 +92,11 @@ impl Iterator for KmerScan<'_> {
             return None;
         }
         let (kmer, fwd) = canonical(self.fwd, self.rc);
-        let hit = KmerHit { kmer, pos: self.pos as u32, fwd };
+        let hit = KmerHit {
+            kmer,
+            pos: self.pos as u32,
+            fwd,
+        };
         // Roll to the next window.
         if self.pos + self.k < self.seq.len() {
             let incoming = self.seq.get(self.pos + self.k) as u64;
@@ -153,7 +168,10 @@ mod tests {
         let rc = s.reverse_complement();
         let k = 9;
         let mut a: Vec<u64> = canonical_kmers(&s, k).into_iter().map(|h| h.kmer).collect();
-        let mut b: Vec<u64> = canonical_kmers(&rc, k).into_iter().map(|h| h.kmer).collect();
+        let mut b: Vec<u64> = canonical_kmers(&rc, k)
+            .into_iter()
+            .map(|h| h.kmer)
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

@@ -43,9 +43,11 @@ pub fn random_genome(cfg: &GenomeConfig) -> Seq {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut codes: Vec<u8> = (0..cfg.length).map(|_| rng.gen_range(0..4u8)).collect();
     if cfg.repeat_fraction > 0.0 && cfg.repeat_unit_len > 0 && cfg.length > cfg.repeat_unit_len {
-        let unit: Vec<u8> = (0..cfg.repeat_unit_len).map(|_| rng.gen_range(0..4u8)).collect();
-        let copies =
-            ((cfg.length as f64 * cfg.repeat_fraction) / cfg.repeat_unit_len as f64).ceil() as usize;
+        let unit: Vec<u8> = (0..cfg.repeat_unit_len)
+            .map(|_| rng.gen_range(0..4u8))
+            .collect();
+        let copies = ((cfg.length as f64 * cfg.repeat_fraction) / cfg.repeat_unit_len as f64).ceil()
+            as usize;
         for _ in 0..copies {
             let at = rng.gen_range(0..cfg.length - cfg.repeat_unit_len);
             for (offset, &base) in unit.iter().enumerate() {
@@ -93,7 +95,13 @@ pub struct ReadSimConfig {
 
 impl Default for ReadSimConfig {
     fn default() -> Self {
-        ReadSimConfig { depth: 20.0, mean_len: 8_000, min_len: 1_000, error_rate: 0.005, seed: 1 }
+        ReadSimConfig {
+            depth: 20.0,
+            mean_len: 8_000,
+            min_len: 1_000,
+            error_rate: 0.005,
+            seed: 1,
+        }
     }
 }
 
@@ -157,7 +165,10 @@ pub fn simulate_reads(genome: &Seq, cfg: &ReadSimConfig) -> Vec<SimulatedRead> {
         }
         let noisy = corrupt(&mut rng, &perfect, cfg.error_rate);
         bases_emitted += noisy.len();
-        reads.push(SimulatedRead { seq: Seq::from_codes(noisy), truth: ReadTruth { start, end, rc } });
+        reads.push(SimulatedRead {
+            seq: Seq::from_codes(noisy),
+            truth: ReadTruth { start, end, rc },
+        });
     }
     reads
 }
@@ -264,13 +275,19 @@ mod tests {
 
     #[test]
     fn genome_has_requested_length() {
-        let g = random_genome(&GenomeConfig { length: 5_000, ..Default::default() });
+        let g = random_genome(&GenomeConfig {
+            length: 5_000,
+            ..Default::default()
+        });
         assert_eq!(g.len(), 5_000);
     }
 
     #[test]
     fn genome_is_reproducible() {
-        let cfg = GenomeConfig { length: 2_000, ..Default::default() };
+        let cfg = GenomeConfig {
+            length: 2_000,
+            ..Default::default()
+        };
         assert_eq!(random_genome(&cfg), random_genome(&cfg));
         let other = GenomeConfig { seed: 99, ..cfg };
         assert_ne!(random_genome(&other), random_genome(&cfg));
@@ -278,8 +295,16 @@ mod tests {
 
     #[test]
     fn reads_reach_depth() {
-        let g = random_genome(&GenomeConfig { length: 20_000, ..Default::default() });
-        let cfg = ReadSimConfig { depth: 15.0, mean_len: 2_000, min_len: 500, ..Default::default() };
+        let g = random_genome(&GenomeConfig {
+            length: 20_000,
+            ..Default::default()
+        });
+        let cfg = ReadSimConfig {
+            depth: 15.0,
+            mean_len: 2_000,
+            min_len: 500,
+            ..Default::default()
+        };
         let reads = simulate_reads(&g, &cfg);
         let total: usize = reads.iter().map(|r| r.seq.len()).sum();
         assert!(total >= 15 * 20_000, "total={total}");
@@ -288,9 +313,17 @@ mod tests {
 
     #[test]
     fn error_free_reads_match_genome() {
-        let g = random_genome(&GenomeConfig { length: 10_000, ..Default::default() });
-        let cfg =
-            ReadSimConfig { depth: 3.0, error_rate: 0.0, mean_len: 1_000, min_len: 300, seed: 7, ..Default::default() };
+        let g = random_genome(&GenomeConfig {
+            length: 10_000,
+            ..Default::default()
+        });
+        let cfg = ReadSimConfig {
+            depth: 3.0,
+            error_rate: 0.0,
+            mean_len: 1_000,
+            min_len: 300,
+            seed: 7,
+        };
         for read in simulate_reads(&g, &cfg) {
             let truth = read.truth;
             let mut want = g.substring(truth.start, truth.end);
@@ -306,14 +339,16 @@ mod tests {
         // With only substitutions/ins/del at 10%, edit distance per base
         // should land near 0.1; check emitted length deviation is small
         // (ins and del balance out) and content differs.
-        let g = random_genome(&GenomeConfig { length: 50_000, ..Default::default() });
+        let g = random_genome(&GenomeConfig {
+            length: 50_000,
+            ..Default::default()
+        });
         let cfg = ReadSimConfig {
             depth: 2.0,
             error_rate: 0.10,
             mean_len: 5_000,
             min_len: 1_000,
             seed: 3,
-            ..Default::default()
         };
         let reads = simulate_reads(&g, &cfg);
         let (mut emitted, mut sampled) = (0usize, 0usize);
@@ -327,9 +362,19 @@ mod tests {
 
     #[test]
     fn read_lengths_respect_min() {
-        let g = random_genome(&GenomeConfig { length: 30_000, ..Default::default() });
-        let cfg = ReadSimConfig { depth: 5.0, mean_len: 2_000, min_len: 800, ..Default::default() };
-        assert!(simulate_reads(&g, &cfg).iter().all(|r| r.truth.end - r.truth.start >= 800));
+        let g = random_genome(&GenomeConfig {
+            length: 30_000,
+            ..Default::default()
+        });
+        let cfg = ReadSimConfig {
+            depth: 5.0,
+            mean_len: 2_000,
+            min_len: 800,
+            ..Default::default()
+        };
+        assert!(simulate_reads(&g, &cfg)
+            .iter()
+            .all(|r| r.truth.end - r.truth.start >= 800));
     }
 
     #[test]
@@ -340,7 +385,10 @@ mod tests {
         let hs = DatasetSpec::hsapiens_like(1.0, 0);
         assert_eq!((hs.k, hs.xdrop), (17, 7));
         assert!((hs.reads.error_rate - 0.15).abs() < f64::EPSILON);
-        assert!(hs.genome.length / hs.reads.mean_len >= 50, "genome:read ratio");
+        assert!(
+            hs.genome.length / hs.reads.mean_len >= 50,
+            "genome:read ratio"
+        );
         let os = DatasetSpec::osativa_like(1.0, 0);
         assert!((os.reads.depth - 30.0).abs() < f64::EPSILON);
     }

@@ -111,25 +111,34 @@ impl ReadStore {
 
     /// Codes of a locally held read, by global id.
     pub fn get(&self, id: u64) -> Option<&[u8]> {
-        self.index.get(&id).map(|&slot| {
-            &self.buf[self.offsets[slot]..self.offsets[slot + 1]]
-        })
+        self.index
+            .get(&id)
+            .map(|&slot| &self.buf[self.offsets[slot]..self.offsets[slot + 1]])
     }
 
     /// Length of a locally held read.
     pub fn read_len(&self, id: u64) -> Option<usize> {
-        self.index.get(&id).map(|&slot| self.offsets[slot + 1] - self.offsets[slot])
+        self.index
+            .get(&id)
+            .map(|&slot| self.offsets[slot + 1] - self.offsets[slot])
     }
 
     /// Paper-style inclusive subsequence `l[a:b]` of a local read,
     /// extracted directly from the packed buffer (reverse-complement when
     /// `a > b`). Panics if the read is not local.
     pub fn subsequence(&self, id: u64, a: usize, b: usize) -> Seq {
-        let codes = self.get(id).unwrap_or_else(|| panic!("read {id} not stored locally"));
+        let codes = self
+            .get(id)
+            .unwrap_or_else(|| panic!("read {id} not stored locally"));
         if a <= b {
             Seq::from_codes(codes[a..=b].to_vec())
         } else {
-            Seq::from_codes((b..=a).rev().map(|i| crate::dna::complement(codes[i])).collect())
+            Seq::from_codes(
+                (b..=a)
+                    .rev()
+                    .map(|i| crate::dna::complement(codes[i]))
+                    .collect(),
+            )
         }
     }
 
@@ -166,7 +175,8 @@ impl ReadStore {
         // the contiguous-datatype wrapper when over the count limit.
         for (dst, buf) in payload.into_iter().enumerate() {
             if buf.len() > count_limit {
-                grid.world().send(dst, SEQ_TAG, ContiguousBlock { data: buf });
+                grid.world()
+                    .send(dst, SEQ_TAG, ContiguousBlock { data: buf });
             } else {
                 grid.world().send(dst, SEQ_TAG + 1, buf);
             }
@@ -236,7 +246,10 @@ impl ReadStore {
                 SEQ_TAG + 2,
                 (row_ids.clone(), row_lens.clone(), row_buf.clone()),
             );
-            Some(grid.world().recv::<(Vec<u64>, Vec<u64>, Vec<u8>)>(partner, SEQ_TAG + 2))
+            Some(
+                grid.world()
+                    .recv::<(Vec<u64>, Vec<u64>, Vec<u8>)>(partner, SEQ_TAG + 2),
+            )
         };
         let mut store = ReadStore::empty(self.n_global);
         let mut ingest = |ids: &[u64], lens: &[u64], buf: &[u8]| {
@@ -355,7 +368,9 @@ mod tests {
             let store = ReadStore::from_replicated(&grid, &all);
             let moved = store.exchange(&grid, |id| vec![(id % 4) as usize], 4);
             let all = reads(12);
-            let ok = moved.iter().all(|(id, codes)| codes == all[id as usize].codes());
+            let ok = moved
+                .iter()
+                .all(|(id, codes)| codes == all[id as usize].codes());
             ok
         });
         assert!(out.iter().all(|&ok| ok));

@@ -24,7 +24,13 @@ pub struct Csc<T> {
 
 impl<T> Csc<T> {
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Csc { nrows, ncols, jc: vec![0; ncols + 1], ir: Vec::new(), val: Vec::new() }
+        Csc {
+            nrows,
+            ncols,
+            jc: vec![0; ncols + 1],
+            ir: Vec::new(),
+            val: Vec::new(),
+        }
     }
 
     /// Build from triples; duplicates merged with `combine`.
@@ -53,7 +59,13 @@ impl<T> Csc<T> {
         for j in 0..ncols {
             jc[j + 1] += jc[j];
         }
-        Csc { nrows, ncols, jc, ir, val }
+        Csc {
+            nrows,
+            ncols,
+            jc,
+            ir,
+            val,
+        }
     }
 
     /// Convert from CSR (O(nnz)); CSC of `m` equals CSR of `mᵀ` reinterpreted.
@@ -78,7 +90,13 @@ impl<T> Csc<T> {
             }
             (jc, ir, val)
         };
-        Csc { nrows, ncols, jc: indptr, ir: indices, val: values }
+        Csc {
+            nrows,
+            ncols,
+            jc: indptr,
+            ir: indices,
+            val: values,
+        }
     }
 
     #[inline]

@@ -15,7 +15,13 @@ pub struct Csr<T> {
 impl<T> Csr<T> {
     /// Empty matrix of the given shape.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Csr { nrows, ncols, indptr: vec![0; nrows + 1], indices: Vec::new(), values: Vec::new() }
+        Csr {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from (row, col, value) triples; duplicates are merged with
@@ -46,7 +52,13 @@ impl<T> Csr<T> {
         for i in 0..nrows {
             indptr[i + 1] += indptr[i];
         }
-        Csr { nrows, ncols, indptr, indices, values }
+        Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Build from parts already in canonical CSR order (sorted, deduped).
@@ -61,7 +73,13 @@ impl<T> Csr<T> {
         assert_eq!(indices.len(), values.len());
         assert_eq!(*indptr.last().expect("indptr non-empty"), indices.len());
         debug_assert!(indices.iter().all(|&c| (c as usize) < ncols));
-        Csr { nrows, ncols, indptr, indices, values }
+        Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     #[inline]
@@ -121,13 +139,24 @@ impl<T> Csr<T> {
         })
     }
 
+    /// Consume into the raw `(indptr, indices, values)` arrays — the
+    /// inverse of [`Csr::from_parts`]. Used by the blocked SUMMA path to
+    /// concatenate disjoint row-batch outputs without re-sorting.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<u32>, Vec<T>) {
+        (self.indptr, self.indices, self.values)
+    }
+
     /// Consume into (row, col, value) triples in row-major order.
     pub fn into_triples(self) -> Vec<(u32, u32, T)> {
         let mut out = Vec::with_capacity(self.nnz());
         let mut values = self.values.into_iter();
         for i in 0..self.nrows {
             for k in self.indptr[i]..self.indptr[i + 1] {
-                out.push((i as u32, self.indices[k], values.next().expect("value per index")));
+                out.push((
+                    i as u32,
+                    self.indices[k],
+                    values.next().expect("value per index"),
+                ));
             }
         }
         out
@@ -139,7 +168,11 @@ impl<T> Csr<T> {
         let mut it = self.values.into_iter();
         for i in 0..self.nrows {
             for k in self.indptr[i]..self.indptr[i + 1] {
-                values.push(f(i as u32, self.indices[k], it.next().expect("value per index")));
+                values.push(f(
+                    i as u32,
+                    self.indices[k],
+                    it.next().expect("value per index"),
+                ));
             }
         }
         Csr {
@@ -171,7 +204,13 @@ impl<T> Csr<T> {
         for i in 0..self.nrows {
             indptr[i + 1] += indptr[i];
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, indptr, indices, values }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Local transpose (O(nnz + dims)).
@@ -201,7 +240,10 @@ impl<T> Csr<T> {
             ncols: self.nrows,
             indptr,
             indices,
-            values: values.into_iter().map(|v| v.expect("slot filled")).collect(),
+            values: values
+                .into_iter()
+                .map(|v| v.expect("slot filled"))
+                .collect(),
         }
     }
 
@@ -276,7 +318,10 @@ mod tests {
         assert_eq!(m.get(2, 1), Some(&4.0));
         assert_eq!(m.get(1, 1), None);
         let triples: Vec<_> = m.iter().map(|(r, c, &v)| (r, c, v)).collect();
-        assert_eq!(triples, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+        assert_eq!(
+            triples,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
     }
 
     #[test]

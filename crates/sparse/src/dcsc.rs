@@ -27,7 +27,14 @@ pub struct Dcsc<T> {
 
 impl<T> Dcsc<T> {
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Dcsc { nrows, ncols, jc: Vec::new(), cp: vec![0], ir: Vec::new(), val: Vec::new() }
+        Dcsc {
+            nrows,
+            ncols,
+            jc: Vec::new(),
+            cp: vec![0],
+            ir: Vec::new(),
+            val: Vec::new(),
+        }
     }
 
     /// Build from triples; duplicates merged with `combine`.
@@ -58,13 +65,22 @@ impl<T> Dcsc<T> {
             *cp.last_mut().expect("cp non-empty") = ir.len();
             last = Some((r, c));
         }
-        Dcsc { nrows, ncols, jc, cp, ir, val }
+        Dcsc {
+            nrows,
+            ncols,
+            jc,
+            cp,
+            ir,
+            val,
+        }
     }
 
     pub fn from_csr(m: Csr<T>) -> Self {
         let (nrows, ncols) = (m.nrows(), m.ncols());
         let triples: Vec<(u32, u32, T)> = m.into_triples();
-        Self::from_triples(nrows, ncols, triples, |_, _| unreachable!("CSR has no duplicates"))
+        Self::from_triples(nrows, ncols, triples, |_, _| {
+            unreachable!("CSR has no duplicates")
+        })
     }
 
     #[inline]
@@ -109,7 +125,10 @@ impl<T> Dcsc<T> {
         (0..self.jc.len()).flat_map(move |k| {
             let col = self.jc[k];
             let span = self.cp[k]..self.cp[k + 1];
-            self.ir[span.clone()].iter().zip(&self.val[span]).map(move |(&r, v)| (r, col, v))
+            self.ir[span.clone()]
+                .iter()
+                .zip(&self.val[span])
+                .map(move |(&r, v)| (r, col, v))
         })
     }
 

@@ -13,14 +13,22 @@ pub struct Dense {
 
 impl Dense {
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Dense { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Dense {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|r| r.len() == ncols));
-        Dense { nrows, ncols, data: rows.into_iter().flatten().collect() }
+        Dense {
+            nrows,
+            ncols,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     pub fn from_csr(m: &crate::csr::Csr<f64>) -> Self {

@@ -13,10 +13,130 @@ use crate::csr::Csr;
 use crate::dist_vec::DistVec;
 use crate::layout::Layout2D;
 use crate::semiring::Semiring;
-use crate::spgemm::spgemm;
+use crate::spgemm::{csr_merge, spgemm, SpGemmBatcher};
 
 /// Tag for the transpose block exchange.
 const TRANSPOSE_TAG: u64 = 0x00F1_7A7A;
+
+/// Merge one batch-produced row (`cols`/`vals`, sorted by column) into a
+/// per-row accumulator in place — the row-local step of the blocked
+/// schedule's incremental accumulation. Transient memory is one merged
+/// row, not a matrix.
+fn merge_row<T>(
+    acc: &mut (Vec<u32>, Vec<T>),
+    cols: &[u32],
+    vals: Vec<T>,
+    mut add: impl FnMut(&mut T, T),
+) {
+    let (acc_cols, acc_vals) = acc;
+    if acc_cols.is_empty() {
+        acc_cols.extend_from_slice(cols);
+        *acc_vals = vals;
+        return;
+    }
+    let mut merged_cols = Vec::with_capacity(acc_cols.len() + cols.len());
+    let mut merged_vals = Vec::with_capacity(acc_cols.len() + cols.len());
+    let mut old_vals = std::mem::take(acc_vals).into_iter();
+    let mut new_vals = vals.into_iter();
+    let (mut ia, mut ib) = (0, 0);
+    while ia < acc_cols.len() && ib < cols.len() {
+        match acc_cols[ia].cmp(&cols[ib]) {
+            std::cmp::Ordering::Less => {
+                merged_cols.push(acc_cols[ia]);
+                merged_vals.push(old_vals.next().expect("value per column"));
+                ia += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged_cols.push(cols[ib]);
+                merged_vals.push(new_vals.next().expect("value per column"));
+                ib += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let mut v = old_vals.next().expect("value per column");
+                add(&mut v, new_vals.next().expect("value per column"));
+                merged_cols.push(acc_cols[ia]);
+                merged_vals.push(v);
+                ia += 1;
+                ib += 1;
+            }
+        }
+    }
+    merged_cols.extend_from_slice(&acc_cols[ia..]);
+    merged_vals.extend(old_vals);
+    merged_cols.extend_from_slice(&cols[ib..]);
+    merged_vals.extend(new_vals);
+    *acc_cols = merged_cols;
+    *acc_vals = merged_vals;
+}
+
+/// Which distributed SUMMA schedule [`DistMat::spgemm_with`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpGemmAlgorithm {
+    /// The naive schedule: a blocking broadcast per stage, every stage's
+    /// output kept as raw triples, one global sort-merge at the end.
+    /// Highest peak memory, no communication/computation overlap; kept
+    /// as the reference baseline.
+    Eager,
+    /// Double-buffered pipeline: stage `s+1`'s A/B broadcasts are posted
+    /// (non-blocking `ibcast`) before stage `s` is computed, so the
+    /// transfer overlaps the local multiply; each stage's output is
+    /// merged into the accumulated CSR immediately, bounding live
+    /// intermediates to two stages of blocks plus the running result.
+    Pipelined,
+    /// Memory-bounded schedule: blocking broadcasts (one stage of
+    /// remote blocks resident, never two), the local multiply run over
+    /// row batches of at most [`SpGemmOptions::batch_rows`] rows, each
+    /// batch merged into a per-row accumulator immediately — no global
+    /// triple buffer and no stage-wide intermediate matrix ever exist.
+    /// Live transients beyond the growing result are one batch of
+    /// output rows and one merged row. The schedule of choice when the
+    /// result block is large relative to the memory budget.
+    Blocked,
+}
+
+/// Options threaded through every distributed SpGEMM call site
+/// (overlap detection, transitive reduction, benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpGemmOptions {
+    pub algorithm: SpGemmAlgorithm,
+    /// Row-batch size for [`SpGemmAlgorithm::Blocked`]; ignored by the
+    /// other schedules. Smaller batches mean smaller live transients
+    /// (the batch's output rows) at slightly more per-batch overhead.
+    pub batch_rows: usize,
+}
+
+impl Default for SpGemmOptions {
+    fn default() -> Self {
+        SpGemmOptions {
+            algorithm: SpGemmAlgorithm::Pipelined,
+            batch_rows: 1024,
+        }
+    }
+}
+
+impl SpGemmOptions {
+    pub fn eager() -> Self {
+        SpGemmOptions {
+            algorithm: SpGemmAlgorithm::Eager,
+            ..Self::default()
+        }
+    }
+
+    pub fn pipelined() -> Self {
+        SpGemmOptions {
+            algorithm: SpGemmAlgorithm::Pipelined,
+            ..Self::default()
+        }
+    }
+
+    pub fn blocked(batch_rows: usize) -> Self {
+        assert!(batch_rows > 0, "blocked SpGEMM needs a positive batch size");
+        SpGemmOptions {
+            algorithm: SpGemmAlgorithm::Blocked,
+            batch_rows,
+        }
+    }
+}
 
 /// A sparse matrix distributed in 2D blocks over the process grid.
 #[derive(Debug, Clone)]
@@ -54,16 +174,21 @@ impl<T: Clone + CommMsg> DistMat<T> {
             .into_iter()
             .flatten()
             .map(|(r, c, v)| {
-                ((r as usize - row_range.start) as u32, (c as usize - col_range.start) as u32, v)
+                (
+                    (r as usize - row_range.start) as u32,
+                    (c as usize - col_range.start) as u32,
+                    v,
+                )
             })
             .collect();
-        let local = Csr::from_triples(
-            row_range.len(),
-            col_range.len(),
-            local_triples,
-            |acc, v| combine(acc, v),
-        );
-        DistMat { row_layout, col_layout, local }
+        let local = Csr::from_triples(row_range.len(), col_range.len(), local_triples, |acc, v| {
+            combine(acc, v)
+        });
+        DistMat {
+            row_layout,
+            col_layout,
+            local,
+        }
     }
 
     /// Wrap an existing local block (layouts must match the grid).
@@ -72,7 +197,11 @@ impl<T: Clone + CommMsg> DistMat<T> {
         let col_layout = Layout2D::new(ncols, grid.q());
         assert_eq!(local.nrows(), row_layout.block_range(grid.myrow()).len());
         assert_eq!(local.ncols(), col_layout.block_range(grid.mycol()).len());
-        DistMat { row_layout, col_layout, local }
+        DistMat {
+            row_layout,
+            col_layout,
+            local,
+        }
     }
 
     /// Global row count.
@@ -105,7 +234,8 @@ impl<T: Clone + CommMsg> DistMat<T> {
 
     /// Global nonzero count (collective).
     pub fn nnz_global(&self, grid: &ProcGrid) -> u64 {
-        grid.world().allreduce(self.local.nnz() as u64, |a, b| a + b)
+        grid.world()
+            .allreduce(self.local.nnz() as u64, |a, b| a + b)
     }
 
     /// Global index offsets of the local block: `(row_start, col_start)`.
@@ -122,15 +252,23 @@ impl<T: Clone + CommMsg> DistMat<T> {
         grid: &ProcGrid,
     ) -> impl Iterator<Item = (u64, u64, &'a T)> + 'a {
         let (r0, c0) = self.local_offsets(grid);
-        self.local.iter().map(move |(r, c, v)| ((r as usize + r0) as u64, (c as usize + c0) as u64, v))
+        self.local
+            .iter()
+            .map(move |(r, c, v)| ((r as usize + r0) as u64, (c as usize + c0) as u64, v))
     }
 
     /// Gather every triple on every rank (test/diagnostic helper; global
     /// coordinates, unsorted).
     pub fn gather_triples(&self, grid: &ProcGrid) -> Vec<(u64, u64, T)> {
-        let local: Vec<(u64, u64, T)> =
-            self.iter_global(grid).map(|(r, c, v)| (r, c, v.clone())).collect();
-        grid.world().allgather(local).into_iter().flatten().collect()
+        let local: Vec<(u64, u64, T)> = self
+            .iter_global(grid)
+            .map(|(r, c, v)| (r, c, v.clone()))
+            .collect();
+        grid.world()
+            .allgather(local)
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// Element-wise value transform (CombBLAS `Apply`); local, no
@@ -202,14 +340,17 @@ impl<T: Clone + CommMsg> DistMat<T> {
     /// Distributed transpose: block `(i, j)` swaps (transposed) triples
     /// with the rank at `(j, i)`.
     pub fn transpose(&self, grid: &ProcGrid) -> DistMat<T> {
-        let transposed: Vec<(u64, u64, T)> =
-            self.iter_global(grid).map(|(r, c, v)| (c, r, v.clone())).collect();
+        let transposed: Vec<(u64, u64, T)> = self
+            .iter_global(grid)
+            .map(|(r, c, v)| (c, r, v.clone()))
+            .collect();
         let received = if grid.is_diagonal() {
             transposed
         } else {
             let partner = grid.transpose_rank();
             grid.world().send(partner, TRANSPOSE_TAG, transposed);
-            grid.world().recv::<Vec<(u64, u64, T)>>(partner, TRANSPOSE_TAG)
+            grid.world()
+                .recv::<Vec<(u64, u64, T)>>(partner, TRANSPOSE_TAG)
         };
         // After the swap this rank holds block (myrow, mycol) of Aᵀ, whose
         // row layout is A's column layout and vice versa.
@@ -220,24 +361,48 @@ impl<T: Clone + CommMsg> DistMat<T> {
         let local_triples: Vec<(u32, u32, T)> = received
             .into_iter()
             .map(|(r, c, v)| {
-                ((r as usize - row_range.start) as u32, (c as usize - col_range.start) as u32, v)
+                (
+                    (r as usize - row_range.start) as u32,
+                    (c as usize - col_range.start) as u32,
+                    v,
+                )
             })
             .collect();
         let local = Csr::from_triples(row_range.len(), col_range.len(), local_triples, |_, _| {
             unreachable!("transpose cannot create duplicates")
         });
-        DistMat { row_layout, col_layout, local }
+        DistMat {
+            row_layout,
+            col_layout,
+            local,
+        }
     }
 
     /// Distributed SpGEMM `C = self ⊗ other` under `semiring`, via the 2D
     /// SUMMA algorithm: at stage `s`, block column `s` of `A` is broadcast
     /// along grid rows and block row `s` of `B` along grid columns; each
     /// rank multiplies the pair locally and accumulates its `C` block.
-    pub fn spgemm<S, U>(
+    ///
+    /// Runs the default schedule ([`SpGemmAlgorithm::Pipelined`]); use
+    /// [`DistMat::spgemm_with`] to pick a schedule explicitly.
+    pub fn spgemm<S, U>(&self, grid: &ProcGrid, other: &DistMat<U>, semiring: &S) -> DistMat<S::Out>
+    where
+        S: Semiring<A = T, B = U>,
+        U: Clone + CommMsg,
+        S::Out: Clone + CommMsg,
+    {
+        self.spgemm_with(grid, other, semiring, &SpGemmOptions::default())
+    }
+
+    /// Distributed SUMMA SpGEMM under an explicit schedule; all schedules
+    /// produce identical results (the equivalence property tests pin
+    /// this), differing only in overlap and peak memory.
+    pub fn spgemm_with<S, U>(
         &self,
         grid: &ProcGrid,
         other: &DistMat<U>,
         semiring: &S,
+        opts: &SpGemmOptions,
     ) -> DistMat<S::Out>
     where
         S: Semiring<A = T, B = U>,
@@ -248,6 +413,29 @@ impl<T: Clone + CommMsg> DistMat<T> {
             self.col_layout, other.row_layout,
             "inner dimension layouts must agree for SUMMA"
         );
+        let local = match opts.algorithm {
+            SpGemmAlgorithm::Eager => self.summa_eager(grid, other, semiring),
+            SpGemmAlgorithm::Pipelined => self.summa_pipelined(grid, other, semiring),
+            SpGemmAlgorithm::Blocked => {
+                self.summa_blocked(grid, other, semiring, opts.batch_rows.max(1))
+            }
+        };
+        DistMat {
+            row_layout: self.row_layout,
+            col_layout: other.col_layout,
+            local,
+        }
+    }
+
+    /// Naive SUMMA: blocking broadcasts, global triple accumulation, one
+    /// final sort-merge. Peak memory holds every stage's intermediate
+    /// triples at once.
+    fn summa_eager<S, U>(&self, grid: &ProcGrid, other: &DistMat<U>, semiring: &S) -> Csr<S::Out>
+    where
+        S: Semiring<A = T, B = U>,
+        U: Clone + CommMsg,
+        S::Out: Clone + CommMsg,
+    {
         let q = grid.q();
         let mut acc: Vec<(u32, u32, S::Out)> = Vec::new();
         for s in 0..q {
@@ -262,10 +450,118 @@ impl<T: Clone + CommMsg> DistMat<T> {
         }
         let row_range = self.row_layout.block_range(grid.myrow());
         let col_range = other.col_layout.block_range(grid.mycol());
-        let local = Csr::from_triples(row_range.len(), col_range.len(), acc, |a, v| {
+        Csr::from_triples(row_range.len(), col_range.len(), acc, |a, v| {
             semiring.add(a, v)
-        });
-        DistMat { row_layout: self.row_layout, col_layout: other.col_layout, local }
+        })
+    }
+
+    /// Double-buffered SUMMA: the broadcasts for stage `s+1` are posted
+    /// before stage `s` is multiplied, so (as in ELBA's overlap-detection
+    /// multiply) communication for the next stage flows while this stage
+    /// computes; each stage folds into the accumulator CSR immediately.
+    fn summa_pipelined<S, U>(
+        &self,
+        grid: &ProcGrid,
+        other: &DistMat<U>,
+        semiring: &S,
+    ) -> Csr<S::Out>
+    where
+        S: Semiring<A = T, B = U>,
+        U: Clone + CommMsg,
+        S::Out: Clone + CommMsg,
+    {
+        let q = grid.q();
+        let row_range = self.row_layout.block_range(grid.myrow());
+        let col_range = other.col_layout.block_range(grid.mycol());
+        let post = |s: usize| {
+            let a_req = grid
+                .row()
+                .ibcast(s, (grid.mycol() == s).then(|| self.local.clone()));
+            let b_req = grid
+                .col()
+                .ibcast(s, (grid.myrow() == s).then(|| other.local.clone()));
+            (a_req, b_req)
+        };
+        let mut acc: Csr<S::Out> = Csr::empty(row_range.len(), col_range.len());
+        let mut inflight = Some(post(0));
+        for s in 0..q {
+            // Prefetch stage s+1 before touching stage s: the roots' tree
+            // sends go out now and ride alongside this stage's multiply.
+            let next = (s + 1 < q).then(|| post(s + 1));
+            let (a_req, b_req) = inflight.take().expect("stage request posted");
+            let a_block = a_req.wait();
+            let b_block = b_req.wait();
+            inflight = next;
+            let stage = spgemm(&a_block, &b_block, semiring);
+            acc = csr_merge(acc, stage, |a, v| semiring.add(a, v));
+        }
+        acc
+    }
+
+    /// Memory-bounded SUMMA: blocking broadcasts (only one stage of
+    /// remote blocks resident) and a per-row accumulator that batches
+    /// merge directly into — no stage-wide CSR or triple buffer ever
+    /// exists. Live intermediates beyond the accumulated result are one
+    /// batch of output rows (≤ `batch_rows`), one merged row, and the
+    /// multiply's O(block cols) dense accumulator arrays; the final CSR
+    /// is assembled once after the last stage.
+    fn summa_blocked<S, U>(
+        &self,
+        grid: &ProcGrid,
+        other: &DistMat<U>,
+        semiring: &S,
+        batch_rows: usize,
+    ) -> Csr<S::Out>
+    where
+        S: Semiring<A = T, B = U>,
+        U: Clone + CommMsg,
+        S::Out: Clone + CommMsg,
+    {
+        let q = grid.q();
+        let row_range = self.row_layout.block_range(grid.myrow());
+        let col_range = other.col_layout.block_range(grid.mycol());
+        let nrows = row_range.len();
+        // Accumulate per row (sorted column/value pairs) so each batch
+        // merges in place, touching only its own row window.
+        let mut acc_rows: Vec<(Vec<u32>, Vec<S::Out>)> =
+            (0..nrows).map(|_| (Vec::new(), Vec::new())).collect();
+        for s in 0..q {
+            let a_block = grid
+                .row()
+                .bcast(s, (grid.mycol() == s).then(|| self.local.clone()));
+            let b_block = grid
+                .col()
+                .bcast(s, (grid.myrow() == s).then(|| other.local.clone()));
+            let mut batcher = SpGemmBatcher::new(&a_block, &b_block, semiring);
+            let mut start = 0;
+            while start < nrows {
+                let end = (start + batch_rows).min(nrows);
+                let batch = batcher.multiply_rows(start..end);
+                let (batch_indptr, batch_indices, batch_values) = batch.into_parts();
+                let mut batch_vals = batch_values.into_iter();
+                for (in_batch, row) in (start..end).enumerate() {
+                    let width = batch_indptr[in_batch + 1] - batch_indptr[in_batch];
+                    if width == 0 {
+                        continue;
+                    }
+                    let cols = &batch_indices[batch_indptr[in_batch]..batch_indptr[in_batch + 1]];
+                    let vals: Vec<S::Out> = batch_vals.by_ref().take(width).collect();
+                    merge_row(&mut acc_rows[row], cols, vals, |a, v| semiring.add(a, v));
+                }
+                start = end;
+            }
+        }
+        let nnz = acc_rows.iter().map(|(cols, _)| cols.len()).sum();
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::with_capacity(nnz);
+        let mut values: Vec<S::Out> = Vec::with_capacity(nnz);
+        for (cols, vals) in acc_rows {
+            indices.extend(cols);
+            values.extend(vals);
+            indptr.push(indices.len());
+        }
+        Csr::from_parts(nrows, col_range.len(), indptr, indices, values)
     }
 
     /// Row-wise reduction into a [`DistVec`] aligned with the row layout:
@@ -312,7 +608,10 @@ impl<T: Clone + CommMsg> DistMat<T> {
     /// matrix keeps its dimensions — "row 10 is still a row in the
     /// matrix" — only its nonzeros change.
     pub fn mask_rows_cols(self, grid: &ProcGrid, mask: &DistVec<bool>) -> DistMat<T> {
-        assert_eq!(self.row_layout, self.col_layout, "mask_rows_cols needs a square matrix");
+        assert_eq!(
+            self.row_layout, self.col_layout,
+            "mask_rows_cols needs a square matrix"
+        );
         assert_eq!(mask.len(), self.nrows());
         let (row_mask, col_mask) = mask.fetch_aligned(grid);
         // Local indices are block-relative and the fetched masks cover
@@ -405,7 +704,11 @@ mod tests {
                 let grid = ProcGrid::new(comm);
                 let mut rng = StdRng::seed_from_u64(11);
                 let triples = random_triples(&mut rng, 13, 7, 0.2);
-                let mine = if grid.world().rank() == 0 { triples.clone() } else { Vec::new() };
+                let mine = if grid.world().rank() == 0 {
+                    triples.clone()
+                } else {
+                    Vec::new()
+                };
                 let m = DistMat::from_triples(&grid, 13, 7, mine, |_, _| unreachable!());
                 let t = m.transpose(&grid);
                 assert_eq!(t.nrows(), 7);
@@ -430,8 +733,16 @@ mod tests {
                 let (n, k, m) = (17, 11, 9);
                 let a_triples = random_triples(&mut rng, n, k, 0.25);
                 let b_triples = random_triples(&mut rng, k, m, 0.25);
-                let mine_a = if grid.world().rank() == 0 { a_triples.clone() } else { Vec::new() };
-                let mine_b = if grid.world().rank() == 0 { b_triples.clone() } else { Vec::new() };
+                let mine_a = if grid.world().rank() == 0 {
+                    a_triples.clone()
+                } else {
+                    Vec::new()
+                };
+                let mine_b = if grid.world().rank() == 0 {
+                    b_triples.clone()
+                } else {
+                    Vec::new()
+                };
                 let a = DistMat::from_triples(&grid, n, k, mine_a, |_, _| unreachable!());
                 let b = DistMat::from_triples(&grid, k, m, mine_b, |_, _| unreachable!());
                 let c = a.spgemm(&grid, &b, &PlusTimes);
@@ -446,6 +757,45 @@ mod tests {
     }
 
     #[test]
+    fn all_schedules_match_dense_reference() {
+        for p in [1usize, 4, 9] {
+            for opts in [
+                SpGemmOptions::eager(),
+                SpGemmOptions::pipelined(),
+                SpGemmOptions::blocked(1),
+                SpGemmOptions::blocked(3),
+                SpGemmOptions::blocked(1024),
+            ] {
+                let ok = Cluster::run(p, move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let mut rng = StdRng::seed_from_u64(101 + p as u64);
+                    let (n, k, m) = (15, 12, 10);
+                    let a_triples = random_triples(&mut rng, n, k, 0.3);
+                    let b_triples = random_triples(&mut rng, k, m, 0.3);
+                    let mine_a = if grid.world().rank() == 0 {
+                        a_triples.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    let mine_b = if grid.world().rank() == 0 {
+                        b_triples.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    let a = DistMat::from_triples(&grid, n, k, mine_a, |_, _| unreachable!());
+                    let b = DistMat::from_triples(&grid, k, m, mine_b, |_, _| unreachable!());
+                    let c = a.spgemm_with(&grid, &b, &PlusTimes, &opts);
+                    let want = dense_from_triples(n, k, &a_triples)
+                        .matmul(&dense_from_triples(k, m, &b_triples));
+                    let got = dense_from_triples(n, m, &c.gather_triples(&grid));
+                    got == want
+                });
+                assert!(ok.iter().all(|&x| x), "p={p} opts={opts:?}");
+            }
+        }
+    }
+
+    #[test]
     fn aat_with_count_semiring_counts_shared_columns() {
         // Mirrors overlap detection: A is reads×kmers, C = AAᵀ counts
         // shared k-mers between each read pair.
@@ -453,7 +803,13 @@ mod tests {
             let grid = ProcGrid::new(comm);
             // reads: 0 has kmers {0,1}, 1 has {1,2}, 2 has {3}
             let triples = if grid.world().rank() == 0 {
-                vec![(0u64, 0u64, 1u8), (0, 1, 1), (1, 1, 1), (1, 2, 1), (2, 3, 1)]
+                vec![
+                    (0u64, 0u64, 1u8),
+                    (0, 1, 1),
+                    (1, 1, 1),
+                    (1, 2, 1),
+                    (2, 3, 1),
+                ]
             } else {
                 Vec::new()
             };
@@ -462,13 +818,7 @@ mod tests {
             let c = a.spgemm(&grid, &at, &Count::<u8, u8>::new());
             let mut got = c.gather_triples(&grid);
             got.sort();
-            got == vec![
-                (0, 0, 2),
-                (0, 1, 1),
-                (1, 0, 1),
-                (1, 1, 2),
-                (2, 2, 1),
-            ]
+            got == vec![(0, 0, 2), (0, 1, 1), (1, 0, 1), (1, 1, 2), (2, 2, 1)]
         });
         assert!(ok.iter().all(|&x| x));
     }
@@ -479,10 +829,12 @@ mod tests {
             let out = Cluster::run(p, move |comm| {
                 let grid = ProcGrid::new(comm);
                 // path graph 0-1-2-3-4 plus branch 2-5, symmetric
-                let edges: Vec<(u64, u64)> =
-                    vec![(0, 1), (1, 2), (2, 3), (3, 4), (2, 5)];
+                let edges: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 3), (3, 4), (2, 5)];
                 let triples: Vec<(u64, u64, u8)> = if grid.world().rank() == 0 {
-                    edges.iter().flat_map(|&(u, v)| [(u, v, 1u8), (v, u, 1u8)]).collect()
+                    edges
+                        .iter()
+                        .flat_map(|&(u, v)| [(u, v, 1u8), (v, u, 1u8)])
+                        .collect()
                 } else {
                     Vec::new()
                 };
@@ -505,7 +857,10 @@ mod tests {
                 let edges: Vec<(u64, u64)> =
                     vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6), (6, 7)];
                 let triples: Vec<(u64, u64, u8)> = if grid.world().rank() == 0 {
-                    edges.iter().flat_map(|&(u, v)| [(u, v, 1u8), (v, u, 1u8)]).collect()
+                    edges
+                        .iter()
+                        .flat_map(|&(u, v)| [(u, v, 1u8), (v, u, 1u8)])
+                        .collect()
                 } else {
                     Vec::new()
                 };
@@ -513,8 +868,11 @@ mod tests {
                 let deg = s.row_degrees(&grid);
                 let mask = deg.map(&grid, |_, &d| d >= 3);
                 let l = s.mask_rows_cols(&grid, &mask);
-                let mut got: Vec<(u64, u64)> =
-                    l.gather_triples(&grid).into_iter().map(|(r, c, _)| (r, c)).collect();
+                let mut got: Vec<(u64, u64)> = l
+                    .gather_triples(&grid)
+                    .into_iter()
+                    .map(|(r, c, _)| (r, c))
+                    .collect();
                 got.sort();
                 got
             });

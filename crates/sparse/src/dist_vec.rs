@@ -32,7 +32,10 @@ impl<T: Clone + CommMsg> DistVec<T> {
     pub fn from_fn(grid: &ProcGrid, n: usize, f: impl FnMut(usize) -> T) -> Self {
         let layout = Layout2D::new(n, grid.q());
         let range = layout.chunk_range(grid.myrow(), grid.mycol());
-        DistVec { layout, local: range.map(f).collect() }
+        DistVec {
+            layout,
+            local: range.map(f).collect(),
+        }
     }
 
     /// Build from a replicated global slice (every rank passes the same
@@ -40,13 +43,19 @@ impl<T: Clone + CommMsg> DistVec<T> {
     pub fn from_global(grid: &ProcGrid, data: &[T]) -> Self {
         let layout = Layout2D::new(data.len(), grid.q());
         let range = layout.chunk_range(grid.myrow(), grid.mycol());
-        DistVec { layout, local: data[range].to_vec() }
+        DistVec {
+            layout,
+            local: data[range].to_vec(),
+        }
     }
 
     /// Wrap an already-local chunk (must match the layout's chunk length).
     pub fn from_local(grid: &ProcGrid, n: usize, local: Vec<T>) -> Self {
         let layout = Layout2D::new(n, grid.q());
-        assert_eq!(local.len(), layout.chunk_range(grid.myrow(), grid.mycol()).len());
+        assert_eq!(
+            local.len(),
+            layout.chunk_range(grid.myrow(), grid.mycol()).len()
+        );
         DistVec { layout, local }
     }
 
@@ -110,11 +119,16 @@ impl<T: Clone + CommMsg> DistVec<T> {
         let replies: Vec<Vec<T>> = incoming
             .into_iter()
             .map(|reqs| {
-                reqs.into_iter().map(|g| self.local[g as usize - my_start].clone()).collect()
+                reqs.into_iter()
+                    .map(|g| self.local[g as usize - my_start].clone())
+                    .collect()
             })
             .collect();
         let values = grid.world().alltoallv(replies);
-        slots.into_iter().map(|(owner, pos)| values[owner][pos].clone()).collect()
+        slots
+            .into_iter()
+            .map(|(owner, pos)| values[owner][pos].clone())
+            .collect()
     }
 
     /// Route `(index, value)` updates to their owners and fold them into
@@ -213,10 +227,14 @@ mod tests {
             let grid = ProcGrid::new(comm);
             let v = DistVec::from_fn(&grid, 50, |g| g as u64 + 100);
             // every rank asks for a scattered, rank-dependent set
-            let indices: Vec<usize> =
-                (0..10).map(|k| (k * 7 + grid.world().rank()) % 50).collect();
+            let indices: Vec<usize> = (0..10)
+                .map(|k| (k * 7 + grid.world().rank()) % 50)
+                .collect();
             let got = v.gather(&grid, &indices);
-            indices.into_iter().zip(got).all(|(g, val)| val == g as u64 + 100)
+            indices
+                .into_iter()
+                .zip(got)
+                .all(|(g, val)| val == g as u64 + 100)
         });
         assert!(out.iter().all(|&ok| ok));
     }
@@ -242,8 +260,9 @@ mod tests {
             let grid = ProcGrid::new(comm);
             let mut v = DistVec::from_fn(&grid, 8, |_| 0u64);
             // every rank increments every index by its rank+1
-            let updates: Vec<(usize, u64)> =
-                (0..8).map(|g| (g, grid.world().rank() as u64 + 1)).collect();
+            let updates: Vec<(usize, u64)> = (0..8)
+                .map(|g| (g, grid.world().rank() as u64 + 1))
+                .collect();
             v.scatter_combine(&grid, updates, |acc, x| *acc += x);
             v.to_global(&grid)
         });

@@ -145,7 +145,11 @@ where
     Add: Fn(&mut Out, Out),
 {
     pub fn new(multiply: M, add: Add) -> Self {
-        FnSemiring { multiply, add, _marker: std::marker::PhantomData }
+        FnSemiring {
+            multiply,
+            add,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

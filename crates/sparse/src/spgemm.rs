@@ -50,7 +50,11 @@ impl<T> Spa<T> {
         self.touched.sort_unstable();
         for &col in &self.touched {
             indices.push(col);
-            values.push(self.values[col as usize].take().expect("touched slot holds value"));
+            values.push(
+                self.values[col as usize]
+                    .take()
+                    .expect("touched slot holds value"),
+            );
         }
     }
 }
@@ -61,26 +65,133 @@ impl<T> Spa<T> {
 /// of type `S::B`; entries for which `multiply` returns `None` contribute
 /// nothing (filtering semirings).
 pub fn spgemm<S: Semiring>(a: &Csr<S::A>, b: &Csr<S::B>, semiring: &S) -> Csr<S::Out> {
-    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
-    let nrows = a.nrows();
-    let ncols = b.ncols();
-    let mut spa = Spa::new(ncols);
+    spgemm_range(a, b, semiring, 0..a.nrows())
+}
+
+/// [`spgemm`] restricted to the output rows `rows` of `A ⊗ B`: the
+/// returned matrix has `rows.len()` rows (row `i` holding output row
+/// `rows.start + i`). This is the batched kernel underneath the
+/// memory-bounded distributed multiply: processing a bounded row window
+/// at a time caps the sparse accumulator's high-water mark and lets the
+/// caller merge results incrementally instead of materializing all
+/// intermediate triples.
+pub fn spgemm_range<S: Semiring>(
+    a: &Csr<S::A>,
+    b: &Csr<S::B>,
+    semiring: &S,
+    rows: std::ops::Range<usize>,
+) -> Csr<S::Out> {
+    SpGemmBatcher::new(a, b, semiring).multiply_rows(rows)
+}
+
+/// Row-batched SpGEMM driver owning one sparse accumulator that is
+/// reused across every [`SpGemmBatcher::multiply_rows`] call — the SPA's
+/// generation counter makes reuse clearing-free, so batching the output
+/// rows costs no repeated O(ncols) allocation. One batcher serves one
+/// `(A, B)` pair; the blocked SUMMA schedule holds one per stage and
+/// sweeps it over the row windows.
+pub struct SpGemmBatcher<'m, S: Semiring> {
+    a: &'m Csr<S::A>,
+    b: &'m Csr<S::B>,
+    semiring: &'m S,
+    spa: Spa<S::Out>,
+}
+
+impl<'m, S: Semiring> SpGemmBatcher<'m, S> {
+    pub fn new(a: &'m Csr<S::A>, b: &'m Csr<S::B>, semiring: &'m S) -> Self {
+        assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+        SpGemmBatcher {
+            a,
+            b,
+            semiring,
+            spa: Spa::new(b.ncols()),
+        }
+    }
+
+    /// Multiply the output-row window `rows` of `A ⊗ B`; the result has
+    /// `rows.len()` rows (row `i` holding output row `rows.start + i`).
+    pub fn multiply_rows(&mut self, rows: std::ops::Range<usize>) -> Csr<S::Out> {
+        assert!(rows.end <= self.a.nrows(), "row range out of bounds");
+        let ncols = self.b.ncols();
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for i in rows.clone() {
+            self.spa.next_row();
+            let (a_cols, a_vals) = self.a.row(i);
+            for (&k, a_ik) in a_cols.iter().zip(a_vals) {
+                let (b_cols, b_vals) = self.b.row(k as usize);
+                for (&j, b_kj) in b_cols.iter().zip(b_vals) {
+                    if let Some(product) = self.semiring.multiply(a_ik, b_kj) {
+                        self.spa.accumulate(self.semiring, j, product);
+                    }
+                }
+            }
+            self.spa.drain_sorted(&mut indices, &mut values);
+            indptr.push(indices.len());
+        }
+        Csr::from_parts(rows.len(), ncols, indptr, indices, values)
+    }
+}
+
+/// Merge two same-shape CSR matrices by a streaming two-way merge of
+/// their rows (the 2-way case of a heap merge): entries present in both
+/// are combined with `add`, the union structure is kept, and — unlike
+/// [`ewise_add`] — no re-sort and no triple buffer: the merge walks the
+/// raw `(indptr, indices, values)` arrays directly, so the cost is
+/// linear in `nnz(a) + nnz(b)` with no per-entry row tags. This is the
+/// per-stage accumulator of the pipelined and blocked SUMMA variants,
+/// where `a` is the whole accumulated `C` block and must not be
+/// re-materialized every stage.
+pub fn csr_merge<T>(a: Csr<T>, b: Csr<T>, mut add: impl FnMut(&mut T, T)) -> Csr<T> {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    let (a_indptr, a_indices, a_values) = a.into_parts();
+    let (b_indptr, b_indices, b_values) = b.into_parts();
+    let nnz_hint = a_indices.len() + b_indices.len();
     let mut indptr = Vec::with_capacity(nrows + 1);
     indptr.push(0usize);
-    let mut indices = Vec::new();
-    let mut values = Vec::new();
-    for i in 0..nrows {
-        spa.next_row();
-        let (a_cols, a_vals) = a.row(i);
-        for (&k, a_ik) in a_cols.iter().zip(a_vals) {
-            let (b_cols, b_vals) = b.row(k as usize);
-            for (&j, b_kj) in b_cols.iter().zip(b_vals) {
-                if let Some(product) = semiring.multiply(a_ik, b_kj) {
-                    spa.accumulate(semiring, j, product);
+    let mut indices: Vec<u32> = Vec::with_capacity(nnz_hint);
+    let mut values: Vec<T> = Vec::with_capacity(nnz_hint);
+    // Values are consumed strictly in storage order, so plain iterators
+    // hand them out as the column merge advances.
+    let mut a_vals = a_values.into_iter();
+    let mut b_vals = b_values.into_iter();
+    for row in 0..nrows {
+        let (mut ia, end_a) = (a_indptr[row], a_indptr[row + 1]);
+        let (mut ib, end_b) = (b_indptr[row], b_indptr[row + 1]);
+        while ia < end_a && ib < end_b {
+            match a_indices[ia].cmp(&b_indices[ib]) {
+                std::cmp::Ordering::Less => {
+                    indices.push(a_indices[ia]);
+                    values.push(a_vals.next().expect("value per index"));
+                    ia += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    indices.push(b_indices[ib]);
+                    values.push(b_vals.next().expect("value per index"));
+                    ib += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let mut merged = a_vals.next().expect("value per index");
+                    add(&mut merged, b_vals.next().expect("value per index"));
+                    indices.push(a_indices[ia]);
+                    values.push(merged);
+                    ia += 1;
+                    ib += 1;
                 }
             }
         }
-        spa.drain_sorted(&mut indices, &mut values);
+        for &col in &a_indices[ia..end_a] {
+            indices.push(col);
+            values.push(a_vals.next().expect("value per index"));
+        }
+        for &col in &b_indices[ib..end_b] {
+            indices.push(col);
+            values.push(b_vals.next().expect("value per index"));
+        }
         indptr.push(indices.len());
     }
     Csr::from_parts(nrows, ncols, indptr, indices, values)
@@ -180,12 +291,22 @@ mod tests {
         let s = FnSemiring::new(
             |a: &u64, b: &u64| {
                 let p = a + b;
-                (p % 2 == 0).then_some(p)
+                p.is_multiple_of(2).then_some(p)
             },
             |acc: &mut u64, v| *acc = (*acc).min(v),
         );
-        let m = Csr::from_triples(2, 2, vec![(0u32, 0u32, 1u64), (0, 1, 2)], |_, _| unreachable!());
-        let n = Csr::from_triples(2, 2, vec![(0u32, 0u32, 1u64), (1, 0, 3)], |_, _| unreachable!());
+        let m = Csr::from_triples(
+            2,
+            2,
+            vec![(0u32, 0u32, 1u64), (0, 1, 2)],
+            |_, _| unreachable!(),
+        );
+        let n = Csr::from_triples(
+            2,
+            2,
+            vec![(0u32, 0u32, 1u64), (1, 0, 3)],
+            |_, _| unreachable!(),
+        );
         // products into (0,0): 1+1=2 (kept), 2+3=5 (dropped)
         let c = spgemm(&m, &n, &s);
         assert_eq!(c.get(0, 0), Some(&2));
@@ -195,9 +316,12 @@ mod tests {
     #[test]
     fn ewise_add_unions() {
         let a = Csr::from_triples(2, 2, vec![(0u32, 0u32, 1.0f64)], |_, _| unreachable!());
-        let b = Csr::from_triples(2, 2, vec![(0u32, 0u32, 2.0f64), (1, 1, 5.0)], |_, _| {
-            unreachable!()
-        });
+        let b = Csr::from_triples(
+            2,
+            2,
+            vec![(0u32, 0u32, 2.0f64), (1, 1, 5.0)],
+            |_, _| unreachable!(),
+        );
         let c = ewise_add(a, b, |acc, v| *acc += v);
         assert_eq!(c.get(0, 0), Some(&3.0));
         assert_eq!(c.get(1, 1), Some(&5.0));
@@ -224,12 +348,80 @@ mod tests {
     }
 
     #[test]
+    fn spgemm_range_matches_row_slice() {
+        let a = Dense::from_rows(vec![
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 3.0, 0.0],
+            vec![4.0, 0.0, 5.0],
+        ]);
+        let b = Dense::from_rows(vec![vec![0.0, 1.0], vec![4.0, 0.0], vec![5.0, 6.0]]);
+        let full = spgemm(&csr_from_dense(&a), &csr_from_dense(&b), &PlusTimes);
+        let mid = spgemm_range(&csr_from_dense(&a), &csr_from_dense(&b), &PlusTimes, 1..3);
+        assert_eq!(mid.nrows(), 2);
+        for (r, c, v) in mid.iter() {
+            assert_eq!(full.get(r as usize + 1, c as usize), Some(v));
+        }
+        assert_eq!(mid.nnz(), full.row_nnz(1) + full.row_nnz(2));
+        let empty = spgemm_range(&csr_from_dense(&a), &csr_from_dense(&b), &PlusTimes, 2..2);
+        assert_eq!((empty.nrows(), empty.nnz()), (0, 0));
+    }
+
+    #[test]
+    fn csr_merge_matches_ewise_add() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let (n, m) = (rng.gen_range(1..10), rng.gen_range(1..10));
+            let mut make = |density: f64| {
+                let mut t = Vec::new();
+                for i in 0..n {
+                    for j in 0..m {
+                        if rng.gen_bool(density) {
+                            t.push((i as u32, j as u32, rng.gen_range(1..5) as f64));
+                        }
+                    }
+                }
+                Csr::from_triples(n, m, t, |_, _| unreachable!())
+            };
+            let a = make(0.4);
+            let b = make(0.4);
+            let merged = csr_merge(a.clone(), b.clone(), |acc, v| *acc += v);
+            let reference = ewise_add(a, b, |acc, v| *acc += v);
+            assert_eq!(Dense::from_csr(&merged), Dense::from_csr(&reference));
+            // csr_merge must also keep indices sorted within rows
+            for i in 0..merged.nrows() {
+                let (cols, _) = merged.row(i);
+                assert!(cols.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_merge_with_empty_sides() {
+        let a = Csr::from_triples(2, 2, vec![(0u32, 1u32, 2.0f64)], |_, _| unreachable!());
+        let empty: Csr<f64> = Csr::empty(2, 2);
+        let left = csr_merge(empty.clone(), a.clone(), |acc, v| *acc += v);
+        let right = csr_merge(a.clone(), empty.clone(), |acc, v| *acc += v);
+        assert_eq!(Dense::from_csr(&left), Dense::from_csr(&a));
+        assert_eq!(Dense::from_csr(&right), Dense::from_csr(&a));
+        let both = csr_merge(Csr::<f64>::empty(2, 2), Csr::empty(2, 2), |acc, v| {
+            *acc += v
+        });
+        assert_eq!(both.nnz(), 0);
+    }
+
+    #[test]
     fn randomized_against_dense() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
-            let (n, m, k) = (rng.gen_range(1..12), rng.gen_range(1..12), rng.gen_range(1..12));
+            let (n, m, k) = (
+                rng.gen_range(1..12),
+                rng.gen_range(1..12),
+                rng.gen_range(1..12),
+            );
             let mut a = Dense::zeros(n, k);
             let mut b = Dense::zeros(k, m);
             for i in 0..n {

@@ -24,7 +24,9 @@ fn to_triples(nrows: usize, ncols: usize, entries: &[(usize, usize, i8)]) -> Vec
             map.insert((r % nrows, c % ncols), v as f64);
         }
     }
-    map.into_iter().map(|((r, c), v)| (r as u64, c as u64, v)).collect()
+    map.into_iter()
+        .map(|((r, c), v)| (r as u64, c as u64, v))
+        .collect()
 }
 
 proptest! {

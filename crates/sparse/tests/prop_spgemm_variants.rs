@@ -1,0 +1,146 @@
+//! Property tests pinning the SUMMA schedule equivalence: the pipelined
+//! and blocked SpGEMM paths must produce results *identical* to the eager
+//! reference — same structure including explicit zeros, same values —
+//! on random matrices across 1×1, 2×2, and 3×3 process grids. The
+//! schedules may only differ in overlap and peak memory, never output.
+
+use elba_comm::{Cluster, ProcGrid};
+use elba_sparse::semiring::{MinPlus, PlusTimes};
+use elba_sparse::{DistMat, SpGemmOptions};
+use proptest::prelude::*;
+
+/// Sparse triples from a proptest-generated entry list (dedup last-wins).
+fn to_triples(nrows: usize, ncols: usize, entries: &[(usize, usize, i8)]) -> Vec<(u64, u64, f64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for &(r, c, v) in entries {
+        if v != 0 {
+            map.insert((r % nrows, c % ncols), v as f64);
+        }
+    }
+    map.into_iter()
+        .map(|((r, c), v)| (r as u64, c as u64, v))
+        .collect()
+}
+
+/// Run `A ⊗ B` on a p-rank grid under `opts`, returning the gathered,
+/// sorted triple list (exact structure, explicit zeros included).
+fn run_schedule(
+    p: usize,
+    n: usize,
+    k: usize,
+    m: usize,
+    a_triples: &[(u64, u64, f64)],
+    b_triples: &[(u64, u64, f64)],
+    opts: SpGemmOptions,
+) -> Vec<(u64, u64, f64)> {
+    let (at, bt) = (a_triples.to_vec(), b_triples.to_vec());
+    let mut got = Cluster::run(p, move |comm| {
+        let grid = ProcGrid::new(comm);
+        let mine_a = if grid.world().rank() == 0 {
+            at.clone()
+        } else {
+            Vec::new()
+        };
+        let mine_b = if grid.world().rank() == 0 {
+            bt.clone()
+        } else {
+            Vec::new()
+        };
+        let a = DistMat::from_triples(&grid, n, k, mine_a, |_, _| unreachable!());
+        let b = DistMat::from_triples(&grid, k, m, mine_b, |_, _| unreachable!());
+        a.spgemm_with(&grid, &b, &PlusTimes, &opts)
+            .gather_triples(&grid)
+    })
+    .remove(0);
+    got.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipelined_and_blocked_equal_eager(
+        p_idx in 0usize..3,
+        n in 1usize..14,
+        k in 1usize..14,
+        m in 1usize..14,
+        batch in 1usize..8,
+        a_entries in proptest::collection::vec((0usize..20, 0usize..20, -3i8..4), 0..70),
+        b_entries in proptest::collection::vec((0usize..20, 0usize..20, -3i8..4), 0..70),
+    ) {
+        let p = [1usize, 4, 9][p_idx];
+        let a_triples = to_triples(n, k, &a_entries);
+        let b_triples = to_triples(k, m, &b_entries);
+        let eager =
+            run_schedule(p, n, k, m, &a_triples, &b_triples, SpGemmOptions::eager());
+        let pipelined =
+            run_schedule(p, n, k, m, &a_triples, &b_triples, SpGemmOptions::pipelined());
+        let blocked =
+            run_schedule(p, n, k, m, &a_triples, &b_triples, SpGemmOptions::blocked(batch));
+        prop_assert_eq!(&pipelined, &eager, "pipelined != eager (p={})", p);
+        prop_assert_eq!(&blocked, &eager, "blocked(batch={}) != eager (p={})", batch, p);
+    }
+
+    #[test]
+    fn schedules_agree_on_aat(
+        p_idx in 0usize..3,
+        n in 1usize..12,
+        k in 1usize..16,
+        entries in proptest::collection::vec((0usize..16, 0usize..24, 1i8..3), 0..60),
+    ) {
+        // The overlap-detection shape: square output from A · Aᵀ.
+        let p = [1usize, 4, 9][p_idx];
+        let triples = to_triples(n, k, &entries);
+        let run = |opts: SpGemmOptions| {
+            let t = triples.clone();
+            let mut got = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mine = if grid.world().rank() == 0 { t.clone() } else { Vec::new() };
+                let a = DistMat::from_triples(&grid, n, k, mine, |_, _| unreachable!());
+                let at = a.transpose(&grid);
+                a.spgemm_with(&grid, &at, &PlusTimes, &opts).gather_triples(&grid)
+            })
+            .remove(0);
+            got.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+            got
+        };
+        let eager = run(SpGemmOptions::eager());
+        prop_assert_eq!(&run(SpGemmOptions::pipelined()), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::blocked(2)), &eager);
+    }
+
+    #[test]
+    fn schedules_agree_under_min_plus(
+        p_idx in 0usize..3,
+        n in 1usize..10,
+        entries in proptest::collection::vec((0usize..12, 0usize..12, 1i8..9), 0..50),
+    ) {
+        // A non-arithmetic semiring (shortest two-hop paths): schedule
+        // equivalence must not depend on PlusTimes-specific behavior.
+        let p = [1usize, 4, 9][p_idx];
+        let triples: Vec<(u64, u64, u64)> = {
+            let mut map = std::collections::BTreeMap::new();
+            for &(r, c, v) in &entries {
+                map.insert((r % n, c % n), v as u64);
+            }
+            map.into_iter().map(|((r, c), v)| (r as u64, c as u64, v)).collect()
+        };
+        let run = |opts: SpGemmOptions| {
+            let t = triples.clone();
+            let mut got = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mine = if grid.world().rank() == 0 { t.clone() } else { Vec::new() };
+                let a = DistMat::from_triples(&grid, n, n, mine, |_, _| unreachable!());
+                a.spgemm_with(&grid, &a, &MinPlus, &opts).gather_triples(&grid)
+            })
+            .remove(0);
+            got.sort_unstable();
+            got
+        };
+        let eager = run(SpGemmOptions::eager());
+        prop_assert_eq!(&run(SpGemmOptions::pipelined()), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::blocked(1)), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::blocked(5)), &eager);
+    }
+}

@@ -27,7 +27,12 @@ fn main() {
     let spec = DatasetSpec::celegans_like(0.3, 13); // 30 kb genome
     let (genome, sim_reads) = spec.generate();
     let reads: Vec<Seq> = sim_reads.into_iter().map(|r| r.seq).collect();
-    println!("{}: genome {} bp, {} reads\n", spec.name, genome.len(), reads.len());
+    println!(
+        "{}: genome {} bp, {} reads\n",
+        spec.name,
+        genome.len(),
+        reads.len()
+    );
     println!(
         "{:<18} {:>9} {:>13} {:>12} {:>9} {:>14}",
         "assembler", "time", "completeness", "longest", "contigs", "misassemblies"

@@ -42,7 +42,13 @@ fn main() {
         let (edge_triples, contained, _) =
             elba::graph::align_and_classify(&grid, &c, &store, &cfg.overlap);
         let r = elba::graph::overlap_graph(&grid, reads_clone.len(), edge_triples, &contained);
-        let (s, red) = elba::graph::transitive_reduction(&grid, r, cfg.tr_fuzz, cfg.tr_max_iters);
+        let (s, red) = elba::graph::transitive_reduction_with(
+            &grid,
+            r,
+            cfg.tr_fuzz,
+            cfg.tr_max_iters,
+            &cfg.overlap.spgemm,
+        );
         let s = elba::graph::symmetrize(&grid, s);
 
         // --- §4.2: branch removal ------------------------------------
@@ -74,8 +80,17 @@ fn main() {
             }
             let size_vec: Vec<u64> = merged.values().copied().collect();
             let lpt = partition(&size_vec, grid.world().size(), PartitionStrategy::Lpt);
-            let rr = partition(&size_vec, grid.world().size(), PartitionStrategy::RoundRobin);
-            (size_vec.len(), lpt.makespan(), lpt.imbalance(), rr.makespan())
+            let rr = partition(
+                &size_vec,
+                grid.world().size(),
+                PartitionStrategy::RoundRobin,
+            );
+            (
+                size_vec.len(),
+                lpt.makespan(),
+                lpt.imbalance(),
+                rr.makespan(),
+            )
         });
 
         // --- full Algorithm 2 ------------------------------------------
@@ -95,9 +110,15 @@ fn main() {
     });
 
     let (_, s_nnz, tr_iters, n_branches, cc_rounds, lpt_info, stats, n_contigs, _) = &rows[0];
-    println!("\nstring matrix S        : {} nonzeros ({} TR sweeps)", s_nnz, tr_iters);
+    println!(
+        "\nstring matrix S        : {} nonzeros ({} TR sweeps)",
+        s_nnz, tr_iters
+    );
     println!("branch vertices masked : {} (degree ≥ 3, §4.2)", n_branches);
-    println!("connected components   : {} rounds of hook-and-shortcut", cc_rounds);
+    println!(
+        "connected components   : {} rounds of hook-and-shortcut",
+        cc_rounds
+    );
     if let Some((n, lpt_makespan, imbalance, rr_makespan)) = lpt_info {
         println!(
             "LPT partitioning       : {n} contigs, makespan {lpt_makespan} reads \
@@ -108,7 +129,10 @@ fn main() {
         "induced subgraph       : components {} | largest {} reads | makespan {}",
         stats.n_components, stats.largest_component, stats.makespan
     );
-    println!("local assembly         : {} contigs total across ranks", n_contigs);
+    println!(
+        "local assembly         : {} contigs total across ranks",
+        n_contigs
+    );
     println!("\nper-rank contig counts (LPT balance in action):");
     for (rank, .., local_count) in &rows {
         println!("  rank {rank}: {local_count} contigs assembled locally");

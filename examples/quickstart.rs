@@ -41,7 +41,11 @@ fn main() {
     println!("  string-graph nnz  : {}", result.string_graph_nnz);
     println!("  contigs           : {}", contigs.len());
     if let Some(longest) = contigs.first() {
-        println!("  longest contig    : {} bp ({} reads)", longest.seq.len(), longest.read_ids.len());
+        println!(
+            "  longest contig    : {} bp ({} reads)",
+            longest.seq.len(),
+            longest.read_ids.len()
+        );
     }
 
     let seqs: Vec<Seq> = contigs.iter().map(|c| c.seq.clone()).collect();

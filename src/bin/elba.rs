@@ -33,13 +33,22 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing required flag --{key}"))
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
 }
 
-fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|_| format!("--{key}: cannot parse '{raw}'")),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{raw}'")),
     }
 }
 
@@ -48,7 +57,9 @@ fn spec_of(name: &str, scale: f64, seed: u64) -> Result<DatasetSpec, String> {
         "celegans" => Ok(DatasetSpec::celegans_like(scale, seed)),
         "osativa" => Ok(DatasetSpec::osativa_like(scale, seed)),
         "hsapiens" => Ok(DatasetSpec::hsapiens_like(scale, seed)),
-        other => Err(format!("unknown dataset '{other}' (celegans|osativa|hsapiens)")),
+        other => Err(format!(
+            "unknown dataset '{other}' (celegans|osativa|hsapiens)"
+        )),
     }
 }
 
@@ -56,7 +67,10 @@ fn write_seqs(path: &str, prefix: &str, seqs: &[Seq]) -> Result<(), String> {
     let records: Vec<FastaRecord> = seqs
         .iter()
         .enumerate()
-        .map(|(i, seq)| FastaRecord { id: format!("{prefix}{i}"), seq: seq.clone() })
+        .map(|(i, seq)| FastaRecord {
+            id: format!("{prefix}{i}"),
+            seq: seq.clone(),
+        })
         .collect();
     let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
     write_fasta(BufWriter::new(file), &records).map_err(|e| format!("write {path}: {e}"))
@@ -108,8 +122,32 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
     cfg.overlap.min_score_ratio = num(&flags, "min-score-ratio", 0.55f64)?;
     cfg.overlap.fuzz = num(&flags, "fuzz", 100usize)?;
     cfg.tr_fuzz = num(&flags, "tr-fuzz", 250u32)?;
+    let schedule = flags
+        .get("spgemm")
+        .map(String::as_str)
+        .unwrap_or("pipelined");
+    cfg = cfg.with_spgemm(match schedule {
+        "eager" => elba::sparse::SpGemmOptions::eager(),
+        "pipelined" => elba::sparse::SpGemmOptions::pipelined(),
+        "blocked" => {
+            let batch_rows: usize = num(&flags, "batch-rows", 1024usize)?;
+            if batch_rows == 0 {
+                return Err("--batch-rows must be at least 1".to_owned());
+            }
+            elba::sparse::SpGemmOptions::blocked(batch_rows)
+        }
+        other => {
+            return Err(format!(
+                "--spgemm must be eager, pipelined, or blocked; got '{other}'"
+            ))
+        }
+    });
 
-    println!("assembling {} reads on {ranks} in-process ranks (k={})", reads.len(), cfg.kmer.k);
+    println!(
+        "assembling {} reads on {ranks} in-process ranks (k={}, spgemm={schedule})",
+        reads.len(),
+        cfg.kmer.k
+    );
     let reads_run = reads.clone();
     let cfg_run = cfg.clone();
     let (mut outputs, profile) = Cluster::run_profiled(ranks, move |comm| {
@@ -127,7 +165,7 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
     );
 
     let mut seqs: Vec<Seq> = contigs.iter().map(|c| c.seq.clone()).collect();
-    if flags.contains_key("scaffold") || flags.get("scaffold").is_some() {
+    if flags.contains_key("scaffold") {
         let scfg = elba::core::scaffold::ScaffoldConfig {
             k: cfg.kmer.k.min(21),
             min_overlap: cfg.overlap.min_overlap,
@@ -150,11 +188,17 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
         for (i, contig) in contigs.iter().enumerate() {
             graph.add_path(
                 format!("walk_{i}"),
-                contig.read_ids.iter().map(|id| (format!("read_{id}"), false)).collect(),
+                contig
+                    .read_ids
+                    .iter()
+                    .map(|id| (format!("read_{id}"), false))
+                    .collect(),
             );
         }
         let file = File::create(gfa_path).map_err(|e| format!("create {gfa_path}: {e}"))?;
-        graph.write(BufWriter::new(file)).map_err(|e| format!("write {gfa_path}: {e}"))?;
+        graph
+            .write(BufWriter::new(file))
+            .map_err(|e| format!("write {gfa_path}: {e}"))?;
         println!("assembly graph written to {gfa_path}");
     }
     Ok(())
@@ -184,6 +228,7 @@ fn usage() -> String {
      \u{20}        [--genome OUT.fasta] [--scale 0.2] [--seed 2022]\n\
      assemble --reads IN.fasta --out contigs.fasta [--ranks 4] [--k 31]\n\
      \u{20}        [--xdrop 15] [--min-overlap 100] [--scaffold true]\n\
+     \u{20}        [--spgemm eager|pipelined|blocked] [--batch-rows 1024]\n\
      \u{20}        [--gfa graph.gfa]\n\
      evaluate --reference genome.fasta --contigs contigs.fasta"
         .to_owned()

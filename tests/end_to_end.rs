@@ -46,7 +46,11 @@ fn low_error_dataset_assembles_with_good_quality() {
     assert!(!contigs.is_empty());
     let seqs: Vec<Seq> = contigs.iter().map(|c| c.seq.clone()).collect();
     let report = evaluate(&genome, &seqs, &QualityConfig::default());
-    assert!(report.completeness > 60.0, "completeness {}", report.completeness);
+    assert!(
+        report.completeness > 60.0,
+        "completeness {}",
+        report.completeness
+    );
     assert!(
         report.longest_contig > genome.len() / 10,
         "longest {} of {}",
@@ -75,7 +79,10 @@ fn each_read_belongs_to_at_most_one_contig() {
     let contigs = run_at(4, &reads, &cfg);
     let mut seen = std::collections::HashSet::new();
     for contig in &contigs {
-        assert!(contig.read_ids.len() >= 2, "contigs are chains of >= 2 reads");
+        assert!(
+            contig.read_ids.len() >= 2,
+            "contigs are chains of >= 2 reads"
+        );
         for &id in &contig.read_ids {
             assert!(seen.insert(id), "read {id} appears in two contigs");
             assert!((id as usize) < reads.len());
@@ -89,8 +96,11 @@ fn contig_length_is_bounded_by_member_reads() {
     let (_genome, reads) = reads_of(&spec);
     let cfg = PipelineConfig::for_dataset(&spec);
     for contig in run_at(4, &reads, &cfg) {
-        let member_total: usize =
-            contig.read_ids.iter().map(|&id| reads[id as usize].len()).sum();
+        let member_total: usize = contig
+            .read_ids
+            .iter()
+            .map(|&id| reads[id as usize].len())
+            .sum();
         assert!(
             contig.seq.len() <= member_total,
             "contig ({}) longer than its reads combined ({})",
@@ -133,8 +143,17 @@ fn pipeline_profile_contains_paper_phases() {
         assemble(&grid, &reads, &cfg)
     });
     let names = profile.phase_names();
-    for phase in ["CountKmer", "DetectOverlap", "Alignment", "TrReduction", "ExtractContig"] {
-        assert!(names.iter().any(|n| n == phase), "missing phase {phase}: {names:?}");
+    for phase in [
+        "CountKmer",
+        "DetectOverlap",
+        "Alignment",
+        "TrReduction",
+        "ExtractContig",
+    ] {
+        assert!(
+            names.iter().any(|n| n == phase),
+            "missing phase {phase}: {names:?}"
+        );
         assert!(profile.max_wall(phase) >= 0.0);
     }
     // contig-stage sub-phases exist for the Fig. 5 / §6.1 analyses
@@ -145,6 +164,9 @@ fn pipeline_profile_contains_paper_phases() {
         "ExtractContig:InducedSubgraph",
         "ExtractContig:LocalAssembly",
     ] {
-        assert!(names.iter().any(|n| n == phase), "missing sub-phase {phase}");
+        assert!(
+            names.iter().any(|n| n == phase),
+            "missing sub-phase {phase}"
+        );
     }
 }

@@ -17,11 +17,16 @@ fn empty_read_set() {
 #[test]
 fn single_read_produces_no_contig() {
     // A contig needs >= 2 reads by definition (§4.4).
-    let read: Seq = "ACGTACGTACGTACGTACGTACGTACGTAAACCCGGGTTT".parse().expect("dna");
+    let read: Seq = "ACGTACGTACGTACGTACGTACGTACGTAAACCCGGGTTT"
+        .parse()
+        .expect("dna");
     let contigs = Cluster::run(4, move |comm| {
         let grid = ProcGrid::new(comm);
-        let (contigs, _) =
-            assemble_gathered(&grid, &[read.clone()], &PipelineConfig::default());
+        let (contigs, _) = assemble_gathered(
+            &grid,
+            std::slice::from_ref(&read),
+            &PipelineConfig::default(),
+        );
         contigs.len()
     });
     assert!(contigs.iter().all(|&n| n == 0));
@@ -58,7 +63,10 @@ fn tiny_mpi_count_limit_still_correct() {
     let normal = Cluster::run(4, move |comm| {
         let grid = ProcGrid::new(comm);
         let (contigs, _) = assemble_gathered(&grid, &reads_a, &cfg_a);
-        contigs.iter().map(|c| c.seq.to_string()).collect::<Vec<_>>()
+        contigs
+            .iter()
+            .map(|c| c.seq.to_string())
+            .collect::<Vec<_>>()
     })
     .remove(0);
 
@@ -67,7 +75,10 @@ fn tiny_mpi_count_limit_still_correct() {
     let limited = Cluster::run(4, move |comm| {
         let grid = ProcGrid::new(comm);
         let (contigs, _) = assemble_gathered(&grid, &reads_b, &cfg);
-        contigs.iter().map(|c| c.seq.to_string()).collect::<Vec<_>>()
+        contigs
+            .iter()
+            .map(|c| c.seq.to_string())
+            .collect::<Vec<_>>()
     })
     .remove(0);
 

@@ -25,7 +25,7 @@ fn tiled_reads(genome: &Seq, read_len: usize, stride: usize, flip_every: usize) 
     let mut i = 0usize;
     while start + read_len <= genome.len() {
         let r = genome.substring(start, start + read_len);
-        reads.push(if flip_every > 0 && i % flip_every == 0 {
+        reads.push(if flip_every > 0 && i.is_multiple_of(flip_every) {
             r.reverse_complement()
         } else {
             r
