@@ -1,8 +1,9 @@
 //! Criterion micro-benchmarks of the computational kernels underneath
 //! every figure: local SpGEMM (overlap detection's inner loop), x-drop
 //! extension (the Alignment phase), k-mer scanning (CountKmer), the
-//! DCSC→CSC expansion (§4.4), the connected-components sweep, and the
-//! distributed SUMMA schedules (eager vs. pipelined vs. blocked).
+//! DCSC→CSC expansion (§4.4), the connected-components sweep, the
+//! distributed SUMMA schedules (eager vs. pipelined vs. blocked), and
+//! the k-mer exchange schedules (eager vs. streaming `ialltoallv`).
 
 use std::sync::Arc;
 
@@ -175,9 +176,52 @@ fn bench_summa_schedules(c: &mut Criterion) {
     }
 }
 
+/// The CountKmer + GenerateA exchanges on a 2×2 grid under each schedule:
+/// the eager flat `alltoallv` against the streaming chunked `ialltoallv`
+/// at a small and a large batch. Streaming aggregates counts per batch
+/// window (the eager path pre-aggregates the whole local store) in
+/// exchange for buffering bounded by `batch_kmers` instead of the
+/// dataset; smaller batches mean more chunks and less aggregation.
+fn bench_kmer_exchange(c: &mut Criterion) {
+    use elba_core::PipelineConfig;
+    use elba_seq::sim::DatasetSpec;
+    use elba_seq::{build_a_triples, count_kmers, KmerExchange};
+
+    let spec = DatasetSpec::celegans_like(0.04, 11);
+    let (_, sim_reads) = spec.generate();
+    let reads: Arc<Vec<elba_seq::Seq>> = Arc::new(sim_reads.into_iter().map(|r| r.seq).collect());
+    let base = PipelineConfig::for_dataset(&spec);
+    for (label, exchange, batch) in [
+        ("eager", KmerExchange::Eager, 0usize),
+        ("streaming_4k", KmerExchange::Streaming, 4 << 10),
+        ("streaming_64k", KmerExchange::Streaming, 64 << 10),
+    ] {
+        let reads = Arc::clone(&reads);
+        let cfg = if batch == 0 {
+            base.clone()
+                .with_kmer_exchange(exchange, base.kmer.batch_kmers)
+        } else {
+            base.clone().with_kmer_exchange(exchange, batch)
+        };
+        c.bench_function(&format!("kmer_exchange_p4_{label}"), |bencher| {
+            bencher.iter(|| {
+                let reads = Arc::clone(&reads);
+                let kcfg = cfg.kmer.clone();
+                Cluster::run(4, move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let store = elba_seq::ReadStore::from_replicated(&grid, &reads);
+                    let table = count_kmers(&grid, &store, &kcfg);
+                    let triples = build_a_triples(&grid, &store, &table, &kcfg);
+                    black_box(table.n_global as usize + triples.len())
+                })
+            })
+        });
+    }
+}
+
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_spgemm, bench_xdrop, bench_kmer_scan, bench_dcsc_to_csc, bench_union_find, bench_summa_schedules
+    targets = bench_spgemm, bench_xdrop, bench_kmer_scan, bench_dcsc_to_csc, bench_union_find, bench_summa_schedules, bench_kmer_exchange
 );
 criterion_main!(kernels);

@@ -116,15 +116,25 @@ impl Comm {
         self.bcast(0, reduced)
     }
 
+    /// Per-destination message sizes of a personalized exchange — the one
+    /// place the `bufs[dst]` layout is validated and measured, shared by
+    /// [`Comm::alltoallv`], [`Comm::ialltoallv`] and
+    /// [`Comm::alltoallv_counts`]. Panics unless there is exactly one
+    /// buffer per rank.
+    fn personalized_counts<T>(&self, bufs: &[Vec<T>]) -> Vec<usize> {
+        assert_eq!(
+            bufs.len(),
+            self.size(),
+            "personalized exchange needs one buffer per rank"
+        );
+        bufs.iter().map(Vec::len).collect()
+    }
+
     /// Personalized all-to-all: `bufs[dst]` is shipped to rank `dst`;
     /// returns the buffers received, indexed by source rank. The analogue
     /// of `MPI_Alltoallv` (and ELBA's "custom all-to-all" for edge triples).
     pub fn alltoallv<T: CommMsg>(&self, bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(
-            bufs.len(),
-            self.size(),
-            "alltoallv needs one buffer per rank"
-        );
+        self.personalized_counts(&bufs); // validate one buffer per rank
         let tag = self.next_coll_tag(op::ALLTOALLV);
         let started = Instant::now();
         let mut bytes = 0;
@@ -192,9 +202,67 @@ impl Comm {
     }
 
     /// Convenience: `alltoallv` message counts per destination, useful for
-    /// tests and diagnostics.
+    /// tests and diagnostics. Shares the sizing (and shape validation)
+    /// logic of [`Comm::alltoallv`] itself.
     pub fn alltoallv_counts<T: CommMsg>(&self, bufs: &[Vec<T>]) -> Vec<usize> {
-        bufs.iter().map(Vec::len).collect()
+        self.personalized_counts(bufs)
+    }
+
+    /// Non-blocking personalized all-to-all (`MPI_Ialltoallv` analogue):
+    /// `bufs[dst]` is shipped to rank `dst` in chunks of at most
+    /// `chunk_elems` elements, and the returned [`IalltoallvRequest`]
+    /// yields per-source chunks *as they arrive* — the caller can fold
+    /// each chunk into an accumulator while the rest of the exchange is
+    /// still in flight, so neither side ever has to hold the full
+    /// personalized exchange at once.
+    ///
+    /// Chunks from one source are delivered in posting order (the
+    /// runtime's per-`(source, tag)` FIFO guarantee), so concatenating a
+    /// source's chunks reconstructs its buffer exactly;
+    /// [`IalltoallvRequest::wait`] does that and is therefore equivalent
+    /// to [`Comm::alltoallv`]. Time blocked in
+    /// `next` (the request is an [`Iterator`] over `(source, chunk)`
+    /// pairs) or [`IalltoallvRequest::wait`] is booked to the profile's
+    /// *wait* bucket, like `ibcast`.
+    ///
+    /// Collective: every rank must post the matching call in SPMD order
+    /// and must drain the request to completion.
+    pub fn ialltoallv<T: CommMsg>(
+        &self,
+        bufs: Vec<Vec<T>>,
+        chunk_elems: usize,
+    ) -> IalltoallvRequest<'_, T> {
+        self.personalized_counts(&bufs); // validate one buffer per rank
+        let mut req = self.ialltoallv_stream(chunk_elems);
+        for (dst, buf) in bufs.into_iter().enumerate() {
+            req.post(dst, buf);
+        }
+        req.finish_sends();
+        req
+    }
+
+    /// Open a *streaming* personalized exchange: like
+    /// [`Comm::ialltoallv`], but outgoing data is supplied incrementally
+    /// through [`IalltoallvRequest::post`] — any number of posts per
+    /// destination, in any order, interleaved with draining inbound
+    /// chunks — and sealed with [`IalltoallvRequest::finish_sends`].
+    /// Ranks may post different amounts of traffic (termination is
+    /// per-source, not count-based), which is what lets the k-mer
+    /// exchange stream unevenly distributed reads without a per-batch
+    /// barrier. One collective call regardless of how many chunks flow.
+    pub fn ialltoallv_stream<T: CommMsg>(&self, chunk_elems: usize) -> IalltoallvRequest<'_, T> {
+        assert!(chunk_elems > 0, "ialltoallv chunks need at least 1 element");
+        let tag = self.next_coll_tag(op::IALLTOALLV);
+        let p = self.size();
+        IalltoallvRequest {
+            comm: self,
+            tag,
+            chunk_elems,
+            send_open: vec![true; p],
+            inflight: (0..p).map(|src| Some(self.raw_irecv(src, tag))).collect(),
+            open_sources: p,
+            poll_cursor: 0,
+        }
     }
 
     /// Non-blocking broadcast (`MPI_Ibcast` analogue): posts the same
@@ -334,6 +402,162 @@ impl<T: CommMsg + Clone> IbcastRequest<'_, T> {
             }
             IbcastState::Poisoned => unreachable!("ibcast state poisoned"),
         }
+    }
+}
+
+/// Wire format of one `ialltoallv` message: a chunk plus the last-marker
+/// (`true` terminates the source's stream and carries no data).
+type ChunkMsg<T> = (Vec<T>, bool);
+/// Outstanding receive for the next [`ChunkMsg`] from one source.
+type ChunkRecv<'c, T> = RecvRequest<'c, ChunkMsg<T>>;
+
+/// In-flight chunked personalized exchange; see [`Comm::ialltoallv`] and
+/// [`Comm::ialltoallv_stream`].
+///
+/// Wire protocol: each outgoing buffer travels as zero or more
+/// `(chunk, false)` messages followed by one empty `(_, true)` terminator
+/// per destination (sent by `finish_sends`). The per-`(source, tag)` FIFO
+/// guarantee of the runtime keeps a source's chunks in posting order, so
+/// receivers can fold them incrementally without reassembly metadata.
+#[must_use = "ialltoallv must be drained (next()/wait()) — abandoning it desynchronizes the collective"]
+pub struct IalltoallvRequest<'c, T: CommMsg> {
+    comm: &'c Comm,
+    tag: Tag,
+    chunk_elems: usize,
+    /// Destinations this rank has not yet sealed with a terminator.
+    send_open: Vec<bool>,
+    /// One outstanding receive per source still streaming; `None` once
+    /// the source's terminator has been consumed.
+    inflight: Vec<Option<ChunkRecv<'c, T>>>,
+    open_sources: usize,
+    /// Round-robin fairness cursor so one chatty source cannot starve
+    /// the others in `try_next`.
+    poll_cursor: usize,
+}
+
+impl<T: CommMsg> IalltoallvRequest<'_, T> {
+    /// Ship `buf` to rank `dst`, split into chunks of at most
+    /// `chunk_elems` elements. May be called any number of times per
+    /// destination until [`IalltoallvRequest::finish_sends`]; an empty
+    /// `buf` posts nothing. Sends complete eagerly (buffered protocol),
+    /// so posting never blocks.
+    pub fn post(&mut self, dst: Rank, buf: Vec<T>) {
+        assert!(
+            self.send_open[dst],
+            "ialltoallv: post to rank {dst} after finish_sends"
+        );
+        let mut head = buf;
+        while !head.is_empty() {
+            let tail = if head.len() > self.chunk_elems {
+                head.split_off(self.chunk_elems)
+            } else {
+                Vec::new()
+            };
+            let msg = (head, false);
+            self.comm.record_coll_bytes("ialltoallv", msg.nbytes());
+            self.comm.coll_send(dst, self.tag, msg);
+            head = tail;
+        }
+    }
+
+    /// Seal every destination: after this, peers know no further chunks
+    /// will arrive from this rank. Idempotent. Must be called by every
+    /// rank for the exchange to terminate ([`IalltoallvRequest::wait`]
+    /// calls it implicitly).
+    pub fn finish_sends(&mut self) {
+        for dst in 0..self.comm.size() {
+            if std::mem::take(&mut self.send_open[dst]) {
+                let msg: (Vec<T>, bool) = (Vec::new(), true);
+                self.comm.record_coll_bytes("ialltoallv", msg.nbytes());
+                self.comm.coll_send(dst, self.tag, msg);
+            }
+        }
+    }
+
+    /// Number of sources that have not yet sent their terminator. The
+    /// exchange is complete when this reaches zero.
+    pub fn open_sources(&self) -> usize {
+        self.open_sources
+    }
+
+    /// Poll for an arrived chunk from any source, without blocking.
+    /// Returns the source rank and its next chunk (≤ `chunk_elems`
+    /// elements, in per-source posting order), or `None` if nothing is
+    /// ready right now. Terminators are consumed transparently.
+    pub fn try_next(&mut self) -> Option<(Rank, Vec<T>)> {
+        let p = self.comm.size();
+        for i in 0..p {
+            let src = (self.poll_cursor + i) % p;
+            let Some(req) = self.inflight[src].as_mut() else {
+                continue; // source already terminated
+            };
+            if !req.test() {
+                continue;
+            }
+            let req = self.inflight[src].take().expect("matched as Some");
+            let (chunk, last) = req.wait(); // non-blocking: test() buffered it
+            if last {
+                debug_assert!(chunk.is_empty(), "terminators carry no data");
+                self.open_sources -= 1;
+                continue; // inflight[src] stays None; scan the next source
+            }
+            self.inflight[src] = Some(self.comm.raw_irecv(src, self.tag));
+            self.poll_cursor = (src + 1) % p;
+            return Some((src, chunk));
+        }
+        None
+    }
+
+    /// Drain the whole exchange into per-source buffers (seals this
+    /// rank's sends first). `comm.ialltoallv(bufs, n).wait()` is
+    /// equivalent to `comm.alltoallv(bufs)`.
+    pub fn wait(mut self) -> Vec<Vec<T>> {
+        self.finish_sends();
+        let mut received: Vec<Vec<T>> = (0..self.comm.size()).map(|_| Vec::new()).collect();
+        for (src, mut chunk) in self.by_ref() {
+            received[src].append(&mut chunk);
+        }
+        received
+    }
+}
+
+/// Blocking chunk stream: `next` yields `(source, chunk)` pairs, blocking
+/// until one arrives and returning `None` once every source has sent its
+/// terminator — so a receive loop is literally a `for` loop over the
+/// request. Blocked time is booked to the profile's *wait* bucket (like
+/// `ibcast`), keeping communication/computation overlap measurable; use
+/// [`IalltoallvRequest::try_next`] to poll without blocking.
+impl<T: CommMsg> Iterator for IalltoallvRequest<'_, T> {
+    type Item = (Rank, Vec<T>);
+
+    fn next(&mut self) -> Option<(Rank, Vec<T>)> {
+        if let Some(chunk) = self.try_next() {
+            return Some(chunk);
+        }
+        if self.open_sources == 0 {
+            return None;
+        }
+        let started = Instant::now();
+        let mut spins = 0u32;
+        let out = loop {
+            if let Some(chunk) = self.try_next() {
+                break Some(chunk);
+            }
+            if self.open_sources == 0 {
+                break None;
+            }
+            // Spin briefly for the common quick arrival, then back off
+            // to short sleeps: a parked rank must not burn the core its
+            // peers need to produce the very chunks it is waiting for.
+            if spins < 128 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        };
+        self.comm.record_wait(started.elapsed().as_secs_f64());
+        out
     }
 }
 
@@ -563,6 +787,160 @@ mod tests {
             } else {
                 comm.ibcast(0, None).wait()
             }
+        });
+        assert!(
+            profile.max_wait_secs("stage") > 0.005,
+            "wait bucket must fill"
+        );
+        assert!(
+            profile.max_comm_secs("stage") < 0.005,
+            "comm bucket must not"
+        );
+    }
+
+    #[test]
+    fn ialltoallv_equals_alltoallv_all_sizes() {
+        for p in nonpow2_sizes() {
+            for chunk in [1usize, 3, 64] {
+                let out = Cluster::run(p, move |comm| {
+                    let make = || -> Vec<Vec<u64>> {
+                        (0..comm.size())
+                            .map(|dst| {
+                                (0..(comm.rank() + 2 * dst) % 5)
+                                    .map(|i| (comm.rank() * 100 + dst * 10 + i) as u64)
+                                    .collect()
+                            })
+                            .collect()
+                    };
+                    let got = comm.ialltoallv(make(), chunk).wait();
+                    let want = comm.alltoallv(make());
+                    got == want
+                });
+                assert!(out.iter().all(|&ok| ok), "p={p} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn ialltoallv_chunks_preserve_source_order() {
+        // One big buffer split into many chunks: concatenation in arrival
+        // order must reproduce it exactly (per-(source, tag) FIFO).
+        let out = Cluster::run(3, |comm| {
+            let bufs: Vec<Vec<u64>> = (0..3)
+                .map(|dst| (0..47u64).map(|i| dst as u64 * 1000 + i).collect())
+                .collect();
+            let mut req = comm.ialltoallv(bufs, 5);
+            let mut got: Vec<Vec<u64>> = vec![Vec::new(); 3];
+            let mut largest_chunk = 0usize;
+            for (src, mut chunk) in req.by_ref() {
+                largest_chunk = largest_chunk.max(chunk.len());
+                got[src].append(&mut chunk);
+            }
+            assert!(largest_chunk <= 5, "chunk cap violated: {largest_chunk}");
+            // Every sender src built bufs[dst] = [dst*1000 + i], so we
+            // (rank = dst) must see rank*1000 + 0..47, in order, from all.
+            got.iter().all(|buf| {
+                buf.len() == 47
+                    && buf
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &v)| v == comm.rank() as u64 * 1000 + i as u64)
+            })
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn ialltoallv_streaming_posts_in_rounds() {
+        // The k-mer exchange shape: ranks post different numbers of
+        // rounds, folding inbound chunks between posts; totals must match
+        // the sum of everything posted toward each rank.
+        let p = 4;
+        let out = Cluster::run(p, move |comm| {
+            let rounds = comm.rank() + 1; // uneven traffic per rank
+            let mut req = comm.ialltoallv_stream::<u64>(3);
+            let mut received: Vec<u64> = Vec::new();
+            for round in 0..rounds {
+                for dst in 0..p {
+                    let batch: Vec<u64> = (0..4)
+                        .map(|i| (comm.rank() * 1000 + round * 100 + dst * 10 + i) as u64)
+                        .collect();
+                    req.post(dst, batch);
+                }
+                while let Some((_, chunk)) = req.try_next() {
+                    received.extend(chunk);
+                }
+            }
+            req.finish_sends();
+            for (_, chunk) in req.by_ref() {
+                received.extend(chunk);
+            }
+            // src sends (src+1) rounds × 4 values to every rank.
+            let want: u64 = (0..p)
+                .map(|src| {
+                    (0..=src)
+                        .map(|round| {
+                            (0..4)
+                                .map(|i| (src * 1000 + round * 100 + comm.rank() * 10 + i) as u64)
+                                .sum::<u64>()
+                        })
+                        .sum::<u64>()
+                })
+                .sum();
+            let total: u64 = received.iter().sum();
+            assert_eq!(
+                received.len(),
+                (0..p).map(|src| (src + 1) * 4).sum::<usize>()
+            );
+            total == want
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn ialltoallv_empty_and_single_rank() {
+        let out = Cluster::run(1, |comm| {
+            let got = comm.ialltoallv(vec![vec![7u64, 8, 9]], 2).wait();
+            got == vec![vec![7u64, 8, 9]]
+        });
+        assert!(out[0]);
+        let out = Cluster::run(3, |comm| {
+            let got = comm.ialltoallv(vec![Vec::<u64>::new(); 3], 4).wait();
+            got.iter().all(Vec::is_empty)
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn ialltoallv_interleaves_with_collectives_and_p2p() {
+        let out = Cluster::run(4, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let p2p = comm.irecv::<u64>(left, 11);
+            comm.isend(right, 11, comm.rank() as u64).wait();
+            let bufs: Vec<Vec<u64>> = (0..4)
+                .map(|dst| vec![(comm.rank() * 4 + dst) as u64])
+                .collect();
+            let req = comm.ialltoallv(bufs, 1);
+            let sum = comm.allreduce(1u64, |a, b| a + b);
+            let got = req.wait();
+            let from_left = p2p.wait();
+            comm.barrier();
+            let diag = got[comm.rank()][0];
+            sum == 4 && from_left == left as u64 && diag == (comm.rank() * 4 + comm.rank()) as u64
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn ialltoallv_books_wait_not_comm_time() {
+        let (_, profile) = Cluster::run_profiled(2, |comm| {
+            let _g = comm.phase("stage");
+            if comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+            }
+            let bufs: Vec<Vec<u64>> = vec![vec![1], vec![2]];
+            comm.ialltoallv(bufs, 8).wait()
         });
         assert!(
             profile.max_wait_secs("stage") > 0.005,

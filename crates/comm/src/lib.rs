@@ -12,7 +12,9 @@
 //!   communication/computation overlap,
 //! * the collectives used by ELBA: `barrier`, `bcast`, `gather`,
 //!   `allgather`, `reduce`, `allreduce`, `reduce_scatter`, `alltoallv`,
-//!   `exscan`, plus non-blocking `ibcast` (the pipelined SUMMA's engine),
+//!   `exscan`, plus non-blocking `ibcast` (the pipelined SUMMA's engine)
+//!   and the chunked non-blocking `ialltoallv` / `ialltoallv_stream`
+//!   (the streaming k-mer exchange's engine),
 //! * communicator `split` (colors/keys) for building the
 //!   √P×√P [`grid::ProcGrid`] with row and column sub-communicators,
 //! * per-phase wall-time and message-volume accounting ([`profile`]),
@@ -44,7 +46,7 @@ pub mod msg;
 pub mod profile;
 pub mod runtime;
 
-pub use collectives::IbcastRequest;
+pub use collectives::{IalltoallvRequest, IbcastRequest};
 pub use grid::ProcGrid;
 pub use model::MachineModel;
 pub use msg::CommMsg;

@@ -8,8 +8,10 @@
 //!
 //! ```text
 //! T_phase(P) = compute_secs · (P_meas / P)            // perfect strong scaling
-//!            + coll_calls · α · log2(P)               // latency term
-//!            + (total_bytes / P) / β                  // bandwidth term
+//!            + max(0, coll_calls · α · log2(P)        // latency term
+//!                    + (total_bytes / P) / β          // bandwidth term
+//!                    − overlap(P))                    // overlap credit
+//! overlap(P) = min(wait_secs, compute_secs) · (P_meas / P)
 //! ```
 //!
 //! `compute_secs` is measured wall time minus time blocked in
@@ -18,6 +20,18 @@
 //! two shrink — exactly the behaviour the paper reports for the
 //! `TrReduction` and `ExtractContig` phases ("the amount of work is
 //! smaller ... and the algorithms are latency-bound", §6.1).
+//!
+//! The *overlap credit* refines the earlier model, which charged time
+//! parked in non-blocking `wait`s fully as communication. A phase that
+//! drives its transfers through requests (`ibcast`, `ialltoallv`) can
+//! hide them behind local work; the hideable share demonstrated by the
+//! trace is bounded both by the time actually spent blocked
+//! (`wait_secs` — transfer that *was* exposed and is overlappable) and
+//! by the compute available to hide it, hence
+//! `min(wait_secs, compute_secs)`. The credit is scaled like the compute
+//! term (hiding capacity strong-scales away with local work) and the
+//! communication term is floored at zero so the credit can never project
+//! negative transfer time.
 
 /// Condensed per-phase measurements extracted from a [`crate::RunProfile`].
 #[derive(Debug, Clone)]
@@ -27,6 +41,10 @@ pub struct PhaseObservation {
     pub wall_secs: f64,
     /// Wall seconds minus communication-blocked seconds.
     pub compute_secs: f64,
+    /// Max-over-ranks seconds blocked in non-blocking request `wait`s —
+    /// the exposed (non-overlapped) share of the phase's non-blocking
+    /// communication, which the projection may credit as hideable.
+    pub wait_secs: f64,
     /// Mean collective invocations per rank.
     pub coll_calls_per_rank: f64,
     /// Total bytes pushed by all ranks during the phase.
@@ -87,10 +105,15 @@ impl MachineModel {
     ) -> f64 {
         assert!(measured_ranks > 0 && target_ranks > 0);
         let p = target_ranks as f64;
-        let compute = obs.compute_secs / self.compute_speed * measured_ranks as f64 / p;
+        let scale = measured_ranks as f64 / p;
+        let compute = obs.compute_secs / self.compute_speed * scale;
         let latency = obs.coll_calls_per_rank * self.alpha * p.log2().max(1.0);
         let bandwidth = (obs.total_bytes / p) / self.beta;
-        compute + latency + bandwidth
+        // Measured overlap credit: see the module docs. Scales with the
+        // compute that hides it and can never drive communication below
+        // zero.
+        let overlap = obs.wait_secs.min(obs.compute_secs) / self.compute_speed * scale;
+        compute + (latency + bandwidth - overlap).max(0.0)
     }
 
     /// Project a whole pipeline (sum over phases) at `target_ranks`.
@@ -131,6 +154,7 @@ mod tests {
             phase: "x".into(),
             wall_secs: compute,
             compute_secs: compute,
+            wait_secs: 0.0,
             coll_calls_per_rank: calls,
             total_bytes: bytes,
         }
@@ -172,6 +196,67 @@ mod tests {
         let eff = MachineModel::parallel_efficiency(&[18, 32, 128], &[10.0, 6.0, 2.0]);
         assert!((eff[0] - 1.0).abs() < 1e-12);
         assert!(eff[1] < 1.0 && eff[1] > 0.9);
+    }
+
+    #[test]
+    fn overlap_credit_reduces_projection() {
+        let m = MachineModel::cori_haswell();
+        let blocking = obs(10.0, 100.0, 1e9);
+        let overlapped = PhaseObservation {
+            wait_secs: 0.02,
+            ..blocking.clone()
+        };
+        let t_block = m.project_phase(&blocking, 16, 576);
+        let t_over = m.project_phase(&overlapped, 16, 576);
+        assert!(
+            t_over < t_block,
+            "measured overlap must credit the projection: {t_over} vs {t_block}"
+        );
+        // The credit is capped by min(wait, compute): more wait than
+        // compute earns nothing extra.
+        let capped = PhaseObservation {
+            compute_secs: 0.01,
+            wait_secs: 50.0,
+            ..blocking.clone()
+        };
+        let uncapped_equiv = PhaseObservation {
+            compute_secs: 0.01,
+            wait_secs: 0.01,
+            ..blocking
+        };
+        let a = m.project_phase(&capped, 16, 576);
+        let b = m.project_phase(&uncapped_equiv, 16, 576);
+        assert!((a - b).abs() < 1e-12, "credit must cap at compute_secs");
+    }
+
+    #[test]
+    fn overlap_credit_never_projects_negative_comm() {
+        let m = MachineModel::cori_haswell();
+        // Huge wait + huge compute, tiny actual traffic: the credit
+        // would wipe out the comm terms many times over; total must
+        // floor at the compute term alone.
+        let o = PhaseObservation {
+            phase: "x".into(),
+            wall_secs: 200.0,
+            compute_secs: 100.0,
+            wait_secs: 100.0,
+            coll_calls_per_rank: 1.0,
+            total_bytes: 8.0,
+        };
+        let t = m.project_phase(&o, 16, 64);
+        let compute_term = 100.0 * 16.0 / 64.0;
+        assert!((t - compute_term).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn zero_wait_matches_unrefined_formula() {
+        let m = MachineModel::summit_cpu();
+        let o = obs(42.0, 7.0, 5e8);
+        let p = 1152f64;
+        let by_hand =
+            42.0 / m.compute_speed * 16.0 / p + 7.0 * m.alpha * p.log2() + (5e8 / p) / m.beta;
+        let t = m.project_phase(&o, 16, 1152);
+        assert!((t - by_hand).abs() < 1e-12);
     }
 
     #[test]

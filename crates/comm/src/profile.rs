@@ -280,11 +280,13 @@ impl RunProfile {
     /// Condensed per-phase observation consumed by [`crate::model`].
     pub fn observe(&self, phase: &str) -> crate::model::PhaseObservation {
         let max_wall = self.max_wall(phase);
-        let max_comm = self.max_comm_secs(phase) + self.max_wait_secs(phase);
+        let max_wait = self.max_wait_secs(phase);
+        let max_comm = self.max_comm_secs(phase) + max_wait;
         crate::model::PhaseObservation {
             phase: phase.to_owned(),
             wall_secs: max_wall,
             compute_secs: (max_wall - max_comm).max(0.0),
+            wait_secs: max_wait,
             coll_calls_per_rank: self.mean_coll_calls(phase),
             total_bytes: self.total_bytes(phase) as f64,
         }

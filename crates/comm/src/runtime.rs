@@ -243,6 +243,12 @@ impl Comm {
         downcast_payload(envelope, self.rank, src, tag)
     }
 
+    /// Book time a non-blocking operation spent parked (poll loops that
+    /// block without going through [`Comm::wait_recv`]).
+    pub(crate) fn record_wait(&self, secs: f64) {
+        lock_profile(&self.profile).record_wait_time(secs);
+    }
+
     pub(crate) fn record_collective(&self, op: &'static str, bytes: usize, secs: f64) {
         let mut profile = lock_profile(&self.profile);
         profile.record_coll(op, bytes);
@@ -436,6 +442,7 @@ pub(crate) mod op {
     pub const EXSCAN: u8 = 8;
     pub const SPLIT: u8 = 9;
     pub const IBCAST: u8 = 10;
+    pub const IALLTOALLV: u8 = 11;
 }
 
 /// Entry point: run an SPMD function over `nranks` in-process ranks.

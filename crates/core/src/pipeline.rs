@@ -10,7 +10,9 @@ use elba_graph::{
     align_and_classify, candidate_matrix, overlap_graph, symmetrize, transitive_reduction_with,
     AlignStats, OverlapConfig, ReductionStats,
 };
-use elba_seq::{build_a_triples, count_kmers, AEntry, DatasetSpec, KmerConfig, ReadStore, Seq};
+use elba_seq::{
+    build_a_triples, count_kmers, AEntry, DatasetSpec, KmerConfig, KmerExchange, ReadStore, Seq,
+};
 use elba_sparse::{DistMat, SpGemmOptions};
 
 use crate::assembly::Contig;
@@ -53,6 +55,7 @@ impl PipelineConfig {
                 reliable_min: 2,
                 // repeats at ~depth× multiplicity; allow a generous band
                 reliable_max: (spec.reads.depth * 8.0) as u32,
+                ..KmerConfig::default()
             },
             overlap: OverlapConfig {
                 k: spec.k,
@@ -87,6 +90,16 @@ impl PipelineConfig {
         self.overlap.spgemm = opts;
         self
     }
+
+    /// Run the k-mer stage's personalized exchanges (`count_kmers` and
+    /// `build_a_triples`) under `exchange`, flushing after `batch_kmers`
+    /// scanned occurrences in the streaming schedule — the CountKmer
+    /// twin of [`PipelineConfig::with_spgemm`].
+    pub fn with_kmer_exchange(mut self, exchange: KmerExchange, batch_kmers: usize) -> Self {
+        self.kmer.exchange = exchange;
+        self.kmer.batch_kmers = batch_kmers;
+        self
+    }
 }
 
 /// Everything a pipeline run reports.
@@ -119,7 +132,7 @@ pub fn assemble(grid: &ProcGrid, reads: &[Seq], cfg: &PipelineConfig) -> Pipelin
     // DetectOverlap: A, Aᵀ, candidate matrix C = AAᵀ (lines 4–6).
     let c = {
         let _g = world.phase("DetectOverlap");
-        let triples = build_a_triples(grid, &store, &table);
+        let triples = build_a_triples(grid, &store, &table, &cfg.kmer);
         let a = DistMat::from_triples(
             grid,
             n_reads,
@@ -195,6 +208,7 @@ mod tests {
                 k,
                 reliable_min: 2,
                 reliable_max: 60,
+                ..KmerConfig::default()
             },
             overlap: OverlapConfig {
                 k,
@@ -298,6 +312,57 @@ mod tests {
             all.push(out.into_iter().next().expect("rank 0"));
         }
         assert_eq!(all[0], all[1], "contig sets must not depend on P");
+    }
+
+    #[test]
+    fn kmer_exchange_schedules_agree_end_to_end() {
+        // Eager vs streaming (with a deliberately tiny batch, forcing
+        // many chunked flushes) must assemble identical contig sets.
+        let mut per_schedule: Vec<Vec<String>> = Vec::new();
+        for exchange in [KmerExchange::Eager, KmerExchange::Streaming] {
+            let out = Cluster::run(4, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let genome = random_genome(&GenomeConfig {
+                    length: 5_000,
+                    repeat_fraction: 0.0,
+                    repeat_unit_len: 0,
+                    repeat_divergence: 0.0,
+                    seed: 91,
+                });
+                let reads: Vec<Seq> = simulate_reads(
+                    &genome,
+                    &ReadSimConfig {
+                        depth: 10.0,
+                        mean_len: 1_000,
+                        min_len: 500,
+                        error_rate: 0.0,
+                        seed: 92,
+                    },
+                )
+                .into_iter()
+                .map(|r| r.seq)
+                .collect();
+                let cfg = small_cfg(17).with_kmer_exchange(exchange, 97);
+                let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+                contigs
+                    .iter()
+                    .map(|c| {
+                        let f = c.seq.to_string();
+                        let r = c.seq.reverse_complement().to_string();
+                        if f <= r {
+                            f
+                        } else {
+                            r
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+            per_schedule.push(out.into_iter().next().expect("rank 0"));
+        }
+        assert_eq!(
+            per_schedule[0], per_schedule[1],
+            "contigs must not depend on the k-mer exchange schedule"
+        );
     }
 
     #[test]

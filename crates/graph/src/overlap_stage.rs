@@ -290,9 +290,10 @@ mod tests {
                     k: cfg.k,
                     reliable_min: 2,
                     reliable_max: 16,
+                    ..KmerConfig::default()
                 };
                 let table = count_kmers(&grid, &store, &kcfg);
-                let a_triples = build_a_triples(&grid, &store, &table);
+                let a_triples = build_a_triples(&grid, &store, &table, &kcfg);
                 let a = DistMat::from_triples(
                     &grid,
                     n,
@@ -349,9 +350,10 @@ mod tests {
                     k: cfg.k,
                     reliable_min: 2,
                     reliable_max: 16,
+                    ..KmerConfig::default()
                 };
                 let table = count_kmers(&grid, &store, &kcfg);
-                let a_triples = build_a_triples(&grid, &store, &table);
+                let a_triples = build_a_triples(&grid, &store, &table, &kcfg);
                 let a = DistMat::from_triples(
                     &grid,
                     n,
@@ -463,9 +465,10 @@ mod tests {
                 k: cfg.k,
                 reliable_min: 2,
                 reliable_max: 16,
+                ..KmerConfig::default()
             };
             let table = count_kmers(&grid, &store, &kcfg);
-            let a_triples = build_a_triples(&grid, &store, &table);
+            let a_triples = build_a_triples(&grid, &store, &table, &kcfg);
             let a = DistMat::from_triples(
                 &grid,
                 3,

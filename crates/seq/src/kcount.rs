@@ -7,13 +7,40 @@
 //! come from repeats and would densify `C = AAᵀ` (diBELLA 2D's reliable
 //! k-mer selection). Surviving k-mers get dense global column ids via an
 //! exclusive scan over per-owner counts.
+//!
+//! Both exchanges of the stage (partial counts to owners, occurrence
+//! records to owners) run under a [`KmerExchange`] schedule: the original
+//! **eager** path materializes one `Vec<Vec<T>>` of every outgoing record
+//! and blocks in a flat `alltoallv`, while the **streaming** path scans
+//! reads in batches of [`KmerConfig::batch_kmers`] occurrences, posts
+//! each batch's buckets as chunks of a non-blocking
+//! [`ialltoallv`](elba_comm::Comm::ialltoallv_stream) and folds inbound
+//! chunks into the local accumulators as they arrive — ELBA's custom
+//! all-to-all, whose *application-side* buffers never hold the full
+//! outgoing or incoming exchange (the in-process transport's mailboxes
+//! are unbounded and eager, so a rank that scans much slower than its
+//! peers can still accumulate undrained chunks there; sender-side flow
+//! control is a ROADMAP item). Both schedules produce identical results.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use elba_comm::ProcGrid;
+use elba_comm::{Comm, ProcGrid, Rank};
 
 use crate::kmer::canonical_kmers;
 use crate::store::ReadStore;
+
+/// Exchange schedule for the k-mer stage's personalized all-to-alls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KmerExchange {
+    /// Materialize the full outgoing exchange, then one blocking
+    /// `alltoallv`. Simple; peak memory is the whole exchange.
+    Eager,
+    /// Scan reads in batches of [`KmerConfig::batch_kmers`] occurrences;
+    /// post each batch as non-blocking `ialltoallv` chunks while folding
+    /// previously received chunks into the accumulators. Peak exchange
+    /// buffering is bounded by the batch, not the dataset.
+    Streaming,
+}
 
 /// Parameters for k-mer selection.
 #[derive(Debug, Clone)]
@@ -23,6 +50,11 @@ pub struct KmerConfig {
     pub reliable_min: u32,
     /// Maximum multiplicity (drops repeat-induced k-mers).
     pub reliable_max: u32,
+    /// How `count_kmers` / `build_a_triples` ship their exchanges.
+    pub exchange: KmerExchange,
+    /// Streaming batch size: maximum k-mer occurrences buffered on the
+    /// send side before a flush (ignored by the eager schedule).
+    pub batch_kmers: usize,
 }
 
 impl Default for KmerConfig {
@@ -31,6 +63,8 @@ impl Default for KmerConfig {
             k: 31,
             reliable_min: 2,
             reliable_max: u32::MAX,
+            exchange: KmerExchange::Streaming,
+            batch_kmers: 1 << 16,
         }
     }
 }
@@ -67,7 +101,7 @@ impl KmerTable {
 /// One entry of the A matrix: the position (and strand) of a reliable
 /// k-mer occurrence within a read. This is the value BELLA's overlap
 /// semiring consumes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct AEntry {
     /// Position of the k-mer's first base within the read.
     pub pos: u32,
@@ -77,31 +111,170 @@ pub struct AEntry {
 
 elba_comm::impl_comm_msg_pod!(AEntry);
 
+/// Buffer high-water marks of one k-mer-stage exchange — the hook the
+/// memory-bound tests (and the bench) assert against. For the streaming
+/// schedule `peak_outgoing_items ≤ batch_kmers` and `peak_inbound_items`
+/// is one chunk (≤ `batch_kmers`) by construction; the eager schedule
+/// reports the full materialized exchange.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExchangeStats {
+    /// Most items ever resident in the outgoing buckets at once.
+    pub peak_outgoing_items: usize,
+    /// Most items ever resident on the receive side before being folded
+    /// (largest single inbound chunk for streaming; the whole incoming
+    /// exchange for eager).
+    pub peak_inbound_items: usize,
+}
+
+/// Route `items` (already tagged with a destination rank) through a
+/// blocking `alltoallv`, materializing the whole exchange, and fold each
+/// source's buffer. The reference schedule.
+fn eager_exchange<T: elba_comm::CommMsg>(
+    world: &Comm,
+    items: impl Iterator<Item = (Rank, T)>,
+    mut fold: impl FnMut(Rank, Vec<T>),
+) -> ExchangeStats {
+    let mut outgoing: Vec<Vec<T>> = (0..world.size()).map(|_| Vec::new()).collect();
+    let mut total = 0usize;
+    for (dst, item) in items {
+        outgoing[dst].push(item);
+        total += 1;
+    }
+    let incoming = world.alltoallv(outgoing);
+    let stats = ExchangeStats {
+        peak_outgoing_items: total,
+        peak_inbound_items: incoming.iter().map(Vec::len).sum(),
+    };
+    for (src, buf) in incoming.into_iter().enumerate() {
+        fold(src, buf);
+    }
+    stats
+}
+
+/// Route `items` through a streaming non-blocking `ialltoallv`: buffer at
+/// most `batch` items, post the batch as chunks, and fold whatever chunks
+/// have arrived before scanning the next batch. After the scan, seal the
+/// sends and drain the remainder (blocking waits are profiled as *wait*
+/// time). No more than `batch` outgoing items and one inbound chunk
+/// (≤ `batch` items) are ever resident — the memory bound the eager
+/// schedule lacks.
+fn streaming_exchange<T: elba_comm::CommMsg>(
+    world: &Comm,
+    batch: usize,
+    items: impl Iterator<Item = (Rank, T)>,
+    mut fold: impl FnMut(Rank, Vec<T>),
+) -> ExchangeStats {
+    let p = world.size();
+    let batch = batch.max(1);
+    let mut stream = world.ialltoallv_stream::<T>(batch);
+    let mut buckets: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    let mut buffered = 0usize;
+    let mut stats = ExchangeStats::default();
+    for (dst, item) in items {
+        buckets[dst].push(item);
+        buffered += 1;
+        stats.peak_outgoing_items = stats.peak_outgoing_items.max(buffered);
+        if buffered >= batch {
+            for (dst, bucket) in buckets.iter_mut().enumerate() {
+                if !bucket.is_empty() {
+                    stream.post(dst, std::mem::take(bucket));
+                }
+            }
+            buffered = 0;
+            // Overlap: fold whatever peers have already shipped while
+            // our next batch is still being scanned.
+            while let Some((src, chunk)) = stream.try_next() {
+                stats.peak_inbound_items = stats.peak_inbound_items.max(chunk.len());
+                fold(src, chunk);
+            }
+        }
+    }
+    for (dst, bucket) in buckets.iter_mut().enumerate() {
+        if !bucket.is_empty() {
+            stream.post(dst, std::mem::take(bucket));
+        }
+    }
+    stream.finish_sends();
+    for (src, chunk) in stream.by_ref() {
+        stats.peak_inbound_items = stats.peak_inbound_items.max(chunk.len());
+        fold(src, chunk);
+    }
+    stats
+}
+
+/// Dispatch on the configured schedule.
+fn exchange<T: elba_comm::CommMsg>(
+    world: &Comm,
+    cfg: &KmerConfig,
+    items: impl Iterator<Item = (Rank, T)>,
+    fold: impl FnMut(Rank, Vec<T>),
+) -> ExchangeStats {
+    match cfg.exchange {
+        KmerExchange::Eager => eager_exchange(world, items, fold),
+        KmerExchange::Streaming => streaming_exchange(world, cfg.batch_kmers, items, fold),
+    }
+}
+
 /// Count canonical k-mers across all ranks and keep the reliable band
 /// (collective). Global ids are assigned deterministically (sorted within
-/// each owner, offset by exclusive scan).
+/// each owner, offset by exclusive scan). See [`count_kmers_with_stats`]
+/// for the buffer-accounting variant.
 pub fn count_kmers(grid: &ProcGrid, store: &ReadStore, cfg: &KmerConfig) -> KmerTable {
-    let p = grid.world().size();
-    // Local counting pass.
-    let mut local_counts: HashMap<u64, u32> = HashMap::new();
-    for (_, codes) in store.iter() {
-        let seq = crate::dna::Seq::from_codes(codes.to_vec());
-        for hit in canonical_kmers(&seq, cfg.k) {
-            *local_counts.entry(hit.kmer).or_insert(0) += 1;
-        }
-    }
-    // Route partial counts to owners.
-    let mut outgoing: Vec<Vec<(u64, u32)>> = vec![Vec::new(); p];
-    for (kmer, count) in local_counts {
-        outgoing[kmer_owner(kmer, p)].push((kmer, count));
-    }
-    let incoming = grid.world().alltoallv(outgoing);
+    count_kmers_with_stats(grid, store, cfg).0
+}
+
+/// [`count_kmers`] plus the exchange's buffer high-water marks.
+///
+/// The eager schedule first folds the whole local read set into one
+/// multiplicity map (one record per *distinct* local k-mer crosses the
+/// wire); the streaming schedule aggregates within each
+/// `batch_kmers`-occurrence window ([`WindowCounts`]) and ships the
+/// window's partial counts. Owners sum either way, so the table is
+/// identical — global `+` is associative and commutative.
+pub fn count_kmers_with_stats(
+    grid: &ProcGrid,
+    store: &ReadStore,
+    cfg: &KmerConfig,
+) -> (KmerTable, ExchangeStats) {
+    let world = grid.world();
+    let p = world.size();
     let mut owned: HashMap<u64, u32> = HashMap::new();
-    for batch in incoming {
-        for (kmer, count) in batch {
+    let fold = |_src: Rank, buf: Vec<(u64, u32)>| {
+        for (kmer, count) in buf {
             *owned.entry(kmer).or_insert(0) += count;
         }
-    }
+    };
+    let stats = match cfg.exchange {
+        KmerExchange::Eager => {
+            // Local counting pass over the whole store, then route the
+            // aggregated partial counts to their owners.
+            let mut local_counts: HashMap<u64, u32> = HashMap::new();
+            for (_, codes) in store.iter() {
+                let seq = crate::dna::Seq::from_codes(codes.to_vec());
+                for hit in canonical_kmers(&seq, cfg.k) {
+                    *local_counts.entry(hit.kmer).or_insert(0) += 1;
+                }
+            }
+            eager_exchange(
+                world,
+                local_counts
+                    .into_iter()
+                    .map(|(kmer, count)| (kmer_owner(kmer, p), (kmer, count))),
+                fold,
+            )
+        }
+        KmerExchange::Streaming => streaming_exchange(
+            world,
+            cfg.batch_kmers,
+            WindowCounts {
+                kmers: occurrence_scan(store, cfg.k).map(|(_, hit)| hit.kmer),
+                window: cfg.batch_kmers.max(1),
+                p,
+                drained: HashMap::new().into_iter(),
+            },
+            fold,
+        ),
+    };
     // Reliable band filter.
     let mut reliable: Vec<u64> = owned
         .into_iter()
@@ -110,52 +283,130 @@ pub fn count_kmers(grid: &ProcGrid, store: &ReadStore, cfg: &KmerConfig) -> Kmer
         .collect();
     reliable.sort_unstable();
     // Dense ids via exclusive scan of per-owner counts.
-    let offset = grid.world().exscan(reliable.len() as u64, 0, |a, b| a + b);
-    let n_global = grid.world().allreduce(reliable.len() as u64, |a, b| a + b);
+    let offset = world.exscan(reliable.len() as u64, 0, |a, b| a + b);
+    let n_global = world.allreduce(reliable.len() as u64, |a, b| a + b);
     let local: HashMap<u64, u64> = reliable
         .into_iter()
         .enumerate()
         .map(|(i, kmer)| (kmer, offset + i as u64))
         .collect();
-    KmerTable {
-        k: cfg.k,
-        n_global,
-        local,
-    }
+    (
+        KmerTable {
+            k: cfg.k,
+            n_global,
+            local,
+        },
+        stats,
+    )
 }
 
 /// Generate the triples of the |reads|×|k-mers| matrix A (collective):
 /// `(read_id, kmer_column, AEntry)` for every reliable k-mer occurrence.
 /// A read contributes one entry per distinct k-mer (first occurrence), as
-/// in BELLA's sparse A construction. Triples are returned with arbitrary
-/// distribution, ready for `DistMat::from_triples`.
+/// in BELLA's sparse A construction. Triples are returned sorted by
+/// `(read, column)` — a canonical order, so the eager and streaming
+/// schedules (whose arrival orders differ) are byte-identical — ready for
+/// `DistMat::from_triples`.
 pub fn build_a_triples(
     grid: &ProcGrid,
     store: &ReadStore,
     table: &KmerTable,
+    cfg: &KmerConfig,
 ) -> Vec<(u64, u64, AEntry)> {
-    let p = grid.world().size();
-    // (kmer, read, pos, fwd) routed to the kmer's owner for id lookup.
-    let mut outgoing: Vec<Vec<(u64, u64, u32, bool)>> = vec![Vec::new(); p];
-    for (read_id, codes) in store.iter() {
-        let seq = crate::dna::Seq::from_codes(codes.to_vec());
-        let mut seen: HashMap<u64, ()> = HashMap::new();
-        for hit in canonical_kmers(&seq, table.k) {
-            if seen.insert(hit.kmer, ()).is_none() {
-                outgoing[kmer_owner(hit.kmer, p)].push((hit.kmer, read_id, hit.pos, hit.fwd));
-            }
-        }
-    }
-    let incoming = grid.world().alltoallv(outgoing);
+    build_a_triples_with_stats(grid, store, table, cfg).0
+}
+
+/// [`build_a_triples`] plus the exchange's buffer high-water marks.
+pub fn build_a_triples_with_stats(
+    grid: &ProcGrid,
+    store: &ReadStore,
+    table: &KmerTable,
+    cfg: &KmerConfig,
+) -> (Vec<(u64, u64, AEntry)>, ExchangeStats) {
+    let world = grid.world();
+    let p = world.size();
     let mut triples = Vec::new();
-    for batch in incoming {
-        for (kmer, read_id, pos, fwd) in batch {
+    // (kmer, read, pos, fwd) routed to the kmer's owner for id lookup;
+    // each read reports a k-mer once (first occurrence).
+    let items = occurrence_scan(store, table.k)
+        .scan(
+            (u64::MAX, HashSet::new()),
+            |(current_read, seen), (read_id, hit)| {
+                if *current_read != read_id {
+                    *current_read = read_id;
+                    seen.clear();
+                }
+                Some(seen.insert(hit.kmer).then_some((read_id, hit)))
+            },
+        )
+        .flatten()
+        .map(|(read_id, hit)| {
+            (
+                kmer_owner(hit.kmer, p),
+                (hit.kmer, read_id, hit.pos, hit.fwd),
+            )
+        });
+    let stats = exchange(world, cfg, items, |_src, buf| {
+        for (kmer, read_id, pos, fwd) in buf {
             if let Some(col) = table.id_of(kmer) {
                 triples.push((read_id, col, AEntry { pos, fwd }));
             }
         }
+    });
+    // Canonical order: streaming arrival order is scheduling-dependent,
+    // and downstream determinism (same contigs on every run) should not
+    // hinge on `DistMat::from_triples` re-sorting.
+    triples.sort_unstable();
+    (triples, stats)
+}
+
+/// Per-window count aggregation for the streaming count path: consume up
+/// to `window` occurrences at a time, fold them into a `window`-bounded
+/// multiplicity map, and emit one `(owner, (kmer, partial_count))` record
+/// per distinct k-mer in the window. Memory stays O(window) while wire
+/// traffic shrinks by the within-window multiplicity factor (the eager
+/// path aggregates the whole local store; this is the batch-bounded
+/// middle ground). Owners sum partial counts, so window boundaries are
+/// invisible in the result.
+struct WindowCounts<I: Iterator<Item = u64>> {
+    kmers: I,
+    window: usize,
+    p: usize,
+    drained: std::collections::hash_map::IntoIter<u64, u32>,
+}
+
+impl<I: Iterator<Item = u64>> Iterator for WindowCounts<I> {
+    type Item = (Rank, (u64, u32));
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((kmer, count)) = self.drained.next() {
+                return Some((kmer_owner(kmer, self.p), (kmer, count)));
+            }
+            let mut counts: HashMap<u64, u32> = HashMap::new();
+            for kmer in self.kmers.by_ref().take(self.window) {
+                *counts.entry(kmer).or_insert(0) += 1;
+            }
+            if counts.is_empty() {
+                return None;
+            }
+            self.drained = counts.into_iter();
+        }
     }
-    triples
+}
+
+/// Flat scan of every canonical k-mer occurrence in the local store, in
+/// read order: `(read_id, hit)`.
+fn occurrence_scan<'s>(
+    store: &'s ReadStore,
+    k: usize,
+) -> impl Iterator<Item = (u64, crate::kmer::KmerHit)> + 's {
+    store.iter().flat_map(move |(read_id, codes)| {
+        let seq = crate::dna::Seq::from_codes(codes.to_vec());
+        canonical_kmers(&seq, k)
+            .into_iter()
+            .map(move |hit| (read_id, hit))
+    })
 }
 
 /// Convenience: total occurrences of reliable k-mers (collective), useful
@@ -175,129 +426,141 @@ mod tests {
         ReadStore::from_replicated(grid, &seqs)
     }
 
+    fn cfg_with(k: usize, reliable_min: u32, exchange: KmerExchange) -> KmerConfig {
+        KmerConfig {
+            k,
+            reliable_min,
+            reliable_max: u32::MAX,
+            exchange,
+            batch_kmers: 7, // deliberately tiny: force many flushes
+        }
+    }
+
+    fn both_exchanges() -> [KmerExchange; 2] {
+        [KmerExchange::Eager, KmerExchange::Streaming]
+    }
+
     #[test]
     fn counts_match_serial_reference() {
-        for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, |comm| {
-                let grid = ProcGrid::new(comm);
-                let reads = ["ACGTACGTACGT", "CGTACGTACG", "TTTTTTTTTT"];
-                let store = store_from(&grid, &reads);
-                let cfg = KmerConfig {
-                    k: 5,
-                    reliable_min: 1,
-                    reliable_max: u32::MAX,
-                };
-                let table = count_kmers(&grid, &store, &cfg);
-                grid.world().allreduce(table.n_local() as u64, |a, b| a + b)
-            });
-            // serial reference
-            let mut set = std::collections::HashSet::new();
-            for r in ["ACGTACGTACGT", "CGTACGTACG", "TTTTTTTTTT"] {
-                let s: Seq = r.parse().expect("dna");
-                for h in canonical_kmers(&s, 5) {
-                    set.insert(h.kmer);
+        for exchange in both_exchanges() {
+            for p in [1usize, 4, 9] {
+                let out = Cluster::run(p, move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let reads = ["ACGTACGTACGT", "CGTACGTACG", "TTTTTTTTTT"];
+                    let store = store_from(&grid, &reads);
+                    let cfg = cfg_with(5, 1, exchange);
+                    let table = count_kmers(&grid, &store, &cfg);
+                    grid.world().allreduce(table.n_local() as u64, |a, b| a + b)
+                });
+                // serial reference
+                let mut set = std::collections::HashSet::new();
+                for r in ["ACGTACGTACGT", "CGTACGTACG", "TTTTTTTTTT"] {
+                    let s: Seq = r.parse().expect("dna");
+                    for h in canonical_kmers(&s, 5) {
+                        set.insert(h.kmer);
+                    }
                 }
+                assert!(
+                    out.iter().all(|&n| n == set.len() as u64),
+                    "p={p} {exchange:?}"
+                );
             }
-            assert!(out.iter().all(|&n| n == set.len() as u64), "p={p}");
         }
     }
 
     #[test]
     fn reliable_band_filters_singletons() {
-        let out = Cluster::run(4, |comm| {
-            let grid = ProcGrid::new(comm);
-            // reads 0/1 are identical (all their k-mers have multiplicity
-            // >= 2); read 2 contributes only singletons, which the
-            // reliable_min = 2 band must drop.
-            let reads = ["ACGTACGTAC", "ACGTACGTAC", "GGGTTCAAGC"];
-            let store = store_from(&grid, &reads);
-            let cfg = KmerConfig {
-                k: 5,
-                reliable_min: 2,
-                reliable_max: u32::MAX,
-            };
-            let table = count_kmers(&grid, &store, &cfg);
-            let n = grid.world().allreduce(table.n_local() as u64, |a, b| a + b);
-            assert_eq!(table.n_global, n);
-            n
-        });
-        // serial reference: distinct canonical 5-mers of the repeated read
-        // (each occurs >= 2 times globally), minus any that also appear in
-        // the singleton read (none do, but compute it faithfully).
-        let s: Seq = "ACGTACGTAC".parse().expect("dna");
-        let repeated: std::collections::HashSet<u64> =
-            canonical_kmers(&s, 5).into_iter().map(|h| h.kmer).collect();
-        assert!(out.iter().all(|&n| n == repeated.len() as u64), "{out:?}");
+        for exchange in both_exchanges() {
+            let out = Cluster::run(4, move |comm| {
+                let grid = ProcGrid::new(comm);
+                // reads 0/1 are identical (all their k-mers have multiplicity
+                // >= 2); read 2 contributes only singletons, which the
+                // reliable_min = 2 band must drop.
+                let reads = ["ACGTACGTAC", "ACGTACGTAC", "GGGTTCAAGC"];
+                let store = store_from(&grid, &reads);
+                let cfg = cfg_with(5, 2, exchange);
+                let table = count_kmers(&grid, &store, &cfg);
+                let n = grid.world().allreduce(table.n_local() as u64, |a, b| a + b);
+                assert_eq!(table.n_global, n);
+                n
+            });
+            // serial reference: distinct canonical 5-mers of the repeated read
+            // (each occurs >= 2 times globally), minus any that also appear in
+            // the singleton read (none do, but compute it faithfully).
+            let s: Seq = "ACGTACGTAC".parse().expect("dna");
+            let repeated: std::collections::HashSet<u64> =
+                canonical_kmers(&s, 5).into_iter().map(|h| h.kmer).collect();
+            assert!(
+                out.iter().all(|&n| n == repeated.len() as u64),
+                "{exchange:?}: {out:?}"
+            );
+        }
     }
 
     #[test]
     fn ids_are_dense_and_unique() {
-        let out = Cluster::run(4, |comm| {
-            let grid = ProcGrid::new(comm);
-            let reads = ["ACGTACGTACGTGGCCA", "GGCCATTACGAACGT"];
-            let store = store_from(&grid, &reads);
-            let cfg = KmerConfig {
-                k: 4,
-                reliable_min: 1,
-                reliable_max: u32::MAX,
-            };
-            let table = count_kmers(&grid, &store, &cfg);
-            let ids: Vec<u64> = table.local.values().copied().collect();
-            (table.n_global, grid.world().allgather(ids))
-        });
-        let (n_global, all_ids) = &out[0];
-        let mut flat: Vec<u64> = all_ids.iter().flatten().copied().collect();
-        flat.sort_unstable();
-        assert_eq!(flat.len() as u64, *n_global);
-        assert_eq!(flat, (0..*n_global).collect::<Vec<_>>());
+        for exchange in both_exchanges() {
+            let out = Cluster::run(4, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let reads = ["ACGTACGTACGTGGCCA", "GGCCATTACGAACGT"];
+                let store = store_from(&grid, &reads);
+                let cfg = cfg_with(4, 1, exchange);
+                let table = count_kmers(&grid, &store, &cfg);
+                let ids: Vec<u64> = table.local.values().copied().collect();
+                (table.n_global, grid.world().allgather(ids))
+            });
+            let (n_global, all_ids) = &out[0];
+            let mut flat: Vec<u64> = all_ids.iter().flatten().copied().collect();
+            flat.sort_unstable();
+            assert_eq!(flat.len() as u64, *n_global);
+            assert_eq!(flat, (0..*n_global).collect::<Vec<_>>());
+        }
     }
 
     #[test]
     fn a_triples_cover_occurrences() {
-        let out = Cluster::run(4, |comm| {
-            let grid = ProcGrid::new(comm);
-            let reads = ["ACGTACGTAC", "ACGTACGTAC"];
-            let store = store_from(&grid, &reads);
-            let cfg = KmerConfig {
-                k: 5,
-                reliable_min: 2,
-                reliable_max: u32::MAX,
-            };
-            let table = count_kmers(&grid, &store, &cfg);
-            let triples = build_a_triples(&grid, &store, &table);
-            let all: Vec<(u64, u64, u32)> = grid
-                .world()
-                .allgather(
-                    triples
-                        .iter()
-                        .map(|&(r, c, e)| (r, c, e.pos))
-                        .collect::<Vec<_>>(),
-                )
-                .into_iter()
-                .flatten()
+        for exchange in both_exchanges() {
+            let out = Cluster::run(4, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let reads = ["ACGTACGTAC", "ACGTACGTAC"];
+                let store = store_from(&grid, &reads);
+                let cfg = cfg_with(5, 2, exchange);
+                let table = count_kmers(&grid, &store, &cfg);
+                let triples = build_a_triples(&grid, &store, &table, &cfg);
+                let all: Vec<(u64, u64, u32)> = grid
+                    .world()
+                    .allgather(
+                        triples
+                            .iter()
+                            .map(|&(r, c, e)| (r, c, e.pos))
+                            .collect::<Vec<_>>(),
+                    )
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                all
+            });
+            let all = &out[0];
+            // one entry per (read, distinct canonical 5-mer)
+            let s: Seq = "ACGTACGTAC".parse().expect("dna");
+            let distinct: std::collections::HashSet<u64> =
+                canonical_kmers(&s, 5).into_iter().map(|h| h.kmer).collect();
+            assert_eq!(all.len(), 2 * distinct.len(), "{exchange:?}");
+            // identical reads produce identical (column, position) sets
+            let mut read0: Vec<(u64, u32)> = all
+                .iter()
+                .filter(|t| t.0 == 0)
+                .map(|t| (t.1, t.2))
                 .collect();
-            all
-        });
-        let all = &out[0];
-        // one entry per (read, distinct canonical 5-mer)
-        let s: Seq = "ACGTACGTAC".parse().expect("dna");
-        let distinct: std::collections::HashSet<u64> =
-            canonical_kmers(&s, 5).into_iter().map(|h| h.kmer).collect();
-        assert_eq!(all.len(), 2 * distinct.len());
-        // identical reads produce identical (column, position) sets
-        let mut read0: Vec<(u64, u32)> = all
-            .iter()
-            .filter(|t| t.0 == 0)
-            .map(|t| (t.1, t.2))
-            .collect();
-        let mut read1: Vec<(u64, u32)> = all
-            .iter()
-            .filter(|t| t.0 == 1)
-            .map(|t| (t.1, t.2))
-            .collect();
-        read0.sort_unstable();
-        read1.sort_unstable();
-        assert_eq!(read0, read1);
+            let mut read1: Vec<(u64, u32)> = all
+                .iter()
+                .filter(|t| t.0 == 1)
+                .map(|t| (t.1, t.2))
+                .collect();
+            read0.sort_unstable();
+            read1.sort_unstable();
+            assert_eq!(read0, read1);
+        }
     }
 
     #[test]
@@ -310,13 +573,9 @@ mod tests {
             let fwd: Seq = "AAAACCCCAGT".parse().expect("dna");
             let rc = fwd.reverse_complement();
             let store = ReadStore::from_replicated(&grid, &[fwd, rc]);
-            let cfg = KmerConfig {
-                k: 5,
-                reliable_min: 2,
-                reliable_max: u32::MAX,
-            };
+            let cfg = cfg_with(5, 2, KmerExchange::Streaming);
             let table = count_kmers(&grid, &store, &cfg);
-            let triples = build_a_triples(&grid, &store, &table);
+            let triples = build_a_triples(&grid, &store, &table, &cfg);
             // every shared k-mer appears in both reads with opposite strand
             let mut by_col: HashMap<u64, Vec<(u64, bool)>> = HashMap::new();
             for (r, c, e) in triples {
@@ -341,5 +600,103 @@ mod tests {
             buckets[kmer_owner(kmer * 2654435761, p)] += 1;
         }
         assert!(buckets.iter().all(|&b| b > 4000 / p / 4), "{buckets:?}");
+    }
+
+    #[test]
+    fn streaming_buffering_is_bounded_by_batch() {
+        // The acceptance bound: peak resident exchange buffering on both
+        // sides never exceeds batch_kmers, while the eager schedule's
+        // grows with the dataset.
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            // 4 distinct-ish reads so every rank holds one.
+            let reads = [
+                "ACGTACGTACGTGGCCATTACGAACGTAGGT",
+                "TTGCACGTACGTGGCCATTACGAACGTAGCA",
+                "ACGTACGTACGTGGCCATTACGAACGTAGGT",
+                "CATGGTTGCAACCGGTTACGATCCGATCAAT",
+            ];
+            let store = store_from(&grid, &reads);
+            let batch = 5usize;
+            let streaming = KmerConfig {
+                exchange: KmerExchange::Streaming,
+                batch_kmers: batch,
+                ..cfg_with(5, 1, KmerExchange::Streaming)
+            };
+            let eager = KmerConfig {
+                exchange: KmerExchange::Eager,
+                ..streaming.clone()
+            };
+            let (table, count_stats) = count_kmers_with_stats(&grid, &store, &streaming);
+            let (_, triple_stats) = build_a_triples_with_stats(&grid, &store, &table, &streaming);
+            let (_, eager_count) = count_kmers_with_stats(&grid, &store, &eager);
+            let occurrences: usize = store
+                .iter()
+                .map(|(_, codes)| codes.len().saturating_sub(4))
+                .sum();
+            (batch, count_stats, triple_stats, eager_count, occurrences)
+        });
+        for (batch, count_stats, triple_stats, eager_count, occurrences) in out {
+            assert!(
+                count_stats.peak_outgoing_items <= batch,
+                "count outgoing {} > batch {batch}",
+                count_stats.peak_outgoing_items
+            );
+            assert!(
+                count_stats.peak_inbound_items <= batch,
+                "count inbound {} > batch {batch}",
+                count_stats.peak_inbound_items
+            );
+            assert!(
+                triple_stats.peak_outgoing_items <= batch,
+                "triples outgoing {} > batch {batch}",
+                triple_stats.peak_outgoing_items
+            );
+            assert!(
+                triple_stats.peak_inbound_items <= batch,
+                "triples inbound {} > batch {batch}",
+                triple_stats.peak_inbound_items
+            );
+            // The eager path on a rank that holds a read materializes its
+            // whole outgoing exchange at once (distinct local k-mers),
+            // far above the streaming bound for this workload.
+            if occurrences > 0 {
+                assert!(
+                    eager_count.peak_outgoing_items > batch,
+                    "eager outgoing {} should exceed batch {batch}",
+                    eager_count.peak_outgoing_items
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_equals_eager_end_to_end() {
+        // Byte-identical KmerTable contents and triples across schedules.
+        for p in [1usize, 4, 9] {
+            let out = Cluster::run(p, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let reads = [
+                    "ACGTACGTACGTGGCCATTACGAACGT",
+                    "GGCCATTACGAACGTACGTACGT",
+                    "TTGCACGTACGTGGCCATTACGA",
+                    "ACGTACGTACGTGGCCATTACGAACGT",
+                ];
+                let store = store_from(&grid, &reads);
+                let mut results = Vec::new();
+                for exchange in [KmerExchange::Eager, KmerExchange::Streaming] {
+                    let cfg = cfg_with(5, 2, exchange);
+                    let table = count_kmers(&grid, &store, &cfg);
+                    let triples = build_a_triples(&grid, &store, &table, &cfg);
+                    let mut local: Vec<(u64, u64)> =
+                        table.local.iter().map(|(&k, &v)| (k, v)).collect();
+                    local.sort_unstable();
+                    results.push((table.n_global, local, triples));
+                }
+                assert_eq!(results[0], results[1], "rank {}", grid.world().rank());
+                true
+            });
+            assert!(out.iter().all(|&ok| ok), "p={p}");
+        }
     }
 }

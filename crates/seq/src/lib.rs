@@ -25,6 +25,9 @@ pub mod sim;
 pub mod store;
 
 pub use dna::Seq;
-pub use kcount::{build_a_triples, count_kmers, AEntry, KmerConfig, KmerTable};
+pub use kcount::{
+    build_a_triples, build_a_triples_with_stats, count_kmers, count_kmers_with_stats, AEntry,
+    ExchangeStats, KmerConfig, KmerExchange, KmerTable,
+};
 pub use sim::{DatasetSpec, ReadSimConfig, SimulatedRead};
 pub use store::ReadStore;

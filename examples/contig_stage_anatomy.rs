@@ -26,7 +26,7 @@ fn main() {
 
         // Run Algorithm 1 up to S by reusing the pipeline pieces.
         let table = elba::seq::count_kmers(&grid, &store, &cfg.kmer);
-        let triples = elba::seq::build_a_triples(&grid, &store, &table);
+        let triples = elba::seq::build_a_triples(&grid, &store, &table, &cfg.kmer);
         let a = elba::sparse::DistMat::from_triples(
             &grid,
             reads_clone.len(),

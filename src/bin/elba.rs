@@ -142,9 +142,30 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
             ))
         }
     });
+    let kmer_exchange = flags
+        .get("kmer-exchange")
+        .map(String::as_str)
+        .unwrap_or("streaming");
+    let batch_kmers: usize = num(&flags, "batch-kmers", cfg.kmer.batch_kmers)?;
+    if batch_kmers == 0 {
+        return Err("--batch-kmers must be at least 1".to_owned());
+    }
+    cfg = cfg.with_kmer_exchange(
+        match kmer_exchange {
+            "eager" => KmerExchange::Eager,
+            "streaming" => KmerExchange::Streaming,
+            other => {
+                return Err(format!(
+                    "--kmer-exchange must be eager or streaming; got '{other}'"
+                ))
+            }
+        },
+        batch_kmers,
+    );
 
     println!(
-        "assembling {} reads on {ranks} in-process ranks (k={}, spgemm={schedule})",
+        "assembling {} reads on {ranks} in-process ranks (k={}, spgemm={schedule}, \
+         kmer-exchange={kmer_exchange})",
         reads.len(),
         cfg.kmer.k
     );
@@ -229,6 +250,7 @@ fn usage() -> String {
      assemble --reads IN.fasta --out contigs.fasta [--ranks 4] [--k 31]\n\
      \u{20}        [--xdrop 15] [--min-overlap 100] [--scaffold true]\n\
      \u{20}        [--spgemm eager|pipelined|blocked] [--batch-rows 1024]\n\
+     \u{20}        [--kmer-exchange eager|streaming] [--batch-kmers 65536]\n\
      \u{20}        [--gfa graph.gfa]\n\
      evaluate --reference genome.fasta --contigs contigs.fasta"
         .to_owned()

@@ -57,7 +57,7 @@ pub mod prelude {
     };
     pub use elba_graph::OverlapConfig;
     pub use elba_quality::{evaluate, QualityConfig, QualityReport};
-    pub use elba_seq::{DatasetSpec, KmerConfig, ReadStore, Seq};
+    pub use elba_seq::{DatasetSpec, KmerConfig, KmerExchange, ReadStore, Seq};
     pub use elba_sparse::{DistMat, DistVec, Semiring};
 }
 
