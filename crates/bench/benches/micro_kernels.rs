@@ -176,6 +176,59 @@ fn bench_summa_schedules(c: &mut Criterion) {
     }
 }
 
+/// Single-round vs column-batched SUMMA on the overlap-detection shape
+/// (`C = AAᵀ` with a fused prune) at two memory budgets. Before timing,
+/// each configuration runs once profiled and reports its tracked
+/// per-rank memory high-water — the time column shows what the
+/// multi-round re-broadcasts cost, the mem-hw line what they buy.
+fn bench_summa_column_batched(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (n_reads, n_kmers, per_row) = (400usize, 2_000usize, 16usize);
+    let mut triples = Vec::with_capacity(n_reads * per_row);
+    for r in 0..n_reads {
+        for _ in 0..per_row {
+            triples.push((r as u64, rng.gen_range(0..n_kmers as u64), 1.0f64));
+        }
+    }
+    let triples = Arc::new(triples);
+    let run = |triples: Arc<Vec<(u64, u64, f64)>>, budget: Option<u64>| {
+        Cluster::run_profiled(4, move |comm| {
+            let grid = ProcGrid::new(comm);
+            let mine = if grid.world().rank() == 0 {
+                triples.as_ref().clone()
+            } else {
+                Vec::new()
+            };
+            let a = DistMat::from_triples(&grid, n_reads, n_kmers, mine, |acc, _| *acc += 1.0);
+            let at = a.transpose(&grid);
+            let opts = SpGemmOptions::column_batched(64, budget);
+            let c = {
+                let _g = grid.world().phase("spgemm");
+                a.spgemm_pruned_with(&grid, &at, &PlusTimes, &opts, |r, col, v| {
+                    r < col && *v >= 2.0
+                })
+            };
+            black_box(c.local().nnz())
+        })
+    };
+    for (label, budget) in [
+        ("single_round", None),
+        ("budget_512k", Some(512u64 << 10)),
+        ("budget_128k", Some(128u64 << 10)),
+    ] {
+        let (_, profile) = run(Arc::clone(&triples), budget);
+        eprintln!(
+            "summa_colbatch_aat_400x2000_p4_{label}: tracked mem high-water {} B/rank",
+            profile.max_mem_hw("spgemm")
+        );
+        let triples = Arc::clone(&triples);
+        c.bench_function(
+            &format!("summa_colbatch_aat_400x2000_p4_{label}"),
+            |bencher| bencher.iter(|| run(Arc::clone(&triples), budget)),
+        );
+    }
+}
+
 /// The CountKmer + GenerateA exchanges on a 2×2 grid under each schedule:
 /// the eager flat `alltoallv` against the streaming chunked `ialltoallv`
 /// at a small and a large batch. Streaming aggregates counts per batch
@@ -222,6 +275,6 @@ fn bench_kmer_exchange(c: &mut Criterion) {
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_spgemm, bench_xdrop, bench_kmer_scan, bench_dcsc_to_csc, bench_union_find, bench_summa_schedules, bench_kmer_exchange
+    targets = bench_spgemm, bench_xdrop, bench_kmer_scan, bench_dcsc_to_csc, bench_union_find, bench_summa_schedules, bench_summa_column_batched, bench_kmer_exchange
 );
 criterion_main!(kernels);

@@ -1,4 +1,5 @@
-//! Per-rank, per-phase accounting of wall time and communication volume.
+//! Per-rank, per-phase accounting of wall time, communication volume and
+//! memory high-water.
 //!
 //! ELBA's evaluation (Figs. 4–6) is organized around named pipeline phases
 //! (`CountKmer`, `DetectOverlap`, `Alignment`, `TrReduction`,
@@ -6,10 +7,17 @@
 //! blocking time into the phase that is active on its rank, so a run
 //! yields the exact ingredients those figures plot: max-over-ranks wall
 //! time per phase, communication fraction, and message volumes for the
-//! α–β model in [`crate::model`].
+//! α–β model in [`crate::model`]. Each rank's profile also embeds an
+//! [`elba_mem::MemTracker`] whose phase stack moves in lockstep with the
+//! timing phases, so stages that charge their resident buffers (via
+//! [`crate::Comm::mem_charge`]) produce the per-phase memory high-water
+//! column of the run report — the observable behind ELBA's bounded-memory
+//! SpGEMM claim.
 
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+use elba_mem::MemTracker;
 
 /// Lock a shared profile, tolerating poison: a panicking rank must not
 /// turn its unwind into a second panic inside a `PhaseGuard` drop.
@@ -17,8 +25,10 @@ pub(crate) fn lock_profile(profile: &Mutex<Profile>) -> MutexGuard<'_, Profile> 
     profile.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Name used for activity recorded outside any explicit phase.
-pub const UNPHASED: &str = "(unphased)";
+/// Name used for activity recorded outside any explicit phase. Shared
+/// with the memory tracker so unphased time and unphased bytes land in
+/// the same bucket.
+pub const UNPHASED: &str = elba_mem::UNPHASED;
 
 /// Accounting for a single named phase on one rank.
 #[derive(Debug, Clone, Default)]
@@ -67,6 +77,8 @@ pub struct Profile {
     rank: usize,
     phases: Vec<(String, PhaseProfile)>,
     stack: Vec<usize>,
+    /// Resident-byte accounting; its phase stack mirrors `stack`.
+    mem: MemTracker,
 }
 
 impl Profile {
@@ -75,11 +87,21 @@ impl Profile {
             rank,
             phases: Vec::new(),
             stack: Vec::new(),
+            mem: MemTracker::new(),
         }
     }
 
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// This rank's memory tracker (per-phase resident-byte high-water).
+    pub fn mem(&self) -> &MemTracker {
+        &self.mem
+    }
+
+    pub(crate) fn mem_mut(&mut self) -> &mut MemTracker {
+        &mut self.mem
     }
 
     /// Phases recorded on this rank, in first-entered order.
@@ -130,12 +152,14 @@ impl Profile {
     fn enter(&mut self, name: &str) -> usize {
         let idx = self.index_of(name);
         self.stack.push(idx);
+        self.mem.enter(name);
         idx
     }
 
     fn exit(&mut self, idx: usize, wall: f64) {
         let popped = self.stack.pop();
         debug_assert_eq!(popped, Some(idx), "phase guards must nest");
+        self.mem.exit();
         self.phases[idx].1.wall_secs += wall;
     }
 }
@@ -244,6 +268,28 @@ impl RunProfile {
             .fold(0.0, f64::max)
     }
 
+    /// Max-over-ranks memory high-water within a phase: the most tracked
+    /// bytes any rank had resident while the phase was active. This is
+    /// the number a memory budget is checked against (the biggest rank
+    /// gates the claim, exactly like `max_wall` gates scaling).
+    pub fn max_mem_hw(&self, phase: &str) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.mem().high_water(phase))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Merge every rank's memory tracker (per-phase max) into one — the
+    /// cross-rank view `MemTracker::merge_max` exists for.
+    pub fn merged_mem(&self) -> elba_mem::MemTracker {
+        let mut merged = elba_mem::MemTracker::new();
+        for rank in &self.ranks {
+            merged.merge_max(rank.mem());
+        }
+        merged
+    }
+
     /// Total point-to-point bytes across all ranks in a phase.
     pub fn total_p2p_bytes(&self, phase: &str) -> u64 {
         self.ranks
@@ -293,24 +339,26 @@ impl RunProfile {
     }
 
     /// Render a plain-text per-phase table (used by examples and benches).
+    /// `mem-hw` is the max-over-ranks tracked-resident-byte high-water.
     pub fn render_table(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>10} {:>10} {:>10} {:>12} {:>10}",
-            "phase", "max-wall-s", "comm-s", "wait-s", "bytes", "colls/rank"
+            "{:<24} {:>10} {:>10} {:>10} {:>12} {:>10} {:>12}",
+            "phase", "max-wall-s", "comm-s", "wait-s", "bytes", "colls/rank", "mem-hw"
         );
         for name in self.phase_names() {
             let _ = writeln!(
                 out,
-                "{:<24} {:>10.4} {:>10.4} {:>10.4} {:>12} {:>10.1}",
+                "{:<24} {:>10.4} {:>10.4} {:>10.4} {:>12} {:>10.1} {:>12}",
                 name,
                 self.max_wall(&name),
                 self.max_comm_secs(&name),
                 self.max_wait_secs(&name),
                 self.total_bytes(&name),
-                self.mean_coll_calls(&name)
+                self.mean_coll_calls(&name),
+                self.max_mem_hw(&name)
             );
         }
         out

@@ -1,8 +1,10 @@
 //! SPMD runtime: [`Cluster`] spawns one thread per rank, each holding a
 //! [`Comm`] — the analogue of an MPI communicator. Point-to-point messages
-//! travel over per-pair unbounded channels (buffered, non-blocking sends;
-//! blocking receives matched by `(source, tag)`), exactly mirroring the
-//! eager-protocol MPI semantics that ELBA relies on.
+//! land in a per-rank condvar-backed [`Mailbox`] (buffered, non-blocking
+//! sends; blocking receives matched by `(source, tag)` park on the
+//! condvar instead of polling), mirroring the eager-protocol MPI
+//! semantics that ELBA relies on while staying oversubscription-friendly:
+//! a parked rank burns no cycles its peers need.
 //!
 //! On top of the blocking primitives sits a non-blocking layer:
 //! [`Comm::isend`] / [`Comm::irecv`] return request handles
@@ -14,8 +16,7 @@
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::msg::CommMsg;
@@ -31,6 +32,128 @@ pub(crate) struct Envelope {
     payload: Box<dyn Any + Send>,
 }
 
+/// Outcome of a non-blocking mailbox probe.
+enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+struct MailboxState {
+    /// Arrived-but-unclaimed messages, one FIFO per source rank.
+    queues: Vec<VecDeque<Envelope>>,
+    /// Sources whose `Comm` has been dropped (no further messages).
+    closed: Vec<bool>,
+    /// Bumped on every push/close; lets waiters park until *anything*
+    /// changes ([`Mailbox::park`]) without a lost-wakeup race.
+    seq: u64,
+    /// Set when the owning rank's `Comm` drops; sends then panic like a
+    /// disconnected channel would.
+    owner_gone: bool,
+}
+
+/// One rank's inbox: every peer pushes into it, only the owner pops.
+/// The condvar is the wakeup the ROADMAP's oversubscription item asked
+/// for — blocked receives (and the chunked `ialltoallv` iterator) sleep
+/// here instead of spinning on `yield_now`.
+pub(crate) struct Mailbox {
+    state: Mutex<MailboxState>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    fn new(nsources: usize) -> Arc<Self> {
+        Arc::new(Mailbox {
+            state: Mutex::new(MailboxState {
+                queues: (0..nsources).map(|_| VecDeque::new()).collect(),
+                closed: vec![false; nsources],
+                seq: 0,
+                owner_gone: false,
+            }),
+            arrived: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MailboxState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Deliver a message from `src`; panics if the owner is gone (same
+    /// contract as sending into a dropped channel).
+    fn push(&self, src: Rank, envelope: Envelope) -> Result<(), ()> {
+        let mut st = self.lock();
+        if st.owner_gone {
+            return Err(());
+        }
+        st.queues[src].push_back(envelope);
+        st.seq += 1;
+        drop(st);
+        self.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Mark `src` as permanently done (its `Comm` dropped).
+    fn close(&self, src: Rank) {
+        let mut st = self.lock();
+        st.closed[src] = true;
+        st.seq += 1;
+        drop(st);
+        self.arrived.notify_all();
+    }
+
+    fn mark_owner_gone(&self) {
+        self.lock().owner_gone = true;
+    }
+
+    /// Blocking pop of the next message from `src` (any tag), parking on
+    /// the condvar until one arrives. `Err(())` if `src` closed with an
+    /// empty queue.
+    fn recv(&self, src: Rank) -> Result<Envelope, ()> {
+        let mut st = self.lock();
+        loop {
+            if let Some(envelope) = st.queues[src].pop_front() {
+                return Ok(envelope);
+            }
+            if st.closed[src] {
+                return Err(());
+            }
+            st = self
+                .arrived
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking pop of the next message from `src` (any tag).
+    fn try_recv(&self, src: Rank) -> Result<Envelope, TryRecvError> {
+        let mut st = self.lock();
+        match st.queues[src].pop_front() {
+            Some(envelope) => Ok(envelope),
+            None if st.closed[src] => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Current change counter; pair with [`Mailbox::park`].
+    fn seq(&self) -> u64 {
+        self.lock().seq
+    }
+
+    /// Park until the mailbox changes relative to `seen` (a push or a
+    /// close from any source). Callers read `seq()` *before* their probe
+    /// sweep so an arrival between sweep and park wakes them immediately.
+    fn park(&self, seen: u64) {
+        let mut st = self.lock();
+        while st.seq == seen {
+            st = self
+                .arrived
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
 /// Per-rank handle on a communicator (MPI_Comm analogue).
 ///
 /// All operations take `&self`; a `Comm` is owned by exactly one rank
@@ -40,15 +163,25 @@ pub(crate) struct Envelope {
 pub struct Comm {
     rank: Rank,
     size: usize,
-    /// senders[dst]: channel into rank `dst`'s mailbox for messages from us.
-    senders: Vec<Sender<Envelope>>,
-    /// receivers[src]: our mailbox for messages from rank `src`.
-    receivers: Vec<Receiver<Envelope>>,
+    /// peers[dst]: rank `dst`'s mailbox (peers[rank] is our own inbox).
+    peers: Vec<Arc<Mailbox>>,
     /// Out-of-order buffer: messages that arrived before being asked for.
     pending: RefCell<Vec<VecDeque<Envelope>>>,
     /// Collective sequence number; identical across ranks by SPMD order.
     coll_seq: Cell<u64>,
     profile: Arc<Mutex<Profile>>,
+}
+
+impl Drop for Comm {
+    fn drop(&mut self) {
+        // Refuse further sends to this rank and tell every peer we are
+        // gone, so their blocked receives panic instead of hanging —
+        // the channel-disconnect semantics the runtime has always had.
+        self.peers[self.rank].mark_owner_gone();
+        for peer in &self.peers {
+            peer.close(self.rank);
+        }
+    }
 }
 
 impl Comm {
@@ -77,6 +210,32 @@ impl Comm {
     /// guard drops. See [`crate::profile`].
     pub fn phase(&self, name: &str) -> crate::profile::PhaseGuard {
         crate::profile::PhaseGuard::enter(Arc::clone(&self.profile), name)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory accounting (see `elba_mem`)
+    // ------------------------------------------------------------------
+
+    /// Charge `bytes` against this rank's memory tracker for as long as
+    /// the returned guard lives — the RAII face of
+    /// [`elba_mem::MemTracker::charge`]. The bytes count toward the
+    /// high-water of every phase active while they are resident. Use
+    /// [`MemCharge::set`] to track a buffer that grows or shrinks.
+    pub fn mem_charge(&self, bytes: usize) -> MemCharge {
+        lock_profile(&self.profile).mem_mut().charge(bytes as u64);
+        MemCharge {
+            profile: Arc::clone(&self.profile),
+            bytes: bytes as u64,
+        }
+    }
+
+    /// Record a short-lived spike of `bytes` on top of the currently
+    /// charged residency, without holding it (e.g. an exchange's peak
+    /// buffer occupancy reported after the fact).
+    pub fn record_mem_transient(&self, bytes: usize) {
+        lock_profile(&self.profile)
+            .mem_mut()
+            .record_transient(bytes as u64);
     }
 
     // ------------------------------------------------------------------
@@ -148,8 +307,8 @@ impl Comm {
     }
 
     pub(crate) fn raw_send(&self, dst: Rank, tag: Tag, payload: Box<dyn Any + Send>) {
-        self.senders[dst]
-            .send(Envelope { tag, payload })
+        self.peers[dst]
+            .push(self.rank, Envelope { tag, payload })
             .unwrap_or_else(|_| panic!("rank {} unreachable from rank {}", dst, self.rank));
     }
 
@@ -165,7 +324,7 @@ impl Comm {
             return envelope;
         }
         loop {
-            let envelope = self.receivers[src].recv().unwrap_or_else(|_| {
+            let envelope = self.inbox().recv(src).unwrap_or_else(|_| {
                 panic!(
                     "rank {}: rank {src} disconnected while waiting for tag {tag:#x} \
                      (peer rank likely panicked)",
@@ -186,11 +345,11 @@ impl Comm {
             return Some(envelope);
         }
         loop {
-            match self.receivers[src].try_recv() {
+            match self.inbox().try_recv(src) {
                 Ok(envelope) if envelope.tag == tag => return Some(envelope),
                 Ok(envelope) => self.pending.borrow_mut()[src].push_back(envelope),
                 Err(TryRecvError::Empty) => return None,
-                // The peer is gone and the channel is drained: this
+                // The peer is gone and its queue is drained: this
                 // message can never arrive. Panic like the blocking path
                 // would, instead of letting a test() poll loop spin
                 // forever.
@@ -201,6 +360,25 @@ impl Comm {
                 ),
             }
         }
+    }
+
+    #[inline]
+    fn inbox(&self) -> &Mailbox {
+        &self.peers[self.rank]
+    }
+
+    /// Change counter of this rank's inbox; see [`Comm::park_inbox`].
+    pub(crate) fn inbox_seq(&self) -> u64 {
+        self.inbox().seq()
+    }
+
+    /// Park until the inbox changes relative to `seen` (any arrival or
+    /// peer close). The caller must have read [`Comm::inbox_seq`]
+    /// *before* its last probe sweep; arrivals in between wake it
+    /// immediately. This is the condvar wakeup that replaced the
+    /// `yield_now` spin loop in the chunked `ialltoallv` iterator.
+    pub(crate) fn park_inbox(&self, seen: u64) {
+        self.inbox().park(seen);
     }
 
     fn take_pending(&self, src: Rank, tag: Tag) -> Option<Envelope> {
@@ -283,33 +461,17 @@ impl Comm {
         let tag = self.next_coll_tag(op::SPLIT);
 
         if self.rank == leader {
-            // Build the new_size x new_size channel mesh and deal each
-            // member its row of senders and column of receivers.
-            let mut send_rows: Vec<Vec<Sender<Envelope>>> = (0..new_size)
-                .map(|_| Vec::with_capacity(new_size))
-                .collect();
-            let mut recv_rows: Vec<Vec<Receiver<Envelope>>> = (0..new_size)
-                .map(|_| Vec::with_capacity(new_size))
-                .collect();
-            for send_row in send_rows.iter_mut() {
-                for recv_row in recv_rows.iter_mut() {
-                    let (tx, rx) = channel();
-                    send_row.push(tx);
-                    recv_row.push(rx);
-                }
-            }
-            // recv_rows[dst] currently interleaved by construction order:
-            // iteration pushes rx for (src, dst) while sweeping src outer,
-            // dst inner, so recv_rows[dst] receives entries in src order. OK.
-            for ((slot, &(_, old_rank)), receivers) in group.iter().enumerate().zip(recv_rows) {
-                let senders_for_member = std::mem::take(&mut send_rows[slot]);
+            // One fresh mailbox per member; every member gets the whole
+            // vector (its peers) plus its own slot.
+            let mailboxes: Vec<Arc<Mailbox>> =
+                (0..new_size).map(|_| Mailbox::new(new_size)).collect();
+            for (slot, &(_, old_rank)) in group.iter().enumerate() {
                 self.raw_send(
                     old_rank as usize,
                     tag,
                     Box::new(SplitPack {
                         new_rank: slot,
-                        senders: senders_for_member,
-                        receivers,
+                        peers: mailboxes.clone(),
                     }),
                 );
             }
@@ -320,8 +482,7 @@ impl Comm {
         Comm {
             rank: pack.new_rank,
             size: new_size,
-            senders: pack.senders,
-            receivers: pack.receivers,
+            peers: pack.peers,
             pending: RefCell::new((0..new_size).map(|_| VecDeque::new()).collect()),
             coll_seq: Cell::new(0),
             profile: Arc::clone(&self.profile),
@@ -342,6 +503,39 @@ fn downcast_payload<T: Send + 'static>(envelope: Envelope, rank: Rank, src: Rank
             std::any::type_name::<T>()
         )
     })
+}
+
+/// RAII charge against a rank's memory tracker; created by
+/// [`Comm::mem_charge`]. Dropping releases the bytes.
+#[must_use = "dropping releases the charge immediately"]
+pub struct MemCharge {
+    profile: Arc<Mutex<Profile>>,
+    bytes: u64,
+}
+
+impl MemCharge {
+    /// Re-size the charge to `bytes` (the growing-accumulator pattern:
+    /// one guard tracks a buffer whose footprint changes over time).
+    pub fn set(&mut self, bytes: usize) {
+        let bytes = bytes as u64;
+        if bytes != self.bytes {
+            lock_profile(&self.profile)
+                .mem_mut()
+                .adjust(self.bytes, bytes);
+            self.bytes = bytes;
+        }
+    }
+
+    /// Bytes currently held by this charge.
+    pub fn bytes(&self) -> usize {
+        self.bytes as usize
+    }
+}
+
+impl Drop for MemCharge {
+    fn drop(&mut self) {
+        lock_profile(&self.profile).mem_mut().release(self.bytes);
+    }
 }
 
 /// Handle for a posted [`Comm::isend`]. Under the eager buffered protocol
@@ -427,8 +621,7 @@ impl<T: Send + 'static> RecvRequest<'_, T> {
 
 struct SplitPack {
     new_rank: usize,
-    senders: Vec<Sender<Envelope>>,
-    receivers: Vec<Receiver<Envelope>>,
+    peers: Vec<Arc<Mailbox>>,
 }
 
 /// Internal collective opcodes (namespace the reserved tag space).
@@ -470,30 +663,20 @@ impl Cluster {
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
         assert!(nranks > 0, "cluster needs at least one rank");
-        // Channel mesh: (src, dst) -> channel.
-        let mut send_rows: Vec<Vec<Sender<Envelope>>> =
-            (0..nranks).map(|_| Vec::with_capacity(nranks)).collect();
-        let mut recv_rows: Vec<Vec<Receiver<Envelope>>> =
-            (0..nranks).map(|_| Vec::with_capacity(nranks)).collect();
-        for send_row in send_rows.iter_mut() {
-            for recv_row in recv_rows.iter_mut() {
-                let (tx, rx) = channel();
-                send_row.push(tx);
-                recv_row.push(rx);
-            }
-        }
+        // One condvar-backed mailbox per rank; every rank holds the full
+        // vector so any rank can push into any inbox.
+        let mailboxes: Vec<Arc<Mailbox>> = (0..nranks).map(|_| Mailbox::new(nranks)).collect();
 
         let f = Arc::new(f);
         let mut handles = Vec::with_capacity(nranks);
-        for (rank, (senders, receivers)) in send_rows.into_iter().zip(recv_rows).enumerate() {
+        for rank in 0..nranks {
             let f = Arc::clone(&f);
             let profile = Arc::new(Mutex::new(Profile::new(rank)));
             let profile_out = Arc::clone(&profile);
             let comm = Comm {
                 rank,
                 size: nranks,
-                senders,
-                receivers,
+                peers: mailboxes.clone(),
                 pending: RefCell::new((0..nranks).map(|_| VecDeque::new()).collect()),
                 coll_seq: Cell::new(0),
                 profile,
@@ -650,6 +833,32 @@ mod tests {
         });
         let bytes = profile.total_p2p_bytes("exchange");
         assert_eq!(bytes, 8 + 800);
+    }
+
+    #[test]
+    fn mem_charges_book_per_phase_high_water() {
+        let (_, profile) = Cluster::run_profiled(2, |comm| {
+            let big = if comm.rank() == 1 { 4096 } else { 1024 };
+            {
+                let _g = comm.phase("build");
+                let mut charge = comm.mem_charge(big);
+                charge.set(big * 2);
+                charge.set(big); // shrink again; hw keeps the peak
+                {
+                    let _h = comm.phase("inner");
+                    comm.record_mem_transient(100);
+                }
+                // charge dropped here: released before the next phase
+            }
+            let _g = comm.phase("after");
+            comm.record_mem_transient(10);
+        });
+        assert_eq!(profile.max_mem_hw("build"), 8192);
+        assert_eq!(profile.max_mem_hw("inner"), 4196, "residency + spike");
+        assert_eq!(profile.max_mem_hw("after"), 10, "charge released");
+        let merged = profile.merged_mem();
+        assert_eq!(merged.high_water("build"), 8192);
+        assert!(profile.render_table().contains("mem-hw"));
     }
 
     // ------------------------------------------------------------------

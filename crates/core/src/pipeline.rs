@@ -10,6 +10,7 @@ use elba_graph::{
     align_and_classify, candidate_matrix, overlap_graph, symmetrize, transitive_reduction_with,
     AlignStats, OverlapConfig, ReductionStats,
 };
+use elba_mem::MemBudget;
 use elba_seq::{
     build_a_triples, count_kmers, AEntry, DatasetSpec, KmerConfig, KmerExchange, ReadStore, Seq,
 };
@@ -17,6 +18,13 @@ use elba_sparse::{DistMat, SpGemmOptions};
 
 use crate::assembly::Contig;
 use crate::contig::{contig_generation, gather_contigs, ContigConfig, ContigStats};
+
+/// Wire size of one routed A-matrix occurrence record
+/// (`(kmer, read, pos, fwd)`), the unit `batch_kmers` is derived from.
+const A_RECORD_BYTES: usize = std::mem::size_of::<(u64, u64, u32, bool)>();
+/// Heuristic bytes per accumulated SpGEMM output row used to derive
+/// `batch_rows` from a budget.
+const SPGEMM_ROW_BYTES_HINT: usize = 1024;
 
 /// All pipeline parameters.
 #[derive(Debug, Clone)]
@@ -27,6 +35,9 @@ pub struct PipelineConfig {
     pub tr_fuzz: u32,
     pub tr_max_iters: usize,
     pub contig: ContigConfig,
+    /// Per-rank memory budget; [`PipelineConfig::with_mem_budget`]
+    /// derives the batching knobs from it. Unlimited by default.
+    pub mem_budget: MemBudget,
 }
 
 impl Default for PipelineConfig {
@@ -37,6 +48,7 @@ impl Default for PipelineConfig {
             tr_fuzz: 400,
             tr_max_iters: 10,
             contig: ContigConfig::default(),
+            mem_budget: MemBudget::unlimited(),
         }
     }
 }
@@ -79,6 +91,7 @@ impl PipelineConfig {
             },
             tr_max_iters: 10,
             contig: ContigConfig::default(),
+            mem_budget: MemBudget::unlimited(),
         }
     }
 
@@ -98,6 +111,34 @@ impl PipelineConfig {
     pub fn with_kmer_exchange(mut self, exchange: KmerExchange, batch_kmers: usize) -> Self {
         self.kmer.exchange = exchange;
         self.kmer.batch_kmers = batch_kmers;
+        self
+    }
+
+    /// Cap this run's per-rank memory at `budget` and derive every
+    /// batching knob from it, the single `--mem-budget` lever of the
+    /// CLI:
+    ///
+    /// * the k-mer stage switches to the streaming exchange
+    ///   (`batch_kmers` itself is derived inside [`assemble`], where the
+    ///   grid size is known — the per-peer inbound ceiling depends on
+    ///   `p`),
+    /// * every distributed SpGEMM runs the column-batched schedule
+    ///   ([`elba_sparse::SpGemmAlgorithm::ColumnBatched`]) under the
+    ///   SpGEMM sub-budget, with `batch_rows` derived for the per-round
+    ///   multiply.
+    ///
+    /// Derivations clamp to sane floors, so an absurdly small budget
+    /// degrades to the tightest batching available rather than failing;
+    /// a profiled run's `mem-hw` column shows what was actually reached.
+    pub fn with_mem_budget(mut self, budget: MemBudget) -> Self {
+        self.mem_budget = budget;
+        if budget.is_limited() {
+            self.kmer.exchange = KmerExchange::Streaming;
+            self.overlap.spgemm = SpGemmOptions::column_batched(
+                budget.derive_batch_rows(SPGEMM_ROW_BYTES_HINT, self.overlap.spgemm.batch_rows),
+                budget.spgemm_bytes(),
+            );
+        }
         self
     }
 }
@@ -123,16 +164,37 @@ pub fn assemble(grid: &ProcGrid, reads: &[Seq], cfg: &PipelineConfig) -> Pipelin
     let n_reads = reads.len();
     let store = ReadStore::from_replicated(grid, reads);
 
+    // The config-time batch derivation cannot see the grid size, but
+    // the transport admits ~one batch in flight per peer: re-derive
+    // `batch_kmers` here, where `p` is known, so the outgoing batch
+    // plus the per-peer inbound ceiling fit the exchange sub-budget on
+    // any grid — without this, the ceiling charge alone exceeds the
+    // budget once p grows past a handful of ranks.
+    let kmer_cfg = if cfg.mem_budget.is_limited() {
+        let mut k = cfg.kmer.clone();
+        k.batch_kmers = cfg.mem_budget.derive_batch_kmers_for(
+            A_RECORD_BYTES,
+            world.size().saturating_sub(1),
+            k.batch_kmers,
+        );
+        k
+    } else {
+        cfg.kmer.clone()
+    };
+
     // CountKmer: reliable k-mer table (Algorithm 1, line 3).
     let table = {
         let _g = world.phase("CountKmer");
-        count_kmers(grid, &store, &cfg.kmer)
+        count_kmers(grid, &store, &kmer_cfg)
     };
 
     // DetectOverlap: A, Aᵀ, candidate matrix C = AAᵀ (lines 4–6).
-    let c = {
+    // Long-lived matrices are charged against the rank's memory tracker
+    // while resident, so the per-phase `mem-hw` column reports real
+    // residency, not just the SpGEMM schedules' internal transients.
+    let (c, _c_charge) = {
         let _g = world.phase("DetectOverlap");
-        let triples = build_a_triples(grid, &store, &table, &cfg.kmer);
+        let triples = build_a_triples(grid, &store, &table, &kmer_cfg);
         let a = DistMat::from_triples(
             grid,
             n_reads,
@@ -144,26 +206,35 @@ pub fn assemble(grid: &ProcGrid, reads: &[Seq], cfg: &PipelineConfig) -> Pipelin
                 }
             },
         );
-        candidate_matrix(grid, &a, &cfg.overlap)
+        let _a_charge = world.mem_charge(a.heap_bytes());
+        let c = candidate_matrix(grid, &a, &cfg.overlap);
+        let c_charge = world.mem_charge(c.heap_bytes());
+        (c, c_charge)
     };
     let candidate_nnz = c.nnz_global(grid);
 
     // Alignment: x-drop + classification + pruning (lines 7–9).
-    let (r, align_stats) = {
+    let (r, _r_charge, align_stats) = {
         let _g = world.phase("Alignment");
         let (triples, contained, align_stats) = align_and_classify(grid, &c, &store, &cfg.overlap);
-        (
-            overlap_graph(grid, n_reads, triples, &contained),
-            align_stats,
-        )
+        let r = overlap_graph(grid, n_reads, triples, &contained);
+        let r_charge = world.mem_charge(r.heap_bytes());
+        (r, r_charge, align_stats)
     };
+    drop(c);
+    drop(_c_charge);
 
-    // TrReduction: R → S (line 10).
-    let (s, reduction_stats) = {
+    // TrReduction: R → S (line 10). R stays resident for the whole
+    // reduction, so its charge is released only once S exists —
+    // mirroring how C's charge spans Alignment above.
+    let (s, _s_charge, reduction_stats) = {
         let _g = world.phase("TrReduction");
         let (s, stats) =
             transitive_reduction_with(grid, r, cfg.tr_fuzz, cfg.tr_max_iters, &cfg.overlap.spgemm);
-        (symmetrize(grid, s), stats)
+        drop(_r_charge);
+        let s = symmetrize(grid, s);
+        let s_charge = world.mem_charge(s.heap_bytes());
+        (s, s_charge, stats)
     };
     let string_graph_nnz = s.nnz_global(grid);
 
@@ -223,6 +294,7 @@ mod tests {
             tr_fuzz: 150,
             tr_max_iters: 10,
             contig: ContigConfig::default(),
+            mem_budget: MemBudget::unlimited(),
         }
     }
 

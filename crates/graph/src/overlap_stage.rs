@@ -100,15 +100,21 @@ impl AlignStats {
 }
 
 /// `C = AAᵀ` restricted to the strict upper triangle, with candidate
-/// pairs below the shared-k-mer threshold pruned (collective).
+/// pairs below the shared-k-mer threshold pruned (collective). The
+/// prune is fused into the multiply: under the column-batched schedule
+/// each output batch is thresholded as it completes, so only the pruned
+/// candidate set is ever retained — the heart of ELBA's bounded-memory
+/// overlap detection. The other schedules prune after the fact; the
+/// result is identical either way.
 pub fn candidate_matrix(
     grid: &ProcGrid,
     a: &DistMat<AEntry>,
     cfg: &OverlapConfig,
 ) -> DistMat<SharedSeeds> {
     let at = a.transpose(grid);
-    let c = a.spgemm_with(grid, &at, &OverlapSemiring, &cfg.spgemm);
-    c.prune(grid, |r, col, v| r < col && v.count >= cfg.min_shared_kmers)
+    a.spgemm_pruned_with(grid, &at, &OverlapSemiring, &cfg.spgemm, |r, col, v| {
+        r < col && v.count >= cfg.min_shared_kmers
+    })
 }
 
 /// X-drop align one candidate pair from its retained seeds; returns the

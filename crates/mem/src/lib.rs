@@ -1,0 +1,382 @@
+//! # elba-mem — memory budgets and per-phase byte accounting
+//!
+//! ELBA's SpGEMM strong-scales because its memory is *bounded*: the
+//! batched overlap-detection multiply splits the output of `C = AAᵀ`
+//! into column batches sized so that no rank ever materializes more than
+//! a budget's worth of intermediates. This crate is the substrate that
+//! claim is built on in ELBA-RS:
+//!
+//! * [`MemBudget`] — a global per-rank byte cap with fixed per-phase
+//!   sub-budgets, plus the derivations that turn one `--mem-budget` knob
+//!   into concrete pipeline parameters (`batch_kmers`, `batch_rows`,
+//!   SpGEMM column-batch sizing),
+//! * [`MemTracker`] — per-rank, per-phase high-water byte accounting.
+//!   Stages *charge* bytes while a buffer is resident and *release* them
+//!   when it drops; each phase records the maximum total resident bytes
+//!   observed while it was active. Trackers from different ranks merge
+//!   with [`MemTracker::merge_max`], mirroring how `RunProfile`
+//!   aggregates wall times (the slowest/biggest rank gates the run).
+//!
+//! The tracker is a plain state machine (no interior locking): the comm
+//! layer embeds one per rank inside its already-mutex-guarded `Profile`
+//! and exposes RAII charge guards, so charging is one short critical
+//! section per allocation-sized event, never per element.
+
+/// Phase name used for bytes charged outside any explicit phase.
+/// Matches the comm profiler's unphased bucket.
+pub const UNPHASED: &str = "(unphased)";
+
+/// Fraction of the total budget reserved for the k-mer exchange's
+/// application-side buffers (outgoing buckets + one inbound chunk).
+const EXCHANGE_FRACTION: f64 = 0.25;
+/// Fraction of the total budget available to one distributed SpGEMM's
+/// transient intermediates (stage blocks + batch accumulators).
+const SPGEMM_FRACTION: f64 = 0.5;
+
+/// A per-rank memory budget in bytes. `None` means unlimited (the
+/// default): every consumer falls back to its static defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemBudget {
+    total: Option<u64>,
+}
+
+impl Default for MemBudget {
+    fn default() -> Self {
+        MemBudget::unlimited()
+    }
+}
+
+impl MemBudget {
+    /// No cap: all derivations return their defaults.
+    pub fn unlimited() -> Self {
+        MemBudget { total: None }
+    }
+
+    /// Cap of `total` bytes per rank.
+    pub fn bytes(total: u64) -> Self {
+        assert!(total > 0, "a memory budget must be positive");
+        MemBudget { total: Some(total) }
+    }
+
+    /// Parse a human-friendly byte count: a plain number or one with a
+    /// `K`/`M`/`G` suffix (binary units), e.g. `"64M"`, `"2G"`, `"4096"`.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let raw = raw.trim();
+        let (digits, shift) = match raw.as_bytes().last() {
+            Some(b'K' | b'k') => (&raw[..raw.len() - 1], 10),
+            Some(b'M' | b'm') => (&raw[..raw.len() - 1], 20),
+            Some(b'G' | b'g') => (&raw[..raw.len() - 1], 30),
+            _ => (raw, 0),
+        };
+        let n: u64 = digits
+            .parse()
+            .map_err(|_| format!("cannot parse memory budget '{raw}' (try 512M, 2G, 65536)"))?;
+        if n == 0 {
+            return Err("memory budget must be positive".to_owned());
+        }
+        n.checked_shl(shift)
+            .filter(|&b| b >> shift == n)
+            .map(MemBudget::bytes)
+            .ok_or_else(|| format!("memory budget '{raw}' overflows u64"))
+    }
+
+    /// Global cap in bytes, if one is set.
+    pub fn total(&self) -> Option<u64> {
+        self.total
+    }
+
+    pub fn is_limited(&self) -> bool {
+        self.total.is_some()
+    }
+
+    /// Sub-budget for the k-mer exchange's application-side buffers.
+    pub fn exchange_bytes(&self) -> Option<u64> {
+        self.total
+            .map(|t| ((t as f64 * EXCHANGE_FRACTION) as u64).max(1))
+    }
+
+    /// Sub-budget for one distributed SpGEMM's transient intermediates.
+    pub fn spgemm_bytes(&self) -> Option<u64> {
+        self.total
+            .map(|t| ((t as f64 * SPGEMM_FRACTION) as u64).max(1))
+    }
+
+    /// Streaming-exchange batch size (`batch_kmers`): one outgoing
+    /// batch (the exchange keeps at most one resident application-side)
+    /// plus the per-peer inbound transport ceiling (≈ one batch per
+    /// peer under the flow-control window) must fit the exchange
+    /// sub-budget, so a batch is the sub-budget divided by `1 + peers`.
+    /// The pipeline derives this at run time, where the rank count is
+    /// known — a config-time derivation cannot see `p`, and a p-blind
+    /// split would let the inbound ceiling exceed the sub-budget on any
+    /// real grid. Unlimited budgets return `default`.
+    pub fn derive_batch_kmers_for(
+        &self,
+        record_bytes: usize,
+        peers: usize,
+        default: usize,
+    ) -> usize {
+        match self.exchange_bytes() {
+            None => default,
+            Some(bytes) => {
+                let share = bytes / (1 + peers.max(1)) as u64;
+                (share as usize / record_bytes.max(1)).clamp(1 << 10, 1 << 20)
+            }
+        }
+    }
+
+    /// Row-batch size for the blocked local multiply inside each SUMMA
+    /// round: sized so one batch's output rows are a small slice of the
+    /// SpGEMM sub-budget under the `row_bytes_hint` heuristic (estimated
+    /// bytes per accumulated output row). Unlimited budgets return
+    /// `default`.
+    pub fn derive_batch_rows(&self, row_bytes_hint: usize, default: usize) -> usize {
+        match self.spgemm_bytes() {
+            None => default,
+            Some(bytes) => ((bytes / 16) as usize / row_bytes_hint.max(1)).clamp(32, 1 << 13),
+        }
+    }
+}
+
+/// Per-rank, per-phase high-water byte accounting.
+///
+/// One `current` tally of resident tracked bytes is shared across
+/// phases; each phase records the maximum value of `current` observed
+/// while it was active (bytes charged in an earlier phase and still
+/// resident count against the later phase too — residency is what
+/// matters for a cap). [`MemTracker::record_transient`] books a
+/// short-lived spike (`current + bytes`) without holding it.
+#[derive(Debug, Clone, Default)]
+pub struct MemTracker {
+    current: u64,
+    /// `(phase name, high-water bytes)` in first-entered order.
+    phases: Vec<(String, u64)>,
+    stack: Vec<usize>,
+}
+
+impl MemTracker {
+    pub fn new() -> Self {
+        MemTracker::default()
+    }
+
+    fn index_of(&mut self, name: &str) -> usize {
+        if let Some(idx) = self.phases.iter().position(|(n, _)| n == name) {
+            idx
+        } else {
+            self.phases.push((name.to_owned(), 0));
+            self.phases.len() - 1
+        }
+    }
+
+    fn bump(&mut self, candidate: u64) {
+        // Every phase on the stack is *active*, so a peak inside a
+        // nested phase counts toward its enclosing phases too — a
+        // budget asserted on an outer phase must not miss bytes that
+        // spiked entirely within a child.
+        if self.stack.is_empty() {
+            let idx = self.index_of(UNPHASED);
+            self.phases[idx].1 = self.phases[idx].1.max(candidate);
+            return;
+        }
+        for i in 0..self.stack.len() {
+            let idx = self.stack[i];
+            let hw = &mut self.phases[idx].1;
+            *hw = (*hw).max(candidate);
+        }
+    }
+
+    /// Enter a named phase (nests like the profiler's phase guards).
+    /// Bytes already resident count toward the phase immediately.
+    pub fn enter(&mut self, name: &str) {
+        let idx = self.index_of(name);
+        self.stack.push(idx);
+        self.bump(self.current);
+    }
+
+    /// Leave the innermost phase.
+    pub fn exit(&mut self) {
+        let popped = self.stack.pop();
+        debug_assert!(popped.is_some(), "mem phase exits must pair with enters");
+    }
+
+    /// Charge `bytes` as resident until the matching [`MemTracker::release`].
+    pub fn charge(&mut self, bytes: u64) {
+        self.current += bytes;
+        self.bump(self.current);
+    }
+
+    /// Release bytes previously charged.
+    pub fn release(&mut self, bytes: u64) {
+        debug_assert!(bytes <= self.current, "releasing more than charged");
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Replace an existing charge of `old` bytes with `new` bytes in one
+    /// step (the growing-accumulator pattern).
+    pub fn adjust(&mut self, old: u64, new: u64) {
+        self.release(old);
+        self.charge(new);
+    }
+
+    /// Record a transient spike of `bytes` on top of the current
+    /// residency, without holding it.
+    pub fn record_transient(&mut self, bytes: u64) {
+        self.bump(self.current + bytes);
+    }
+
+    /// Bytes currently charged.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// High-water mark of a phase (0 if never entered).
+    pub fn high_water(&self, phase: &str) -> u64 {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == phase)
+            .map_or(0, |&(_, hw)| hw)
+    }
+
+    /// `(phase, high-water)` pairs in first-entered order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.phases.iter().map(|(n, hw)| (n.as_str(), *hw))
+    }
+
+    /// Merge another rank's tracker: per-phase maximum, preserving
+    /// first-seen phase order — the cross-rank aggregation a run report
+    /// wants (the biggest rank gates the memory claim).
+    pub fn merge_max(&mut self, other: &MemTracker) {
+        for (name, hw) in other.phases() {
+            let idx = self.index_of(name);
+            self.phases[idx].1 = self.phases[idx].1.max(hw);
+        }
+        self.current = self.current.max(other.current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_parse_accepts_suffixes() {
+        assert_eq!(MemBudget::parse("4096").unwrap().total(), Some(4096));
+        assert_eq!(MemBudget::parse("64K").unwrap().total(), Some(64 << 10));
+        assert_eq!(MemBudget::parse("64M").unwrap().total(), Some(64 << 20));
+        assert_eq!(MemBudget::parse("2g").unwrap().total(), Some(2 << 30));
+        assert!(MemBudget::parse("0").is_err());
+        assert!(MemBudget::parse("lots").is_err());
+        assert!(MemBudget::parse("999999999999G").is_err());
+    }
+
+    #[test]
+    fn sub_budgets_split_the_total() {
+        let b = MemBudget::bytes(1 << 20);
+        assert_eq!(b.exchange_bytes(), Some(1 << 18));
+        assert_eq!(b.spgemm_bytes(), Some(1 << 19));
+        assert_eq!(MemBudget::unlimited().spgemm_bytes(), None);
+    }
+
+    #[test]
+    fn derivations_clamp_and_default() {
+        let unlimited = MemBudget::unlimited();
+        assert_eq!(unlimited.derive_batch_kmers_for(24, 3, 777), 777);
+        assert_eq!(unlimited.derive_batch_rows(1024, 555), 555);
+        // 1 MiB budget, 3 peers: exchange sub-budget 256 KiB, a quarter
+        // of it across 24-byte records ≈ 2730 → within clamps.
+        let b = MemBudget::bytes(1 << 20);
+        let batch = b.derive_batch_kmers_for(24, 3, 0);
+        assert!((1 << 10..=1 << 20).contains(&batch));
+        // more peers → smaller batches (the inbound ceiling scales)
+        assert!(b.derive_batch_kmers_for(24, 15, 0) <= batch);
+        // tiny budget clamps at the floor
+        assert_eq!(
+            MemBudget::bytes(16).derive_batch_kmers_for(24, 1, 0),
+            1 << 10
+        );
+        assert_eq!(MemBudget::bytes(16).derive_batch_rows(1024, 0), 32);
+    }
+
+    #[test]
+    fn tracker_phases_record_high_water() {
+        let mut t = MemTracker::new();
+        t.enter("a");
+        t.charge(100);
+        t.charge(50);
+        t.release(50);
+        t.exit();
+        t.enter("b");
+        // the 100 bytes from phase a are still resident
+        assert_eq!(t.current(), 100);
+        t.record_transient(25);
+        t.exit();
+        assert_eq!(t.high_water("a"), 150);
+        assert_eq!(t.high_water("b"), 125);
+        assert_eq!(t.high_water("never"), 0);
+    }
+
+    #[test]
+    fn unphased_charges_land_in_bucket() {
+        let mut t = MemTracker::new();
+        t.charge(42);
+        assert_eq!(t.high_water(UNPHASED), 42);
+    }
+
+    #[test]
+    fn adjust_replaces_charge() {
+        let mut t = MemTracker::new();
+        t.enter("x");
+        t.charge(10);
+        t.adjust(10, 70);
+        t.adjust(70, 30);
+        assert_eq!(t.current(), 30);
+        assert_eq!(t.high_water("x"), 70);
+    }
+
+    #[test]
+    fn merge_max_takes_per_phase_maximum() {
+        let mut a = MemTracker::new();
+        a.enter("p");
+        a.charge(10);
+        a.exit();
+        let mut b = MemTracker::new();
+        b.enter("p");
+        b.charge(90);
+        b.exit();
+        b.enter("q");
+        b.charge(5);
+        b.exit();
+        a.merge_max(&b);
+        assert_eq!(a.high_water("p"), 90);
+        assert_eq!(a.high_water("q"), 95, "q saw p's residency too");
+    }
+
+    #[test]
+    fn nested_phases_both_see_residency() {
+        let mut t = MemTracker::new();
+        t.enter("outer");
+        t.charge(10);
+        t.enter("inner");
+        t.charge(20);
+        t.exit();
+        t.charge(5);
+        t.exit();
+        assert_eq!(t.high_water("inner"), 30);
+        assert_eq!(t.high_water("outer"), 35);
+    }
+
+    #[test]
+    fn peak_inside_nested_phase_counts_toward_outer() {
+        // A spike that lives entirely within a child phase must still
+        // show in the enclosing phase's high-water: both were active.
+        let mut t = MemTracker::new();
+        t.enter("outer");
+        t.enter("inner");
+        t.charge(1000);
+        t.release(1000);
+        t.exit();
+        t.exit();
+        assert_eq!(t.high_water("inner"), 1000);
+        assert_eq!(t.high_water("outer"), 1000);
+    }
+}

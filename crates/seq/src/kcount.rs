@@ -24,7 +24,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use elba_comm::{Comm, ProcGrid, Rank};
+use elba_comm::{Comm, IalltoallvRequest, ProcGrid, Rank};
 
 use crate::kmer::canonical_kmers;
 use crate::store::ReadStore;
@@ -115,7 +115,11 @@ elba_comm::impl_comm_msg_pod!(AEntry);
 /// memory-bound tests (and the bench) assert against. For the streaming
 /// schedule `peak_outgoing_items ≤ batch_kmers` and `peak_inbound_items`
 /// is one chunk (≤ `batch_kmers`) by construction; the eager schedule
-/// reports the full materialized exchange.
+/// reports the full materialized exchange. The byte fields are the same
+/// peaks in record bytes; every exchange also feeds them into the
+/// rank's memory tracker ([`elba_comm::Comm::record_mem_transient`]), so
+/// a profiled run's `mem-hw` column shows the CountKmer stage's real
+/// buffer bound.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExchangeStats {
     /// Most items ever resident in the outgoing buckets at once.
@@ -124,6 +128,17 @@ pub struct ExchangeStats {
     /// (largest single inbound chunk for streaming; the whole incoming
     /// exchange for eager).
     pub peak_inbound_items: usize,
+    /// `peak_outgoing_items` in record bytes.
+    pub peak_outgoing_bytes: usize,
+    /// `peak_inbound_items` in record bytes.
+    pub peak_inbound_bytes: usize,
+}
+
+impl ExchangeStats {
+    /// Resident-byte spike this exchange contributed (both sides).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_outgoing_bytes + self.peak_inbound_bytes
+    }
 }
 
 /// Route `items` (already tagged with a destination rank) through a
@@ -134,6 +149,7 @@ fn eager_exchange<T: elba_comm::CommMsg>(
     items: impl Iterator<Item = (Rank, T)>,
     mut fold: impl FnMut(Rank, Vec<T>),
 ) -> ExchangeStats {
+    let record_bytes = std::mem::size_of::<T>();
     let mut outgoing: Vec<Vec<T>> = (0..world.size()).map(|_| Vec::new()).collect();
     let mut total = 0usize;
     for (dst, item) in items {
@@ -141,13 +157,17 @@ fn eager_exchange<T: elba_comm::CommMsg>(
         total += 1;
     }
     let incoming = world.alltoallv(outgoing);
+    let inbound: usize = incoming.iter().map(Vec::len).sum();
     let stats = ExchangeStats {
         peak_outgoing_items: total,
-        peak_inbound_items: incoming.iter().map(Vec::len).sum(),
+        peak_inbound_items: inbound,
+        peak_outgoing_bytes: total * record_bytes,
+        peak_inbound_bytes: inbound * record_bytes,
     };
     for (src, buf) in incoming.into_iter().enumerate() {
         fold(src, buf);
     }
+    world.record_mem_transient(stats.peak_bytes());
     stats
 }
 
@@ -155,9 +175,16 @@ fn eager_exchange<T: elba_comm::CommMsg>(
 /// most `batch` items, post the batch as chunks, and fold whatever chunks
 /// have arrived before scanning the next batch. After the scan, seal the
 /// sends and drain the remainder (blocking waits are profiled as *wait*
-/// time). No more than `batch` outgoing items and one inbound chunk
-/// (≤ `batch` items) are ever resident — the memory bound the eager
-/// schedule lacks.
+/// time). No more than `batch` outgoing items — buffered buckets *or*
+/// credit-starved chunks queued in the stream — are ever resident, the
+/// memory bound the eager schedule lacks. The bound is end-to-end, not
+/// just application-side: posting throttles on [`wait_for_credit`], and
+/// chunks are sized at `batch / window` so each destination's credit
+/// window admits at most ~`batch` items into its transport mailbox per
+/// peer — a rank folding slower than its peers scan holds ≤ `batch`
+/// un-folded items *per source*, never an unbounded backlog.
+///
+/// [`wait_for_credit`]: elba_comm::IalltoallvRequest::wait_for_credit
 fn streaming_exchange<T: elba_comm::CommMsg>(
     world: &Comm,
     batch: usize,
@@ -166,7 +193,15 @@ fn streaming_exchange<T: elba_comm::CommMsg>(
 ) -> ExchangeStats {
     let p = world.size();
     let batch = batch.max(1);
-    let mut stream = world.ialltoallv_stream::<T>(batch);
+    let record_bytes = std::mem::size_of::<T>();
+    // Chunks are sized so the credit window admits at most one batch's
+    // worth of items into any destination's mailbox from this rank:
+    // window × chunk ≈ batch. Without this, the transport could hold
+    // `window` *full-batch* chunks per source — a slow-folding rank
+    // would be resident `window ×` over the documented bound.
+    let window = IalltoallvRequest::<T>::DEFAULT_WINDOW;
+    let chunk_elems = batch.div_ceil(window).max(1);
+    let mut stream = world.ialltoallv_stream_with_window::<T>(chunk_elems, window);
     let mut buckets: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
     let mut buffered = 0usize;
     let mut stats = ExchangeStats::default();
@@ -187,6 +222,27 @@ fn streaming_exchange<T: elba_comm::CommMsg>(
                 stats.peak_inbound_items = stats.peak_inbound_items.max(chunk.len());
                 fold(src, chunk);
             }
+            // Producer throttle: chunks past the credit window queue
+            // sender-side; park here (folding inbound chunks as they
+            // land, which is what grants our peers credits) instead of
+            // scanning ahead, so a slow peer bounds the backlog at the
+            // one batch just posted rather than growing it without
+            // limit. `wait_for_credit` returns whenever a chunk is
+            // consumable, so the drain below keeps granting credits —
+            // two mutually credit-exhausted ranks cannot both park
+            // forever.
+            loop {
+                let backlog = stream.pending_send_items();
+                stats.peak_outgoing_items = stats.peak_outgoing_items.max(backlog);
+                if backlog == 0 {
+                    break;
+                }
+                stream.wait_for_credit();
+                while let Some((src, chunk)) = stream.try_next() {
+                    stats.peak_inbound_items = stats.peak_inbound_items.max(chunk.len());
+                    fold(src, chunk);
+                }
+            }
         }
     }
     for (dst, bucket) in buckets.iter_mut().enumerate() {
@@ -194,11 +250,22 @@ fn streaming_exchange<T: elba_comm::CommMsg>(
             stream.post(dst, std::mem::take(bucket));
         }
     }
+    stats.peak_outgoing_items = stats.peak_outgoing_items.max(stream.pending_send_items());
     stream.finish_sends();
     for (src, chunk) in stream.by_ref() {
         stats.peak_inbound_items = stats.peak_inbound_items.max(chunk.len());
         fold(src, chunk);
     }
+    stats.peak_outgoing_bytes = stats.peak_outgoing_items * record_bytes;
+    stats.peak_inbound_bytes = stats.peak_inbound_items * record_bytes;
+    // The flow-control window *permits* each of the other p-1 ranks to
+    // keep `window` unacked chunks (≈ one batch) in our mailbox; charge
+    // that permitted ceiling rather than an observed occupancy — the
+    // mailbox's actual fill is timing-dependent, and the tracker's
+    // charges must stay deterministic for the budget verdict to certify
+    // a guaranteed bound.
+    let inbound_ceiling = p.saturating_sub(1) * window * chunk_elems * record_bytes;
+    world.record_mem_transient(stats.peak_bytes() + inbound_ceiling);
     stats
 }
 

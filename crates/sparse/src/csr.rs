@@ -112,6 +112,16 @@ impl<T> Csr<T> {
         &self.values
     }
 
+    /// Bytes of heap storage behind this matrix (indptr + indices +
+    /// values, by length). The quantity every stage charges against the
+    /// memory tracker; deterministic across runs, unlike capacities.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<T>()
+    }
+
     /// Column indices and values of row `i`.
     #[inline]
     pub fn row(&self, i: usize) -> (&[u32], &[T]) {

@@ -7,7 +7,7 @@
 //! transpose, element-wise apply/prune, row-wise reduction into a
 //! [`DistVec`], and symmetric row+column masking (branch removal).
 
-use elba_comm::{CommMsg, ProcGrid};
+use elba_comm::{CommMsg, MemCharge, ProcGrid};
 
 use crate::csr::Csr;
 use crate::dist_vec::DistVec;
@@ -69,6 +69,80 @@ fn merge_row<T>(
     *acc_vals = merged_vals;
 }
 
+/// One SUMMA stage's row-blocked multiply merged straight into the
+/// per-row accumulators: multiply `batch_rows` rows at a time over the
+/// output-column `window`, merge each produced row, and re-size
+/// `charge` to `acc_entries × entry_bytes + resident` after every row
+/// batch so the tracker sees the true working set. Returns the updated
+/// accumulated-entry count. The shared inner loop of the blocked and
+/// column-batched SUMMA schedules — they differ only in the window and
+/// in what counts as `resident`.
+#[allow(clippy::too_many_arguments)]
+fn merge_stage_rows<S: Semiring>(
+    a_block: &Csr<S::A>,
+    b_block: &Csr<S::B>,
+    semiring: &S,
+    window: std::ops::Range<u32>,
+    batch_rows: usize,
+    acc_rows: &mut [(Vec<u32>, Vec<S::Out>)],
+    mut acc_entries: usize,
+    entry_bytes: usize,
+    resident: usize,
+    charge: &mut MemCharge,
+) -> usize {
+    let nrows = acc_rows.len();
+    let mut batcher = SpGemmBatcher::new(a_block, b_block, semiring);
+    let mut start = 0;
+    while start < nrows {
+        let end = (start + batch_rows).min(nrows);
+        let batch = batcher.multiply_rows_in_cols(start..end, window.clone());
+        let (batch_indptr, batch_indices, batch_values) = batch.into_parts();
+        let mut batch_vals = batch_values.into_iter();
+        for (in_batch, row) in (start..end).enumerate() {
+            let width = batch_indptr[in_batch + 1] - batch_indptr[in_batch];
+            if width == 0 {
+                continue;
+            }
+            let cols = &batch_indices[batch_indptr[in_batch]..batch_indptr[in_batch + 1]];
+            let vals: Vec<S::Out> = batch_vals.by_ref().take(width).collect();
+            let before = acc_rows[row].0.len();
+            merge_row(&mut acc_rows[row], cols, vals, |a, v| semiring.add(a, v));
+            acc_entries += acc_rows[row].0.len() - before;
+        }
+        charge.set(acc_entries * entry_bytes + resident);
+        start = end;
+    }
+    acc_entries
+}
+
+/// Pack per-row `(cols, vals)` accumulators into one CSR. The packed
+/// arrays are allocated at full capacity while the row Vecs are still
+/// resident (rows free one by one as they are consumed), so assembly
+/// transiently doubles the accumulated bytes — `charge` is bumped to
+/// that peak and settled back to 1× once packed. Shared by the blocked
+/// and column-batched SUMMA schedules.
+fn pack_rows_into_csr<V>(
+    acc_rows: Vec<(Vec<u32>, Vec<V>)>,
+    ncols: usize,
+    entries: usize,
+    entry_bytes: usize,
+    charge: &mut MemCharge,
+) -> Csr<V> {
+    charge.set(2 * entries * entry_bytes);
+    let nrows = acc_rows.len();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<u32> = Vec::with_capacity(entries);
+    let mut values: Vec<V> = Vec::with_capacity(entries);
+    for (cols, vals) in acc_rows {
+        indices.extend(cols);
+        values.extend(vals);
+        indptr.push(indices.len());
+    }
+    charge.set(entries * entry_bytes);
+    Csr::from_parts(nrows, ncols, indptr, indices, values)
+}
+
 /// Which distributed SUMMA schedule [`DistMat::spgemm_with`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpGemmAlgorithm {
@@ -92,6 +166,16 @@ pub enum SpGemmAlgorithm {
     /// output rows and one merged row. The schedule of choice when the
     /// result block is large relative to the memory budget.
     Blocked,
+    /// ELBA's full batched algorithm: the *output* is split into column
+    /// batches sized from [`SpGemmOptions::mem_budget`] via a cheap
+    /// flop/nnz estimate pass (structure-only broadcasts), and one
+    /// pipelined, row-blocked SUMMA round runs per batch over the
+    /// `ibcast` pipeline. The accumulated batch block plus the resident
+    /// broadcast blocks never exceed the budget (each batch's flop-count
+    /// upper-bounds its accumulator), so overlap detection's memory is
+    /// bounded regardless of how dense `C = AAᵀ` gets — at the price of
+    /// re-broadcasting the input blocks once per round.
+    ColumnBatched,
 }
 
 /// Options threaded through every distributed SpGEMM call site
@@ -99,10 +183,15 @@ pub enum SpGemmAlgorithm {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpGemmOptions {
     pub algorithm: SpGemmAlgorithm,
-    /// Row-batch size for [`SpGemmAlgorithm::Blocked`]; ignored by the
+    /// Row-batch size for [`SpGemmAlgorithm::Blocked`] and the per-round
+    /// multiply of [`SpGemmAlgorithm::ColumnBatched`]; ignored by the
     /// other schedules. Smaller batches mean smaller live transients
     /// (the batch's output rows) at slightly more per-batch overhead.
     pub batch_rows: usize,
+    /// Per-rank transient byte cap for [`SpGemmAlgorithm::ColumnBatched`]
+    /// (broadcast blocks + batch accumulator); `None` runs a single
+    /// column batch. Ignored by the other schedules.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for SpGemmOptions {
@@ -110,6 +199,7 @@ impl Default for SpGemmOptions {
         SpGemmOptions {
             algorithm: SpGemmAlgorithm::Pipelined,
             batch_rows: 1024,
+            mem_budget: None,
         }
     }
 }
@@ -134,6 +224,22 @@ impl SpGemmOptions {
         SpGemmOptions {
             algorithm: SpGemmAlgorithm::Blocked,
             batch_rows,
+            ..Self::default()
+        }
+    }
+
+    /// The output-column-batched schedule under a transient byte budget
+    /// per rank (`None` = one batch, i.e. a pipelined blocked multiply).
+    pub fn column_batched(batch_rows: usize, mem_budget: Option<u64>) -> Self {
+        assert!(batch_rows > 0, "batched SpGEMM needs a positive batch size");
+        assert!(
+            mem_budget != Some(0),
+            "a SpGEMM memory budget must be positive"
+        );
+        SpGemmOptions {
+            algorithm: SpGemmAlgorithm::ColumnBatched,
+            batch_rows,
+            mem_budget,
         }
     }
 }
@@ -230,6 +336,13 @@ impl<T: Clone + CommMsg> DistMat<T> {
     #[inline]
     pub fn local(&self) -> &Csr<T> {
         &self.local
+    }
+
+    /// Heap bytes behind this rank's local block — what one rank charges
+    /// against the memory tracker while the matrix is resident.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.local.heap_bytes()
     }
 
     /// Global nonzero count (collective).
@@ -419,7 +532,62 @@ impl<T: Clone + CommMsg> DistMat<T> {
             SpGemmAlgorithm::Blocked => {
                 self.summa_blocked(grid, other, semiring, opts.batch_rows.max(1))
             }
+            SpGemmAlgorithm::ColumnBatched => self.summa_column_batched(
+                grid,
+                other,
+                semiring,
+                opts.batch_rows.max(1),
+                opts.mem_budget,
+                &mut |_, _, _| true,
+            ),
         };
+        DistMat {
+            row_layout: self.row_layout,
+            col_layout: other.col_layout,
+            local,
+        }
+    }
+
+    /// [`DistMat::spgemm_with`] fused with an entry-wise prune:
+    /// equivalent to `spgemm_with(..).prune(grid, keep)` for every
+    /// schedule, but under [`SpGemmAlgorithm::ColumnBatched`] the
+    /// predicate runs on each column batch *as it completes* — exactly
+    /// ELBA's batched overlap detection, where the shared-k-mer
+    /// threshold is applied per batch so only the pruned output is ever
+    /// retained. Without the fusion, a budget can bound every transient
+    /// and still drown in the unpruned product; with it, the retained
+    /// bytes are the pruned matrix from the first batch on. `keep` sees
+    /// global coordinates.
+    pub fn spgemm_pruned_with<S, U>(
+        &self,
+        grid: &ProcGrid,
+        other: &DistMat<U>,
+        semiring: &S,
+        opts: &SpGemmOptions,
+        mut keep: impl FnMut(u64, u64, &S::Out) -> bool,
+    ) -> DistMat<S::Out>
+    where
+        S: Semiring<A = T, B = U>,
+        U: Clone + CommMsg,
+        S::Out: Clone + CommMsg,
+    {
+        if opts.algorithm != SpGemmAlgorithm::ColumnBatched {
+            return self
+                .spgemm_with(grid, other, semiring, opts)
+                .prune(grid, keep);
+        }
+        assert_eq!(
+            self.col_layout, other.row_layout,
+            "inner dimension layouts must agree for SUMMA"
+        );
+        let local = self.summa_column_batched(
+            grid,
+            other,
+            semiring,
+            opts.batch_rows.max(1),
+            opts.mem_budget,
+            &mut keep,
+        );
         DistMat {
             row_layout: self.row_layout,
             col_layout: other.col_layout,
@@ -437,7 +605,9 @@ impl<T: Clone + CommMsg> DistMat<T> {
         S::Out: Clone + CommMsg,
     {
         let q = grid.q();
+        let mut charge = grid.world().mem_charge(0);
         let mut acc: Vec<(u32, u32, S::Out)> = Vec::new();
+        let triple_bytes = std::mem::size_of::<(u32, u32, S::Out)>();
         for s in 0..q {
             let a_block = grid
                 .row()
@@ -447,7 +617,9 @@ impl<T: Clone + CommMsg> DistMat<T> {
                 .bcast(s, (grid.myrow() == s).then(|| other.local.clone()));
             let stage = spgemm(&a_block, &b_block, semiring);
             acc.extend(stage.into_triples());
+            charge.set(acc.len() * triple_bytes + a_block.heap_bytes() + b_block.heap_bytes());
         }
+        charge.set(acc.len() * triple_bytes);
         let row_range = self.row_layout.block_range(grid.myrow());
         let col_range = other.col_layout.block_range(grid.mycol());
         Csr::from_triples(row_range.len(), col_range.len(), acc, |a, v| {
@@ -482,6 +654,7 @@ impl<T: Clone + CommMsg> DistMat<T> {
                 .ibcast(s, (grid.myrow() == s).then(|| other.local.clone()));
             (a_req, b_req)
         };
+        let mut charge = grid.world().mem_charge(0);
         let mut acc: Csr<S::Out> = Csr::empty(row_range.len(), col_range.len());
         let mut inflight = Some(post(0));
         for s in 0..q {
@@ -493,6 +666,9 @@ impl<T: Clone + CommMsg> DistMat<T> {
             let b_block = b_req.wait();
             inflight = next;
             let stage = spgemm(&a_block, &b_block, semiring);
+            charge.set(
+                acc.heap_bytes() + stage.heap_bytes() + a_block.heap_bytes() + b_block.heap_bytes(),
+            );
             acc = csr_merge(acc, stage, |a, v| semiring.add(a, v));
         }
         acc
@@ -521,6 +697,9 @@ impl<T: Clone + CommMsg> DistMat<T> {
         let row_range = self.row_layout.block_range(grid.myrow());
         let col_range = other.col_layout.block_range(grid.mycol());
         let nrows = row_range.len();
+        let entry_bytes = std::mem::size_of::<u32>() + std::mem::size_of::<S::Out>();
+        let mut charge = grid.world().mem_charge(0);
+        let mut acc_entries = 0usize;
         // Accumulate per row (sorted column/value pairs) so each batch
         // merges in place, touching only its own row window.
         let mut acc_rows: Vec<(Vec<u32>, Vec<S::Out>)> =
@@ -532,36 +711,299 @@ impl<T: Clone + CommMsg> DistMat<T> {
             let b_block = grid
                 .col()
                 .bcast(s, (grid.myrow() == s).then(|| other.local.clone()));
-            let mut batcher = SpGemmBatcher::new(&a_block, &b_block, semiring);
-            let mut start = 0;
-            while start < nrows {
-                let end = (start + batch_rows).min(nrows);
-                let batch = batcher.multiply_rows(start..end);
-                let (batch_indptr, batch_indices, batch_values) = batch.into_parts();
-                let mut batch_vals = batch_values.into_iter();
-                for (in_batch, row) in (start..end).enumerate() {
-                    let width = batch_indptr[in_batch + 1] - batch_indptr[in_batch];
-                    if width == 0 {
+            let stage_resident = a_block.heap_bytes() + b_block.heap_bytes();
+            acc_entries = merge_stage_rows(
+                &a_block,
+                &b_block,
+                semiring,
+                0..b_block.ncols() as u32,
+                batch_rows,
+                &mut acc_rows,
+                acc_entries,
+                entry_bytes,
+                stage_resident,
+                &mut charge,
+            );
+        }
+        pack_rows_into_csr(
+            acc_rows,
+            col_range.len(),
+            acc_entries,
+            entry_bytes,
+            &mut charge,
+        )
+    }
+
+    /// ELBA's batched SpGEMM: split the *output* into column batches and
+    /// run one pipelined, row-blocked SUMMA round per batch, so the live
+    /// batch accumulator plus the resident broadcast blocks stay under
+    /// `budget` bytes per rank.
+    ///
+    /// Batch sizing uses a cheap flop/nnz estimate pass before any real
+    /// multiply: per SUMMA stage, the `A`-block owner broadcasts its
+    /// per-column nonzero counts along the grid row and the `B`-block
+    /// owner its structure (`indptr`/`indices`, no values) along the
+    /// grid column — a fraction of a full block broadcast (and the
+    /// received vectors are charged to the tracker while held). From those
+    /// each rank computes `flops(j) = Σ_s Σ_{k : B_s[k,j]≠0} nnz_col(A_s, k)`
+    /// for every local output column `j`: the exact multiply-add count
+    /// landing in that column, which upper-bounds the column's batch
+    /// accumulator entries (merging only shrinks them). Columns are then
+    /// packed greedily so each batch's estimated bytes fit the budget
+    /// left after two stages of broadcast blocks (the `ibcast` pipeline
+    /// double-buffers). Ranks batch their own columns independently —
+    /// broadcasts ship full blocks either way, so per-rank batch bounds
+    /// need no global agreement beyond the round *count* (an allreduce
+    /// max; short ranks pad with empty batches to stay collective).
+    /// Without a budget the estimate pass is skipped entirely — the run
+    /// is a single round over every column, so the structure broadcasts
+    /// would be pure overhead.
+    ///
+    /// The price of the bound is re-broadcasting the inputs once per
+    /// round (`rounds × q` stage broadcasts), exactly as in ELBA's
+    /// multi-round formulation. Every transient is charged against the
+    /// rank's memory tracker, so a profiled run *shows* the bound
+    /// holding instead of claiming it.
+    fn summa_column_batched<S, U>(
+        &self,
+        grid: &ProcGrid,
+        other: &DistMat<U>,
+        semiring: &S,
+        batch_rows: usize,
+        budget: Option<u64>,
+        keep: &mut impl FnMut(u64, u64, &S::Out) -> bool,
+    ) -> Csr<S::Out>
+    where
+        S: Semiring<A = T, B = U>,
+        U: Clone + CommMsg,
+        S::Out: Clone + CommMsg,
+    {
+        let q = grid.q();
+        let world = grid.world();
+        let row_range = self.row_layout.block_range(grid.myrow());
+        let col_range = other.col_layout.block_range(grid.mycol());
+        let (nrows, ncols) = (row_range.len(), col_range.len());
+
+        let entry_bytes = (std::mem::size_of::<u32>() + std::mem::size_of::<S::Out>()) as u64;
+
+        // ---- estimate pass (budgeted runs only): per-column flops ----
+        // An unbudgeted run is a single round over every column, so the
+        // structure broadcasts and the counting sweep would be pure
+        // overhead; resident blocks are then charged from the blocks as
+        // they arrive instead of from `stage_bytes`. The gate is
+        // grid-uniform (every rank holds the same options), so the
+        // collectives below stay collective.
+        let mut col_est: Vec<u64> = Vec::new();
+        let mut stage_bytes: Vec<usize> = Vec::new();
+        if budget.is_some() {
+            let mut col_flops: Vec<u64> = vec![0; ncols];
+            stage_bytes.reserve(q);
+            let mut est_charge = world.mem_charge(0);
+            for s in 0..q {
+                let (a_col_nnz, a_bytes) = grid.row().bcast(
+                    s,
+                    (grid.mycol() == s).then(|| {
+                        let mut counts = vec![0u32; self.local.ncols()];
+                        for &c in self.local.indices() {
+                            counts[c as usize] += 1;
+                        }
+                        (counts, self.local.heap_bytes())
+                    }),
+                );
+                let (b_indptr, b_indices, b_bytes) = grid.col().bcast(
+                    s,
+                    (grid.myrow() == s).then(|| {
+                        (
+                            other.local.indptr().to_vec(),
+                            other.local.indices().to_vec(),
+                            other.local.heap_bytes(),
+                        )
+                    }),
+                );
+                // The received structure vectors are real resident
+                // bytes; the budget verdict is only trustworthy if the
+                // pass that sizes the batches charges its own working
+                // set too.
+                est_charge.set(
+                    col_flops.len() * std::mem::size_of::<u64>()
+                        + a_col_nnz.len() * std::mem::size_of::<u32>()
+                        + b_indptr.len() * std::mem::size_of::<usize>()
+                        + b_indices.len() * std::mem::size_of::<u32>(),
+                );
+                stage_bytes.push(a_bytes + b_bytes);
+                for (k, &ann) in a_col_nnz.iter().enumerate() {
+                    if ann == 0 {
                         continue;
                     }
-                    let cols = &batch_indices[batch_indptr[in_batch]..batch_indptr[in_batch + 1]];
-                    let vals: Vec<S::Out> = batch_vals.by_ref().take(width).collect();
-                    merge_row(&mut acc_rows[row], cols, vals, |a, v| semiring.add(a, v));
+                    for &j in &b_indices[b_indptr[k]..b_indptr[k + 1]] {
+                        col_flops[j as usize] += ann as u64;
+                    }
                 }
-                start = end;
             }
+            // The accumulator holds at most `nrows` entries per column no
+            // matter how many flops land there (the SPA merges
+            // duplicates), so cap the flop bound per column — under heavy
+            // inner-index multiplicity (k-mers shared by many reads) the
+            // raw flop count overshoots the real accumulator by orders of
+            // magnitude.
+            col_est = col_flops
+                .iter()
+                .map(|&f| f.min(nrows as u64) * entry_bytes)
+                .collect();
         }
-        let nnz = acc_rows.iter().map(|(cols, _)| cols.len()).sum();
-        let mut indptr = Vec::with_capacity(nrows + 1);
-        indptr.push(0usize);
-        let mut indices: Vec<u32> = Vec::with_capacity(nnz);
-        let mut values: Vec<S::Out> = Vec::with_capacity(nnz);
-        for (cols, vals) in acc_rows {
-            indices.extend(cols);
-            values.extend(vals);
-            indptr.push(indices.len());
+
+        // ---- column batching under the budget ----
+        // The broadcast-block residency floor must be agreed grid-wide:
+        // it decides between the double-buffered ibcast pipeline and
+        // single-buffered blocking rounds, and a rank-divergent choice
+        // would desynchronize the collective schedule.
+        let max_stage = world.allreduce(
+            stage_bytes.iter().copied().max().unwrap_or(0) as u64,
+            u64::max,
+        );
+        // Prefetching doubles the resident blocks; only pipeline when the
+        // budget leaves at least half of itself for the accumulator.
+        let double_buffer = budget.is_none_or(|b| 4 * max_stage <= b);
+        let resident_floor = if double_buffer {
+            2 * max_stage
+        } else {
+            max_stage
+        };
+
+        // ---- one row-blocked SUMMA round per column batch ----
+        let post = |s: usize| {
+            let a_req = grid
+                .row()
+                .ibcast(s, (grid.mycol() == s).then(|| self.local.clone()));
+            let b_req = grid
+                .col()
+                .ibcast(s, (grid.myrow() == s).then(|| other.local.clone()));
+            (a_req, b_req)
+        };
+        let mut out_rows: Vec<(Vec<u32>, Vec<S::Out>)> =
+            (0..nrows).map(|_| (Vec::new(), Vec::new())).collect();
+        let mut out_entries = 0usize;
+        let mut out_charge = world.mem_charge(0);
+        let mut next_col = 0usize; // first local column not yet computed
+        loop {
+            // Rounds are collective (each one broadcasts every block), so
+            // all ranks keep going until the slowest-packing rank is done;
+            // finished ranks run empty windows.
+            let more = world.allreduce(u64::from(next_col < ncols), u64::max);
+            if more == 0 {
+                break;
+            }
+            // Re-pack each round against the budget left after the bytes
+            // already accumulated into the (pruned) output and the
+            // resident broadcast blocks: each column's estimate bounds
+            // its accumulator entries, so a batch packed under `usable`
+            // keeps the round's working set within the cap. A budget
+            // below the resident floor can't be met by more batching
+            // (the inputs themselves exceed it), so `usable` floors at a
+            // quarter budget instead of degrading to one-column rounds
+            // whose broadcasts would dwarf any saving.
+            let start_col = next_col;
+            if let Some(b) = budget {
+                let usable = b
+                    .saturating_sub(resident_floor + out_entries as u64 * entry_bytes)
+                    .max(b / 4)
+                    .max(entry_bytes);
+                let mut batch_est = 0u64;
+                while next_col < ncols {
+                    let w = col_est[next_col];
+                    if batch_est > 0 && batch_est + w > usable {
+                        break;
+                    }
+                    batch_est += w;
+                    next_col += 1;
+                }
+            } else {
+                // Unbudgeted: every column in one round.
+                next_col = ncols;
+            }
+            let window = (start_col as u32)..(next_col as u32);
+            let mut transient = world.mem_charge(0);
+            let mut acc_rows: Vec<(Vec<u32>, Vec<S::Out>)> =
+                (0..nrows).map(|_| (Vec::new(), Vec::new())).collect();
+            let mut acc_entries = 0usize;
+            let mut inflight = double_buffer.then(|| post(0));
+            for s in 0..q {
+                let (a_block, b_block) = if double_buffer {
+                    let next = (s + 1 < q).then(|| post(s + 1));
+                    let (a_req, b_req) = inflight.take().expect("stage request posted");
+                    let blocks = (a_req.wait(), b_req.wait());
+                    inflight = next;
+                    blocks
+                } else {
+                    (
+                        grid.row()
+                            .bcast(s, (grid.mycol() == s).then(|| self.local.clone())),
+                        grid.col()
+                            .bcast(s, (grid.myrow() == s).then(|| other.local.clone())),
+                    )
+                };
+                // A finished rank padding out the collective round has
+                // an empty window: the broadcasts above must still run
+                // (they are collective), but the multiply sweep over
+                // every A nonzero would produce nothing — skip it.
+                if window.is_empty() {
+                    continue;
+                }
+                let resident = match stage_bytes.get(s) {
+                    // Budgeted: estimate-pass sizes, including the
+                    // prefetched next stage under double buffering.
+                    Some(&sb) => {
+                        sb + if double_buffer && s + 1 < q {
+                            stage_bytes[s + 1]
+                        } else {
+                            0
+                        }
+                    }
+                    // Unbudgeted: no estimate pass ran; charge the
+                    // blocks actually resident this stage.
+                    None => a_block.heap_bytes() + b_block.heap_bytes(),
+                };
+                acc_entries = merge_stage_rows(
+                    &a_block,
+                    &b_block,
+                    semiring,
+                    window.clone(),
+                    batch_rows,
+                    &mut acc_rows,
+                    acc_entries,
+                    entry_bytes as usize,
+                    resident,
+                    &mut transient,
+                );
+            }
+            // Prune-as-you-go (ELBA's per-batch thresholding), then
+            // concatenate the survivors onto the output: windows arrive
+            // in increasing column order, so per-row appends stay sorted.
+            // The accumulator hands its rows over one at a time (moves,
+            // not copies), so its charge is dropped before the append —
+            // holding both would double-count the batch during handover.
+            transient.set(0);
+            let (r0, c0) = (row_range.start, col_range.start);
+            for (row, (cols, vals)) in acc_rows.into_iter().enumerate() {
+                let global_row = (row + r0) as u64;
+                for (col, val) in cols.into_iter().zip(vals) {
+                    if keep(global_row, (col as usize + c0) as u64, &val) {
+                        out_rows[row].0.push(col);
+                        out_rows[row].1.push(val);
+                        out_entries += 1;
+                    }
+                }
+            }
+            out_charge.set(out_entries * entry_bytes as usize);
         }
-        Csr::from_parts(nrows, col_range.len(), indptr, indices, values)
+
+        pack_rows_into_csr(
+            out_rows,
+            ncols,
+            out_entries,
+            entry_bytes as usize,
+            &mut out_charge,
+        )
     }
 
     /// Row-wise reduction into a [`DistVec`] aligned with the row layout:
@@ -765,6 +1207,10 @@ mod tests {
                 SpGemmOptions::blocked(1),
                 SpGemmOptions::blocked(3),
                 SpGemmOptions::blocked(1024),
+                SpGemmOptions::column_batched(1024, None),
+                SpGemmOptions::column_batched(2, Some(1)),
+                SpGemmOptions::column_batched(7, Some(400)),
+                SpGemmOptions::column_batched(1024, Some(1 << 30)),
             ] {
                 let ok = Cluster::run(p, move |comm| {
                     let grid = ProcGrid::new(comm);
@@ -793,6 +1239,69 @@ mod tests {
                 assert!(ok.iter().all(|&x| x), "p={p} opts={opts:?}");
             }
         }
+    }
+
+    #[test]
+    fn column_batched_tracked_high_water_respects_budget() {
+        // The ELBA overlap-detection shape: a dense-ish C = AAᵀ whose
+        // *unpruned* block dwarfs what survives the fused prune (strict
+        // upper triangle + value threshold). A single round must hold
+        // the whole unpruned accumulator at once and blow past the
+        // budget; the column-batched schedule prunes batch by batch and
+        // provably stays under it. The budget is computed from the real
+        // retained sizes: 4/3 × (pruned C + two resident broadcast
+        // stages) — the packer's feasibility bound — plus slack.
+        let run = |opts: SpGemmOptions| {
+            Cluster::run_profiled(4, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mut rng = StdRng::seed_from_u64(4242);
+                let (n, k) = (200usize, 64usize);
+                let triples = random_triples(&mut rng, n, k, 0.2);
+                let mine = if grid.world().rank() == 0 {
+                    triples
+                } else {
+                    Vec::new()
+                };
+                let a = DistMat::from_triples(&grid, n, k, mine, |_, _| unreachable!());
+                let at = a.transpose(&grid);
+                let c = {
+                    let _g = grid.world().phase("spgemm");
+                    a.spgemm_pruned_with(&grid, &at, &PlusTimes, &opts, |r, col, v| {
+                        r < col && *v >= 6.0
+                    })
+                };
+                let stage_bytes = a.heap_bytes() + at.heap_bytes();
+                let mut got = c.gather_triples(&grid);
+                got.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+                (got, c.heap_bytes(), stage_bytes)
+            })
+        };
+        let (outputs, unbatched) = run(SpGemmOptions::column_batched(64, None));
+        let hw_single = unbatched.max_mem_hw("spgemm");
+        let max_c = outputs.iter().map(|(_, cb, _)| *cb).max().expect("ranks");
+        let max_stage = outputs.iter().map(|(_, _, sb)| *sb).max().expect("ranks");
+        let budget = (4 * (max_c + 2 * max_stage) / 3 + 8192) as u64;
+        assert!(
+            hw_single > budget,
+            "workload too small to exercise the bound: single-round hw \
+             {hw_single} vs budget {budget}"
+        );
+        let (batched_outputs, batched) = run(SpGemmOptions::column_batched(64, Some(budget)));
+        let hw_batched = batched.max_mem_hw("spgemm");
+        assert!(
+            hw_batched <= budget,
+            "column-batched hw {hw_batched} exceeds budget {budget}"
+        );
+        // The eager schedule pruning after the fact is the reference.
+        let (eager_outputs, _) = run(SpGemmOptions::eager());
+        assert_eq!(
+            outputs[0].0, batched_outputs[0].0,
+            "batching must not change the pruned product"
+        );
+        assert_eq!(
+            outputs[0].0, eager_outputs[0].0,
+            "fused prune must equal prune-after-eager"
+        );
     }
 
     #[test]

@@ -111,8 +111,27 @@ impl<'m, S: Semiring> SpGemmBatcher<'m, S> {
     /// Multiply the output-row window `rows` of `A ⊗ B`; the result has
     /// `rows.len()` rows (row `i` holding output row `rows.start + i`).
     pub fn multiply_rows(&mut self, rows: std::ops::Range<usize>) -> Csr<S::Out> {
+        let ncols = self.b.ncols() as u32;
+        self.multiply_rows_in_cols(rows, 0..ncols)
+    }
+
+    /// [`SpGemmBatcher::multiply_rows`] restricted to output columns in
+    /// `cols`: only products landing in that window are accumulated —
+    /// the kernel underneath the column-batched distributed multiply,
+    /// where each SUMMA round computes one column batch of `C` so the
+    /// live accumulator never exceeds the batch. The result keeps the
+    /// full column dimension (entries outside the window are simply
+    /// absent), so outputs of consecutive windows concatenate row-wise
+    /// without reindexing.
+    pub fn multiply_rows_in_cols(
+        &mut self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<u32>,
+    ) -> Csr<S::Out> {
         assert!(rows.end <= self.a.nrows(), "row range out of bounds");
         let ncols = self.b.ncols();
+        assert!(cols.end as usize <= ncols, "column range out of bounds");
+        let full_width = cols.start == 0 && cols.end as usize == ncols;
         let mut indptr = Vec::with_capacity(rows.len() + 1);
         indptr.push(0usize);
         let mut indices = Vec::new();
@@ -122,6 +141,15 @@ impl<'m, S: Semiring> SpGemmBatcher<'m, S> {
             let (a_cols, a_vals) = self.a.row(i);
             for (&k, a_ik) in a_cols.iter().zip(a_vals) {
                 let (b_cols, b_vals) = self.b.row(k as usize);
+                // Restrict B's row to the output-column window; rows are
+                // sorted, so the window is one contiguous span.
+                let (b_cols, b_vals) = if full_width {
+                    (b_cols, b_vals)
+                } else {
+                    let lo = b_cols.partition_point(|&j| j < cols.start);
+                    let hi = lo + b_cols[lo..].partition_point(|&j| j < cols.end);
+                    (&b_cols[lo..hi], &b_vals[lo..hi])
+                };
                 for (&j, b_kj) in b_cols.iter().zip(b_vals) {
                     if let Some(product) = self.semiring.multiply(a_ik, b_kj) {
                         self.spa.accumulate(self.semiring, j, product);

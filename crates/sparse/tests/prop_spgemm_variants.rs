@@ -1,8 +1,11 @@
-//! Property tests pinning the SUMMA schedule equivalence: the pipelined
-//! and blocked SpGEMM paths must produce results *identical* to the eager
-//! reference — same structure including explicit zeros, same values —
-//! on random matrices across 1×1, 2×2, and 3×3 process grids. The
-//! schedules may only differ in overlap and peak memory, never output.
+//! Property tests pinning the SUMMA schedule equivalence: the pipelined,
+//! blocked, and column-batched SpGEMM paths must produce results
+//! *identical* to the eager reference — same structure including
+//! explicit zeros, same values — on random matrices across 1×1, 2×2,
+//! and 3×3 process grids. The schedules may only differ in overlap and
+//! peak memory, never output; tiny byte budgets force the column-batched
+//! schedule through many single-column rounds, the worst case for a
+//! concatenation bug.
 
 use elba_comm::{Cluster, ProcGrid};
 use elba_sparse::semiring::{MinPlus, PlusTimes};
@@ -66,10 +69,12 @@ proptest! {
         k in 1usize..14,
         m in 1usize..14,
         batch in 1usize..8,
+        budget_raw in 0u64..4000,
         a_entries in proptest::collection::vec((0usize..20, 0usize..20, -3i8..4), 0..70),
         b_entries in proptest::collection::vec((0usize..20, 0usize..20, -3i8..4), 0..70),
     ) {
         let p = [1usize, 4, 9][p_idx];
+        let budget = (budget_raw > 0).then_some(budget_raw); // 0 = unbudgeted
         let a_triples = to_triples(n, k, &a_entries);
         let b_triples = to_triples(k, m, &b_entries);
         let eager =
@@ -78,8 +83,16 @@ proptest! {
             run_schedule(p, n, k, m, &a_triples, &b_triples, SpGemmOptions::pipelined());
         let blocked =
             run_schedule(p, n, k, m, &a_triples, &b_triples, SpGemmOptions::blocked(batch));
+        let column_batched = run_schedule(
+            p, n, k, m, &a_triples, &b_triples,
+            SpGemmOptions::column_batched(batch, budget),
+        );
         prop_assert_eq!(&pipelined, &eager, "pipelined != eager (p={})", p);
         prop_assert_eq!(&blocked, &eager, "blocked(batch={}) != eager (p={})", batch, p);
+        prop_assert_eq!(
+            &column_batched, &eager,
+            "column_batched(batch={}, budget={:?}) != eager (p={})", batch, budget, p
+        );
     }
 
     #[test]
@@ -108,6 +121,8 @@ proptest! {
         let eager = run(SpGemmOptions::eager());
         prop_assert_eq!(&run(SpGemmOptions::pipelined()), &eager);
         prop_assert_eq!(&run(SpGemmOptions::blocked(2)), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::column_batched(2, Some(256))), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::column_batched(1024, None)), &eager);
     }
 
     #[test]
@@ -142,5 +157,7 @@ proptest! {
         prop_assert_eq!(&run(SpGemmOptions::pipelined()), &eager);
         prop_assert_eq!(&run(SpGemmOptions::blocked(1)), &eager);
         prop_assert_eq!(&run(SpGemmOptions::blocked(5)), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::column_batched(1, Some(1))), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::column_batched(5, Some(1000))), &eager);
     }
 }

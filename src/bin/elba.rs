@@ -162,12 +162,46 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
         },
         batch_kmers,
     );
+    // --mem-budget overrides the batching knobs above: one lever derives
+    // batch_kmers, batch_rows, and the column-batched SpGEMM cap.
+    if let Some(raw) = flags.get("mem-budget") {
+        let budget = MemBudget::parse(raw).map_err(|e| format!("--mem-budget: {e}"))?;
+        if flags.contains_key("spgemm") {
+            eprintln!("warning: --mem-budget selects the column-batched SpGEMM; --spgemm ignored");
+        }
+        if flags.get("kmer-exchange").is_some_and(|v| v != "streaming") {
+            eprintln!(
+                "warning: --mem-budget forces the streaming k-mer exchange; \
+                 --kmer-exchange ignored"
+            );
+        }
+        for knob in ["batch-kmers", "batch-rows"] {
+            if flags.contains_key(knob) {
+                eprintln!("warning: --mem-budget derives the batching knobs; --{knob} ignored");
+            }
+        }
+        cfg = cfg.with_mem_budget(budget);
+    }
 
     println!(
-        "assembling {} reads on {ranks} in-process ranks (k={}, spgemm={schedule}, \
-         kmer-exchange={kmer_exchange})",
+        "assembling {} reads on {ranks} in-process ranks (k={}, spgemm={}, \
+         kmer-exchange={}{})",
         reads.len(),
-        cfg.kmer.k
+        cfg.kmer.k,
+        if cfg.mem_budget.is_limited() {
+            "column-batched"
+        } else {
+            schedule
+        },
+        if cfg.mem_budget.is_limited() {
+            "streaming"
+        } else {
+            kmer_exchange
+        },
+        match cfg.mem_budget.total() {
+            Some(bytes) => format!(", mem-budget={bytes}B/rank"),
+            None => String::new(),
+        }
     );
     let reads_run = reads.clone();
     let cfg_run = cfg.clone();
@@ -177,6 +211,22 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
     });
     let (contigs, result) = outputs.remove(0);
     print!("{}", profile.render_table());
+    if let Some(total) = cfg.mem_budget.total() {
+        let peak = profile
+            .phase_names()
+            .iter()
+            .map(|name| profile.max_mem_hw(name))
+            .max()
+            .unwrap_or(0);
+        println!(
+            "mem budget: {total} B/rank | peak tracked high-water: {peak} B ({})",
+            if peak <= total {
+                "within budget"
+            } else {
+                "EXCEEDED"
+            }
+        );
+    }
     println!(
         "contigs: {} | reliable k-mers: {} | candidate pairs: {} | string-graph nnz: {}",
         contigs.len(),
@@ -251,7 +301,7 @@ fn usage() -> String {
      \u{20}        [--xdrop 15] [--min-overlap 100] [--scaffold true]\n\
      \u{20}        [--spgemm eager|pipelined|blocked] [--batch-rows 1024]\n\
      \u{20}        [--kmer-exchange eager|streaming] [--batch-kmers 65536]\n\
-     \u{20}        [--gfa graph.gfa]\n\
+     \u{20}        [--mem-budget 64M] [--gfa graph.gfa]\n\
      evaluate --reference genome.fasta --contigs contigs.fasta"
         .to_owned()
 }

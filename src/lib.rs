@@ -42,6 +42,7 @@ pub use elba_baseline as baseline;
 pub use elba_comm as comm;
 pub use elba_core as core;
 pub use elba_graph as graph;
+pub use elba_mem as mem;
 pub use elba_quality as quality;
 pub use elba_seq as seq;
 pub use elba_sparse as sparse;
@@ -56,6 +57,7 @@ pub mod prelude {
         ContigConfig, PartitionStrategy, PipelineConfig, PipelineResult,
     };
     pub use elba_graph::OverlapConfig;
+    pub use elba_mem::{MemBudget, MemTracker};
     pub use elba_quality::{evaluate, QualityConfig, QualityReport};
     pub use elba_seq::{DatasetSpec, KmerConfig, KmerExchange, ReadStore, Seq};
     pub use elba_sparse::{DistMat, DistVec, Semiring};

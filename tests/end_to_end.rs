@@ -91,6 +91,57 @@ fn each_read_belongs_to_at_most_one_contig() {
 }
 
 #[test]
+fn budgeted_pipeline_respects_memory_budget_and_output() {
+    // The memory-budget acceptance run: a celegans-like dataset on a 2×2
+    // grid with `--mem-budget`-equivalent configuration must (a) report
+    // a per-phase memory high-water for every pipeline phase, (b) keep
+    // the SpGEMM phase's tracked high-water within the budget, and (c)
+    // assemble contigs byte-identical to the unbudgeted eager run —
+    // bounded memory is a schedule change, never a result change.
+    let spec = DatasetSpec::celegans_like(0.15, 314);
+    let (_genome, reads) = reads_of(&spec);
+    let budget_bytes: u64 = 8 << 20; // feasible: inputs alone are ~5 MB/rank
+    let eager_cfg = PipelineConfig::for_dataset(&spec)
+        .with_spgemm(elba::sparse::SpGemmOptions::eager())
+        .with_kmer_exchange(KmerExchange::Eager, 1 << 16);
+    let budget_cfg =
+        PipelineConfig::for_dataset(&spec).with_mem_budget(MemBudget::bytes(budget_bytes));
+    assert_eq!(
+        budget_cfg.overlap.spgemm.algorithm,
+        elba::sparse::SpGemmAlgorithm::ColumnBatched,
+        "a budget must switch SpGEMM to the column-batched schedule"
+    );
+
+    let run_profiled = |cfg: PipelineConfig| {
+        let reads = reads.clone();
+        let (mut outs, profile) = Cluster::run_profiled(4, move |comm| {
+            let grid = ProcGrid::new(comm);
+            let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+            contigs
+        });
+        (canonical(&outs.remove(0)), profile)
+    };
+    let (eager_contigs, _) = run_profiled(eager_cfg);
+    let (budget_contigs, profile) = run_profiled(budget_cfg);
+
+    for phase in ["CountKmer", "DetectOverlap", "Alignment", "TrReduction"] {
+        assert!(
+            profile.max_mem_hw(phase) > 0,
+            "phase {phase} must report a memory high-water"
+        );
+    }
+    let spgemm_hw = profile.max_mem_hw("DetectOverlap");
+    assert!(
+        spgemm_hw <= budget_bytes,
+        "DetectOverlap high-water {spgemm_hw} exceeds the {budget_bytes}-byte budget"
+    );
+    assert_eq!(
+        eager_contigs, budget_contigs,
+        "budgeted contigs must be byte-identical to the unbudgeted eager run"
+    );
+}
+
+#[test]
 fn contig_length_is_bounded_by_member_reads() {
     let spec = DatasetSpec::celegans_like(0.1, 55);
     let (_genome, reads) = reads_of(&spec);
