@@ -11,4 +11,7 @@ pub mod overlap;
 pub mod xdrop;
 
 pub use overlap::{classify, dovetail_edges, OverlapAln, OverlapClass, SgEdge};
-pub use xdrop::{extend_seed, xdrop_extend, Extension, Scoring, SeedAlignment};
+pub use xdrop::{
+    extend_seed, extend_seed_with, xdrop_extend, xdrop_extend_with, Extension, Scoring,
+    SeedAlignment, XdropWorkspace,
+};

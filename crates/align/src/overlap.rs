@@ -84,6 +84,7 @@ pub struct SgEdge {
 }
 
 elba_comm::impl_comm_msg_pod!(SgEdge);
+elba_mem::impl_deep_bytes_pod!(SgEdge);
 
 /// Classification outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -37,10 +37,41 @@ pub struct Extension {
 
 const NEG: i32 = i32::MIN / 4;
 
+/// Reusable buffers for [`xdrop_extend_with`] / [`extend_seed_with`]:
+/// the three rotating antidiagonal bands plus the reversed-prefix
+/// staging buffers of the left extension. One workspace serves any
+/// number of seed extensions in sequence — the overlap stage holds one
+/// per rank and sweeps it over every candidate pair, so the innermost
+/// alignment kernel stops paying a fresh set of allocations per read
+/// pair. A default-constructed workspace is empty; buffers grow to the
+/// largest extension seen and are then reused at that capacity.
+#[derive(Debug, Default)]
+pub struct XdropWorkspace {
+    band_a: Vec<i32>,
+    band_b: Vec<i32>,
+    band_c: Vec<i32>,
+    a_rev: Vec<u8>,
+    b_rev: Vec<u8>,
+}
+
+/// One-shot [`xdrop_extend_with`]: allocates a throwaway workspace.
+/// Call sites extending many seeds should hold an [`XdropWorkspace`]
+/// and use the `_with` variant.
+pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
+    xdrop_extend_with(&mut XdropWorkspace::default(), a, b, xdrop, sc)
+}
+
 /// Extend an alignment from `(0, 0)` over `a` and `b`, stopping when every
 /// cell of the current antidiagonal falls more than `xdrop` below the best
-/// score seen. Returns the best-scoring endpoint.
-pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
+/// score seen. Returns the best-scoring endpoint. The antidiagonal band
+/// buffers live in `ws` and are reused across calls.
+pub fn xdrop_extend_with(
+    ws: &mut XdropWorkspace,
+    a: &[u8],
+    b: &[u8],
+    xdrop: i32,
+    sc: Scoring,
+) -> Extension {
     if a.is_empty() || b.is_empty() {
         return Extension {
             score: 0,
@@ -61,11 +92,18 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
         b_len: 0,
     };
     // (band values, j of first cell); empty vec = fully pruned level.
-    // Three buffers rotate to avoid per-antidiagonal allocation in this
-    // innermost pipeline kernel.
-    let mut prev: (Vec<i32>, usize) = (vec![0], 0); // d = 0: cell (0,0)
-    let mut prev2: (Vec<i32>, usize) = (Vec::new(), 0);
-    let mut scratch: Vec<i32> = Vec::new();
+    // Three buffers (borrowed from the workspace, returned on exit)
+    // rotate to avoid per-antidiagonal allocation in this innermost
+    // pipeline kernel.
+    let mut band = std::mem::take(&mut ws.band_a);
+    band.clear();
+    band.push(0);
+    let mut prev: (Vec<i32>, usize) = (band, 0); // d = 0: cell (0,0)
+    let mut band = std::mem::take(&mut ws.band_b);
+    band.clear();
+    let mut prev2: (Vec<i32>, usize) = (band, 0);
+    let mut scratch: Vec<i32> = std::mem::take(&mut ws.band_c);
+    scratch.clear();
     for d in 1..=(alen + blen) {
         let jmin = d.saturating_sub(alen);
         let jmax = d.min(blen);
@@ -90,7 +128,11 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
             if prev.0.is_empty() {
                 break;
             }
-            prev2 = std::mem::replace(&mut prev, (Vec::new(), jmin));
+            // The dead level reuses the outgoing prev2 allocation so all
+            // three buffers stay in the workspace rotation.
+            let mut empty = std::mem::take(&mut prev2.0);
+            empty.clear();
+            prev2 = std::mem::replace(&mut prev, (empty, jmin));
             continue;
         }
         scratch.clear();
@@ -165,6 +207,10 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
         );
         scratch = recycled.0;
     }
+    // Hand the buffers back for the next extension.
+    ws.band_a = prev.0;
+    ws.band_b = prev2.0;
+    ws.band_c = scratch;
     best
 }
 
@@ -180,10 +226,36 @@ pub struct SeedAlignment {
     pub b_end: usize,
 }
 
+/// One-shot [`extend_seed_with`]: allocates a throwaway workspace.
+pub fn extend_seed(
+    a: &[u8],
+    b: &[u8],
+    a_pos: usize,
+    b_pos: usize,
+    k: usize,
+    xdrop: i32,
+    sc: Scoring,
+) -> SeedAlignment {
+    extend_seed_with(
+        &mut XdropWorkspace::default(),
+        a,
+        b,
+        a_pos,
+        b_pos,
+        k,
+        xdrop,
+        sc,
+    )
+}
+
 /// Seed-and-extend: the k-mer match `a[a_pos .. a_pos+k) == b[b_pos ..
 /// b_pos+k)` is extended left and right with x-drop. Sequences are base
 /// codes; `b` must already be in the orientation that produced the seed.
-pub fn extend_seed(
+/// The workspace's band and reversed-prefix buffers are reused across
+/// seed extensions instead of reallocated per call.
+#[allow(clippy::too_many_arguments)]
+pub fn extend_seed_with(
+    ws: &mut XdropWorkspace,
     a: &[u8],
     b: &[u8],
     a_pos: usize,
@@ -194,11 +266,19 @@ pub fn extend_seed(
 ) -> SeedAlignment {
     debug_assert!(a_pos + k <= a.len() && b_pos + k <= b.len());
     // Right of the seed.
-    let right = xdrop_extend(&a[a_pos + k..], &b[b_pos + k..], xdrop, sc);
-    // Left of the seed: reverse the prefixes.
-    let a_prefix: Vec<u8> = a[..a_pos].iter().rev().copied().collect();
-    let b_prefix: Vec<u8> = b[..b_pos].iter().rev().copied().collect();
-    let left = xdrop_extend(&a_prefix, &b_prefix, xdrop, sc);
+    let right = xdrop_extend_with(ws, &a[a_pos + k..], &b[b_pos + k..], xdrop, sc);
+    // Left of the seed: reverse the prefixes into the workspace's
+    // staging buffers (taken out for the duration of the call so the
+    // band buffers stay independently borrowable).
+    let mut a_rev = std::mem::take(&mut ws.a_rev);
+    a_rev.clear();
+    a_rev.extend(a[..a_pos].iter().rev().copied());
+    let mut b_rev = std::mem::take(&mut ws.b_rev);
+    b_rev.clear();
+    b_rev.extend(b[..b_pos].iter().rev().copied());
+    let left = xdrop_extend_with(ws, &a_rev, &b_rev, xdrop, sc);
+    ws.a_rev = a_rev;
+    ws.b_rev = b_rev;
     SeedAlignment {
         score: k as i32 * sc.match_score + left.score + right.score,
         a_beg: a_pos - left.a_len,
@@ -306,6 +386,42 @@ mod tests {
         assert_eq!((aln.a_beg, aln.a_end), (10, 39));
         assert_eq!((aln.b_beg, aln.b_end), (0, 29));
         assert_eq!(aln.score, 30);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_one_shot() {
+        // A shared workspace across many extensions (including some that
+        // prune early and some that run long) must give byte-identical
+        // results to fresh buffers per call — stale band contents from a
+        // previous extension may never leak into the next.
+        let g = codes("ACGTTGCAACGTGGATCCATTTACGGCAATCGGTTACCAGGTTCAAGCCA");
+        let mut ws = XdropWorkspace::default();
+        let cases: Vec<(Vec<u8>, Vec<u8>, i32)> = vec![
+            (g[0..30].to_vec(), g[0..30].to_vec(), 5),
+            (codes("AAAATAAAA"), codes("AAAACAAAA"), 0),
+            (g[0..40].to_vec(), g[10..50].to_vec(), 10),
+            (codes("ACGT"), codes("TGCA"), 2),
+            (g.clone(), g.clone(), 20),
+        ];
+        for (a, b, x) in &cases {
+            let fresh = xdrop_extend(a, b, *x, Scoring::default());
+            let reused = xdrop_extend_with(&mut ws, a, b, *x, Scoring::default());
+            assert_eq!(fresh, reused);
+        }
+        // And the seeded wrapper, which also exercises the reversed
+        // prefix staging buffers.
+        let one_shot = extend_seed(&g[0..40], &g[10..50], 25, 15, 5, 10, Scoring::default());
+        let with_ws = extend_seed_with(
+            &mut ws,
+            &g[0..40],
+            &g[10..50],
+            25,
+            15,
+            5,
+            10,
+            Scoring::default(),
+        );
+        assert_eq!(one_shot, with_ws);
     }
 
     #[test]

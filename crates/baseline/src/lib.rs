@@ -23,7 +23,9 @@
 
 use std::collections::HashMap;
 
-use elba_align::{classify, extend_seed, OverlapAln, OverlapClass, Scoring, SgEdge};
+use elba_align::{
+    classify, extend_seed_with, OverlapAln, OverlapClass, Scoring, SgEdge, XdropWorkspace,
+};
 use elba_core::{local_assembly, AssemblyConfig, Contig, LocalGraph};
 use elba_seq::kmer::canonical_kmers;
 use elba_seq::{ReadStore, Seq};
@@ -177,6 +179,7 @@ fn build_edges(
     let mut contained = vec![false; reads.len()];
     let mut edges = Vec::new();
     stats.candidate_pairs = seeds.len();
+    let mut ws = XdropWorkspace::default();
     for seed in seeds {
         let u_codes = reads[seed.u as usize].codes();
         let v = &reads[seed.v as usize];
@@ -185,7 +188,8 @@ fn build_edges(
             {
                 continue;
             }
-            let aln = extend_seed(
+            let aln = extend_seed_with(
+                &mut ws,
                 u_codes,
                 v.codes(),
                 seed.pos_u as usize,
@@ -201,7 +205,8 @@ fn build_edges(
             if seed.pos_u as usize + cfg.k > u_codes.len() || w_pos + cfg.k > w.len() {
                 continue;
             }
-            let aln = extend_seed(
+            let aln = extend_seed_with(
+                &mut ws,
                 u_codes,
                 w.codes(),
                 seed.pos_u as usize,

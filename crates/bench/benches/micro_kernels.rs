@@ -2,8 +2,10 @@
 //! every figure: local SpGEMM (overlap detection's inner loop), x-drop
 //! extension (the Alignment phase), k-mer scanning (CountKmer), the
 //! DCSC→CSC expansion (§4.4), the connected-components sweep, the
-//! distributed SUMMA schedules (eager vs. pipelined vs. blocked), and
-//! the k-mer exchange schedules (eager vs. streaming `ialltoallv`).
+//! distributed SUMMA schedules (eager vs. pipelined vs. blocked — all
+//! running zero-copy `Arc`-shared stage broadcasts), the owned-vs-shared
+//! broadcast comparison itself, and the k-mer exchange schedules (eager
+//! vs. streaming `ialltoallv`).
 
 use std::sync::Arc;
 
@@ -229,6 +231,46 @@ fn bench_summa_column_batched(c: &mut Criterion) {
     }
 }
 
+/// The broadcast fan-out itself, owned vs `Arc`-shared, on 2×2 and 3×3
+/// grids with a SUMMA-stage-sized CSR panel: the owned path deep-copies
+/// the panel once per non-root rank at the root's arrival-driven post,
+/// the shared path bumps a refcount per rank. Modeled wire bytes are
+/// identical — this measures what the zero-copy transport saves, which
+/// is exactly what the pipelined/column-batched SUMMA stage path now
+/// never pays.
+fn bench_bcast_shared_vs_owned(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let panel = Arc::new(random_csr(&mut rng, 1_500, 8));
+    for p in [4usize, 9] {
+        let shared = Arc::clone(&panel);
+        c.bench_function(&format!("ibcast_owned_csr1500_p{p}"), |bencher| {
+            let panel = Arc::clone(&shared);
+            bencher.iter(move || {
+                let panel = Arc::clone(&panel);
+                Cluster::run(p, move |comm| {
+                    let v = comm
+                        .ibcast(0, (comm.rank() == 0).then(|| (*panel).clone()))
+                        .wait();
+                    black_box(v.nnz())
+                })
+            })
+        });
+        let shared = Arc::clone(&panel);
+        c.bench_function(&format!("ibcast_shared_csr1500_p{p}"), |bencher| {
+            let panel = Arc::clone(&shared);
+            bencher.iter(move || {
+                let panel = Arc::clone(&panel);
+                Cluster::run(p, move |comm| {
+                    let v = comm
+                        .ibcast_shared(0, (comm.rank() == 0).then(|| Arc::clone(&panel)))
+                        .wait();
+                    black_box(v.nnz())
+                })
+            })
+        });
+    }
+}
+
 /// The CountKmer + GenerateA exchanges on a 2×2 grid under each schedule:
 /// the eager flat `alltoallv` against the streaming chunked `ialltoallv`
 /// at a small and a large batch. Streaming aggregates counts per batch
@@ -275,6 +317,6 @@ fn bench_kmer_exchange(c: &mut Criterion) {
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_spgemm, bench_xdrop, bench_kmer_scan, bench_dcsc_to_csc, bench_union_find, bench_summa_schedules, bench_summa_column_batched, bench_kmer_exchange
+    targets = bench_spgemm, bench_xdrop, bench_kmer_scan, bench_dcsc_to_csc, bench_union_find, bench_summa_schedules, bench_summa_column_batched, bench_bcast_shared_vs_owned, bench_kmer_exchange
 );
 criterion_main!(kernels);

@@ -1,0 +1,179 @@
+//! PR 4 perf trajectory: writes `BENCH_pr4.json` at the repository root
+//! with (a) per-phase wall time and memory high-water for the celegans
+//! 2×2 probe, (b) wall times for the SUMMA schedules on 2×2 and 3×3
+//! grids (all running the zero-copy `Arc`-shared stage broadcasts), and
+//! (c) the owned-vs-shared broadcast micro-comparison that isolates
+//! what the shared path saves. CI runs this on every push and greps the
+//! file, so the numbers form a commit-over-commit trajectory.
+//!
+//! Run with `cargo bench -p elba-bench --bench perf_pr4`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use elba_bench::{dataset, run_pipeline, PAPER_PHASES};
+use elba_comm::{Cluster, ProcGrid};
+use elba_core::PipelineConfig;
+use elba_seq::DatasetSpec;
+use elba_sparse::semiring::PlusTimes;
+use elba_sparse::{Csr, DistMat, SpGemmOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Median wall seconds of `iters` runs of `f`.
+fn time_median(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
+
+fn summa_triples(
+    seed: u64,
+    n_reads: usize,
+    n_kmers: usize,
+    per_row: usize,
+) -> Vec<(u64, u64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::with_capacity(n_reads * per_row);
+    for r in 0..n_reads {
+        for _ in 0..per_row {
+            triples.push((r as u64, rng.gen_range(0..n_kmers as u64), 1.0f64));
+        }
+    }
+    triples
+}
+
+/// One timed `C = AAᵀ` under `opts` on a `q×q` grid.
+fn summa_secs(p: usize, opts: SpGemmOptions, triples: &Arc<Vec<(u64, u64, f64)>>) -> f64 {
+    let (n_reads, n_kmers) = (600usize, 4_000usize);
+    time_median(5, || {
+        let triples = Arc::clone(triples);
+        Cluster::run(p, move |comm| {
+            let grid = ProcGrid::new(comm);
+            let mine = if grid.world().rank() == 0 {
+                triples.as_ref().clone()
+            } else {
+                Vec::new()
+            };
+            let a = DistMat::from_triples(&grid, n_reads, n_kmers, mine, |acc, _| *acc += 1.0);
+            let at = a.transpose(&grid);
+            let c = a.spgemm_with(&grid, &at, &PlusTimes, &opts);
+            std::hint::black_box(c.local().nnz())
+        });
+    })
+}
+
+/// Owned vs shared broadcast of a stage-sized CSR panel.
+fn bcast_secs(p: usize, shared: bool, panel: &Arc<Csr<f64>>) -> f64 {
+    time_median(7, || {
+        let panel = Arc::clone(panel);
+        Cluster::run(p, move |comm| {
+            let nnz = if shared {
+                comm.ibcast_shared(0, (comm.rank() == 0).then(|| Arc::clone(&panel)))
+                    .wait()
+                    .nnz()
+            } else {
+                comm.ibcast(0, (comm.rank() == 0).then(|| (*panel).clone()))
+                    .wait()
+                    .nnz()
+            };
+            std::hint::black_box(nnz)
+        });
+    })
+}
+
+fn main() {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(
+        json,
+        "  \"what\": \"zero-copy Arc-shared broadcasts + arrival-driven tree delivery\","
+    );
+
+    // ---- celegans 2×2 probe: per-phase wall + mem-hw ----
+    let spec = DatasetSpec::celegans_like(0.1, 11);
+    let (_, reads) = dataset(&spec);
+    let cfg = PipelineConfig::for_dataset(&spec);
+    let run = run_pipeline(&reads, &cfg, 4);
+    let _ = writeln!(json, "  \"celegans_2x2_probe\": {{");
+    let _ = writeln!(json, "    \"scale\": 0.1, \"nranks\": 4,");
+    let _ = writeln!(json, "    \"phases\": {{");
+    for (i, phase) in PAPER_PHASES.iter().enumerate() {
+        let comma = if i + 1 < PAPER_PHASES.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      \"{phase}\": {{ \"wall_secs\": {:.4}, \"mem_hw_bytes\": {} }}{comma}",
+            run.profile.max_wall(phase),
+            run.profile.max_mem_hw(phase)
+        );
+    }
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"contigs\": {}", run.contigs.len());
+    let _ = writeln!(json, "  }},");
+    eprintln!("celegans 2x2 probe:\n{}", run.profile.render_table());
+
+    // ---- SUMMA schedules on 2×2 and 3×3 (shared stage broadcasts) ----
+    let triples = Arc::new(summa_triples(6, 600, 4_000, 12));
+    let _ = writeln!(json, "  \"summa_aat_600x4000\": {{");
+    for (gi, p) in [4usize, 9].iter().enumerate() {
+        let grid_label = if *p == 4 { "p4_2x2" } else { "p9_3x3" };
+        let _ = writeln!(json, "    \"{grid_label}\": {{");
+        let entries = [
+            ("eager", SpGemmOptions::eager()),
+            ("pipelined", SpGemmOptions::pipelined()),
+            ("column_batched", SpGemmOptions::column_batched(64, None)),
+        ];
+        for (i, (label, opts)) in entries.iter().enumerate() {
+            let secs = summa_secs(*p, *opts, &triples);
+            let comma = if i + 1 < entries.len() { "," } else { "" };
+            let _ = writeln!(json, "      \"{label}_secs\": {secs:.5}{comma}");
+            eprintln!("summa {grid_label} {label}: {:.2} ms", secs * 1e3);
+        }
+        let comma = if gi == 0 { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+
+    // ---- owned vs shared broadcast fan-out ----
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut panel_triples = Vec::new();
+    for r in 0..1_500u32 {
+        for _ in 0..8 {
+            panel_triples.push((r, rng.gen_range(0..1_500u32), 1.0f64));
+        }
+    }
+    let panel = Arc::new(Csr::from_triples(1_500, 1_500, panel_triples, |a, v| {
+        *a += v
+    }));
+    let _ = writeln!(json, "  \"ibcast_csr1500_owned_vs_shared\": {{");
+    for (gi, p) in [4usize, 9].iter().enumerate() {
+        let owned = bcast_secs(*p, false, &panel);
+        let shared = bcast_secs(*p, true, &panel);
+        eprintln!(
+            "ibcast p{p}: owned {:.3} ms, shared {:.3} ms ({:.2}x)",
+            owned * 1e3,
+            shared * 1e3,
+            owned / shared.max(1e-9)
+        );
+        let comma = if gi == 0 { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"p{p}\": {{ \"owned_secs\": {owned:.6}, \"shared_secs\": {shared:.6} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    std::fs::write(out, &json).expect("write BENCH_pr4.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

@@ -4,6 +4,7 @@
 //! personalized exchange for `alltoallv`. Reduction operators must be
 //! associative and commutative (as for `MPI_Op`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::msg::CommMsg;
@@ -28,23 +29,44 @@ impl Comm {
 
     /// Broadcast from `root`: the root passes `Some(value)`, everyone else
     /// `None`; all ranks return the value (binomial tree, ⌈log₂ P⌉ depth).
+    ///
+    /// Delivery is *arrival-driven* (see [`bcast_deliver_tree`]): the
+    /// root pushes the value into every rank's mailbox at post time, so
+    /// no rank's progress ever depends on an inner tree rank reaching
+    /// its own receive — the ROADMAP's deep-tree serialization item.
+    /// Every rank still *books* the modeled wire bytes of its own
+    /// binomial-tree sends, so profiled traffic is identical to the
+    /// per-hop schedule an MPI library would run.
     pub fn bcast<T: CommMsg + Clone>(&self, root: Rank, value: Option<T>) -> T {
         let tag = self.next_coll_tag(op::BCAST);
         let started = Instant::now();
         let p = self.size();
         let vr = (self.rank() + p - root) % p; // virtual rank, root at 0
         let value = if vr == 0 {
-            value.expect("bcast root must supply a value")
+            let value = value.expect("bcast root must supply a value");
+            bcast_deliver_tree(self, root, tag, &value);
+            value
         } else {
-            let lsb = vr & vr.wrapping_neg();
-            let parent = (vr - lsb + root) % p;
-            self.coll_recv::<T>(parent, tag)
+            self.coll_recv::<T>(root, tag)
         };
-        // Same tree shape as the non-blocking broadcast: one forwarding
+        // Same tree shape as the non-blocking broadcast: one byte-model
         // routine serves both, so the schedules can never diverge.
-        let bytes = ibcast_forward(self, root, tag, vr, &value);
+        let bytes = tree_share_bytes(self, vr, &value);
         self.record_collective("bcast", bytes, started.elapsed().as_secs_f64());
         value
+    }
+
+    /// Zero-copy broadcast of an [`Arc`]-shared payload: only the `Arc`
+    /// is cloned per tree edge — the payload itself is never deep-copied
+    /// on any rank, root included (share the root's resident block with
+    /// `Arc::clone` instead of packing a copy). The profiler books the
+    /// *inner* value's wire bytes per tree send, exactly as
+    /// [`Comm::bcast`] would for the owned value, so the modeled MPI
+    /// traffic of a run is unchanged by going shared. Charge received
+    /// blocks with [`Comm::mem_charge_shared`] to keep the once-per-rank
+    /// accounting honest.
+    pub fn bcast_shared<T: CommMsg + Sync>(&self, root: Rank, value: Option<Arc<T>>) -> Arc<T> {
+        self.bcast(root, value)
     }
 
     /// Gather every rank's value at `root` (rank-ordered). Non-roots get `None`.
@@ -192,6 +214,12 @@ impl Comm {
             self.coll_recv::<T>(self.rank() - 1, tag)
         };
         if self.rank() + 1 < self.size() {
+            // The prefix clone is inherent to the scan, not a transport
+            // copy: this rank must both *return* its own prefix and fold
+            // it into the successor's — two live values with different
+            // owners. Payloads here are scalar counts in practice; the
+            // zero-copy shared path is for broadcast fan-out, where one
+            // value reaches many ranks.
             let next = op(prefix.clone(), value);
             let bytes = next.nbytes();
             self.coll_send(self.rank() + 1, tag, next);
@@ -227,7 +255,7 @@ impl Comm {
     ///
     /// Collective: every rank must post the matching call in SPMD order
     /// and must drain the request to completion.
-    pub fn ialltoallv<T: CommMsg>(
+    pub fn ialltoallv<T: CommMsg + Clone + Sync>(
         &self,
         bufs: Vec<Vec<T>>,
         chunk_elems: usize,
@@ -263,7 +291,10 @@ impl Comm {
     /// [`IalltoallvRequest::DEFAULT_WINDOW`] chunks may be outstanding
     /// (sent but not yet consumed by the receiver) per destination; see
     /// [`Comm::ialltoallv_stream_with_window`].
-    pub fn ialltoallv_stream<T: CommMsg>(&self, chunk_elems: usize) -> IalltoallvRequest<'_, T> {
+    pub fn ialltoallv_stream<T: CommMsg + Clone + Sync>(
+        &self,
+        chunk_elems: usize,
+    ) -> IalltoallvRequest<'_, T> {
         self.ialltoallv_stream_with_window(chunk_elems, IalltoallvRequest::<T>::DEFAULT_WINDOW)
     }
 
@@ -276,7 +307,7 @@ impl Comm {
     /// exchange end-to-end — a rank scanning much slower than its peers
     /// holds at most `window` chunks per source in its mailbox, instead
     /// of an unbounded backlog.
-    pub fn ialltoallv_stream_with_window<T: CommMsg>(
+    pub fn ialltoallv_stream_with_window<T: CommMsg + Clone + Sync>(
         &self,
         chunk_elems: usize,
         window: usize,
@@ -310,53 +341,85 @@ impl Comm {
     /// binomial tree as [`Comm::bcast`] but returns immediately with an
     /// [`IbcastRequest`]; the value is obtained by `wait`ing the request.
     ///
-    /// The root's sends to its children go out at post time, so posting
-    /// the broadcast for stage `s+1` before computing stage `s` overlaps
-    /// the transfer with local work — the heart of pipelined SUMMA. An
-    /// inner tree node forwards to its children as soon as it completes
-    /// its own request (via `wait` or a successful `test`).
+    /// Delivery is arrival-driven (see [`bcast_deliver_tree`]): the root
+    /// pushes the value to *every* rank at post time, so posting the
+    /// broadcast for stage `s+1` before computing stage `s` overlaps the
+    /// whole tree's transfer with local work — and an inner rank that
+    /// reaches its `wait`/`test` late never stalls the ranks below it
+    /// (deep trees pipeline instead of serializing).
     ///
     /// Every rank of the communicator must post the matching `ibcast` in
     /// the same SPMD order as any other collective, and must eventually
-    /// complete the request: dropping it un-waited starves the subtree
-    /// below this rank.
+    /// complete the request: completion is where a rank books the
+    /// modeled wire bytes of its share of the tree.
     pub fn ibcast<T: CommMsg + Clone>(&self, root: Rank, value: Option<T>) -> IbcastRequest<'_, T> {
         let tag = self.next_coll_tag(op::IBCAST);
         let p = self.size();
         let vr = (self.rank() + p - root) % p; // virtual rank, root at 0
         if vr == 0 {
             let value = value.expect("ibcast root must supply a value");
-            let bytes = ibcast_forward(self, root, tag, vr, &value);
+            bcast_deliver_tree(self, root, tag, &value);
+            let bytes = tree_share_bytes(self, vr, &value);
             self.record_coll_bytes("ibcast", bytes);
             IbcastRequest {
                 comm: self,
                 root,
-                tag,
                 state: IbcastState::Ready(value),
             }
         } else {
-            let lsb = vr & vr.wrapping_neg();
-            let parent = (vr - lsb + root) % p;
-            let req = self.raw_irecv::<T>(parent, tag);
+            let req = self.raw_irecv::<T>(root, tag);
             IbcastRequest {
                 comm: self,
                 root,
-                tag,
                 state: IbcastState::Waiting(req),
             }
         }
     }
+
+    /// Zero-copy non-blocking broadcast of an [`Arc`]-shared payload:
+    /// [`Comm::ibcast`] where every tree delivery clones only the `Arc`.
+    /// Wire-byte accounting books the inner value's size per tree edge,
+    /// identical to the owned path (the equivalence property tests pin
+    /// this). This is the engine of the pipelined SUMMA stage
+    /// broadcasts: a `q×q` grid moves each CSR panel with **zero**
+    /// payload deep-copies.
+    pub fn ibcast_shared<T: CommMsg + Sync>(
+        &self,
+        root: Rank,
+        value: Option<Arc<T>>,
+    ) -> IbcastRequest<'_, Arc<T>> {
+        self.ibcast(root, value)
+    }
 }
 
-/// Send `value` down this rank's binomial subtree for an (i)bcast rooted
-/// at `root`; returns the bytes pushed onto the (virtual) wire.
-fn ibcast_forward<T: CommMsg + Clone>(
-    comm: &Comm,
-    root: Rank,
-    tag: Tag,
-    vr: usize,
-    value: &T,
-) -> usize {
+/// Arrival-driven tree delivery: when a broadcast value "arrives" at a
+/// rank, its whole subtree is fed in the same delivering path — which,
+/// applied recursively from the root, collapses to the root pushing the
+/// value into every rank's mailbox at post time. Inner tree ranks never
+/// hold up their descendants by reaching `wait`/`test` late, closing the
+/// ROADMAP item where deep trees (large q) serialized on hop-by-hop
+/// forwarding. Physical copies: one `clone()` per non-root rank — a
+/// refcount bump on the shared (`Arc`) path, a deep copy on the owned
+/// path (the same total copy count hop-by-hop forwarding performed,
+/// just executed by the delivering thread).
+///
+/// Wire bytes are *not* booked here: the binomial tree survives as the
+/// byte model — each rank books its own modeled tree share via
+/// [`tree_share_bytes`] when it completes, keeping per-rank profiled
+/// traffic identical to the per-hop schedule an MPI library would run.
+fn bcast_deliver_tree<T: CommMsg + Clone>(comm: &Comm, root: Rank, tag: Tag, value: &T) {
+    let p = comm.size();
+    for vr in 1..p {
+        let dst = (vr + root) % p;
+        comm.coll_send(dst, tag, value.clone());
+    }
+}
+
+/// Modeled wire bytes of this rank's share of an (i)bcast binomial tree:
+/// one message of `value.nbytes()` per tree child. The byte model every
+/// broadcast books against, shared by the blocking, non-blocking, owned
+/// and `Arc`-shared paths so their profiled traffic can never diverge.
+fn tree_share_bytes<T: CommMsg>(comm: &Comm, vr: usize, value: &T) -> usize {
     let p = comm.size();
     let limit = if vr == 0 {
         p.next_power_of_two()
@@ -367,9 +430,7 @@ fn ibcast_forward<T: CommMsg + Clone>(
     let mut j = limit >> 1;
     while j >= 1 {
         if vr + j < p {
-            let child = (vr + j + root) % p;
             bytes += value.nbytes();
-            comm.coll_send(child, tag, value.clone());
         }
         j >>= 1;
     }
@@ -377,8 +438,8 @@ fn ibcast_forward<T: CommMsg + Clone>(
 }
 
 enum IbcastState<'c, T: Send + 'static> {
-    /// Value in hand and subtree already fed (root, or an inner node
-    /// whose `test` completed).
+    /// Value in hand (root, or an inner node whose `test` completed);
+    /// the subtree below was fed by the root's arrival-driven delivery.
     Ready(T),
     /// Still waiting on the parent tree node.
     Waiting(RecvRequest<'c, T>),
@@ -387,11 +448,10 @@ enum IbcastState<'c, T: Send + 'static> {
 }
 
 /// In-flight non-blocking broadcast; see [`Comm::ibcast`].
-#[must_use = "ibcast must be completed with wait() — dropping it starves the subtree"]
+#[must_use = "ibcast must be completed with wait() — dropping it skips booking this rank's share of the collective"]
 pub struct IbcastRequest<'c, T: CommMsg + Clone> {
     comm: &'c Comm,
     root: Rank,
-    tag: Tag,
     state: IbcastState<'c, T>,
 }
 
@@ -401,15 +461,15 @@ impl<T: CommMsg + Clone> IbcastRequest<'_, T> {
         (self.comm.rank() + p - self.root) % p
     }
 
-    /// Forward to children and book this rank's share of the collective.
+    /// Book this rank's modeled share of the collective. The subtree was
+    /// already fed physically at the root's post (arrival-driven
+    /// delivery); completion only settles the per-rank byte model.
     fn complete(&self, value: &T) {
-        let bytes = ibcast_forward(self.comm, self.root, self.tag, self.virtual_rank(), value);
+        let bytes = tree_share_bytes(self.comm, self.virtual_rank(), value);
         self.comm.record_coll_bytes("ibcast", bytes);
     }
 
-    /// Poll for completion without blocking. On the transition to
-    /// complete, the value is forwarded down the tree immediately, so
-    /// polling ranks keep the pipeline moving even before they `wait`.
+    /// Poll for completion without blocking.
     pub fn test(&mut self) -> bool {
         match &mut self.state {
             IbcastState::Ready(_) => true,
@@ -431,8 +491,9 @@ impl<T: CommMsg + Clone> IbcastRequest<'_, T> {
         }
     }
 
-    /// Block until the broadcast value arrives, forward it down the
-    /// tree, and return it. Blocked time is booked as *wait* time.
+    /// Block until the broadcast value arrives, book this rank's share
+    /// of the collective, and return it. Blocked time is booked as
+    /// *wait* time.
     pub fn wait(mut self) -> T {
         match std::mem::replace(&mut self.state, IbcastState::Poisoned) {
             IbcastState::Ready(value) => value,
@@ -446,9 +507,66 @@ impl<T: CommMsg + Clone> IbcastRequest<'_, T> {
     }
 }
 
+/// Payload of one `ialltoallv` data chunk. A posted buffer larger than
+/// one chunk is wrapped in a single `Arc` and its chunks travel as
+/// zero-copy *views* into that shared allocation — the sender never
+/// re-copies the tail the way a `split_off` chain would, and however
+/// many chunks a buffer fans out into, the transport holds one
+/// allocation. The receiver materializes each view into an owned `Vec`
+/// when it consumes the chunk (the one copy a real MPI receive would
+/// also make); the final view of a buffer recovers the allocation
+/// itself without copying.
+enum ChunkBody<T> {
+    Owned(Vec<T>),
+    Shared(Arc<Vec<T>>, std::ops::Range<usize>),
+}
+
+impl<T> ChunkBody<T> {
+    fn len(&self) -> usize {
+        match self {
+            ChunkBody::Owned(v) => v.len(),
+            ChunkBody::Shared(_, range) => range.len(),
+        }
+    }
+
+    fn slice(&self) -> &[T] {
+        match self {
+            ChunkBody::Owned(v) => v,
+            ChunkBody::Shared(buf, range) => &buf[range.clone()],
+        }
+    }
+}
+
+impl<T: Clone> ChunkBody<T> {
+    /// Take the chunk's elements as an owned vector, copying only when
+    /// the backing allocation is still shared with other chunks.
+    fn into_vec(self) -> Vec<T> {
+        match self {
+            ChunkBody::Owned(v) => v,
+            ChunkBody::Shared(buf, range) => match Arc::try_unwrap(buf) {
+                Ok(mut v) => {
+                    // Last view standing: reclaim the allocation.
+                    v.truncate(range.end);
+                    v.drain(..range.start);
+                    v
+                }
+                Err(buf) => buf[range].to_vec(),
+            },
+        }
+    }
+}
+
+/// Wire bytes match the owned `Vec<T>` encoding exactly (length header +
+/// payload), so the shared fan-out is invisible to the profiler.
+impl<T: CommMsg + Sync> CommMsg for ChunkBody<T> {
+    fn nbytes(&self) -> usize {
+        8 + self.slice().iter().map(CommMsg::nbytes).sum::<usize>()
+    }
+}
+
 /// Wire format of one `ialltoallv` message: a chunk plus the last-marker
 /// (`true` terminates the source's stream and carries no data).
-type ChunkMsg<T> = (Vec<T>, bool);
+type ChunkMsg<T> = (ChunkBody<T>, bool);
 /// Outstanding receive for the next [`ChunkMsg`] from one source.
 type ChunkRecv<'c, T> = RecvRequest<'c, ChunkMsg<T>>;
 
@@ -473,7 +591,7 @@ type ChunkRecv<'c, T> = RecvRequest<'c, ChunkMsg<T>>;
 /// (one tiny message per pair) but are only sent once the destination's
 /// queued data has fully flowed out, preserving order.
 #[must_use = "ialltoallv must be drained (next()/wait()) — abandoning it desynchronizes the collective"]
-pub struct IalltoallvRequest<'c, T: CommMsg> {
+pub struct IalltoallvRequest<'c, T: CommMsg + Clone + Sync> {
     comm: &'c Comm,
     tag: Tag,
     /// Credit returns travel on their own tag so they never interleave
@@ -484,8 +602,9 @@ pub struct IalltoallvRequest<'c, T: CommMsg> {
     /// Destinations still accepting `post` calls.
     send_open: Vec<bool>,
     /// Chunks awaiting credits, per destination (bounded by what the
-    /// application has posted and not yet seen flow out).
-    pending_sends: Vec<std::collections::VecDeque<Vec<T>>>,
+    /// application has posted and not yet seen flow out; chunks of one
+    /// posted buffer share its allocation).
+    pending_sends: Vec<std::collections::VecDeque<ChunkBody<T>>>,
     /// Remaining send credits per destination (`window` minus chunks in
     /// flight).
     credits: Vec<usize>,
@@ -509,7 +628,7 @@ pub struct IalltoallvRequest<'c, T: CommMsg> {
     poll_cursor: usize,
 }
 
-impl<'c, T: CommMsg> IalltoallvRequest<'c, T> {
+impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
     /// Default flow-control window: unacknowledged chunks allowed per
     /// destination before the sender queues locally.
     pub const DEFAULT_WINDOW: usize = 16;
@@ -529,23 +648,36 @@ impl<'c, T: CommMsg> IalltoallvRequest<'c, T> {
         // idle until the next try_next — a posting burst would otherwise
         // serialize behind its first window.
         self.flush_sends();
-        let mut head = buf;
-        while !head.is_empty() {
-            let tail = if head.len() > self.chunk_elems {
-                head.split_off(self.chunk_elems)
-            } else {
-                Vec::new()
-            };
-            if self.pending_sends[dst].is_empty() && self.credits[dst] > 0 {
-                self.send_chunk(dst, head);
-            } else {
-                self.pending_sends[dst].push_back(head);
+        if buf.is_empty() {
+            return;
+        }
+        if buf.len() <= self.chunk_elems {
+            self.enqueue_chunk(dst, ChunkBody::Owned(buf));
+        } else {
+            // Shared fan-out: one Arc'd allocation, chunk-sized views.
+            // (A split_off chain would re-copy the remaining tail once
+            // per chunk — O(len²/chunk) moves for a large buffer.)
+            let shared = Arc::new(buf);
+            let mut start = 0;
+            while start < shared.len() {
+                let end = (start + self.chunk_elems).min(shared.len());
+                self.enqueue_chunk(dst, ChunkBody::Shared(Arc::clone(&shared), start..end));
+                start = end;
             }
-            head = tail;
         }
     }
 
-    fn send_chunk(&mut self, dst: Rank, chunk: Vec<T>) {
+    /// Ship one chunk now if the destination has credit and no queue,
+    /// else queue it.
+    fn enqueue_chunk(&mut self, dst: Rank, chunk: ChunkBody<T>) {
+        if self.pending_sends[dst].is_empty() && self.credits[dst] > 0 {
+            self.send_chunk(dst, chunk);
+        } else {
+            self.pending_sends[dst].push_back(chunk);
+        }
+    }
+
+    fn send_chunk(&mut self, dst: Rank, chunk: ChunkBody<T>) {
         debug_assert!(self.credits[dst] > 0);
         self.credits[dst] -= 1;
         self.sent_chunks[dst] += 1;
@@ -590,7 +722,7 @@ impl<'c, T: CommMsg> IalltoallvRequest<'c, T> {
                 && self.pending_sends[dst].is_empty()
                 && !self.terminator_sent[dst]
             {
-                let msg: (Vec<T>, bool) = (Vec::new(), true);
+                let msg: ChunkMsg<T> = (ChunkBody::Owned(Vec::new()), true);
                 self.comm.record_coll_bytes("ialltoallv", msg.nbytes());
                 self.comm.coll_send(dst, self.tag, msg);
                 self.terminator_sent[dst] = true;
@@ -645,7 +777,7 @@ impl<'c, T: CommMsg> IalltoallvRequest<'c, T> {
         self.pending_sends
             .iter()
             .flat_map(|q| q.iter())
-            .map(Vec::len)
+            .map(ChunkBody::len)
             .sum()
     }
 
@@ -716,7 +848,7 @@ impl<'c, T: CommMsg> IalltoallvRequest<'c, T> {
             let req = self.inflight[src].take().expect("matched as Some");
             let (chunk, last) = req.wait(); // non-blocking: test() buffered it
             if last {
-                debug_assert!(chunk.is_empty(), "terminators carry no data");
+                debug_assert!(chunk.len() == 0, "terminators carry no data");
                 self.open_sources -= 1;
                 continue; // inflight[src] stays None; scan the next source
             }
@@ -728,7 +860,7 @@ impl<'c, T: CommMsg> IalltoallvRequest<'c, T> {
             // the machine model) sees the flow-control traffic.
             self.comm.record_coll_bytes("ialltoallv", 0);
             self.comm.coll_send(src, self.ack_tag, ());
-            return Some((src, chunk));
+            return Some((src, chunk.into_vec()));
         }
         None
     }
@@ -778,7 +910,7 @@ impl<'c, T: CommMsg> IalltoallvRequest<'c, T> {
 /// booked to the profile's *wait* bucket (like `ibcast`), keeping
 /// communication/computation overlap measurable. Use
 /// [`IalltoallvRequest::try_next`] to poll without blocking.
-impl<T: CommMsg> Iterator for IalltoallvRequest<'_, T> {
+impl<T: CommMsg + Clone + Sync> Iterator for IalltoallvRequest<'_, T> {
     type Item = (Rank, Vec<T>);
 
     fn next(&mut self) -> Option<(Rank, Vec<T>)> {
@@ -1010,6 +1142,53 @@ mod tests {
             req.wait()
         });
         assert_eq!(out, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn ibcast_forwards_at_arrival_not_at_inner_ranks_wait() {
+        // p = 4, root 0: binomial tree 0 → {2, 1}, 2 → {3}. Rank 2
+        // blocks on a message rank 3 only sends *after* completing its
+        // own broadcast wait. Under hop-by-hop forwarding (inner ranks
+        // forwarding on their own wait/test) this deadlocks: 3 waits for
+        // 2's forward, 2 waits for 3's ack. Arrival-driven delivery
+        // feeds rank 3 at the root's post, so the cycle never forms.
+        let out = Cluster::run(4, |comm| {
+            let req = comm.ibcast(0, (comm.rank() == 0).then_some(7u64));
+            match comm.rank() {
+                2 => {
+                    let ack = comm.recv::<u64>(3, 1);
+                    req.wait() + ack
+                }
+                3 => {
+                    let v = req.wait();
+                    comm.send(2, 1, v * 10);
+                    v
+                }
+                _ => req.wait(),
+            }
+        });
+        assert_eq!(out, vec![7, 7, 77, 7]);
+    }
+
+    #[test]
+    fn bcast_subtree_does_not_depend_on_inner_rank_progress() {
+        // Blocking-bcast twin of the arrival-driven test: rank 2 (the
+        // tree parent of rank 3) refuses to enter the broadcast until
+        // rank 3 has already received its value.
+        let out = Cluster::run(4, |comm| match comm.rank() {
+            2 => {
+                let ack = comm.recv::<u64>(3, 1);
+                let v = comm.bcast(0, None::<u64>);
+                v + ack
+            }
+            3 => {
+                let v = comm.bcast(0, None);
+                comm.send(2, 1, v * 10);
+                v
+            }
+            _ => comm.bcast(0, (comm.rank() == 0).then_some(5u64)),
+        });
+        assert_eq!(out, vec![5, 5, 55, 5]);
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub use grid::ProcGrid;
 pub use model::MachineModel;
 pub use msg::CommMsg;
 pub use profile::{PhaseProfile, Profile, RunProfile};
-pub use runtime::{Cluster, Comm, MemCharge, Rank, RecvRequest, SendRequest, Tag};
+pub use runtime::{Cluster, Comm, MemCharge, Rank, RecvRequest, SendRequest, SharedMemCharge, Tag};

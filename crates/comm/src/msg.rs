@@ -56,6 +56,19 @@ impl<T: CommMsg> CommMsg for Box<T> {
     }
 }
 
+/// An `Arc`-shared payload travels the mailboxes as a reference-count
+/// bump, but on an MPI wire it would ship the full value — so its wire
+/// size is the inner value's. This is what keeps the profiled byte
+/// counters of [`crate::Comm::bcast_shared`] byte-identical to the
+/// owned broadcast of the same value: the zero-copy optimization is an
+/// in-process transport detail, invisible to the communication model.
+impl<T: CommMsg + Sync> CommMsg for std::sync::Arc<T> {
+    #[inline]
+    fn nbytes(&self) -> usize {
+        self.as_ref().nbytes()
+    }
+}
+
 impl CommMsg for String {
     #[inline]
     fn nbytes(&self) -> usize {

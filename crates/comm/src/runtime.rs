@@ -238,6 +238,31 @@ impl Comm {
             .record_transient(bytes as u64);
     }
 
+    /// Charge an `Arc`-shared block against this rank's tracker for as
+    /// long as the guard lives, keyed by the allocation's address: the
+    /// first guard a rank holds for a given block charges `bytes`, every
+    /// further guard for the *same* block on the same rank is free — a
+    /// shared broadcast payload is mem-charged **once per rank, not once
+    /// per reference** (e.g. a SUMMA root whose resident matrix *is* the
+    /// stage block it just "received" does not double-charge it). Ranks
+    /// still charge independently, mirroring the per-rank copies a real
+    /// distributed run would hold.
+    pub fn mem_charge_shared<T: Send + Sync + 'static>(
+        &self,
+        block: &Arc<T>,
+        bytes: usize,
+    ) -> SharedMemCharge {
+        let key = Arc::as_ptr(block) as *const () as usize;
+        lock_profile(&self.profile)
+            .mem_mut()
+            .charge_shared(key, bytes as u64);
+        SharedMemCharge {
+            profile: Arc::clone(&self.profile),
+            key,
+            _block: Arc::clone(block) as Arc<dyn Any + Send + Sync>,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point (blocking)
     // ------------------------------------------------------------------
@@ -538,6 +563,33 @@ impl Drop for MemCharge {
     }
 }
 
+/// RAII charge for an `Arc`-shared block; created by
+/// [`Comm::mem_charge_shared`]. The underlying bytes release when the
+/// rank's *last* guard for the block drops.
+#[must_use = "dropping releases this reference's share immediately"]
+pub struct SharedMemCharge {
+    profile: Arc<Mutex<Profile>>,
+    key: usize,
+    /// Keeps the charged allocation alive for the guard's lifetime. The
+    /// tracker keys shared charges on the allocation *address*; if the
+    /// last outside reference dropped while a charge was live, the
+    /// address could be recycled by a later `Arc::new` and alias the
+    /// stale entry (classic ABA) — phantom residency and never-charged
+    /// blocks. Holding a reference makes recycling impossible while any
+    /// guard is out. (Side effect by design: a consuming operation on a
+    /// charged block — `Arc::try_unwrap` — copies instead, which is
+    /// exactly the residency the live charge claims.)
+    _block: Arc<dyn Any + Send + Sync>,
+}
+
+impl Drop for SharedMemCharge {
+    fn drop(&mut self) {
+        lock_profile(&self.profile)
+            .mem_mut()
+            .release_shared(self.key);
+    }
+}
+
 /// Handle for a posted [`Comm::isend`]. Under the eager buffered protocol
 /// the transfer is complete at post time; `wait`/`test` exist for MPI
 /// call-shape parity and future rendezvous protocols.
@@ -833,6 +885,27 @@ mod tests {
         });
         let bytes = profile.total_p2p_bytes("exchange");
         assert_eq!(bytes, 8 + 800);
+    }
+
+    #[test]
+    fn shared_charge_guard_pins_the_allocation() {
+        // The guard must keep the charged block's allocation alive:
+        // shared charges key on the allocation address, and a recycled
+        // address would alias the stale tracker entry (ABA) — a second
+        // block charged at the reused address would book zero bytes.
+        let (_, profile) = Cluster::run_profiled(1, |comm| {
+            let _g = comm.phase("pin");
+            let first = Arc::new(vec![0u8; 64]);
+            let guard_a = comm.mem_charge_shared(&first, 64);
+            drop(first); // guard keeps the allocation (and key) alive
+            let second = Arc::new(vec![0u8; 64]); // cannot reuse the address
+            let guard_b = comm.mem_charge_shared(&second, 64);
+            let current = comm.profile_handle();
+            let resident = crate::profile::lock_profile(&current).mem().current();
+            drop((guard_a, guard_b));
+            resident
+        });
+        assert_eq!(profile.max_mem_hw("pin"), 128, "both blocks must charge");
     }
 
     #[test]

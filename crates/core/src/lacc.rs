@@ -31,7 +31,7 @@ pub struct ComponentLabels {
 
 /// Run connected components on a symmetric distributed matrix
 /// (collective). Isolated vertices keep their own id as label.
-pub fn connected_components<T: Clone + CommMsg>(
+pub fn connected_components<T: Clone + CommMsg + Sync>(
     grid: &ProcGrid,
     matrix: &DistMat<T>,
 ) -> ComponentLabels {

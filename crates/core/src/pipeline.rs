@@ -192,6 +192,10 @@ pub fn assemble(grid: &ProcGrid, reads: &[Seq], cfg: &PipelineConfig) -> Pipelin
     // Long-lived matrices are charged against the rank's memory tracker
     // while resident, so the per-phase `mem-hw` column reports real
     // residency, not just the SpGEMM schedules' internal transients.
+    // Charges go through the shared (Arc-keyed) path — the SUMMA stage
+    // in which a rank "receives" its own resident block must not count
+    // it twice — and use deep heap sizes, so value types carrying nested
+    // heap stop undercounting.
     let (c, _c_charge) = {
         let _g = world.phase("DetectOverlap");
         let triples = build_a_triples(grid, &store, &table, &kmer_cfg);
@@ -206,9 +210,9 @@ pub fn assemble(grid: &ProcGrid, reads: &[Seq], cfg: &PipelineConfig) -> Pipelin
                 }
             },
         );
-        let _a_charge = world.mem_charge(a.heap_bytes());
+        let _a_charge = world.mem_charge_shared(a.local_arc(), a.deep_heap_bytes());
         let c = candidate_matrix(grid, &a, &cfg.overlap);
-        let c_charge = world.mem_charge(c.heap_bytes());
+        let c_charge = world.mem_charge_shared(c.local_arc(), c.deep_heap_bytes());
         (c, c_charge)
     };
     let candidate_nnz = c.nnz_global(grid);
@@ -218,22 +222,25 @@ pub fn assemble(grid: &ProcGrid, reads: &[Seq], cfg: &PipelineConfig) -> Pipelin
         let _g = world.phase("Alignment");
         let (triples, contained, align_stats) = align_and_classify(grid, &c, &store, &cfg.overlap);
         let r = overlap_graph(grid, n_reads, triples, &contained);
-        let r_charge = world.mem_charge(r.heap_bytes());
+        let r_charge = world.mem_charge_shared(r.local_arc(), r.deep_heap_bytes());
         (r, r_charge, align_stats)
     };
     drop(c);
     drop(_c_charge);
 
-    // TrReduction: R → S (line 10). R stays resident for the whole
-    // reduction, so its charge is released only once S exists —
-    // mirroring how C's charge spans Alignment above.
+    // TrReduction: R → S (line 10). R's pipeline-level charge is
+    // released *before* the reduction: the first sweep consumes R (its
+    // zip_prune takes the block out of the Arc), and a guard still
+    // pinning the Arc would force a silent, untracked deep copy there.
+    // R's bytes during the sweep are charged by the SUMMA schedule's
+    // own shared stage guards instead (keyed on the same Arc).
     let (s, _s_charge, reduction_stats) = {
         let _g = world.phase("TrReduction");
+        drop(_r_charge);
         let (s, stats) =
             transitive_reduction_with(grid, r, cfg.tr_fuzz, cfg.tr_max_iters, &cfg.overlap.spgemm);
-        drop(_r_charge);
         let s = symmetrize(grid, s);
-        let s_charge = world.mem_charge(s.heap_bytes());
+        let s_charge = world.mem_charge_shared(s.local_arc(), s.deep_heap_bytes());
         (s, s_charge, stats)
     };
     let string_graph_nnz = s.nnz_global(grid);

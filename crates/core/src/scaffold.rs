@@ -14,7 +14,9 @@
 
 use std::collections::HashMap;
 
-use elba_align::{classify, extend_seed, OverlapAln, OverlapClass, Scoring, SgEdge};
+use elba_align::{
+    classify, extend_seed_with, OverlapAln, OverlapClass, Scoring, SgEdge, XdropWorkspace,
+};
 use elba_comm::ProcGrid;
 use elba_seq::kmer::canonical_kmers;
 use elba_seq::{ReadStore, Seq};
@@ -107,6 +109,7 @@ pub fn scaffold_contigs(contigs: &[Seq], cfg: &ScaffoldConfig) -> (Vec<Seq>, Sca
     type PairSeed = ((u32, u32), (u32, u32, bool));
     let mut pairs: Vec<PairSeed> = pair_seed.into_iter().collect();
     pairs.sort_unstable_by_key(|&(key, _)| key);
+    let mut ws = XdropWorkspace::default();
     for ((u, v), (pos_u, pos_v, same_strand)) in pairs {
         let cu = &contigs[u as usize];
         let cv = &contigs[v as usize];
@@ -114,7 +117,8 @@ pub fn scaffold_contigs(contigs: &[Seq], cfg: &ScaffoldConfig) -> (Vec<Seq>, Sca
             if pos_u as usize + cfg.k > cu.len() || pos_v as usize + cfg.k > cv.len() {
                 continue;
             }
-            let aln = extend_seed(
+            let aln = extend_seed_with(
+                &mut ws,
                 cu.codes(),
                 cv.codes(),
                 pos_u as usize,
@@ -130,7 +134,8 @@ pub fn scaffold_contigs(contigs: &[Seq], cfg: &ScaffoldConfig) -> (Vec<Seq>, Sca
             if pos_u as usize + cfg.k > cu.len() || w_pos + cfg.k > w.len() {
                 continue;
             }
-            let aln = extend_seed(
+            let aln = extend_seed_with(
+                &mut ws,
                 cu.codes(),
                 w.codes(),
                 pos_u as usize,

@@ -9,7 +9,9 @@
 //! the `IsContainedRead` prune, dovetails become the symmetric pair of
 //! directed edges of the overlap matrix `R`.
 
-use elba_align::{classify, extend_seed, OverlapAln, OverlapClass, Scoring, SgEdge};
+use elba_align::{
+    classify, extend_seed_with, OverlapAln, OverlapClass, Scoring, SgEdge, XdropWorkspace,
+};
 use elba_comm::ProcGrid;
 use elba_seq::{AEntry, ReadStore};
 use elba_sparse::{DistMat, DistVec, SpGemmOptions};
@@ -117,9 +119,22 @@ pub fn candidate_matrix(
     })
 }
 
-/// X-drop align one candidate pair from its retained seeds; returns the
-/// best-scoring overlap alignment.
+/// One-shot [`align_pair_with`]: allocates a throwaway workspace.
 pub fn align_pair(
+    u_codes: &[u8],
+    v_codes: &[u8],
+    seeds: &SharedSeeds,
+    cfg: &OverlapConfig,
+) -> Option<OverlapAln> {
+    align_pair_with(&mut XdropWorkspace::default(), u_codes, v_codes, seeds, cfg)
+}
+
+/// X-drop align one candidate pair from its retained seeds; returns the
+/// best-scoring overlap alignment. The workspace's antidiagonal buffers
+/// are reused across seed extensions (and across calls — the alignment
+/// stage sweeps one workspace over every candidate pair).
+pub fn align_pair_with(
+    ws: &mut XdropWorkspace,
     u_codes: &[u8],
     v_codes: &[u8],
     seeds: &SharedSeeds,
@@ -135,7 +150,8 @@ pub fn align_pair(
             {
                 continue;
             }
-            let aln = extend_seed(
+            let aln = extend_seed_with(
+                ws,
                 u_codes,
                 v_codes,
                 seed.pos_v as usize,
@@ -152,7 +168,8 @@ pub fn align_pair(
             if seed.pos_v as usize + cfg.k > u_codes.len() || w_pos + cfg.k > w.len() {
                 continue;
             }
-            let aln = extend_seed(
+            let aln = extend_seed_with(
+                ws,
                 u_codes,
                 w,
                 seed.pos_v as usize,
@@ -183,6 +200,9 @@ pub fn align_and_classify(
     let mut triples: Vec<(u64, u64, SgEdge)> = Vec::new();
     let mut contained_ids: Vec<(usize, bool)> = Vec::new();
     let mut stats = AlignStats::default();
+    // One workspace for the whole sweep: antidiagonal buffers are
+    // reused across every seed extension of every candidate pair.
+    let mut ws = XdropWorkspace::default();
     for (i, j, seeds) in c.iter_global(grid) {
         stats.candidate_pairs += 1;
         let u_codes = seqs
@@ -191,7 +211,7 @@ pub fn align_and_classify(
         let v_codes = seqs
             .get(j)
             .unwrap_or_else(|| panic!("read {j} not fetched"));
-        let Some(aln) = align_pair(u_codes, v_codes, seeds, cfg) else {
+        let Some(aln) = align_pair_with(&mut ws, u_codes, v_codes, seeds, cfg) else {
             stats.rejected += 1;
             continue;
         };

@@ -26,6 +26,7 @@ pub struct SharedSeeds {
 }
 
 elba_comm::impl_comm_msg_pod!(SharedSeeds, Seed);
+elba_mem::impl_deep_bytes_pod!(SharedSeeds, Seed);
 
 impl SharedSeeds {
     pub fn single(seed: Seed) -> Self {
@@ -105,6 +106,7 @@ pub struct MinPlusDir {
 }
 
 elba_comm::impl_comm_msg_pod!(MinPlusDir);
+elba_mem::impl_deep_bytes_pod!(MinPlusDir);
 
 impl MinPlusDir {
     pub const EMPTY: MinPlusDir = MinPlusDir {

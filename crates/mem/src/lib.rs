@@ -138,6 +138,92 @@ impl MemBudget {
     }
 }
 
+/// Deep heap size of a value: the bytes of heap storage owned by the
+/// value *beyond* its own `size_of`. Containers that count their
+/// payloads at `size_of` (e.g. a CSR values array) undercount values
+/// that themselves own heap (a `Vec` inside a matrix entry); summing
+/// `size_of::<T>() + deep_bytes()` per element gives the true resident
+/// footprint. Plain-old-data types report 0 — use
+/// [`impl_deep_bytes_pod!`] for those.
+///
+/// Like the tracker's charges, deep sizes are length-based, not
+/// capacity-based, so they are deterministic across runs.
+pub trait DeepBytes {
+    /// Heap bytes owned by this value beyond `size_of::<Self>()`.
+    fn deep_bytes(&self) -> usize;
+}
+
+/// Implement [`DeepBytes`] (as 0 — no owned heap) for plain-old-data
+/// types.
+#[macro_export]
+macro_rules! impl_deep_bytes_pod {
+    ($($t:ty),* $(,)?) => {
+        $(impl $crate::DeepBytes for $t {
+            #[inline]
+            fn deep_bytes(&self) -> usize {
+                0
+            }
+        })*
+    };
+}
+
+impl_deep_bytes_pod!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
+
+impl<T: DeepBytes> DeepBytes for Vec<T> {
+    fn deep_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+            + self.iter().map(DeepBytes::deep_bytes).sum::<usize>()
+    }
+}
+
+impl DeepBytes for String {
+    fn deep_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: DeepBytes> DeepBytes for Option<T> {
+    fn deep_bytes(&self) -> usize {
+        self.as_ref().map_or(0, DeepBytes::deep_bytes)
+    }
+}
+
+impl<T: DeepBytes> DeepBytes for Box<T> {
+    fn deep_bytes(&self) -> usize {
+        std::mem::size_of::<T>() + self.as_ref().deep_bytes()
+    }
+}
+
+impl<A: DeepBytes, B: DeepBytes> DeepBytes for (A, B) {
+    fn deep_bytes(&self) -> usize {
+        self.0.deep_bytes() + self.1.deep_bytes()
+    }
+}
+
+impl<A: DeepBytes, B: DeepBytes, C: DeepBytes> DeepBytes for (A, B, C) {
+    fn deep_bytes(&self) -> usize {
+        self.0.deep_bytes() + self.1.deep_bytes() + self.2.deep_bytes()
+    }
+}
+
 /// Per-rank, per-phase high-water byte accounting.
 ///
 /// One `current` tally of resident tracked bytes is shared across
@@ -146,12 +232,22 @@ impl MemBudget {
 /// resident count against the later phase too — residency is what
 /// matters for a cap). [`MemTracker::record_transient`] books a
 /// short-lived spike (`current + bytes`) without holding it.
+///
+/// *Shared blocks* (payloads referenced through an `Arc`) charge through
+/// [`MemTracker::charge_shared`], keyed by the allocation's address: the
+/// first reference a rank holds charges the block's bytes, further
+/// references on the same rank are free, and the bytes release when the
+/// last reference drops — one rank charges one shared block **once**,
+/// no matter how many handles to it live on that rank.
 #[derive(Debug, Clone, Default)]
 pub struct MemTracker {
     current: u64,
     /// `(phase name, high-water bytes)` in first-entered order.
     phases: Vec<(String, u64)>,
     stack: Vec<usize>,
+    /// Shared-block charges held by this rank: allocation address →
+    /// (live references, bytes charged once).
+    shared: std::collections::HashMap<usize, (usize, u64)>,
 }
 
 impl MemTracker {
@@ -222,6 +318,37 @@ impl MemTracker {
     /// residency, without holding it.
     pub fn record_transient(&mut self, bytes: u64) {
         self.bump(self.current + bytes);
+    }
+
+    /// Charge a *shared* block identified by its allocation address
+    /// (`key`, e.g. `Arc::as_ptr` cast to usize): the first reference
+    /// this rank takes charges `bytes`, every further reference to the
+    /// same key only bumps a refcount — the single-charge rule for
+    /// `Arc`-shared broadcast payloads. Pair with
+    /// [`MemTracker::release_shared`].
+    pub fn charge_shared(&mut self, key: usize, bytes: u64) {
+        let entry = self.shared.entry(key).or_insert((0, 0));
+        if entry.0 == 0 {
+            entry.1 = bytes;
+            self.current += bytes;
+        }
+        entry.0 += 1;
+        self.bump(self.current);
+    }
+
+    /// Drop one reference to a shared block; the bytes release when the
+    /// last reference goes.
+    pub fn release_shared(&mut self, key: usize) {
+        let entry = self
+            .shared
+            .get_mut(&key)
+            .expect("releasing a shared block that was never charged");
+        entry.0 -= 1;
+        if entry.0 == 0 {
+            let bytes = entry.1;
+            self.shared.remove(&key);
+            self.release(bytes);
+        }
     }
 
     /// Bytes currently charged.
@@ -363,6 +490,36 @@ mod tests {
         t.exit();
         assert_eq!(t.high_water("inner"), 30);
         assert_eq!(t.high_water("outer"), 35);
+    }
+
+    #[test]
+    fn shared_blocks_charge_once_per_rank() {
+        let mut t = MemTracker::new();
+        t.enter("p");
+        t.charge_shared(0xA0, 100);
+        t.charge_shared(0xA0, 100); // second reference: free
+        t.charge_shared(0xB0, 30); // distinct block: charged
+        assert_eq!(t.current(), 130);
+        t.release_shared(0xA0);
+        assert_eq!(t.current(), 130, "one reference still holds the block");
+        t.release_shared(0xA0);
+        assert_eq!(t.current(), 30, "last reference releases the bytes");
+        t.release_shared(0xB0);
+        t.exit();
+        assert_eq!(t.high_water("p"), 130);
+    }
+
+    #[test]
+    fn deep_bytes_counts_nested_heap() {
+        assert_eq!(7u64.deep_bytes(), 0);
+        let flat = vec![1u32, 2, 3];
+        assert_eq!(flat.deep_bytes(), 12);
+        let nested = vec![vec![1u8; 4], vec![2u8; 6]];
+        // outer: 2 × size_of::<Vec<u8>>; inner heap: 4 + 6
+        assert_eq!(nested.deep_bytes(), 2 * std::mem::size_of::<Vec<u8>>() + 10);
+        assert_eq!("hello".to_owned().deep_bytes(), 5);
+        assert_eq!(Some(vec![0u64; 2]).deep_bytes(), vec![0u64; 2].deep_bytes());
+        assert_eq!((1u8, vec![1u16; 3]).deep_bytes(), 6);
     }
 
     #[test]

@@ -110,6 +110,7 @@ pub struct AEntry {
 }
 
 elba_comm::impl_comm_msg_pod!(AEntry);
+elba_mem::impl_deep_bytes_pod!(AEntry);
 
 /// Buffer high-water marks of one k-mer-stage exchange — the hook the
 /// memory-bound tests (and the bench) assert against. For the streaming
@@ -144,7 +145,7 @@ impl ExchangeStats {
 /// Route `items` (already tagged with a destination rank) through a
 /// blocking `alltoallv`, materializing the whole exchange, and fold each
 /// source's buffer. The reference schedule.
-fn eager_exchange<T: elba_comm::CommMsg>(
+fn eager_exchange<T: elba_comm::CommMsg + Clone + Sync>(
     world: &Comm,
     items: impl Iterator<Item = (Rank, T)>,
     mut fold: impl FnMut(Rank, Vec<T>),
@@ -185,7 +186,7 @@ fn eager_exchange<T: elba_comm::CommMsg>(
 /// un-folded items *per source*, never an unbounded backlog.
 ///
 /// [`wait_for_credit`]: elba_comm::IalltoallvRequest::wait_for_credit
-fn streaming_exchange<T: elba_comm::CommMsg>(
+fn streaming_exchange<T: elba_comm::CommMsg + Clone + Sync>(
     world: &Comm,
     batch: usize,
     items: impl Iterator<Item = (Rank, T)>,
@@ -270,7 +271,7 @@ fn streaming_exchange<T: elba_comm::CommMsg>(
 }
 
 /// Dispatch on the configured schedule.
-fn exchange<T: elba_comm::CommMsg>(
+fn exchange<T: elba_comm::CommMsg + Clone + Sync>(
     world: &Comm,
     cfg: &KmerConfig,
     items: impl Iterator<Item = (Rank, T)>,

@@ -122,6 +122,23 @@ impl<T> Csr<T> {
             + self.values.len() * std::mem::size_of::<T>()
     }
 
+    /// [`Csr::heap_bytes`] plus the heap owned *inside* the stored
+    /// values ([`elba_mem::DeepBytes`]): the true resident footprint for
+    /// value types that are not plain-old-data (a `Vec`-carrying matrix
+    /// entry would be undercounted at `size_of`). Equal to `heap_bytes`
+    /// for POD values.
+    pub fn deep_heap_bytes(&self) -> usize
+    where
+        T: elba_mem::DeepBytes,
+    {
+        self.heap_bytes()
+            + self
+                .values
+                .iter()
+                .map(elba_mem::DeepBytes::deep_bytes)
+                .sum::<usize>()
+    }
+
     /// Column indices and values of row `i`.
     #[inline]
     pub fn row(&self, i: usize) -> (&[u32], &[T]) {

@@ -7,6 +7,8 @@
 //! transpose, element-wise apply/prune, row-wise reduction into a
 //! [`DistVec`], and symmetric row+column masking (branch removal).
 
+use std::sync::Arc;
+
 use elba_comm::{CommMsg, MemCharge, ProcGrid};
 
 use crate::csr::Csr;
@@ -17,6 +19,9 @@ use crate::spgemm::{csr_merge, spgemm, SpGemmBatcher};
 
 /// Tag for the transpose block exchange.
 const TRANSPOSE_TAG: u64 = 0x00F1_7A7A;
+
+/// See [`DistMat::pinned_copy_count`].
+static PINNED_COPIES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
 /// Merge one batch-produced row (`cols`/`vals`, sorted by column) into a
 /// per-row accumulator in place — the row-local step of the blocked
@@ -245,14 +250,21 @@ impl SpGemmOptions {
 }
 
 /// A sparse matrix distributed in 2D blocks over the process grid.
+///
+/// The local block lives behind an [`Arc`]: SUMMA stage broadcasts ship
+/// it down the grid row/column as `Arc` clones (zero payload
+/// deep-copies, root included — see [`elba_comm::Comm::ibcast_shared`]),
+/// and cloning a `DistMat` is a shallow reference bump. Every mutating
+/// operation consumes `self` and produces a fresh block, so shared
+/// references can never observe mutation.
 #[derive(Debug, Clone)]
 pub struct DistMat<T> {
     row_layout: Layout2D,
     col_layout: Layout2D,
-    local: Csr<T>,
+    local: Arc<Csr<T>>,
 }
 
-impl<T: Clone + CommMsg> DistMat<T> {
+impl<T: Clone + CommMsg + Sync> DistMat<T> {
     /// Collectively build from triples with *global* indices; each rank may
     /// contribute any subset (triples are routed to their owner block).
     /// Duplicate entries are merged with `combine`.
@@ -293,7 +305,7 @@ impl<T: Clone + CommMsg> DistMat<T> {
         DistMat {
             row_layout,
             col_layout,
-            local,
+            local: Arc::new(local),
         }
     }
 
@@ -306,7 +318,7 @@ impl<T: Clone + CommMsg> DistMat<T> {
         DistMat {
             row_layout,
             col_layout,
-            local,
+            local: Arc::new(local),
         }
     }
 
@@ -338,11 +350,54 @@ impl<T: Clone + CommMsg> DistMat<T> {
         &self.local
     }
 
+    /// The `Arc` behind this rank's local block — the handle the shared
+    /// broadcast path clones and [`elba_comm::Comm::mem_charge_shared`]
+    /// keys its once-per-rank charge on.
+    #[inline]
+    pub fn local_arc(&self) -> &Arc<Csr<T>> {
+        &self.local
+    }
+
+    /// Take the local block out, copying only if other references to it
+    /// are still alive (a freshly built matrix is sole owner). The copy
+    /// fallback is deliberate — mutating one handle of a shallowly
+    /// cloned `DistMat` must not disturb the other — but the copy is
+    /// *invisible to the memory tracker* (no `Comm` in scope here):
+    /// callers holding a `SharedMemCharge` on the block should drop the
+    /// guard before a consuming operation (see the TrReduction ordering
+    /// in `elba-core`). [`DistMat::pinned_copy_count`] counts fallback
+    /// firings so hot paths can be pinned to zero in tests.
+    fn into_local(self) -> Csr<T> {
+        Arc::try_unwrap(self.local).unwrap_or_else(|arc| {
+            PINNED_COPIES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            (*arc).clone()
+        })
+    }
+
+    /// Process-wide count of [`DistMat::into_local`] copy fallbacks
+    /// (consuming a block whose `Arc` something else still pins). A
+    /// diagnostic, not an error: nonzero means an untracked deep copy
+    /// happened somewhere.
+    pub fn pinned_copy_count() -> usize {
+        PINNED_COPIES.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Heap bytes behind this rank's local block — what one rank charges
     /// against the memory tracker while the matrix is resident.
     #[inline]
     pub fn heap_bytes(&self) -> usize {
         self.local.heap_bytes()
+    }
+
+    /// [`DistMat::heap_bytes`] including heap nested *inside* values
+    /// (see [`Csr::deep_heap_bytes`]) — what honest residency charging
+    /// uses for non-POD value types.
+    #[inline]
+    pub fn deep_heap_bytes(&self) -> usize
+    where
+        T: elba_mem::DeepBytes,
+    {
+        self.local.deep_heap_bytes()
     }
 
     /// Global nonzero count (collective).
@@ -395,12 +450,14 @@ impl<T: Clone + CommMsg> DistMat<T> {
             self.row_layout.block_range(grid.myrow()).start,
             self.col_layout.block_range(grid.mycol()).start,
         );
+        let (row_layout, col_layout) = (self.row_layout, self.col_layout);
         DistMat {
-            row_layout: self.row_layout,
-            col_layout: self.col_layout,
-            local: self
-                .local
-                .map(|r, c, v| f((r as usize + r0) as u64, (c as usize + c0) as u64, v)),
+            row_layout,
+            col_layout,
+            local: Arc::new(
+                self.into_local()
+                    .map(|r, c, v| f((r as usize + r0) as u64, (c as usize + c0) as u64, v)),
+            ),
         }
     }
 
@@ -410,12 +467,14 @@ impl<T: Clone + CommMsg> DistMat<T> {
             self.row_layout.block_range(grid.myrow()).start,
             self.col_layout.block_range(grid.mycol()).start,
         );
+        let (row_layout, col_layout) = (self.row_layout, self.col_layout);
         DistMat {
-            row_layout: self.row_layout,
-            col_layout: self.col_layout,
-            local: self
-                .local
-                .retain(|r, c, v| keep((r as usize + r0) as u64, (c as usize + c0) as u64, v)),
+            row_layout,
+            col_layout,
+            local: Arc::new(
+                self.into_local()
+                    .retain(|r, c, v| keep((r as usize + r0) as u64, (c as usize + c0) as u64, v)),
+            ),
         }
     }
 
@@ -435,18 +494,19 @@ impl<T: Clone + CommMsg> DistMat<T> {
             self.row_layout.block_range(grid.myrow()).start,
             self.col_layout.block_range(grid.mycol()).start,
         );
-        let other_local = &other.local;
+        let other_local = Arc::clone(&other.local);
+        let (row_layout, col_layout) = (self.row_layout, self.col_layout);
         DistMat {
-            row_layout: self.row_layout,
-            col_layout: self.col_layout,
-            local: self.local.retain(|r, c, v| {
+            row_layout,
+            col_layout,
+            local: Arc::new(self.into_local().retain(|r, c, v| {
                 keep(
                     (r as usize + r0) as u64,
                     (c as usize + c0) as u64,
                     v,
                     other_local.get(r as usize, c as usize),
                 )
-            }),
+            })),
         }
     }
 
@@ -487,7 +547,7 @@ impl<T: Clone + CommMsg> DistMat<T> {
         DistMat {
             row_layout,
             col_layout,
-            local,
+            local: Arc::new(local),
         }
     }
 
@@ -501,8 +561,8 @@ impl<T: Clone + CommMsg> DistMat<T> {
     pub fn spgemm<S, U>(&self, grid: &ProcGrid, other: &DistMat<U>, semiring: &S) -> DistMat<S::Out>
     where
         S: Semiring<A = T, B = U>,
-        U: Clone + CommMsg,
-        S::Out: Clone + CommMsg,
+        U: Clone + CommMsg + Sync,
+        S::Out: Clone + CommMsg + Sync,
     {
         self.spgemm_with(grid, other, semiring, &SpGemmOptions::default())
     }
@@ -519,8 +579,8 @@ impl<T: Clone + CommMsg> DistMat<T> {
     ) -> DistMat<S::Out>
     where
         S: Semiring<A = T, B = U>,
-        U: Clone + CommMsg,
-        S::Out: Clone + CommMsg,
+        U: Clone + CommMsg + Sync,
+        S::Out: Clone + CommMsg + Sync,
     {
         assert_eq!(
             self.col_layout, other.row_layout,
@@ -544,7 +604,7 @@ impl<T: Clone + CommMsg> DistMat<T> {
         DistMat {
             row_layout: self.row_layout,
             col_layout: other.col_layout,
-            local,
+            local: Arc::new(local),
         }
     }
 
@@ -568,8 +628,8 @@ impl<T: Clone + CommMsg> DistMat<T> {
     ) -> DistMat<S::Out>
     where
         S: Semiring<A = T, B = U>,
-        U: Clone + CommMsg,
-        S::Out: Clone + CommMsg,
+        U: Clone + CommMsg + Sync,
+        S::Out: Clone + CommMsg + Sync,
     {
         if opts.algorithm != SpGemmAlgorithm::ColumnBatched {
             return self
@@ -591,7 +651,7 @@ impl<T: Clone + CommMsg> DistMat<T> {
         DistMat {
             row_layout: self.row_layout,
             col_layout: other.col_layout,
-            local,
+            local: Arc::new(local),
         }
     }
 
@@ -601,8 +661,8 @@ impl<T: Clone + CommMsg> DistMat<T> {
     fn summa_eager<S, U>(&self, grid: &ProcGrid, other: &DistMat<U>, semiring: &S) -> Csr<S::Out>
     where
         S: Semiring<A = T, B = U>,
-        U: Clone + CommMsg,
-        S::Out: Clone + CommMsg,
+        U: Clone + CommMsg + Sync,
+        S::Out: Clone + CommMsg + Sync,
     {
         let q = grid.q();
         let mut charge = grid.world().mem_charge(0);
@@ -611,15 +671,23 @@ impl<T: Clone + CommMsg> DistMat<T> {
         for s in 0..q {
             let a_block = grid
                 .row()
-                .bcast(s, (grid.mycol() == s).then(|| self.local.clone()));
+                .bcast_shared(s, (grid.mycol() == s).then(|| Arc::clone(&self.local)));
             let b_block = grid
                 .col()
-                .bcast(s, (grid.myrow() == s).then(|| other.local.clone()));
+                .bcast_shared(s, (grid.myrow() == s).then(|| Arc::clone(&other.local)));
+            // Stage blocks charge through the shared (ptr-keyed) path:
+            // one charge per rank per block, so the owner's own resident
+            // matrix is never counted twice.
+            let _a_res = grid
+                .world()
+                .mem_charge_shared(&a_block, a_block.heap_bytes());
+            let _b_res = grid
+                .world()
+                .mem_charge_shared(&b_block, b_block.heap_bytes());
             let stage = spgemm(&a_block, &b_block, semiring);
             acc.extend(stage.into_triples());
-            charge.set(acc.len() * triple_bytes + a_block.heap_bytes() + b_block.heap_bytes());
+            charge.set(acc.len() * triple_bytes);
         }
-        charge.set(acc.len() * triple_bytes);
         let row_range = self.row_layout.block_range(grid.myrow());
         let col_range = other.col_layout.block_range(grid.mycol());
         Csr::from_triples(row_range.len(), col_range.len(), acc, |a, v| {
@@ -639,8 +707,8 @@ impl<T: Clone + CommMsg> DistMat<T> {
     ) -> Csr<S::Out>
     where
         S: Semiring<A = T, B = U>,
-        U: Clone + CommMsg,
-        S::Out: Clone + CommMsg,
+        U: Clone + CommMsg + Sync,
+        S::Out: Clone + CommMsg + Sync,
     {
         let q = grid.q();
         let row_range = self.row_layout.block_range(grid.myrow());
@@ -648,10 +716,10 @@ impl<T: Clone + CommMsg> DistMat<T> {
         let post = |s: usize| {
             let a_req = grid
                 .row()
-                .ibcast(s, (grid.mycol() == s).then(|| self.local.clone()));
+                .ibcast_shared(s, (grid.mycol() == s).then(|| Arc::clone(&self.local)));
             let b_req = grid
                 .col()
-                .ibcast(s, (grid.myrow() == s).then(|| other.local.clone()));
+                .ibcast_shared(s, (grid.myrow() == s).then(|| Arc::clone(&other.local)));
             (a_req, b_req)
         };
         let mut charge = grid.world().mem_charge(0);
@@ -665,10 +733,16 @@ impl<T: Clone + CommMsg> DistMat<T> {
             let a_block = a_req.wait();
             let b_block = b_req.wait();
             inflight = next;
+            // Shared-path charging: once per rank per block (the stage
+            // owner's resident matrix is the block — no double count).
+            let _a_res = grid
+                .world()
+                .mem_charge_shared(&a_block, a_block.heap_bytes());
+            let _b_res = grid
+                .world()
+                .mem_charge_shared(&b_block, b_block.heap_bytes());
             let stage = spgemm(&a_block, &b_block, semiring);
-            charge.set(
-                acc.heap_bytes() + stage.heap_bytes() + a_block.heap_bytes() + b_block.heap_bytes(),
-            );
+            charge.set(acc.heap_bytes() + stage.heap_bytes());
             acc = csr_merge(acc, stage, |a, v| semiring.add(a, v));
         }
         acc
@@ -690,8 +764,8 @@ impl<T: Clone + CommMsg> DistMat<T> {
     ) -> Csr<S::Out>
     where
         S: Semiring<A = T, B = U>,
-        U: Clone + CommMsg,
-        S::Out: Clone + CommMsg,
+        U: Clone + CommMsg + Sync,
+        S::Out: Clone + CommMsg + Sync,
     {
         let q = grid.q();
         let row_range = self.row_layout.block_range(grid.myrow());
@@ -707,11 +781,18 @@ impl<T: Clone + CommMsg> DistMat<T> {
         for s in 0..q {
             let a_block = grid
                 .row()
-                .bcast(s, (grid.mycol() == s).then(|| self.local.clone()));
+                .bcast_shared(s, (grid.mycol() == s).then(|| Arc::clone(&self.local)));
             let b_block = grid
                 .col()
-                .bcast(s, (grid.myrow() == s).then(|| other.local.clone()));
-            let stage_resident = a_block.heap_bytes() + b_block.heap_bytes();
+                .bcast_shared(s, (grid.myrow() == s).then(|| Arc::clone(&other.local)));
+            // Stage blocks charge through the once-per-rank shared path;
+            // `merge_stage_rows` only tracks the accumulator on top.
+            let _a_res = grid
+                .world()
+                .mem_charge_shared(&a_block, a_block.heap_bytes());
+            let _b_res = grid
+                .world()
+                .mem_charge_shared(&b_block, b_block.heap_bytes());
             acc_entries = merge_stage_rows(
                 &a_block,
                 &b_block,
@@ -721,7 +802,7 @@ impl<T: Clone + CommMsg> DistMat<T> {
                 &mut acc_rows,
                 acc_entries,
                 entry_bytes,
-                stage_resident,
+                0,
                 &mut charge,
             );
         }
@@ -775,8 +856,8 @@ impl<T: Clone + CommMsg> DistMat<T> {
     ) -> Csr<S::Out>
     where
         S: Semiring<A = T, B = U>,
-        U: Clone + CommMsg,
-        S::Out: Clone + CommMsg,
+        U: Clone + CommMsg + Sync,
+        S::Out: Clone + CommMsg + Sync,
     {
         let q = grid.q();
         let world = grid.world();
@@ -800,26 +881,31 @@ impl<T: Clone + CommMsg> DistMat<T> {
             stage_bytes.reserve(q);
             let mut est_charge = world.mem_charge(0);
             for s in 0..q {
-                let (a_col_nnz, a_bytes) = grid.row().bcast(
+                // Structure-only packs travel Arc-shared too: the owner
+                // builds each pack once and the tree fans out reference
+                // clones, not vector copies.
+                let a_pack = grid.row().bcast_shared(
                     s,
                     (grid.mycol() == s).then(|| {
                         let mut counts = vec![0u32; self.local.ncols()];
                         for &c in self.local.indices() {
                             counts[c as usize] += 1;
                         }
-                        (counts, self.local.heap_bytes())
+                        Arc::new((counts, self.local.heap_bytes()))
                     }),
                 );
-                let (b_indptr, b_indices, b_bytes) = grid.col().bcast(
+                let (a_col_nnz, a_bytes) = (&a_pack.0, a_pack.1);
+                let b_pack = grid.col().bcast_shared(
                     s,
                     (grid.myrow() == s).then(|| {
-                        (
+                        Arc::new((
                             other.local.indptr().to_vec(),
                             other.local.indices().to_vec(),
                             other.local.heap_bytes(),
-                        )
+                        ))
                     }),
                 );
+                let (b_indptr, b_indices, b_bytes) = (&b_pack.0, &b_pack.1, b_pack.2);
                 // The received structure vectors are real resident
                 // bytes; the budget verdict is only trustworthy if the
                 // pass that sizes the batches charges its own working
@@ -874,10 +960,10 @@ impl<T: Clone + CommMsg> DistMat<T> {
         let post = |s: usize| {
             let a_req = grid
                 .row()
-                .ibcast(s, (grid.mycol() == s).then(|| self.local.clone()));
+                .ibcast_shared(s, (grid.mycol() == s).then(|| Arc::clone(&self.local)));
             let b_req = grid
                 .col()
-                .ibcast(s, (grid.myrow() == s).then(|| other.local.clone()));
+                .ibcast_shared(s, (grid.myrow() == s).then(|| Arc::clone(&other.local)));
             (a_req, b_req)
         };
         let mut out_rows: Vec<(Vec<u32>, Vec<S::Out>)> =
@@ -937,11 +1023,22 @@ impl<T: Clone + CommMsg> DistMat<T> {
                 } else {
                     (
                         grid.row()
-                            .bcast(s, (grid.mycol() == s).then(|| self.local.clone())),
+                            .bcast_shared(s, (grid.mycol() == s).then(|| Arc::clone(&self.local))),
                         grid.col()
-                            .bcast(s, (grid.myrow() == s).then(|| other.local.clone())),
+                            .bcast_shared(s, (grid.myrow() == s).then(|| Arc::clone(&other.local))),
                     )
                 };
+                // Unbudgeted rounds charge the blocks actually resident
+                // through the once-per-rank shared path; budgeted rounds
+                // model residency from the estimate pass's `stage_bytes`
+                // (grid-uniform, includes the prefetched stage) and so
+                // skip the guards — guards on top would double-count.
+                let _res = budget.is_none().then(|| {
+                    (
+                        world.mem_charge_shared(&a_block, a_block.heap_bytes()),
+                        world.mem_charge_shared(&b_block, b_block.heap_bytes()),
+                    )
+                });
                 // A finished rank padding out the collective round has
                 // an empty window: the broadcasts above must still run
                 // (they are collective), but the multiply sweep over
@@ -959,9 +1056,9 @@ impl<T: Clone + CommMsg> DistMat<T> {
                             0
                         }
                     }
-                    // Unbudgeted: no estimate pass ran; charge the
-                    // blocks actually resident this stage.
-                    None => a_block.heap_bytes() + b_block.heap_bytes(),
+                    // Unbudgeted: the shared guards above already hold
+                    // the resident blocks.
+                    None => 0,
                 };
                 acc_entries = merge_stage_rows(
                     &a_block,
@@ -1018,7 +1115,7 @@ impl<T: Clone + CommMsg> DistMat<T> {
         merge: impl Fn(U, U) -> U + Copy,
     ) -> DistVec<U>
     where
-        U: Clone + CommMsg,
+        U: Clone + CommMsg + Sync,
     {
         let (_, c0) = self.local_offsets(grid);
         let partial: Vec<U> = self.local.row_reduce(&mut init, |acc, c, v| {
@@ -1058,12 +1155,14 @@ impl<T: Clone + CommMsg> DistMat<T> {
         let (row_mask, col_mask) = mask.fetch_aligned(grid);
         // Local indices are block-relative and the fetched masks cover
         // exactly this block's row/column ranges, so direct indexing works.
+        let (row_layout, col_layout) = (self.row_layout, self.col_layout);
         DistMat {
-            row_layout: self.row_layout,
-            col_layout: self.col_layout,
-            local: self
-                .local
-                .retain(|r, c, _| !row_mask[r as usize] && !col_mask[c as usize]),
+            row_layout,
+            col_layout,
+            local: Arc::new(
+                self.into_local()
+                    .retain(|r, c, _| !row_mask[r as usize] && !col_mask[c as usize]),
+            ),
         }
     }
 }
