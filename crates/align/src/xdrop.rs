@@ -54,6 +54,18 @@ pub struct XdropWorkspace {
     b_rev: Vec<u8>,
 }
 
+impl XdropWorkspace {
+    /// Heap bytes currently held by the workspace's band and staging
+    /// buffers (by length, like every tracker charge). The alignment
+    /// stage reports one workspace per worker as transient scratch so
+    /// threaded sweeps stay honest in the `mem-hw` column.
+    pub fn heap_bytes(&self) -> usize {
+        (self.band_a.len() + self.band_b.len() + self.band_c.len()) * std::mem::size_of::<i32>()
+            + self.a_rev.len()
+            + self.b_rev.len()
+    }
+}
+
 /// One-shot [`xdrop_extend_with`]: allocates a throwaway workspace.
 /// Call sites extending many seeds should hold an [`XdropWorkspace`]
 /// and use the `_with` variant.
@@ -422,6 +434,51 @@ mod tests {
             Scoring::default(),
         );
         assert_eq!(one_shot, with_ws);
+    }
+
+    #[test]
+    fn workspace_per_worker_matches_one_shot() {
+        // The threaded alignment batch's contract, mirrored at the
+        // kernel level: a batch of seed extensions split across workers
+        // — each worker owning one workspace reused across *its* share
+        // of the batch, claimed by self-scheduling — must produce
+        // results identical to fresh one-shot buffers per extension, in
+        // batch order, for every worker count.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        let g: Vec<u8> = (0..600).map(|_| rng.gen_range(0..4u8)).collect();
+        // Overlapping window pairs with a shared seed; some noisy.
+        let mut cases = Vec::new();
+        for t in 0..40usize {
+            let start = (t * 13) % 300;
+            let mut a = g[start..start + 200].to_vec();
+            let b = g[start + 80..start + 280].to_vec();
+            if t % 3 == 0 {
+                let at = (t * 7) % a.len();
+                a[at] = (a[at] + 1) % 4;
+            }
+            cases.push((
+                a,
+                b,
+                100 + (t % 40),
+                20 - (t % 40).min(15),
+                10 + (t % 9) as i32,
+            ));
+        }
+        let one_shot: Vec<SeedAlignment> = cases
+            .iter()
+            .map(|(a, b, ap, bp, x)| extend_seed(a, b, *ap, *bp, 12, *x, Scoring::default()))
+            .collect();
+        for workers in [1usize, 2, 4, 7] {
+            let mut workspaces: Vec<XdropWorkspace> =
+                (0..workers).map(|_| XdropWorkspace::default()).collect();
+            let batched = elba_par::run_indexed_with(cases.len(), &mut workspaces, |i, ws| {
+                let (a, b, ap, bp, x) = &cases[i];
+                extend_seed_with(ws, a, b, *ap, *bp, 12, *x, Scoring::default())
+            });
+            assert_eq!(one_shot, batched, "workers={workers}");
+        }
     }
 
     #[test]

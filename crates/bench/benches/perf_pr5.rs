@@ -1,0 +1,183 @@
+//! PR 5 perf trajectory: writes `BENCH_pr5.json` at the repository root
+//! with (a) threaded-vs-serial timings for the two hot local kernels the
+//! intra-rank thread pool ports — the SpGEMM stage multiply and the
+//! x-drop alignment batch — plus the threaded k-mer scan, and (b) the
+//! celegans 2×2 probe at `--threads 1` and `--threads 4` (per-phase
+//! wall + mem-hw, contigs asserted byte-identical). CI runs this on
+//! every push next to `perf_pr4` and uploads both JSONs from one glob,
+//! so the trajectory stays commit-over-commit comparable; on a ≥4-core
+//! runner the `threads4_secs` numbers should beat `serial_secs` while
+//! the output stays byte-identical.
+//!
+//! Run with `cargo bench -p elba-bench --bench perf_pr5`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use elba_align::{extend_seed_with, Scoring, XdropWorkspace};
+use elba_bench::{dataset, run_pipeline, PAPER_PHASES};
+use elba_core::PipelineConfig;
+use elba_seq::DatasetSpec;
+use elba_sparse::semiring::PlusTimes;
+use elba_sparse::{Csr, SpGemmBatcher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Median wall seconds of `iters` runs of `f`.
+fn time_median(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
+
+/// A reads×kmers-shaped random CSR (the overlap-detection multiply's
+/// local block shape).
+fn random_csr(seed: u64, nrows: usize, ncols: usize, per_row: usize) -> Csr<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::with_capacity(nrows * per_row);
+    for r in 0..nrows {
+        for _ in 0..per_row {
+            triples.push((r as u32, rng.gen_range(0..ncols as u32), 1.0f64));
+        }
+    }
+    Csr::from_triples(nrows, ncols, triples, |a, v| *a += v)
+}
+
+fn main() {
+    let threads = 4usize;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 5,");
+    let _ = writeln!(
+        json,
+        "  \"what\": \"intra-rank threaded kernels (elba-par): SpGEMM multiply, x-drop batch, k-mer scan\","
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+
+    // ---- local SpGEMM stage multiply: serial vs threaded ----
+    // C = A · Aᵀ over a reads×kmers block, the exact kernel inside every
+    // SUMMA stage of overlap detection.
+    let a = random_csr(7, 3_000, 8_000, 20);
+    let at = {
+        let triples: Vec<(u32, u32, f64)> = a.iter().map(|(r, c, &v)| (c, r, v)).collect();
+        Csr::from_triples(a.ncols(), a.nrows(), triples, |x, v| *x += v)
+    };
+    let mut serial_nnz = 0usize;
+    let spgemm_serial = time_median(5, || {
+        let mut b = SpGemmBatcher::new(&a, &at, &PlusTimes).with_threads(1);
+        serial_nnz = b
+            .multiply_rows_par(0..a.nrows(), 0..at.ncols() as u32)
+            .nnz();
+    });
+    let mut par_nnz = 0usize;
+    let spgemm_par = time_median(5, || {
+        let mut b = SpGemmBatcher::new(&a, &at, &PlusTimes).with_threads(threads);
+        par_nnz = b
+            .multiply_rows_par(0..a.nrows(), 0..at.ncols() as u32)
+            .nnz();
+    });
+    assert_eq!(serial_nnz, par_nnz, "threading must not change the product");
+    let _ = writeln!(json, "  \"local_spgemm_aat_3000x8000\": {{");
+    let _ = writeln!(json, "    \"serial_secs\": {spgemm_serial:.5},");
+    let _ = writeln!(json, "    \"threads4_secs\": {spgemm_par:.5},");
+    let _ = writeln!(json, "    \"nnz\": {serial_nnz}");
+    let _ = writeln!(json, "  }},");
+    eprintln!(
+        "local spgemm 3000x8000: serial {:.2} ms, {threads} threads {:.2} ms ({:.2}x)",
+        spgemm_serial * 1e3,
+        spgemm_par * 1e3,
+        spgemm_serial / spgemm_par.max(1e-9)
+    );
+
+    // ---- x-drop alignment batch: serial vs workspace-per-worker ----
+    let mut rng = StdRng::seed_from_u64(19);
+    let genome: Vec<u8> = (0..40_000).map(|_| rng.gen_range(0..4u8)).collect();
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..256)
+        .map(|_| {
+            let start = rng.gen_range(0..genome.len() - 3_000);
+            let mut u = genome[start..start + 2_000].to_vec();
+            let v = genome[start + 800..start + 2_800].to_vec();
+            // ~1% substitutions so x-drop works for its living.
+            for _ in 0..20 {
+                let at = rng.gen_range(0..u.len());
+                u[at] = (u[at] + 1) % 4;
+            }
+            (u, v)
+        })
+        .collect();
+    let sweep = |workers: usize| {
+        let mut workspaces: Vec<XdropWorkspace> =
+            (0..workers).map(|_| XdropWorkspace::default()).collect();
+        let scores = elba_par::run_indexed_with(pairs.len(), &mut workspaces, |i, ws| {
+            let (u, v) = &pairs[i];
+            extend_seed_with(ws, u, v, 1_000, 200, 17, 25, Scoring::default()).score
+        });
+        scores.iter().map(|&s| s as i64).sum::<i64>()
+    };
+    let mut serial_total = 0i64;
+    let xdrop_serial = time_median(5, || serial_total = sweep(1));
+    let mut par_total = 0i64;
+    let xdrop_par = time_median(5, || par_total = sweep(threads));
+    assert_eq!(serial_total, par_total, "threading must not change scores");
+    let _ = writeln!(json, "  \"xdrop_batch_256x2000bp\": {{");
+    let _ = writeln!(json, "    \"serial_secs\": {xdrop_serial:.5},");
+    let _ = writeln!(json, "    \"threads4_secs\": {xdrop_par:.5},");
+    let _ = writeln!(json, "    \"score_sum\": {serial_total}");
+    let _ = writeln!(json, "  }},");
+    eprintln!(
+        "xdrop batch 256 pairs: serial {:.2} ms, {threads} threads {:.2} ms ({:.2}x)",
+        xdrop_serial * 1e3,
+        xdrop_par * 1e3,
+        xdrop_serial / xdrop_par.max(1e-9)
+    );
+
+    // ---- celegans 2×2 probe at threads = 1 and 4 ----
+    let spec = DatasetSpec::celegans_like(0.1, 11);
+    let (_, reads) = dataset(&spec);
+    let mut contig_sets: Vec<Vec<String>> = Vec::new();
+    let _ = writeln!(json, "  \"celegans_2x2_probe\": {{");
+    let _ = writeln!(json, "    \"scale\": 0.1, \"nranks\": 4,");
+    for (ti, t) in [1usize, threads].iter().enumerate() {
+        let cfg = PipelineConfig::for_dataset(&spec).with_threads(*t);
+        let run = run_pipeline(&reads, &cfg, 4);
+        let _ = writeln!(json, "    \"threads{t}\": {{");
+        let _ = writeln!(json, "      \"phases\": {{");
+        for (i, phase) in PAPER_PHASES.iter().enumerate() {
+            let comma = if i + 1 < PAPER_PHASES.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "        \"{phase}\": {{ \"wall_secs\": {:.4}, \"par_secs\": {:.4}, \
+                 \"mem_hw_bytes\": {} }}{comma}",
+                run.profile.max_wall(phase),
+                run.profile.max_par_secs(phase),
+                run.profile.max_mem_hw(phase)
+            );
+        }
+        let _ = writeln!(json, "      }},");
+        let _ = writeln!(json, "      \"contigs\": {}", run.contigs.len());
+        let comma = if ti == 0 { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+        eprintln!(
+            "celegans 2x2 probe, threads={t}:\n{}",
+            run.profile.render_table()
+        );
+        contig_sets.push(run.contigs.iter().map(|c| c.seq.to_string()).collect());
+    }
+    assert_eq!(
+        contig_sets[0], contig_sets[1],
+        "probe contigs must be byte-identical across thread counts"
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    std::fs::write(out, &json).expect("write BENCH_pr5.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

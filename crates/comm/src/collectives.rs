@@ -30,7 +30,7 @@ impl Comm {
     /// Broadcast from `root`: the root passes `Some(value)`, everyone else
     /// `None`; all ranks return the value (binomial tree, ⌈log₂ P⌉ depth).
     ///
-    /// Delivery is *arrival-driven* (see [`bcast_deliver_tree`]): the
+    /// Delivery is *arrival-driven* (see `bcast_deliver_tree`): the
     /// root pushes the value into every rank's mailbox at post time, so
     /// no rank's progress ever depends on an inner tree rank reaching
     /// its own receive — the ROADMAP's deep-tree serialization item.
@@ -341,7 +341,7 @@ impl Comm {
     /// binomial tree as [`Comm::bcast`] but returns immediately with an
     /// [`IbcastRequest`]; the value is obtained by `wait`ing the request.
     ///
-    /// Delivery is arrival-driven (see [`bcast_deliver_tree`]): the root
+    /// Delivery is arrival-driven (see `bcast_deliver_tree`): the root
     /// pushes the value to *every* rank at post time, so posting the
     /// broadcast for stage `s+1` before computing stage `s` overlaps the
     /// whole tree's transfer with local work — and an inner rank that

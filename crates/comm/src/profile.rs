@@ -42,6 +42,15 @@ pub struct PhaseProfile {
     /// communication is overlapped with computation this bucket shrinks
     /// toward zero while the same bytes still flow.
     pub wait_secs: f64,
+    /// Wall seconds the rank spent inside intra-rank *threaded* local
+    /// kernels (the SpGEMM stage multiply, the x-drop alignment batch,
+    /// the k-mer scan running on `elba-par` workers). A subset of the
+    /// phase's wall time — the rank thread blocks while its workers run
+    /// — recorded only when a kernel actually ran with > 1 thread, so
+    /// serial profiles are unchanged and the threading win is readable
+    /// as `par-s` shrinking while bytes stay identical. Workers never
+    /// enter the comm layer; only the owning rank thread records.
+    pub par_secs: f64,
     /// Point-to-point messages sent.
     pub p2p_msgs: u64,
     /// Point-to-point bytes sent.
@@ -147,6 +156,10 @@ impl Profile {
 
     pub(crate) fn record_wait_time(&mut self, secs: f64) {
         self.current_mut().wait_secs += secs;
+    }
+
+    pub(crate) fn record_par_time(&mut self, secs: f64) {
+        self.current_mut().par_secs += secs;
     }
 
     fn enter(&mut self, name: &str) -> usize {
@@ -268,6 +281,17 @@ impl RunProfile {
             .fold(0.0, f64::max)
     }
 
+    /// Max-over-ranks threaded-kernel wall time within a phase — the
+    /// time ranks spent inside intra-rank parallel kernels (see
+    /// [`PhaseProfile::par_secs`]). Zero for serial runs.
+    pub fn max_par_secs(&self, phase: &str) -> f64 {
+        self.ranks
+            .iter()
+            .filter_map(|r| r.phase(phase))
+            .map(|p| p.par_secs)
+            .fold(0.0, f64::max)
+    }
+
     /// Max-over-ranks memory high-water within a phase: the most tracked
     /// bytes any rank had resident while the phase was active. This is
     /// the number a memory budget is checked against (the biggest rank
@@ -345,17 +369,18 @@ impl RunProfile {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>10} {:>10} {:>10} {:>12} {:>10} {:>12}",
-            "phase", "max-wall-s", "comm-s", "wait-s", "bytes", "colls/rank", "mem-hw"
+            "{:<24} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>12}",
+            "phase", "max-wall-s", "comm-s", "wait-s", "par-s", "bytes", "colls/rank", "mem-hw"
         );
         for name in self.phase_names() {
             let _ = writeln!(
                 out,
-                "{:<24} {:>10.4} {:>10.4} {:>10.4} {:>12} {:>10.1} {:>12}",
+                "{:<24} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12} {:>10.1} {:>12}",
                 name,
                 self.max_wall(&name),
                 self.max_comm_secs(&name),
                 self.max_wait_secs(&name),
+                self.max_par_secs(&name),
                 self.total_bytes(&name),
                 self.mean_coll_calls(&name),
                 self.max_mem_hw(&name)

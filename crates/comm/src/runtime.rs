@@ -1,6 +1,6 @@
 //! SPMD runtime: [`Cluster`] spawns one thread per rank, each holding a
 //! [`Comm`] — the analogue of an MPI communicator. Point-to-point messages
-//! land in a per-rank condvar-backed [`Mailbox`] (buffered, non-blocking
+//! land in a per-rank condvar-backed `Mailbox` (buffered, non-blocking
 //! sends; blocking receives matched by `(source, tag)` park on the
 //! condvar instead of polling), mirroring the eager-protocol MPI
 //! semantics that ELBA relies on while staying oversubscription-friendly:
@@ -450,6 +450,16 @@ impl Comm {
     /// block without going through [`Comm::wait_recv`]).
     pub(crate) fn record_wait(&self, secs: f64) {
         lock_profile(&self.profile).record_wait_time(secs);
+    }
+
+    /// Book wall seconds this rank spent inside an intra-rank *threaded*
+    /// local kernel (`elba-par` workers). Call sites record only when a
+    /// kernel genuinely ran with more than one worker, so serial runs
+    /// keep bit-identical profiles; the workers themselves never touch
+    /// the comm layer — the owning rank thread records on their behalf
+    /// after they joined.
+    pub fn record_par_time(&self, secs: f64) {
+        lock_profile(&self.profile).record_par_time(secs);
     }
 
     pub(crate) fn record_collective(&self, op: &'static str, bytes: usize, secs: f64) {

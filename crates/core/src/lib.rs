@@ -3,7 +3,7 @@
 //! Implementation of Algorithms 1 and 2 of *Distributed-Memory Parallel
 //! Contig Generation for De Novo Long-Read Genome Assembly* (ICPP 2022):
 //!
-//! * [`partition`] — LPT multiway number partitioning for contig load
+//! * [`mod@partition`] — LPT multiway number partitioning for contig load
 //!   balancing (plus the ablation baselines),
 //! * [`lacc`] — distributed connected components (Awerbuch–Shiloach
 //!   family, FastSV formulation) over the unbranched string matrix,

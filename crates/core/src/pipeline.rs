@@ -83,6 +83,7 @@ impl PipelineConfig {
                     (mean_len * 0.05) as usize
                 },
                 spgemm: SpGemmOptions::default(),
+                threads: 0,
             },
             tr_fuzz: if high_error {
                 (mean_len * 0.3) as u32
@@ -114,6 +115,20 @@ impl PipelineConfig {
         self
     }
 
+    /// Run every intra-rank threaded kernel — the local multiply of each
+    /// SUMMA stage (overlap detection *and* transitive reduction), the
+    /// x-drop alignment batch, and the k-mer scan — on `threads` workers
+    /// per rank (`0` inherits the global [`elba_par::ElbaPar`] knob; 1
+    /// is the historical serial behavior, the CLI default). Assembled
+    /// contigs — and profiled wire bytes — are identical for every
+    /// value: threading changes wall time and resident scratch only.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.kmer.threads = threads;
+        self.overlap.threads = threads;
+        self.overlap.spgemm.threads = threads;
+        self
+    }
+
     /// Cap this run's per-rank memory at `budget` and derive every
     /// batching knob from it, the single `--mem-budget` lever of the
     /// CLI:
@@ -134,10 +149,13 @@ impl PipelineConfig {
         self.mem_budget = budget;
         if budget.is_limited() {
             self.kmer.exchange = KmerExchange::Streaming;
+            // Preserve the thread knob: budgets pick the schedule, not
+            // the intra-rank worker count.
             self.overlap.spgemm = SpGemmOptions::column_batched(
                 budget.derive_batch_rows(SPGEMM_ROW_BYTES_HINT, self.overlap.spgemm.batch_rows),
                 budget.spgemm_bytes(),
-            );
+            )
+            .with_threads(self.overlap.spgemm.threads);
         }
         self
     }
@@ -297,6 +315,7 @@ mod tests {
                 min_score_ratio: 0.55,
                 fuzz: 60,
                 spgemm: SpGemmOptions::default(),
+                threads: 1,
             },
             tr_fuzz: 150,
             tr_max_iters: 10,

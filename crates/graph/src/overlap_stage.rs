@@ -38,6 +38,13 @@ pub struct OverlapConfig {
     /// Schedule for the distributed `C = AAᵀ` multiply (pipelined by
     /// default; blocked bounds memory on large inputs).
     pub spgemm: SpGemmOptions,
+    /// Intra-rank worker threads for the x-drop alignment batch (`0`
+    /// inherits the global [`elba_par::ElbaPar`] knob; its default of 1
+    /// is the historical serial sweep). Each worker owns one
+    /// [`XdropWorkspace`], pairs are claimed by index, and results are
+    /// consumed in pair order, so the output is identical across thread
+    /// counts; workers never enter the comm layer.
+    pub threads: usize,
 }
 
 impl Default for OverlapConfig {
@@ -51,6 +58,7 @@ impl Default for OverlapConfig {
             min_score_ratio: 0.55,
             fuzz: 200,
             spgemm: SpGemmOptions::default(),
+            threads: 0,
         }
     }
 }
@@ -187,9 +195,63 @@ pub fn align_pair_with(
     best
 }
 
+/// Classification bookkeeping for one aligned (or rejected) candidate
+/// pair — shared by the serial sweep and the batched threaded sweep, so
+/// both consume alignments in pair order through identical logic.
+fn classify_candidate(
+    i: u64,
+    j: u64,
+    aln: Option<OverlapAln>,
+    cfg: &OverlapConfig,
+    triples: &mut Vec<(u64, u64, SgEdge)>,
+    contained_ids: &mut Vec<(usize, bool)>,
+    stats: &mut AlignStats,
+) {
+    stats.candidate_pairs += 1;
+    let Some(aln) = aln else {
+        stats.rejected += 1;
+        return;
+    };
+    stats.aligned_pairs += 1;
+    match classify(&aln, cfg.fuzz) {
+        OverlapClass::ContainedU => {
+            stats.contained += 1;
+            contained_ids.push((i as usize, true));
+        }
+        OverlapClass::ContainedV => {
+            stats.contained += 1;
+            contained_ids.push((j as usize, true));
+        }
+        OverlapClass::Internal => stats.internal += 1,
+        OverlapClass::Dovetail { fwd, bwd } => {
+            let score_ok = aln.score as f64 >= cfg.min_score_ratio * aln.span() as f64;
+            if aln.span() >= cfg.min_overlap && score_ok {
+                stats.dovetails += 1;
+                triples.push((i, j, fwd));
+                triples.push((j, i, bwd));
+            } else {
+                stats.rejected += 1;
+            }
+        }
+    }
+}
+
+/// Candidate pairs aligned per worker per batch in the threaded sweep:
+/// enough work per scoped spawn to amortize it (alignments are
+/// µs-to-ms each), small enough that the batch buffers stay a bounded
+/// sliver (~100 B per pair) instead of materializing every candidate.
+const ALIGN_PAIRS_PER_WORKER_BATCH: usize = 256;
+
 /// Align and classify every local candidate (collective because of the
 /// sequence fetch). Returns the dovetail edge triples (both directions),
-/// the contained-read mask, and global statistics.
+/// the contained-read mask, and global statistics. The alignment batch
+/// runs on [`OverlapConfig::threads`] intra-rank workers — candidates
+/// stream through bounded batches, one [`XdropWorkspace`] per worker,
+/// with classification consuming each batch's alignments in pair order
+/// — so results are identical across thread counts while resident
+/// buffering stays O(batch), not O(candidates). With one thread this is
+/// exactly the historical streaming sweep (one workspace, no batch
+/// buffers). Workers never enter the comm layer.
 pub fn align_and_classify(
     grid: &ProcGrid,
     c: &DistMat<SharedSeeds>,
@@ -200,43 +262,78 @@ pub fn align_and_classify(
     let mut triples: Vec<(u64, u64, SgEdge)> = Vec::new();
     let mut contained_ids: Vec<(usize, bool)> = Vec::new();
     let mut stats = AlignStats::default();
-    // One workspace for the whole sweep: antidiagonal buffers are
-    // reused across every seed extension of every candidate pair.
-    let mut ws = XdropWorkspace::default();
-    for (i, j, seeds) in c.iter_global(grid) {
-        stats.candidate_pairs += 1;
-        let u_codes = seqs
-            .get(i)
-            .unwrap_or_else(|| panic!("read {i} not fetched"));
-        let v_codes = seqs
-            .get(j)
-            .unwrap_or_else(|| panic!("read {j} not fetched"));
-        let Some(aln) = align_pair_with(&mut ws, u_codes, v_codes, seeds, cfg) else {
-            stats.rejected += 1;
-            continue;
-        };
-        stats.aligned_pairs += 1;
-        match classify(&aln, cfg.fuzz) {
-            OverlapClass::ContainedU => {
-                stats.contained += 1;
-                contained_ids.push((i as usize, true));
+    let threads = elba_par::ElbaPar::resolve(cfg.threads);
+    if threads <= 1 {
+        // Historical serial sweep: one workspace, one pair resident.
+        let mut ws = XdropWorkspace::default();
+        for (i, j, seeds) in c.iter_global(grid) {
+            let u_codes = seqs
+                .get(i)
+                .unwrap_or_else(|| panic!("read {i} not fetched"));
+            let v_codes = seqs
+                .get(j)
+                .unwrap_or_else(|| panic!("read {j} not fetched"));
+            let aln = align_pair_with(&mut ws, u_codes, v_codes, seeds, cfg);
+            classify_candidate(i, j, aln, cfg, &mut triples, &mut contained_ids, &mut stats);
+        }
+    } else {
+        let mut workspaces: Vec<XdropWorkspace> =
+            (0..threads).map(|_| XdropWorkspace::default()).collect();
+        let mut candidates = c.iter_global(grid);
+        let batch_pairs = threads * ALIGN_PAIRS_PER_WORKER_BATCH;
+        let mut batch: Vec<(u64, u64, &SharedSeeds)> = Vec::with_capacity(batch_pairs);
+        let mut par_secs = 0.0f64;
+        let mut peak_batch = 0usize;
+        loop {
+            batch.clear();
+            batch.extend(candidates.by_ref().take(batch_pairs));
+            if batch.is_empty() {
+                break;
             }
-            OverlapClass::ContainedV => {
-                stats.contained += 1;
-                contained_ids.push((j as usize, true));
+            peak_batch = peak_batch.max(batch.len());
+            let workers = threads.min(batch.len());
+            let started = std::time::Instant::now();
+            let batch_ref = &batch;
+            let seqs_ref = &seqs;
+            let alns =
+                elba_par::run_indexed_with(batch.len(), &mut workspaces[..workers], |p, ws| {
+                    let (i, j, seeds) = batch_ref[p];
+                    let u_codes = seqs_ref
+                        .get(i)
+                        .unwrap_or_else(|| panic!("read {i} not fetched"));
+                    let v_codes = seqs_ref
+                        .get(j)
+                        .unwrap_or_else(|| panic!("read {j} not fetched"));
+                    align_pair_with(ws, u_codes, v_codes, seeds, cfg)
+                });
+            // `par-s` means "genuinely ran on > 1 worker": a trailing
+            // single-pair batch runs serial and books nothing.
+            if workers > 1 {
+                par_secs += started.elapsed().as_secs_f64();
             }
-            OverlapClass::Internal => stats.internal += 1,
-            OverlapClass::Dovetail { fwd, bwd } => {
-                let score_ok = aln.score as f64 >= cfg.min_score_ratio * aln.span() as f64;
-                if aln.span() >= cfg.min_overlap && score_ok {
-                    stats.dovetails += 1;
-                    triples.push((i, j, fwd));
-                    triples.push((j, i, bwd));
-                } else {
-                    stats.rejected += 1;
-                }
+            for (&(i, j, _), aln) in batch.iter().zip(alns) {
+                classify_candidate(i, j, aln, cfg, &mut triples, &mut contained_ids, &mut stats);
             }
         }
+        if par_secs > 0.0 {
+            // Worker wall time books to this rank's active phase by
+            // construction (the rank blocks on each batch); the
+            // dedicated bucket makes the threaded span visible.
+            grid.world().record_par_time(par_secs);
+        }
+        // Scratch beyond the serial baseline: extra workspaces (worker
+        // 0's is the one the serial sweep has always owned uncharged —
+        // same convention as `SpGemmBatcher::scratch_bytes`) plus the
+        // batch pair/alignment buffers the serial sweep doesn't hold.
+        let scratch: usize = workspaces
+            .iter()
+            .skip(1)
+            .map(XdropWorkspace::heap_bytes)
+            .sum::<usize>()
+            + peak_batch
+                * (std::mem::size_of::<(u64, u64, &SharedSeeds)>()
+                    + std::mem::size_of::<Option<OverlapAln>>());
+        grid.world().record_mem_transient(scratch);
     }
     let mut contained = DistVec::from_fn(grid, store.n_global(), |_| false);
     contained.scatter_combine(grid, contained_ids, |acc, v| *acc |= v);
@@ -299,6 +396,7 @@ mod tests {
             min_score_ratio: 0.55,
             fuzz: 10,
             spgemm: elba_sparse::SpGemmOptions::default(),
+            threads: 1,
         }
     }
 
@@ -431,6 +529,78 @@ mod tests {
             results[0], results[1],
             "pipelined and eager candidates must agree"
         );
+    }
+
+    #[test]
+    fn threaded_alignment_stage_matches_serial() {
+        // The whole DetectOverlap + Alignment front end at `threads = 4`
+        // must reproduce the serial run exactly: same dovetail triples,
+        // same contained mask, same stats — and identical per-rank
+        // profiled wire bytes, because workers never touch the comm
+        // layer. This is the stage-level face of the determinism
+        // contract (the SpGEMM and x-drop kernels are pinned
+        // separately).
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let (out, profile) = elba_comm::Cluster::run_profiled(4, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let g = genome(900, 53);
+                let reads = tiled_reads(&g, 200, 100);
+                let n = reads.len();
+                let store = ReadStore::from_replicated(&grid, &reads);
+                let mut cfg = test_cfg();
+                cfg.threads = threads;
+                cfg.spgemm = cfg.spgemm.with_threads(threads);
+                let kcfg = KmerConfig {
+                    k: cfg.k,
+                    reliable_min: 2,
+                    reliable_max: 16,
+                    threads,
+                    ..KmerConfig::default()
+                };
+                let _g = grid.world().phase("front");
+                let table = count_kmers(&grid, &store, &kcfg);
+                let a_triples = build_a_triples(&grid, &store, &table, &kcfg);
+                let a = DistMat::from_triples(
+                    &grid,
+                    n,
+                    table.n_global as usize,
+                    a_triples,
+                    |acc, v: AEntry| {
+                        if v.pos < acc.pos {
+                            *acc = v;
+                        }
+                    },
+                );
+                let c = candidate_matrix(&grid, &a, &cfg);
+                let (mut triples, contained, stats) = align_and_classify(&grid, &c, &store, &cfg);
+                triples.sort_by_key(|&(i, j, _)| (i, j));
+                (
+                    triples,
+                    contained.to_global(&grid),
+                    (stats.candidate_pairs, stats.dovetails, stats.contained),
+                )
+            });
+            let bytes: Vec<u64> = profile
+                .rank_profiles()
+                .iter()
+                .map(|r| r.phase("front").map_or(0, |p| p.bytes_sent()))
+                .collect();
+            let wall = profile.max_wall("front");
+            let par = profile.max_par_secs("front");
+            if threads == 1 {
+                assert_eq!(par, 0.0, "serial runs must not book par time");
+            } else {
+                assert!(par > 0.0, "threaded runs must book par time");
+                assert!(par <= wall + 1e-9, "par time is a subset of wall time");
+            }
+            runs.push((out.into_iter().next().expect("rank 0"), bytes));
+        }
+        assert_eq!(
+            runs[0].0, runs[1].0,
+            "threads must not change the stage output"
+        );
+        assert_eq!(runs[0].1, runs[1].1, "threads must not change wire bytes");
     }
 
     #[test]

@@ -55,6 +55,15 @@ pub struct KmerConfig {
     /// Streaming batch size: maximum k-mer occurrences buffered on the
     /// send side before a flush (ignored by the eager schedule).
     pub batch_kmers: usize,
+    /// Intra-rank worker threads for the k-mer scan (per-read canonical
+    /// k-mer extraction; `0` inherits the global
+    /// [`elba_par::ElbaPar`] knob, default 1 = the historical serial
+    /// scan). Reads are scanned in bounded groups whose hit lists are
+    /// computed in parallel but *consumed in read order*, so occurrence
+    /// streams — and everything downstream — are identical across
+    /// thread counts; workers never enter the comm layer (the exchange
+    /// stays on the rank thread).
+    pub threads: usize,
 }
 
 impl Default for KmerConfig {
@@ -65,6 +74,7 @@ impl Default for KmerConfig {
             reliable_max: u32::MAX,
             exchange: KmerExchange::Streaming,
             batch_kmers: 1 << 16,
+            threads: 0,
         }
     }
 }
@@ -296,7 +306,7 @@ pub fn count_kmers(grid: &ProcGrid, store: &ReadStore, cfg: &KmerConfig) -> Kmer
 /// The eager schedule first folds the whole local read set into one
 /// multiplicity map (one record per *distinct* local k-mer crosses the
 /// wire); the streaming schedule aggregates within each
-/// `batch_kmers`-occurrence window ([`WindowCounts`]) and ships the
+/// `batch_kmers`-occurrence window (`WindowCounts`) and ships the
 /// window's partial counts. Owners sum either way, so the table is
 /// identical — global `+` is associative and commutative.
 pub fn count_kmers_with_stats(
@@ -306,6 +316,8 @@ pub fn count_kmers_with_stats(
 ) -> (KmerTable, ExchangeStats) {
     let world = grid.world();
     let p = world.size();
+    let threads = elba_par::ElbaPar::resolve(cfg.threads);
+    let scan_stats = ScanStats::default();
     let mut owned: HashMap<u64, u32> = HashMap::new();
     let fold = |_src: Rank, buf: Vec<(u64, u32)>| {
         for (kmer, count) in buf {
@@ -314,14 +326,13 @@ pub fn count_kmers_with_stats(
     };
     let stats = match cfg.exchange {
         KmerExchange::Eager => {
-            // Local counting pass over the whole store, then route the
-            // aggregated partial counts to their owners.
+            // Local counting pass over the whole store (the scan's
+            // per-read k-mer extraction fans out over the intra-rank
+            // workers), then route the aggregated partial counts to
+            // their owners.
             let mut local_counts: HashMap<u64, u32> = HashMap::new();
-            for (_, codes) in store.iter() {
-                let seq = crate::dna::Seq::from_codes(codes.to_vec());
-                for hit in canonical_kmers(&seq, cfg.k) {
-                    *local_counts.entry(hit.kmer).or_insert(0) += 1;
-                }
+            for (_, hit) in occurrence_scan(store, cfg.k, threads, &scan_stats) {
+                *local_counts.entry(hit.kmer).or_insert(0) += 1;
             }
             eager_exchange(
                 world,
@@ -335,7 +346,7 @@ pub fn count_kmers_with_stats(
             world,
             cfg.batch_kmers,
             WindowCounts {
-                kmers: occurrence_scan(store, cfg.k).map(|(_, hit)| hit.kmer),
+                kmers: occurrence_scan(store, cfg.k, threads, &scan_stats).map(|(_, hit)| hit.kmer),
                 window: cfg.batch_kmers.max(1),
                 p,
                 drained: HashMap::new().into_iter(),
@@ -343,6 +354,7 @@ pub fn count_kmers_with_stats(
             fold,
         ),
     };
+    book_scan(world, threads, &scan_stats);
     // Reliable band filter.
     let mut reliable: Vec<u64> = owned
         .into_iter()
@@ -393,10 +405,12 @@ pub fn build_a_triples_with_stats(
 ) -> (Vec<(u64, u64, AEntry)>, ExchangeStats) {
     let world = grid.world();
     let p = world.size();
+    let threads = elba_par::ElbaPar::resolve(cfg.threads);
+    let scan_stats = ScanStats::default();
     let mut triples = Vec::new();
     // (kmer, read, pos, fwd) routed to the kmer's owner for id lookup;
     // each read reports a k-mer once (first occurrence).
-    let items = occurrence_scan(store, table.k)
+    let items = occurrence_scan(store, table.k, threads, &scan_stats)
         .scan(
             (u64::MAX, HashSet::new()),
             |(current_read, seen), (read_id, hit)| {
@@ -421,6 +435,7 @@ pub fn build_a_triples_with_stats(
             }
         }
     });
+    book_scan(world, threads, &scan_stats);
     // Canonical order: streaming arrival order is scheduling-dependent,
     // and downstream determinism (same contigs on every run) should not
     // hinge on `DistMat::from_triples` re-sorting.
@@ -463,18 +478,140 @@ impl<I: Iterator<Item = u64>> Iterator for WindowCounts<I> {
     }
 }
 
+/// Side-band accounting for one [`occurrence_scan`]: the scan's peak
+/// buffered hit count (bytes the grouped parallel scan holds beyond the
+/// serial one-read-at-a-time behavior) and the wall seconds its
+/// parallel refills took. Interior-mutable because the scan is consumed
+/// as an iterator; the owning exchange function books both to the
+/// profile afterwards ([`book_scan`]).
+#[derive(Debug, Default)]
+struct ScanStats {
+    peak_items: std::cell::Cell<usize>,
+    par_secs: std::cell::Cell<f64>,
+}
+
+/// Book a finished scan's accounting: threaded-refill wall time to the
+/// profile's par bucket, the group hit buffer as a transient spike.
+/// Serial scans buffer one read at a time — exactly the historical
+/// behavior — and book nothing, keeping `threads = 1` profiles
+/// bit-identical.
+fn book_scan(world: &Comm, threads: usize, stats: &ScanStats) {
+    if threads > 1 {
+        world.record_par_time(stats.par_secs.get());
+        world.record_mem_transient(
+            stats.peak_items.get() * std::mem::size_of::<(u64, crate::kmer::KmerHit)>(),
+        );
+    }
+}
+
 /// Flat scan of every canonical k-mer occurrence in the local store, in
-/// read order: `(read_id, hit)`.
+/// read order: `(read_id, hit)`. The per-read k-mer extraction — the
+/// scan's compute kernel — fans out over `threads` intra-rank workers
+/// in bounded read groups; hits are buffered per group and yielded in
+/// read order, so the occurrence stream is identical for every thread
+/// count (with one thread the group is a single read, the historical
+/// allocation profile).
 fn occurrence_scan<'s>(
     store: &'s ReadStore,
     k: usize,
-) -> impl Iterator<Item = (u64, crate::kmer::KmerHit)> + 's {
-    store.iter().flat_map(move |(read_id, codes)| {
-        let seq = crate::dna::Seq::from_codes(codes.to_vec());
-        canonical_kmers(&seq, k)
-            .into_iter()
-            .map(move |hit| (read_id, hit))
-    })
+    threads: usize,
+    stats: &'s ScanStats,
+) -> OccurrenceScan<'s> {
+    OccurrenceScan {
+        reads: store.iter().collect(),
+        next: 0,
+        k,
+        threads: threads.max(1),
+        buffered: Vec::new().into_iter(),
+        stats,
+    }
+}
+
+/// Iterator behind [`occurrence_scan`].
+struct OccurrenceScan<'s> {
+    reads: Vec<(u64, &'s [u8])>,
+    next: usize,
+    k: usize,
+    threads: usize,
+    buffered: std::vec::IntoIter<(u64, crate::kmer::KmerHit)>,
+    stats: &'s ScanStats,
+}
+
+impl OccurrenceScan<'_> {
+    /// Bases each worker should receive per refill: enough scan work
+    /// (~tens of µs per KiB) to amortize the scoped spawn/join
+    /// (~tens of µs total), so short-read stores don't pay one spawn
+    /// cycle per handful of reads. The buffered hits per refill are
+    /// ≈ `threads × GROUP_BASES_PER_WORKER` records — reported to the
+    /// tracker via the scan stats.
+    const GROUP_BASES_PER_WORKER: usize = 8 << 10;
+
+    /// End index of the next read group: a single read for the serial
+    /// path (the historical flat_map allocation profile — no extra
+    /// buffering), otherwise at least two reads per worker and enough
+    /// total bases to amortize the spawn.
+    fn group_end(&self) -> usize {
+        if self.threads <= 1 {
+            return (self.next + 1).min(self.reads.len());
+        }
+        let min_reads = self.threads * 2;
+        let target_bases = self.threads * Self::GROUP_BASES_PER_WORKER;
+        let mut bases = 0usize;
+        let mut end = self.next;
+        while end < self.reads.len() && (end - self.next < min_reads || bases < target_bases) {
+            bases += self.reads[end].1.len();
+            end += 1;
+        }
+        end
+    }
+
+    fn refill(&mut self) -> bool {
+        let group_end = self.group_end();
+        if self.next >= group_end {
+            return false;
+        }
+        let group = &self.reads[self.next..group_end];
+        self.next = group_end;
+        let k = self.k;
+        let started = std::time::Instant::now();
+        let per_read: Vec<Vec<crate::kmer::KmerHit>> =
+            elba_par::run_indexed(group.len(), self.threads, |gi| {
+                let seq = crate::dna::Seq::from_codes(group[gi].1.to_vec());
+                canonical_kmers(&seq, k)
+            });
+        // `par-s` gate: a trailing single-read group runs the serial
+        // path inside `run_indexed` and books nothing.
+        if self.threads > 1 && group.len() > 1 {
+            self.stats
+                .par_secs
+                .set(self.stats.par_secs.get() + started.elapsed().as_secs_f64());
+        }
+        let flat: Vec<(u64, crate::kmer::KmerHit)> = group
+            .iter()
+            .zip(per_read)
+            .flat_map(|(&(read_id, _), hits)| hits.into_iter().map(move |hit| (read_id, hit)))
+            .collect();
+        self.stats
+            .peak_items
+            .set(self.stats.peak_items.get().max(flat.len()));
+        self.buffered = flat.into_iter();
+        true
+    }
+}
+
+impl Iterator for OccurrenceScan<'_> {
+    type Item = (u64, crate::kmer::KmerHit);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.buffered.next() {
+                return Some(item);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
 }
 
 /// Convenience: total occurrences of reliable k-mers (collective), useful
@@ -501,6 +638,7 @@ mod tests {
             reliable_max: u32::MAX,
             exchange,
             batch_kmers: 7, // deliberately tiny: force many flushes
+            threads: 1,
         }
     }
 
@@ -736,6 +874,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn threaded_scan_matches_serial() {
+        // The grouped parallel k-mer scan must yield the exact
+        // occurrence stream of the serial scan: identical tables and
+        // identical (already canonically ordered) A triples at every
+        // thread count, under both exchange schedules.
+        let out = Cluster::run(4, |comm| {
+            let grid = ProcGrid::new(comm);
+            let reads = [
+                "ACGTACGTACGTGGCCATTACGAACGTAGGT",
+                "TTGCACGTACGTGGCCATTACGAACGTAGCA",
+                "ACGTACGTACGTGGCCATTACGAACGTAGGT",
+                "CATGGTTGCAACCGGTTACGATCCGATCAAT",
+                "GGCCATTACGAACGTACGTACGT",
+            ];
+            let store = store_from(&grid, &reads);
+            for exchange in both_exchanges() {
+                let mut results = Vec::new();
+                for threads in [1usize, 4, 7] {
+                    let cfg = KmerConfig {
+                        threads,
+                        ..cfg_with(5, 2, exchange)
+                    };
+                    let table = count_kmers(&grid, &store, &cfg);
+                    let triples = build_a_triples(&grid, &store, &table, &cfg);
+                    let mut local: Vec<(u64, u64)> =
+                        table.local.iter().map(|(&k, &v)| (k, v)).collect();
+                    local.sort_unstable();
+                    results.push((table.n_global, local, triples));
+                }
+                assert_eq!(results[0], results[1], "{exchange:?} t=4");
+                assert_eq!(results[0], results[2], "{exchange:?} t=7");
+            }
+            true
+        });
+        assert!(out.iter().all(|&ok| ok));
     }
 
     #[test]

@@ -41,6 +41,7 @@ proptest! {
                     reliable_max: u32::MAX,
                     exchange,
                     batch_kmers: batch,
+                    threads: 1,
                 };
                 let (table, count_stats) = count_kmers_with_stats(&grid, &store, &cfg);
                 let (triples, triple_stats) =

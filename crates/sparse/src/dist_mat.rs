@@ -15,7 +15,7 @@ use crate::csr::Csr;
 use crate::dist_vec::DistVec;
 use crate::layout::Layout2D;
 use crate::semiring::Semiring;
-use crate::spgemm::{csr_merge, spgemm, SpGemmBatcher};
+use crate::spgemm::{csr_merge, SpGemmBatcher};
 
 /// Tag for the transpose block exchange.
 const TRANSPOSE_TAG: u64 = 0x00F1_7A7A;
@@ -76,31 +76,47 @@ fn merge_row<T>(
 
 /// One SUMMA stage's row-blocked multiply merged straight into the
 /// per-row accumulators: multiply `batch_rows` rows at a time over the
-/// output-column `window`, merge each produced row, and re-size
-/// `charge` to `acc_entries × entry_bytes + resident` after every row
-/// batch so the tracker sees the true working set. Returns the updated
-/// accumulated-entry count. The shared inner loop of the blocked and
-/// column-batched SUMMA schedules — they differ only in the window and
-/// in what counts as `resident`.
+/// output-column `window` (across `threads` intra-rank workers), merge
+/// each produced row, and re-size `charge` to `acc_entries ×
+/// entry_bytes + resident` (plus the per-worker SPA scratch) after
+/// every row batch so the tracker sees the true working set. Returns
+/// the updated accumulated-entry count plus the wall seconds spent in
+/// multiplies that genuinely fanned out to > 1 worker (the `par-s`
+/// contribution — the serial per-row merge on the rank thread is
+/// deliberately *not* counted, mirroring the eager/pipelined schedules
+/// which time only the multiply). The shared inner loop of the blocked
+/// and column-batched SUMMA schedules — they differ only in the window
+/// and in what counts as `resident`.
 #[allow(clippy::too_many_arguments)]
-fn merge_stage_rows<S: Semiring>(
+fn merge_stage_rows<S>(
     a_block: &Csr<S::A>,
     b_block: &Csr<S::B>,
     semiring: &S,
     window: std::ops::Range<u32>,
     batch_rows: usize,
+    threads: usize,
     acc_rows: &mut [(Vec<u32>, Vec<S::Out>)],
     mut acc_entries: usize,
     entry_bytes: usize,
     resident: usize,
     charge: &mut MemCharge,
-) -> usize {
+) -> (usize, f64)
+where
+    S: Semiring + Sync,
+    S::A: Sync,
+    S::B: Sync,
+{
     let nrows = acc_rows.len();
-    let mut batcher = SpGemmBatcher::new(a_block, b_block, semiring);
+    let mut batcher = SpGemmBatcher::new(a_block, b_block, semiring).with_threads(threads);
+    let mut par_secs = 0.0f64;
     let mut start = 0;
     while start < nrows {
         let end = (start + batch_rows).min(nrows);
-        let batch = batcher.multiply_rows_in_cols(start..end, window.clone());
+        let multiply_started = std::time::Instant::now();
+        let batch = batcher.multiply_rows_par(start..end, window.clone());
+        if batcher.last_run_parallel() {
+            par_secs += multiply_started.elapsed().as_secs_f64();
+        }
         let (batch_indptr, batch_indices, batch_values) = batch.into_parts();
         let mut batch_vals = batch_values.into_iter();
         for (in_batch, row) in (start..end).enumerate() {
@@ -114,10 +130,11 @@ fn merge_stage_rows<S: Semiring>(
             merge_row(&mut acc_rows[row], cols, vals, |a, v| semiring.add(a, v));
             acc_entries += acc_rows[row].0.len() - before;
         }
-        charge.set(acc_entries * entry_bytes + resident);
+        charge.set(acc_entries * entry_bytes + resident + batcher.scratch_bytes());
         start = end;
     }
-    acc_entries
+    charge.set(acc_entries * entry_bytes + resident);
+    (acc_entries, par_secs)
 }
 
 /// Pack per-row `(cols, vals)` accumulators into one CSR. The packed
@@ -146,6 +163,39 @@ fn pack_rows_into_csr<V>(
     }
     charge.set(entries * entry_bytes);
     Csr::from_parts(nrows, ncols, indptr, indices, values)
+}
+
+/// Wall-clock accumulator for the (potentially threaded) local kernel
+/// spans of one SUMMA schedule. The rank thread is blocked while its
+/// workers run, so kernel time is already inside the phase's wall time;
+/// this clock additionally books it to the profile's dedicated
+/// `par-s` bucket (via [`elba_comm::Comm::record_par_time`]) when the
+/// schedule actually ran threaded, making intra-rank parallel time
+/// observable without touching the wire-byte model.
+struct ParKernelClock {
+    total: f64,
+}
+
+impl ParKernelClock {
+    fn new() -> Self {
+        ParKernelClock { total: 0.0 }
+    }
+
+    /// Accumulate kernel span seconds that *genuinely* fanned out
+    /// (callers gate on [`SpGemmBatcher::last_run_parallel`], so a tiny
+    /// window's serial fallback books nothing even at `threads > 1`).
+    fn add(&mut self, secs: f64) {
+        self.total += secs;
+    }
+
+    /// Book the accumulated threaded-kernel seconds to the rank profile
+    /// (no-op when nothing fanned out, keeping serial profiles
+    /// bit-identical to the pre-threading ones).
+    fn book(&self, grid: &ProcGrid) {
+        if self.total > 0.0 {
+            grid.world().record_par_time(self.total);
+        }
+    }
 }
 
 /// Which distributed SUMMA schedule [`DistMat::spgemm_with`] runs.
@@ -197,6 +247,13 @@ pub struct SpGemmOptions {
     /// (broadcast blocks + batch accumulator); `None` runs a single
     /// column batch. Ignored by the other schedules.
     pub mem_budget: Option<u64>,
+    /// Intra-rank worker threads for the local multiply inside every
+    /// SUMMA stage (`0` inherits the global [`elba_par::ElbaPar`] knob,
+    /// whose default of 1 is the historical serial behavior). Output is
+    /// byte-identical across thread counts — per-row results merge in
+    /// fixed row order — and workers never enter the comm layer, so
+    /// profiled wire bytes are unchanged too.
+    pub threads: usize,
 }
 
 impl Default for SpGemmOptions {
@@ -205,6 +262,7 @@ impl Default for SpGemmOptions {
             algorithm: SpGemmAlgorithm::Pipelined,
             batch_rows: 1024,
             mem_budget: None,
+            threads: 0,
         }
     }
 }
@@ -233,6 +291,13 @@ impl SpGemmOptions {
         }
     }
 
+    /// Use `threads` intra-rank workers for the local multiply of every
+    /// SUMMA stage (`0` inherits the global knob).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The output-column-batched schedule under a transient byte budget
     /// per rank (`None` = one batch, i.e. a pipelined blocked multiply).
     pub fn column_batched(batch_rows: usize, mem_budget: Option<u64>) -> Self {
@@ -245,6 +310,7 @@ impl SpGemmOptions {
             algorithm: SpGemmAlgorithm::ColumnBatched,
             batch_rows,
             mem_budget,
+            ..Self::default()
         }
     }
 }
@@ -374,7 +440,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         })
     }
 
-    /// Process-wide count of [`DistMat::into_local`] copy fallbacks
+    /// Process-wide count of `DistMat::into_local` copy fallbacks
     /// (consuming a block whose `Arc` something else still pins). A
     /// diagnostic, not an error: nonzero means an untracked deep copy
     /// happened somewhere.
@@ -560,7 +626,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
     /// [`DistMat::spgemm_with`] to pick a schedule explicitly.
     pub fn spgemm<S, U>(&self, grid: &ProcGrid, other: &DistMat<U>, semiring: &S) -> DistMat<S::Out>
     where
-        S: Semiring<A = T, B = U>,
+        S: Semiring<A = T, B = U> + Sync,
         U: Clone + CommMsg + Sync,
         S::Out: Clone + CommMsg + Sync,
     {
@@ -578,7 +644,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         opts: &SpGemmOptions,
     ) -> DistMat<S::Out>
     where
-        S: Semiring<A = T, B = U>,
+        S: Semiring<A = T, B = U> + Sync,
         U: Clone + CommMsg + Sync,
         S::Out: Clone + CommMsg + Sync,
     {
@@ -586,11 +652,12 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
             self.col_layout, other.row_layout,
             "inner dimension layouts must agree for SUMMA"
         );
+        let threads = elba_par::ElbaPar::resolve(opts.threads);
         let local = match opts.algorithm {
-            SpGemmAlgorithm::Eager => self.summa_eager(grid, other, semiring),
-            SpGemmAlgorithm::Pipelined => self.summa_pipelined(grid, other, semiring),
+            SpGemmAlgorithm::Eager => self.summa_eager(grid, other, semiring, threads),
+            SpGemmAlgorithm::Pipelined => self.summa_pipelined(grid, other, semiring, threads),
             SpGemmAlgorithm::Blocked => {
-                self.summa_blocked(grid, other, semiring, opts.batch_rows.max(1))
+                self.summa_blocked(grid, other, semiring, opts.batch_rows.max(1), threads)
             }
             SpGemmAlgorithm::ColumnBatched => self.summa_column_batched(
                 grid,
@@ -598,6 +665,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
                 semiring,
                 opts.batch_rows.max(1),
                 opts.mem_budget,
+                threads,
                 &mut |_, _, _| true,
             ),
         };
@@ -627,7 +695,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         mut keep: impl FnMut(u64, u64, &S::Out) -> bool,
     ) -> DistMat<S::Out>
     where
-        S: Semiring<A = T, B = U>,
+        S: Semiring<A = T, B = U> + Sync,
         U: Clone + CommMsg + Sync,
         S::Out: Clone + CommMsg + Sync,
     {
@@ -646,6 +714,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
             semiring,
             opts.batch_rows.max(1),
             opts.mem_budget,
+            elba_par::ElbaPar::resolve(opts.threads),
             &mut keep,
         );
         DistMat {
@@ -658,9 +727,15 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
     /// Naive SUMMA: blocking broadcasts, global triple accumulation, one
     /// final sort-merge. Peak memory holds every stage's intermediate
     /// triples at once.
-    fn summa_eager<S, U>(&self, grid: &ProcGrid, other: &DistMat<U>, semiring: &S) -> Csr<S::Out>
+    fn summa_eager<S, U>(
+        &self,
+        grid: &ProcGrid,
+        other: &DistMat<U>,
+        semiring: &S,
+        threads: usize,
+    ) -> Csr<S::Out>
     where
-        S: Semiring<A = T, B = U>,
+        S: Semiring<A = T, B = U> + Sync,
         U: Clone + CommMsg + Sync,
         S::Out: Clone + CommMsg + Sync,
     {
@@ -668,6 +743,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         let mut charge = grid.world().mem_charge(0);
         let mut acc: Vec<(u32, u32, S::Out)> = Vec::new();
         let triple_bytes = std::mem::size_of::<(u32, u32, S::Out)>();
+        let mut par = ParKernelClock::new();
         for s in 0..q {
             let a_block = grid
                 .row()
@@ -684,10 +760,24 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
             let _b_res = grid
                 .world()
                 .mem_charge_shared(&b_block, b_block.heap_bytes());
-            let stage = spgemm(&a_block, &b_block, semiring);
+            let stage = {
+                let started = std::time::Instant::now();
+                let mut batcher =
+                    SpGemmBatcher::new(&a_block, &b_block, semiring).with_threads(threads);
+                let nrows = a_block.nrows();
+                let stage = batcher.multiply_rows_par(0..nrows, 0..b_block.ncols() as u32);
+                // Per-worker SPA scratch (0 when serial): a transient
+                // spike on top of whatever is currently charged.
+                grid.world().record_mem_transient(batcher.scratch_bytes());
+                if batcher.last_run_parallel() {
+                    par.add(started.elapsed().as_secs_f64());
+                }
+                stage
+            };
             acc.extend(stage.into_triples());
             charge.set(acc.len() * triple_bytes);
         }
+        par.book(grid);
         let row_range = self.row_layout.block_range(grid.myrow());
         let col_range = other.col_layout.block_range(grid.mycol());
         Csr::from_triples(row_range.len(), col_range.len(), acc, |a, v| {
@@ -704,9 +794,10 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         grid: &ProcGrid,
         other: &DistMat<U>,
         semiring: &S,
+        threads: usize,
     ) -> Csr<S::Out>
     where
-        S: Semiring<A = T, B = U>,
+        S: Semiring<A = T, B = U> + Sync,
         U: Clone + CommMsg + Sync,
         S::Out: Clone + CommMsg + Sync,
     {
@@ -725,6 +816,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         let mut charge = grid.world().mem_charge(0);
         let mut acc: Csr<S::Out> = Csr::empty(row_range.len(), col_range.len());
         let mut inflight = Some(post(0));
+        let mut par = ParKernelClock::new();
         for s in 0..q {
             // Prefetch stage s+1 before touching stage s: the roots' tree
             // sends go out now and ride alongside this stage's multiply.
@@ -741,10 +833,22 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
             let _b_res = grid
                 .world()
                 .mem_charge_shared(&b_block, b_block.heap_bytes());
-            let stage = spgemm(&a_block, &b_block, semiring);
+            let stage = {
+                let started = std::time::Instant::now();
+                let mut batcher =
+                    SpGemmBatcher::new(&a_block, &b_block, semiring).with_threads(threads);
+                let nrows = a_block.nrows();
+                let stage = batcher.multiply_rows_par(0..nrows, 0..b_block.ncols() as u32);
+                grid.world().record_mem_transient(batcher.scratch_bytes());
+                if batcher.last_run_parallel() {
+                    par.add(started.elapsed().as_secs_f64());
+                }
+                stage
+            };
             charge.set(acc.heap_bytes() + stage.heap_bytes());
             acc = csr_merge(acc, stage, |a, v| semiring.add(a, v));
         }
+        par.book(grid);
         acc
     }
 
@@ -761,9 +865,10 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         other: &DistMat<U>,
         semiring: &S,
         batch_rows: usize,
+        threads: usize,
     ) -> Csr<S::Out>
     where
-        S: Semiring<A = T, B = U>,
+        S: Semiring<A = T, B = U> + Sync,
         U: Clone + CommMsg + Sync,
         S::Out: Clone + CommMsg + Sync,
     {
@@ -774,6 +879,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         let entry_bytes = std::mem::size_of::<u32>() + std::mem::size_of::<S::Out>();
         let mut charge = grid.world().mem_charge(0);
         let mut acc_entries = 0usize;
+        let mut par = ParKernelClock::new();
         // Accumulate per row (sorted column/value pairs) so each batch
         // merges in place, touching only its own row window.
         let mut acc_rows: Vec<(Vec<u32>, Vec<S::Out>)> =
@@ -793,19 +899,23 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
             let _b_res = grid
                 .world()
                 .mem_charge_shared(&b_block, b_block.heap_bytes());
-            acc_entries = merge_stage_rows(
+            let (entries, par_secs) = merge_stage_rows(
                 &a_block,
                 &b_block,
                 semiring,
                 0..b_block.ncols() as u32,
                 batch_rows,
+                threads,
                 &mut acc_rows,
                 acc_entries,
                 entry_bytes,
                 0,
                 &mut charge,
             );
+            acc_entries = entries;
+            par.add(par_secs);
         }
+        par.book(grid);
         pack_rows_into_csr(
             acc_rows,
             col_range.len(),
@@ -845,6 +955,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
     /// multi-round formulation. Every transient is charged against the
     /// rank's memory tracker, so a profiled run *shows* the bound
     /// holding instead of claiming it.
+    #[allow(clippy::too_many_arguments)]
     fn summa_column_batched<S, U>(
         &self,
         grid: &ProcGrid,
@@ -852,10 +963,11 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         semiring: &S,
         batch_rows: usize,
         budget: Option<u64>,
+        threads: usize,
         keep: &mut impl FnMut(u64, u64, &S::Out) -> bool,
     ) -> Csr<S::Out>
     where
-        S: Semiring<A = T, B = U>,
+        S: Semiring<A = T, B = U> + Sync,
         U: Clone + CommMsg + Sync,
         S::Out: Clone + CommMsg + Sync,
     {
@@ -970,6 +1082,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
             (0..nrows).map(|_| (Vec::new(), Vec::new())).collect();
         let mut out_entries = 0usize;
         let mut out_charge = world.mem_charge(0);
+        let mut par = ParKernelClock::new();
         let mut next_col = 0usize; // first local column not yet computed
         loop {
             // Rounds are collective (each one broadcasts every block), so
@@ -1060,18 +1173,21 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
                     // the resident blocks.
                     None => 0,
                 };
-                acc_entries = merge_stage_rows(
+                let (entries, par_secs) = merge_stage_rows(
                     &a_block,
                     &b_block,
                     semiring,
                     window.clone(),
                     batch_rows,
+                    threads,
                     &mut acc_rows,
                     acc_entries,
                     entry_bytes as usize,
                     resident,
                     &mut transient,
                 );
+                acc_entries = entries;
+                par.add(par_secs);
             }
             // Prune-as-you-go (ELBA's per-batch thresholding), then
             // concatenate the survivors onto the output: windows arrive
@@ -1093,6 +1209,7 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
             }
             out_charge.set(out_entries * entry_bytes as usize);
         }
+        par.book(grid);
 
         pack_rows_into_csr(
             out_rows,

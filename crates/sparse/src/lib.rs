@@ -35,3 +35,4 @@ pub use dist_mat::{DistMat, SpGemmAlgorithm, SpGemmOptions};
 pub use dist_vec::DistVec;
 pub use layout::Layout2D;
 pub use semiring::Semiring;
+pub use spgemm::SpGemmBatcher;

@@ -84,17 +84,77 @@ pub fn spgemm_range<S: Semiring>(
     SpGemmBatcher::new(a, b, semiring).multiply_rows(rows)
 }
 
-/// Row-batched SpGEMM driver owning one sparse accumulator that is
-/// reused across every [`SpGemmBatcher::multiply_rows`] call — the SPA's
-/// generation counter makes reuse clearing-free, so batching the output
-/// rows costs no repeated O(ncols) allocation. One batcher serves one
-/// `(A, B)` pair; the blocked SUMMA schedule holds one per stage and
-/// sweeps it over the row windows.
+/// Multiply the output-row window `rows` of `a ⊗ b` restricted to the
+/// output-column window `cols`, appending each produced row to
+/// `indices`/`values` and one cumulative end offset per row to `indptr`
+/// (relative to the buffers' state at entry). This is the single
+/// serial kernel under both the one-SPA path and every worker of the
+/// threaded path: a row's bytes depend only on `(a, b, semiring, row,
+/// cols)`, never on which worker ran it — the determinism the threaded
+/// merge relies on.
+#[allow(clippy::too_many_arguments)]
+fn multiply_window<S: Semiring>(
+    a: &Csr<S::A>,
+    b: &Csr<S::B>,
+    semiring: &S,
+    spa: &mut Spa<S::Out>,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<u32>,
+    indptr: &mut Vec<usize>,
+    indices: &mut Vec<u32>,
+    values: &mut Vec<S::Out>,
+) {
+    let ncols = b.ncols();
+    let full_width = cols.start == 0 && cols.end as usize == ncols;
+    for i in rows {
+        spa.next_row();
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, a_ik) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            // Restrict B's row to the output-column window; rows are
+            // sorted, so the window is one contiguous span.
+            let (b_cols, b_vals) = if full_width {
+                (b_cols, b_vals)
+            } else {
+                let lo = b_cols.partition_point(|&j| j < cols.start);
+                let hi = lo + b_cols[lo..].partition_point(|&j| j < cols.end);
+                (&b_cols[lo..hi], &b_vals[lo..hi])
+            };
+            for (&j, b_kj) in b_cols.iter().zip(b_vals) {
+                if let Some(product) = semiring.multiply(a_ik, b_kj) {
+                    spa.accumulate(semiring, j, product);
+                }
+            }
+        }
+        spa.drain_sorted(indices, values);
+        indptr.push(indices.len());
+    }
+}
+
+/// Row-batched SpGEMM driver owning one sparse accumulator *per worker*
+/// that is reused across every [`SpGemmBatcher::multiply_rows`] call —
+/// the SPA's generation counter makes reuse clearing-free, so batching
+/// the output rows costs no repeated O(ncols) allocation. One batcher
+/// serves one `(A, B)` pair; the blocked SUMMA schedule holds one per
+/// stage and sweeps it over the row windows.
+///
+/// With [`SpGemmBatcher::with_threads`] the multiply partitions its row
+/// window into contiguous chunks claimed by self-scheduling workers
+/// (each with its own SPA) and concatenates the per-chunk results in
+/// fixed row order, so the output CSR is **byte-identical across thread
+/// counts** — the contract the intra-rank threading of ELBA's local
+/// kernels rests on. Workers never touch the comm layer.
 pub struct SpGemmBatcher<'m, S: Semiring> {
     a: &'m Csr<S::A>,
     b: &'m Csr<S::B>,
     semiring: &'m S,
-    spa: Spa<S::Out>,
+    /// One SPA per worker; index 0 doubles as the serial accumulator.
+    spas: Vec<Spa<S::Out>>,
+    threads: usize,
+    /// Whether the *last* multiply actually fanned out to > 1 worker (a
+    /// tiny window falls back to the serial path even when
+    /// `threads > 1`); callers gate their `par-s` booking on it.
+    last_parallel: bool,
 }
 
 impl<'m, S: Semiring> SpGemmBatcher<'m, S> {
@@ -104,12 +164,54 @@ impl<'m, S: Semiring> SpGemmBatcher<'m, S> {
             a,
             b,
             semiring,
-            spa: Spa::new(b.ncols()),
+            spas: vec![Spa::new(b.ncols())],
+            threads: 1,
+            last_parallel: false,
         }
+    }
+
+    /// Use up to `threads` intra-rank workers for each multiply (`0`
+    /// inherits the global [`elba_par::ElbaPar`] knob). SPAs for extra
+    /// workers are allocated lazily on the first threaded multiply.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = elba_par::ElbaPar::resolve(threads);
+        self
+    }
+
+    /// Effective intra-rank worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` when the *last* multiply on this batcher genuinely fanned
+    /// out to more than one worker (as opposed to taking the serial
+    /// fallback for a tiny window). The profile's `par-s` bucket is
+    /// gated on this per multiply, so it never reports "threaded
+    /// kernel" time for work that ran on one thread.
+    pub fn last_run_parallel(&self) -> bool {
+        self.last_parallel
+    }
+
+    /// Heap bytes of the *extra* per-worker sparse accumulators beyond
+    /// the serial baseline (worker 0's SPA, which the serial path has
+    /// always owned uncharged). This is what threading adds to the
+    /// resident working set; callers charge it — via
+    /// `record_mem_transient` or a resizable charge — so threaded runs
+    /// stay honest in the `mem-hw` column while `threads = 1` numbers
+    /// are bit-for-bit unchanged. Counted by the length convention:
+    /// each SPA's dense value + generation arrays (ncols each); the
+    /// `touched` list is cleared every row and bounded by a row's nnz,
+    /// so it is noise, not charge.
+    pub fn scratch_bytes(&self) -> usize {
+        let per_spa =
+            self.b.ncols() * (std::mem::size_of::<Option<S::Out>>() + std::mem::size_of::<u32>());
+        self.spas.len().saturating_sub(1) * per_spa
     }
 
     /// Multiply the output-row window `rows` of `A ⊗ B`; the result has
     /// `rows.len()` rows (row `i` holding output row `rows.start + i`).
+    /// Serial regardless of the thread knob; the threaded entry point is
+    /// [`SpGemmBatcher::multiply_rows_par`] (extra `Sync` bounds).
     pub fn multiply_rows(&mut self, rows: std::ops::Range<usize>) -> Csr<S::Out> {
         let ncols = self.b.ncols() as u32;
         self.multiply_rows_in_cols(rows, 0..ncols)
@@ -131,37 +233,99 @@ impl<'m, S: Semiring> SpGemmBatcher<'m, S> {
         assert!(rows.end <= self.a.nrows(), "row range out of bounds");
         let ncols = self.b.ncols();
         assert!(cols.end as usize <= ncols, "column range out of bounds");
-        let full_width = cols.start == 0 && cols.end as usize == ncols;
+        self.last_parallel = false;
         let mut indptr = Vec::with_capacity(rows.len() + 1);
         indptr.push(0usize);
         let mut indices = Vec::new();
         let mut values = Vec::new();
-        for i in rows.clone() {
-            self.spa.next_row();
-            let (a_cols, a_vals) = self.a.row(i);
-            for (&k, a_ik) in a_cols.iter().zip(a_vals) {
-                let (b_cols, b_vals) = self.b.row(k as usize);
-                // Restrict B's row to the output-column window; rows are
-                // sorted, so the window is one contiguous span.
-                let (b_cols, b_vals) = if full_width {
-                    (b_cols, b_vals)
-                } else {
-                    let lo = b_cols.partition_point(|&j| j < cols.start);
-                    let hi = lo + b_cols[lo..].partition_point(|&j| j < cols.end);
-                    (&b_cols[lo..hi], &b_vals[lo..hi])
-                };
-                for (&j, b_kj) in b_cols.iter().zip(b_vals) {
-                    if let Some(product) = self.semiring.multiply(a_ik, b_kj) {
-                        self.spa.accumulate(self.semiring, j, product);
-                    }
-                }
-            }
-            self.spa.drain_sorted(&mut indices, &mut values);
-            indptr.push(indices.len());
+        multiply_window(
+            self.a,
+            self.b,
+            self.semiring,
+            &mut self.spas[0],
+            rows.clone(),
+            cols,
+            &mut indptr,
+            &mut indices,
+            &mut values,
+        );
+        Csr::from_parts(rows.len(), ncols, indptr, indices, values)
+    }
+}
+
+impl<'m, S> SpGemmBatcher<'m, S>
+where
+    S: Semiring + Sync,
+    S::A: Sync,
+    S::B: Sync,
+{
+    /// Threaded [`SpGemmBatcher::multiply_rows_in_cols`]: the row window
+    /// is over-decomposed into contiguous chunks, idle workers claim
+    /// chunks atomically, each worker runs the serial kernel with its
+    /// own SPA, and the per-chunk CSR pieces are concatenated **in
+    /// chunk (= row) order** — so the result is byte-identical to the
+    /// serial multiply for every thread count. Falls back to the serial
+    /// path when the batcher has one thread or the window is tiny.
+    pub fn multiply_rows_par(
+        &mut self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<u32>,
+    ) -> Csr<S::Out> {
+        assert!(rows.end <= self.a.nrows(), "row range out of bounds");
+        let ncols = self.b.ncols();
+        assert!(cols.end as usize <= ncols, "column range out of bounds");
+        let chunks = elba_par::overdecomposed_ranges(rows.clone(), self.threads, MIN_PAR_ROWS);
+        if self.threads <= 1 || chunks.len() <= 1 {
+            return self.multiply_rows_in_cols(rows, cols);
+        }
+        let workers = self.threads.min(chunks.len());
+        self.last_parallel = true;
+        while self.spas.len() < workers {
+            self.spas.push(Spa::new(ncols));
+        }
+        let (a, b, semiring) = (self.a, self.b, self.semiring);
+        // Self-scheduled chunk map, per-worker SPA scratch; results come
+        // back in chunk (= row) order — the fixed-order merge contract.
+        let parts: Vec<ChunkParts<S::Out>> =
+            elba_par::run_indexed_with(chunks.len(), &mut self.spas[..workers], |ci, spa| {
+                let chunk_rows = chunks[ci].clone();
+                let mut indptr = Vec::with_capacity(chunk_rows.len());
+                let mut indices = Vec::new();
+                let mut values = Vec::new();
+                multiply_window(
+                    a,
+                    b,
+                    semiring,
+                    spa,
+                    chunk_rows,
+                    cols.clone(),
+                    &mut indptr,
+                    &mut indices,
+                    &mut values,
+                );
+                (indptr, indices, values)
+            });
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<S::Out> = Vec::new();
+        for (chunk_indptr, chunk_indices, chunk_values) in parts {
+            let base = indices.len();
+            indptr.extend(chunk_indptr.into_iter().map(|end| base + end));
+            indices.extend(chunk_indices);
+            values.extend(chunk_values);
         }
         Csr::from_parts(rows.len(), ncols, indptr, indices, values)
     }
 }
+
+/// Smallest row-chunk the threaded multiply will hand a worker; windows
+/// below `2 × MIN_PAR_ROWS` run serially (spawn cost would dominate).
+const MIN_PAR_ROWS: usize = 8;
+
+/// One threaded chunk's raw CSR pieces: per-row cumulative end offsets
+/// (relative to the chunk), column indices, values.
+type ChunkParts<V> = (Vec<usize>, Vec<u32>, Vec<V>);
 
 /// Merge two same-shape CSR matrices by a streaming two-way merge of
 /// their rows (the 2-way case of a heap merge): entries present in both

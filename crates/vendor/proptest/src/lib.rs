@@ -126,7 +126,7 @@ pub mod collection {
         len: std::ops::Range<usize>,
     }
 
-    /// Length specification for [`vec`]: an exact length or a half-open
+    /// Length specification for [`fn@vec`]: an exact length or a half-open
     /// range (the two forms this workspace's tests use).
     pub trait IntoSizeRange {
         fn into_size_range(self) -> std::ops::Range<usize>;

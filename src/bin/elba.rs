@@ -114,7 +114,14 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
     if q * q != ranks {
         return Err(format!("--ranks must be a perfect square, got {ranks}"));
     }
-    let mut cfg = PipelineConfig::default();
+    let threads: usize = num(&flags, "threads", 1usize)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_owned());
+    }
+    // Global default for any kernel not reached by the config fan-out,
+    // then the explicit per-config knob (which wins over the global).
+    ElbaPar::set_threads(threads);
+    let mut cfg = PipelineConfig::default().with_threads(threads);
     cfg.kmer.k = num(&flags, "k", 31usize)?;
     cfg.overlap.k = cfg.kmer.k;
     cfg.overlap.xdrop = num(&flags, "xdrop", 15i32)?;
@@ -184,8 +191,8 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
     }
 
     println!(
-        "assembling {} reads on {ranks} in-process ranks (k={}, spgemm={}, \
-         kmer-exchange={}{})",
+        "assembling {} reads on {ranks} in-process ranks × {threads} thread(s) \
+         (k={}, spgemm={}, kmer-exchange={}{})",
         reads.len(),
         cfg.kmer.k,
         if cfg.mem_budget.is_limited() {
@@ -298,7 +305,7 @@ fn usage() -> String {
      simulate --dataset celegans|osativa|hsapiens --reads OUT.fasta\n\
      \u{20}        [--genome OUT.fasta] [--scale 0.2] [--seed 2022]\n\
      assemble --reads IN.fasta --out contigs.fasta [--ranks 4] [--k 31]\n\
-     \u{20}        [--xdrop 15] [--min-overlap 100] [--scaffold true]\n\
+     \u{20}        [--threads 1] [--xdrop 15] [--min-overlap 100] [--scaffold true]\n\
      \u{20}        [--spgemm eager|pipelined|blocked] [--batch-rows 1024]\n\
      \u{20}        [--kmer-exchange eager|streaming] [--batch-kmers 65536]\n\
      \u{20}        [--mem-budget 64M] [--gfa graph.gfa]\n\

@@ -43,6 +43,7 @@ pub use elba_comm as comm;
 pub use elba_core as core;
 pub use elba_graph as graph;
 pub use elba_mem as mem;
+pub use elba_par as par;
 pub use elba_quality as quality;
 pub use elba_seq as seq;
 pub use elba_sparse as sparse;
@@ -58,6 +59,7 @@ pub mod prelude {
     };
     pub use elba_graph::OverlapConfig;
     pub use elba_mem::{MemBudget, MemTracker};
+    pub use elba_par::ElbaPar;
     pub use elba_quality::{evaluate, QualityConfig, QualityReport};
     pub use elba_seq::{DatasetSpec, KmerConfig, KmerExchange, ReadStore, Seq};
     pub use elba_sparse::{DistMat, DistVec, Semiring};

@@ -72,6 +72,45 @@ fn contig_set_is_invariant_across_rank_counts() {
 }
 
 #[test]
+fn contig_set_is_invariant_across_thread_counts() {
+    // The intra-rank threading acceptance test: assembling with
+    // `--threads 4` must produce contigs *byte-identical* to
+    // `--threads 1` (exact sequence equality, not just canonical-set
+    // equality), with profiled wire bytes per phase unchanged — the
+    // pipeline's deterministic fixed-order merges make thread count an
+    // implementation detail, and threads never enter the comm layer.
+    let spec = DatasetSpec::celegans_like(0.08, 4242);
+    let (_genome, reads) = reads_of(&spec);
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let cfg = PipelineConfig::for_dataset(&spec).with_threads(threads);
+        let reads = reads.clone();
+        let (mut outputs, profile) = Cluster::run_profiled(4, move |comm| {
+            let grid = ProcGrid::new(comm);
+            let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+            contigs
+                .into_iter()
+                .map(|c| c.seq.to_string())
+                .collect::<Vec<String>>()
+        });
+        let phase_bytes: Vec<(String, u64)> = profile
+            .phase_names()
+            .iter()
+            .map(|name| (name.clone(), profile.total_bytes(name)))
+            .collect();
+        runs.push((outputs.remove(0), phase_bytes));
+    }
+    assert_eq!(
+        runs[0].0, runs[1].0,
+        "threads=1 and threads=4 contigs must be byte-identical"
+    );
+    assert_eq!(
+        runs[0].1, runs[1].1,
+        "threads must leave the profiled wire bytes untouched"
+    );
+}
+
+#[test]
 fn each_read_belongs_to_at_most_one_contig() {
     let spec = DatasetSpec::osativa_like(0.1, 77);
     let (_genome, reads) = reads_of(&spec);
