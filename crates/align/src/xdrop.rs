@@ -37,6 +37,43 @@ pub struct Extension {
 
 const NEG: i32 = i32::MIN / 4;
 
+/// Which inner-loop implementation [`xdrop_extend_with`] runs. Both
+/// kernels compute the identical antidiagonal recurrence; the choice
+/// never changes scores, extents, or any downstream output — it is a
+/// pure speed knob (the CLI's `--xdrop-kernel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum XdropKernel {
+    /// The reference cell-at-a-time DP — the oracle every other kernel
+    /// is property-pinned against.
+    Scalar,
+    /// Bit-parallel band kernel: Myers-style per-base match masks are
+    /// packed into `u64` words so the interior of each antidiagonal
+    /// runs branch-free, 64 match bits per mask fetch (portable integer
+    /// ops only). Inputs it cannot handle exactly (non-ACGT codes,
+    /// extreme scoring/x-drop magnitudes) fall back to the scalar
+    /// oracle, so output equality holds on *all* inputs.
+    BitParallel,
+    /// Let the library pick (currently always the bit-parallel kernel,
+    /// which falls back to scalar where needed).
+    #[default]
+    Auto,
+}
+
+/// Largest `|match|`/`|mismatch|`/`|gap|` the bit-parallel kernel
+/// accepts. Together with [`XDROP_CLAMP`] this guarantees that scores
+/// derived from a live parent stay above [`LIVE_FLOOR`] while scores
+/// derived from a pruned-cell sentinel stay below it, so a single
+/// comparison reproduces the scalar path's per-parent liveness checks
+/// exactly. Out-of-range scorings run the scalar oracle instead.
+const STEP_CLAMP: i32 = 1 << 20;
+/// Largest `|xdrop|` the bit-parallel kernel accepts (see
+/// [`STEP_CLAMP`]).
+const XDROP_CLAMP: i32 = 1 << 26;
+/// Separator between live-derived and sentinel-derived scores in the
+/// bit-parallel interior: live parents are `>= -(XDROP_CLAMP +
+/// STEP_CLAMP)` after one step, sentinels at most `NEG + STEP_CLAMP`.
+const LIVE_FLOOR: i32 = NEG / 2;
+
 /// Reusable buffers for [`xdrop_extend_with`] / [`extend_seed_with`]:
 /// the three rotating antidiagonal bands plus the reversed-prefix
 /// staging buffers of the left extension. One workspace serves any
@@ -45,22 +82,55 @@ const NEG: i32 = i32::MIN / 4;
 /// alignment kernel stops paying a fresh set of allocations per read
 /// pair. A default-constructed workspace is empty; buffers grow to the
 /// largest extension seen and are then reused at that capacity.
+///
+/// The workspace also pins the [`XdropKernel`] used by every extension
+/// run through it (default [`XdropKernel::Auto`]); the bit-parallel
+/// kernel's match-mask words live here too, so kernel choice costs no
+/// per-call allocation either.
 #[derive(Debug, Default)]
 pub struct XdropWorkspace {
+    kernel: XdropKernel,
     band_a: Vec<i32>,
     band_b: Vec<i32>,
     band_c: Vec<i32>,
     a_rev: Vec<u8>,
     b_rev: Vec<u8>,
+    /// Per-class match-mask words over the *reversed* first sequence
+    /// (bit `x` of class `c` set iff `a[alen-1-x] == c`), built lazily
+    /// word-by-word as the band reaches them.
+    amask: [Vec<u64>; 4],
+    /// Per-class match-mask words over the second sequence (bit `x` set
+    /// iff `b[x] == c`), built lazily from the low end.
+    bmask: [Vec<u64>; 4],
 }
 
 impl XdropWorkspace {
-    /// Heap bytes currently held by the workspace's band and staging
-    /// buffers (by length, like every tracker charge). The alignment
-    /// stage reports one workspace per worker as transient scratch so
-    /// threaded sweeps stay honest in the `mem-hw` column.
+    /// A workspace whose extensions run the given kernel.
+    pub fn with_kernel(kernel: XdropKernel) -> Self {
+        XdropWorkspace {
+            kernel,
+            ..Self::default()
+        }
+    }
+
+    /// The kernel this workspace dispatches to.
+    pub fn kernel(&self) -> XdropKernel {
+        self.kernel
+    }
+
+    /// Heap bytes currently held by the workspace's band, staging and
+    /// match-mask buffers (by length, like every tracker charge). The
+    /// alignment stage reports one workspace per worker as transient
+    /// scratch so threaded sweeps stay honest in the `mem-hw` column.
     pub fn heap_bytes(&self) -> usize {
+        let masks: usize = self
+            .amask
+            .iter()
+            .chain(self.bmask.iter())
+            .map(Vec::len)
+            .sum();
         (self.band_a.len() + self.band_b.len() + self.band_c.len()) * std::mem::size_of::<i32>()
+            + masks * std::mem::size_of::<u64>()
             + self.a_rev.len()
             + self.b_rev.len()
     }
@@ -76,8 +146,41 @@ pub fn xdrop_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
 /// Extend an alignment from `(0, 0)` over `a` and `b`, stopping when every
 /// cell of the current antidiagonal falls more than `xdrop` below the best
 /// score seen. Returns the best-scoring endpoint. The antidiagonal band
-/// buffers live in `ws` and are reused across calls.
+/// buffers live in `ws` and are reused across calls; the workspace's
+/// [`XdropKernel`] picks the implementation, with every kernel
+/// guaranteed to return the exact scalar-oracle result.
 pub fn xdrop_extend_with(
+    ws: &mut XdropWorkspace,
+    a: &[u8],
+    b: &[u8],
+    xdrop: i32,
+    sc: Scoring,
+) -> Extension {
+    match ws.kernel {
+        XdropKernel::Scalar => xdrop_extend_scalar(ws, a, b, xdrop, sc),
+        XdropKernel::BitParallel | XdropKernel::Auto => {
+            let clamp = -STEP_CLAMP..=STEP_CLAMP;
+            if !clamp.contains(&sc.match_score)
+                || !clamp.contains(&sc.mismatch)
+                || !clamp.contains(&sc.gap)
+                || !(-XDROP_CLAMP..=XDROP_CLAMP).contains(&xdrop)
+            {
+                // Sentinel arithmetic can no longer separate live from
+                // pruned parents; the oracle handles any magnitude.
+                return xdrop_extend_scalar(ws, a, b, xdrop, sc);
+            }
+            match xdrop_extend_bitparallel(ws, a, b, xdrop, sc) {
+                Some(ext) => ext,
+                // Non-ACGT codes reached the band: the 4-class masks
+                // cannot represent them, the oracle's byte compare can.
+                None => xdrop_extend_scalar(ws, a, b, xdrop, sc),
+            }
+        }
+    }
+}
+
+/// The reference cell-at-a-time antidiagonal DP ([`XdropKernel::Scalar`]).
+fn xdrop_extend_scalar(
     ws: &mut XdropWorkspace,
     a: &[u8],
     b: &[u8],
@@ -226,6 +329,449 @@ pub fn xdrop_extend_with(
     best
 }
 
+/// 64 consecutive mask bits starting at `bit` (little-endian across
+/// words). The mask vectors carry one pad word so the `w + 1` read is
+/// always in bounds.
+#[inline]
+fn extract64(mask: &[u64], bit: usize) -> u64 {
+    let w = bit >> 6;
+    let sh = (bit & 63) as u32;
+    let lo = mask[w] >> sh;
+    if sh == 0 {
+        lo
+    } else {
+        lo | (mask[w + 1] << (64 - sh))
+    }
+}
+
+/// Build mask word `w` over the reversed first sequence: bit `x` of
+/// class `c` is `a[alen-1-x] == c`. Returns `false` on a non-ACGT code
+/// (caller falls back to the scalar oracle). Words are zeroed here, not
+/// in bulk, so a short-lived extension never pays a full-length memset.
+fn build_rev_word(a: &[u8], masks: &mut [Vec<u64>; 4], w: usize) -> bool {
+    for m in masks.iter_mut() {
+        m[w] = 0;
+    }
+    let alen = a.len();
+    for x in w * 64..(w * 64 + 64).min(alen) {
+        let c = a[alen - 1 - x];
+        if c >= 4 {
+            return false;
+        }
+        masks[c as usize][w] |= 1u64 << (x & 63);
+    }
+    true
+}
+
+/// Build mask word `w` over the second sequence: bit `x` of class `c`
+/// is `b[x] == c`. Returns `false` on a non-ACGT code.
+fn build_fwd_word(b: &[u8], masks: &mut [Vec<u64>; 4], w: usize) -> bool {
+    for m in masks.iter_mut() {
+        m[w] = 0;
+    }
+    let hi = (w * 64 + 64).min(b.len());
+    for (x, &c) in b[w * 64..hi]
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (w * 64 + i, c))
+    {
+        if c >= 4 {
+            return false;
+        }
+        masks[c as usize][w] |= 1u64 << (x & 63);
+    }
+    true
+}
+
+/// One cell computed exactly as the scalar oracle does, with checked
+/// parent lookups — used for the few cells per antidiagonal whose
+/// parents fall outside both live bands' common interior.
+#[inline]
+fn edge_score(
+    a: &[u8],
+    b: &[u8],
+    d: usize,
+    j: usize,
+    prev: &(Vec<i32>, usize),
+    prev2: &(Vec<i32>, usize),
+    sc: Scoring,
+) -> i32 {
+    let fetch = |band: &(Vec<i32>, usize), j: usize| -> Option<i32> {
+        j.checked_sub(band.1)
+            .and_then(|idx| band.0.get(idx))
+            .copied()
+            .filter(|&v| v > NEG)
+    };
+    let i = d - j;
+    let mut s = NEG;
+    if i >= 1 {
+        if let Some(v) = fetch(prev, j) {
+            s = s.max(v + sc.gap);
+        }
+    }
+    if j >= 1 {
+        if let Some(v) = fetch(prev, j - 1) {
+            s = s.max(v + sc.gap);
+        }
+        if i >= 1 {
+            if let Some(v) = fetch(prev2, j - 1) {
+                let m = if a[i - 1] == b[j - 1] {
+                    sc.match_score
+                } else {
+                    sc.mismatch
+                };
+                s = s.max(v + m);
+            }
+        }
+    }
+    s
+}
+
+/// The bit-parallel band kernel ([`XdropKernel::BitParallel`]).
+///
+/// Same antidiagonal sweep, window, trim and termination logic as the
+/// scalar oracle, but the *interior* of each antidiagonal — the cells
+/// whose three parents all fall inside the live parent bands — runs
+/// branch-free: match/mismatch is selected from a precomputed 64-bit
+/// match word (the OR over four base classes of `rev(a)`-mask AND
+/// `b`-mask fragments, which align because along antidiagonal `d` both
+/// the reversed-`a` index `alen-d+j` and the `b` index `j-1` advance
+/// with `j`), and pruned parents are represented by the `NEG` sentinel
+/// instead of per-parent `Option` checks. Clamped scoring (checked by
+/// the dispatcher) guarantees sentinel-derived candidates stay below
+/// [`LIVE_FLOOR`] and live-derived ones above it, so `s > LIVE_FLOOR`
+/// reproduces the oracle's liveness test exactly; cells outside the
+/// interior run the oracle's own checked per-cell code. Mask words are
+/// built lazily as the band first touches them, so extensions that die
+/// after a few antidiagonals never pay O(len) mask setup.
+///
+/// Returns `None` (with the workspace intact) if a non-ACGT code is
+/// about to enter a mask word; the dispatcher reruns the scalar oracle.
+fn xdrop_extend_bitparallel(
+    ws: &mut XdropWorkspace,
+    a: &[u8],
+    b: &[u8],
+    xdrop: i32,
+    sc: Scoring,
+) -> Option<Extension> {
+    if a.is_empty() || b.is_empty() {
+        return Some(Extension {
+            score: 0,
+            a_len: 0,
+            b_len: 0,
+        });
+    }
+    let (alen, blen) = (a.len(), b.len());
+    let n_aw = alen.div_ceil(64);
+    let n_bw = blen.div_ceil(64);
+    for m in ws.amask.iter_mut() {
+        if m.len() < n_aw + 1 {
+            m.resize(n_aw + 1, 0);
+        }
+    }
+    for m in ws.bmask.iter_mut() {
+        if m.len() < n_bw + 1 {
+            m.resize(n_bw + 1, 0);
+        }
+    }
+    // Lazily-built coverage: rev(a) words [a_low, n_aw) and b words
+    // [0, b_hi) hold this call's masks; everything else is stale and
+    // only ever read into lanes the interior loop discards.
+    let mut a_low = n_aw;
+    let mut b_hi = 0usize;
+    let mut best = Extension {
+        score: 0,
+        a_len: 0,
+        b_len: 0,
+    };
+    let mut band = std::mem::take(&mut ws.band_a);
+    band.clear();
+    band.push(0);
+    let mut prev: (Vec<i32>, usize) = (band, 0);
+    let mut band = std::mem::take(&mut ws.band_b);
+    band.clear();
+    let mut prev2: (Vec<i32>, usize) = (band, 0);
+    let mut scratch: Vec<i32> = std::mem::take(&mut ws.band_c);
+    scratch.clear();
+    for d in 1..=(alen + blen) {
+        let jmin = d.saturating_sub(alen);
+        let jmax = d.min(blen);
+        let mut lo_cand = usize::MAX;
+        let mut hi_cand = 0usize;
+        if !prev.0.is_empty() {
+            lo_cand = lo_cand.min(prev.1);
+            hi_cand = hi_cand.max(prev.1 + prev.0.len());
+        }
+        if !prev2.0.is_empty() {
+            lo_cand = lo_cand.min(prev2.1 + 1);
+            hi_cand = hi_cand.max(prev2.1 + prev2.0.len());
+        }
+        if lo_cand == usize::MAX {
+            break;
+        }
+        let lo_cand = lo_cand.max(jmin);
+        let hi_cand = hi_cand.min(jmax);
+        if lo_cand > hi_cand {
+            if prev.0.is_empty() {
+                break;
+            }
+            let mut empty = std::mem::take(&mut prev2.0);
+            empty.clear();
+            prev2 = std::mem::replace(&mut prev, (empty, jmin));
+            continue;
+        }
+        scratch.clear();
+        scratch.resize(hi_cand - lo_cand + 1, NEG);
+        // Interior: cells whose gap parents (prev at j, j-1) and
+        // diagonal parent (prev2 at j-1) are all in-range, so checked
+        // fetches collapse into plain indexed loads.
+        let (int_lo, int_hi) = if prev.0.is_empty() || prev2.0.is_empty() {
+            (1usize, 0usize)
+        } else {
+            (
+                lo_cand.max(prev.1 + 1).max(prev2.1 + 1).max(1),
+                hi_cand
+                    .min(prev.1 + prev.0.len() - 1)
+                    .min(prev2.1 + prev2.0.len())
+                    .min(d - 1),
+            )
+        };
+        let has_interior = int_lo <= int_hi;
+        let edge_cell = |j: usize,
+                         cur: &mut [i32],
+                         best: &mut Extension,
+                         prev: &(Vec<i32>, usize),
+                         prev2: &(Vec<i32>, usize)| {
+            let s = edge_score(a, b, d, j, prev, prev2, sc);
+            if s > NEG && s >= best.score - xdrop {
+                cur[j - lo_cand] = s;
+                if s > best.score {
+                    *best = Extension {
+                        score: s,
+                        a_len: d - j,
+                        b_len: j,
+                    };
+                }
+            }
+        };
+        let low_edge_end = if has_interior { int_lo } else { hi_cand + 1 };
+        for j in lo_cand..low_edge_end {
+            edge_cell(j, &mut scratch, &mut best, &prev, &prev2);
+        }
+        if has_interior {
+            // Make sure the mask words the interior will read are built
+            // for this call (extract64 also touches word w+1, which is
+            // either built, the zero pad, or stale-but-unused lanes).
+            let a_need = (alen + int_lo - d) >> 6;
+            while a_low > a_need {
+                a_low -= 1;
+                if !build_rev_word(a, &mut ws.amask, a_low) {
+                    ws.band_a = prev.0;
+                    ws.band_b = prev2.0;
+                    ws.band_c = scratch;
+                    return None;
+                }
+            }
+            let b_need = ((int_hi - 1) >> 6) + 1;
+            while b_hi < b_need {
+                if !build_fwd_word(b, &mut ws.bmask, b_hi) {
+                    ws.band_a = prev.0;
+                    ws.band_b = prev2.0;
+                    ws.band_c = scratch;
+                    return None;
+                }
+                b_hi += 1;
+            }
+            let ilen = int_hi - int_lo + 1;
+            let p1 = &prev.0[int_lo - prev.1..int_lo - prev.1 + ilen];
+            let p0 = &prev.0[int_lo - 1 - prev.1..int_lo - 1 - prev.1 + ilen];
+            let q = &prev2.0[int_lo - 1 - prev2.1..int_lo - 1 - prev2.1 + ilen];
+            let out = &mut scratch[int_lo - lo_cand..int_lo - lo_cand + ilen];
+            let mdiff = sc.match_score - sc.mismatch;
+            let mut cut = best.score - xdrop;
+            let mut idx = 0usize;
+            while idx < ilen {
+                let nblock = (ilen - idx).min(64);
+                let a_bit = alen + int_lo + idx - d;
+                let b_bit = int_lo + idx - 1;
+                let mut mw = extract64(&ws.amask[0], a_bit) & extract64(&ws.bmask[0], b_bit);
+                mw |= extract64(&ws.amask[1], a_bit) & extract64(&ws.bmask[1], b_bit);
+                mw |= extract64(&ws.amask[2], a_bit) & extract64(&ws.bmask[2], b_bit);
+                mw |= extract64(&ws.amask[3], a_bit) & extract64(&ws.bmask[3], b_bit);
+                let blk = idx..idx + nblock;
+                for (t, ((out, &v1), (&v0, &vq))) in out[blk.clone()]
+                    .iter_mut()
+                    .zip(&p1[blk.clone()])
+                    .zip(p0[blk.clone()].iter().zip(&q[blk]))
+                    .enumerate()
+                {
+                    let mbit = ((mw >> t) & 1) as i32;
+                    let m = sc.mismatch + (mdiff & -mbit);
+                    let s = (v1.max(v0) + sc.gap).max(vq + m);
+                    if s > LIVE_FLOOR && s >= cut {
+                        *out = s;
+                        if s > best.score {
+                            let j = int_lo + idx + t;
+                            best = Extension {
+                                score: s,
+                                a_len: d - j,
+                                b_len: j,
+                            };
+                            cut = s - xdrop;
+                        }
+                    }
+                }
+                idx += nblock;
+            }
+            for j in int_hi + 1..=hi_cand {
+                edge_cell(j, &mut scratch, &mut best, &prev, &prev2);
+            }
+        }
+        let cur = &mut scratch;
+        let new_lo = match cur.iter().position(|&v| v > NEG) {
+            None => {
+                cur.clear();
+                lo_cand
+            }
+            Some(first) => {
+                let last = cur
+                    .iter()
+                    .rposition(|&v| v > NEG)
+                    .expect("live cell exists");
+                cur.truncate(last + 1);
+                cur.drain(..first);
+                lo_cand + first
+            }
+        };
+        if cur.is_empty() && prev.0.is_empty() {
+            break;
+        }
+        let recycled = std::mem::replace(
+            &mut prev2,
+            std::mem::replace(&mut prev, (std::mem::take(&mut scratch), new_lo)),
+        );
+        scratch = recycled.0;
+    }
+    ws.band_a = prev.0;
+    ws.band_b = prev2.0;
+    ws.band_c = scratch;
+    Some(best)
+}
+
+/// Length of the common prefix of `a` and `b`, compared 8 bytes at a
+/// time (base codes are one byte each, so a word XOR finds the first
+/// differing base with one trailing-zeros count).
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = u64::from_le_bytes(a[i..i + 8].try_into().expect("8-byte chunk"));
+        let y = u64::from_le_bytes(b[i..i + 8].try_into().expect("8-byte chunk"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return i + (diff.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Greedy approximate x-drop extension: the opt-in fast path behind the
+/// seed layer's best-only mode (`--seed-chaining best`). Instead of
+/// sweeping a DP band, it walks maximal exact-match runs (8 bases per
+/// word compare) and resolves each difference with a one-step
+/// lookahead — substitution, single-base insertion, or deletion,
+/// whichever is followed by the longest next run — giving
+/// O(differences) work instead of O(band × length). Extension stops
+/// when the running score falls more than `xdrop` below the best.
+///
+/// Unlike the [`XdropKernel`] variants this is **not** exact: clustered
+/// errors or repeats can yield slightly different scores and extents
+/// than the DP, which is why only the quality-asserted fast mode uses
+/// it — never the default pipeline.
+pub fn greedy_extend(a: &[u8], b: &[u8], xdrop: i32, sc: Scoring) -> Extension {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut score = 0i64;
+    let mut best = Extension {
+        score: 0,
+        a_len: 0,
+        b_len: 0,
+    };
+    loop {
+        let run = common_prefix(&a[i..], &b[j..]);
+        i += run;
+        j += run;
+        score += run as i64 * sc.match_score as i64;
+        if score > best.score as i64 {
+            best = Extension {
+                score: score.min(i32::MAX as i64) as i32,
+                a_len: i,
+                b_len: j,
+            };
+        }
+        if i >= a.len() || j >= b.len() {
+            return best;
+        }
+        // Difference at (i, j): pick the edit followed by the longest
+        // exact run (ties prefer the diagonal substitution).
+        let r_sub = common_prefix(&a[i + 1..], &b[j + 1..]);
+        let r_del = common_prefix(&a[i + 1..], &b[j..]);
+        let r_ins = common_prefix(&a[i..], &b[j + 1..]);
+        if r_sub >= r_del && r_sub >= r_ins {
+            score += sc.mismatch as i64;
+            i += 1;
+            j += 1;
+        } else {
+            score += sc.gap as i64;
+            if r_del > r_ins {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        if score < best.score as i64 - xdrop as i64 {
+            return best;
+        }
+    }
+}
+
+/// Greedy counterpart of [`extend_seed_with`]: the same seed-anchored
+/// left + right extension, but via [`greedy_extend`]. Approximate —
+/// used only by the opt-in fast seed-chaining mode.
+#[allow(clippy::too_many_arguments)]
+pub fn extend_seed_greedy(
+    ws: &mut XdropWorkspace,
+    a: &[u8],
+    b: &[u8],
+    a_pos: usize,
+    b_pos: usize,
+    k: usize,
+    xdrop: i32,
+    sc: Scoring,
+) -> SeedAlignment {
+    debug_assert!(a_pos + k <= a.len() && b_pos + k <= b.len());
+    let right = greedy_extend(&a[a_pos + k..], &b[b_pos + k..], xdrop, sc);
+    let mut a_rev = std::mem::take(&mut ws.a_rev);
+    a_rev.clear();
+    a_rev.extend(a[..a_pos].iter().rev().copied());
+    let mut b_rev = std::mem::take(&mut ws.b_rev);
+    b_rev.clear();
+    b_rev.extend(b[..b_pos].iter().rev().copied());
+    let left = greedy_extend(&a_rev, &b_rev, xdrop, sc);
+    ws.a_rev = a_rev;
+    ws.b_rev = b_rev;
+    SeedAlignment {
+        score: k as i32 * sc.match_score + left.score + right.score,
+        a_beg: a_pos - left.a_len,
+        a_end: a_pos + k + right.a_len - 1,
+        b_beg: b_pos - left.b_len,
+        b_end: b_pos + k + right.b_len - 1,
+    }
+}
+
 /// A gapped local alignment around a seed, with inclusive coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeedAlignment {
@@ -331,6 +877,81 @@ mod tests {
         let ext = xdrop_extend(&a, &b, 3, Scoring::default());
         assert_eq!(ext.score, 10);
         assert_eq!(ext.a_len, 10);
+    }
+
+    #[test]
+    fn greedy_extend_handles_clean_and_isolated_errors() {
+        let sc = Scoring::default();
+        // Identical sequences extend fully.
+        let a = codes("ACGTACGTACGTACGT");
+        assert_eq!(
+            greedy_extend(&a, &a, 5, sc),
+            Extension {
+                score: 16,
+                a_len: 16,
+                b_len: 16
+            }
+        );
+        // One substitution mid-way: the lookahead must step over it.
+        let mut b = a.clone();
+        b[8] = (b[8] + 1) % 4;
+        let ext = greedy_extend(&a, &b, 5, sc);
+        assert_eq!((ext.score, ext.a_len, ext.b_len), (14, 16, 16));
+        // One deletion in b: a gap move re-synchronizes the runs.
+        let mut del = a.clone();
+        del.remove(8);
+        let ext = greedy_extend(&a, &del, 5, sc);
+        assert_eq!((ext.a_len, ext.b_len), (16, 15));
+        assert_eq!(ext.score, 14);
+        // Garbage tail: stops near the clean prefix like the DP.
+        let a = codes(&("ACGTACGTAC".to_owned() + "GGGGGGGG"));
+        let b = codes(&("ACGTACGTAC".to_owned() + "TTTTTTTT"));
+        let ext = greedy_extend(&a, &b, 3, sc);
+        assert_eq!((ext.score, ext.a_len), (10, 10));
+        // Empty inputs.
+        assert_eq!(greedy_extend(&[], &[], 5, sc).score, 0);
+        assert_eq!(greedy_extend(&a, &[], 5, sc).score, 0);
+    }
+
+    #[test]
+    fn greedy_extend_tracks_the_dp_on_noisy_overlaps() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let sc = Scoring::default();
+        for _ in 0..40 {
+            let a: Vec<u8> = (0..1_500).map(|_| rng.gen_range(0..4u8)).collect();
+            let mut b = a.clone();
+            for _ in 0..8 {
+                let at = rng.gen_range(0..b.len());
+                match rng.gen_range(0..3u8) {
+                    0 => b[at] = (b[at] + 1) % 4,
+                    1 => {
+                        b.remove(at);
+                    }
+                    _ => b.insert(at, rng.gen_range(0..4u8)),
+                }
+            }
+            let dp = xdrop_extend(&a, &b, 30, sc);
+            let greedy = greedy_extend(&a, &b, 30, sc);
+            // Approximate: clustered errors can cost the one-step
+            // lookahead a few points each, but on isolated-error
+            // overlaps it must stay within a few percent of the band
+            // DP — that margin is what keeps the fast mode's dovetail
+            // classification (score ≥ ratio · span) agreeing.
+            assert!(
+                greedy.score >= dp.score - dp.score / 20 - 6,
+                "greedy {} vs dp {}",
+                greedy.score,
+                dp.score
+            );
+            assert!(
+                greedy.score <= dp.score + 6,
+                "greedy {} should not materially beat the x-drop DP {}",
+                greedy.score,
+                dp.score
+            );
+        }
     }
 
     #[test]
@@ -513,5 +1134,142 @@ mod tests {
             aln.a_end - aln.a_beg + 1
         );
         assert!(aln.score >= 80);
+    }
+
+    #[test]
+    fn bitparallel_matches_scalar_on_random_pairs() {
+        // Quick in-module face of the exhaustive proptest pin: random
+        // overlapping and unrelated pairs, several scorings and x-drops,
+        // shared workspaces on both sides.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let g: Vec<u8> = (0..2000).map(|_| rng.gen_range(0..4u8)).collect();
+        let mut sws = XdropWorkspace::with_kernel(XdropKernel::Scalar);
+        let mut bws = XdropWorkspace::with_kernel(XdropKernel::BitParallel);
+        let scorings = [
+            Scoring::default(),
+            Scoring {
+                match_score: 2,
+                mismatch: -3,
+                gap: -2,
+            },
+            Scoring {
+                match_score: 5,
+                mismatch: 0,
+                gap: -4,
+            },
+        ];
+        for t in 0..60usize {
+            let start = rng.gen_range(0..1000);
+            let len = rng.gen_range(1..900);
+            let mut a = g[start..start + len].to_vec();
+            let b = if t % 4 == 0 {
+                (0..len).map(|_| rng.gen_range(0..4u8)).collect()
+            } else {
+                let off = rng.gen_range(0..200.min(len));
+                g[start + off..(start + off + len).min(g.len())].to_vec()
+            };
+            for _ in 0..t % 7 {
+                let at = rng.gen_range(0..a.len());
+                a[at] = (a[at] + 1) % 4;
+            }
+            let x = rng.gen_range(0..60);
+            let sc = scorings[t % scorings.len()];
+            let s = xdrop_extend_with(&mut sws, &a, &b, x, sc);
+            let p = xdrop_extend_with(&mut bws, &a, &b, x, sc);
+            assert_eq!(s, p, "case {t}: len {len} xdrop {x}");
+        }
+    }
+
+    #[test]
+    fn non_acgt_codes_fall_back_identically() {
+        // Codes >= 4 cannot enter the 4-class masks; the bit-parallel
+        // path must detect them and rerun the scalar oracle, which
+        // compares raw bytes (7 == 7 is a match).
+        let mut a = codes("ACGTACGTACGTACGT");
+        let mut b = a.clone();
+        a[7] = 7;
+        b[7] = 7;
+        for x in [0, 5, 50] {
+            let s = xdrop_extend_with(
+                &mut XdropWorkspace::with_kernel(XdropKernel::Scalar),
+                &a,
+                &b,
+                x,
+                Scoring::default(),
+            );
+            let p = xdrop_extend_with(
+                &mut XdropWorkspace::with_kernel(XdropKernel::BitParallel),
+                &a,
+                &b,
+                x,
+                Scoring::default(),
+            );
+            assert_eq!(s, p, "xdrop {x}");
+            assert_eq!(s.a_len, 16, "code-7 pair aligns through the odd byte");
+        }
+    }
+
+    #[test]
+    fn extreme_parameters_fall_back_identically() {
+        // Magnitudes beyond the sentinel clamps run the oracle on both
+        // knob settings; outputs must still agree.
+        let a = codes("ACGTACGTAC");
+        let b = codes("ACGTTCGTAC");
+        for (sc, x) in [
+            (
+                Scoring {
+                    match_score: (1 << 20) + 1,
+                    mismatch: -(1 << 21),
+                    gap: -1,
+                },
+                10,
+            ),
+            (
+                Scoring {
+                    match_score: 1,
+                    mismatch: -1,
+                    gap: -(1 << 22),
+                },
+                (1 << 26) + 1,
+            ),
+        ] {
+            let s = xdrop_extend_with(
+                &mut XdropWorkspace::with_kernel(XdropKernel::Scalar),
+                &a,
+                &b,
+                x,
+                sc,
+            );
+            let p = xdrop_extend_with(
+                &mut XdropWorkspace::with_kernel(XdropKernel::Auto),
+                &a,
+                &b,
+                x,
+                sc,
+            );
+            assert_eq!(s, p);
+        }
+    }
+
+    #[test]
+    fn workspace_kernel_knob_and_mask_accounting() {
+        let ws = XdropWorkspace::with_kernel(XdropKernel::Scalar);
+        assert_eq!(ws.kernel(), XdropKernel::Scalar);
+        assert_eq!(XdropWorkspace::default().kernel(), XdropKernel::Auto);
+        // The bit-parallel masks must show up in the scratch-honesty
+        // accounting once an extension has sized them.
+        let mut bws = XdropWorkspace::with_kernel(XdropKernel::BitParallel);
+        let a = codes("ACGTACGTACGTACGTACGT");
+        let _ = xdrop_extend_with(&mut bws, &a, &a, 10, Scoring::default());
+        let mut sws = XdropWorkspace::with_kernel(XdropKernel::Scalar);
+        let _ = xdrop_extend_with(&mut sws, &a, &a, 10, Scoring::default());
+        assert!(
+            bws.heap_bytes() > sws.heap_bytes(),
+            "mask words must be charged: {} vs {}",
+            bws.heap_bytes(),
+            sws.heap_bytes()
+        );
     }
 }

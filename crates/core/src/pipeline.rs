@@ -5,10 +5,11 @@
 //! `ExtractContig`) so a profiled run yields the breakdown figures
 //! directly.
 
+use elba_align::XdropKernel;
 use elba_comm::ProcGrid;
 use elba_graph::{
     align_and_classify, candidate_matrix, overlap_graph, symmetrize, transitive_reduction_with,
-    AlignStats, OverlapConfig, ReductionStats,
+    AlignStats, OverlapConfig, ReductionStats, SeedChaining,
 };
 use elba_mem::MemBudget;
 use elba_seq::{
@@ -84,6 +85,7 @@ impl PipelineConfig {
                 },
                 spgemm: SpGemmOptions::default(),
                 threads: 0,
+                ..OverlapConfig::default()
             },
             tr_fuzz: if high_error {
                 (mean_len * 0.3) as u32
@@ -126,6 +128,26 @@ impl PipelineConfig {
         self.kmer.threads = threads;
         self.overlap.threads = threads;
         self.overlap.spgemm.threads = threads;
+        self
+    }
+
+    /// Run every x-drop extension through `kernel` (the CLI's
+    /// `--xdrop-kernel`). Every kernel returns the exact scalar-oracle
+    /// scores and extents, so assembled contigs are identical for every
+    /// value — this is a pure speed knob.
+    pub fn with_xdrop_kernel(mut self, kernel: XdropKernel) -> Self {
+        self.overlap.kernel = kernel;
+        self
+    }
+
+    /// Seed-selection policy for the alignment stage (the CLI's
+    /// `--seed-chaining`), with the co-linearity band used both to
+    /// merge seeds into chains and as diagonal slack in the geometric
+    /// early-reject. [`SeedChaining::All`] reproduces the historical
+    /// extend-every-seed sweep.
+    pub fn with_seed_chaining(mut self, chaining: SeedChaining, chain_band: usize) -> Self {
+        self.overlap.chaining = chaining;
+        self.overlap.chain_band = chain_band;
         self
     }
 
@@ -316,6 +338,7 @@ mod tests {
                 fuzz: 60,
                 spgemm: SpGemmOptions::default(),
                 threads: 1,
+                ..OverlapConfig::default()
             },
             tr_fuzz: 150,
             tr_max_iters: 10,

@@ -18,7 +18,8 @@ pub mod reduction;
 pub mod semirings;
 
 pub use overlap_stage::{
-    align_and_classify, align_pair, candidate_matrix, overlap_graph, AlignStats, OverlapConfig,
+    align_and_classify, align_pair, align_pair_with, candidate_matrix, overlap_graph, AlignScratch,
+    AlignStats, OverlapConfig, SeedChaining,
 };
 pub use reduction::{symmetrize, transitive_reduction, transitive_reduction_with, ReductionStats};
 pub use semirings::{dir_index, MinPlusDir, OverlapSemiring, ReductionSemiring, Seed, SharedSeeds};

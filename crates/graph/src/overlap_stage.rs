@@ -10,13 +10,14 @@
 //! directed edges of the overlap matrix `R`.
 
 use elba_align::{
-    classify, extend_seed_with, OverlapAln, OverlapClass, Scoring, SgEdge, XdropWorkspace,
+    classify, extend_seed_greedy, extend_seed_with, OverlapAln, OverlapClass, Scoring, SgEdge,
+    XdropKernel, XdropWorkspace,
 };
 use elba_comm::ProcGrid;
 use elba_seq::{AEntry, ReadStore};
 use elba_sparse::{DistMat, DistVec, SpGemmOptions};
 
-use crate::semirings::{OverlapSemiring, SharedSeeds};
+use crate::semirings::{OverlapSemiring, Seed, SharedSeeds};
 
 /// Parameters of the overlap + alignment stage.
 #[derive(Debug, Clone)]
@@ -41,10 +42,23 @@ pub struct OverlapConfig {
     /// Intra-rank worker threads for the x-drop alignment batch (`0`
     /// inherits the global [`elba_par::ElbaPar`] knob; its default of 1
     /// is the historical serial sweep). Each worker owns one
-    /// [`XdropWorkspace`], pairs are claimed by index, and results are
+    /// [`AlignScratch`], pairs are claimed by index, and results are
     /// consumed in pair order, so the output is identical across thread
     /// counts; workers never enter the comm layer.
     pub threads: usize,
+    /// X-drop inner-loop implementation (the CLI's `--xdrop-kernel`).
+    /// Every kernel returns exactly the scalar oracle's output, so this
+    /// is a pure speed knob.
+    pub kernel: XdropKernel,
+    /// Which retained seeds get x-drop extended per candidate pair (the
+    /// CLI's `--seed-chaining`).
+    pub chaining: SeedChaining,
+    /// Maximum |Δdiagonal| for two seeds of a pair to be merged into
+    /// one co-linear chain, and the diagonal slack granted to a chain
+    /// by the geometric early-reject (drift budget for x-drop gap
+    /// wander; generous relative to real indel rates so the reject
+    /// never clips a reachable overlap).
+    pub chain_band: usize,
 }
 
 impl Default for OverlapConfig {
@@ -59,8 +73,35 @@ impl Default for OverlapConfig {
             fuzz: 200,
             spgemm: SpGemmOptions::default(),
             threads: 0,
+            kernel: XdropKernel::default(),
+            chaining: SeedChaining::default(),
+            chain_band: 128,
         }
     }
+}
+
+/// Seed-selection policy of [`align_pair_with`]: how many of a
+/// candidate pair's retained seeds are x-drop extended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedChaining {
+    /// Extend every in-range retained seed (the historical sweep; the
+    /// baseline every other mode is measured against).
+    All,
+    /// Bin seeds by strand and diagonal, merge co-linear seeds into one
+    /// chain, extend each chain's first seed, and skip seeds whose
+    /// anchor is already covered by an alignment found for this pair;
+    /// chains that cannot geometrically reach `min_overlap` or a
+    /// containment are rejected before any extension. Skipped work is
+    /// visible in [`AlignStats::seeds_skipped`].
+    #[default]
+    Chain,
+    /// Flagged fast mode: like [`SeedChaining::Chain`] but strictly one
+    /// extension per strand group (the first surviving chain), and the
+    /// extension itself runs the greedy O(differences)
+    /// [`extend_seed_greedy`] walk instead of the exact DP. The one
+    /// mode allowed to change alignments — it is quality-asserted by
+    /// the perf bench rather than pinned byte-identical.
+    BestOnly,
 }
 
 /// Counters reported by the alignment stage (for Fig. 5-style tables).
@@ -72,6 +113,15 @@ pub struct AlignStats {
     pub contained: u64,
     pub internal: u64,
     pub rejected: u64,
+    /// Retained seeds the chain filter skipped without an x-drop
+    /// extension (covered by an already-found alignment, merged into a
+    /// chain behind an extended seed, geometrically rejected, or
+    /// dropped by `BestOnly`). Zero under [`SeedChaining::All`].
+    pub seeds_skipped: u64,
+    /// Seed chains that underwent x-drop extension (under
+    /// [`SeedChaining::All`] every extended seed counts as its own
+    /// chain).
+    pub chains_extended: u64,
 }
 
 impl AlignStats {
@@ -83,6 +133,8 @@ impl AlignStats {
             contained: self.contained + other.contained,
             internal: self.internal + other.internal,
             rejected: self.rejected + other.rejected,
+            seeds_skipped: self.seeds_skipped + other.seeds_skipped,
+            chains_extended: self.chains_extended + other.chains_extended,
         }
     }
 
@@ -94,6 +146,8 @@ impl AlignStats {
             self.contained,
             self.internal,
             self.rejected,
+            self.seeds_skipped,
+            self.chains_extended,
         ];
         let merged = grid
             .world()
@@ -105,6 +159,8 @@ impl AlignStats {
             contained: merged[3],
             internal: merged[4],
             rejected: merged[5],
+            seeds_skipped: merged[6],
+            chains_extended: merged[7],
         }
     }
 }
@@ -127,72 +183,249 @@ pub fn candidate_matrix(
     })
 }
 
-/// One-shot [`align_pair_with`]: allocates a throwaway workspace.
+/// Per-worker scratch of the alignment stage: the x-drop workspace plus
+/// a reusable buffer for the lazily computed reverse complement of the
+/// pair's second read. One scratch serves any number of candidate pairs
+/// in sequence; `rc(v)` is recomputed per pair (it depends on `v`) but
+/// its allocation is paid once per worker, and never filled at all for
+/// pairs whose reverse-strand seeds are rejected before extension.
+#[derive(Debug, Default)]
+pub struct AlignScratch {
+    ws: XdropWorkspace,
+    v_rc: Vec<u8>,
+}
+
+impl AlignScratch {
+    /// A scratch whose extensions run the given [`XdropKernel`].
+    pub fn with_kernel(kernel: XdropKernel) -> Self {
+        AlignScratch {
+            ws: XdropWorkspace::with_kernel(kernel),
+            v_rc: Vec::new(),
+        }
+    }
+
+    /// Heap bytes held (workspace buffers + rc staging), for the same
+    /// scratch-honesty accounting as [`XdropWorkspace::heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.ws.heap_bytes() + self.v_rc.len()
+    }
+}
+
+/// Per-pair seed bookkeeping from [`align_pair_with`], merged into
+/// [`AlignStats`] by the stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PairCounts {
+    /// Chains that underwent x-drop extension.
+    chains: u32,
+    /// Seeds skipped without extension.
+    skipped: u32,
+}
+
+/// A retained seed in oriented coordinates: `u_pos` on `u`, `w_pos` on
+/// `v`-as-aligned (reverse-complemented when `rc`), and the alignment
+/// diagonal the anchor sits on.
+#[derive(Debug, Clone, Copy)]
+struct OrientedSeed {
+    u_pos: usize,
+    w_pos: usize,
+    rc: bool,
+    diag: i64,
+}
+
+impl OrientedSeed {
+    /// Orient one retained seed; `None` if the anchor does not fit in
+    /// either read (the historical sweep skipped those silently).
+    fn place(seed: &Seed, k: usize, ulen: usize, vlen: usize) -> Option<OrientedSeed> {
+        let u_pos = seed.pos_v as usize;
+        let w_pos = if seed.same_strand {
+            seed.pos_h as usize
+        } else {
+            vlen.checked_sub(seed.pos_h as usize + k)?
+        };
+        if u_pos + k > ulen || w_pos + k > vlen {
+            return None;
+        }
+        Some(OrientedSeed {
+            u_pos,
+            w_pos,
+            rc: !seed.same_strand,
+            diag: u_pos as i64 - w_pos as i64,
+        })
+    }
+
+    /// The seed's k-mer anchor lies inside an alignment already found
+    /// on the same strand — extending it would re-walk the same
+    /// corridor.
+    fn covered_by(&self, aln: &OverlapAln, k: usize) -> bool {
+        aln.rc == self.rc
+            && aln.u_beg <= self.u_pos
+            && self.u_pos + k - 1 <= aln.u_end
+            && aln.w_beg <= self.w_pos
+            && self.w_pos + k - 1 <= aln.w_end
+    }
+}
+
+/// Geometric early-reject: over every diagonal within `chain_band` of
+/// the chain's anchors, the largest conceivable aligned span can reach
+/// neither a dovetail (`min_overlap`) nor a containment of either read
+/// (`len - 2·fuzz`), so extension could only ever produce an alignment
+/// the classifier discards without emitting edges. Only the stats
+/// bucket of such a pair changes (rejected instead of internal).
+fn chain_rejects(dg_lo: i64, dg_hi: i64, ulen: usize, wlen: usize, cfg: &OverlapConfig) -> bool {
+    let band = cfg.chain_band as i64;
+    let (lo, hi) = (dg_lo - band, dg_hi + band);
+    let (ul, wl) = (ulen as i64, wlen as i64);
+    let u_span = (ul.min(wl + hi) - 0.max(lo)).max(0);
+    let w_span = (wl.min(ul - lo) - 0.max(-hi)).max(0);
+    u_span < cfg.min_overlap as i64
+        && u_span < ul - 2 * cfg.fuzz as i64
+        && w_span < wl - 2 * cfg.fuzz as i64
+}
+
+/// One-shot [`align_pair_with`]: allocates a throwaway scratch.
 pub fn align_pair(
     u_codes: &[u8],
     v_codes: &[u8],
     seeds: &SharedSeeds,
     cfg: &OverlapConfig,
 ) -> Option<OverlapAln> {
-    align_pair_with(&mut XdropWorkspace::default(), u_codes, v_codes, seeds, cfg)
+    align_pair_with(
+        &mut AlignScratch::with_kernel(cfg.kernel),
+        u_codes,
+        v_codes,
+        seeds,
+        cfg,
+    )
 }
 
 /// X-drop align one candidate pair from its retained seeds; returns the
-/// best-scoring overlap alignment. The workspace's antidiagonal buffers
-/// are reused across seed extensions (and across calls — the alignment
-/// stage sweeps one workspace over every candidate pair).
+/// best-scoring overlap alignment. The scratch's antidiagonal and rc
+/// buffers are reused across seed extensions (and across calls — the
+/// alignment stage sweeps one scratch per worker over every candidate
+/// pair). Seed selection follows [`OverlapConfig::chaining`].
 pub fn align_pair_with(
-    ws: &mut XdropWorkspace,
+    scratch: &mut AlignScratch,
     u_codes: &[u8],
     v_codes: &[u8],
     seeds: &SharedSeeds,
     cfg: &OverlapConfig,
 ) -> Option<OverlapAln> {
+    align_pair_counted(scratch, u_codes, v_codes, seeds, cfg).0
+}
+
+/// [`align_pair_with`] plus the per-pair chain/skip counters the stage
+/// folds into [`AlignStats`].
+fn align_pair_counted(
+    scratch: &mut AlignScratch,
+    u_codes: &[u8],
+    v_codes: &[u8],
+    seeds: &SharedSeeds,
+    cfg: &OverlapConfig,
+) -> (Option<OverlapAln>, PairCounts) {
+    let AlignScratch { ws, v_rc } = scratch;
+    let (ulen, vlen) = (u_codes.len(), v_codes.len());
     let mut best: Option<OverlapAln> = None;
-    // Compute rc(v) lazily, once, if any seed needs it.
-    let mut v_rc: Option<Vec<u8>> = None;
-    for seed in seeds.seeds() {
-        let candidate = if seed.same_strand {
-            if seed.pos_v as usize + cfg.k > u_codes.len()
-                || seed.pos_h as usize + cfg.k > v_codes.len()
-            {
-                continue;
+    let mut counts = PairCounts::default();
+    let mut rc_ready = false;
+    let mut extend = |s: &OrientedSeed, best: &mut Option<OverlapAln>, v_rc: &mut Vec<u8>| {
+        let w: &[u8] = if s.rc {
+            if !rc_ready {
+                v_rc.clear();
+                v_rc.extend(v_codes.iter().rev().map(|&b| 3 - b));
+                rc_ready = true;
             }
-            let aln = extend_seed_with(
-                ws,
-                u_codes,
-                v_codes,
-                seed.pos_v as usize,
-                seed.pos_h as usize,
-                cfg.k,
-                cfg.xdrop,
-                cfg.scoring,
-            );
-            OverlapAln::from_seed(aln, false, u_codes.len(), v_codes.len())
+            v_rc
         } else {
-            let w = v_rc
-                .get_or_insert_with(|| v_codes.iter().rev().map(|&b| 3 - b).collect::<Vec<u8>>());
-            let w_pos = v_codes.len() - seed.pos_h as usize - cfg.k;
-            if seed.pos_v as usize + cfg.k > u_codes.len() || w_pos + cfg.k > w.len() {
-                continue;
-            }
-            let aln = extend_seed_with(
-                ws,
-                u_codes,
-                w,
-                seed.pos_v as usize,
-                w_pos,
-                cfg.k,
-                cfg.xdrop,
-                cfg.scoring,
-            );
-            OverlapAln::from_seed(aln, true, u_codes.len(), v_codes.len())
+            v_codes
         };
+        // Best-only is the opt-in approximate fast mode: one extension
+        // per strand AND the greedy O(differences) extender instead of
+        // the exact DP (quality-asserted in the perf bench, never the
+        // default).
+        let extender = if cfg.chaining == SeedChaining::BestOnly {
+            extend_seed_greedy
+        } else {
+            extend_seed_with
+        };
+        let aln = extender(
+            ws,
+            u_codes,
+            w,
+            s.u_pos,
+            s.w_pos,
+            cfg.k,
+            cfg.xdrop,
+            cfg.scoring,
+        );
+        let candidate = OverlapAln::from_seed(aln, s.rc, ulen, vlen);
         if best.as_ref().is_none_or(|b| candidate.score > b.score) {
-            best = Some(candidate);
+            *best = Some(candidate);
+        }
+    };
+    // SharedSeeds retains at most two seeds, so the chain plan reduces
+    // to: are both on the same strand, and if so are they co-linear?
+    let placed: Vec<OrientedSeed> = seeds
+        .seeds()
+        .iter()
+        .filter_map(|s| OrientedSeed::place(s, cfg.k, ulen, vlen))
+        .collect();
+    match cfg.chaining {
+        SeedChaining::All => {
+            for s in &placed {
+                extend(s, &mut best, v_rc);
+                counts.chains += 1;
+            }
+        }
+        SeedChaining::Chain | SeedChaining::BestOnly => {
+            let best_only = cfg.chaining == SeedChaining::BestOnly;
+            // Chains in seed order: [first seed, optional co-linear mate].
+            let mut chains: Vec<(OrientedSeed, Option<OrientedSeed>)> = Vec::with_capacity(2);
+            for &s in &placed {
+                match chains.last_mut() {
+                    Some((head, mate @ None))
+                        if head.rc == s.rc
+                            && head.diag.abs_diff(s.diag) <= cfg.chain_band as u64
+                            && (head.u_pos <= s.u_pos) == (head.w_pos <= s.w_pos) =>
+                    {
+                        *mate = Some(s);
+                    }
+                    _ => chains.push((s, None)),
+                }
+            }
+            let mut extended_strands = [false; 2];
+            for (head, mate) in &chains {
+                let n_seeds = 1 + u32::from(mate.is_some());
+                let (dg_lo, dg_hi) = match mate {
+                    Some(m) => (head.diag.min(m.diag), head.diag.max(m.diag)),
+                    None => (head.diag, head.diag),
+                };
+                if chain_rejects(dg_lo, dg_hi, ulen, vlen, cfg) {
+                    counts.skipped += n_seeds;
+                    continue;
+                }
+                if best_only && extended_strands[head.rc as usize] {
+                    counts.skipped += n_seeds;
+                    continue;
+                }
+                if best.as_ref().is_some_and(|aln| head.covered_by(aln, cfg.k)) {
+                    counts.skipped += n_seeds;
+                    continue;
+                }
+                extend(head, &mut best, v_rc);
+                counts.chains += 1;
+                extended_strands[head.rc as usize] = true;
+                if let Some(m) = mate {
+                    let covered = best.as_ref().is_some_and(|aln| m.covered_by(aln, cfg.k));
+                    if best_only || covered {
+                        counts.skipped += 1;
+                    } else {
+                        extend(m, &mut best, v_rc);
+                    }
+                }
+            }
         }
     }
-    best
+    (best, counts)
 }
 
 /// Classification bookkeeping for one aligned (or rejected) candidate
@@ -201,13 +434,15 @@ pub fn align_pair_with(
 fn classify_candidate(
     i: u64,
     j: u64,
-    aln: Option<OverlapAln>,
+    (aln, counts): (Option<OverlapAln>, PairCounts),
     cfg: &OverlapConfig,
     triples: &mut Vec<(u64, u64, SgEdge)>,
     contained_ids: &mut Vec<(usize, bool)>,
     stats: &mut AlignStats,
 ) {
     stats.candidate_pairs += 1;
+    stats.seeds_skipped += counts.skipped as u64;
+    stats.chains_extended += counts.chains as u64;
     let Some(aln) = aln else {
         stats.rejected += 1;
         return;
@@ -242,11 +477,36 @@ fn classify_candidate(
 /// sliver (~100 B per pair) instead of materializing every candidate.
 const ALIGN_PAIRS_PER_WORKER_BATCH: usize = 256;
 
+/// Smallest batch worth fanning out to threads: below this the scoped
+/// spawn/join cycle costs more than the alignments it parallelizes, so
+/// the batch runs serially on worker 0 (mirrors `MIN_PAR_ROWS` in the
+/// SpGEMM batcher). Keeps rank×thread oversubscription on small hosts
+/// from turning trailing slivers into a regression.
+const MIN_PAR_CANDIDATES: usize = 8;
+
+/// Align one batch of candidate pairs on up to `scratches.len()`
+/// workers (self-scheduled, results in pair order). Returns the
+/// per-pair outcomes plus whether the batch genuinely fanned out —
+/// batches smaller than [`MIN_PAR_CANDIDATES`] stay serial.
+fn align_candidates<R: Send, F: Fn(usize, &mut AlignScratch) -> R + Sync>(
+    n_pairs: usize,
+    scratches: &mut [AlignScratch],
+    f: F,
+) -> (Vec<R>, bool) {
+    let workers = if n_pairs < MIN_PAR_CANDIDATES {
+        1
+    } else {
+        scratches.len().min(n_pairs)
+    };
+    let out = elba_par::run_indexed_with(n_pairs, &mut scratches[..workers], f);
+    (out, workers > 1)
+}
+
 /// Align and classify every local candidate (collective because of the
 /// sequence fetch). Returns the dovetail edge triples (both directions),
 /// the contained-read mask, and global statistics. The alignment batch
 /// runs on [`OverlapConfig::threads`] intra-rank workers — candidates
-/// stream through bounded batches, one [`XdropWorkspace`] per worker,
+/// stream through bounded batches, one [`AlignScratch`] per worker,
 /// with classification consuming each batch's alignments in pair order
 /// — so results are identical across thread counts while resident
 /// buffering stays O(batch), not O(candidates). With one thread this is
@@ -264,8 +524,8 @@ pub fn align_and_classify(
     let mut stats = AlignStats::default();
     let threads = elba_par::ElbaPar::resolve(cfg.threads);
     if threads <= 1 {
-        // Historical serial sweep: one workspace, one pair resident.
-        let mut ws = XdropWorkspace::default();
+        // Historical serial sweep: one scratch, one pair resident.
+        let mut scratch = AlignScratch::with_kernel(cfg.kernel);
         for (i, j, seeds) in c.iter_global(grid) {
             let u_codes = seqs
                 .get(i)
@@ -273,12 +533,13 @@ pub fn align_and_classify(
             let v_codes = seqs
                 .get(j)
                 .unwrap_or_else(|| panic!("read {j} not fetched"));
-            let aln = align_pair_with(&mut ws, u_codes, v_codes, seeds, cfg);
+            let aln = align_pair_counted(&mut scratch, u_codes, v_codes, seeds, cfg);
             classify_candidate(i, j, aln, cfg, &mut triples, &mut contained_ids, &mut stats);
         }
     } else {
-        let mut workspaces: Vec<XdropWorkspace> =
-            (0..threads).map(|_| XdropWorkspace::default()).collect();
+        let mut scratches: Vec<AlignScratch> = (0..threads)
+            .map(|_| AlignScratch::with_kernel(cfg.kernel))
+            .collect();
         let mut candidates = c.iter_global(grid);
         let batch_pairs = threads * ALIGN_PAIRS_PER_WORKER_BATCH;
         let mut batch: Vec<(u64, u64, &SharedSeeds)> = Vec::with_capacity(batch_pairs);
@@ -291,24 +552,22 @@ pub fn align_and_classify(
                 break;
             }
             peak_batch = peak_batch.max(batch.len());
-            let workers = threads.min(batch.len());
             let started = std::time::Instant::now();
             let batch_ref = &batch;
             let seqs_ref = &seqs;
-            let alns =
-                elba_par::run_indexed_with(batch.len(), &mut workspaces[..workers], |p, ws| {
-                    let (i, j, seeds) = batch_ref[p];
-                    let u_codes = seqs_ref
-                        .get(i)
-                        .unwrap_or_else(|| panic!("read {i} not fetched"));
-                    let v_codes = seqs_ref
-                        .get(j)
-                        .unwrap_or_else(|| panic!("read {j} not fetched"));
-                    align_pair_with(ws, u_codes, v_codes, seeds, cfg)
-                });
+            let (alns, fanned_out) = align_candidates(batch.len(), &mut scratches, |p, scratch| {
+                let (i, j, seeds) = batch_ref[p];
+                let u_codes = seqs_ref
+                    .get(i)
+                    .unwrap_or_else(|| panic!("read {i} not fetched"));
+                let v_codes = seqs_ref
+                    .get(j)
+                    .unwrap_or_else(|| panic!("read {j} not fetched"));
+                align_pair_counted(scratch, u_codes, v_codes, seeds, cfg)
+            });
             // `par-s` means "genuinely ran on > 1 worker": a trailing
-            // single-pair batch runs serial and books nothing.
-            if workers > 1 {
+            // sub-floor batch runs serial and books nothing.
+            if fanned_out {
                 par_secs += started.elapsed().as_secs_f64();
             }
             for (&(i, j, _), aln) in batch.iter().zip(alns) {
@@ -321,18 +580,19 @@ pub fn align_and_classify(
             // dedicated bucket makes the threaded span visible.
             grid.world().record_par_time(par_secs);
         }
-        // Scratch beyond the serial baseline: extra workspaces (worker
-        // 0's is the one the serial sweep has always owned uncharged —
-        // same convention as `SpGemmBatcher::scratch_bytes`) plus the
-        // batch pair/alignment buffers the serial sweep doesn't hold.
-        let scratch: usize = workspaces
+        // Scratch beyond the serial baseline: extra worker scratches
+        // (worker 0's is the one the serial sweep has always owned
+        // uncharged — same convention as `SpGemmBatcher::scratch_bytes`)
+        // plus the batch pair/alignment buffers the serial sweep
+        // doesn't hold.
+        let scratch: usize = scratches
             .iter()
             .skip(1)
-            .map(XdropWorkspace::heap_bytes)
+            .map(AlignScratch::heap_bytes)
             .sum::<usize>()
             + peak_batch
                 * (std::mem::size_of::<(u64, u64, &SharedSeeds)>()
-                    + std::mem::size_of::<Option<OverlapAln>>());
+                    + std::mem::size_of::<(Option<OverlapAln>, PairCounts)>());
         grid.world().record_mem_transient(scratch);
     }
     let mut contained = DistVec::from_fn(grid, store.n_global(), |_| false);
@@ -390,13 +650,10 @@ mod tests {
         OverlapConfig {
             k: 15,
             xdrop: 10,
-            scoring: Scoring::default(),
-            min_shared_kmers: 1,
             min_overlap: 30,
-            min_score_ratio: 0.55,
             fuzz: 10,
-            spgemm: elba_sparse::SpGemmOptions::default(),
             threads: 1,
+            ..OverlapConfig::default()
         }
     }
 

@@ -129,6 +129,31 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
     cfg.overlap.min_score_ratio = num(&flags, "min-score-ratio", 0.55f64)?;
     cfg.overlap.fuzz = num(&flags, "fuzz", 100usize)?;
     cfg.tr_fuzz = num(&flags, "tr-fuzz", 250u32)?;
+    if let Some(raw) = flags.get("xdrop-kernel") {
+        cfg = cfg.with_xdrop_kernel(match raw.as_str() {
+            "scalar" => XdropKernel::Scalar,
+            "bitparallel" => XdropKernel::BitParallel,
+            "auto" => XdropKernel::Auto,
+            other => {
+                return Err(format!(
+                    "--xdrop-kernel must be scalar, bitparallel, or auto; got '{other}'"
+                ))
+            }
+        });
+    }
+    let chain_band: usize = num(&flags, "chain-band", cfg.overlap.chain_band)?;
+    let chaining = match flags.get("seed-chaining").map(String::as_str) {
+        None => cfg.overlap.chaining,
+        Some("all") => SeedChaining::All,
+        Some("chain") => SeedChaining::Chain,
+        Some("best") => SeedChaining::BestOnly,
+        Some(other) => {
+            return Err(format!(
+                "--seed-chaining must be all, chain, or best; got '{other}'"
+            ))
+        }
+    };
+    cfg = cfg.with_seed_chaining(chaining, chain_band);
     let schedule = flags
         .get("spgemm")
         .map(String::as_str)
@@ -306,6 +331,8 @@ fn usage() -> String {
      \u{20}        [--genome OUT.fasta] [--scale 0.2] [--seed 2022]\n\
      assemble --reads IN.fasta --out contigs.fasta [--ranks 4] [--k 31]\n\
      \u{20}        [--threads 1] [--xdrop 15] [--min-overlap 100] [--scaffold true]\n\
+     \u{20}        [--xdrop-kernel scalar|bitparallel|auto]\n\
+     \u{20}        [--seed-chaining all|chain|best] [--chain-band 128]\n\
      \u{20}        [--spgemm eager|pipelined|blocked] [--batch-rows 1024]\n\
      \u{20}        [--kmer-exchange eager|streaming] [--batch-kmers 65536]\n\
      \u{20}        [--mem-budget 64M] [--gfa graph.gfa]\n\

@@ -50,14 +50,14 @@ pub use elba_sparse as sparse;
 
 /// Everything needed for typical use in one import.
 pub mod prelude {
-    pub use elba_align::{OverlapAln, OverlapClass, Scoring, SgEdge};
+    pub use elba_align::{OverlapAln, OverlapClass, Scoring, SgEdge, XdropKernel};
     pub use elba_baseline::{assemble_bog, assemble_minimizer, BaselineConfig};
     pub use elba_comm::{Cluster, Comm, MachineModel, ProcGrid, RunProfile};
     pub use elba_core::{
         assemble, assemble_gathered, contig_generation, gather_contigs, AssemblyConfig, Contig,
         ContigConfig, PartitionStrategy, PipelineConfig, PipelineResult,
     };
-    pub use elba_graph::OverlapConfig;
+    pub use elba_graph::{OverlapConfig, SeedChaining};
     pub use elba_mem::{MemBudget, MemTracker};
     pub use elba_par::ElbaPar;
     pub use elba_quality::{evaluate, QualityConfig, QualityReport};

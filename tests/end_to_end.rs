@@ -111,6 +111,65 @@ fn contig_set_is_invariant_across_thread_counts() {
 }
 
 #[test]
+fn contigs_and_wire_bytes_are_invariant_across_alignment_knobs() {
+    // The alignment-kernel and seed-chaining knobs are pure speed
+    // levers: every (kernel, chaining, threads) combination must
+    // produce contigs byte-identical to the scalar extend-every-seed
+    // reference, with profiled wire bytes per phase unchanged. This is
+    // the stage-level pin behind the `--xdrop-kernel`/`--seed-chaining`
+    // flags (BestOnly is the one opt-in knob allowed to differ, so it
+    // is exercised for quality elsewhere, not pinned here).
+    let spec = DatasetSpec::celegans_like(0.08, 2026);
+    let (_genome, reads) = reads_of(&spec);
+    let run = |cfg: PipelineConfig| {
+        let reads = reads.clone();
+        let (mut outputs, profile) = Cluster::run_profiled(4, move |comm| {
+            let grid = ProcGrid::new(comm);
+            let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+            contigs
+                .into_iter()
+                .map(|c| c.seq.to_string())
+                .collect::<Vec<String>>()
+        });
+        let phase_bytes: Vec<(String, u64)> = profile
+            .phase_names()
+            .iter()
+            .map(|name| (name.clone(), profile.total_bytes(name)))
+            .collect();
+        (outputs.remove(0), phase_bytes)
+    };
+    let base = PipelineConfig::for_dataset(&spec);
+    let reference = run(base
+        .clone()
+        .with_xdrop_kernel(XdropKernel::Scalar)
+        .with_seed_chaining(SeedChaining::All, 128));
+    let variants = [
+        (
+            "bitparallel + extend-all",
+            base.clone()
+                .with_xdrop_kernel(XdropKernel::BitParallel)
+                .with_seed_chaining(SeedChaining::All, 128),
+        ),
+        ("shipped defaults (auto + chain)", base.clone()),
+        ("defaults + threads=4", base.clone().with_threads(4)),
+        (
+            "scalar + chain, narrow band",
+            base.clone()
+                .with_xdrop_kernel(XdropKernel::Scalar)
+                .with_seed_chaining(SeedChaining::Chain, 32),
+        ),
+    ];
+    for (label, cfg) in variants {
+        let got = run(cfg);
+        assert_eq!(
+            got.0, reference.0,
+            "{label}: contigs must be byte-identical"
+        );
+        assert_eq!(got.1, reference.1, "{label}: wire bytes must be unchanged");
+    }
+}
+
+#[test]
 fn each_read_belongs_to_at_most_one_contig() {
     let spec = DatasetSpec::osativa_like(0.1, 77);
     let (_genome, reads) = reads_of(&spec);
