@@ -322,7 +322,14 @@ fn assemble_from_edges(
     for (rid, read) in reads.iter().enumerate() {
         store.push(rid as u64, read.codes());
     }
-    let (contigs, _) = local_assembly(&graph, &store, &AssemblyConfig { emit_cycles: true });
+    let (contigs, _) = local_assembly(
+        &graph,
+        &store,
+        &AssemblyConfig {
+            emit_cycles: true,
+            ..AssemblyConfig::default()
+        },
+    );
     stats.contigs = contigs.len();
     contigs
 }

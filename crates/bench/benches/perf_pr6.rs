@@ -162,13 +162,36 @@ fn main() {
             secs * 1e3
         );
     }
-    // Per-pair scores may differ slightly (extend-all occasionally finds
-    // a marginally better endpoint than the chain representative); the
-    // binding invariant is contig identity, asserted on the probe below.
+    // Chaining changes which x-drop extensions are *attempted*: it keeps
+    // one representative per co-linear band instead of extending every
+    // seed, so a per-pair score may differ when extend-all happens to
+    // find a marginally better endpoint from a non-representative seed.
+    // Score sums must therefore agree only within a small tolerance —
+    // asserted here so a real scoring regression can't hide behind the
+    // bare matches/doesn't-match boolean this bench used to report.
+    // Contigs nonetheless stay byte-identical (pinned on the probe
+    // below): every alignment that passes the overlap/score gates under
+    // chaining also passes under extend-all with the same edge payload,
+    // so the surviving overlap-graph edges — and hence the walks — are
+    // the same.
+    let chain_score_rel_gap =
+        (stage_scores[0] - stage_scores[1]).abs() as f64 / (stage_scores[0].abs().max(1)) as f64;
+    assert!(
+        chain_score_rel_gap <= 0.02,
+        "chain score sum drifted {:.3}% from extend-all (all={}, chain={}): \
+         chaining may only skip redundant extensions, not change scoring",
+        chain_score_rel_gap * 100.0,
+        stage_scores[0],
+        stage_scores[1]
+    );
     let _ = writeln!(
         json,
-        "    \"chain_score_matches_all\": {}",
+        "    \"chain_score_matches_all\": {},",
         stage_scores[0] == stage_scores[1]
+    );
+    let _ = writeln!(
+        json,
+        "    \"chain_score_rel_gap\": {chain_score_rel_gap:.5}"
     );
     let _ = writeln!(json, "  }},");
 

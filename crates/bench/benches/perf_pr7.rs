@@ -1,0 +1,328 @@
+//! PR 7 perf trajectory: writes `BENCH_pr7.json` at the repository root
+//! with (a) the SpGEMM schedule shoot-out on a merge-heavy AAᵀ shape at
+//! p ∈ {1, 4, 9} — median walls for eager / pipelined / layered c ∈
+//! {2, 3} / column-batched, with the α–β model's predictions alongside,
+//! (b) the auto-tuner scored against measured ground truth (its pick
+//! must be the measured-fastest schedule on every probed grid, or
+//! within 10% of it), plus a Cori-Haswell projection from a measured-γ
+//! calibration, and (c) the celegans 2×2 probe under `--spgemm auto`,
+//! contigs asserted byte-identical to the pipelined default
+//! (`contigs_match_baseline`). CI greps the JSON on every push.
+//!
+//! Run with `cargo bench -p elba-bench --bench perf_pr7`.
+
+use std::fmt::Write as _;
+
+use elba_bench::run_pipeline;
+use elba_comm::{Cluster, CostConstants, MachineModel, ProcGrid, SchedulePlan, SpGemmEstimate};
+use elba_core::PipelineConfig;
+use elba_seq::DatasetSpec;
+use elba_sparse::semiring::PlusTimes;
+use elba_sparse::{algorithm_label, last_auto_spgemm_pick, DistMat, SpGemmOptions};
+
+/// Best (minimum) of `iters` samples of `f` (seconds) — the noise-robust
+/// estimator for comparing algorithmic work on a shared host, where the
+/// interesting quantity is the least-interfered run.
+fn best_of(iters: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..iters).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// Merge-heavy AAᵀ fixture: `n` reads over `k` k-mer columns split into
+/// three column blocks; read `r` draws all six of its k-mers from block
+/// `r % 3`, so reads overlap only within their block and — on the 3×3
+/// grid, where the blocks line up with SUMMA stages — each stage emits
+/// a near-disjoint slab of output entries with ~1 flop each (no reuse).
+/// That is the shape where the combine, not the multiply, dominates:
+/// the pipelined running merge re-traverses the growing partial every
+/// stage ((q−1)·2·nnz traffic) while the layered schedule's single
+/// k-way merge touches Σ nnz(part) + nnz once.
+fn fixture(n: usize, k: usize) -> Vec<(u64, u64, f64)> {
+    assert_eq!(k % 3, 0, "three column blocks");
+    let block = k / 3;
+    (0..n)
+        .flat_map(|r| {
+            (0..6usize).map(move |i| {
+                let col = (r % 3) * block + ((r / 3) * 7 + i * 5) % block;
+                (r as u64, col as u64, 1.0 + ((r + i) % 3) as f64)
+            })
+        })
+        .collect()
+}
+
+/// Run `A · Aᵀ` on `p` ranks under `opts`; returns the max-over-ranks
+/// "spgemm" phase wall and the global nnz of the product.
+fn spgemm_run(p: usize, n: usize, k: usize, opts: SpGemmOptions) -> (f64, u64) {
+    let (nnzs, profile) = Cluster::run_profiled(p, move |comm| {
+        let grid = ProcGrid::new(comm);
+        let mine = if grid.world().rank() == 0 {
+            fixture(n, k)
+        } else {
+            Vec::new()
+        };
+        let a = DistMat::from_triples(&grid, n, k, mine, |_, _| unreachable!());
+        let at = a.transpose(&grid);
+        let _guard = grid.world().phase("spgemm");
+        a.spgemm_with(&grid, &at, &PlusTimes, &opts).local().nnz() as u64
+    });
+    (profile.max_wall("spgemm"), nnzs.iter().sum())
+}
+
+fn main() {
+    let (n, k) = (9000usize, 288usize);
+    let triples = fixture(n, k);
+    let nnz_a = triples.len() as u64;
+    // Global Gustavson flops of A·Aᵀ: Σ over k-mer columns of |col|².
+    let mut col_counts = vec![0u64; k];
+    for &(_, c, _) in &triples {
+        col_counts[c as usize] += 1;
+    }
+    let flops_global: u64 = col_counts.iter().map(|&c| c * c).sum();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(
+        json,
+        "  \"what\": \"layered (2.5D-style) SUMMA + alpha-beta model-driven auto-tuning\","
+    );
+    let _ = writeln!(json, "  \"schedule_shootout\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shape\": {{ \"reads\": {n}, \"kmer_cols\": {k}, \"nnz_a\": {nnz_a}, \
+         \"flops\": {flops_global} }},"
+    );
+
+    let schedules: Vec<(&str, SpGemmOptions, SchedulePlan)> = vec![
+        ("eager", SpGemmOptions::eager(), SchedulePlan::Eager),
+        (
+            "pipelined",
+            SpGemmOptions::pipelined(),
+            SchedulePlan::Pipelined,
+        ),
+        (
+            "layered:2",
+            SpGemmOptions::layered(2),
+            SchedulePlan::Layered { c: 2 },
+        ),
+        (
+            "layered:3",
+            SpGemmOptions::layered(3),
+            SchedulePlan::Layered { c: 3 },
+        ),
+        (
+            // The auto resolver's ColumnBatched target: default batch
+            // rows, no budget (one unbounded round).
+            "column-batched",
+            SpGemmOptions::column_batched(1024, None),
+            SchedulePlan::ColumnBatched,
+        ),
+    ];
+
+    let mut layered_wins: Vec<String> = Vec::new();
+    let mut pick_walls: Vec<(usize, f64, f64)> = Vec::new(); // (p, pick, fastest)
+    let mut calibrated_gamma = 0.0f64;
+    for &p in &[1usize, 4, 9] {
+        let q = (p as f64).sqrt() as usize;
+        // Measured ground truth, best of 5 profiled runs per schedule.
+        let mut walls: Vec<(&str, f64)> = Vec::new();
+        let mut nnz_c = 0u64;
+        for (label, opts, _) in &schedules {
+            let wall = best_of(5, || {
+                let (w, nnz) = spgemm_run(p, n, k, *opts);
+                nnz_c = nnz;
+                w
+            });
+            walls.push((label, wall));
+        }
+        // The model's view of the same shape (uniform fixture: local
+        // maxima ≈ global / p), scored with the same fixed constants the
+        // auto resolver uses.
+        let est = SpGemmEstimate {
+            grid_q: q,
+            stage_bytes: 2.0 * (nnz_a as f64 / p as f64) * 12.0,
+            struct_bytes: (nnz_a as f64 / p as f64) * 4.0,
+            flops: flops_global as f64 / p as f64,
+            result_entries: nnz_c as f64 / p as f64,
+            entry_bytes: 12.0,
+            mem_budget: None,
+        };
+        let constants = CostConstants::in_process();
+        // γ from the serial pipelined run (q = 1: the model is exactly
+        // γ·flops there), reused below for the machine projection.
+        if p == 1 {
+            let pipe_wall = walls
+                .iter()
+                .find(|(l, _)| *l == "pipelined")
+                .expect("pipelined timed")
+                .1;
+            calibrated_gamma = pipe_wall / flops_global as f64;
+        }
+
+        // Auto, on the real code path: resolve via the collective
+        // structure pass and report the pick.
+        let (auto_wall, _) = spgemm_run(p, n, k, SpGemmOptions::auto());
+        let pick = last_auto_spgemm_pick().expect("auto records its pick");
+        let pick_label = algorithm_label(pick);
+        let fastest = walls
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .expect("non-empty");
+        let pick_wall = walls
+            .iter()
+            .find(|(l, _)| *l == pick_label)
+            .map(|&(_, w)| w)
+            .unwrap_or(auto_wall);
+        pick_walls.push((p, pick_wall, fastest.1));
+
+        let _ = writeln!(json, "    \"p{p}\": {{");
+        let _ = writeln!(json, "      \"nnz_c\": {nnz_c},");
+        for (label, _, plan) in &schedules {
+            let wall = walls.iter().find(|(l, _)| l == label).expect("timed").1;
+            let predicted = constants.predict_phase(*plan, &est);
+            let _ = writeln!(
+                json,
+                "      \"{label}\": {{ \"wall_ms\": {:.3}, \"predicted_ms\": {:.3} }},",
+                wall * 1e3,
+                predicted * 1e3
+            );
+            eprintln!(
+                "p{p} {label:>14}: measured {:7.3} ms, model {:7.3} ms",
+                wall * 1e3,
+                predicted * 1e3
+            );
+        }
+        let _ = writeln!(json, "      \"auto_pick\": \"{pick_label}\",");
+        let _ = writeln!(json, "      \"auto_pick_wall_ms\": {:.3},", pick_wall * 1e3);
+        let _ = writeln!(json, "      \"fastest\": \"{}\",", fastest.0);
+        let _ = writeln!(json, "      \"fastest_wall_ms\": {:.3},", fastest.1 * 1e3);
+        let _ = writeln!(
+            json,
+            "      \"pick_within_10pct\": {}",
+            pick_wall <= fastest.1 * 1.10
+        );
+        let _ = writeln!(json, "    }},");
+        eprintln!(
+            "p{p} auto picked {pick_label} ({:.3} ms) vs fastest {} ({:.3} ms)",
+            pick_wall * 1e3,
+            fastest.0,
+            fastest.1 * 1e3
+        );
+
+        let pipe = walls
+            .iter()
+            .find(|(l, _)| *l == "pipelined")
+            .expect("timed")
+            .1;
+        let lay_best = walls
+            .iter()
+            .filter(|(l, _)| l.starts_with("layered"))
+            .map(|&(_, w)| w)
+            .fold(f64::INFINITY, f64::min);
+        if lay_best < pipe {
+            layered_wins.push(format!("\"p{p}\""));
+        }
+    }
+
+    // The communication-avoiding claim, measured: the layered combine
+    // must beat the pipelined running merge somewhere (the 3×3 grid with
+    // the block-aligned fixture is the engineered win).
+    assert!(
+        !layered_wins.is_empty(),
+        "layered never beat pipelined on any probed grid"
+    );
+    // The auto-tuner's score: its pick is the measured-fastest schedule
+    // (or within 10% of it) on every probed grid.
+    for (p, pick_wall, fastest_wall) in &pick_walls {
+        assert!(
+            *pick_wall <= fastest_wall * 1.10,
+            "p{p}: auto's pick measured {:.3} ms, >10% behind the fastest {:.3} ms",
+            pick_wall * 1e3,
+            fastest_wall * 1e3
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"layered_beats_pipelined_on\": [{}]",
+        layered_wins.join(", ")
+    );
+    let _ = writeln!(json, "  }},");
+
+    // Project the p = 9 contest onto Cori Haswell with the measured γ:
+    // same formulas, real-network α/β — the regime the paper runs in.
+    let cori = CostConstants::from_machine(&MachineModel::cori_haswell(), calibrated_gamma);
+    let est9 = SpGemmEstimate {
+        grid_q: 3,
+        stage_bytes: 2.0 * (nnz_a as f64 / 9.0) * 12.0,
+        struct_bytes: (nnz_a as f64 / 9.0) * 4.0,
+        flops: flops_global as f64 / 9.0,
+        result_entries: flops_global as f64 / 9.0, // ~1 flop per entry here
+        entry_bytes: 12.0,
+        mem_budget: None,
+    };
+    let _ = writeln!(json, "  \"projected_cori_p9_ms\": {{");
+    let _ = writeln!(json, "    \"gamma_calibrated\": {calibrated_gamma:.3e},");
+    for (label, plan) in [
+        ("pipelined", SchedulePlan::Pipelined),
+        ("layered:3", SchedulePlan::Layered { c: 3 }),
+        ("eager", SchedulePlan::Eager),
+    ] {
+        let comma = if label == "eager" { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {:.3}{comma}",
+            cori.predict_phase(plan, &est9) * 1e3
+        );
+    }
+    let _ = writeln!(json, "  }},");
+
+    // ---- celegans 2×2 probe: `--spgemm auto` vs the pipelined default ----
+    let spec = DatasetSpec::celegans_like(0.1, 11);
+    let (_genome, reads) = elba_bench::dataset(&spec);
+    let base_cfg = PipelineConfig::for_dataset(&spec);
+    let default_run = run_pipeline(&reads, &base_cfg, 4);
+    let auto_run = run_pipeline(
+        &reads,
+        &base_cfg.clone().with_spgemm(SpGemmOptions::auto()),
+        4,
+    );
+    let resolved = last_auto_spgemm_pick().map(algorithm_label);
+    let to_strings = |run: &elba_bench::MeasuredRun| {
+        run.contigs
+            .iter()
+            .map(|c| c.seq.to_string())
+            .collect::<Vec<_>>()
+    };
+    let contigs_match = to_strings(&auto_run) == to_strings(&default_run);
+    assert!(
+        contigs_match,
+        "auto-scheduled contigs must be byte-identical to the pipelined default"
+    );
+    let _ = writeln!(json, "  \"celegans_2x2_auto_probe\": {{");
+    let _ = writeln!(
+        json,
+        "    \"resolved\": \"{}\",",
+        resolved.as_deref().unwrap_or("none")
+    );
+    for phase in ["DetectOverlap", "TrReduction"] {
+        let _ = writeln!(
+            json,
+            "    \"{phase}\": {{ \"default_wall_secs\": {:.4}, \"auto_wall_secs\": {:.4} }},",
+            default_run.profile.max_wall(phase),
+            auto_run.profile.max_wall(phase)
+        );
+    }
+    let _ = writeln!(json, "    \"contigs\": {},", auto_run.contigs.len());
+    let _ = writeln!(json, "    \"contigs_match_baseline\": {contigs_match}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    eprintln!(
+        "celegans 2x2 auto probe: resolved to {}, contigs match: {contigs_match}",
+        resolved.as_deref().unwrap_or("none")
+    );
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    std::fs::write(out, &json).expect("write BENCH_pr7.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

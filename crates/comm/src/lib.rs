@@ -48,7 +48,7 @@ pub mod runtime;
 
 pub use collectives::{IalltoallvRequest, IbcastRequest};
 pub use grid::ProcGrid;
-pub use model::MachineModel;
+pub use model::{CostConstants, MachineModel, SchedulePlan, SpGemmEstimate};
 pub use msg::CommMsg;
 pub use profile::{PhaseProfile, Profile, RunProfile};
 pub use runtime::{Cluster, Comm, MemCharge, Rank, RecvRequest, SendRequest, SharedMemCharge, Tag};

@@ -14,6 +14,15 @@
 //! slices taken directly from the packed read buffer via stored offsets.
 //! Reverse-complement strand flips are handled by the inclusive
 //! `l[j:i]` slicing convention (see `elba_seq::dna`).
+//!
+//! The stage runs in two passes: a serial *trace* walks the graph and
+//! records each contig as a list of oriented slice requests (the walk
+//! itself is a pointer chase over shared `visited` state — inherently
+//! sequential but cheap), then the slice concatenation — the actual
+//! byte copying, which dominates on long contigs — is materialized on
+//! [`elba_par`] workers. Results come back in task order (= trace
+//! order), so assembled contigs are byte-identical for every thread
+//! count.
 
 use elba_align::SgEdge;
 use elba_seq::{ReadStore, Seq};
@@ -37,11 +46,18 @@ pub struct AssemblyConfig {
     /// The paper's contig definition covers only linear chains; cycles
     /// are rare repeat artifacts on linear genomes.
     pub emit_cycles: bool,
+    /// Worker threads for the contig materialization pass (`0` inherits
+    /// the global [`elba_par::ElbaPar`] knob). Contigs are byte-identical
+    /// for every value; this changes wall time only.
+    pub threads: usize,
 }
 
 impl Default for AssemblyConfig {
     fn default() -> Self {
-        AssemblyConfig { emit_cycles: true }
+        AssemblyConfig {
+            emit_cycles: true,
+            threads: 0,
+        }
     }
 }
 
@@ -74,6 +90,26 @@ fn slice_oriented(store: &ReadStore, id: u64, from: usize, to: usize, reversed: 
     }
 }
 
+/// One oriented slice request recorded by the trace pass: read `gid`
+/// sliced inclusively `[from..to]`, reverse-complemented when
+/// `reversed` (the `l[j:i]` convention with `from > to`).
+#[derive(Debug, Clone, Copy)]
+struct SliceSpec {
+    gid: u64,
+    from: usize,
+    to: usize,
+    reversed: bool,
+}
+
+/// One traced walk: everything about a contig except its materialized
+/// sequence bytes.
+#[derive(Debug)]
+struct WalkSpec {
+    read_ids: Vec<u64>,
+    slices: Vec<SliceSpec>,
+    circular: bool,
+}
+
 /// Assemble every contig stored in this rank's induced subgraph.
 pub fn local_assembly(
     graph: &LocalGraph,
@@ -83,7 +119,7 @@ pub fn local_assembly(
     let n = graph.n_vertices();
     let csc = &graph.csc;
     let mut visited = vec![false; n];
-    let mut contigs = Vec::new();
+    let mut walks: Vec<WalkSpec> = Vec::new();
     let mut stats = AssemblyStats::default();
 
     let neighbors = |v: usize| -> &[u32] { csc.col(v).0 };
@@ -93,10 +129,12 @@ pub fn local_assembly(
         })
     };
 
-    let walk = |start: usize, visited: &mut [bool], stats: &mut AssemblyStats| -> Contig {
+    // Pass 1 (serial): trace each walk, recording slice requests instead
+    // of copying bases — the pointer chase over shared `visited` state.
+    let trace = |start: usize, visited: &mut [bool], stats: &mut AssemblyStats| -> WalkSpec {
         let gid = |v: usize| graph.global_ids[v];
         let mut read_ids = Vec::new();
-        let mut seq = Seq::new();
+        let mut slices = Vec::new();
         visited[start] = true;
         read_ids.push(gid(start));
         let mut prev = start;
@@ -107,13 +145,12 @@ pub fn local_assembly(
         } else {
             0
         };
-        seq.extend_from(&slice_oriented(
-            store,
-            gid(start),
-            alpha,
-            first.pre as usize,
-            first.src_rev,
-        ));
+        slices.push(SliceSpec {
+            gid: gid(start),
+            from: alpha,
+            to: first.pre as usize,
+            reversed: first.src_rev,
+        });
         let mut in_edge = first;
         let mut circular = false;
         loop {
@@ -133,13 +170,12 @@ pub fn local_assembly(
                     }
                     let len = store.read_len(gid(cur)).expect("read stored");
                     let beta = if in_edge.dst_rev { 0 } else { len - 1 };
-                    seq.extend_from(&slice_oriented(
-                        store,
-                        gid(cur),
-                        in_edge.post as usize,
-                        beta,
-                        in_edge.dst_rev,
-                    ));
+                    slices.push(SliceSpec {
+                        gid: gid(cur),
+                        from: in_edge.post as usize,
+                        to: beta,
+                        reversed: in_edge.dst_rev,
+                    });
                     break;
                 }
                 Some(nb) => {
@@ -150,31 +186,29 @@ pub fn local_assembly(
                         stats.orientation_breaks += 1;
                         let len = store.read_len(gid(cur)).expect("read stored");
                         let beta = if in_edge.dst_rev { 0 } else { len - 1 };
-                        seq.extend_from(&slice_oriented(
-                            store,
-                            gid(cur),
-                            in_edge.post as usize,
-                            beta,
-                            in_edge.dst_rev,
-                        ));
+                        slices.push(SliceSpec {
+                            gid: gid(cur),
+                            from: in_edge.post as usize,
+                            to: beta,
+                            reversed: in_edge.dst_rev,
+                        });
                         break;
                     }
-                    seq.extend_from(&slice_oriented(
-                        store,
-                        gid(cur),
-                        in_edge.post as usize,
-                        out_edge.pre as usize,
-                        in_edge.dst_rev,
-                    ));
+                    slices.push(SliceSpec {
+                        gid: gid(cur),
+                        from: in_edge.post as usize,
+                        to: out_edge.pre as usize,
+                        reversed: in_edge.dst_rev,
+                    });
                     prev = cur;
                     cur = nb;
                     in_edge = out_edge;
                 }
             }
         }
-        Contig {
-            seq,
+        WalkSpec {
             read_ids,
+            slices,
             circular,
         }
     };
@@ -182,25 +216,46 @@ pub fn local_assembly(
     // Root scan over all n vertices (paper: linear search for JC-degree 1).
     for s in 0..n {
         if !visited[s] && csc.degree(s) == 1 {
-            let contig = walk(s, &mut visited, &mut stats);
-            stats.reads_used += contig.read_ids.len();
+            let walk = trace(s, &mut visited, &mut stats);
+            stats.reads_used += walk.read_ids.len();
             stats.contigs += 1;
-            contigs.push(contig);
+            walks.push(walk);
         }
     }
     // Remaining unvisited degree-2 vertices form cycles.
     if cfg.emit_cycles {
         for s in 0..n {
             if !visited[s] && csc.degree(s) == 2 {
-                let mut contig = walk(s, &mut visited, &mut stats);
-                contig.circular = true;
-                stats.reads_used += contig.read_ids.len();
+                let mut walk = trace(s, &mut visited, &mut stats);
+                walk.circular = true;
+                stats.reads_used += walk.read_ids.len();
                 stats.contigs += 1;
                 stats.cycles += 1;
-                contigs.push(contig);
+                walks.push(walk);
             }
         }
     }
+
+    // Pass 2 (threaded): materialize each walk's bases. `run_indexed`
+    // returns results in task order — the trace order above — so the
+    // contig list is byte-identical for every thread count.
+    let threads = elba_par::ElbaPar::resolve(cfg.threads);
+    let seqs = elba_par::run_indexed(walks.len(), threads, |i| {
+        let mut seq = Seq::new();
+        for s in &walks[i].slices {
+            seq.extend_from(&slice_oriented(store, s.gid, s.from, s.to, s.reversed));
+        }
+        seq
+    });
+    let contigs = walks
+        .into_iter()
+        .zip(seqs)
+        .map(|(walk, seq)| Contig {
+            seq,
+            read_ids: walk.read_ids,
+            circular: walk.circular,
+        })
+        .collect();
     (contigs, stats)
 }
 
@@ -427,14 +482,75 @@ mod tests {
             global_ids: (0..n as u64).collect(),
             csc: dcsc.to_csc(),
         };
-        let (with_cycles, stats) =
-            local_assembly(&graph, &store, &AssemblyConfig { emit_cycles: true });
+        let cycles_on = AssemblyConfig {
+            emit_cycles: true,
+            ..AssemblyConfig::default()
+        };
+        let (with_cycles, stats) = local_assembly(&graph, &store, &cycles_on);
         assert_eq!(stats.cycles, 1);
         assert!(with_cycles[0].circular);
-        let (without, stats2) =
-            local_assembly(&graph, &store, &AssemblyConfig { emit_cycles: false });
+        let cycles_off = AssemblyConfig {
+            emit_cycles: false,
+            ..AssemblyConfig::default()
+        };
+        let (without, stats2) = local_assembly(&graph, &store, &cycles_off);
         assert!(without.is_empty());
         assert_eq!(stats2.contigs, 0);
+    }
+
+    #[test]
+    fn contigs_identical_across_thread_counts() {
+        // The threaded materialization pass must be a pure speed knob:
+        // multi-component graph (chains of varying length + strand mix),
+        // byte-identical contig lists for 1, 2, 3, and 8 workers.
+        let mut rng = StdRng::seed_from_u64(77);
+        let n_chains = 4usize;
+        let mut store = ReadStore::empty(0);
+        let mut triples: Vec<(u32, u32, SgEdge)> = Vec::new();
+        let mut base = 0u32;
+        let mut total = 0usize;
+        for chain in 0..n_chains {
+            let n = 2 + chain; // 2..=5 reads per chain
+            let strands: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let g = genome(60 * (n - 1) + 90, 500 + chain as u64);
+            let (graph_i, store_i) = chain_graph(&g, 90, 60, &strands);
+            for (id, codes) in store_i.iter() {
+                store.push(id + base as u64, codes);
+            }
+            for (r, c, e) in graph_i.csc.iter() {
+                triples.push((r + base, c + base, *e));
+            }
+            base += n as u32;
+            total += n;
+        }
+        let mut merged = ReadStore::empty(total);
+        for (id, codes) in store.iter() {
+            merged.push(id, codes);
+        }
+        let dcsc = Dcsc::from_triples(total, total, triples, |_, _| unreachable!());
+        let graph = LocalGraph {
+            global_ids: (0..total as u64).collect(),
+            csc: dcsc.to_csc(),
+        };
+        let run = |threads: usize| {
+            let cfg = AssemblyConfig {
+                emit_cycles: true,
+                threads,
+            };
+            local_assembly(&graph, &merged, &cfg)
+        };
+        let (baseline, base_stats) = run(1);
+        assert_eq!(base_stats.contigs, n_chains);
+        for threads in [2usize, 3, 8] {
+            let (contigs, stats) = run(threads);
+            assert_eq!(stats.contigs, base_stats.contigs, "threads={threads}");
+            assert_eq!(contigs.len(), baseline.len(), "threads={threads}");
+            for (a, b) in baseline.iter().zip(&contigs) {
+                assert_eq!(a.read_ids, b.read_ids, "threads={threads}");
+                assert_eq!(a.circular, b.circular, "threads={threads}");
+                assert!(a.seq == b.seq, "threads={threads}: contig bytes diverge");
+            }
+        }
     }
 
     #[test]

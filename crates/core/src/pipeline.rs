@@ -119,15 +119,17 @@ impl PipelineConfig {
 
     /// Run every intra-rank threaded kernel — the local multiply of each
     /// SUMMA stage (overlap detection *and* transitive reduction), the
-    /// x-drop alignment batch, and the k-mer scan — on `threads` workers
-    /// per rank (`0` inherits the global [`elba_par::ElbaPar`] knob; 1
-    /// is the historical serial behavior, the CLI default). Assembled
-    /// contigs — and profiled wire bytes — are identical for every
-    /// value: threading changes wall time and resident scratch only.
+    /// x-drop alignment batch, the k-mer scan, and the contig-stage
+    /// sequence materialization — on `threads` workers per rank (`0`
+    /// inherits the global [`elba_par::ElbaPar`] knob; 1 is the
+    /// historical serial behavior, the CLI default). Assembled contigs
+    /// — and profiled wire bytes — are identical for every value:
+    /// threading changes wall time and resident scratch only.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.kmer.threads = threads;
         self.overlap.threads = threads;
         self.overlap.spgemm.threads = threads;
+        self.contig.assembly.threads = threads;
         self
     }
 
@@ -484,6 +486,59 @@ mod tests {
             per_schedule[0], per_schedule[1],
             "contigs must not depend on the k-mer exchange schedule"
         );
+    }
+
+    #[test]
+    fn spgemm_schedules_agree_end_to_end() {
+        // The layered and auto-picked SUMMA schedules must assemble the
+        // same contig set as the pipelined default through the whole
+        // pipeline (overlap detection *and* transitive reduction), with
+        // the thread knob varied to cover the threaded materialization.
+        let mut per_schedule: Vec<Vec<String>> = Vec::new();
+        let cases = [
+            (SpGemmOptions::pipelined(), 1usize),
+            (SpGemmOptions::layered(2), 1),
+            (SpGemmOptions::layered(3), 4),
+            (SpGemmOptions::auto(), 4),
+        ];
+        for (opts, threads) in cases {
+            let out = Cluster::run(4, move |comm| {
+                let grid = ProcGrid::new(comm);
+                let genome = random_genome(&GenomeConfig {
+                    length: 5_000,
+                    repeat_fraction: 0.0,
+                    repeat_unit_len: 0,
+                    repeat_divergence: 0.0,
+                    seed: 91,
+                });
+                let reads: Vec<Seq> = simulate_reads(
+                    &genome,
+                    &ReadSimConfig {
+                        depth: 10.0,
+                        mean_len: 1_000,
+                        min_len: 500,
+                        error_rate: 0.0,
+                        seed: 92,
+                    },
+                )
+                .into_iter()
+                .map(|r| r.seq)
+                .collect();
+                let cfg = small_cfg(17).with_spgemm(opts).with_threads(threads);
+                let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+                contigs
+                    .iter()
+                    .map(|c| c.seq.to_string())
+                    .collect::<Vec<_>>()
+            });
+            per_schedule.push(out.into_iter().next().expect("rank 0"));
+        }
+        for later in &per_schedule[1..] {
+            assert_eq!(
+                &per_schedule[0], later,
+                "contigs must not depend on the SpGEMM schedule or thread count"
+            );
+        }
     }
 
     #[test]

@@ -180,7 +180,14 @@ pub fn scaffold_contigs(contigs: &[Seq], cfg: &ScaffoldConfig) -> (Vec<Seq>, Sca
         global_ids: (0..n as u64).collect(),
         csc: dcsc.to_csc(),
     };
-    let (walked, _) = local_assembly(&graph, &store, &AssemblyConfig { emit_cycles: true });
+    let (walked, _) = local_assembly(
+        &graph,
+        &store,
+        &AssemblyConfig {
+            emit_cycles: true,
+            ..AssemblyConfig::default()
+        },
+    );
 
     // Scaffolds = walked chains + untouched (unjoined, uncontained) contigs.
     let mut out: Vec<Seq> = walked.into_iter().map(|c| c.seq).collect();

@@ -231,6 +231,35 @@ pub enum SpGemmAlgorithm {
     /// bounded regardless of how dense `C = AAᵀ` gets — at the price of
     /// re-broadcasting the input blocks once per round.
     ColumnBatched,
+    /// Communication-avoiding layered SUMMA (the one-process-per-rank
+    /// shape of 2.5D/Solomonik–Demmel grids): the `q` stages are split
+    /// into `c` contiguous slices, each slice's A/B broadcasts are
+    /// posted together as one non-blocking batch (the in-flight batch
+    /// is the layer's replicated panel set; the next slice prefetches
+    /// while this one multiplies), every slice accumulates an
+    /// *independent* partial CSR, and the resident partials meet in one
+    /// final fixed-order k-way combine — the degenerate form of 2.5D's
+    /// allreduce tree when all layers share a rank. Trades `c` resident
+    /// partial results (honestly charged to the memory tracker) for
+    /// slice-deep broadcast overlap and strictly less merge traffic
+    /// than the per-stage binary merges of [`SpGemmAlgorithm::Pipelined`].
+    /// Wire bytes are identical to every other schedule (same q stage
+    /// broadcasts; the byte model is sacred). `c = 1` *is* the
+    /// pipelined path; `c > q` clamps to `q` with a warning.
+    Layered {
+        /// Layer count: how many slices the stages split into.
+        c: usize,
+    },
+    /// Model-driven schedule selection: run the ColumnBatched structure
+    /// pass once, reduce the flop/nnz estimates grid-wide, and let
+    /// [`elba_comm::CostConstants::predict_phase`] pick the cheapest
+    /// feasible schedule (eager / pipelined / column-batched / layered)
+    /// at assemble time. Deterministic across ranks: every input to the
+    /// prediction is allreduced and the calibration constants are
+    /// fixed, so all ranks reach the same pick and the collective
+    /// schedule stays synchronized. The choice is observable via
+    /// [`last_auto_spgemm_pick`] and a rank-0 `[auto-spgemm]` line.
+    Auto,
 }
 
 /// Options threaded through every distributed SpGEMM call site
@@ -313,6 +342,87 @@ impl SpGemmOptions {
             ..Self::default()
         }
     }
+
+    /// The layered (2.5D-style) schedule with `c` layers. `c = 1` is the
+    /// pipelined schedule; `c` greater than the grid's stage count
+    /// clamps at run time.
+    pub fn layered(c: usize) -> Self {
+        assert!(c >= 1, "layered SpGEMM needs at least one layer");
+        SpGemmOptions {
+            algorithm: SpGemmAlgorithm::Layered { c },
+            ..Self::default()
+        }
+    }
+
+    /// Model-driven schedule selection ([`SpGemmAlgorithm::Auto`]).
+    pub fn auto() -> Self {
+        SpGemmOptions {
+            algorithm: SpGemmAlgorithm::Auto,
+            ..Self::default()
+        }
+    }
+}
+
+/// Last schedule resolved by [`SpGemmAlgorithm::Auto`], encoded for the
+/// atomic (0 = none yet). Written by rank 0 only — the pick is
+/// grid-uniform by construction, so one writer suffices and the
+/// "changed?" test that gates the log line stays race-free.
+static LAST_AUTO_PICK: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+fn encode_pick(algorithm: SpGemmAlgorithm) -> usize {
+    match algorithm {
+        SpGemmAlgorithm::Eager => 1,
+        SpGemmAlgorithm::Pipelined => 2,
+        SpGemmAlgorithm::Blocked => 3,
+        SpGemmAlgorithm::ColumnBatched => 4,
+        SpGemmAlgorithm::Layered { c } => 5 + c,
+        SpGemmAlgorithm::Auto => unreachable!("auto resolves to a concrete schedule"),
+    }
+}
+
+/// The schedule the most recent [`SpGemmAlgorithm::Auto`] resolution
+/// picked, if any ran in this process. Benches and the CLI use this to
+/// report the tuner's decision next to measured ground truth.
+pub fn last_auto_spgemm_pick() -> Option<SpGemmAlgorithm> {
+    match LAST_AUTO_PICK.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => None,
+        1 => Some(SpGemmAlgorithm::Eager),
+        2 => Some(SpGemmAlgorithm::Pipelined),
+        3 => Some(SpGemmAlgorithm::Blocked),
+        4 => Some(SpGemmAlgorithm::ColumnBatched),
+        n => Some(SpGemmAlgorithm::Layered { c: n - 5 }),
+    }
+}
+
+/// Short CLI/bench label for a schedule ("layered:2", "auto", ...).
+pub fn algorithm_label(algorithm: SpGemmAlgorithm) -> String {
+    match algorithm {
+        SpGemmAlgorithm::Eager => "eager".into(),
+        SpGemmAlgorithm::Pipelined => "pipelined".into(),
+        SpGemmAlgorithm::Blocked => "blocked".into(),
+        SpGemmAlgorithm::ColumnBatched => "column-batched".into(),
+        SpGemmAlgorithm::Layered { c } => format!("layered:{c}"),
+        SpGemmAlgorithm::Auto => "auto".into(),
+    }
+}
+
+/// Contiguous near-even split of the `q` SUMMA stages into `c` layer
+/// slices: the first `q % c` slices get one extra stage, so prime stage
+/// counts (where `c ∤ q`) yield uneven-but-exhaustive slices. Requires
+/// `1 ≤ c ≤ q`; every slice is non-empty.
+fn layer_slices(q: usize, c: usize) -> Vec<std::ops::Range<usize>> {
+    debug_assert!(c >= 1 && c <= q);
+    let base = q / c;
+    let rem = q % c;
+    let mut slices = Vec::with_capacity(c);
+    let mut start = 0;
+    for l in 0..c {
+        let len = base + usize::from(l < rem);
+        slices.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, q);
+    slices
 }
 
 /// A sparse matrix distributed in 2D blocks over the process grid.
@@ -652,6 +762,8 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
             self.col_layout, other.row_layout,
             "inner dimension layouts must agree for SUMMA"
         );
+        let entry_bytes = (std::mem::size_of::<u32>() + std::mem::size_of::<S::Out>()) as u64;
+        let opts = self.resolved_options(grid, other, opts, entry_bytes);
         let threads = elba_par::ElbaPar::resolve(opts.threads);
         let local = match opts.algorithm {
             SpGemmAlgorithm::Eager => self.summa_eager(grid, other, semiring, threads),
@@ -668,6 +780,16 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
                 threads,
                 &mut |_, _, _| true,
             ),
+            SpGemmAlgorithm::Layered { c } => {
+                if c <= 1 {
+                    // c=1 *is* the pipelined schedule, not a lookalike:
+                    // identical code path, identical profile numbers.
+                    self.summa_pipelined(grid, other, semiring, threads)
+                } else {
+                    self.summa_layered(grid, other, semiring, c, threads)
+                }
+            }
+            SpGemmAlgorithm::Auto => unreachable!("auto resolved above"),
         };
         DistMat {
             row_layout: self.row_layout,
@@ -699,6 +821,10 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         U: Clone + CommMsg + Sync,
         S::Out: Clone + CommMsg + Sync,
     {
+        // Resolve Auto first: a pick of ColumnBatched must take the
+        // fused per-batch prune below, not the unfused fallback.
+        let entry_bytes = (std::mem::size_of::<u32>() + std::mem::size_of::<S::Out>()) as u64;
+        let opts = &self.resolved_options(grid, other, opts, entry_bytes);
         if opts.algorithm != SpGemmAlgorithm::ColumnBatched {
             return self
                 .spgemm_with(grid, other, semiring, opts)
@@ -852,6 +978,136 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         acc
     }
 
+    /// Layered (2.5D-style) SUMMA: see [`SpGemmAlgorithm::Layered`].
+    ///
+    /// Slice `l`'s whole broadcast batch is posted before slice `l-1` is
+    /// consumed (slice-deep prefetch, vs the pipelined schedule's
+    /// one-stage lookahead), each slice folds into its own partial CSR,
+    /// completed partials stay resident — the honest c-fold replication
+    /// memory cost, kept visible to the tracker — and one k-way
+    /// [`crate::spgemm::csr_kmerge`] combines them in slice order at the
+    /// end. The combine is local: on one rank the 2.5D allreduce tree
+    /// has nothing to ship, so wire bytes stay byte-identical to the
+    /// eager schedule (same q stage broadcasts, same trees); the
+    /// bandwidth-vs-memory trade that layered grids buy on real
+    /// machines lives in [`elba_comm::CostConstants::predict_phase`]'s
+    /// formulas, which is what [`SpGemmAlgorithm::Auto`] prices.
+    ///
+    /// Callers dispatch `c <= 1` to [`DistMat::summa_pipelined`]; `c > q`
+    /// clamps to one stage per layer with a rank-0 warning.
+    fn summa_layered<S, U>(
+        &self,
+        grid: &ProcGrid,
+        other: &DistMat<U>,
+        semiring: &S,
+        c: usize,
+        threads: usize,
+    ) -> Csr<S::Out>
+    where
+        S: Semiring<A = T, B = U> + Sync,
+        U: Clone + CommMsg + Sync,
+        S::Out: Clone + CommMsg + Sync,
+    {
+        let q = grid.q();
+        debug_assert!(c >= 2);
+        let layers = if c > q {
+            if grid.world().rank() == 0 {
+                eprintln!(
+                    "[layered-spgemm] c={c} layers exceed the {q} SUMMA stage(s); clamping to c={q}"
+                );
+            }
+            q
+        } else {
+            c
+        };
+        if layers <= 1 {
+            // A 1×1 grid has one stage: one layer, i.e. the pipelined path.
+            return self.summa_pipelined(grid, other, semiring, threads);
+        }
+        let row_range = self.row_layout.block_range(grid.myrow());
+        let col_range = other.col_layout.block_range(grid.mycol());
+        let slices = layer_slices(q, layers);
+        let post_slice = |slice: &std::ops::Range<usize>| {
+            slice
+                .clone()
+                .map(|s| {
+                    let a_req = grid
+                        .row()
+                        .ibcast_shared(s, (grid.mycol() == s).then(|| Arc::clone(&self.local)));
+                    let b_req = grid
+                        .col()
+                        .ibcast_shared(s, (grid.myrow() == s).then(|| Arc::clone(&other.local)));
+                    (a_req, b_req)
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut charge = grid.world().mem_charge(0);
+        let mut par = ParKernelClock::new();
+        let mut partials: Vec<Csr<S::Out>> = Vec::with_capacity(layers);
+        // Heap bytes of the completed layers' partials — the replicated
+        // residency this schedule pays for its overlap; every re-charge
+        // below sits on top of it.
+        let mut partial_bytes = 0usize;
+        let mut inflight = post_slice(&slices[0]);
+        for l in 0..layers {
+            // Prefetch the whole next slice before consuming this one:
+            // its roots' tree sends go out now and ride alongside this
+            // layer's multiplies and merges.
+            let next = slices.get(l + 1).map(post_slice);
+            let reqs = std::mem::replace(&mut inflight, next.unwrap_or_default());
+            let mut partial: Option<Csr<S::Out>> = None;
+            for (a_req, b_req) in reqs {
+                let a_block = a_req.wait();
+                let b_block = b_req.wait();
+                // Shared-path charging: once per rank per block (the
+                // stage owner's resident matrix is the block itself).
+                let _a_res = grid
+                    .world()
+                    .mem_charge_shared(&a_block, a_block.heap_bytes());
+                let _b_res = grid
+                    .world()
+                    .mem_charge_shared(&b_block, b_block.heap_bytes());
+                let stage = {
+                    let started = std::time::Instant::now();
+                    let mut batcher =
+                        SpGemmBatcher::new(&a_block, &b_block, semiring).with_threads(threads);
+                    let nrows = a_block.nrows();
+                    let stage = batcher.multiply_rows_par(0..nrows, 0..b_block.ncols() as u32);
+                    grid.world().record_mem_transient(batcher.scratch_bytes());
+                    if batcher.last_run_parallel() {
+                        par.add(started.elapsed().as_secs_f64());
+                    }
+                    stage
+                };
+                charge.set(
+                    partial_bytes
+                        + partial.as_ref().map_or(0, Csr::heap_bytes)
+                        + stage.heap_bytes(),
+                );
+                partial = Some(match partial {
+                    // First stage of the layer: the stage CSR *is* the
+                    // partial — merging into an empty CSR would copy the
+                    // whole stage output for nothing.
+                    None => stage,
+                    Some(p) => csr_merge(p, stage, |a, v| semiring.add(a, v)),
+                });
+            }
+            let partial = partial.unwrap_or_else(|| Csr::empty(row_range.len(), col_range.len()));
+            partial_bytes += partial.heap_bytes();
+            charge.set(partial_bytes);
+            partials.push(partial);
+        }
+        par.book(grid);
+        // Final combine: one k-way pass in slice (= stage) order, so a
+        // non-commutative semiring add sees the same operand order as
+        // the per-stage merges of the other schedules. Peak = the c
+        // resident partials plus the combined output being written.
+        charge.set(2 * partial_bytes);
+        let combined = crate::spgemm::csr_kmerge(partials, |a, v| semiring.add(a, v));
+        charge.set(combined.heap_bytes());
+        combined
+    }
+
     /// Memory-bounded SUMMA: blocking broadcasts (only one stage of
     /// remote blocks resident) and a per-row accumulator that batches
     /// merge directly into — no stage-wide CSR or triple buffer ever
@@ -925,6 +1181,159 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         )
     }
 
+    /// The ColumnBatched structure/estimate pass, shared with the Auto
+    /// resolver: per SUMMA stage, the `A`-block owner broadcasts its
+    /// per-column nonzero counts along the grid row and the `B`-block
+    /// owner its structure (`indptr`/`indices`, no values) along the
+    /// grid column — a fraction of a full block broadcast. Returns per
+    /// local output column the exact multiply-add count landing there
+    /// (`flops(j) = Σ_s Σ_{k : B_s[k,j]≠0} nnz_col(A_s, k)`) and the
+    /// full A+B block bytes per stage. Collective: every rank of the
+    /// grid must call it together.
+    fn structure_estimates<U>(&self, grid: &ProcGrid, other: &DistMat<U>) -> (Vec<u64>, Vec<usize>)
+    where
+        U: Clone + CommMsg + Sync,
+    {
+        let q = grid.q();
+        let world = grid.world();
+        let ncols = other.col_layout.block_range(grid.mycol()).len();
+        let mut col_flops: Vec<u64> = vec![0; ncols];
+        let mut stage_bytes: Vec<usize> = Vec::with_capacity(q);
+        let mut est_charge = world.mem_charge(0);
+        for s in 0..q {
+            // Structure-only packs travel Arc-shared too: the owner
+            // builds each pack once and the tree fans out reference
+            // clones, not vector copies.
+            let a_pack = grid.row().bcast_shared(
+                s,
+                (grid.mycol() == s).then(|| {
+                    let mut counts = vec![0u32; self.local.ncols()];
+                    for &c in self.local.indices() {
+                        counts[c as usize] += 1;
+                    }
+                    Arc::new((counts, self.local.heap_bytes()))
+                }),
+            );
+            let (a_col_nnz, a_bytes) = (&a_pack.0, a_pack.1);
+            let b_pack = grid.col().bcast_shared(
+                s,
+                (grid.myrow() == s).then(|| {
+                    Arc::new((
+                        other.local.indptr().to_vec(),
+                        other.local.indices().to_vec(),
+                        other.local.heap_bytes(),
+                    ))
+                }),
+            );
+            let (b_indptr, b_indices, b_bytes) = (&b_pack.0, &b_pack.1, b_pack.2);
+            // The received structure vectors are real resident
+            // bytes; the budget verdict is only trustworthy if the
+            // pass that sizes the batches charges its own working
+            // set too.
+            est_charge.set(
+                col_flops.len() * std::mem::size_of::<u64>()
+                    + a_col_nnz.len() * std::mem::size_of::<u32>()
+                    + b_indptr.len() * std::mem::size_of::<usize>()
+                    + b_indices.len() * std::mem::size_of::<u32>(),
+            );
+            stage_bytes.push(a_bytes + b_bytes);
+            for (k, &ann) in a_col_nnz.iter().enumerate() {
+                if ann == 0 {
+                    continue;
+                }
+                for &j in &b_indices[b_indptr[k]..b_indptr[k + 1]] {
+                    col_flops[j as usize] += ann as u64;
+                }
+            }
+        }
+        (col_flops, stage_bytes)
+    }
+
+    /// Resolve [`SpGemmAlgorithm::Auto`] to a concrete schedule (other
+    /// algorithms pass through untouched): run the structure pass,
+    /// allreduce the per-rank estimates to their grid-wide maxima (the
+    /// critical path — and the reason every rank computes the *same*
+    /// pick from the same numbers), and take the cheapest feasible
+    /// schedule under [`elba_comm::CostConstants::in_process`]. The
+    /// constants are fixed rather than measured per run: a rank-local
+    /// timing would diverge across ranks and desynchronize the
+    /// collective schedule; ranking schedules only needs relative
+    /// weights, which the perf bench scores against measured walls.
+    fn resolved_options<U>(
+        &self,
+        grid: &ProcGrid,
+        other: &DistMat<U>,
+        opts: &SpGemmOptions,
+        entry_bytes: u64,
+    ) -> SpGemmOptions
+    where
+        U: Clone + CommMsg + Sync,
+    {
+        if opts.algorithm != SpGemmAlgorithm::Auto {
+            return *opts;
+        }
+        let q = grid.q();
+        let world = grid.world();
+        let nrows = self.row_layout.block_range(grid.myrow()).len() as u64;
+        let (col_flops, stage_bytes) = self.structure_estimates(grid, other);
+        let flops: u64 = col_flops.iter().sum();
+        // Same cap as the batch sizing: a column's accumulator can't
+        // exceed nrows entries however many flops land in it.
+        let entries: u64 = col_flops.iter().map(|&f| f.min(nrows)).sum();
+        let max_stage = stage_bytes.iter().copied().max().unwrap_or(0) as u64;
+        let struct_local = (self.local.ncols() * std::mem::size_of::<u32>()
+            + std::mem::size_of_val(other.local.indptr())
+            + std::mem::size_of_val(other.local.indices())) as u64;
+        let maxes = world.allreduce(vec![flops, entries, max_stage, struct_local], |a, b| {
+            a.into_iter().zip(b).map(|(x, y)| x.max(y)).collect()
+        });
+        let est = elba_comm::SpGemmEstimate {
+            grid_q: q,
+            stage_bytes: maxes[2] as f64,
+            struct_bytes: maxes[3] as f64,
+            flops: maxes[0] as f64,
+            result_entries: maxes[1] as f64,
+            entry_bytes: entry_bytes as f64,
+            mem_budget: opts.mem_budget,
+        };
+        // Preference order breaks exact ties (degenerate grids where
+        // layered collapses into pipelined). ColumnBatched is always
+        // feasible, so the list can never come back empty-handed.
+        let mut candidates = vec![elba_comm::SchedulePlan::Pipelined];
+        for c in 2..=q.min(4) {
+            candidates.push(elba_comm::SchedulePlan::Layered { c });
+        }
+        candidates.push(elba_comm::SchedulePlan::ColumnBatched);
+        candidates.push(elba_comm::SchedulePlan::Eager);
+        let constants = elba_comm::CostConstants::in_process();
+        let (plan, predicted) = constants.pick_schedule(&est, &candidates);
+        let algorithm = match plan {
+            elba_comm::SchedulePlan::Eager => SpGemmAlgorithm::Eager,
+            elba_comm::SchedulePlan::Pipelined => SpGemmAlgorithm::Pipelined,
+            elba_comm::SchedulePlan::ColumnBatched => SpGemmAlgorithm::ColumnBatched,
+            elba_comm::SchedulePlan::Layered { c } => SpGemmAlgorithm::Layered { c },
+        };
+        if world.rank() == 0 {
+            // One writer: the pick is grid-uniform, so rank 0's view is
+            // everyone's. Log only on change — transitive reduction
+            // calls this every iteration.
+            let code = encode_pick(algorithm);
+            let prev = LAST_AUTO_PICK.swap(code, std::sync::atomic::Ordering::Relaxed);
+            if prev != code {
+                println!(
+                    "[auto-spgemm] grid={q}x{q} flops~{} entries~{} stage~{}B picked={} \
+                     (predicted {:.3} ms)",
+                    maxes[0],
+                    maxes[1],
+                    maxes[2],
+                    algorithm_label(algorithm),
+                    predicted * 1e3,
+                );
+            }
+        }
+        SpGemmOptions { algorithm, ..*opts }
+    }
+
     /// ELBA's batched SpGEMM: split the *output* into column batches and
     /// run one pipelined, row-blocked SUMMA round per batch, so the live
     /// batch accumulator plus the resident broadcast blocks stay under
@@ -989,55 +1398,8 @@ impl<T: Clone + CommMsg + Sync> DistMat<T> {
         let mut col_est: Vec<u64> = Vec::new();
         let mut stage_bytes: Vec<usize> = Vec::new();
         if budget.is_some() {
-            let mut col_flops: Vec<u64> = vec![0; ncols];
-            stage_bytes.reserve(q);
-            let mut est_charge = world.mem_charge(0);
-            for s in 0..q {
-                // Structure-only packs travel Arc-shared too: the owner
-                // builds each pack once and the tree fans out reference
-                // clones, not vector copies.
-                let a_pack = grid.row().bcast_shared(
-                    s,
-                    (grid.mycol() == s).then(|| {
-                        let mut counts = vec![0u32; self.local.ncols()];
-                        for &c in self.local.indices() {
-                            counts[c as usize] += 1;
-                        }
-                        Arc::new((counts, self.local.heap_bytes()))
-                    }),
-                );
-                let (a_col_nnz, a_bytes) = (&a_pack.0, a_pack.1);
-                let b_pack = grid.col().bcast_shared(
-                    s,
-                    (grid.myrow() == s).then(|| {
-                        Arc::new((
-                            other.local.indptr().to_vec(),
-                            other.local.indices().to_vec(),
-                            other.local.heap_bytes(),
-                        ))
-                    }),
-                );
-                let (b_indptr, b_indices, b_bytes) = (&b_pack.0, &b_pack.1, b_pack.2);
-                // The received structure vectors are real resident
-                // bytes; the budget verdict is only trustworthy if the
-                // pass that sizes the batches charges its own working
-                // set too.
-                est_charge.set(
-                    col_flops.len() * std::mem::size_of::<u64>()
-                        + a_col_nnz.len() * std::mem::size_of::<u32>()
-                        + b_indptr.len() * std::mem::size_of::<usize>()
-                        + b_indices.len() * std::mem::size_of::<u32>(),
-                );
-                stage_bytes.push(a_bytes + b_bytes);
-                for (k, &ann) in a_col_nnz.iter().enumerate() {
-                    if ann == 0 {
-                        continue;
-                    }
-                    for &j in &b_indices[b_indptr[k]..b_indptr[k + 1]] {
-                        col_flops[j as usize] += ann as u64;
-                    }
-                }
-            }
+            let (col_flops, sb) = self.structure_estimates(grid, other);
+            stage_bytes = sb;
             // The accumulator holds at most `nrows` entries per column no
             // matter how many flops land there (the SPA merges
             // duplicates), so cap the flop bound per column — under heavy
@@ -1427,6 +1789,11 @@ mod tests {
                 SpGemmOptions::column_batched(2, Some(1)),
                 SpGemmOptions::column_batched(7, Some(400)),
                 SpGemmOptions::column_batched(1024, Some(1 << 30)),
+                SpGemmOptions::layered(1),
+                SpGemmOptions::layered(2),
+                SpGemmOptions::layered(3),
+                SpGemmOptions::layered(7), // > q everywhere: clamps
+                SpGemmOptions::auto(),
             ] {
                 let ok = Cluster::run(p, move |comm| {
                     let grid = ProcGrid::new(comm);
@@ -1453,6 +1820,29 @@ mod tests {
                     got == want
                 });
                 assert!(ok.iter().all(|&x| x), "p={p} opts={opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn layer_slices_cover_stages_evenly_and_unevenly() {
+        assert_eq!(layer_slices(4, 2), vec![0..2, 2..4]);
+        // c ∤ q: earlier slices take the extra stage.
+        assert_eq!(layer_slices(3, 2), vec![0..2, 2..3]);
+        assert_eq!(layer_slices(5, 3), vec![0..2, 2..4, 4..5]);
+        assert_eq!(layer_slices(3, 3), vec![0..1, 1..2, 2..3]);
+        assert_eq!(layer_slices(1, 1), vec![0..1]);
+        for q in 1..=9usize {
+            for c in 1..=q {
+                let slices = layer_slices(q, c);
+                assert_eq!(slices.len(), c, "q={q} c={c}");
+                assert!(slices.iter().all(|s| !s.is_empty()), "q={q} c={c}");
+                assert_eq!(slices.first().expect("non-empty").start, 0);
+                assert_eq!(slices.last().expect("non-empty").end, q);
+                assert!(
+                    slices.windows(2).all(|w| w[0].end == w[1].start),
+                    "slices must tile contiguously: q={q} c={c}"
+                );
             }
         }
     }

@@ -1,0 +1,157 @@
+//! Property pins for the layered (2.5D-style) SUMMA schedule:
+//!
+//! * output triples byte-identical to the eager reference across
+//!   1×1 / 2×2 / 3×3 grids × c ∈ {1, 2, 3} × thread counts — including
+//!   the uneven-slice case (q = 3, c = 2, where c ∤ q),
+//! * per-rank profiled *wire bytes* identical to eager on every grid:
+//!   the layered schedule posts the same q stage broadcasts down the
+//!   same trees, the combine is local (wire-byte model stays sacred),
+//! * c = 1 is *exactly* the pipelined path — same collectives, same
+//!   per-op call and byte counts, not merely the same totals,
+//! * c > q clamps instead of deadlocking or dropping stages,
+//! * `SpGemmAlgorithm::Auto` resolves to a concrete schedule, matches
+//!   the eager output, and reports its pick.
+
+use elba_comm::{Cluster, ProcGrid, RunProfile};
+use elba_sparse::semiring::PlusTimes;
+use elba_sparse::{last_auto_spgemm_pick, DistMat, SpGemmOptions};
+
+/// Deterministic AAᵀ-shaped inputs (the overlap-detection shape): `n`
+/// reads × `k` k-mer columns, a few shared k-mers per read.
+fn fixture_triples(n: usize, k: usize) -> Vec<(u64, u64, f64)> {
+    (0..n)
+        .flat_map(|r| {
+            (0..5usize).map(move |i| {
+                (
+                    r as u64,
+                    ((r * 11 + i * 3) % k) as u64,
+                    1.0 + ((r + i) % 4) as f64,
+                )
+            })
+        })
+        .collect()
+}
+
+/// Run `A · Aᵀ` on `p` ranks under `opts`, profiled; returns the sorted
+/// gathered triples and the run profile (wire bytes live in the
+/// "spgemm" phase).
+fn run_profiled(
+    p: usize,
+    n: usize,
+    k: usize,
+    opts: SpGemmOptions,
+) -> (Vec<(u64, u64, f64)>, RunProfile) {
+    let (mut results, profile) = Cluster::run_profiled(p, move |comm| {
+        let grid = ProcGrid::new(comm);
+        let mine = if grid.world().rank() == 0 {
+            fixture_triples(n, k)
+        } else {
+            Vec::new()
+        };
+        let a = DistMat::from_triples(&grid, n, k, mine, |acc, v| *acc += v);
+        let at = a.transpose(&grid);
+        let _guard = grid.world().phase("spgemm");
+        a.spgemm_with(&grid, &at, &PlusTimes, &opts)
+            .gather_triples(&grid)
+    });
+    let mut triples = results.remove(0);
+    triples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    (triples, profile)
+}
+
+/// Per-rank wire bytes of the "spgemm" phase (0 for ranks that have no
+/// such phase entry — impossible here, but total() would hide a
+/// per-rank asymmetry, which is exactly what this helper must expose).
+fn spgemm_bytes_per_rank(profile: &RunProfile) -> Vec<u64> {
+    profile
+        .rank_profiles()
+        .iter()
+        .map(|rp| rp.phase("spgemm").map_or(0, |ph| ph.bytes_sent()))
+        .collect()
+}
+
+#[test]
+fn layered_matches_eager_triples_and_wire_bytes_on_every_grid() {
+    for p in [1usize, 4, 9] {
+        let (n, k) = (21, 17);
+        let (eager_triples, eager_profile) = run_profiled(p, n, k, SpGemmOptions::eager());
+        let eager_bytes = spgemm_bytes_per_rank(&eager_profile);
+        assert!(
+            eager_triples.iter().any(|&(_, _, v)| v != 0.0),
+            "fixture must produce a non-trivial product"
+        );
+        // c=2 on the 3×3 grid is the uneven split (slices of 2 and 1
+        // stages); c=3 on the 2×2 grid exercises the clamp.
+        for c in [1usize, 2, 3] {
+            for threads in [1usize, 4] {
+                let opts = SpGemmOptions::layered(c).with_threads(threads);
+                let (triples, profile) = run_profiled(p, n, k, opts);
+                assert_eq!(
+                    triples, eager_triples,
+                    "layered(c={c}, t={threads}) output != eager on p={p}"
+                );
+                assert_eq!(
+                    spgemm_bytes_per_rank(&profile),
+                    eager_bytes,
+                    "layered(c={c}, t={threads}) wire bytes != eager on p={p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn layered_c1_profile_is_exactly_pipelined() {
+    for p in [1usize, 4, 9] {
+        let (pipe_triples, pipe_profile) = run_profiled(p, 21, 17, SpGemmOptions::pipelined());
+        let (lay_triples, lay_profile) = run_profiled(p, 21, 17, SpGemmOptions::layered(1));
+        assert_eq!(lay_triples, pipe_triples, "p={p}");
+        // Not just byte totals: identical op names, call counts, and
+        // per-op bytes on every rank — c=1 takes the very same code
+        // path, so the profiles must be indistinguishable.
+        for (rank, (pipe_rank, lay_rank)) in pipe_profile
+            .rank_profiles()
+            .iter()
+            .zip(lay_profile.rank_profiles())
+            .enumerate()
+        {
+            let pipe_phase = pipe_rank.phase("spgemm").expect("phase recorded");
+            let lay_phase = lay_rank.phase("spgemm").expect("phase recorded");
+            assert_eq!(
+                lay_phase.collectives, pipe_phase.collectives,
+                "rank {rank} on p={p}: layered(1) collectives diverge from pipelined"
+            );
+            assert_eq!(
+                lay_phase.p2p_bytes, pipe_phase.p2p_bytes,
+                "rank {rank} p={p}"
+            );
+            assert_eq!(lay_phase.p2p_msgs, pipe_phase.p2p_msgs, "rank {rank} p={p}");
+        }
+    }
+}
+
+#[test]
+fn layered_clamps_oversized_layer_counts() {
+    // c far beyond the stage count must clamp to one stage per layer
+    // (warning on stderr) and still match eager exactly.
+    for p in [1usize, 4, 9] {
+        let (eager_triples, _) = run_profiled(p, 15, 12, SpGemmOptions::eager());
+        let (clamped, _) = run_profiled(p, 15, 12, SpGemmOptions::layered(64));
+        assert_eq!(clamped, eager_triples, "layered(64) != eager on p={p}");
+    }
+}
+
+#[test]
+fn auto_resolves_matches_eager_and_reports_its_pick() {
+    for p in [1usize, 4, 9] {
+        let (eager_triples, _) = run_profiled(p, 21, 17, SpGemmOptions::eager());
+        let (auto_triples, _) = run_profiled(p, 21, 17, SpGemmOptions::auto());
+        assert_eq!(auto_triples, eager_triples, "auto != eager on p={p}");
+        let pick = last_auto_spgemm_pick().expect("auto must record its pick");
+        assert_ne!(
+            pick,
+            elba_sparse::SpGemmAlgorithm::Auto,
+            "the recorded pick must be concrete"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Property tests pinning the SUMMA schedule equivalence: the pipelined,
-//! blocked, and column-batched SpGEMM paths must produce results
-//! *identical* to the eager reference — same structure including
+//! blocked, column-batched, layered, and auto-picked SpGEMM paths must
+//! produce results *identical* to the eager reference — same structure
+//! including
 //! explicit zeros, same values — on random matrices across 1×1, 2×2,
 //! and 3×3 process grids. The schedules may only differ in overlap and
 //! peak memory, never output; tiny byte budgets force the column-batched
@@ -69,6 +70,7 @@ proptest! {
         k in 1usize..14,
         m in 1usize..14,
         batch in 1usize..8,
+        c in 1usize..5,
         budget_raw in 0u64..4000,
         a_entries in proptest::collection::vec((0usize..20, 0usize..20, -3i8..4), 0..70),
         b_entries in proptest::collection::vec((0usize..20, 0usize..20, -3i8..4), 0..70),
@@ -93,6 +95,14 @@ proptest! {
             &column_batched, &eager,
             "column_batched(batch={}, budget={:?}) != eager (p={})", batch, budget, p
         );
+        // c sweeps past q on every grid here, exercising the clamp; c=1
+        // is the pipelined dispatch.
+        let layered =
+            run_schedule(p, n, k, m, &a_triples, &b_triples, SpGemmOptions::layered(c));
+        prop_assert_eq!(&layered, &eager, "layered(c={}) != eager (p={})", c, p);
+        let auto =
+            run_schedule(p, n, k, m, &a_triples, &b_triples, SpGemmOptions::auto());
+        prop_assert_eq!(&auto, &eager, "auto != eager (p={})", p);
     }
 
     #[test]
@@ -123,6 +133,9 @@ proptest! {
         prop_assert_eq!(&run(SpGemmOptions::blocked(2)), &eager);
         prop_assert_eq!(&run(SpGemmOptions::column_batched(2, Some(256))), &eager);
         prop_assert_eq!(&run(SpGemmOptions::column_batched(1024, None)), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::layered(2)), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::layered(3)), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::auto()), &eager);
     }
 
     #[test]
@@ -159,5 +172,7 @@ proptest! {
         prop_assert_eq!(&run(SpGemmOptions::blocked(5)), &eager);
         prop_assert_eq!(&run(SpGemmOptions::column_batched(1, Some(1))), &eager);
         prop_assert_eq!(&run(SpGemmOptions::column_batched(5, Some(1000))), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::layered(2)), &eager);
+        prop_assert_eq!(&run(SpGemmOptions::layered(3)), &eager);
     }
 }

@@ -61,6 +61,8 @@ fn summa_schedules_deep_copy_no_payloads() {
                 "column_batched_budget",
                 SpGemmOptions::column_batched(8, Some(4 << 10)),
             ),
+            ("layered2", SpGemmOptions::layered(2)),
+            ("layered3", SpGemmOptions::layered(3)),
         ] {
             let checks = Cluster::run(p, move |comm| {
                 let grid = ProcGrid::new(comm);
@@ -113,6 +115,7 @@ fn schedules_agree_on_tick_product() {
         SpGemmOptions::pipelined(),
         SpGemmOptions::blocked(4),
         SpGemmOptions::column_batched(4, Some(2 << 10)),
+        SpGemmOptions::layered(2),
     ] {
         let out = Cluster::run(4, move |comm| {
             let grid = ProcGrid::new(comm);

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Diff per-phase wall times across the perf trajectory (BENCH_pr*.json).
+#
+# Each PR's bench writes a celegans 2x2 probe; the JSON layout drifted
+# across PRs (pr4: bare "phases"; pr5+: one block per config; pr7: the
+# auto-schedule probe with default/auto walls per phase), so this picks
+# one representative serial-default config per file and prints a
+# phase x PR table plus the delta of each PR against the previous one.
+# Informational: prints the trend, fails only on unreadable JSON.
+#
+# Usage: scripts/bench_trend.sh [dir-with-BENCH_pr*.json]
+set -euo pipefail
+
+dir="${1:-$(dirname "$0")/..}"
+
+python3 - "$dir" <<'EOF'
+import glob
+import json
+import os
+import sys
+
+PHASES = ["CountKmer", "DetectOverlap", "Alignment", "TrReduction", "ExtractContig"]
+# Representative config per probe, first match wins: the serial default.
+PREFERRED = ["default_auto_chain_t1", "threads1", "baseline_scalar_all_t1"]
+
+def phase_walls(doc):
+    """Best-effort {phase: wall_secs} from one BENCH_pr*.json."""
+    probe = next((v for k, v in doc.items()
+                  if "celegans" in k and isinstance(v, dict)), None)
+    if probe is None:
+        return {}
+    if "phases" in probe:  # pr4 layout: one config, bare phase table
+        table = probe["phases"]
+    else:
+        table = None
+        for key in PREFERRED + sorted(probe):
+            sub = probe.get(key)
+            if isinstance(sub, dict) and "phases" in sub:
+                table = sub["phases"]
+                break
+        if table is None:  # pr7 layout: per-phase default/auto walls
+            return {k: v["default_wall_secs"] for k, v in probe.items()
+                    if isinstance(v, dict) and "default_wall_secs" in v}
+    return {k: v["wall_secs"] for k, v in table.items()
+            if isinstance(v, dict) and "wall_secs" in v}
+
+files = sorted(glob.glob(os.path.join(sys.argv[1], "BENCH_pr*.json")),
+               key=lambda f: int("".join(filter(str.isdigit, os.path.basename(f)))))
+if not files:
+    sys.exit("no BENCH_pr*.json found")
+
+runs = []
+for f in files:
+    with open(f) as fh:
+        doc = json.load(fh)
+    runs.append((f"pr{doc.get('pr', '?')}", phase_walls(doc)))
+
+print("phase wall seconds, celegans 2x2 probe (serial default config):")
+header = ["phase"] + [name for name, _ in runs]
+print("  " + "".join(f"{h:>16}" for h in header))
+for phase in PHASES:
+    cells = [f"{phase:>16}"]
+    prev = None
+    for _, walls in runs:
+        w = walls.get(phase)
+        if w is None:
+            cells.append(f"{'-':>16}")
+        else:
+            mark = ""
+            if prev is not None and prev > 0:
+                mark = f" ({(w - prev) / prev * 100.0:+.0f}%)"
+            cells.append(f"{w:>9.4f}{mark:>7}")
+            prev = w
+    print("  " + "".join(cells))
+EOF

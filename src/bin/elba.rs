@@ -168,10 +168,35 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
             }
             elba::sparse::SpGemmOptions::blocked(batch_rows)
         }
+        "auto" => elba::sparse::SpGemmOptions::auto(),
         other => {
-            return Err(format!(
-                "--spgemm must be eager, pipelined, or blocked; got '{other}'"
-            ))
+            // layered:c — layer count after the colon (plain "layered"
+            // defaults to 2 layers; 1 would just be pipelined).
+            if let Some(rest) = other.strip_prefix("layered") {
+                let c = match rest.strip_prefix(':') {
+                    Some(digits) => digits
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| {
+                            format!(
+                                "--spgemm layered:c needs a positive layer count; got '{other}'"
+                            )
+                        })?,
+                    None if rest.is_empty() => 2,
+                    None => {
+                        return Err(format!(
+                            "--spgemm must be eager, pipelined, blocked, layered:c, or auto; \
+                             got '{other}'"
+                        ))
+                    }
+                };
+                elba::sparse::SpGemmOptions::layered(c)
+            } else {
+                return Err(format!(
+                    "--spgemm must be eager, pipelined, blocked, layered:c, or auto; got '{other}'"
+                ));
+            }
         }
     });
     let kmer_exchange = flags
@@ -243,6 +268,15 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
     });
     let (contigs, result) = outputs.remove(0);
     print!("{}", profile.render_table());
+    if schedule == "auto" && !cfg.mem_budget.is_limited() {
+        if let Some(pick) = elba::sparse::last_auto_spgemm_pick() {
+            println!(
+                "auto-spgemm: resolved to {} (see [auto-spgemm] lines above for the model's \
+                 estimates)",
+                elba::sparse::algorithm_label(pick)
+            );
+        }
+    }
     if let Some(total) = cfg.mem_budget.total() {
         let peak = profile
             .phase_names()
@@ -333,7 +367,7 @@ fn usage() -> String {
      \u{20}        [--threads 1] [--xdrop 15] [--min-overlap 100] [--scaffold true]\n\
      \u{20}        [--xdrop-kernel scalar|bitparallel|auto]\n\
      \u{20}        [--seed-chaining all|chain|best] [--chain-band 128]\n\
-     \u{20}        [--spgemm eager|pipelined|blocked] [--batch-rows 1024]\n\
+     \u{20}        [--spgemm eager|pipelined|blocked|layered:c|auto] [--batch-rows 1024]\n\
      \u{20}        [--kmer-exchange eager|streaming] [--batch-kmers 65536]\n\
      \u{20}        [--mem-budget 64M] [--gfa graph.gfa]\n\
      evaluate --reference genome.fasta --contigs contigs.fasta"
