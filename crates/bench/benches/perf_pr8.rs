@@ -1,0 +1,227 @@
+//! PR 8 perf trajectory: writes `BENCH_pr8.json` at the repository root
+//! probing the pluggable transport layer. (a) The celegans 2×2 probe
+//! runs on both message planes — in-process mailboxes vs socket frames
+//! (every cross-rank message serialized and pumped through a Unix
+//! socketpair) — at 1 and 2 threads per rank, asserting contigs and
+//! per-rank named-phase wire bytes are byte-identical across
+//! transports. (b) A ping-pong/bandwidth harness calibrates measured
+//! α/β for the socket backend and feeds them through
+//! `CostConstants::from_machine`, recorded next to the fixed in-process
+//! constants the auto-tuner uses. CI greps the JSON on every push.
+//!
+//! Run with `cargo bench -p elba-bench --bench perf_pr8`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use elba_bench::{
+    dataset, pipeline_time, run_pipeline, run_pipeline_socket, MeasuredRun, PAPER_PHASES,
+};
+use elba_comm::{Cluster, Comm, CostConstants, MachineModel, RunProfile, SocketCluster};
+use elba_core::PipelineConfig;
+use elba_seq::DatasetSpec;
+
+/// Two-rank ping-pong + bulk-transfer microbenchmark; returns
+/// `(alpha_secs, beta_bytes_per_sec)` measured at rank 0 (rank 1 echoes
+/// and reports zeros). Works unchanged over either backend, which is
+/// the point: the transport is the only variable.
+fn pingpong(comm: &Comm) -> (f64, f64) {
+    const SMALL_ITERS: usize = 512;
+    const BIG_ITERS: usize = 8;
+    const BIG_LEN: usize = 4 << 20;
+    if comm.rank() == 0 {
+        comm.send(1, 0, 1u64);
+        let _ = comm.recv::<u64>(1, 0); // warm both directions
+        let started = Instant::now();
+        for i in 0..SMALL_ITERS {
+            comm.send(1, 1, i as u64);
+            let _ = comm.recv::<u64>(1, 1);
+        }
+        let rtt = started.elapsed().as_secs_f64() / SMALL_ITERS as f64;
+        let alpha = rtt / 2.0;
+        let big = vec![7u8; BIG_LEN];
+        comm.send(1, 2, big.clone());
+        let _ = comm.recv::<u64>(1, 2); // fault in buffers once
+        let started = Instant::now();
+        for _ in 0..BIG_ITERS {
+            comm.send(1, 3, big.clone());
+            let _ = comm.recv::<u64>(1, 3);
+        }
+        let per_round = started.elapsed().as_secs_f64() / BIG_ITERS as f64;
+        // One round moves BIG_LEN payload out plus an 8-byte ack back;
+        // charge the payload against the round minus two latencies.
+        let beta = BIG_LEN as f64 / (per_round - 2.0 * alpha).max(1e-9);
+        (alpha, beta)
+    } else {
+        let _ = comm.recv::<u64>(0, 0);
+        comm.send(0, 0, 0u64);
+        for _ in 0..SMALL_ITERS {
+            let v = comm.recv::<u64>(0, 1);
+            comm.send(0, 1, v);
+        }
+        let _ = comm.recv::<Vec<u8>>(0, 2);
+        comm.send(0, 2, 0u64);
+        for _ in 0..BIG_ITERS {
+            let _ = comm.recv::<Vec<u8>>(0, 3);
+            comm.send(0, 3, 0u64);
+        }
+        (0.0, 0.0)
+    }
+}
+
+fn contig_strings(run: &MeasuredRun) -> Vec<String> {
+    run.contigs.iter().map(|c| c.seq.to_string()).collect()
+}
+
+/// Per-rank bytes over named phases — the quantity `elba launch` prints
+/// and the CI smoke leg diffs between transports.
+fn named_wire_bytes(profile: &RunProfile) -> Vec<u64> {
+    let names = profile.phase_names();
+    profile
+        .rank_profiles()
+        .iter()
+        .map(|rank| {
+            names
+                .iter()
+                .filter_map(|name| rank.phase(name))
+                .map(|p| p.bytes_sent())
+                .sum()
+        })
+        .collect()
+}
+
+fn main() {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(
+        json,
+        "  \"what\": \"pluggable transport: in-process mailboxes vs serialized socket frames\","
+    );
+
+    // ---- celegans 2×2 probe across transports × threads ----
+    let spec = DatasetSpec::celegans_like(0.1, 11);
+    let (_genome, reads) = dataset(&spec);
+    let base_cfg = PipelineConfig::for_dataset(&spec);
+    let _ = writeln!(json, "  \"celegans_transport_probe\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shape\": {{ \"reads\": {}, \"ranks\": 4 }},",
+        reads.len()
+    );
+    let mut all_match = true;
+    for threads in [1usize, 2] {
+        let cfg = base_cfg.clone().with_threads(threads);
+        let inproc = run_pipeline(&reads, &cfg, 4);
+        let socket = run_pipeline_socket(&reads, &cfg, 4);
+        let contigs_match = contig_strings(&inproc) == contig_strings(&socket);
+        let wire_match = named_wire_bytes(&inproc.profile) == named_wire_bytes(&socket.profile);
+        all_match &= contigs_match && wire_match;
+        for (name, run) in [("inprocess", &inproc), ("socket", &socket)] {
+            let phase_cells: Vec<String> = PAPER_PHASES
+                .iter()
+                .map(|phase| {
+                    format!(
+                        "\"{phase}\": {{ \"wall_secs\": {:.4} }}",
+                        run.profile.max_wall(phase)
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                json,
+                "    \"{name}_t{threads}\": {{ \"wall_secs\": {:.4}, \
+                 \"pipeline_secs\": {:.4}, \"contigs\": {}, \"phases\": {{ {} }} }},",
+                run.wall_secs,
+                pipeline_time(&run.profile),
+                run.contigs.len(),
+                phase_cells.join(", ")
+            );
+            eprintln!(
+                "{name}_t{threads}: wall {:.3} s, pipeline {:.3} s, {} contigs",
+                run.wall_secs,
+                pipeline_time(&run.profile),
+                run.contigs.len()
+            );
+        }
+        eprintln!("t{threads}: contigs match: {contigs_match}, wire bytes match: {wire_match}");
+    }
+    assert!(
+        all_match,
+        "transports disagree on contigs or profiled wire bytes"
+    );
+    let _ = writeln!(json, "    \"cross_transport_identical\": {all_match}");
+    let _ = writeln!(json, "  }},");
+
+    // ---- socket α/β calibration vs the fixed in-process constants ----
+    let socket_measured = SocketCluster::run(2, |comm| pingpong(&comm))[0];
+    let inproc_measured = Cluster::run(2, |comm| pingpong(&comm))[0];
+    let fixed = CostConstants::in_process();
+    let socket_machine = MachineModel {
+        name: "socket-local",
+        alpha: socket_measured.0,
+        beta: socket_measured.1,
+        compute_speed: 1.0,
+        ranks_per_node: 2,
+    };
+    let socket_constants = CostConstants::from_machine(&socket_machine, fixed.gamma);
+    eprintln!(
+        "socket:     alpha {:.2e} s, beta {:.2e} B/s",
+        socket_constants.alpha, socket_constants.beta
+    );
+    eprintln!(
+        "in-process: alpha {:.2e} s, beta {:.2e} B/s (measured; fixed constants {:.1e}/{:.1e})",
+        inproc_measured.0, inproc_measured.1, fixed.alpha, fixed.beta
+    );
+    // Sanity bounds, deliberately loose — CI machines are noisy. The
+    // point on record is the *ratio* between the planes, not absolutes.
+    assert!(
+        socket_constants.alpha > 0.0 && socket_constants.alpha < 1e-2,
+        "socket alpha {:.3e} s outside (0, 10ms)",
+        socket_constants.alpha
+    );
+    assert!(
+        socket_constants.beta > 1e7,
+        "socket beta {:.3e} B/s under 10 MB/s",
+        socket_constants.beta
+    );
+    let _ = writeln!(json, "  \"socket_calibration\": {{");
+    let _ = writeln!(json, "    \"alpha_secs\": {:.4e},", socket_constants.alpha);
+    let _ = writeln!(
+        json,
+        "    \"beta_bytes_per_sec\": {:.4e},",
+        socket_constants.beta
+    );
+    let _ = writeln!(
+        json,
+        "    \"inprocess_measured_alpha_secs\": {:.4e},",
+        inproc_measured.0
+    );
+    let _ = writeln!(
+        json,
+        "    \"inprocess_measured_beta_bytes_per_sec\": {:.4e},",
+        inproc_measured.1
+    );
+    let _ = writeln!(json, "    \"fixed_alpha_secs\": {:.4e},", fixed.alpha);
+    let _ = writeln!(
+        json,
+        "    \"fixed_beta_bytes_per_sec\": {:.4e},",
+        fixed.beta
+    );
+    let _ = writeln!(
+        json,
+        "    \"alpha_ratio_socket_over_inprocess\": {:.3},",
+        socket_constants.alpha / inproc_measured.0.max(1e-12)
+    );
+    let _ = writeln!(
+        json,
+        "    \"beta_ratio_inprocess_over_socket\": {:.3}",
+        inproc_measured.1 / socket_constants.beta.max(1.0)
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json");
+    std::fs::write(out, &json).expect("write BENCH_pr8.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

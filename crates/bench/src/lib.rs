@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use elba_comm::{Cluster, MachineModel, ProcGrid, RunProfile};
+use elba_comm::{Cluster, MachineModel, ProcGrid, RunProfile, SocketCluster};
 use elba_core::{assemble, Contig, PipelineConfig, PipelineResult};
 use elba_seq::{DatasetSpec, Seq};
 
@@ -51,6 +51,31 @@ pub fn run_pipeline(reads: &[Seq], cfg: &PipelineConfig, nranks: usize) -> Measu
     let cfg = cfg.clone();
     let started = Instant::now();
     let (mut outputs, profile) = Cluster::run_profiled(nranks, move |comm| {
+        let grid = ProcGrid::new(comm);
+        let result = assemble(&grid, &reads, &cfg);
+        let contigs = elba_core::gather_contigs(&grid, &result.local_contigs);
+        (result, contigs)
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    let (result, contigs) = outputs.remove(0);
+    MeasuredRun {
+        nranks,
+        wall_secs,
+        profile,
+        result,
+        contigs,
+    }
+}
+
+/// [`run_pipeline`] over the socket transport: the same SPMD body, but
+/// every cross-rank message is serialized into a frame and carried over
+/// a Unix socketpair. Measures what the wire format and frame pumping
+/// cost relative to the in-process mailbox moves.
+pub fn run_pipeline_socket(reads: &[Seq], cfg: &PipelineConfig, nranks: usize) -> MeasuredRun {
+    let reads = reads.to_vec();
+    let cfg = cfg.clone();
+    let started = Instant::now();
+    let (mut outputs, profile) = SocketCluster::run_profiled(nranks, move |comm| {
         let grid = ProcGrid::new(comm);
         let result = assemble(&grid, &reads, &cfg);
         let contigs = elba_core::gather_contigs(&grid, &result.local_contigs);

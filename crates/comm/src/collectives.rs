@@ -437,7 +437,7 @@ fn tree_share_bytes<T: CommMsg>(comm: &Comm, vr: usize, value: &T) -> usize {
     bytes
 }
 
-enum IbcastState<'c, T: Send + 'static> {
+enum IbcastState<'c, T: CommMsg> {
     /// Value in hand (root, or an inner node whose `test` completed);
     /// the subtree below was fed by the root's arrival-driven delivery.
     Ready(T),
@@ -556,11 +556,26 @@ impl<T: Clone> ChunkBody<T> {
     }
 }
 
-/// Wire bytes match the owned `Vec<T>` encoding exactly (length header +
-/// payload), so the shared fan-out is invisible to the profiler.
+/// Wire bytes — and the frame layout — match the owned `Vec<T>`
+/// encoding exactly (length header + payload), so the shared fan-out is
+/// invisible to the profiler *and* to the socket transport: a zero-copy
+/// view serializes like the vector it is a view of, and always decodes
+/// back as an owned chunk (sharing cannot cross an address space).
 impl<T: CommMsg + Sync> CommMsg for ChunkBody<T> {
     fn nbytes(&self) -> usize {
         8 + self.slice().iter().map(CommMsg::nbytes).sum::<usize>()
+    }
+
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        let slice = self.slice();
+        out.extend_from_slice(&(slice.len() as u64).to_ne_bytes());
+        T::wire_encode_slice(slice, out);
+    }
+
+    fn wire_decode(
+        r: &mut crate::transport::wire::WireReader<'_>,
+    ) -> Result<Self, crate::transport::wire::WireError> {
+        Ok(ChunkBody::Owned(Vec::<T>::wire_decode(r)?))
     }
 }
 

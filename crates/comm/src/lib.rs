@@ -23,10 +23,15 @@
 //!   the paper's 576–4096-rank strong-scaling figures can be regenerated
 //!   in *shape* from laptop-scale runs.
 //!
-//! Because everything lives in one address space, message payloads move as
-//! `Box<dyn Any>` — identical communication *structure* to MPI (who sends
-//! what to whom, and how many bytes it would be on a wire) without
-//! serialization cost. Byte volumes are metered through [`msg::CommMsg`].
+//! The message plane is pluggable ([`transport`]): by default ranks are
+//! threads in one address space and payloads move as boxed values —
+//! identical communication *structure* to MPI (who sends what to whom,
+//! and how many bytes it would be on a wire) without serialization cost.
+//! The socket backend ([`transport::socket`], [`SocketCluster`],
+//! `elba launch`) instead hosts each rank in its own process and ships
+//! every cross-rank message as a serialized frame over Unix-domain
+//! sockets. Byte volumes are metered through [`msg::CommMsg`] *above*
+//! the transport, so profiled traffic is byte-identical across backends.
 //!
 //! ```
 //! use elba_comm::Cluster;
@@ -45,6 +50,7 @@ pub mod model;
 pub mod msg;
 pub mod profile;
 pub mod runtime;
+pub mod transport;
 
 pub use collectives::{IalltoallvRequest, IbcastRequest};
 pub use grid::ProcGrid;
@@ -52,3 +58,5 @@ pub use model::{CostConstants, MachineModel, SchedulePlan, SpGemmEstimate};
 pub use msg::CommMsg;
 pub use profile::{PhaseProfile, Profile, RunProfile};
 pub use runtime::{Cluster, Comm, MemCharge, Rank, RecvRequest, SendRequest, SharedMemCharge, Tag};
+pub use transport::socket::{run_worker, SocketCluster};
+pub use transport::Transport;

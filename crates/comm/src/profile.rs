@@ -19,6 +19,9 @@ use std::time::Instant;
 
 use elba_mem::MemTracker;
 
+use crate::msg::CommMsg;
+use crate::transport::wire::{WireError, WireReader};
+
 /// Lock a shared profile, tolerating poison: a panicking rank must not
 /// turn its unwind into a second panic inside a `PhaseGuard` drop.
 pub(crate) fn lock_profile(profile: &Mutex<Profile>) -> MutexGuard<'_, Profile> {
@@ -77,6 +80,25 @@ impl PhaseProfile {
         } else {
             self.collectives.push((op, 1, bytes as u64));
         }
+    }
+}
+
+/// Map a collective-op name decoded off the wire back to the `&'static
+/// str` the recording side used, so decoded profiles merge with locally
+/// recorded ones. Unknown names (a newer worker binary, in principle)
+/// are leaked — profiles are few and gathered once per run.
+fn intern_op(name: String) -> &'static str {
+    match name.as_str() {
+        "barrier" => "barrier",
+        "bcast" => "bcast",
+        "gather" => "gather",
+        "reduce" => "reduce",
+        "alltoallv" => "alltoallv",
+        "reduce_scatter" => "reduce_scatter",
+        "exscan" => "exscan",
+        "ibcast" => "ibcast",
+        "ialltoallv" => "ialltoallv",
+        _ => name.leak(),
     }
 }
 
@@ -167,6 +189,92 @@ impl Profile {
         self.stack.push(idx);
         self.mem.enter(name);
         idx
+    }
+
+    /// Serialize the profile for a cross-process gather (`elba launch`
+    /// workers ship their profiles to rank 0 as frames). Phase and
+    /// collective-op order is preserved exactly, so a decoded profile
+    /// aggregates identically to the original.
+    pub fn wire_encode(&self, out: &mut Vec<u8>) {
+        (self.rank as u64).wire_encode(out);
+        (self.phases.len() as u64).wire_encode(out);
+        for (name, p) in &self.phases {
+            name.wire_encode(out);
+            p.wall_secs.wire_encode(out);
+            p.comm_secs.wire_encode(out);
+            p.wait_secs.wire_encode(out);
+            p.par_secs.wire_encode(out);
+            p.p2p_msgs.wire_encode(out);
+            p.p2p_bytes.wire_encode(out);
+            (p.collectives.len() as u64).wire_encode(out);
+            for &(op, calls, bytes) in &p.collectives {
+                op.to_owned().wire_encode(out);
+                calls.wire_encode(out);
+                bytes.wire_encode(out);
+            }
+        }
+        self.mem.current().wire_encode(out);
+        let mem_phases: Vec<(String, u64)> = self
+            .mem
+            .phases()
+            .map(|(n, hw)| (n.to_owned(), hw))
+            .collect();
+        (mem_phases.len() as u64).wire_encode(out);
+        for (name, hw) in mem_phases {
+            name.wire_encode(out);
+            hw.wire_encode(out);
+        }
+    }
+
+    /// Inverse of [`Profile::wire_encode`].
+    pub fn wire_decode(r: &mut WireReader<'_>) -> Result<Profile, WireError> {
+        let rank =
+            usize::try_from(u64::wire_decode(r)?).map_err(|_| WireError::Malformed("rank"))?;
+        let nphases = r.read_len()?;
+        let mut phases = Vec::with_capacity(nphases.min(64));
+        for _ in 0..nphases {
+            let name = String::wire_decode(r)?;
+            let wall_secs = f64::wire_decode(r)?;
+            let comm_secs = f64::wire_decode(r)?;
+            let wait_secs = f64::wire_decode(r)?;
+            let par_secs = f64::wire_decode(r)?;
+            let p2p_msgs = u64::wire_decode(r)?;
+            let p2p_bytes = u64::wire_decode(r)?;
+            let ncoll = r.read_len()?;
+            let mut collectives = Vec::with_capacity(ncoll.min(16));
+            for _ in 0..ncoll {
+                let op = intern_op(String::wire_decode(r)?);
+                let calls = u64::wire_decode(r)?;
+                let bytes = u64::wire_decode(r)?;
+                collectives.push((op, calls, bytes));
+            }
+            phases.push((
+                name,
+                PhaseProfile {
+                    wall_secs,
+                    comm_secs,
+                    wait_secs,
+                    par_secs,
+                    p2p_msgs,
+                    p2p_bytes,
+                    collectives,
+                },
+            ));
+        }
+        let mem_current = u64::wire_decode(r)?;
+        let nmem = r.read_len()?;
+        let mut mem_phases = Vec::with_capacity(nmem.min(64));
+        for _ in 0..nmem {
+            let name = String::wire_decode(r)?;
+            let hw = u64::wire_decode(r)?;
+            mem_phases.push((name, hw));
+        }
+        Ok(Profile {
+            rank,
+            phases,
+            stack: Vec::new(),
+            mem: MemTracker::from_snapshot(mem_current, mem_phases),
+        })
     }
 
     fn exit(&mut self, idx: usize, wall: f64) {
@@ -393,6 +501,52 @@ impl RunProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profile_round_trips_over_the_wire() {
+        let mut p = Profile::new(3);
+        {
+            let idx = p.enter("anchor");
+            p.record_p2p(128);
+            p.record_coll("allgather_custom", 64);
+            p.record_coll("bcast", 32);
+            p.record_comm_time(0.25);
+            p.record_wait_time(0.125);
+            p.mem_mut().charge(4096);
+            p.exit(idx, 1.5);
+        }
+        p.record_p2p(9); // lands in UNPHASED
+        p.mem_mut().release(1024);
+
+        let mut buf = Vec::new();
+        p.wire_encode(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let q = Profile::wire_decode(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+
+        assert_eq!(q.rank(), 3);
+        let names: Vec<&str> = q.phases().map(|(n, _)| n).collect();
+        assert_eq!(names, p.phases().map(|(n, _)| n).collect::<Vec<_>>());
+        let (pa, qa) = (p.phase("anchor").unwrap(), q.phase("anchor").unwrap());
+        assert_eq!(qa.p2p_msgs, pa.p2p_msgs);
+        assert_eq!(qa.p2p_bytes, pa.p2p_bytes);
+        assert_eq!(qa.collectives, pa.collectives);
+        assert_eq!(qa.comm_secs, pa.comm_secs);
+        assert_eq!(qa.wait_secs, pa.wait_secs);
+        assert_eq!(q.phase(UNPHASED).unwrap().p2p_bytes, 9);
+        assert_eq!(q.mem().current(), p.mem().current());
+        assert_eq!(
+            q.mem().phases().collect::<Vec<_>>(),
+            p.mem().phases().collect::<Vec<_>>()
+        );
+        // Known op names intern back to the same static; unknown ones
+        // still compare equal by value.
+        assert!(qa.collectives.iter().any(|&(op, _, _)| op == "bcast"));
+        assert!(qa
+            .collectives
+            .iter()
+            .any(|&(op, _, _)| op == "allgather_custom"));
+    }
 
     #[test]
     fn phases_accumulate() {

@@ -1,10 +1,14 @@
 //! SPMD runtime: [`Cluster`] spawns one thread per rank, each holding a
-//! [`Comm`] — the analogue of an MPI communicator. Point-to-point messages
-//! land in a per-rank condvar-backed `Mailbox` (buffered, non-blocking
-//! sends; blocking receives matched by `(source, tag)` park on the
-//! condvar instead of polling), mirroring the eager-protocol MPI
-//! semantics that ELBA relies on while staying oversubscription-friendly:
-//! a parked rank burns no cycles its peers need.
+//! [`Comm`] — the analogue of an MPI communicator. A `Comm` posts and
+//! receives opaque envelopes through a pluggable
+//! [`Transport`](crate::transport) — the default backend keeps
+//! ranks as threads in one address space (buffered, non-blocking sends;
+//! blocking receives matched by `(source, tag)` park on a condvar
+//! instead of polling), mirroring the eager-protocol MPI semantics that
+//! ELBA relies on while staying oversubscription-friendly: a parked rank
+//! burns no cycles its peers need. The socket backend moves the same
+//! envelopes between *processes* as serialized frames — see
+//! [`crate::transport`].
 //!
 //! On top of the blocking primitives sits a non-blocking layer:
 //! [`Comm::isend`] / [`Comm::irecv`] return request handles
@@ -16,155 +20,33 @@
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::msg::CommMsg;
 use crate::profile::{lock_profile, Profile, RunProfile};
+use crate::transport::in_process::InProcess;
+use crate::transport::wire::WireReader;
+use crate::transport::{Envelope, Payload, SplitKey, Transport};
 
 /// Index of a process within a communicator.
 pub type Rank = usize;
 /// Message tag. User tags must be below [`Comm::USER_TAG_LIMIT`].
 pub type Tag = u64;
 
-pub(crate) struct Envelope {
-    tag: Tag,
-    payload: Box<dyn Any + Send>,
-}
-
-/// Outcome of a non-blocking mailbox probe.
-enum TryRecvError {
-    Empty,
-    Disconnected,
-}
-
-struct MailboxState {
-    /// Arrived-but-unclaimed messages, one FIFO per source rank.
-    queues: Vec<VecDeque<Envelope>>,
-    /// Sources whose `Comm` has been dropped (no further messages).
-    closed: Vec<bool>,
-    /// Bumped on every push/close; lets waiters park until *anything*
-    /// changes ([`Mailbox::park`]) without a lost-wakeup race.
-    seq: u64,
-    /// Set when the owning rank's `Comm` drops; sends then panic like a
-    /// disconnected channel would.
-    owner_gone: bool,
-}
-
-/// One rank's inbox: every peer pushes into it, only the owner pops.
-/// The condvar is the wakeup the ROADMAP's oversubscription item asked
-/// for — blocked receives (and the chunked `ialltoallv` iterator) sleep
-/// here instead of spinning on `yield_now`.
-pub(crate) struct Mailbox {
-    state: Mutex<MailboxState>,
-    arrived: Condvar,
-}
-
-impl Mailbox {
-    fn new(nsources: usize) -> Arc<Self> {
-        Arc::new(Mailbox {
-            state: Mutex::new(MailboxState {
-                queues: (0..nsources).map(|_| VecDeque::new()).collect(),
-                closed: vec![false; nsources],
-                seq: 0,
-                owner_gone: false,
-            }),
-            arrived: Condvar::new(),
-        })
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, MailboxState> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// Deliver a message from `src`; panics if the owner is gone (same
-    /// contract as sending into a dropped channel).
-    fn push(&self, src: Rank, envelope: Envelope) -> Result<(), ()> {
-        let mut st = self.lock();
-        if st.owner_gone {
-            return Err(());
-        }
-        st.queues[src].push_back(envelope);
-        st.seq += 1;
-        drop(st);
-        self.arrived.notify_all();
-        Ok(())
-    }
-
-    /// Mark `src` as permanently done (its `Comm` dropped).
-    fn close(&self, src: Rank) {
-        let mut st = self.lock();
-        st.closed[src] = true;
-        st.seq += 1;
-        drop(st);
-        self.arrived.notify_all();
-    }
-
-    fn mark_owner_gone(&self) {
-        self.lock().owner_gone = true;
-    }
-
-    /// Blocking pop of the next message from `src` (any tag), parking on
-    /// the condvar until one arrives. `Err(())` if `src` closed with an
-    /// empty queue.
-    fn recv(&self, src: Rank) -> Result<Envelope, ()> {
-        let mut st = self.lock();
-        loop {
-            if let Some(envelope) = st.queues[src].pop_front() {
-                return Ok(envelope);
-            }
-            if st.closed[src] {
-                return Err(());
-            }
-            st = self
-                .arrived
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-    }
-
-    /// Non-blocking pop of the next message from `src` (any tag).
-    fn try_recv(&self, src: Rank) -> Result<Envelope, TryRecvError> {
-        let mut st = self.lock();
-        match st.queues[src].pop_front() {
-            Some(envelope) => Ok(envelope),
-            None if st.closed[src] => Err(TryRecvError::Disconnected),
-            None => Err(TryRecvError::Empty),
-        }
-    }
-
-    /// Current change counter; pair with [`Mailbox::park`].
-    fn seq(&self) -> u64 {
-        self.lock().seq
-    }
-
-    /// Park until the mailbox changes relative to `seen` (a push or a
-    /// close from any source). Callers read `seq()` *before* their probe
-    /// sweep so an arrival between sweep and park wakes them immediately.
-    fn park(&self, seen: u64) {
-        let mut st = self.lock();
-        while st.seq == seen {
-            st = self
-                .arrived
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-    }
-}
-
 /// Per-rank handle on a communicator (MPI_Comm analogue).
 ///
 /// All operations take `&self`; a `Comm` is owned by exactly one rank
-/// thread. Sub-communicators created through [`Comm::split`] share the
+/// thread (invariant 3: threads within a rank never enter the comm
+/// layer). Sub-communicators created through [`Comm::split`] share the
 /// rank's [`Profile`] so that communication accounting aggregates across
-/// the whole grid.
+/// the whole grid. Which backend carries the messages is invisible here:
+/// everything below [`Comm::send`] goes through the rank's
+/// [`Transport`] object.
 pub struct Comm {
     rank: Rank,
     size: usize,
-    /// peers[dst]: rank `dst`'s mailbox (peers[rank] is our own inbox).
-    peers: Vec<Arc<Mailbox>>,
+    transport: Arc<dyn Transport>,
     /// Out-of-order buffer: messages that arrived before being asked for.
     pending: RefCell<Vec<VecDeque<Envelope>>>,
     /// Collective sequence number; identical across ranks by SPMD order.
@@ -174,13 +56,10 @@ pub struct Comm {
 
 impl Drop for Comm {
     fn drop(&mut self) {
-        // Refuse further sends to this rank and tell every peer we are
-        // gone, so their blocked receives panic instead of hanging —
-        // the channel-disconnect semantics the runtime has always had.
-        self.peers[self.rank].mark_owner_gone();
-        for peer in &self.peers {
-            peer.close(self.rank);
-        }
+        // Leave the communicator: peers' blocked receives on this rank
+        // fail instead of hanging — the channel-disconnect semantics the
+        // runtime has always had.
+        self.transport.shutdown();
     }
 }
 
@@ -188,6 +67,23 @@ impl Comm {
     /// Largest tag value available to user code; higher tags are reserved
     /// for internal collective sequencing.
     pub const USER_TAG_LIMIT: Tag = 1 << 32;
+
+    /// Wrap a transport endpoint into a full communicator handle.
+    pub(crate) fn from_transport(
+        transport: Arc<dyn Transport>,
+        profile: Arc<Mutex<Profile>>,
+    ) -> Comm {
+        let rank = transport.rank();
+        let size = transport.size();
+        Comm {
+            rank,
+            size,
+            transport,
+            pending: RefCell::new((0..size).map(|_| VecDeque::new()).collect()),
+            coll_seq: Cell::new(0),
+            profile,
+        }
+    }
 
     /// This rank's index within the communicator.
     #[inline]
@@ -275,7 +171,7 @@ impl Comm {
         );
         let bytes = data.nbytes();
         lock_profile(&self.profile).record_p2p(bytes);
-        self.raw_send(dst, tag, Box::new(data));
+        self.raw_send(dst, tag, data);
     }
 
     /// Blocking receive of a message from `src` carrying `tag`.
@@ -306,7 +202,7 @@ impl Comm {
         );
         let bytes = data.nbytes();
         lock_profile(&self.profile).record_p2p(bytes);
-        self.raw_send(dst, tag, Box::new(data));
+        self.raw_send(dst, tag, data);
         SendRequest(())
     }
 
@@ -322,7 +218,7 @@ impl Comm {
         self.raw_irecv(src, tag)
     }
 
-    pub(crate) fn raw_irecv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> RecvRequest<'_, T> {
+    pub(crate) fn raw_irecv<T: CommMsg>(&self, src: Rank, tag: Tag) -> RecvRequest<'_, T> {
         RecvRequest {
             comm: self,
             src,
@@ -331,17 +227,17 @@ impl Comm {
         }
     }
 
-    pub(crate) fn raw_send(&self, dst: Rank, tag: Tag, payload: Box<dyn Any + Send>) {
-        self.peers[dst]
-            .push(self.rank, Envelope { tag, payload })
+    pub(crate) fn raw_send<T: CommMsg>(&self, dst: Rank, tag: Tag, data: T) {
+        self.transport
+            .post(dst, Envelope::new(tag, data))
             .unwrap_or_else(|_| panic!("rank {} unreachable from rank {}", dst, self.rank));
     }
 
-    pub(crate) fn raw_recv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> T {
+    pub(crate) fn raw_recv<T: CommMsg>(&self, src: Rank, tag: Tag) -> T {
         let start = Instant::now();
         let envelope = self.wait_for(src, tag);
         lock_profile(&self.profile).record_comm_time(start.elapsed().as_secs_f64());
-        downcast_payload(envelope, self.rank, src, tag)
+        decode_payload(envelope, self.rank, src, tag)
     }
 
     fn wait_for(&self, src: Rank, tag: Tag) -> Envelope {
@@ -349,7 +245,7 @@ impl Comm {
             return envelope;
         }
         loop {
-            let envelope = self.inbox().recv(src).unwrap_or_else(|_| {
+            let envelope = self.transport.recv_from(src).unwrap_or_else(|_| {
                 panic!(
                     "rank {}: rank {src} disconnected while waiting for tag {tag:#x} \
                      (peer rank likely panicked)",
@@ -370,15 +266,15 @@ impl Comm {
             return Some(envelope);
         }
         loop {
-            match self.inbox().try_recv(src) {
-                Ok(envelope) if envelope.tag == tag => return Some(envelope),
-                Ok(envelope) => self.pending.borrow_mut()[src].push_back(envelope),
-                Err(TryRecvError::Empty) => return None,
+            match self.transport.try_recv_from(src) {
+                Ok(Some(envelope)) if envelope.tag == tag => return Some(envelope),
+                Ok(Some(envelope)) => self.pending.borrow_mut()[src].push_back(envelope),
+                Ok(None) => return None,
                 // The peer is gone and its queue is drained: this
                 // message can never arrive. Panic like the blocking path
                 // would, instead of letting a test() poll loop spin
                 // forever.
-                Err(TryRecvError::Disconnected) => panic!(
+                Err(_) => panic!(
                     "rank {}: rank {src} disconnected while polling for tag {tag:#x} \
                      (peer rank likely panicked)",
                     self.rank
@@ -387,14 +283,9 @@ impl Comm {
         }
     }
 
-    #[inline]
-    fn inbox(&self) -> &Mailbox {
-        &self.peers[self.rank]
-    }
-
     /// Change counter of this rank's inbox; see [`Comm::park_inbox`].
     pub(crate) fn inbox_seq(&self) -> u64 {
-        self.inbox().seq()
+        self.transport.inbox_seq()
     }
 
     /// Park until the inbox changes relative to `seen` (any arrival or
@@ -403,7 +294,7 @@ impl Comm {
     /// immediately. This is the condvar wakeup that replaced the
     /// `yield_now` spin loop in the chunked `ialltoallv` iterator.
     pub(crate) fn park_inbox(&self, seen: u64) {
-        self.inbox().park(seen);
+        self.transport.park_inbox(seen);
     }
 
     fn take_pending(&self, src: Rank, tag: Tag) -> Option<Envelope> {
@@ -425,25 +316,25 @@ impl Comm {
         (1 << 63) | ((op as u64) << 48) | (seq & ((1 << 48) - 1))
     }
 
-    pub(crate) fn coll_send<T: Send + 'static>(&self, dst: Rank, tag: Tag, data: T) {
-        self.raw_send(dst, tag, Box::new(data));
+    pub(crate) fn coll_send<T: CommMsg>(&self, dst: Rank, tag: Tag, data: T) {
+        self.raw_send(dst, tag, data);
     }
 
     /// Receive inside a collective: blocking time is *not* booked here —
     /// the collective itself records its full elapsed time once, so
     /// booking per-message waits too would double-count communication.
-    pub(crate) fn coll_recv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> T {
+    pub(crate) fn coll_recv<T: CommMsg>(&self, src: Rank, tag: Tag) -> T {
         let envelope = self.wait_for(src, tag);
-        downcast_payload(envelope, self.rank, src, tag)
+        decode_payload(envelope, self.rank, src, tag)
     }
 
     /// Blocking receive whose blocked time is booked to the *wait* bucket
     /// (used by request `wait` and the non-blocking collectives).
-    pub(crate) fn wait_recv<T: Send + 'static>(&self, src: Rank, tag: Tag) -> T {
+    pub(crate) fn wait_recv<T: CommMsg>(&self, src: Rank, tag: Tag) -> T {
         let start = Instant::now();
         let envelope = self.wait_for(src, tag);
         lock_profile(&self.profile).record_wait_time(start.elapsed().as_secs_f64());
-        downcast_payload(envelope, self.rank, src, tag)
+        decode_payload(envelope, self.rank, src, tag)
     }
 
     /// Book time a non-blocking operation spent parked (poll loops that
@@ -479,6 +370,12 @@ impl Comm {
     /// Partition the communicator: ranks passing the same `color` form a new
     /// communicator; `key` orders ranks within it (ties broken by old rank).
     /// Collective — every rank of `self` must call it.
+    ///
+    /// The group membership is computed from an allgather, but the new
+    /// communicator's channels come from the transport's message-free
+    /// rendezvous: every member derives the same [`SplitKey`] (the SPMD
+    /// collective sequence plus its color), so no leader has to ship
+    /// bootstrap state.
     pub fn split(&self, color: usize, key: usize) -> Comm {
         let info = self.allgather((self.rank as u64, color as u64, key as u64));
         let mut group: Vec<(u64, u64)> = info
@@ -492,32 +389,20 @@ impl Comm {
             .iter()
             .position(|&(_, r)| r as usize == self.rank)
             .expect("calling rank must be in its own color group");
-        let leader = group[0].1 as usize;
         let tag = self.next_coll_tag(op::SPLIT);
-
-        if self.rank == leader {
-            // One fresh mailbox per member; every member gets the whole
-            // vector (its peers) plus its own slot.
-            let mailboxes: Vec<Arc<Mailbox>> =
-                (0..new_size).map(|_| Mailbox::new(new_size)).collect();
-            for (slot, &(_, old_rank)) in group.iter().enumerate() {
-                self.raw_send(
-                    old_rank as usize,
-                    tag,
-                    Box::new(SplitPack {
-                        new_rank: slot,
-                        peers: mailboxes.clone(),
-                    }),
-                );
-            }
-        }
-
-        let pack: SplitPack = self.raw_recv(leader, tag);
-        debug_assert_eq!(pack.new_rank, new_rank);
+        let members: Vec<Rank> = group.iter().map(|&(_, r)| r as usize).collect();
+        let transport = self.transport.split(
+            &members,
+            new_rank,
+            SplitKey {
+                seq: tag,
+                color: color as u64,
+            },
+        );
         Comm {
-            rank: pack.new_rank,
+            rank: new_rank,
             size: new_size,
-            peers: pack.peers,
+            transport,
             pending: RefCell::new((0..new_size).map(|_| VecDeque::new()).collect()),
             coll_seq: Cell::new(0),
             profile: Arc::clone(&self.profile),
@@ -530,14 +415,32 @@ impl Comm {
     }
 }
 
-fn downcast_payload<T: Send + 'static>(envelope: Envelope, rank: Rank, src: Rank, tag: Tag) -> T {
-    *envelope.payload.downcast::<T>().unwrap_or_else(|_| {
-        panic!(
-            "rank {rank} received wrong payload type from rank {src} (tag {tag:#x}); \
-             expected {}",
-            std::any::type_name::<T>()
-        )
-    })
+/// Materialize a received envelope as a `T`: moved values (in-process
+/// delivery) downcast, serialized frames (socket delivery) decode — the
+/// typed receive is the one place the expected `T` is known, which is
+/// what lets the wire format skip any type registry.
+fn decode_payload<T: CommMsg>(envelope: Envelope, rank: Rank, src: Rank, tag: Tag) -> T {
+    match envelope.payload {
+        Payload::Value(value) => *value.into_any().downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {rank} received wrong payload type from rank {src} (tag {tag:#x}); \
+                 expected {}",
+                std::any::type_name::<T>()
+            )
+        }),
+        Payload::Frame(bytes) => {
+            let mut reader = WireReader::new(&bytes);
+            T::wire_decode(&mut reader)
+                .and_then(|value| reader.finish().map(|()| value))
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "rank {rank}: failed to decode frame from rank {src} (tag {tag:#x}) \
+                         as {}: {e}",
+                        std::any::type_name::<T>()
+                    )
+                })
+        }
+    }
 }
 
 /// RAII charge against a rank's memory tracker; created by
@@ -626,14 +529,14 @@ impl SendRequest {
 /// buffered by a successful `test`), the drop re-queues it for a later
 /// matching receive, mirroring MPI_Cancel-free usage.
 #[must_use = "requests should be completed with wait() (or polled with test())"]
-pub struct RecvRequest<'c, T: Send + 'static> {
+pub struct RecvRequest<'c, T: CommMsg> {
     comm: &'c Comm,
     src: Rank,
     tag: Tag,
     ready: Option<T>,
 }
 
-impl<T: Send + 'static> Drop for RecvRequest<'_, T> {
+impl<T: CommMsg> Drop for RecvRequest<'_, T> {
     fn drop(&mut self) {
         // A value buffered by test() belongs to the mailbox, not to this
         // abandoned request: put it back so a later recv/irecv on the
@@ -643,15 +546,12 @@ impl<T: Send + 'static> Drop for RecvRequest<'_, T> {
         // per-(source, tag) delivery order. wait() takes the value out
         // before dropping, so completed requests re-queue nothing.
         if let Some(value) = self.ready.take() {
-            self.comm.pending.borrow_mut()[self.src].push_front(Envelope {
-                tag: self.tag,
-                payload: Box::new(value),
-            });
+            self.comm.pending.borrow_mut()[self.src].push_front(Envelope::new(self.tag, value));
         }
     }
 }
 
-impl<T: Send + 'static> RecvRequest<'_, T> {
+impl<T: CommMsg> RecvRequest<'_, T> {
     /// Poll for completion without blocking. Once this returns `true`,
     /// [`RecvRequest::wait`] returns the value without blocking.
     pub fn test(&mut self) -> bool {
@@ -659,12 +559,7 @@ impl<T: Send + 'static> RecvRequest<'_, T> {
             return true;
         }
         if let Some(envelope) = self.comm.try_take(self.src, self.tag) {
-            self.ready = Some(downcast_payload(
-                envelope,
-                self.comm.rank,
-                self.src,
-                self.tag,
-            ));
+            self.ready = Some(decode_payload(envelope, self.comm.rank, self.src, self.tag));
             return true;
         }
         false
@@ -681,11 +576,6 @@ impl<T: Send + 'static> RecvRequest<'_, T> {
     }
 }
 
-struct SplitPack {
-    new_rank: usize,
-    peers: Vec<Arc<Mailbox>>,
-}
-
 /// Internal collective opcodes (namespace the reserved tag space).
 pub(crate) mod op {
     pub const BARRIER: u8 = 1;
@@ -700,14 +590,68 @@ pub(crate) mod op {
     pub const IALLTOALLV: u8 = 11;
 }
 
+/// Stack size for rank threads. Generous because local assembly and
+/// test oracles may recurse.
+const STACK_SIZE: usize = 16 * 1024 * 1024;
+
+/// Shared harness behind [`Cluster`] and [`crate::SocketCluster`]: one
+/// thread per transport endpoint, each wrapped in a fresh [`Comm`] with
+/// its own profile; panics propagate with the failing rank's identity.
+pub(crate) fn run_spmd<T, F>(transports: Vec<Arc<dyn Transport>>, f: F) -> (Vec<T>, RunProfile)
+where
+    T: Send + 'static,
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+{
+    let nranks = transports.len();
+    let f = Arc::new(f);
+    let mut handles = Vec::with_capacity(nranks);
+    for (rank, transport) in transports.into_iter().enumerate() {
+        debug_assert_eq!(transport.rank(), rank);
+        let f = Arc::clone(&f);
+        let profile = Arc::new(Mutex::new(Profile::new(rank)));
+        let profile_out = Arc::clone(&profile);
+        let comm = Comm::from_transport(transport, profile);
+        let handle = std::thread::Builder::new()
+            .name(format!("rank-{rank}"))
+            .stack_size(STACK_SIZE)
+            .spawn(move || {
+                let result = f(comm);
+                (result, profile_out)
+            })
+            .expect("failed to spawn rank thread");
+        handles.push(handle);
+    }
+
+    let mut results = Vec::with_capacity(nranks);
+    let mut profiles = Vec::with_capacity(nranks);
+    for (rank, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok((result, profile)) => {
+                results.push(result);
+                profiles.push(match Arc::try_unwrap(profile) {
+                    Ok(mutex) => mutex
+                        .into_inner()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    Err(arc) => lock_profile(&arc).clone(),
+                });
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                panic!("rank {rank} panicked: {msg}");
+            }
+        }
+    }
+    (results, RunProfile::new(profiles))
+}
+
 /// Entry point: run an SPMD function over `nranks` in-process ranks.
 pub struct Cluster;
 
 impl Cluster {
-    /// Stack size for rank threads. Generous because local assembly and
-    /// test oracles may recurse.
-    const STACK_SIZE: usize = 16 * 1024 * 1024;
-
     /// Run `f` on `nranks` ranks; returns each rank's result, rank-ordered.
     pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
     where
@@ -725,59 +669,7 @@ impl Cluster {
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
         assert!(nranks > 0, "cluster needs at least one rank");
-        // One condvar-backed mailbox per rank; every rank holds the full
-        // vector so any rank can push into any inbox.
-        let mailboxes: Vec<Arc<Mailbox>> = (0..nranks).map(|_| Mailbox::new(nranks)).collect();
-
-        let f = Arc::new(f);
-        let mut handles = Vec::with_capacity(nranks);
-        for rank in 0..nranks {
-            let f = Arc::clone(&f);
-            let profile = Arc::new(Mutex::new(Profile::new(rank)));
-            let profile_out = Arc::clone(&profile);
-            let comm = Comm {
-                rank,
-                size: nranks,
-                peers: mailboxes.clone(),
-                pending: RefCell::new((0..nranks).map(|_| VecDeque::new()).collect()),
-                coll_seq: Cell::new(0),
-                profile,
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("rank-{rank}"))
-                .stack_size(Self::STACK_SIZE)
-                .spawn(move || {
-                    let result = f(comm);
-                    (result, profile_out)
-                })
-                .expect("failed to spawn rank thread");
-            handles.push(handle);
-        }
-
-        let mut results = Vec::with_capacity(nranks);
-        let mut profiles = Vec::with_capacity(nranks);
-        for (rank, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok((result, profile)) => {
-                    results.push(result);
-                    profiles.push(match Arc::try_unwrap(profile) {
-                        Ok(mutex) => mutex
-                            .into_inner()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner),
-                        Err(arc) => lock_profile(&arc).clone(),
-                    });
-                }
-                Err(panic) => {
-                    let msg = panic
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| panic.downcast_ref::<&str>().copied())
-                        .unwrap_or("<non-string panic>");
-                    panic!("rank {rank} panicked: {msg}");
-                }
-            }
-        }
-        (results, RunProfile::new(profiles))
+        run_spmd(InProcess::world(nranks), f)
     }
 }
 

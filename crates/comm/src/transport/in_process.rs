@@ -1,0 +1,145 @@
+//! The default backend: ranks are OS threads in one address space, and
+//! an envelope "travels" by moving its boxed value into the destination
+//! rank's [`Mailbox`]. No serialization ever happens — identical
+//! communication *structure* to MPI (who sends what to whom, and how
+//! many bytes it would be on a wire) without the packing cost.
+//!
+//! `split` rendezvouses through a shared [`SplitRegistry`] keyed by
+//! [`SplitKey`]: the first member to arrive creates the new
+//! communicator's mailboxes, the rest pick them up — no leader, no
+//! bootstrap messages (the old runtime shipped a `SplitPack` from a
+//! leader rank; the registry replaces it so the transport trait needs no
+//! "send a vector of mailboxes" special case a socket could never
+//! implement).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use super::{Envelope, Mailbox, PeerGone, SplitKey, Transport, TryRecvError};
+use crate::runtime::Rank;
+
+/// Rendezvous point for `split`: every rank of a communicator holds the
+/// same registry, and each distinct [`SplitKey`] names one child
+/// communicator under construction.
+#[derive(Default)]
+pub(crate) struct SplitRegistry {
+    entries: Mutex<HashMap<SplitKey, SplitEntry>>,
+}
+
+struct SplitEntry {
+    mailboxes: Vec<Arc<Mailbox>>,
+    /// The child communicator's own registry, so nested splits
+    /// rendezvous among the members of the child, not the parent.
+    registry: Arc<SplitRegistry>,
+    handed_out: usize,
+}
+
+/// In-process transport for one rank of one communicator.
+pub(crate) struct InProcess {
+    rank: Rank,
+    /// peers[dst]: rank `dst`'s mailbox (peers[rank] is our own inbox).
+    peers: Vec<Arc<Mailbox>>,
+    splits: Arc<SplitRegistry>,
+}
+
+impl InProcess {
+    /// Build the world communicator's transports: one shared mailbox
+    /// vector, one shared split registry, one handle per rank.
+    pub(crate) fn world(nranks: usize) -> Vec<Arc<dyn Transport>> {
+        let mailboxes: Vec<Arc<Mailbox>> = (0..nranks).map(|_| Mailbox::new(nranks)).collect();
+        let registry = Arc::new(SplitRegistry::default());
+        (0..nranks)
+            .map(|rank| {
+                Arc::new(InProcess {
+                    rank,
+                    peers: mailboxes.clone(),
+                    splits: Arc::clone(&registry),
+                }) as Arc<dyn Transport>
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn inbox(&self) -> &Mailbox {
+        &self.peers[self.rank]
+    }
+}
+
+impl Transport for InProcess {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn post(&self, dst: Rank, envelope: Envelope) -> Result<(), PeerGone> {
+        self.peers[dst]
+            .push(self.rank, envelope)
+            .map_err(|()| PeerGone)
+    }
+
+    fn recv_from(&self, src: Rank) -> Result<Envelope, PeerGone> {
+        self.inbox().recv(src).map_err(|()| PeerGone)
+    }
+
+    fn try_recv_from(&self, src: Rank) -> Result<Option<Envelope>, PeerGone> {
+        match self.inbox().try_recv(src) {
+            Ok(envelope) => Ok(Some(envelope)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(PeerGone),
+        }
+    }
+
+    fn inbox_seq(&self) -> u64 {
+        self.inbox().seq()
+    }
+
+    fn park_inbox(&self, seen: u64) {
+        self.inbox().park(seen);
+    }
+
+    fn shutdown(&self) {
+        // Refuse further deliveries to this rank and tell every peer we
+        // are gone, so their blocked receives fail instead of hanging —
+        // the channel-disconnect semantics the runtime has always had.
+        self.inbox().mark_owner_gone();
+        for peer in &self.peers {
+            peer.close(self.rank);
+        }
+    }
+
+    fn split(&self, members: &[Rank], my_rank: Rank, key: SplitKey) -> Arc<dyn Transport> {
+        let mut entries = self
+            .splits
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = entries.entry(key).or_insert_with(|| SplitEntry {
+            mailboxes: (0..members.len())
+                .map(|_| Mailbox::new(members.len()))
+                .collect(),
+            registry: Arc::new(SplitRegistry::default()),
+            handed_out: 0,
+        });
+        debug_assert_eq!(
+            entry.mailboxes.len(),
+            members.len(),
+            "all members of a split must agree on the group"
+        );
+        let transport = Arc::new(InProcess {
+            rank: my_rank,
+            peers: entry.mailboxes.clone(),
+            splits: Arc::clone(&entry.registry),
+        });
+        entry.handed_out += 1;
+        // Last member out removes the rendezvous entry: the key can
+        // never repeat (collective sequence numbers only grow), so the
+        // map stays bounded by the number of in-flight splits.
+        if entry.handed_out == members.len() {
+            entries.remove(&key);
+        }
+        transport
+    }
+}

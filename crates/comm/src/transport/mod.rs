@@ -1,0 +1,308 @@
+//! Pluggable rank-to-rank message plane.
+//!
+//! Everything above this module — point-to-point sends, collectives,
+//! credit/ack flow control, byte accounting — is transport-agnostic: a
+//! [`crate::Comm`] posts and receives opaque [`Envelope`]s through a
+//! [`Transport`] object and never knows whether its peers are threads in
+//! the same address space or processes on the other end of a socket.
+//!
+//! Two backends ship:
+//!
+//! * `in_process` — the original mailbox runtime (one OS thread per
+//!   rank, payloads move as boxed values without serialization). The
+//!   tier-1 default, used by [`crate::Cluster`].
+//! * [`socket`] — ranks are processes exchanging length-prefixed
+//!   serialized frames over Unix-domain sockets ([`wire`] defines the
+//!   format). Used by `elba launch` and by [`crate::SocketCluster`].
+//!
+//! The wire-byte model (invariant 2) lives *above* the transport: bytes
+//! are booked from [`crate::CommMsg::nbytes`] at send time, so profiled
+//! traffic is byte-identical across backends even though only one of
+//! them ever serializes anything.
+
+pub(crate) mod in_process;
+pub mod socket;
+pub mod wire;
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::msg::CommMsg;
+use crate::runtime::{Rank, Tag};
+
+/// Object-safe face of a [`CommMsg`] payload held by value: the
+/// in-process fast path moves it as `Any`, the socket path serializes it
+/// on demand.
+pub(crate) trait WireAny: Send {
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+impl<T: CommMsg> WireAny for T {
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.wire_encode(out);
+    }
+}
+
+/// How a message's payload is carried between post and receive.
+pub(crate) enum Payload {
+    /// A live value (in-process delivery, or a send-to-self over the
+    /// socket backend): no serialization ever happens.
+    Value(Box<dyn WireAny>),
+    /// A serialized frame body from another process; decoded lazily at
+    /// the typed receive, where `T` is known.
+    Frame(Vec<u8>),
+}
+
+impl Payload {
+    /// Serialize for a cross-process hop (no-op if already a frame).
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::Value(v) => v.encode(out),
+            Payload::Frame(bytes) => out.extend_from_slice(bytes),
+        }
+    }
+}
+
+/// One unit of rank-to-rank traffic: a tagged payload. Opaque outside
+/// the comm crate — transports move envelopes, they never look inside.
+pub struct Envelope {
+    pub(crate) tag: Tag,
+    pub(crate) payload: Payload,
+}
+
+impl Envelope {
+    pub(crate) fn new<T: CommMsg>(tag: Tag, value: T) -> Envelope {
+        Envelope {
+            tag,
+            payload: Payload::Value(Box::new(value)),
+        }
+    }
+
+    /// The message tag, keying `(source, tag)` receive matching.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+}
+
+/// The destination (or source) rank can no longer exchange messages:
+/// its `Comm` dropped, or its process exited. The closed-flag signal
+/// every backend must propagate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerGone;
+
+/// Identity of one `split` call, identical on every participating rank:
+/// the parent communicator's collective sequence tag plus the caller's
+/// color. Backends use it to rendezvous the members of the new
+/// communicator without exchanging messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitKey {
+    pub(crate) seq: u64,
+    pub(crate) color: u64,
+}
+
+/// A rank's connection to one communicator's message plane.
+///
+/// One `Transport` is held per `Comm` per rank; all methods take `&self`
+/// (the owning rank thread is the only caller, per invariant 3, but
+/// inbound delivery may happen from other threads — socket readers —
+/// so implementations must be `Sync`).
+///
+/// ## Contract
+///
+/// * **Delivery order**: envelopes posted from rank `s` to rank `d` are
+///   received by `d` in posting order (per-source FIFO). Matching by
+///   `(source, tag, seq)` above the transport relies on it.
+/// * **Non-blocking post**: [`Transport::post`] buffers and returns; it
+///   never waits for the receiver (the eager MPI protocol the runtime
+///   models). A post may fail with [`PeerGone`] only if the destination
+///   is permanently unreachable.
+/// * **Closed-flag propagation**: after [`Transport::shutdown`], every
+///   other member must observe this rank as closed — blocked
+///   [`Transport::recv_from`] calls on it return `Err(PeerGone)` once
+///   drained, never hang.
+/// * **Liveness for parking** (invariant 5): [`Transport::park_inbox`]
+///   returns once the inbox *changes* relative to the observed
+///   [`Transport::inbox_seq`] — any arrival or any peer close counts.
+///   Implementations must bump the sequence for every such event, or
+///   flow-controlled exchanges deadlock on lost wakeups.
+/// * **Wire bytes**: transports move envelopes; they do **not** account
+///   bytes. All byte accounting happens above, from
+///   [`CommMsg::nbytes`], which is what keeps profiled traffic
+///   byte-identical across backends (invariant 2).
+pub trait Transport: Send + Sync {
+    /// This rank's index within the communicator.
+    fn rank(&self) -> Rank;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Buffered send: enqueue `envelope` for rank `dst` (which may be
+    /// this rank) and return without waiting for the receiver.
+    fn post(&self, dst: Rank, envelope: Envelope) -> Result<(), PeerGone>;
+
+    /// Blocking receive of the next envelope from `src`, in posting
+    /// order, any tag. `Err(PeerGone)` once `src` has shut down and its
+    /// queue is drained.
+    fn recv_from(&self, src: Rank) -> Result<Envelope, PeerGone>;
+
+    /// Non-blocking probe: `Ok(Some)` with the next envelope from
+    /// `src`, `Ok(None)` if nothing has arrived, `Err(PeerGone)` once
+    /// `src` is gone and drained.
+    fn try_recv_from(&self, src: Rank) -> Result<Option<Envelope>, PeerGone>;
+
+    /// Change counter of this rank's inbox; bumped on every arrival and
+    /// every peer close. Pair with [`Transport::park_inbox`].
+    fn inbox_seq(&self) -> u64;
+
+    /// Park the calling thread until the inbox changes relative to
+    /// `seen`. Callers read [`Transport::inbox_seq`] *before* their
+    /// probe sweep so an arrival in between wakes them immediately (no
+    /// lost-wakeup race).
+    fn park_inbox(&self, seen: u64);
+
+    /// Leave the communicator: refuse further inbound messages and
+    /// propagate this rank's closed flag to every member. Called when
+    /// the owning `Comm` drops.
+    fn shutdown(&self);
+
+    /// Build this rank's transport for a sub-communicator. `members`
+    /// lists the parent ranks of the new communicator in new-rank
+    /// order; `my_rank` is this rank's index in it. Every member calls
+    /// with identical `members` and `key` (the SPMD guarantee of
+    /// `Comm::split`); backends rendezvous on `key` — no messages are
+    /// exchanged.
+    fn split(&self, members: &[Rank], my_rank: Rank, key: SplitKey) -> Arc<dyn Transport>;
+}
+
+// ----------------------------------------------------------------------
+// Mailbox: the condvar-backed inbox both backends deliver into
+// ----------------------------------------------------------------------
+
+/// Outcome of a non-blocking mailbox probe.
+pub(crate) enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+struct MailboxState {
+    /// Arrived-but-unclaimed messages, one FIFO per source rank.
+    queues: Vec<VecDeque<Envelope>>,
+    /// Sources whose sending side is permanently done.
+    closed: Vec<bool>,
+    /// Bumped on every push/close; lets waiters park until *anything*
+    /// changes ([`Mailbox::park`]) without a lost-wakeup race.
+    seq: u64,
+    /// Set when the owning rank's `Comm` drops; deliveries then fail
+    /// like sends into a dropped channel.
+    owner_gone: bool,
+}
+
+/// One rank's inbox: every peer pushes into it, only the owner pops.
+/// In-process ranks push directly; the socket backend's reader threads
+/// push decoded frames. The condvar is the wakeup that keeps blocked
+/// receives (and the chunked `ialltoallv` iterator) from spinning.
+pub(crate) struct Mailbox {
+    state: Mutex<MailboxState>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    pub(crate) fn new(nsources: usize) -> Arc<Self> {
+        Arc::new(Mailbox {
+            state: Mutex::new(MailboxState {
+                queues: (0..nsources).map(|_| VecDeque::new()).collect(),
+                closed: vec![false; nsources],
+                seq: 0,
+                owner_gone: false,
+            }),
+            arrived: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MailboxState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Deliver a message from `src`; `Err` if the owner is gone (same
+    /// contract as sending into a dropped channel).
+    pub(crate) fn push(&self, src: Rank, envelope: Envelope) -> Result<(), ()> {
+        let mut st = self.lock();
+        if st.owner_gone {
+            return Err(());
+        }
+        st.queues[src].push_back(envelope);
+        st.seq += 1;
+        drop(st);
+        self.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Mark `src` as permanently done (its `Comm` dropped or its
+    /// process hung up).
+    pub(crate) fn close(&self, src: Rank) {
+        let mut st = self.lock();
+        st.closed[src] = true;
+        st.seq += 1;
+        drop(st);
+        self.arrived.notify_all();
+    }
+
+    pub(crate) fn mark_owner_gone(&self) {
+        self.lock().owner_gone = true;
+    }
+
+    /// Blocking pop of the next message from `src` (any tag), parking on
+    /// the condvar until one arrives. `Err(())` if `src` closed with an
+    /// empty queue.
+    pub(crate) fn recv(&self, src: Rank) -> Result<Envelope, ()> {
+        let mut st = self.lock();
+        loop {
+            if let Some(envelope) = st.queues[src].pop_front() {
+                return Ok(envelope);
+            }
+            if st.closed[src] {
+                return Err(());
+            }
+            st = self
+                .arrived
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking pop of the next message from `src` (any tag).
+    pub(crate) fn try_recv(&self, src: Rank) -> Result<Envelope, TryRecvError> {
+        let mut st = self.lock();
+        match st.queues[src].pop_front() {
+            Some(envelope) => Ok(envelope),
+            None if st.closed[src] => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Current change counter; pair with [`Mailbox::park`].
+    pub(crate) fn seq(&self) -> u64 {
+        self.lock().seq
+    }
+
+    /// Park until the mailbox changes relative to `seen` (a push or a
+    /// close from any source). Callers read `seq()` *before* their probe
+    /// sweep so an arrival between sweep and park wakes them immediately.
+    pub(crate) fn park(&self, seen: u64) {
+        let mut st = self.lock();
+        while st.seq == seen {
+            st = self
+                .arrived
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Hand-rolled wire format for the socket transport: length-prefixed
+//! frames whose payloads are serialized through [`crate::CommMsg`]'s
+//! `wire_encode`/`wire_decode` pair (serde cannot be vendored, and the
+//! message set — `Vec<u8>` buffers, k-mer/triple batches, CSR panels —
+//! is small enough that a bespoke codec stays honest and fast).
+//!
+//! Frames never leave the machine (ranks talk over Unix-domain sockets),
+//! so multi-byte integers travel in **native endianness** and
+//! plain-old-data batches are copied as raw bytes. This is a transport
+//! framing format, not an archival one: the only compatibility contract
+//! is "the same binary on the same host".
+
+use std::fmt;
+
+/// Why a frame or payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually left in the buffer.
+        have: usize,
+    },
+    /// A field decoded to something no encoder produces (bad magic,
+    /// unknown frame kind, invalid `bool`/`char`/UTF-8, absurd length).
+    Malformed(&'static str),
+    /// The value decoded cleanly but left unconsumed bytes behind.
+    Trailing(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed frame: bad {what}"),
+            WireError::Trailing(n) => write!(f, "frame has {n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Largest element count a decoded vector header may claim. Frames are
+/// produced by this binary on this machine, so anything beyond this is
+/// corruption — rejecting it here keeps a garbage length from turning
+/// into a huge allocation.
+pub const MAX_VEC_ELEMS: u64 = 1 << 34;
+
+/// Cursor over an encoded payload; every `read_*` checks bounds and
+/// returns [`WireError::Truncated`] instead of panicking.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take the next `n` bytes verbatim.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.read_bytes(1)?[0])
+    }
+
+    pub fn read_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.read_bytes(4)?;
+        Ok(u32::from_ne_bytes(b.try_into().expect("4-byte read")))
+    }
+
+    pub fn read_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.read_bytes(8)?;
+        Ok(u64::from_ne_bytes(b.try_into().expect("8-byte read")))
+    }
+
+    pub fn read_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// A `u64` length header, sanity-capped by [`MAX_VEC_ELEMS`].
+    pub fn read_len(&mut self) -> Result<usize, WireError> {
+        let n = self.read_u64()?;
+        if n > MAX_VEC_ELEMS {
+            return Err(WireError::Malformed("length header"));
+        }
+        Ok(n as usize)
+    }
+
+    /// Assert the value consumed the whole buffer.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Trailing(n)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Socket frame header
+// ----------------------------------------------------------------------
+
+/// Frame magic: `"ELBA"`. The first thing checked on every frame — a
+/// desynchronized or corrupted stream fails here instead of allocating.
+pub const FRAME_MAGIC: [u8; 4] = *b"ELBA";
+
+/// Encoded size of a [`FrameHeader`].
+pub const FRAME_HEADER_BYTES: usize = 4 + 1 + 8 + 4 + 8 + 8;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Mesh handshake: `src` is the connecting process's world rank.
+    Hello,
+    /// One point-to-point message: `src` is the sender's rank *within*
+    /// the communicator identified by `ctx`, `tag` the message tag, and
+    /// the payload a `CommMsg::wire_encode` body of `len` bytes.
+    Data,
+    /// The sender's `Comm` for context `ctx` dropped; no further frames
+    /// will arrive from it there (closed-flag propagation).
+    Close,
+}
+
+/// Fixed-size prefix of every socket frame: magic, kind, communicator
+/// context, source rank, tag, payload length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub kind: FrameKind,
+    /// Communicator context id (the world communicator is context 0;
+    /// `split` derives child contexts deterministically).
+    pub ctx: u64,
+    pub src: u32,
+    pub tag: u64,
+    pub len: u64,
+}
+
+/// Largest payload a frame may claim; beyond this the header is treated
+/// as garbage rather than attempting the allocation.
+pub const MAX_FRAME_LEN: u64 = 1 << 42;
+
+impl FrameHeader {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.push(match self.kind {
+            FrameKind::Hello => 0,
+            FrameKind::Data => 1,
+            FrameKind::Close => 2,
+        });
+        out.extend_from_slice(&self.ctx.to_ne_bytes());
+        out.extend_from_slice(&self.src.to_ne_bytes());
+        out.extend_from_slice(&self.tag.to_ne_bytes());
+        out.extend_from_slice(&self.len.to_ne_bytes());
+    }
+
+    /// Decode and validate a header; rejects bad magic, unknown kinds
+    /// and absurd payload lengths.
+    pub fn decode(bytes: &[u8; FRAME_HEADER_BYTES]) -> Result<FrameHeader, WireError> {
+        let mut r = WireReader::new(bytes);
+        if r.read_bytes(4)? != FRAME_MAGIC {
+            return Err(WireError::Malformed("frame magic"));
+        }
+        let kind = match r.read_u8()? {
+            0 => FrameKind::Hello,
+            1 => FrameKind::Data,
+            2 => FrameKind::Close,
+            _ => return Err(WireError::Malformed("frame kind")),
+        };
+        let ctx = r.read_u64()?;
+        let src = r.read_u32()?;
+        let tag = r.read_u64()?;
+        let len = r.read_u64()?;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Malformed("frame length"));
+        }
+        Ok(FrameHeader {
+            kind,
+            ctx,
+            src,
+            tag,
+            len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let hdr = FrameHeader {
+            kind: FrameKind::Data,
+            ctx: 0xDEAD_BEEF,
+            src: 3,
+            tag: (1 << 63) | 42,
+            len: 1024,
+        };
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), FRAME_HEADER_BYTES);
+        let decoded = FrameHeader::decode(buf[..].try_into().expect("sized")).expect("valid");
+        assert_eq!(decoded, hdr);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        FrameHeader {
+            kind: FrameKind::Hello,
+            ctx: 0,
+            src: 0,
+            tag: 0,
+            len: 0,
+        }
+        .encode(&mut buf);
+        buf[0] = b'X';
+        assert_eq!(
+            FrameHeader::decode(buf[..].try_into().expect("sized")),
+            Err(WireError::Malformed("frame magic"))
+        );
+    }
+
+    #[test]
+    fn unknown_kind_and_huge_len_rejected() {
+        let mut buf = Vec::new();
+        FrameHeader {
+            kind: FrameKind::Data,
+            ctx: 0,
+            src: 0,
+            tag: 0,
+            len: 0,
+        }
+        .encode(&mut buf);
+        buf[4] = 9;
+        assert_eq!(
+            FrameHeader::decode(buf[..].try_into().expect("sized")),
+            Err(WireError::Malformed("frame kind"))
+        );
+        buf[4] = 1;
+        buf[FRAME_HEADER_BYTES - 8..].copy_from_slice(&u64::MAX.to_ne_bytes());
+        assert_eq!(
+            FrameHeader::decode(buf[..].try_into().expect("sized")),
+            Err(WireError::Malformed("frame length"))
+        );
+    }
+
+    #[test]
+    fn reader_truncation_reports_counts() {
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert_eq!(r.read_bytes(2), Ok(&[1u8, 2][..]));
+        assert_eq!(
+            r.read_u64(),
+            Err(WireError::Truncated { needed: 8, have: 1 })
+        );
+    }
+
+    #[test]
+    fn finish_rejects_trailing() {
+        let mut r = WireReader::new(&[0u8; 9]);
+        let _ = r.read_u64().expect("in bounds");
+        assert_eq!(r.finish(), Err(WireError::Trailing(1)));
+    }
+}

@@ -369,6 +369,20 @@ impl MemTracker {
         self.phases.iter().map(|(n, hw)| (n.as_str(), *hw))
     }
 
+    /// Rebuild a tracker from a serialized snapshot: the resident tally
+    /// plus `(phase, high-water)` pairs in first-entered order. Used to
+    /// reconstitute per-rank trackers gathered from worker *processes*
+    /// (`elba launch`); live shared-charge bookkeeping is not part of a
+    /// snapshot — by gather time every charge guard has dropped.
+    pub fn from_snapshot(current: u64, phases: Vec<(String, u64)>) -> MemTracker {
+        MemTracker {
+            current,
+            phases,
+            stack: Vec::new(),
+            shared: std::collections::HashMap::new(),
+        }
+    }
+
     /// Merge another rank's tracker: per-phase maximum, preserving
     /// first-seen phase order — the cross-rank aggregation a run report
     /// wants (the biggest rank gates the memory claim).

@@ -349,7 +349,7 @@ pub fn count_kmers_with_stats(
                 kmers: occurrence_scan(store, cfg.k, threads, &scan_stats).map(|(_, hit)| hit.kmer),
                 window: cfg.batch_kmers.max(1),
                 p,
-                drained: HashMap::new().into_iter(),
+                drained: Vec::new().into_iter(),
             },
             fold,
         ),
@@ -455,7 +455,7 @@ struct WindowCounts<I: Iterator<Item = u64>> {
     kmers: I,
     window: usize,
     p: usize,
-    drained: std::collections::hash_map::IntoIter<u64, u32>,
+    drained: std::vec::IntoIter<(u64, u32)>,
 }
 
 impl<I: Iterator<Item = u64>> Iterator for WindowCounts<I> {
@@ -473,7 +473,15 @@ impl<I: Iterator<Item = u64>> Iterator for WindowCounts<I> {
             if counts.is_empty() {
                 return None;
             }
-            self.drained = counts.into_iter();
+            // Emit each window in sorted k-mer order, not HashMap order:
+            // the randomized hash seed would otherwise reshuffle where
+            // `streaming_exchange`'s batch boundaries fall, shifting
+            // per-post bucket sizes and hence chunk counts — and every
+            // chunk books its structural bytes, so profiled wire bytes
+            // would drift run-to-run (the model must be deterministic).
+            let mut window: Vec<(u64, u32)> = counts.into_iter().collect();
+            window.sort_unstable();
+            self.drained = window.into_iter();
         }
     }
 }

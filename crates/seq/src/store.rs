@@ -38,6 +38,18 @@ impl elba_comm::CommMsg for ContiguousBlock {
     fn nbytes(&self) -> usize {
         8 + self.data.len()
     }
+
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.data.wire_encode(out);
+    }
+
+    fn wire_decode(
+        r: &mut elba_comm::transport::wire::WireReader<'_>,
+    ) -> Result<Self, elba_comm::transport::wire::WireError> {
+        Ok(ContiguousBlock {
+            data: Vec::<u8>::wire_decode(r)?,
+        })
+    }
 }
 
 /// Packed, offset-indexed collection of reads on one rank.

@@ -300,6 +300,43 @@ impl<T: elba_comm::CommMsg + Clone> elba_comm::CommMsg for Csr<T> {
             + self.indices.len() * 4
             + self.values.iter().map(|v| v.nbytes()).sum::<usize>()
     }
+
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.nrows as u64).to_ne_bytes());
+        out.extend_from_slice(&(self.ncols as u64).to_ne_bytes());
+        self.indptr.wire_encode(out);
+        self.indices.wire_encode(out);
+        self.values.wire_encode(out);
+    }
+
+    fn wire_decode(
+        r: &mut elba_comm::transport::wire::WireReader<'_>,
+    ) -> Result<Self, elba_comm::transport::wire::WireError> {
+        use elba_comm::transport::wire::WireError;
+        let nrows =
+            usize::try_from(r.read_u64()?).map_err(|_| WireError::Malformed("csr shape"))?;
+        let ncols =
+            usize::try_from(r.read_u64()?).map_err(|_| WireError::Malformed("csr shape"))?;
+        let indptr = Vec::<usize>::wire_decode(r)?;
+        let indices = Vec::<u32>::wire_decode(r)?;
+        let values = Vec::<T>::wire_decode(r)?;
+        // Cheap structural sanity so a corrupt frame cannot produce a
+        // panel whose accessors index out of bounds.
+        let consistent = indptr.len() == nrows + 1
+            && indptr.first() == Some(&0)
+            && indptr.last() == Some(&indices.len())
+            && indices.len() == values.len();
+        if !consistent {
+            return Err(WireError::Malformed("csr structure"));
+        }
+        Ok(Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,16 @@ impl CommMsg for Tick {
     fn nbytes(&self) -> usize {
         8
     }
+
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.0.wire_encode(out);
+    }
+
+    fn wire_decode(
+        r: &mut elba_comm::transport::wire::WireReader<'_>,
+    ) -> Result<Self, elba_comm::transport::wire::WireError> {
+        Ok(Tick(u64::wire_decode(r)?))
+    }
 }
 
 /// Plus-times over `Tick`, building every product from references — any

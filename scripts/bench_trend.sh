@@ -3,9 +3,11 @@
 #
 # Each PR's bench writes a celegans 2x2 probe; the JSON layout drifted
 # across PRs (pr4: bare "phases"; pr5+: one block per config; pr7: the
-# auto-schedule probe with default/auto walls per phase), so this picks
-# one representative serial-default config per file and prints a
-# phase x PR table plus the delta of each PR against the previous one.
+# auto-schedule probe with default/auto walls per phase; pr8: one block
+# per transport x threads config), so this picks one representative
+# serial-default config per file and prints a phase x PR table plus the
+# delta of each PR against the previous one. Probes that ran more than
+# one transport additionally get a per-transport pipeline-seconds table.
 # Informational: prints the trend, fails only on unreadable JSON.
 #
 # Usage: scripts/bench_trend.sh [dir-with-BENCH_pr*.json]
@@ -21,7 +23,8 @@ import sys
 
 PHASES = ["CountKmer", "DetectOverlap", "Alignment", "TrReduction", "ExtractContig"]
 # Representative config per probe, first match wins: the serial default.
-PREFERRED = ["default_auto_chain_t1", "threads1", "baseline_scalar_all_t1"]
+PREFERRED = ["inprocess_t1", "default_auto_chain_t1", "threads1",
+             "baseline_scalar_all_t1"]
 
 def phase_walls(doc):
     """Best-effort {phase: wall_secs} from one BENCH_pr*.json."""
@@ -49,11 +52,29 @@ files = sorted(glob.glob(os.path.join(sys.argv[1], "BENCH_pr*.json")),
 if not files:
     sys.exit("no BENCH_pr*.json found")
 
+def transport_totals(doc):
+    """{config: pipeline_secs} for probes run on more than one transport
+    (pr8+: keys like inprocess_t1 / socket_t2)."""
+    probe = next((v for k, v in doc.items()
+                  if "celegans" in k and isinstance(v, dict)), None)
+    if probe is None:
+        return {}
+    totals = {k: v["pipeline_secs"] for k, v in probe.items()
+              if isinstance(v, dict) and "pipeline_secs" in v
+              and ("inprocess" in k or "socket" in k)}
+    transports = {k.split("_")[0] for k in totals}
+    return totals if len(transports) > 1 else {}
+
 runs = []
+transport_runs = []
 for f in files:
     with open(f) as fh:
         doc = json.load(fh)
-    runs.append((f"pr{doc.get('pr', '?')}", phase_walls(doc)))
+    name = f"pr{doc.get('pr', '?')}"
+    runs.append((name, phase_walls(doc)))
+    totals = transport_totals(doc)
+    if totals:
+        transport_runs.append((name, totals))
 
 print("phase wall seconds, celegans 2x2 probe (serial default config):")
 header = ["phase"] + [name for name, _ in runs]
@@ -72,4 +93,14 @@ for phase in PHASES:
             cells.append(f"{w:>9.4f}{mark:>7}")
             prev = w
     print("  " + "".join(cells))
+
+for name, totals in transport_runs:
+    print(f"\nper-transport pipeline seconds, {name} probe:")
+    print(f"  {'config':>16}{'pipeline_s':>12}{'vs inprocess':>14}")
+    for key in sorted(totals):
+        base = totals.get("inprocess_" + key.split("_", 1)[1])
+        mark = ""
+        if base and not key.startswith("inprocess"):
+            mark = f"{(totals[key] - base) / base * 100.0:+.0f}%"
+        print(f"  {key:>16}{totals[key]:>12.4f}{mark:>14}")
 EOF

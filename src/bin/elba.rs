@@ -107,14 +107,27 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
-    let reads = read_seqs(get(&flags, "reads")?)?;
-    let ranks: usize = num(&flags, "ranks", 4)?;
+/// Everything `assemble` needs before any rank starts: parsed reads,
+/// grid shape, and the fully resolved pipeline config. Shared between
+/// the in-process path and `elba launch` socket workers so both run the
+/// byte-identical pipeline.
+struct AssembleSetup {
+    reads: Vec<Seq>,
+    ranks: usize,
+    threads: usize,
+    cfg: PipelineConfig,
+    schedule: String,
+    kmer_exchange: String,
+}
+
+fn assemble_setup(flags: &HashMap<String, String>) -> Result<AssembleSetup, String> {
+    let reads = read_seqs(get(flags, "reads")?)?;
+    let ranks: usize = num(flags, "ranks", 4)?;
     let q = (ranks as f64).sqrt().round() as usize;
     if q * q != ranks {
         return Err(format!("--ranks must be a perfect square, got {ranks}"));
     }
-    let threads: usize = num(&flags, "threads", 1usize)?;
+    let threads: usize = num(flags, "threads", 1usize)?;
     if threads == 0 {
         return Err("--threads must be at least 1".to_owned());
     }
@@ -122,13 +135,13 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
     // then the explicit per-config knob (which wins over the global).
     ElbaPar::set_threads(threads);
     let mut cfg = PipelineConfig::default().with_threads(threads);
-    cfg.kmer.k = num(&flags, "k", 31usize)?;
+    cfg.kmer.k = num(flags, "k", 31usize)?;
     cfg.overlap.k = cfg.kmer.k;
-    cfg.overlap.xdrop = num(&flags, "xdrop", 15i32)?;
-    cfg.overlap.min_overlap = num(&flags, "min-overlap", 100usize)?;
-    cfg.overlap.min_score_ratio = num(&flags, "min-score-ratio", 0.55f64)?;
-    cfg.overlap.fuzz = num(&flags, "fuzz", 100usize)?;
-    cfg.tr_fuzz = num(&flags, "tr-fuzz", 250u32)?;
+    cfg.overlap.xdrop = num(flags, "xdrop", 15i32)?;
+    cfg.overlap.min_overlap = num(flags, "min-overlap", 100usize)?;
+    cfg.overlap.min_score_ratio = num(flags, "min-score-ratio", 0.55f64)?;
+    cfg.overlap.fuzz = num(flags, "fuzz", 100usize)?;
+    cfg.tr_fuzz = num(flags, "tr-fuzz", 250u32)?;
     if let Some(raw) = flags.get("xdrop-kernel") {
         cfg = cfg.with_xdrop_kernel(match raw.as_str() {
             "scalar" => XdropKernel::Scalar,
@@ -141,7 +154,7 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
             }
         });
     }
-    let chain_band: usize = num(&flags, "chain-band", cfg.overlap.chain_band)?;
+    let chain_band: usize = num(flags, "chain-band", cfg.overlap.chain_band)?;
     let chaining = match flags.get("seed-chaining").map(String::as_str) {
         None => cfg.overlap.chaining,
         Some("all") => SeedChaining::All,
@@ -162,7 +175,7 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
         "eager" => elba::sparse::SpGemmOptions::eager(),
         "pipelined" => elba::sparse::SpGemmOptions::pipelined(),
         "blocked" => {
-            let batch_rows: usize = num(&flags, "batch-rows", 1024usize)?;
+            let batch_rows: usize = num(flags, "batch-rows", 1024usize)?;
             if batch_rows == 0 {
                 return Err("--batch-rows must be at least 1".to_owned());
             }
@@ -203,7 +216,7 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
         .get("kmer-exchange")
         .map(String::as_str)
         .unwrap_or("streaming");
-    let batch_kmers: usize = num(&flags, "batch-kmers", cfg.kmer.batch_kmers)?;
+    let batch_kmers: usize = num(flags, "batch-kmers", cfg.kmer.batch_kmers)?;
     if batch_kmers == 0 {
         return Err("--batch-kmers must be at least 1".to_owned());
     }
@@ -240,34 +253,76 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
         cfg = cfg.with_mem_budget(budget);
     }
 
+    Ok(AssembleSetup {
+        reads,
+        ranks,
+        threads,
+        cfg,
+        schedule: schedule.to_owned(),
+        kmer_exchange: kmer_exchange.to_owned(),
+    })
+}
+
+fn print_banner(setup: &AssembleSetup, transport: &str) {
     println!(
-        "assembling {} reads on {ranks} in-process ranks × {threads} thread(s) \
+        "assembling {} reads on {} {transport} ranks × {} thread(s) \
          (k={}, spgemm={}, kmer-exchange={}{})",
-        reads.len(),
-        cfg.kmer.k,
-        if cfg.mem_budget.is_limited() {
+        setup.reads.len(),
+        setup.ranks,
+        setup.threads,
+        setup.cfg.kmer.k,
+        if setup.cfg.mem_budget.is_limited() {
             "column-batched"
         } else {
-            schedule
+            &setup.schedule
         },
-        if cfg.mem_budget.is_limited() {
+        if setup.cfg.mem_budget.is_limited() {
             "streaming"
         } else {
-            kmer_exchange
+            &setup.kmer_exchange
         },
-        match cfg.mem_budget.total() {
+        match setup.cfg.mem_budget.total() {
             Some(bytes) => format!(", mem-budget={bytes}B/rank"),
             None => String::new(),
         }
     );
-    let reads_run = reads.clone();
-    let cfg_run = cfg.clone();
-    let (mut outputs, profile) = Cluster::run_profiled(ranks, move |comm| {
-        let grid = ProcGrid::new(comm);
-        assemble_gathered(&grid, &reads_run, &cfg_run)
-    });
-    let (contigs, result) = outputs.remove(0);
+}
+
+/// Per-rank profiled traffic over the *named* phases, one deterministic
+/// line. Both transports book bytes from `CommMsg::nbytes` above the
+/// transport, so this line must be identical between an in-process run
+/// and an `elba launch --transport socket` run of the same job — the CI
+/// smoke leg diffs it. UNPHASED is excluded because the socket path
+/// books auxiliary-communicator setup there that the in-process harness
+/// has no analogue for.
+fn wire_bytes_line(profile: &RunProfile) -> String {
+    let names = profile.phase_names();
+    let per_rank: Vec<String> = profile
+        .rank_profiles()
+        .iter()
+        .map(|p| {
+            let bytes: u64 = names
+                .iter()
+                .filter_map(|name| p.phase(name))
+                .map(|phase| phase.bytes_sent())
+                .sum();
+            format!("rank{}={bytes}", p.rank())
+        })
+        .collect();
+    format!("wire-bytes[named-phases]: {}", per_rank.join(" "))
+}
+
+fn assemble_finish(
+    flags: &HashMap<String, String>,
+    setup: &AssembleSetup,
+    contigs: Vec<Contig>,
+    result: PipelineResult,
+    profile: &RunProfile,
+) -> Result<(), String> {
+    let cfg = &setup.cfg;
+    let schedule = setup.schedule.as_str();
     print!("{}", profile.render_table());
+    println!("{}", wire_bytes_line(profile));
     if schedule == "auto" && !cfg.mem_budget.is_limited() {
         if let Some(pick) = elba::sparse::last_auto_spgemm_pick() {
             println!(
@@ -315,7 +370,7 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
         );
         seqs = scaffolds;
     }
-    write_seqs(get(&flags, "out")?, "contig_", &seqs)?;
+    write_seqs(get(flags, "out")?, "contig_", &seqs)?;
 
     if let Some(gfa_path) = flags.get("gfa") {
         let mut graph = GfaGraph::new();
@@ -341,6 +396,157 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
+    let mut setup = assemble_setup(&flags)?;
+    print_banner(&setup, "in-process");
+    let reads = std::mem::take(&mut setup.reads);
+    let cfg = setup.cfg.clone();
+    let (mut outputs, profile) = Cluster::run_profiled(setup.ranks, move |comm| {
+        let grid = ProcGrid::new(comm);
+        assemble_gathered(&grid, &reads, &cfg)
+    });
+    let (contigs, result) = outputs.remove(0);
+    assemble_finish(&flags, &setup, contigs, result, &profile)
+}
+
+/// `elba launch --ranks N [--transport socket|inprocess] -- assemble ...`
+///
+/// The socket transport forks N worker *processes* of this same binary,
+/// wires them into a Unix-socket mesh under a temp directory, and runs
+/// the identical assemble pipeline; rank 0 gathers every worker's
+/// profile and prints the same table and wire-bytes line the in-process
+/// path prints, so the two are directly diffable.
+fn cmd_launch(rest: &[String]) -> Result<(), String> {
+    let Some(split) = rest.iter().position(|a| a == "--") else {
+        return Err("launch needs '-- assemble ...' after its own flags".to_owned());
+    };
+    let (head, tail) = (&rest[..split], &rest[split + 1..]);
+    let flags = parse_flags(head)?;
+    let ranks: usize = num(&flags, "ranks", 4)?;
+    let q = (ranks as f64).sqrt().round() as usize;
+    if ranks == 0 || q * q != ranks {
+        return Err(format!(
+            "--ranks must be a positive perfect square, got {ranks}"
+        ));
+    }
+    let transport = flags
+        .get("transport")
+        .map(String::as_str)
+        .unwrap_or("socket");
+    let Some((sub, sub_rest)) = tail.split_first() else {
+        return Err("launch needs a subcommand after '--'".to_owned());
+    };
+    if sub != "assemble" {
+        return Err(format!(
+            "launch wraps only the assemble subcommand, got '{sub}'"
+        ));
+    }
+    match transport {
+        "inprocess" => {
+            let mut sub_flags = parse_flags(sub_rest)?;
+            sub_flags.insert("ranks".to_owned(), ranks.to_string());
+            cmd_assemble(sub_flags)
+        }
+        "socket" => launch_socket(ranks, sub_rest),
+        other => Err(format!(
+            "--transport must be socket or inprocess; got '{other}'"
+        )),
+    }
+}
+
+fn launch_socket(ranks: usize, assemble_args: &[String]) -> Result<(), String> {
+    // Fail fast in the parent on malformed flags rather than in N
+    // workers at once.
+    parse_flags(assemble_args)?;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("elba-launch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir); // stale sockets from a recycled pid
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut children = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let child = std::process::Command::new(&exe)
+            .arg("assemble")
+            .args(assemble_args)
+            .env("ELBA_RANK", rank.to_string())
+            .env("ELBA_RANKS", ranks.to_string())
+            .env("ELBA_SOCKET_DIR", &dir)
+            .spawn()
+            .map_err(|e| format!("spawn worker rank {rank}: {e}"))?;
+        children.push((rank, child));
+    }
+    let mut failures = Vec::new();
+    for (rank, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("rank {rank} exited with {status}")),
+            Err(e) => failures.push(format!("rank {rank}: wait failed: {e}")),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("launch failed: {}", failures.join("; ")))
+    }
+}
+
+/// Body of one `elba launch` worker process (dispatched from `main`
+/// when the `ELBA_SOCKET_DIR`/`ELBA_RANK`/`ELBA_RANKS` environment is
+/// present). Every worker runs the full pipeline; rank 0 additionally
+/// gathers the per-rank profiles and writes the outputs.
+fn run_socket_worker(
+    rank: usize,
+    nranks: usize,
+    dir: &std::path::Path,
+    flags: HashMap<String, String>,
+) -> Result<(), String> {
+    let q = (nranks as f64).sqrt().round() as usize;
+    if q * q != nranks {
+        return Err(format!(
+            "launch --ranks must be a perfect square, got {nranks}"
+        ));
+    }
+    let mut setup = assemble_setup(&flags)?;
+    setup.ranks = nranks;
+    if rank == 0 {
+        print_banner(&setup, "socket");
+    }
+    let reads = std::mem::take(&mut setup.reads);
+    let cfg = setup.cfg.clone();
+    let (out, _own_profile) = elba::comm::run_worker(dir, rank, nranks, move |comm| {
+        // The profile gather must not disturb the named-phase wire-byte
+        // accounting: the auxiliary communicator is split off before the
+        // grid exists (its setup books as UNPHASED), and each rank
+        // snapshots and encodes its profile before any gather traffic.
+        let aux = comm.dup();
+        let grid = ProcGrid::new(comm);
+        let (contigs, result) = assemble_gathered(&grid, &reads, &cfg);
+        let encoded = {
+            let handle = aux.profile_handle();
+            let snapshot = handle.lock().expect("profile lock").clone();
+            let mut buf = Vec::new();
+            snapshot.wire_encode(&mut buf);
+            buf
+        };
+        let frames = aux.gather(0, encoded);
+        frames.map(|frames| (contigs, result, frames))
+    })
+    .map_err(|e| format!("socket worker rank {rank}: {e}"))?;
+    let Some((contigs, result, frames)) = out else {
+        return Ok(()); // non-root workers are done once the gather lands
+    };
+    let mut profiles = Vec::with_capacity(frames.len());
+    for frame in &frames {
+        let mut reader = elba::comm::transport::wire::WireReader::new(frame);
+        let decoded = elba::comm::Profile::wire_decode(&mut reader)
+            .and_then(|p| reader.finish().map(|()| p))
+            .map_err(|e| format!("decode gathered profile: {e:?}"))?;
+        profiles.push(decoded);
+    }
+    let profile = RunProfile::new(profiles);
+    assemble_finish(&flags, &setup, contigs, result, &profile)
+}
+
 fn cmd_evaluate(flags: HashMap<String, String>) -> Result<(), String> {
     let reference = read_seqs(get(&flags, "reference")?)?;
     let contigs = read_seqs(get(&flags, "contigs")?)?;
@@ -359,7 +565,7 @@ fn cmd_evaluate(flags: HashMap<String, String>) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: elba <simulate|assemble|evaluate> [--flag value]...\n\
+    "usage: elba <simulate|assemble|launch|evaluate> [--flag value]...\n\
      \n\
      simulate --dataset celegans|osativa|hsapiens --reads OUT.fasta\n\
      \u{20}        [--genome OUT.fasta] [--scale 0.2] [--seed 2022]\n\
@@ -370,22 +576,60 @@ fn usage() -> String {
      \u{20}        [--spgemm eager|pipelined|blocked|layered:c|auto] [--batch-rows 1024]\n\
      \u{20}        [--kmer-exchange eager|streaming] [--batch-kmers 65536]\n\
      \u{20}        [--mem-budget 64M] [--gfa graph.gfa]\n\
+     launch   --ranks 4 [--transport socket|inprocess] -- assemble <flags>...\n\
+     \u{20}        (socket: ranks are separate processes over a Unix-socket mesh)\n\
      evaluate --reference genome.fasta --contigs contigs.fasta"
         .to_owned()
 }
 
+/// Worker identity injected by `elba launch --transport socket`; absent
+/// in every directly invoked `elba`.
+fn worker_env() -> Option<Result<(usize, usize, std::path::PathBuf), String>> {
+    let dir = std::env::var_os("ELBA_SOCKET_DIR")?;
+    let parse = || -> Result<(usize, usize, std::path::PathBuf), String> {
+        let rank = std::env::var("ELBA_RANK")
+            .map_err(|_| "ELBA_SOCKET_DIR set but ELBA_RANK missing".to_owned())?
+            .parse::<usize>()
+            .map_err(|_| "ELBA_RANK: not a number".to_owned())?;
+        let ranks = std::env::var("ELBA_RANKS")
+            .map_err(|_| "ELBA_SOCKET_DIR set but ELBA_RANKS missing".to_owned())?
+            .parse::<usize>()
+            .map_err(|_| "ELBA_RANKS: not a number".to_owned())?;
+        Ok((rank, ranks, std::path::PathBuf::from(dir)))
+    };
+    Some(parse())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(env) = worker_env() {
+        let result = env.and_then(|(rank, ranks, dir)| match args.split_first() {
+            Some((command, rest)) if command == "assemble" => {
+                parse_flags(rest).and_then(|flags| run_socket_worker(rank, ranks, &dir, flags))
+            }
+            _ => Err("launch workers only run the assemble subcommand".to_owned()),
+        });
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let result = parse_flags(rest).and_then(|flags| match command.as_str() {
-        "simulate" => cmd_simulate(flags),
-        "assemble" => cmd_assemble(flags),
-        "evaluate" => cmd_evaluate(flags),
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
-    });
+    let result = match command.as_str() {
+        "launch" => cmd_launch(rest),
+        _ => parse_flags(rest).and_then(|flags| match command.as_str() {
+            "simulate" => cmd_simulate(flags),
+            "assemble" => cmd_assemble(flags),
+            "evaluate" => cmd_evaluate(flags),
+            other => Err(format!("unknown command '{other}'\n{}", usage())),
+        }),
+    };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {

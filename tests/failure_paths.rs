@@ -129,3 +129,127 @@ fn all_identical_reads_collapse() {
     // identical reads mutually contain; at most a trivial contig remains
     assert!(out[0].1 >= 7 || out[0].0 <= 1);
 }
+
+// ---- transport wire format: hostile-input rejection ----
+// A socket peer can die mid-write or (in principle) hand us garbage;
+// the frame layer must turn every such input into a clean `WireError`,
+// never a panic, an over-allocation, or a silently wrong value.
+
+mod wire_rejection {
+    use elba::comm::transport::wire::{
+        FrameHeader, FrameKind, WireError, WireReader, FRAME_HEADER_BYTES, MAX_FRAME_LEN,
+    };
+    use elba::comm::CommMsg;
+
+    fn valid_header_bytes() -> Vec<u8> {
+        let mut buf = Vec::new();
+        FrameHeader {
+            kind: FrameKind::Data,
+            ctx: 7,
+            src: 3,
+            tag: 0xbeef,
+            len: 128,
+        }
+        .encode(&mut buf);
+        assert_eq!(buf.len(), FRAME_HEADER_BYTES);
+        buf
+    }
+
+    #[test]
+    fn garbage_magic_is_rejected() {
+        let mut bytes = valid_header_bytes();
+        bytes[0] = b'X';
+        let arr: [u8; FRAME_HEADER_BYTES] = bytes.try_into().expect("size");
+        assert!(matches!(
+            FrameHeader::decode(&arr),
+            Err(WireError::Malformed("frame magic"))
+        ));
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_rejected() {
+        let mut bytes = valid_header_bytes();
+        bytes[4] = 0xff; // kind byte follows the 4-byte magic
+        let arr: [u8; FRAME_HEADER_BYTES] = bytes.try_into().expect("size");
+        assert!(matches!(
+            FrameHeader::decode(&arr),
+            Err(WireError::Malformed("frame kind"))
+        ));
+    }
+
+    #[test]
+    fn absurd_payload_length_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        FrameHeader {
+            kind: FrameKind::Data,
+            ctx: 0,
+            src: 0,
+            tag: 1,
+            len: MAX_FRAME_LEN + 1,
+        }
+        .encode(&mut buf);
+        let arr: [u8; FRAME_HEADER_BYTES] = buf.try_into().expect("size");
+        assert!(matches!(
+            FrameHeader::decode(&arr),
+            Err(WireError::Malformed("frame length"))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_reports_truncation() {
+        let mut buf = Vec::new();
+        vec![1u64, 2, 3, 4].wire_encode(&mut buf);
+        // Cut inside the element data (past the length prefix).
+        let mut reader = WireReader::new(&buf[..buf.len() - 5]);
+        assert!(matches!(
+            Vec::<u64>::wire_decode(&mut reader),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_vec_length_prefix_is_rejected() {
+        // A length prefix claiming 2^63 elements must fail fast on the
+        // MAX_VEC_ELEMS cap, not attempt a with_capacity.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u64 << 63).to_ne_bytes());
+        let mut reader = WireReader::new(&buf);
+        assert!(Vec::<u64>::wire_decode(&mut reader).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_string_is_rejected() {
+        let mut buf = Vec::new();
+        vec![0xffu8, 0xfe, 0xfd].wire_encode(&mut buf);
+        let mut reader = WireReader::new(&buf);
+        assert!(matches!(
+            String::wire_decode(&mut reader),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error_not_ignored() {
+        let mut buf = Vec::new();
+        42u64.wire_encode(&mut buf);
+        buf.push(0);
+        let mut reader = WireReader::new(&buf);
+        assert_eq!(u64::wire_decode(&mut reader).expect("value decodes"), 42);
+        assert!(matches!(reader.finish(), Err(WireError::Trailing(1))));
+    }
+
+    #[test]
+    fn inconsistent_csr_structure_is_rejected() {
+        // Structurally broken panels (indptr not matching indices) must
+        // be caught by the decoder's validation, not crash a kernel.
+        let good =
+            elba::sparse::Csr::<f64>::from_triples(4, 4, vec![(0, 1, 1.0), (2, 3, 2.0)], |_, _| ());
+        let mut buf = Vec::new();
+        good.wire_encode(&mut buf);
+        // nrows is the first u64 of the encoding; growing it desyncs
+        // indptr.len() from nrows + 1.
+        buf[..8].copy_from_slice(&9u64.to_ne_bytes());
+        let mut reader = WireReader::new(&buf);
+        assert!(elba::sparse::Csr::<f64>::wire_decode(&mut reader).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Invariant 2 pinned across transports: the pipeline's outputs AND its
+//! profiled communication volume are properties of the algorithm, not
+//! of the message plane. Running the same assembly on the in-process
+//! mailbox backend and on the socket backend (ranks exchanging
+//! serialized frames over Unix socketpairs) must produce byte-identical
+//! contigs and byte-identical per-rank wire counts in every named
+//! phase, on every grid shape.
+
+use elba::comm::SocketCluster;
+use elba::prelude::*;
+
+fn body(comm: Comm, reads: Vec<Seq>, cfg: PipelineConfig) -> (Vec<Contig>, PipelineResult) {
+    let grid = ProcGrid::new(comm);
+    assemble_gathered(&grid, &reads, &cfg)
+}
+
+/// Per-rank `(phase, bytes_sent, p2p_msgs)` over named phases — the
+/// full shape of the communication, not just a total.
+fn wire_shape(profile: &RunProfile) -> Vec<Vec<(String, u64, u64)>> {
+    let names = profile.phase_names();
+    profile
+        .rank_profiles()
+        .iter()
+        .map(|rank| {
+            names
+                .iter()
+                .filter_map(|name| {
+                    rank.phase(name)
+                        .map(|p| (name.clone(), p.bytes_sent(), p.p2p_msgs))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn contigs_and_wire_bytes_match_across_transports() {
+    let spec = DatasetSpec::celegans_like(0.05, 33);
+    let (_genome, sim_reads) = spec.generate();
+    let reads: Vec<Seq> = sim_reads.into_iter().map(|r| r.seq).collect();
+    let cfg = PipelineConfig::for_dataset(&spec);
+    for p in [1usize, 4, 9] {
+        let (reads_a, cfg_a) = (reads.clone(), cfg.clone());
+        let (mut out_a, prof_a) =
+            Cluster::run_profiled(p, move |comm| body(comm, reads_a.clone(), cfg_a.clone()));
+        let (reads_b, cfg_b) = (reads.clone(), cfg.clone());
+        let (mut out_b, prof_b) =
+            SocketCluster::run_profiled(p, move |comm| body(comm, reads_b.clone(), cfg_b.clone()));
+
+        let (contigs_a, result_a) = out_a.remove(0);
+        let (contigs_b, result_b) = out_b.remove(0);
+        assert_eq!(contigs_a.len(), contigs_b.len(), "p={p}: contig count");
+        for (ca, cb) in contigs_a.iter().zip(&contigs_b) {
+            assert!(ca.seq == cb.seq, "p={p}: contig bases diverge");
+            assert_eq!(ca.read_ids, cb.read_ids, "p={p}: contig walks diverge");
+        }
+        assert_eq!(
+            result_a.n_reliable_kmers, result_b.n_reliable_kmers,
+            "p={p}: reliable k-mers"
+        );
+        assert_eq!(
+            result_a.string_graph_nnz, result_b.string_graph_nnz,
+            "p={p}: string graph nnz"
+        );
+        assert_eq!(
+            wire_shape(&prof_a),
+            wire_shape(&prof_b),
+            "p={p}: profiled wire traffic diverges between transports"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the transport wire codec: whatever `WireEncode`
+//! produces, `WireDecode` must reconstruct exactly — for every payload
+//! shape the runtime actually ships, from the empty vector through
+//! multi-megabyte CSR panels — and the reader must consume the buffer
+//! to the last byte (`finish` pins against silent over- or under-reads).
+
+use elba::comm::transport::wire::WireReader;
+use elba::comm::CommMsg;
+use elba::sparse::Csr;
+use proptest::prelude::*;
+
+fn round_trip<T: CommMsg>(value: &T) -> T {
+    let mut buf = Vec::new();
+    value.wire_encode(&mut buf);
+    // `nbytes` is the profile's *accounting* size (identical across
+    // backends by construction); the frame encoding adds structural
+    // prefixes on top of it, so it can only be at least as large.
+    assert!(
+        buf.len() >= value.nbytes() || value.nbytes() == 0,
+        "encoding ({}) smaller than the booked nbytes ({})",
+        buf.len(),
+        value.nbytes()
+    );
+    let mut reader = WireReader::new(&buf);
+    let decoded = T::wire_decode(&mut reader).expect("decode what we encoded");
+    reader.finish().expect("decode must consume every byte");
+    decoded
+}
+
+#[test]
+fn degenerate_payloads_round_trip() {
+    assert_eq!(round_trip(&Vec::<u8>::new()), Vec::<u8>::new());
+    assert_eq!(round_trip(&vec![42u8]), vec![42u8]);
+    assert_eq!(round_trip(&String::new()), String::new());
+    assert_eq!(round_trip(&Option::<u64>::None), None);
+    let empty: Csr<f64> = Csr::from_triples(0, 0, Vec::new(), |_, _| ());
+    let back = round_trip(&empty);
+    assert_eq!(back.nrows(), 0);
+    assert_eq!(back.nnz(), 0);
+}
+
+#[test]
+fn multi_mb_csr_panel_round_trips() {
+    // ~4 MB of values plus indices/indptr — the size of a SUMMA stage
+    // panel on the larger probes, exercising the bulk slice copies.
+    let (nrows, ncols) = (4096usize, 2048usize);
+    let triples: Vec<(u32, u32, f64)> = (0..nrows)
+        .flat_map(|r| {
+            (0..128u32).map(move |i| {
+                let c = (r as u32 * 37 + i * 13) % ncols as u32;
+                (r as u32, c, r as f64 + i as f64 * 0.5)
+            })
+        })
+        .collect();
+    let panel = Csr::from_triples(nrows, ncols, triples, |acc, v| *acc += v);
+    assert!(panel.nbytes() > 4 << 20, "panel must be multi-MB");
+    let back = round_trip(&panel);
+    assert_eq!(back.nrows(), panel.nrows());
+    assert_eq!(back.ncols(), panel.ncols());
+    assert_eq!(back.indptr(), panel.indptr());
+    assert_eq!(back.indices(), panel.indices());
+    assert_eq!(back.values(), panel.values());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn byte_vectors_round_trip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(round_trip(&data), data);
+    }
+
+    #[test]
+    fn scalar_vectors_round_trip(
+        words in proptest::collection::vec(any::<u64>(), 0..512),
+        floats in proptest::collection::vec(any::<u32>(), 0..512),
+    ) {
+        // Derive f64s from u32 bits so NaN never enters an equality check.
+        let floats: Vec<f64> = floats.iter().map(|&b| f64::from(b) * 0.125).collect();
+        prop_assert_eq!(round_trip(&words), words);
+        prop_assert_eq!(round_trip(&floats), floats);
+    }
+
+    #[test]
+    fn structured_payloads_round_trip(
+        id in any::<u64>(),
+        codes in proptest::collection::vec(any::<u8>(), 0..128),
+        flag in any::<bool>(),
+    ) {
+        let text: String = codes.iter().map(|&b| char::from(b'a' + b % 26)).collect();
+        let value = (id, text.clone(), codes.clone(), flag.then_some(id));
+        prop_assert_eq!(round_trip(&value), value);
+        let nested: Vec<(u64, String)> = (0..codes.len().min(16) as u64)
+            .map(|i| (i.wrapping_mul(id), text.clone()))
+            .collect();
+        prop_assert_eq!(round_trip(&nested), nested);
+    }
+
+    #[test]
+    fn csr_panels_round_trip(
+        nrows in 1usize..64,
+        ncols in 1usize..64,
+        seeds in proptest::collection::vec(any::<u32>(), 0..256),
+    ) {
+        let triples: Vec<(u32, u32, f64)> = seeds
+            .iter()
+            .map(|&s| {
+                (
+                    s % nrows as u32,
+                    (s / 7) % ncols as u32,
+                    f64::from(s % 1009) * 0.25,
+                )
+            })
+            .collect();
+        let panel = Csr::from_triples(nrows, ncols, triples, |acc, v| *acc += v);
+        let back = round_trip(&panel);
+        prop_assert_eq!(back.indptr(), panel.indptr());
+        prop_assert_eq!(back.indices(), panel.indices());
+        prop_assert_eq!(back.values(), panel.values());
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errs(
+        words in proptest::collection::vec(any::<u64>(), 1..64),
+        cut_seed in any::<u32>(),
+    ) {
+        // Every strict prefix of a valid encoding must decode to a clean
+        // error — truncated frames (a peer dying mid-write) must never
+        // produce a value or a panic.
+        let mut buf = Vec::new();
+        words.wire_encode(&mut buf);
+        let cut = cut_seed as usize % buf.len();
+        let mut reader = WireReader::new(&buf[..cut]);
+        prop_assert!(Vec::<u64>::wire_decode(&mut reader).is_err());
+    }
+}
