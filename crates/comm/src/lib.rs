@@ -58,5 +58,5 @@ pub use model::{CostConstants, MachineModel, SchedulePlan, SpGemmEstimate};
 pub use msg::CommMsg;
 pub use profile::{PhaseProfile, Profile, RunProfile};
 pub use runtime::{Cluster, Comm, MemCharge, Rank, RecvRequest, SendRequest, SharedMemCharge, Tag};
-pub use transport::socket::{run_worker, SocketCluster};
+pub use transport::socket::{run_worker, MeshConfig, SocketCluster};
 pub use transport::Transport;

@@ -412,12 +412,58 @@ fn pair_mesh(nranks: usize) -> Vec<Arc<SocketNode>> {
         .collect()
 }
 
-/// How long mesh construction waits for sibling processes before giving
-/// up (a crashed sibling would otherwise hang the whole launch).
-const MESH_TIMEOUT: Duration = Duration::from_secs(60);
+/// Mesh bring-up tuning: how long [`connect_mesh`] waits for sibling
+/// processes before giving up (a crashed sibling would otherwise hang
+/// the whole launch), and the retry cadence while it waits. Replaces
+/// the old hard-wired 60 s constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshConfig {
+    /// Give-up deadline for the whole bring-up.
+    pub timeout: Duration,
+    /// First retry sleep; doubles per failed attempt up to `retry_max`
+    /// (exponential backoff keeps a large mesh from hammering the
+    /// filesystem while still reacting in microseconds when siblings
+    /// arrive quickly).
+    pub retry_start: Duration,
+    /// Backoff ceiling.
+    pub retry_max: Duration,
+}
 
-fn retry_connect(path: &Path) -> std::io::Result<UnixStream> {
-    let deadline = Instant::now() + MESH_TIMEOUT;
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            timeout: Duration::from_secs(60),
+            retry_start: Duration::from_millis(2),
+            retry_max: Duration::from_millis(50),
+        }
+    }
+}
+
+impl MeshConfig {
+    /// Default config with the deadline overridden by
+    /// `ELBA_MESH_TIMEOUT_MS` when present — `elba launch` sets it from
+    /// `--launch-timeout` so bring-up gives up before the supervisor's
+    /// own deadline fires.
+    pub fn from_env() -> MeshConfig {
+        let mut cfg = MeshConfig::default();
+        if let Some(ms) = std::env::var("ELBA_MESH_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            cfg.timeout = Duration::from_millis(ms.max(1));
+        }
+        cfg
+    }
+
+    /// Next backoff sleep after `current` (doubling, capped).
+    fn backoff(&self, current: Duration) -> Duration {
+        (current * 2).min(self.retry_max)
+    }
+}
+
+fn retry_connect(path: &Path, cfg: &MeshConfig) -> std::io::Result<UnixStream> {
+    let deadline = Instant::now() + cfg.timeout;
+    let mut sleep = cfg.retry_start;
     loop {
         match UnixStream::connect(path) {
             Ok(stream) => return Ok(stream),
@@ -428,7 +474,8 @@ fn retry_connect(path: &Path) -> std::io::Result<UnixStream> {
                         format!("connecting to {} timed out: {err}", path.display()),
                     ));
                 }
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(sleep);
+                sleep = cfg.backoff(sleep);
             }
         }
     }
@@ -438,11 +485,16 @@ fn retry_connect(path: &Path) -> std::io::Result<UnixStream> {
 /// bind `rank<r>.sock`, connect to every lower rank (with retry — the
 /// siblings may not have bound yet), accept every higher rank, exchange
 /// hello frames so accepted streams are attributed to the right peer.
-fn connect_mesh(dir: &Path, rank: Rank, nranks: usize) -> std::io::Result<Arc<SocketNode>> {
+fn connect_mesh(
+    dir: &Path,
+    rank: Rank,
+    nranks: usize,
+    cfg: &MeshConfig,
+) -> std::io::Result<Arc<SocketNode>> {
     let listener = UnixListener::bind(dir.join(format!("rank{rank}.sock")))?;
     let mut streams: Vec<Option<UnixStream>> = (0..nranks).map(|_| None).collect();
     for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
-        let stream = retry_connect(&dir.join(format!("rank{peer}.sock")))?;
+        let stream = retry_connect(&dir.join(format!("rank{peer}.sock")), cfg)?;
         let mut hello = Vec::with_capacity(FRAME_HEADER_BYTES);
         FrameHeader {
             kind: FrameKind::Hello,
@@ -455,9 +507,10 @@ fn connect_mesh(dir: &Path, rank: Rank, nranks: usize) -> std::io::Result<Arc<So
         (&stream).write_all(&hello)?;
         *slot = Some(stream);
     }
-    let deadline = Instant::now() + MESH_TIMEOUT;
+    let deadline = Instant::now() + cfg.timeout;
     for _ in rank + 1..nranks {
         listener.set_nonblocking(true)?;
+        let mut sleep = cfg.retry_start;
         let stream = loop {
             match listener.accept() {
                 Ok((stream, _)) => break stream,
@@ -468,7 +521,8 @@ fn connect_mesh(dir: &Path, rank: Rank, nranks: usize) -> std::io::Result<Arc<So
                             "timed out waiting for higher ranks to connect",
                         ));
                     }
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(sleep);
+                    sleep = cfg.backoff(sleep);
                 }
                 Err(err) => return Err(err),
             }
@@ -512,7 +566,7 @@ where
     F: FnOnce(Comm) -> T,
 {
     assert!(rank < nranks, "worker rank {rank} outside 0..{nranks}");
-    let node = connect_mesh(dir, rank, nranks)?;
+    let node = connect_mesh(dir, rank, nranks, &MeshConfig::from_env())?;
     let profile = Arc::new(Mutex::new(Profile::new(rank)));
     let transport: Arc<dyn Transport> = Arc::new(SocketTransport::world(node));
     let comm = Comm::from_transport(transport, Arc::clone(&profile));

@@ -11,11 +11,44 @@
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::process::ExitCode;
+use std::path::PathBuf;
+use std::process::{Child, ExitCode, ExitStatus};
+use std::time::{Duration, Instant};
 
+use elba::exit;
 use elba::prelude::*;
 use elba::seq::fasta::{read_fasta, write_fasta, FastaRecord};
 use elba::seq::gfa::GfaGraph;
+
+/// A CLI failure plus the process exit code it maps to (see
+/// [`elba::exit`] for the taxonomy). Plain `String` errors convert to
+/// the generic [`exit::FAILURE`].
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            code: exit::USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn failure(message: impl Into<String>) -> CliError {
+        CliError {
+            code: exit::FAILURE,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::failure(message)
+    }
+}
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -416,77 +449,247 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
 /// the identical assemble pipeline; rank 0 gathers every worker's
 /// profile and prints the same table and wire-bytes line the in-process
 /// path prints, so the two are directly diffable.
-fn cmd_launch(rest: &[String]) -> Result<(), String> {
+fn cmd_launch(rest: &[String]) -> Result<(), CliError> {
     let Some(split) = rest.iter().position(|a| a == "--") else {
-        return Err("launch needs '-- assemble ...' after its own flags".to_owned());
+        return Err(CliError::usage(
+            "launch needs '-- assemble ...' after its own flags",
+        ));
     };
     let (head, tail) = (&rest[..split], &rest[split + 1..]);
-    let flags = parse_flags(head)?;
-    let ranks: usize = num(&flags, "ranks", 4)?;
+    let flags = parse_flags(head).map_err(CliError::usage)?;
+    let ranks: usize = num(&flags, "ranks", 4).map_err(CliError::usage)?;
     let q = (ranks as f64).sqrt().round() as usize;
     if ranks == 0 || q * q != ranks {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "--ranks must be a positive perfect square, got {ranks}"
-        ));
+        )));
     }
     let transport = flags
         .get("transport")
         .map(String::as_str)
         .unwrap_or("socket");
+    let timeout_secs: u64 = num(&flags, "launch-timeout", 600).map_err(CliError::usage)?;
+    if timeout_secs == 0 {
+        return Err(CliError::usage(
+            "--launch-timeout must be at least 1 second",
+        ));
+    }
+    let opts = LaunchOptions {
+        timeout: Duration::from_secs(timeout_secs),
+        socket_dir: flags.get("socket-dir").map(PathBuf::from),
+    };
     let Some((sub, sub_rest)) = tail.split_first() else {
-        return Err("launch needs a subcommand after '--'".to_owned());
+        return Err(CliError::usage("launch needs a subcommand after '--'"));
     };
     if sub != "assemble" {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "launch wraps only the assemble subcommand, got '{sub}'"
-        ));
+        )));
     }
     match transport {
         "inprocess" => {
-            let mut sub_flags = parse_flags(sub_rest)?;
+            let mut sub_flags = parse_flags(sub_rest).map_err(CliError::usage)?;
             sub_flags.insert("ranks".to_owned(), ranks.to_string());
-            cmd_assemble(sub_flags)
+            cmd_assemble(sub_flags).map_err(CliError::from)
         }
-        "socket" => launch_socket(ranks, sub_rest),
-        other => Err(format!(
+        "socket" => launch_socket(ranks, &opts, sub_rest),
+        other => Err(CliError::usage(format!(
             "--transport must be socket or inprocess; got '{other}'"
-        )),
+        ))),
     }
 }
 
-fn launch_socket(ranks: usize, assemble_args: &[String]) -> Result<(), String> {
+/// Supervision knobs parsed from `elba launch`'s own flags.
+struct LaunchOptions {
+    /// Hard deadline for the whole launch — mesh bring-up included (the
+    /// workers' `ELBA_MESH_TIMEOUT_MS` is derived from it).
+    timeout: Duration,
+    /// Rendezvous directory override; defaults to a pid-keyed temp dir.
+    socket_dir: Option<PathBuf>,
+}
+
+/// Removes the socket rendezvous directory on every exit path — clean
+/// completion, spawn failure, rank crash, timeout, or a panic in the
+/// supervisor itself — so aborted launches never leak socket files.
+struct SocketDirGuard(PathBuf);
+
+impl Drop for SocketDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One abnormally-exited child: its rank, a severity class used to pick
+/// the root cause of a cascade, and a human-readable status.
+struct ChildFailure {
+    rank: usize,
+    severity: u8,
+    status: String,
+}
+
+fn classify_exit(rank: usize, status: ExitStatus) -> ChildFailure {
+    use std::os::unix::process::ExitStatusExt;
+    // Severity orders candidate root causes: a signal-killed or
+    // fault-killed rank originated the failure; survivors that exited
+    // because a peer vanished are cascade victims and sort last.
+    let (severity, status) = match status.code() {
+        Some(c) if c == i32::from(exit::FAULT_KILLED) => {
+            (1, format!("exited with code {c} (killed by fault plan)"))
+        }
+        Some(c) if c == i32::from(exit::PEER_GONE) => {
+            (3, format!("exited with code {c} (a peer rank died)"))
+        }
+        Some(c) if c == i32::from(exit::USAGE) => {
+            (2, format!("exited with code {c} (bad arguments)"))
+        }
+        Some(c) => (2, format!("exited with code {c}")),
+        None => match status.signal() {
+            Some(s) => (0, format!("killed by signal {s}")),
+            None => (2, format!("{status}")),
+        },
+    };
+    ChildFailure {
+        rank,
+        severity,
+        status,
+    }
+}
+
+/// Non-blocking pass over all children: reap exits, record abnormal
+/// ones, return how many are still running.
+fn sweep_children(
+    children: &mut [Option<(usize, Child)>],
+    failures: &mut Vec<ChildFailure>,
+) -> usize {
+    let mut running = 0;
+    for slot in children.iter_mut() {
+        let Some((rank, child)) = slot else { continue };
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                if !status.success() {
+                    failures.push(classify_exit(*rank, status));
+                }
+                *slot = None;
+            }
+            Ok(None) => running += 1,
+            Err(e) => {
+                failures.push(ChildFailure {
+                    rank: *rank,
+                    severity: 2,
+                    status: format!("wait failed: {e}"),
+                });
+                *slot = None;
+            }
+        }
+    }
+    running
+}
+
+fn kill_and_reap(children: &mut [Option<(usize, Child)>]) {
+    for slot in children.iter_mut() {
+        if let Some((_, child)) = slot {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        *slot = None;
+    }
+}
+
+fn launch_socket(
+    ranks: usize,
+    opts: &LaunchOptions,
+    assemble_args: &[String],
+) -> Result<(), CliError> {
     // Fail fast in the parent on malformed flags rather than in N
     // workers at once.
-    parse_flags(assemble_args)?;
-    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
-    let dir = std::env::temp_dir().join(format!("elba-launch-{}", std::process::id()));
+    parse_flags(assemble_args).map_err(CliError::usage)?;
+    let exe =
+        std::env::current_exe().map_err(|e| CliError::failure(format!("current_exe: {e}")))?;
+    let dir = opts.socket_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("elba-launch-{}", std::process::id()))
+    });
     let _ = std::fs::remove_dir_all(&dir); // stale sockets from a recycled pid
-    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    let mut children = Vec::with_capacity(ranks);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CliError::failure(format!("create {}: {e}", dir.display())))?;
+    let _cleanup = SocketDirGuard(dir.clone());
+    let deadline = Instant::now() + opts.timeout;
+    let mut children: Vec<Option<(usize, Child)>> = Vec::with_capacity(ranks);
     for rank in 0..ranks {
-        let child = std::process::Command::new(&exe)
+        let spawned = std::process::Command::new(&exe)
             .arg("assemble")
             .args(assemble_args)
             .env("ELBA_RANK", rank.to_string())
             .env("ELBA_RANKS", ranks.to_string())
             .env("ELBA_SOCKET_DIR", &dir)
-            .spawn()
-            .map_err(|e| format!("spawn worker rank {rank}: {e}"))?;
-        children.push((rank, child));
-    }
-    let mut failures = Vec::new();
-    for (rank, mut child) in children {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => failures.push(format!("rank {rank} exited with {status}")),
-            Err(e) => failures.push(format!("rank {rank}: wait failed: {e}")),
+            .env("ELBA_MESH_TIMEOUT_MS", opts.timeout.as_millis().to_string())
+            .spawn();
+        match spawned {
+            Ok(child) => children.push(Some((rank, child))),
+            Err(e) => {
+                kill_and_reap(&mut children);
+                return Err(CliError::failure(format!("spawn worker rank {rank}: {e}")));
+            }
         }
     }
-    let _ = std::fs::remove_dir_all(&dir);
-    if failures.is_empty() {
-        Ok(())
-    } else {
-        Err(format!("launch failed: {}", failures.join("; ")))
+    supervise(&mut children, deadline, opts.timeout)
+}
+
+/// Poll all children until they finish, one dies, or the deadline
+/// passes. Never blocks on any single child, so a hung rank 0 cannot
+/// delay noticing that rank 3 died.
+fn supervise(
+    children: &mut [Option<(usize, Child)>],
+    deadline: Instant,
+    timeout: Duration,
+) -> Result<(), CliError> {
+    let mut failures: Vec<ChildFailure> = Vec::new();
+    loop {
+        let running = sweep_children(children, &mut failures);
+        if !failures.is_empty() {
+            // Give the cascade a moment to surface naturally (survivors
+            // of a killed rank exit within milliseconds), then put the
+            // rest down — a status collected after our own kill() would
+            // be indistinguishable from the root cause.
+            let grace = Instant::now() + Duration::from_millis(100);
+            while sweep_children(children, &mut failures) > 0 && Instant::now() < grace {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            kill_and_reap(children);
+            failures.sort_by_key(|f| (f.severity, f.rank));
+            let primary = &failures[0];
+            let mut message = format!("launch failed: rank {} {}", primary.rank, primary.status);
+            if failures.len() > 1 {
+                let rest: Vec<String> = failures[1..]
+                    .iter()
+                    .map(|f| format!("rank {} {}", f.rank, f.status))
+                    .collect();
+                message.push_str(&format!("; then {}", rest.join("; ")));
+            }
+            return Err(CliError {
+                code: exit::RANK_FAILED,
+                message,
+            });
+        }
+        if running == 0 {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            let alive: Vec<String> = children
+                .iter()
+                .flatten()
+                .map(|(rank, _)| rank.to_string())
+                .collect();
+            kill_and_reap(children);
+            return Err(CliError {
+                code: exit::LAUNCH_TIMEOUT,
+                message: format!(
+                    "launch timed out after {}s; killed still-running rank(s) {}",
+                    timeout.as_secs(),
+                    alive.join(", ")
+                ),
+            });
+        }
+        std::thread::sleep(Duration::from_millis(15));
     }
 }
 
@@ -499,12 +702,12 @@ fn run_socket_worker(
     nranks: usize,
     dir: &std::path::Path,
     flags: HashMap<String, String>,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let q = (nranks as f64).sqrt().round() as usize;
     if q * q != nranks {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "launch --ranks must be a perfect square, got {nranks}"
-        ));
+        )));
     }
     let mut setup = assemble_setup(&flags)?;
     setup.ranks = nranks;
@@ -544,7 +747,7 @@ fn run_socket_worker(
         profiles.push(decoded);
     }
     let profile = RunProfile::new(profiles);
-    assemble_finish(&flags, &setup, contigs, result, &profile)
+    assemble_finish(&flags, &setup, contigs, result, &profile).map_err(CliError::from)
 }
 
 fn cmd_evaluate(flags: HashMap<String, String>) -> Result<(), String> {
@@ -576,8 +779,10 @@ fn usage() -> String {
      \u{20}        [--spgemm eager|pipelined|blocked|layered:c|auto] [--batch-rows 1024]\n\
      \u{20}        [--kmer-exchange eager|streaming] [--batch-kmers 65536]\n\
      \u{20}        [--mem-budget 64M] [--gfa graph.gfa]\n\
-     launch   --ranks 4 [--transport socket|inprocess] -- assemble <flags>...\n\
-     \u{20}        (socket: ranks are separate processes over a Unix-socket mesh)\n\
+     launch   --ranks 4 [--transport socket|inprocess] [--launch-timeout 600]\n\
+     \u{20}        [--socket-dir DIR] -- assemble <flags>...\n\
+     \u{20}        (socket: ranks are separate supervised processes over a\n\
+     \u{20}        Unix-socket mesh; first abnormal exit kills the survivors)\n\
      evaluate --reference genome.fasta --contigs contigs.fasta"
         .to_owned()
 }
@@ -600,41 +805,48 @@ fn worker_env() -> Option<Result<(usize, usize, std::path::PathBuf), String>> {
     Some(parse())
 }
 
+fn report(result: Result<(), CliError>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {}", err.message);
+            ExitCode::from(err.code)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(env) = worker_env() {
-        let result = env.and_then(|(rank, ranks, dir)| match args.split_first() {
-            Some((command, rest)) if command == "assemble" => {
-                parse_flags(rest).and_then(|flags| run_socket_worker(rank, ranks, &dir, flags))
-            }
-            _ => Err("launch workers only run the assemble subcommand".to_owned()),
-        });
-        return match result {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(message) => {
-                eprintln!("error: {message}");
-                ExitCode::FAILURE
-            }
-        };
+        let result =
+            env.map_err(CliError::usage)
+                .and_then(|(rank, ranks, dir)| match args.split_first() {
+                    Some((command, rest)) if command == "assemble" => parse_flags(rest)
+                        .map_err(CliError::usage)
+                        .and_then(|flags| run_socket_worker(rank, ranks, &dir, flags)),
+                    _ => Err(CliError::usage(
+                        "launch workers only run the assemble subcommand",
+                    )),
+                });
+        return report(result);
     }
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(exit::USAGE);
     };
     let result = match command.as_str() {
         "launch" => cmd_launch(rest),
-        _ => parse_flags(rest).and_then(|flags| match command.as_str() {
-            "simulate" => cmd_simulate(flags),
-            "assemble" => cmd_assemble(flags),
-            "evaluate" => cmd_evaluate(flags),
-            other => Err(format!("unknown command '{other}'\n{}", usage())),
-        }),
+        _ => parse_flags(rest)
+            .map_err(CliError::usage)
+            .and_then(|flags| match command.as_str() {
+                "simulate" => cmd_simulate(flags).map_err(CliError::from),
+                "assemble" => cmd_assemble(flags).map_err(CliError::from),
+                "evaluate" => cmd_evaluate(flags).map_err(CliError::from),
+                other => Err(CliError::usage(format!(
+                    "unknown command '{other}'\n{}",
+                    usage()
+                ))),
+            }),
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
-        }
-    }
+    report(result)
 }

@@ -38,6 +38,30 @@
 //! of the paper.
 
 pub use elba_align as align;
+
+/// Process exit codes shared by the `elba` binary, its `elba launch`
+/// worker processes, and the chaos tests/CI scripts. The supervisor (and
+/// anything scripting it) distinguishes "a rank crashed" from "bad
+/// arguments" from "deadline blown" by exit code alone, without parsing
+/// stderr.
+pub mod exit {
+    /// Generic failure: I/O errors, pipeline errors.
+    pub const FAILURE: u8 = 1;
+    /// Malformed command line or worker environment.
+    pub const USAGE: u8 = 2;
+    /// `elba launch`: a worker rank exited abnormally; the supervisor's
+    /// message names the rank and its status.
+    pub const RANK_FAILED: u8 = 10;
+    /// `elba launch`: workers were still running when `--launch-timeout`
+    /// expired; the supervisor killed them.
+    pub const LAUNCH_TIMEOUT: u8 = 11;
+    /// Worker: unwound cleanly after a peer rank died
+    /// (`CommError::PeerGone`) — a cascade victim, not the root cause.
+    pub const PEER_GONE: u8 = 13;
+    /// Worker: terminated by an injected soft kill (a `FaultPlan`
+    /// `kill:` action in process mode).
+    pub const FAULT_KILLED: u8 = 14;
+}
 pub use elba_baseline as baseline;
 pub use elba_comm as comm;
 pub use elba_core as core;
