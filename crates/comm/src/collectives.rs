@@ -7,6 +7,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::error::{raise, CommError};
 use crate::msg::CommMsg;
 use crate::runtime::{op, Comm, Rank, RecvRequest, Tag};
 
@@ -655,6 +656,12 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
     /// destination's credit window queue locally and flow out during
     /// subsequent `try_next`/`next` calls as credits return.
     pub fn post(&mut self, dst: Rank, buf: Vec<T>) {
+        self.post_checked(dst, buf).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible face of [`IalltoallvRequest::post`]: a dead peer is a
+    /// typed [`CommError`] instead of an unwind.
+    pub fn post_checked(&mut self, dst: Rank, buf: Vec<T>) -> Result<(), CommError> {
         assert!(
             self.send_open[dst],
             "ialltoallv: post to rank {dst} after finish_sends"
@@ -662,12 +669,12 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
         // Reclaimed credits must drain the queue immediately, not sit
         // idle until the next try_next — a posting burst would otherwise
         // serialize behind its first window.
-        self.flush_sends();
+        self.flush_sends()?;
         if buf.is_empty() {
-            return;
+            return Ok(());
         }
         if buf.len() <= self.chunk_elems {
-            self.enqueue_chunk(dst, ChunkBody::Owned(buf));
+            self.enqueue_chunk(dst, ChunkBody::Owned(buf))?;
         } else {
             // Shared fan-out: one Arc'd allocation, chunk-sized views.
             // (A split_off chain would re-copy the remaining tail once
@@ -676,23 +683,30 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
             let mut start = 0;
             while start < shared.len() {
                 let end = (start + self.chunk_elems).min(shared.len());
-                self.enqueue_chunk(dst, ChunkBody::Shared(Arc::clone(&shared), start..end));
+                self.enqueue_chunk(dst, ChunkBody::Shared(Arc::clone(&shared), start..end))?;
                 start = end;
             }
         }
+        Ok(())
+    }
+
+    /// Attribute an error from a comm primitive to this collective.
+    fn op_err(e: CommError) -> CommError {
+        e.in_op("ialltoallv")
     }
 
     /// Ship one chunk now if the destination has credit and no queue,
     /// else queue it.
-    fn enqueue_chunk(&mut self, dst: Rank, chunk: ChunkBody<T>) {
+    fn enqueue_chunk(&mut self, dst: Rank, chunk: ChunkBody<T>) -> Result<(), CommError> {
         if self.pending_sends[dst].is_empty() && self.credits[dst] > 0 {
-            self.send_chunk(dst, chunk);
+            self.send_chunk(dst, chunk)
         } else {
             self.pending_sends[dst].push_back(chunk);
+            Ok(())
         }
     }
 
-    fn send_chunk(&mut self, dst: Rank, chunk: ChunkBody<T>) {
+    fn send_chunk(&mut self, dst: Rank, chunk: ChunkBody<T>) -> Result<(), CommError> {
         debug_assert!(self.credits[dst] > 0);
         self.credits[dst] -= 1;
         self.sent_chunks[dst] += 1;
@@ -700,16 +714,21 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
         self.peak_outstanding = self.peak_outstanding.max(outstanding);
         let msg = (chunk, false);
         self.comm.record_coll_bytes("ialltoallv", msg.nbytes());
-        self.comm.coll_send(dst, self.tag, msg);
+        self.comm
+            .coll_send_checked(dst, self.tag, msg)
+            .map_err(Self::op_err)
     }
 
-    /// Reap any credits that have come back.
-    fn pump_acks(&mut self) {
+    /// Reap any credits that have come back. Surfacing a dead peer here
+    /// is what keeps `wait_for_credit` live: outstanding acks toward a
+    /// dead destination can never return, and the probe must error
+    /// rather than let the sender park on them forever.
+    fn pump_acks(&mut self) -> Result<(), CommError> {
         for dst in 0..self.comm.size() {
             while self.acked_chunks[dst] < self.sent_chunks[dst] {
                 let req = self.ack_inflight[dst]
                     .get_or_insert_with(|| self.comm.raw_irecv(dst, self.ack_tag));
-                if !req.test() {
+                if !req.try_test().map_err(Self::op_err)? {
                     break;
                 }
                 let req = self.ack_inflight[dst].take().expect("just inserted");
@@ -720,18 +739,19 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
                 self.credits[dst] = self.credits[dst].saturating_add(1);
             }
         }
+        Ok(())
     }
 
     /// Move queued chunks (and due terminators) out under the available
     /// credits.
-    fn flush_sends(&mut self) {
-        self.pump_acks();
+    fn flush_sends(&mut self) -> Result<(), CommError> {
+        self.pump_acks()?;
         for dst in 0..self.comm.size() {
             while self.credits[dst] > 0 {
                 let Some(chunk) = self.pending_sends[dst].pop_front() else {
                     break;
                 };
-                self.send_chunk(dst, chunk);
+                self.send_chunk(dst, chunk)?;
             }
             if !self.send_open[dst]
                 && self.pending_sends[dst].is_empty()
@@ -739,10 +759,13 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
             {
                 let msg: ChunkMsg<T> = (ChunkBody::Owned(Vec::new()), true);
                 self.comm.record_coll_bytes("ialltoallv", msg.nbytes());
-                self.comm.coll_send(dst, self.tag, msg);
+                self.comm
+                    .coll_send_checked(dst, self.tag, msg)
+                    .map_err(Self::op_err)?;
                 self.terminator_sent[dst] = true;
             }
         }
+        Ok(())
     }
 
     /// Seal every destination: no further [`IalltoallvRequest::post`]
@@ -752,8 +775,13 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
     /// ([`IalltoallvRequest::wait`] calls it implicitly); after sealing,
     /// keep draining with `next`/`wait` so queued sends make progress.
     pub fn finish_sends(&mut self) {
+        self.finish_sends_checked().unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible face of [`IalltoallvRequest::finish_sends`].
+    pub fn finish_sends_checked(&mut self) -> Result<(), CommError> {
         self.send_open.iter_mut().for_each(|open| *open = false);
-        self.flush_sends();
+        self.flush_sends()
     }
 
     /// Number of sources that have not yet sent their terminator. The
@@ -808,29 +836,51 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
     ///
     /// [`try_next`]: IalltoallvRequest::try_next
     pub fn wait_for_credit(&mut self) {
+        self.wait_for_credit_checked().unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible face of [`IalltoallvRequest::wait_for_credit`]: a peer
+    /// dying mid-exchange errors out of the park (releasing the
+    /// credit-blocked sends queued toward it) instead of deadlocking —
+    /// its closed flag bumps the inbox sequence, the probe sweep runs,
+    /// and the dead peer surfaces from `pump_acks` or the inbound probe.
+    pub fn wait_for_credit_checked(&mut self) -> Result<(), CommError> {
         let mut waited: Option<Instant> = None;
-        loop {
+        let result = loop {
             // Seq is read before the flush and the inbound probe: an
             // ack or chunk arriving in between bumps it and the park
             // returns at once (no lost wakeup).
             let seen = self.comm.inbox_seq();
-            self.flush_sends();
-            if self.pending_send_items() == 0 || self.inbound_ready() {
-                break;
+            if let Err(e) = self.flush_sends() {
+                break Err(e);
+            }
+            if self.pending_send_items() == 0 {
+                break Ok(());
+            }
+            match self.inbound_ready() {
+                Err(e) => break Err(e),
+                Ok(true) => break Ok(()),
+                Ok(false) => {}
             }
             waited.get_or_insert_with(Instant::now);
             self.comm.park_inbox(seen);
-        }
+        };
         if let Some(started) = waited {
             self.comm.record_wait(started.elapsed().as_secs_f64());
         }
+        result
     }
 
     /// Whether any source has a chunk (or terminator) consumable right
     /// now. `test` buffers a matched envelope inside the request, so a
     /// positive probe is never lost — the next `try_next` returns it.
-    fn inbound_ready(&mut self) -> bool {
-        self.inflight.iter_mut().flatten().any(|req| req.test())
+    fn inbound_ready(&mut self) -> Result<bool, CommError> {
+        for req in self.inflight.iter_mut().flatten() {
+            if req.try_test().map_err(Self::op_err)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
     /// Whether this rank's outbound side is fully done (sealed, queues
@@ -850,14 +900,21 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
     /// dropping the request, to block-reap acks still in flight — see
     /// [`open_sources`](IalltoallvRequest::open_sources).
     pub fn try_next(&mut self) -> Option<(Rank, Vec<T>)> {
-        self.flush_sends();
+        self.try_next_checked().unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible face of [`IalltoallvRequest::try_next`]: a source dying
+    /// mid-stream (its terminator can never arrive) is a typed
+    /// [`CommError`] instead of an unwind.
+    pub fn try_next_checked(&mut self) -> Result<Option<(Rank, Vec<T>)>, CommError> {
+        self.flush_sends()?;
         let p = self.comm.size();
         for i in 0..p {
             let src = (self.poll_cursor + i) % p;
             let Some(req) = self.inflight[src].as_mut() else {
                 continue; // source already terminated
             };
-            if !req.test() {
+            if !req.try_test().map_err(Self::op_err)? {
                 continue;
             }
             let req = self.inflight[src].take().expect("matched as Some");
@@ -874,10 +931,12 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
             // them so the profiler's message count (and the α-term of
             // the machine model) sees the flow-control traffic.
             self.comm.record_coll_bytes("ialltoallv", 0);
-            self.comm.coll_send(src, self.ack_tag, ());
-            return Some((src, chunk.into_vec()));
+            self.comm
+                .coll_send_checked(src, self.ack_tag, ())
+                .map_err(Self::op_err)?;
+            return Ok(Some((src, chunk.into_vec())));
         }
-        None
+        Ok(None)
     }
 
     /// Whether the whole exchange is over from this rank's perspective:
@@ -891,17 +950,18 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
 
     /// Block-reap the credits still in flight for chunks we sent, so no
     /// stray ack messages outlive the collective in the mailbox.
-    fn reap_remaining_acks(&mut self) {
+    fn reap_remaining_acks(&mut self) -> Result<(), CommError> {
         for dst in 0..self.comm.size() {
             while self.acked_chunks[dst] < self.sent_chunks[dst] {
                 let req = self.ack_inflight[dst]
                     .take()
                     .unwrap_or_else(|| self.comm.raw_irecv(dst, self.ack_tag));
-                req.wait();
+                req.wait_checked().map_err(Self::op_err)?;
                 self.acked_chunks[dst] += 1;
                 self.credits[dst] = self.credits[dst].saturating_add(1);
             }
         }
+        Ok(())
     }
 
     /// Drain the whole exchange into per-source buffers (seals this
@@ -925,34 +985,46 @@ impl<'c, T: CommMsg + Clone + Sync> IalltoallvRequest<'c, T> {
 /// booked to the profile's *wait* bucket (like `ibcast`), keeping
 /// communication/computation overlap measurable. Use
 /// [`IalltoallvRequest::try_next`] to poll without blocking.
-impl<T: CommMsg + Clone + Sync> Iterator for IalltoallvRequest<'_, T> {
-    type Item = (Rank, Vec<T>);
-
-    fn next(&mut self) -> Option<(Rank, Vec<T>)> {
-        let mut out = self.try_next();
-        if out.is_none() && !self.complete() {
+impl<T: CommMsg + Clone + Sync> IalltoallvRequest<'_, T> {
+    /// Fallible face of the blocking [`Iterator::next`]: a peer dying
+    /// mid-exchange errors out of the park (its closed flag bumps the
+    /// inbox sequence and the next probe sweep surfaces it) instead of
+    /// unwinding.
+    pub fn next_checked(&mut self) -> Result<Option<(Rank, Vec<T>)>, CommError> {
+        let mut out = self.try_next_checked();
+        if matches!(out, Ok(None)) && !self.complete() {
             let started = Instant::now();
             out = loop {
                 // Read the change counter *before* the probe sweep: an
                 // arrival in between bumps it and park returns at once.
                 let seen = self.comm.inbox_seq();
-                if let Some(chunk) = self.try_next() {
-                    break Some(chunk);
+                match self.try_next_checked() {
+                    Ok(Some(chunk)) => break Ok(Some(chunk)),
+                    Ok(None) => {}
+                    Err(e) => break Err(e),
                 }
                 if self.complete() {
-                    break None;
+                    break Ok(None);
                 }
                 self.comm.park_inbox(seen);
             };
             self.comm.record_wait(started.elapsed().as_secs_f64());
         }
-        if out.is_none() && self.open_sources == 0 {
+        if matches!(out, Ok(None)) && self.open_sources == 0 {
             // Exchange over: collect the last credits so nothing leaks
             // into the mailbox past the collective (blocked time books
             // to the wait bucket via the requests themselves).
-            self.reap_remaining_acks();
+            self.reap_remaining_acks()?;
         }
         out
+    }
+}
+
+impl<T: CommMsg + Clone + Sync> Iterator for IalltoallvRequest<'_, T> {
+    type Item = (Rank, Vec<T>);
+
+    fn next(&mut self) -> Option<(Rank, Vec<T>)> {
+        self.next_checked().unwrap_or_else(|e| raise(e))
     }
 }
 

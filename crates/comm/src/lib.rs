@@ -45,6 +45,7 @@
 //! ```
 
 pub mod collectives;
+pub mod error;
 pub mod grid;
 pub mod model;
 pub mod msg;
@@ -53,10 +54,11 @@ pub mod runtime;
 pub mod transport;
 
 pub use collectives::{IalltoallvRequest, IbcastRequest};
+pub use error::{CommError, FailureCause, FaultKill, RankFailure, SpmdFailure};
 pub use grid::ProcGrid;
 pub use model::{CostConstants, MachineModel, SchedulePlan, SpGemmEstimate};
 pub use msg::CommMsg;
 pub use profile::{PhaseProfile, Profile, RunProfile};
 pub use runtime::{Cluster, Comm, MemCharge, Rank, RecvRequest, SendRequest, SharedMemCharge, Tag};
-pub use transport::socket::{run_worker, MeshConfig, SocketCluster};
+pub use transport::socket::{run_worker, MeshConfig, SocketCluster, WorkerError};
 pub use transport::Transport;

@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::error::{classify_panic, raise, CommError, RankFailure, SpmdFailure};
 use crate::msg::CommMsg;
 use crate::profile::{lock_profile, Profile, RunProfile};
 use crate::transport::in_process::InProcess;
@@ -227,10 +228,28 @@ impl Comm {
         }
     }
 
+    /// Typed error for a dead peer, naming it by **world** rank.
+    fn peer_gone(&self, src: Rank, ctx: String) -> CommError {
+        CommError::PeerGone {
+            rank: self.transport.world_rank(src),
+            ctx,
+        }
+    }
+
     pub(crate) fn raw_send<T: CommMsg>(&self, dst: Rank, tag: Tag, data: T) {
+        self.raw_send_checked(dst, tag, data)
+            .unwrap_or_else(|e| raise(e))
+    }
+
+    pub(crate) fn raw_send_checked<T: CommMsg>(
+        &self,
+        dst: Rank,
+        tag: Tag,
+        data: T,
+    ) -> Result<(), CommError> {
         self.transport
             .post(dst, Envelope::new(tag, data))
-            .unwrap_or_else(|_| panic!("rank {} unreachable from rank {}", dst, self.rank));
+            .map_err(|_| self.peer_gone(dst, format!("accepting a send of tag {tag:#x}")))
     }
 
     pub(crate) fn raw_recv<T: CommMsg>(&self, src: Rank, tag: Tag) -> T {
@@ -241,44 +260,44 @@ impl Comm {
     }
 
     fn wait_for(&self, src: Rank, tag: Tag) -> Envelope {
+        self.wait_for_checked(src, tag).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Blocking matched receive; `Err` once `src` is gone and drained
+    /// instead of parking forever (every blocking path funnels here).
+    fn wait_for_checked(&self, src: Rank, tag: Tag) -> Result<Envelope, CommError> {
         if let Some(envelope) = self.take_pending(src, tag) {
-            return envelope;
+            return Ok(envelope);
         }
         loop {
-            let envelope = self.transport.recv_from(src).unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: rank {src} disconnected while waiting for tag {tag:#x} \
-                     (peer rank likely panicked)",
-                    self.rank
-                )
-            });
+            let envelope = self
+                .transport
+                .recv_from(src)
+                .map_err(|_| self.peer_gone(src, format!("waiting for tag {tag:#x}")))?;
             if envelope.tag == tag {
-                return envelope;
+                return Ok(envelope);
             }
             self.pending.borrow_mut()[src].push_back(envelope);
         }
     }
 
-    /// Non-blocking probe: drain whatever has arrived from `src` into the
-    /// pending buffer and take the first message matching `tag`, if any.
-    fn try_take(&self, src: Rank, tag: Tag) -> Option<Envelope> {
+    /// Non-blocking matched probe: drain whatever has arrived from `src`
+    /// into the pending buffer and take the first message matching
+    /// `tag`, if any. A dead-and-drained peer is a typed error — this
+    /// message can never arrive, and a `test()` poll loop must not spin
+    /// forever on it.
+    fn try_take_checked(&self, src: Rank, tag: Tag) -> Result<Option<Envelope>, CommError> {
         if let Some(envelope) = self.take_pending(src, tag) {
-            return Some(envelope);
+            return Ok(Some(envelope));
         }
         loop {
             match self.transport.try_recv_from(src) {
-                Ok(Some(envelope)) if envelope.tag == tag => return Some(envelope),
+                Ok(Some(envelope)) if envelope.tag == tag => return Ok(Some(envelope)),
                 Ok(Some(envelope)) => self.pending.borrow_mut()[src].push_back(envelope),
-                Ok(None) => return None,
-                // The peer is gone and its queue is drained: this
-                // message can never arrive. Panic like the blocking path
-                // would, instead of letting a test() poll loop spin
-                // forever.
-                Err(_) => panic!(
-                    "rank {}: rank {src} disconnected while polling for tag {tag:#x} \
-                     (peer rank likely panicked)",
-                    self.rank
-                ),
+                Ok(None) => return Ok(None),
+                Err(_) => {
+                    return Err(self.peer_gone(src, format!("polling for tag {tag:#x}")));
+                }
             }
         }
     }
@@ -320,6 +339,15 @@ impl Comm {
         self.raw_send(dst, tag, data);
     }
 
+    pub(crate) fn coll_send_checked<T: CommMsg>(
+        &self,
+        dst: Rank,
+        tag: Tag,
+        data: T,
+    ) -> Result<(), CommError> {
+        self.raw_send_checked(dst, tag, data)
+    }
+
     /// Receive inside a collective: blocking time is *not* booked here —
     /// the collective itself records its full elapsed time once, so
     /// booking per-message waits too would double-count communication.
@@ -331,10 +359,19 @@ impl Comm {
     /// Blocking receive whose blocked time is booked to the *wait* bucket
     /// (used by request `wait` and the non-blocking collectives).
     pub(crate) fn wait_recv<T: CommMsg>(&self, src: Rank, tag: Tag) -> T {
+        self.wait_recv_checked(src, tag)
+            .unwrap_or_else(|e| raise(e))
+    }
+
+    pub(crate) fn wait_recv_checked<T: CommMsg>(
+        &self,
+        src: Rank,
+        tag: Tag,
+    ) -> Result<T, CommError> {
         let start = Instant::now();
-        let envelope = self.wait_for(src, tag);
+        let envelope = self.wait_for_checked(src, tag)?;
         lock_profile(&self.profile).record_wait_time(start.elapsed().as_secs_f64());
-        decode_payload(envelope, self.rank, src, tag)
+        Ok(decode_payload(envelope, self.rank, src, tag))
     }
 
     /// Book time a non-blocking operation spent parked (poll loops that
@@ -555,14 +592,22 @@ impl<T: CommMsg> RecvRequest<'_, T> {
     /// Poll for completion without blocking. Once this returns `true`,
     /// [`RecvRequest::wait`] returns the value without blocking.
     pub fn test(&mut self) -> bool {
+        self.try_test().unwrap_or_else(|e| raise(e))
+    }
+
+    /// Like [`RecvRequest::test`], but a dead-and-drained source is a
+    /// typed [`CommError`] instead of an unwind — the message can never
+    /// arrive, and fallible callers (the chunked `ialltoallv` internals)
+    /// need to release their own state cleanly before propagating.
+    pub fn try_test(&mut self) -> Result<bool, CommError> {
         if self.ready.is_some() {
-            return true;
+            return Ok(true);
         }
-        if let Some(envelope) = self.comm.try_take(self.src, self.tag) {
+        if let Some(envelope) = self.comm.try_take_checked(self.src, self.tag)? {
             self.ready = Some(decode_payload(envelope, self.comm.rank, self.src, self.tag));
-            return true;
+            return Ok(true);
         }
-        false
+        Ok(false)
     }
 
     /// Block until the message arrives and return it. Blocked time is
@@ -573,6 +618,14 @@ impl<T: CommMsg> RecvRequest<'_, T> {
             return value;
         }
         self.comm.wait_recv(self.src, self.tag)
+    }
+
+    /// Like [`RecvRequest::wait`], but a dead source is a typed error.
+    pub fn wait_checked(mut self) -> Result<T, CommError> {
+        if let Some(value) = self.ready.take() {
+            return Ok(value);
+        }
+        self.comm.wait_recv_checked(self.src, self.tag)
     }
 }
 
@@ -596,8 +649,28 @@ const STACK_SIZE: usize = 16 * 1024 * 1024;
 
 /// Shared harness behind [`Cluster`] and [`crate::SocketCluster`]: one
 /// thread per transport endpoint, each wrapped in a fresh [`Comm`] with
-/// its own profile; panics propagate with the failing rank's identity.
+/// its own profile; a dead rank surfaces as a panic naming it (the
+/// raising face of [`run_spmd_checked`]).
 pub(crate) fn run_spmd<T, F>(transports: Vec<Arc<dyn Transport>>, f: F) -> (Vec<T>, RunProfile)
+where
+    T: Send + 'static,
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+{
+    match run_spmd_checked(transports, f) {
+        Ok(out) => out,
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// The checked harness: every rank's unwind is caught and classified
+/// ([`crate::FailureCause`]) instead of propagating, and the first
+/// casualty proactively aborts the whole mesh so surviving ranks unwind
+/// with `PeerGone` rather than parking in a collective forever. Returns
+/// every rank's failure, root cause first.
+pub(crate) fn run_spmd_checked<T, F>(
+    transports: Vec<Arc<dyn Transport>>,
+    f: F,
+) -> Result<(Vec<T>, RunProfile), SpmdFailure>
 where
     T: Send + 'static,
     F: Fn(Comm) -> T + Send + Sync + 'static,
@@ -610,12 +683,21 @@ where
         let f = Arc::clone(&f);
         let profile = Arc::new(Mutex::new(Profile::new(rank)));
         let profile_out = Arc::clone(&profile);
+        let abort_handle = Arc::clone(&transport);
         let comm = Comm::from_transport(transport, profile);
         let handle = std::thread::Builder::new()
             .name(format!("rank-{rank}"))
             .stack_size(STACK_SIZE)
             .spawn(move || {
-                let result = f(comm);
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f(comm)));
+                if result.is_err() {
+                    // The unwind dropped `comm` (orderly shutdown of the
+                    // world communicator); the abort additionally closes
+                    // this rank out of every sub-communicator — including
+                    // ones it never joined — so no survivor stays parked.
+                    abort_handle.abort();
+                }
                 (result, profile_out)
             })
             .expect("failed to spawn rank thread");
@@ -624,28 +706,30 @@ where
 
     let mut results = Vec::with_capacity(nranks);
     let mut profiles = Vec::with_capacity(nranks);
+    let mut failures: Vec<RankFailure> = Vec::new();
     for (rank, handle) in handles.into_iter().enumerate() {
-        match handle.join() {
-            Ok((result, profile)) => {
-                results.push(result);
-                profiles.push(match Arc::try_unwrap(profile) {
-                    Ok(mutex) => mutex
-                        .into_inner()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner),
-                    Err(arc) => lock_profile(&arc).clone(),
-                });
-            }
-            Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| panic.downcast_ref::<&str>().copied())
-                    .unwrap_or("<non-string panic>");
-                panic!("rank {rank} panicked: {msg}");
-            }
+        let (result, profile) = handle
+            .join()
+            .expect("rank thread cannot die outside catch_unwind");
+        match result {
+            Ok(value) => results.push(value),
+            Err(payload) => failures.push(RankFailure {
+                rank,
+                cause: classify_panic(payload),
+            }),
         }
+        profiles.push(match Arc::try_unwrap(profile) {
+            Ok(mutex) => mutex
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            Err(arc) => lock_profile(&arc).clone(),
+        });
     }
-    (results, RunProfile::new(profiles))
+    if failures.is_empty() {
+        Ok((results, RunProfile::new(profiles)))
+    } else {
+        Err(SpmdFailure::new(failures))
+    }
 }
 
 /// Entry point: run an SPMD function over `nranks` in-process ranks.
@@ -670,6 +754,19 @@ impl Cluster {
     {
         assert!(nranks > 0, "cluster needs at least one rank");
         run_spmd(InProcess::world(nranks), f)
+    }
+
+    /// Like [`Cluster::run_profiled`], but dead ranks surface as a typed
+    /// [`SpmdFailure`] instead of a panic: each rank's unwind is caught
+    /// and classified (fault kill / organic panic / `PeerGone` cascade),
+    /// and every casualty is reported by rank, root cause first.
+    pub fn try_run_profiled<T, F>(nranks: usize, f: F) -> Result<(Vec<T>, RunProfile), SpmdFailure>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        assert!(nranks > 0, "cluster needs at least one rank");
+        run_spmd_checked(InProcess::world(nranks), f)
     }
 }
 

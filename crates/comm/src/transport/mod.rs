@@ -171,6 +171,23 @@ pub trait Transport: Send + Sync {
     /// the owning `Comm` drops.
     fn shutdown(&self);
 
+    /// The **world** rank of communicator member `member`. Identity on a
+    /// world communicator; sub-communicators translate through their
+    /// membership. Errors and fault plans always speak world ranks —
+    /// a sub-rank index is meaningless outside its communicator.
+    fn world_rank(&self, member: Rank) -> Rank;
+
+    /// Proactively tear down this rank's presence in the **whole mesh**,
+    /// not just this communicator: every other rank must observe this
+    /// rank as dead in *every* communicator — including ones this rank
+    /// never joined a counterpart of — so no survivor stays parked on a
+    /// channel that can never produce. Called by the SPMD harness after
+    /// catching a rank's panic; [`Transport::shutdown`] (the orderly
+    /// per-communicator goodbye) still runs when each `Comm` drops.
+    fn abort(&self) {
+        self.shutdown();
+    }
+
     /// Build this rank's transport for a sub-communicator. `members`
     /// lists the parent ranks of the new communicator in new-rank
     /// order; `my_rank` is this rank's index in it. Every member calls

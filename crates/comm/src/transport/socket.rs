@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use super::wire::{FrameHeader, FrameKind, FRAME_HEADER_BYTES};
 use super::{Envelope, Mailbox, Payload, PeerGone, SplitKey, Transport, TryRecvError};
+use crate::error::{CommError, FailureCause, SpmdFailure};
 use crate::profile::{lock_profile, Profile, RunProfile};
 use crate::runtime::{Comm, Rank};
 
@@ -142,6 +143,17 @@ impl SocketNode {
     }
 
     fn route(router: &mut Router, hdr: FrameHeader, payload: Vec<u8>) {
+        if hdr.kind == FrameKind::Abort {
+            // Whole-process death announcement: `src` is a world rank.
+            // Close it everywhere, like the EOF its exit will deliver —
+            // but now, and ahead of any data still buffered behind it
+            // on other streams.
+            let world = hdr.src as usize;
+            if world < router.dead.len() {
+                Self::mark_dead(router, world);
+            }
+            return;
+        }
         match router.contexts.get(&hdr.ctx) {
             Some(entry) => {
                 let src = hdr.src as usize;
@@ -154,7 +166,7 @@ impl SocketNode {
                         let _ = entry.mailbox.push(src, envelope);
                     }
                     FrameKind::Close => entry.mailbox.close(src),
-                    FrameKind::Hello => {}
+                    FrameKind::Hello | FrameKind::Abort => {}
                 }
             }
             None => router
@@ -165,17 +177,23 @@ impl SocketNode {
         }
     }
 
-    /// The stream from `world` hit EOF: its process is gone. Close it
-    /// in every communicator that includes it, and remember it for
-    /// communicators registered later.
-    fn peer_eof(&self, world: Rank) {
-        let mut router = self.lock_router();
+    /// Close world rank `world` out of every registered communicator and
+    /// remember it for communicators registered later.
+    fn mark_dead(router: &mut Router, world: Rank) {
         router.dead[world] = true;
         for entry in router.contexts.values() {
             if let Some(&sub) = entry.sub_of_world.get(&world) {
                 entry.mailbox.close(sub);
             }
         }
+    }
+
+    /// The stream from `world` hit EOF: its process is gone. Close it
+    /// in every communicator that includes it, and remember it for
+    /// communicators registered later.
+    fn peer_eof(&self, world: Rank) {
+        let mut router = self.lock_router();
+        Self::mark_dead(&mut router, world);
     }
 
     /// Serialize and ship one frame to `world` (never self).
@@ -225,7 +243,11 @@ impl Drop for SocketNode {
 /// router until EOF or a protocol error. Holds only a `Weak` so a
 /// finished node can drop (its `Drop` half-closes the streams, which is
 /// what eventually lands every reader here on EOF).
-fn spawn_reader(node: &Arc<SocketNode>, from_world: Rank, stream: UnixStream) {
+fn spawn_reader(
+    node: &Arc<SocketNode>,
+    from_world: Rank,
+    stream: UnixStream,
+) -> std::io::Result<()> {
     let weak: Weak<SocketNode> = Arc::downgrade(node);
     let my_rank = node.rank;
     std::thread::Builder::new()
@@ -255,17 +277,32 @@ fn spawn_reader(node: &Arc<SocketNode>, from_world: Rank, stream: UnixStream) {
                 node.peer_eof(from_world);
             }
         })
-        .expect("failed to spawn socket reader thread");
+        .map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("rank {my_rank}: spawn reader thread for rank {from_world}: {e}"),
+            )
+        })?;
+    Ok(())
 }
 
-fn build_node(rank: Rank, size: usize, streams: Vec<Option<UnixStream>>) -> Arc<SocketNode> {
-    let writers = streams
-        .iter()
-        .map(|s| {
-            s.as_ref()
-                .map(|stream| Mutex::new(stream.try_clone().expect("clone socket write half")))
-        })
-        .collect();
+fn build_node(
+    rank: Rank,
+    size: usize,
+    streams: Vec<Option<UnixStream>>,
+) -> std::io::Result<Arc<SocketNode>> {
+    let mut writers = Vec::with_capacity(streams.len());
+    for (peer, s) in streams.iter().enumerate() {
+        writers.push(match s {
+            Some(stream) => Some(Mutex::new(stream.try_clone().map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("rank {rank}: clone socket write half to rank {peer}: {e}"),
+                )
+            })?)),
+            None => None,
+        });
+    }
     let node = Arc::new(SocketNode {
         rank,
         size,
@@ -277,10 +314,10 @@ fn build_node(rank: Rank, size: usize, streams: Vec<Option<UnixStream>>) -> Arc<
     });
     for (peer, stream) in streams.into_iter().enumerate() {
         if let Some(stream) = stream {
-            spawn_reader(&node, peer, stream);
+            spawn_reader(&node, peer, stream)?;
         }
     }
-    node
+    Ok(node)
 }
 
 /// Socket transport for one rank of one communicator (context).
@@ -374,6 +411,30 @@ impl Transport for SocketTransport {
         self.node.unregister_ctx(self.ctx);
     }
 
+    fn world_rank(&self, member: Rank) -> Rank {
+        self.members[member]
+    }
+
+    fn abort(&self) {
+        // Whole-process teardown: tell every peer this world rank is
+        // dead (ahead of the EOF our exit will deliver), then leave the
+        // current communicator the orderly way. Peers close us out of
+        // every context — current and future — on the Abort frame.
+        for world in 0..self.node.size {
+            if world != self.node.rank {
+                let _ = self.node.send_frame(
+                    world,
+                    FrameKind::Abort,
+                    WORLD_CTX,
+                    self.node.rank,
+                    0,
+                    &[],
+                );
+            }
+        }
+        self.shutdown();
+    }
+
     fn split(&self, members: &[Rank], my_rank: Rank, key: SplitKey) -> Arc<dyn Transport> {
         let ctx = child_ctx(self.ctx, key);
         // `members` are parent sub-ranks; the frame plane speaks world
@@ -396,12 +457,14 @@ impl Transport for SocketTransport {
 
 /// Fully-connected mesh of `nranks` nodes from socketpairs, all inside
 /// the calling process — the harness behind [`SocketCluster`].
-fn pair_mesh(nranks: usize) -> Vec<Arc<SocketNode>> {
+fn pair_mesh(nranks: usize) -> std::io::Result<Vec<Arc<SocketNode>>> {
     let mut endpoints: Vec<Vec<Option<UnixStream>>> = (0..nranks)
         .map(|_| (0..nranks).map(|_| None).collect())
         .collect();
     for (i, j) in (0..nranks).flat_map(|i| (i + 1..nranks).map(move |j| (i, j))) {
-        let (a, b) = UnixStream::pair().expect("socketpair");
+        let (a, b) = UnixStream::pair().map_err(|e| {
+            std::io::Error::new(e.kind(), format!("socketpair for ranks {i}-{j}: {e}"))
+        })?;
         endpoints[i][j] = Some(a);
         endpoints[j][i] = Some(b);
     }
@@ -541,12 +604,47 @@ fn connect_mesh(
         }
         streams[hdr.src as usize] = Some(stream);
     }
-    Ok(build_node(rank, nranks, streams))
+    build_node(rank, nranks, streams)
 }
 
 // ----------------------------------------------------------------------
 // Entry points
 // ----------------------------------------------------------------------
+
+/// Why a worker process's rank body did not complete. `elba launch`
+/// workers map these onto the exit-code taxonomy (`elba::exit`) so the
+/// supervisor can tell a root-cause crash from a cascade unwind.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Mesh bring-up or teardown I/O failed (rank attached upstream).
+    Io(std::io::Error),
+    /// The rank unwound cleanly after observing a dead peer — a cascade
+    /// victim, not the root cause.
+    Comm(CommError),
+    /// The rank was killed on purpose by an injected fault plan.
+    Killed(String),
+    /// The rank body panicked.
+    Panic(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Io(e) => write!(f, "{e}"),
+            WorkerError::Comm(e) => write!(f, "{e}"),
+            WorkerError::Killed(d) => write!(f, "killed by fault plan ({d})"),
+            WorkerError::Panic(m) => write!(f, "panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<std::io::Error> for WorkerError {
+    fn from(e: std::io::Error) -> WorkerError {
+        WorkerError::Io(e)
+    }
+}
 
 /// Run `f` as one world rank of a multi-process socket mesh rooted at
 /// `dir` (the rendezvous directory all `nranks` processes share — see
@@ -556,12 +654,17 @@ fn connect_mesh(
 /// [`RunProfile`] at rank 0) is the caller's business: gather the
 /// per-rank profiles over a duplicated communicator with
 /// [`Profile::wire_encode`].
+///
+/// A panicking `f` does not take the process down bare-handed: the
+/// panic is caught, an abort frame proactively tears this rank out of
+/// the whole mesh (peers unwind with `PeerGone` instead of timing out),
+/// and the classified failure comes back as a [`WorkerError`].
 pub fn run_worker<T, F>(
     dir: &Path,
     rank: Rank,
     nranks: usize,
     f: F,
-) -> std::io::Result<(T, Profile)>
+) -> Result<(T, Profile), WorkerError>
 where
     F: FnOnce(Comm) -> T,
 {
@@ -569,10 +672,26 @@ where
     let node = connect_mesh(dir, rank, nranks, &MeshConfig::from_env())?;
     let profile = Arc::new(Mutex::new(Profile::new(rank)));
     let transport: Arc<dyn Transport> = Arc::new(SocketTransport::world(node));
+    let abort_handle = Arc::clone(&transport);
     let comm = Comm::from_transport(transport, Arc::clone(&profile));
-    let out = f(comm);
-    let snapshot = lock_profile(&profile).clone();
-    Ok((out, snapshot))
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f(comm))) {
+        Ok(out) => {
+            let snapshot = lock_profile(&profile).clone();
+            Ok((out, snapshot))
+        }
+        Err(payload) => {
+            // The unwind already dropped `comm` (orderly Close frames);
+            // the abort additionally declares the whole process dead so
+            // peers parked in communicators this rank never joined a
+            // counterpart of fail promptly too.
+            abort_handle.abort();
+            Err(match crate::error::classify_panic(payload) {
+                FailureCause::PeerGone(e) => WorkerError::Comm(e),
+                FailureCause::Killed(d) => WorkerError::Killed(d),
+                FailureCause::Panic(m) => WorkerError::Panic(m),
+            })
+        }
+    }
 }
 
 /// Entry point: run an SPMD function over `nranks` socket-transport
@@ -603,12 +722,28 @@ impl SocketCluster {
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
+        match Self::try_run_profiled(nranks, f) {
+            Ok(out) => out,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+
+    /// Like [`SocketCluster::run_profiled`], but dead ranks surface as a
+    /// typed [`SpmdFailure`] instead of a panic: the harness catches
+    /// each rank's unwind, classifies it (fault kill / organic panic /
+    /// `PeerGone` cascade) and reports every casualty by rank.
+    pub fn try_run_profiled<T, F>(nranks: usize, f: F) -> Result<(Vec<T>, RunProfile), SpmdFailure>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
         assert!(nranks > 0, "cluster needs at least one rank");
         let transports: Vec<Arc<dyn Transport>> = pair_mesh(nranks)
+            .unwrap_or_else(|e| panic!("socket mesh bring-up failed: {e}"))
             .into_iter()
             .map(|node| Arc::new(SocketTransport::world(node)) as Arc<dyn Transport>)
             .collect();
-        crate::runtime::run_spmd(transports, f)
+        crate::runtime::run_spmd_checked(transports, f)
     }
 }
 

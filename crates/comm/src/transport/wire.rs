@@ -139,6 +139,11 @@ pub enum FrameKind {
     /// The sender's `Comm` for context `ctx` dropped; no further frames
     /// will arrive from it there (closed-flag propagation).
     Close,
+    /// The sending **process** is going down (its rank panicked or was
+    /// told to die by a fault plan): treat world rank `src` as dead in
+    /// every context, current and future — a proactive, explicit version
+    /// of the EOF its exit would eventually deliver. `ctx` is ignored.
+    Abort,
 }
 
 /// Fixed-size prefix of every socket frame: magic, kind, communicator
@@ -165,6 +170,7 @@ impl FrameHeader {
             FrameKind::Hello => 0,
             FrameKind::Data => 1,
             FrameKind::Close => 2,
+            FrameKind::Abort => 3,
         });
         out.extend_from_slice(&self.ctx.to_ne_bytes());
         out.extend_from_slice(&self.src.to_ne_bytes());
@@ -183,6 +189,7 @@ impl FrameHeader {
             0 => FrameKind::Hello,
             1 => FrameKind::Data,
             2 => FrameKind::Close,
+            3 => FrameKind::Abort,
             _ => return Err(WireError::Malformed("frame kind")),
         };
         let ctx = r.read_u64()?;

@@ -734,7 +734,19 @@ fn run_socket_worker(
         let frames = aux.gather(0, encoded);
         frames.map(|frames| (contigs, result, frames))
     })
-    .map_err(|e| format!("socket worker rank {rank}: {e}"))?;
+    .map_err(|e| {
+        // The worker's exit code is the launcher's only signal, so the
+        // failure class has to survive the process boundary as one.
+        let code = match &e {
+            elba::comm::WorkerError::Comm(_) => exit::PEER_GONE,
+            elba::comm::WorkerError::Killed(_) => exit::FAULT_KILLED,
+            elba::comm::WorkerError::Io(_) | elba::comm::WorkerError::Panic(_) => exit::FAILURE,
+        };
+        CliError {
+            code,
+            message: format!("socket worker rank {rank}: {e}"),
+        }
+    })?;
     let Some((contigs, result, frames)) = out else {
         return Ok(()); // non-root workers are done once the gather lands
     };
