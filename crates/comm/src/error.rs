@@ -71,6 +71,26 @@ pub fn raise(err: CommError) -> ! {
     std::panic::panic_any(err)
 }
 
+/// Keep the default panic hook from spraying `Box<dyn Any>` backtraces
+/// for the *typed* unwinds ([`CommError`], [`FaultKill`]) the harnesses
+/// always catch and classify — those are control flow, not crashes, and
+/// "rank 2 died" must not read like four panics. Organic panics still
+/// go through whatever hook was installed before. Idempotent; called by
+/// every harness entry point.
+pub(crate) fn silence_typed_unwinds() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.is::<CommError>() || payload.is::<FaultKill>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
 /// Panic payload used by the fault-injection transport's `kill:` action
 /// in thread mode: distinguishes "this rank was killed on purpose by
 /// the fault plan" from an organic panic.

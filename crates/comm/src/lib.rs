@@ -60,5 +60,6 @@ pub use model::{CostConstants, MachineModel, SchedulePlan, SpGemmEstimate};
 pub use msg::CommMsg;
 pub use profile::{PhaseProfile, Profile, RunProfile};
 pub use runtime::{Cluster, Comm, MemCharge, Rank, RecvRequest, SendRequest, SharedMemCharge, Tag};
+pub use transport::fault::{Fault, FaultKind, FaultMode, FaultPlan, Trigger};
 pub use transport::socket::{run_worker, MeshConfig, SocketCluster, WorkerError};
 pub use transport::Transport;

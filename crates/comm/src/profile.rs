@@ -285,6 +285,21 @@ impl Profile {
     }
 }
 
+thread_local! {
+    /// Names of the phases currently active on this rank thread, for
+    /// callers that need "what phase am I in?" without the profile lock
+    /// — the fault layer's `@phase:` triggers
+    /// ([`crate::transport::fault`]). Thread-local is exact here: a rank
+    /// thread is the only one entering its comm layer (invariant 3).
+    static PHASE_STACK: std::cell::RefCell<Vec<String>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Whether a phase named `name` is active (itself or as an ancestor of
+/// the current subphase) on this rank thread.
+pub(crate) fn phase_active(name: &str) -> bool {
+    PHASE_STACK.with(|stack| stack.borrow().iter().any(|p| p == name))
+}
+
 /// RAII scope for a profiling phase; created via [`crate::Comm::phase`].
 pub struct PhaseGuard {
     profile: Arc<Mutex<Profile>>,
@@ -295,6 +310,7 @@ pub struct PhaseGuard {
 impl PhaseGuard {
     pub(crate) fn enter(profile: Arc<Mutex<Profile>>, name: &str) -> Self {
         let idx = lock_profile(&profile).enter(name);
+        PHASE_STACK.with(|stack| stack.borrow_mut().push(name.to_owned()));
         PhaseGuard {
             profile,
             idx,
@@ -305,6 +321,9 @@ impl PhaseGuard {
 
 impl Drop for PhaseGuard {
     fn drop(&mut self) {
+        PHASE_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
         let wall = self.start.elapsed().as_secs_f64();
         lock_profile(&self.profile).exit(self.idx, wall);
     }

@@ -26,6 +26,7 @@ use std::time::Instant;
 use crate::error::{classify_panic, raise, CommError, RankFailure, SpmdFailure};
 use crate::msg::CommMsg;
 use crate::profile::{lock_profile, Profile, RunProfile};
+use crate::transport::fault::{FaultMode, FaultPlan, FaultTransport};
 use crate::transport::in_process::InProcess;
 use crate::transport::wire::WireReader;
 use crate::transport::{Envelope, Payload, SplitKey, Transport};
@@ -667,6 +668,12 @@ where
 /// casualty proactively aborts the whole mesh so surviving ranks unwind
 /// with `PeerGone` rather than parking in a collective forever. Returns
 /// every rank's failure, root cause first.
+///
+/// Honors [`crate::FaultPlan::from_env`]: with `ELBA_FAULT_PLAN` set,
+/// every rank's transport is wrapped in the fault layer (thread-mode
+/// kills), which is how `elba launch --transport inprocess --fault`
+/// reaches ranks it never constructs itself. A malformed plan panics —
+/// operator input, fail loud.
 pub(crate) fn run_spmd_checked<T, F>(
     transports: Vec<Arc<dyn Transport>>,
     f: F,
@@ -675,6 +682,30 @@ where
     T: Send + 'static,
     F: Fn(Comm) -> T + Send + Sync + 'static,
 {
+    let plan = FaultPlan::from_env()
+        .unwrap_or_else(|e| panic!("{}: {e}", crate::transport::fault::FAULT_PLAN_ENV));
+    run_spmd_checked_with(transports, plan.as_ref(), f)
+}
+
+/// [`run_spmd_checked`] with an explicit fault plan (tests inject faults
+/// here without touching the environment).
+pub(crate) fn run_spmd_checked_with<T, F>(
+    transports: Vec<Arc<dyn Transport>>,
+    plan: Option<&FaultPlan>,
+    f: F,
+) -> Result<(Vec<T>, RunProfile), SpmdFailure>
+where
+    T: Send + 'static,
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+{
+    crate::error::silence_typed_unwinds();
+    let transports: Vec<Arc<dyn Transport>> = match plan {
+        Some(plan) => transports
+            .into_iter()
+            .map(|t| FaultTransport::wrap(t, plan, FaultMode::Thread))
+            .collect(),
+        None => transports,
+    };
     let nranks = transports.len();
     let f = Arc::new(f);
     let mut handles = Vec::with_capacity(nranks);
@@ -767,6 +798,25 @@ impl Cluster {
     {
         assert!(nranks > 0, "cluster needs at least one rank");
         run_spmd_checked(InProcess::world(nranks), f)
+    }
+
+    /// Like [`Cluster::try_run_profiled`], but with an explicit
+    /// [`FaultPlan`] enforced below the comm layer: seeded delivery
+    /// jitter, severed links, and ranks killed mid-run by message count
+    /// or named phase (thread-mode kills — the doomed rank unwinds with
+    /// a [`crate::FaultKill`] payload, classified as
+    /// [`crate::FailureCause::Killed`]).
+    pub fn try_run_with_faults<T, F>(
+        nranks: usize,
+        plan: &FaultPlan,
+        f: F,
+    ) -> Result<(Vec<T>, RunProfile), SpmdFailure>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        assert!(nranks > 0, "cluster needs at least one rank");
+        run_spmd_checked_with(InProcess::world(nranks), Some(plan), f)
     }
 }
 

@@ -20,6 +20,7 @@
 //! traffic is byte-identical across backends even though only one of
 //! them ever serializes anything.
 
+pub mod fault;
 pub(crate) mod in_process;
 pub mod socket;
 pub mod wire;

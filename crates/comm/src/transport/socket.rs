@@ -37,6 +37,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
+use super::fault::{FaultMode, FaultPlan, FaultTransport};
 use super::wire::{FrameHeader, FrameKind, FRAME_HEADER_BYTES};
 use super::{Envelope, Mailbox, Payload, PeerGone, SplitKey, Transport, TryRecvError};
 use crate::error::{CommError, FailureCause, SpmdFailure};
@@ -669,9 +670,22 @@ where
     F: FnOnce(Comm) -> T,
 {
     assert!(rank < nranks, "worker rank {rank} outside 0..{nranks}");
+    crate::error::silence_typed_unwinds();
+    let plan = FaultPlan::from_env().map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{}: {e}", crate::transport::fault::FAULT_PLAN_ENV),
+        )
+    })?;
     let node = connect_mesh(dir, rank, nranks, &MeshConfig::from_env())?;
     let profile = Arc::new(Mutex::new(Profile::new(rank)));
-    let transport: Arc<dyn Transport> = Arc::new(SocketTransport::world(node));
+    let mut transport: Arc<dyn Transport> = Arc::new(SocketTransport::world(node));
+    if let Some(plan) = &plan {
+        // Process-mode faults: a killed worker exits (or SIGKILLs
+        // itself) instead of unwinding — the launcher's taxonomy and
+        // the peers' PeerGone errors are the observable.
+        transport = FaultTransport::wrap(transport, plan, FaultMode::Process);
+    }
     let abort_handle = Arc::clone(&transport);
     let comm = Comm::from_transport(transport, Arc::clone(&profile));
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f(comm))) {
@@ -738,12 +752,32 @@ impl SocketCluster {
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
         assert!(nranks > 0, "cluster needs at least one rank");
-        let transports: Vec<Arc<dyn Transport>> = pair_mesh(nranks)
+        crate::runtime::run_spmd_checked(Self::mesh(nranks), f)
+    }
+
+    /// Like [`SocketCluster::try_run_profiled`], but with an explicit
+    /// [`FaultPlan`] enforced below the comm layer — same semantics as
+    /// [`crate::Cluster::try_run_with_faults`], over real serialized
+    /// frames (kills stay thread-mode: ranks here are threads).
+    pub fn try_run_with_faults<T, F>(
+        nranks: usize,
+        plan: &FaultPlan,
+        f: F,
+    ) -> Result<(Vec<T>, RunProfile), SpmdFailure>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        assert!(nranks > 0, "cluster needs at least one rank");
+        crate::runtime::run_spmd_checked_with(Self::mesh(nranks), Some(plan), f)
+    }
+
+    fn mesh(nranks: usize) -> Vec<Arc<dyn Transport>> {
+        pair_mesh(nranks)
             .unwrap_or_else(|e| panic!("socket mesh bring-up failed: {e}"))
             .into_iter()
             .map(|node| Arc::new(SocketTransport::world(node)) as Arc<dyn Transport>)
-            .collect();
-        crate::runtime::run_spmd_checked(transports, f)
+            .collect()
     }
 }
 

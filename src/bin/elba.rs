@@ -429,17 +429,25 @@ fn assemble_finish(
     Ok(())
 }
 
-fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), String> {
+fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), CliError> {
     let mut setup = assemble_setup(&flags)?;
     print_banner(&setup, "in-process");
     let reads = std::mem::take(&mut setup.reads);
     let cfg = setup.cfg.clone();
-    let (mut outputs, profile) = Cluster::run_profiled(setup.ranks, move |comm| {
+    let (mut outputs, profile) = Cluster::try_run_profiled(setup.ranks, move |comm| {
         let grid = ProcGrid::new(comm);
         assemble_gathered(&grid, &reads, &cfg)
-    });
+    })
+    .map_err(|failure| CliError {
+        // Dead ranks are a typed outcome, not a panic: name every
+        // casualty (root cause first) and exit with the rank-failure
+        // code so `elba launch --transport inprocess` reports exactly
+        // like the socket supervisor.
+        code: exit::RANK_FAILED,
+        message: format!("assemble: {failure}"),
+    })?;
     let (contigs, result) = outputs.remove(0);
-    assemble_finish(&flags, &setup, contigs, result, &profile)
+    assemble_finish(&flags, &setup, contigs, result, &profile).map_err(CliError::from)
 }
 
 /// `elba launch --ranks N [--transport socket|inprocess] -- assemble ...`
@@ -474,9 +482,25 @@ fn cmd_launch(rest: &[String]) -> Result<(), CliError> {
             "--launch-timeout must be at least 1 second",
         ));
     }
+    // Validate the fault plan in the supervisor, where a typo is a
+    // usage error — not N workers dying with the same parse message.
+    let fault = match flags.get("fault") {
+        None => None,
+        Some(raw) => {
+            let plan = elba::comm::FaultPlan::parse(raw)
+                .map_err(|e| CliError::usage(format!("--fault: {e}")))?;
+            if let Some(&r) = plan.doomed_ranks().iter().find(|&&r| r >= ranks) {
+                return Err(CliError::usage(format!(
+                    "--fault targets rank {r}, but the launch has only {ranks} ranks"
+                )));
+            }
+            Some(plan.to_string())
+        }
+    };
     let opts = LaunchOptions {
         timeout: Duration::from_secs(timeout_secs),
         socket_dir: flags.get("socket-dir").map(PathBuf::from),
+        fault,
     };
     let Some((sub, sub_rest)) = tail.split_first() else {
         return Err(CliError::usage("launch needs a subcommand after '--'"));
@@ -490,7 +514,12 @@ fn cmd_launch(rest: &[String]) -> Result<(), CliError> {
         "inprocess" => {
             let mut sub_flags = parse_flags(sub_rest).map_err(CliError::usage)?;
             sub_flags.insert("ranks".to_owned(), ranks.to_string());
-            cmd_assemble(sub_flags).map_err(CliError::from)
+            if let Some(plan) = &opts.fault {
+                // The in-process harness reads the same env hook the
+                // socket workers do; thread-mode kills, same taxonomy.
+                std::env::set_var(elba::comm::transport::fault::FAULT_PLAN_ENV, plan);
+            }
+            cmd_assemble(sub_flags)
         }
         "socket" => launch_socket(ranks, &opts, sub_rest),
         other => Err(CliError::usage(format!(
@@ -506,6 +535,8 @@ struct LaunchOptions {
     timeout: Duration,
     /// Rendezvous directory override; defaults to a pid-keyed temp dir.
     socket_dir: Option<PathBuf>,
+    /// Validated, re-serialized fault plan handed to every worker.
+    fault: Option<String>,
 }
 
 /// Removes the socket rendezvous directory on every exit path — clean
@@ -615,14 +646,18 @@ fn launch_socket(
     let deadline = Instant::now() + opts.timeout;
     let mut children: Vec<Option<(usize, Child)>> = Vec::with_capacity(ranks);
     for rank in 0..ranks {
-        let spawned = std::process::Command::new(&exe)
+        let mut command = std::process::Command::new(&exe);
+        command
             .arg("assemble")
             .args(assemble_args)
             .env("ELBA_RANK", rank.to_string())
             .env("ELBA_RANKS", ranks.to_string())
             .env("ELBA_SOCKET_DIR", &dir)
-            .env("ELBA_MESH_TIMEOUT_MS", opts.timeout.as_millis().to_string())
-            .spawn();
+            .env("ELBA_MESH_TIMEOUT_MS", opts.timeout.as_millis().to_string());
+        if let Some(plan) = &opts.fault {
+            command.env(elba::comm::transport::fault::FAULT_PLAN_ENV, plan);
+        }
+        let spawned = command.spawn();
         match spawned {
             Ok(child) => children.push(Some((rank, child))),
             Err(e) => {
@@ -852,7 +887,7 @@ fn main() -> ExitCode {
             .map_err(CliError::usage)
             .and_then(|flags| match command.as_str() {
                 "simulate" => cmd_simulate(flags).map_err(CliError::from),
-                "assemble" => cmd_assemble(flags).map_err(CliError::from),
+                "assemble" => cmd_assemble(flags),
                 "evaluate" => cmd_evaluate(flags).map_err(CliError::from),
                 other => Err(CliError::usage(format!(
                     "unknown command '{other}'\n{}",

@@ -59,8 +59,9 @@ pub mod exit {
     /// (`CommError::PeerGone`) — a cascade victim, not the root cause.
     pub const PEER_GONE: u8 = 13;
     /// Worker: terminated by an injected soft kill (a `FaultPlan`
-    /// `kill:` action in process mode).
-    pub const FAULT_KILLED: u8 = 14;
+    /// `kill:` action in process mode). The dying worker uses the comm
+    /// crate's copy of this constant; they are one value.
+    pub const FAULT_KILLED: u8 = elba_comm::transport::fault::FAULT_KILLED_EXIT;
 }
 pub use elba_baseline as baseline;
 pub use elba_comm as comm;
