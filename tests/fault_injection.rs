@@ -1,0 +1,453 @@
+//! Chaos matrix for the fault-injection harness (invariant: a dead rank
+//! is a *typed, named* failure, never a hang and never a survivor
+//! panic).
+//!
+//! Library level — for every rank r of a 4-rank run, on both the
+//! in-process and the socket transport, killing r mid-pipeline turns the
+//! run into an `Err(SpmdFailure)` whose entry for r is `Killed` and
+//! whose every other entry is a clean `PeerGone` cascade. Survivors that
+//! use the checked streaming APIs (`post_checked` / `next_checked` /
+//! `wait_for_credit_checked`) observe the death as a returned
+//! `CommError` and get to unwind on their own terms.
+//!
+//! Process level — `elba launch` supervises worker processes: a
+//! SIGKILLed rank is named in the supervisor's error, survivors are
+//! reaped (exit 13, not a hang), the socket rendezvous directory is
+//! removed on every abort path, and a stalled launch dies at
+//! `--launch-timeout` with its own exit code.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::{Arc, Mutex};
+
+use elba::comm::error::raise;
+use elba::comm::{CommError, FailureCause, FaultPlan, SocketCluster, SpmdFailure};
+use elba::exit;
+use elba::prelude::*;
+
+// ---- library-level chaos: thread-mode kills on both transports ----
+
+type PipelineRun = Result<(Vec<(Vec<Contig>, PipelineResult)>, RunProfile), SpmdFailure>;
+
+fn run_pipeline_with_plan(
+    socket: bool,
+    nranks: usize,
+    plan: &FaultPlan,
+    reads: Vec<Seq>,
+    cfg: PipelineConfig,
+) -> PipelineRun {
+    let body = move |comm: Comm| {
+        let grid = ProcGrid::new(comm);
+        assemble_gathered(&grid, &reads.clone(), &cfg.clone())
+    };
+    if socket {
+        SocketCluster::try_run_with_faults(nranks, plan, body)
+    } else {
+        Cluster::try_run_with_faults(nranks, plan, body)
+    }
+}
+
+fn small_dataset() -> (Vec<Seq>, PipelineConfig) {
+    let spec = DatasetSpec::celegans_like(0.05, 33);
+    let (_genome, sim_reads) = spec.generate();
+    let reads: Vec<Seq> = sim_reads.into_iter().map(|r| r.seq).collect();
+    let cfg = PipelineConfig::for_dataset(&spec);
+    (reads, cfg)
+}
+
+/// The acceptance pin: kill every rank in turn, mid-Alignment, on both
+/// backends. The run must end (no hang), the killed rank must be
+/// classified `Killed`, and every other failed rank must be a `PeerGone`
+/// cascade — an organic `Panic` anywhere means a survivor crashed
+/// instead of unwinding cleanly.
+#[test]
+fn killing_each_rank_mid_alignment_is_typed_on_both_backends() {
+    let (reads, cfg) = small_dataset();
+    for socket in [false, true] {
+        for victim in 0..4usize {
+            let plan =
+                FaultPlan::parse(&format!("kill:{victim}@phase:Alignment")).expect("valid plan");
+            let failure = run_pipeline_with_plan(socket, 4, &plan, reads.clone(), cfg.clone())
+                .expect_err("a killed rank must fail the run");
+            let label = format!("socket={socket} victim={victim}");
+            let kill = failure
+                .rank(victim)
+                .unwrap_or_else(|| panic!("{label}: killed rank missing from failure"));
+            match &kill.cause {
+                FailureCause::Killed(desc) => {
+                    assert!(
+                        desc.contains(&format!("kill:{victim}")),
+                        "{label}: kill cause names the fault, got '{desc}'"
+                    );
+                }
+                other => panic!("{label}: expected Killed, got {other:?}"),
+            }
+            assert_eq!(
+                failure.primary().rank,
+                victim,
+                "{label}: root cause must sort first"
+            );
+            for f in &failure.failures {
+                if f.rank == victim {
+                    continue;
+                }
+                assert!(
+                    matches!(f.cause, FailureCause::PeerGone(_)),
+                    "{label}: survivor rank {} must unwind with PeerGone, got {:?}",
+                    f.rank,
+                    f.cause
+                );
+            }
+            // The message a caller would print names the victim first.
+            assert!(
+                failure
+                    .to_string()
+                    .starts_with(&format!("rank {victim} killed")),
+                "{label}: display starts with the root cause"
+            );
+        }
+    }
+}
+
+// ---- checked streaming APIs: survivors recover without unwinding ----
+
+const CHUNK: usize = 32;
+const ROUNDS: usize = 4;
+
+/// An all-to-all chunk exchange written entirely against the checked
+/// (`Result`-returning) stream surface: post, opportunistic drain,
+/// credit wait, seal, blocking drain. Returns the number of chunks
+/// received, or the first `CommError` observed.
+fn checked_exchange(comm: &Comm, window: usize) -> Result<u64, CommError> {
+    let me = comm.rank();
+    let n = comm.size();
+    let mut stream = comm.ialltoallv_stream_with_window::<u64>(CHUNK, window);
+    let mut chunks = 0u64;
+    for round in 0..ROUNDS {
+        for dst in 0..n {
+            if dst == me {
+                continue;
+            }
+            let payload: Vec<u64> = (0..CHUNK as u64)
+                .map(|i| ((round as u64) << 32) | ((me as u64) << 16) | i)
+                .collect();
+            stream.post_checked(dst, payload)?;
+            while stream.try_next_checked()?.is_some() {
+                chunks += 1;
+            }
+            stream.wait_for_credit_checked()?;
+        }
+    }
+    stream.finish_sends_checked()?;
+    while stream.next_checked()?.is_some() {
+        chunks += 1;
+    }
+    Ok(chunks)
+}
+
+/// S3: kill one rank at assorted points (post-count and recv-count
+/// triggers, small and default-ish windows) on both backends. Survivors
+/// never unwind — each records the typed error it observed through the
+/// checked API and returns normally, so the `SpmdFailure` contains
+/// exactly the killed rank.
+#[test]
+fn checked_stream_survivors_observe_typed_peer_gone() {
+    let cases: &[(&str, usize)] = &[
+        ("kill:2@posts:5", 2),
+        ("kill:1@recvs:3", 8),
+        ("kill:3@posts:9", usize::MAX),
+    ];
+    for socket in [false, true] {
+        for &(plan_text, window) in cases {
+            let plan = FaultPlan::parse(plan_text).expect("valid plan");
+            let victim = plan.doomed_ranks()[0];
+            let label = format!("socket={socket} plan={plan_text} window={window}");
+            let seen: Arc<Mutex<Vec<(usize, CommError)>>> = Arc::new(Mutex::new(Vec::new()));
+            let seen_in = Arc::clone(&seen);
+            let body = move |comm: Comm| match checked_exchange(&comm, window) {
+                Ok(chunks) => chunks,
+                Err(e) => {
+                    seen_in.lock().expect("record").push((comm.rank(), e));
+                    0
+                }
+            };
+            let failure = if socket {
+                SocketCluster::try_run_with_faults(4, &plan, body)
+            } else {
+                Cluster::try_run_with_faults(4, &plan, body)
+            }
+            .expect_err("killed rank must fail the run");
+
+            assert_eq!(
+                failure.failures.len(),
+                1,
+                "{label}: survivors returned cleanly, only the victim failed: {failure}"
+            );
+            assert!(
+                matches!(failure.primary().cause, FailureCause::Killed(_)),
+                "{label}: victim cause"
+            );
+            assert_eq!(failure.primary().rank, victim, "{label}: victim rank");
+
+            let seen = seen.lock().expect("read");
+            let recorders: std::collections::BTreeSet<usize> =
+                seen.iter().map(|(r, _)| *r).collect();
+            let survivors: std::collections::BTreeSet<usize> =
+                (0..4).filter(|&r| r != victim).collect();
+            assert_eq!(
+                recorders, survivors,
+                "{label}: every survivor observed a typed error"
+            );
+            for (rank, err) in seen.iter() {
+                assert_ne!(err.peer(), *rank, "{label}: no rank blames itself");
+            }
+            assert!(
+                seen.iter().any(|(_, err)| err.peer() == victim),
+                "{label}: at least the first observer names the victim, got {seen:?}"
+            );
+        }
+    }
+}
+
+/// A severed link is sender-visible: once the trigger fires, posting
+/// across the cut returns `PeerGone` naming the unreachable peer (the
+/// wire itself is cut, so both endpoints see the other as gone).
+#[test]
+fn severed_link_fails_the_sender_with_typed_error() {
+    let plan = FaultPlan::parse("sever:0-1@posts:2").expect("valid plan");
+    let seen: Arc<Mutex<Vec<(usize, CommError)>>> = Arc::new(Mutex::new(Vec::new()));
+    let seen_in = Arc::clone(&seen);
+    let failure = Cluster::try_run_with_faults(2, &plan, move |comm| {
+        match checked_exchange(&comm, usize::MAX) {
+            Ok(chunks) => chunks,
+            Err(e) => {
+                seen_in
+                    .lock()
+                    .expect("record")
+                    .push((comm.rank(), e.clone()));
+                // Re-raise so the peer (blocked waiting on the cut link)
+                // is torn down instead of parking forever.
+                raise(e)
+            }
+        }
+    })
+    .expect_err("a severed link must fail the run");
+    for f in &failure.failures {
+        assert!(
+            matches!(f.cause, FailureCause::PeerGone(_)),
+            "sever is a connectivity failure, not a kill: {:?}",
+            f.cause
+        );
+    }
+    let seen = seen.lock().expect("read");
+    assert!(!seen.is_empty(), "at least one endpoint hit the cut");
+    for (rank, err) in seen.iter() {
+        assert_eq!(err.peer(), 1 - rank, "each endpoint names the other");
+    }
+}
+
+/// Seeded jitter is a pure scheduling perturbation: contigs and the
+/// per-rank per-phase wire bytes are identical to a fault-free run.
+#[test]
+fn seeded_jitter_preserves_contigs_and_wire_bytes() {
+    let (reads, cfg) = small_dataset();
+    let (reads_a, cfg_a) = (reads.clone(), cfg.clone());
+    let (mut clean, clean_prof) = Cluster::run_profiled(4, move |comm| {
+        let grid = ProcGrid::new(comm);
+        assemble_gathered(&grid, &reads_a.clone(), &cfg_a.clone())
+    });
+    let plan = FaultPlan::parse("seed:9;delay:25").expect("valid plan");
+    let (mut jittered, jitter_prof) =
+        run_pipeline_with_plan(false, 4, &plan, reads, cfg).expect("jitter alone kills nobody");
+
+    let (clean_contigs, _) = clean.remove(0);
+    let (jitter_contigs, _) = jittered.remove(0);
+    assert_eq!(clean_contigs.len(), jitter_contigs.len(), "contig count");
+    for (a, b) in clean_contigs.iter().zip(&jitter_contigs) {
+        assert!(a.seq == b.seq, "contig bases diverge under jitter");
+    }
+    assert_eq!(
+        wire_shape(&clean_prof),
+        wire_shape(&jitter_prof),
+        "jitter must be invisible to the wire-byte model"
+    );
+}
+
+/// Per-rank `(phase, bytes_sent, p2p_msgs)` over named phases.
+fn wire_shape(profile: &RunProfile) -> Vec<Vec<(String, u64, u64)>> {
+    let names = profile.phase_names();
+    profile
+        .rank_profiles()
+        .iter()
+        .map(|rank| {
+            names
+                .iter()
+                .filter_map(|name| {
+                    rank.phase(name)
+                        .map(|p| (name.clone(), p.bytes_sent(), p.p2p_msgs))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+// ---- process-level chaos: `elba launch` supervision ----
+
+fn elba_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_elba"))
+}
+
+/// Fresh scratch directory under the system temp dir; removed and
+/// recreated so reruns start clean.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("elba-fault-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Simulate a small read set into `dir` and return the reads path.
+fn simulate_reads(dir: &Path) -> PathBuf {
+    let reads = dir.join("reads.fa");
+    let status = elba_bin()
+        .args([
+            "simulate",
+            "--dataset",
+            "celegans",
+            "--scale",
+            "0.05",
+            "--seed",
+            "33",
+        ])
+        .arg("--reads")
+        .arg(&reads)
+        .arg("--genome")
+        .arg(dir.join("genome.fa"))
+        .status()
+        .expect("run elba simulate");
+    assert!(status.success(), "simulate failed");
+    reads
+}
+
+struct LaunchOutcome {
+    code: i32,
+    stderr: String,
+}
+
+fn launch(dir: &Path, reads: &Path, socket_dir: &Path, extra: &[&str]) -> LaunchOutcome {
+    let mut cmd = elba_bin();
+    cmd.args(["launch", "--ranks", "4", "--transport", "socket"])
+        .arg("--socket-dir")
+        .arg(socket_dir)
+        .args(extra)
+        .args(["--", "assemble", "--k", "17"])
+        .arg("--reads")
+        .arg(reads)
+        .arg("--out")
+        .arg(dir.join("contigs.fa"));
+    let out = cmd.output().expect("run elba launch");
+    LaunchOutcome {
+        code: out.status.code().expect("launch not signal-killed"),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+/// SIGKILL each rank of a real socket launch in turn. The supervisor
+/// must exit `RANK_FAILED`, name the signaled rank as the root cause,
+/// reap the survivors (no hang, no stray panic output), and remove the
+/// rendezvous directory even though the launch aborted.
+#[test]
+fn sigkilled_worker_is_named_and_rendezvous_dir_removed() {
+    let dir = scratch("sigkill");
+    let reads = simulate_reads(&dir);
+    for victim in 0..4usize {
+        let sock = dir.join(format!("sock-{victim}"));
+        let fault = format!("sigkill:{victim}@phase:Alignment");
+        let out = launch(&dir, &reads, &sock, &["--fault", &fault]);
+        assert_eq!(
+            out.code,
+            i32::from(exit::RANK_FAILED),
+            "victim={victim}: stderr:\n{}",
+            out.stderr
+        );
+        assert!(
+            out.stderr.contains(&format!("rank {victim}")) && out.stderr.contains("signal 9"),
+            "victim={victim}: supervisor names the signaled rank:\n{}",
+            out.stderr
+        );
+        assert!(
+            !out.stderr.contains("panicked at"),
+            "victim={victim}: survivors exit cleanly, no panic spew:\n{}",
+            out.stderr
+        );
+        assert!(
+            !sock.exists(),
+            "victim={victim}: rendezvous dir must be removed on abort"
+        );
+    }
+}
+
+/// A soft (`kill:`) fault in a worker process exits with the dedicated
+/// `FAULT_KILLED` code, and the supervisor's taxonomy distinguishes it
+/// from the `PEER_GONE` cascade exits of the survivors.
+#[test]
+fn soft_killed_worker_maps_to_fault_killed_exit() {
+    let dir = scratch("softkill");
+    let reads = simulate_reads(&dir);
+    let sock = dir.join("sock");
+    let out = launch(&dir, &reads, &sock, &["--fault", "kill:1@phase:Alignment"]);
+    assert_eq!(
+        out.code,
+        i32::from(exit::RANK_FAILED),
+        "stderr:\n{}",
+        out.stderr
+    );
+    assert!(
+        out.stderr.contains("rank 1") && out.stderr.contains("killed by fault plan"),
+        "root cause is the fault-killed rank:\n{}",
+        out.stderr
+    );
+    assert!(!sock.exists(), "rendezvous dir removed");
+}
+
+/// Workers stalled by heavy injected jitter are killed when
+/// `--launch-timeout` expires; the supervisor exits with the dedicated
+/// timeout code and still cleans up the rendezvous directory.
+#[test]
+fn launch_timeout_reaps_stalled_workers() {
+    let dir = scratch("timeout");
+    let reads = simulate_reads(&dir);
+    let sock = dir.join("sock");
+    let out = launch(
+        &dir,
+        &reads,
+        &sock,
+        &["--fault", "delay:500000", "--launch-timeout", "1"],
+    );
+    assert_eq!(
+        out.code,
+        i32::from(exit::LAUNCH_TIMEOUT),
+        "stderr:\n{}",
+        out.stderr
+    );
+    assert!(!sock.exists(), "rendezvous dir removed after timeout kill");
+}
+
+/// Fault-plan validation happens in the supervisor before anything is
+/// spawned: a syntax error or an out-of-range target rank is a usage
+/// error, not four workers dying with the same parse message.
+#[test]
+fn malformed_or_out_of_range_fault_plan_is_usage_error() {
+    let dir = scratch("badplan");
+    let reads = dir.join("never-read.fa"); // validated before any I/O
+    for bad in ["kill:banana", "kill:7@posts:3", "sever:1-1"] {
+        let sock = dir.join("sock");
+        let out = launch(&dir, &reads, &sock, &["--fault", bad]);
+        assert_eq!(
+            out.code,
+            i32::from(exit::USAGE),
+            "plan '{bad}' must be rejected up front, stderr:\n{}",
+            out.stderr
+        );
+    }
+}
