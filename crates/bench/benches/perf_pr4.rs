@@ -13,7 +13,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use elba_bench::{dataset, run_pipeline, PAPER_PHASES};
-use elba_comm::{Cluster, ProcGrid};
+use elba_comm::ProcGrid;
+use elba_comm::{Backend, Runner};
 use elba_core::PipelineConfig;
 use elba_seq::DatasetSpec;
 use elba_sparse::semiring::PlusTimes;
@@ -55,7 +56,7 @@ fn summa_secs(p: usize, opts: SpGemmOptions, triples: &Arc<Vec<(u64, u64, f64)>>
     let (n_reads, n_kmers) = (600usize, 4_000usize);
     time_median(5, || {
         let triples = Arc::clone(triples);
-        Cluster::run(p, move |comm| {
+        Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let mine = if grid.world().rank() == 0 {
                 triples.as_ref().clone()
@@ -74,7 +75,7 @@ fn summa_secs(p: usize, opts: SpGemmOptions, triples: &Arc<Vec<(u64, u64, f64)>>
 fn bcast_secs(p: usize, shared: bool, panel: &Arc<Csr<f64>>) -> f64 {
     time_median(7, || {
         let panel = Arc::clone(panel);
-        Cluster::run(p, move |comm| {
+        Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let nnz = if shared {
                 comm.ibcast_shared(0, (comm.rank() == 0).then(|| Arc::clone(&panel)))
                     .wait()

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use elba_align::{xdrop_extend_with, Scoring, XdropKernel, XdropWorkspace};
 use elba_bench::{dataset, run_pipeline, PAPER_PHASES};
-use elba_core::PipelineConfig;
+use elba_core::{ChainingConfig, PipelineConfig};
 use elba_graph::{align_pair_with, AlignScratch, OverlapConfig, SeedChaining};
 use elba_graph::{Seed, SharedSeeds};
 use elba_quality::{evaluate, QualityConfig};
@@ -228,12 +228,18 @@ fn main() {
     let baseline_cfg = base_cfg
         .clone()
         .with_xdrop_kernel(XdropKernel::Scalar)
-        .with_seed_chaining(SeedChaining::All, 128);
+        .seed_chaining(ChainingConfig {
+            chaining: SeedChaining::All,
+            chain_band: 128,
+        });
     let (base_t1, base_contigs) = probe(baseline_cfg.clone(), 1);
     let (base_t4, _) = probe(baseline_cfg, 4);
     let (def_t1, def_contigs_t1) = probe(base_cfg.clone(), 1);
     let (def_t4, def_contigs_t4) = probe(base_cfg.clone(), 4);
-    let fast_cfg = base_cfg.with_seed_chaining(SeedChaining::BestOnly, 128);
+    let fast_cfg = base_cfg.seed_chaining(ChainingConfig {
+        chaining: SeedChaining::BestOnly,
+        chain_band: 128,
+    });
     let (fast_t4, fast_contigs) = probe(fast_cfg, 4);
     emit(&mut json, "baseline_scalar_all_t1", &base_t1, ",");
     emit(&mut json, "baseline_scalar_all_t4", &base_t4, ",");

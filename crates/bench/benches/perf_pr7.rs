@@ -14,7 +14,8 @@
 use std::fmt::Write as _;
 
 use elba_bench::run_pipeline;
-use elba_comm::{Cluster, CostConstants, MachineModel, ProcGrid, SchedulePlan, SpGemmEstimate};
+use elba_comm::{Backend, Runner};
+use elba_comm::{CostConstants, MachineModel, ProcGrid, SchedulePlan, SpGemmEstimate};
 use elba_core::PipelineConfig;
 use elba_seq::DatasetSpec;
 use elba_sparse::semiring::PlusTimes;
@@ -52,18 +53,20 @@ fn fixture(n: usize, k: usize) -> Vec<(u64, u64, f64)> {
 /// Run `A · Aᵀ` on `p` ranks under `opts`; returns the max-over-ranks
 /// "spgemm" phase wall and the global nnz of the product.
 fn spgemm_run(p: usize, n: usize, k: usize, opts: SpGemmOptions) -> (f64, u64) {
-    let (nnzs, profile) = Cluster::run_profiled(p, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let mine = if grid.world().rank() == 0 {
-            fixture(n, k)
-        } else {
-            Vec::new()
-        };
-        let a = DistMat::from_triples(&grid, n, k, mine, |_, _| unreachable!());
-        let at = a.transpose(&grid);
-        let _guard = grid.world().phase("spgemm");
-        a.spgemm_with(&grid, &at, &PlusTimes, &opts).local().nnz() as u64
-    });
+    let (nnzs, profile) = Runner::new(Backend::InProcess)
+        .ranks(p)
+        .run_profiled(move |comm| {
+            let grid = ProcGrid::new(comm);
+            let mine = if grid.world().rank() == 0 {
+                fixture(n, k)
+            } else {
+                Vec::new()
+            };
+            let a = DistMat::from_triples(&grid, n, k, mine, |_, _| unreachable!());
+            let at = a.transpose(&grid);
+            let _guard = grid.world().phase("spgemm");
+            a.spgemm_with(&grid, &at, &PlusTimes, &opts).local().nnz() as u64
+        });
     (profile.max_wall("spgemm"), nnzs.iter().sum())
 }
 

@@ -17,7 +17,8 @@ use std::time::Instant;
 use elba_bench::{
     dataset, pipeline_time, run_pipeline, run_pipeline_socket, MeasuredRun, PAPER_PHASES,
 };
-use elba_comm::{Cluster, Comm, CostConstants, MachineModel, RunProfile, SocketCluster};
+use elba_comm::{Backend, Runner};
+use elba_comm::{Comm, CostConstants, MachineModel, RunProfile};
 use elba_core::PipelineConfig;
 use elba_seq::DatasetSpec;
 
@@ -153,8 +154,12 @@ fn main() {
     let _ = writeln!(json, "  }},");
 
     // ---- socket α/β calibration vs the fixed in-process constants ----
-    let socket_measured = SocketCluster::run(2, |comm| pingpong(&comm))[0];
-    let inproc_measured = Cluster::run(2, |comm| pingpong(&comm))[0];
+    let socket_measured = Runner::new(Backend::Socket)
+        .ranks(2)
+        .run(|comm| pingpong(&comm))[0];
+    let inproc_measured = Runner::new(Backend::InProcess)
+        .ranks(2)
+        .run(|comm| pingpong(&comm))[0];
     let fixed = CostConstants::in_process();
     let socket_machine = MachineModel {
         name: "socket-local",

@@ -13,7 +13,8 @@
 
 use std::time::Instant;
 
-use elba_comm::{Cluster, MachineModel, ProcGrid, RunProfile, SocketCluster};
+use elba_comm::{Backend, Runner};
+use elba_comm::{MachineModel, ProcGrid, RunProfile};
 use elba_core::{assemble, Contig, PipelineConfig, PipelineResult};
 use elba_seq::{DatasetSpec, Seq};
 
@@ -50,12 +51,15 @@ pub fn run_pipeline(reads: &[Seq], cfg: &PipelineConfig, nranks: usize) -> Measu
     let reads = reads.to_vec();
     let cfg = cfg.clone();
     let started = Instant::now();
-    let (mut outputs, profile) = Cluster::run_profiled(nranks, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let result = assemble(&grid, &reads, &cfg);
-        let contigs = elba_core::gather_contigs(&grid, &result.local_contigs);
-        (result, contigs)
-    });
+    let (mut outputs, profile) =
+        Runner::new(Backend::InProcess)
+            .ranks(nranks)
+            .run_profiled(move |comm| {
+                let grid = ProcGrid::new(comm);
+                let result = assemble(&grid, &reads, &cfg);
+                let contigs = elba_core::gather_contigs(&grid, &result.local_contigs);
+                (result, contigs)
+            });
     let wall_secs = started.elapsed().as_secs_f64();
     let (result, contigs) = outputs.remove(0);
     MeasuredRun {
@@ -75,12 +79,15 @@ pub fn run_pipeline_socket(reads: &[Seq], cfg: &PipelineConfig, nranks: usize) -
     let reads = reads.to_vec();
     let cfg = cfg.clone();
     let started = Instant::now();
-    let (mut outputs, profile) = SocketCluster::run_profiled(nranks, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let result = assemble(&grid, &reads, &cfg);
-        let contigs = elba_core::gather_contigs(&grid, &result.local_contigs);
-        (result, contigs)
-    });
+    let (mut outputs, profile) =
+        Runner::new(Backend::Socket)
+            .ranks(nranks)
+            .run_profiled(move |comm| {
+                let grid = ProcGrid::new(comm);
+                let result = assemble(&grid, &reads, &cfg);
+                let contigs = elba_core::gather_contigs(&grid, &result.local_contigs);
+                (result, contigs)
+            });
     let wall_secs = started.elapsed().as_secs_f64();
     let (result, contigs) = outputs.remove(0);
     MeasuredRun {

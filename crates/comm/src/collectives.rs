@@ -1030,7 +1030,7 @@ impl<T: CommMsg + Clone + Sync> Iterator for IalltoallvRequest<'_, T> {
 
 #[cfg(test)]
 mod tests {
-    use crate::runtime::Cluster;
+    use crate::runtime::{Backend, Runner};
 
     fn nonpow2_sizes() -> Vec<usize> {
         vec![1, 2, 3, 4, 5, 7, 8, 9]
@@ -1039,7 +1039,7 @@ mod tests {
     #[test]
     fn barrier_all_sizes() {
         for p in nonpow2_sizes() {
-            Cluster::run(p, |comm| {
+            Runner::new(Backend::InProcess).ranks(p).run(|comm| {
                 for _ in 0..3 {
                     comm.barrier();
                 }
@@ -1051,7 +1051,7 @@ mod tests {
     fn bcast_from_every_root() {
         for p in nonpow2_sizes() {
             for root in 0..p {
-                let out = Cluster::run(p, move |comm| {
+                let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                     let value = if comm.rank() == root {
                         Some(42u64 + root as u64)
                     } else {
@@ -1069,7 +1069,7 @@ mod tests {
 
     #[test]
     fn bcast_vectors() {
-        let out = Cluster::run(6, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(6).run(|comm| {
             let value = if comm.rank() == 2 {
                 Some(vec![1u32, 2, 3])
             } else {
@@ -1083,7 +1083,9 @@ mod tests {
     #[test]
     fn gather_rank_ordered() {
         for p in nonpow2_sizes() {
-            let out = Cluster::run(p, |comm| comm.gather(0, comm.rank() as u64 * 10));
+            let out = Runner::new(Backend::InProcess)
+                .ranks(p)
+                .run(|comm| comm.gather(0, comm.rank() as u64 * 10));
             let root = out[0].as_ref().expect("root holds result");
             assert_eq!(root, &(0..p as u64).map(|r| r * 10).collect::<Vec<_>>());
             assert!(out[1..].iter().all(Option::is_none));
@@ -1094,9 +1096,9 @@ mod tests {
     fn reduce_sum_every_root() {
         for p in nonpow2_sizes() {
             for root in 0..p {
-                let out = Cluster::run(p, move |comm| {
-                    comm.reduce(root, comm.rank() as u64 + 1, |a, b| a + b)
-                });
+                let out = Runner::new(Backend::InProcess)
+                    .ranks(p)
+                    .run(move |comm| comm.reduce(root, comm.rank() as u64 + 1, |a, b| a + b));
                 let expect = (p * (p + 1) / 2) as u64;
                 assert_eq!(out[root], Some(expect), "p={p} root={root}");
                 for (r, v) in out.iter().enumerate() {
@@ -1110,14 +1112,18 @@ mod tests {
 
     #[test]
     fn allreduce_max() {
-        let out = Cluster::run(7, |comm| comm.allreduce(comm.rank() as u64, u64::max));
+        let out = Runner::new(Backend::InProcess)
+            .ranks(7)
+            .run(|comm| comm.allreduce(comm.rank() as u64, u64::max));
         assert!(out.iter().all(|&v| v == 6));
     }
 
     #[test]
     fn allgather_orders_by_rank() {
         for p in nonpow2_sizes() {
-            let out = Cluster::run(p, |comm| comm.allgather(comm.rank() as u64));
+            let out = Runner::new(Backend::InProcess)
+                .ranks(p)
+                .run(|comm| comm.allgather(comm.rank() as u64));
             for v in out {
                 assert_eq!(v, (0..p as u64).collect::<Vec<_>>());
             }
@@ -1127,7 +1133,7 @@ mod tests {
     #[test]
     fn alltoallv_personalizes() {
         let p = 4;
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             // rank r sends [r*10 + dst] to each dst.
             let bufs: Vec<Vec<u64>> = (0..p)
                 .map(|dst| vec![comm.rank() as u64 * 10 + dst as u64])
@@ -1143,7 +1149,7 @@ mod tests {
 
     #[test]
     fn alltoallv_empty_buffers_ok() {
-        let out = Cluster::run(3, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(3).run(|comm| {
             let bufs: Vec<Vec<u64>> = vec![Vec::new(); 3];
             comm.alltoallv(bufs)
         });
@@ -1153,7 +1159,7 @@ mod tests {
     #[test]
     fn reduce_scatter_block_sums_columns() {
         let p = 5;
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             // contribution[i] = rank + i; reduced column i = sum over ranks.
             let contributions: Vec<u64> = (0..p).map(|i| comm.rank() as u64 + i as u64).collect();
             comm.reduce_scatter_block(contributions, |a, b| a + b)
@@ -1166,9 +1172,9 @@ mod tests {
 
     #[test]
     fn exscan_prefix_sums() {
-        let out = Cluster::run(6, |comm| {
-            comm.exscan(comm.rank() as u64 + 1, 0, |a, b| a + b)
-        });
+        let out = Runner::new(Backend::InProcess)
+            .ranks(6)
+            .run(|comm| comm.exscan(comm.rank() as u64 + 1, 0, |a, b| a + b));
         // rank r gets sum of 1..=r
         assert_eq!(out, vec![0, 1, 3, 6, 10, 15]);
     }
@@ -1177,7 +1183,7 @@ mod tests {
     fn ibcast_from_every_root_all_sizes() {
         for p in nonpow2_sizes() {
             for root in 0..p {
-                let out = Cluster::run(p, move |comm| {
+                let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                     let value = if comm.rank() == root {
                         Some(root as u64 + 7)
                     } else {
@@ -1196,7 +1202,7 @@ mod tests {
     #[test]
     fn ibcast_overlaps_with_local_work() {
         // Post, do local work, then wait — the canonical pipelined shape.
-        let out = Cluster::run(5, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(5).run(|comm| {
             let req = comm.ibcast(0, (comm.rank() == 0).then(|| vec![1u64, 2, 3]));
             let local: u64 = (0..1000u64).sum(); // stand-in compute
             let value = req.wait();
@@ -1209,7 +1215,7 @@ mod tests {
     fn two_outstanding_ibcasts_complete_in_any_order() {
         // The double-buffered SUMMA posts A and B broadcasts for the next
         // stage before waiting on either.
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let a = comm.ibcast(0, (comm.rank() == 0).then_some(10u64));
             let b = comm.ibcast(1, (comm.rank() == 1).then_some(20u64));
             let vb = b.wait();
@@ -1221,7 +1227,7 @@ mod tests {
 
     #[test]
     fn ibcast_test_completes_without_wait_blocking() {
-        let out = Cluster::run(3, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(3).run(|comm| {
             let mut req = comm.ibcast(0, (comm.rank() == 0).then_some(5u64));
             while !req.test() {
                 std::thread::yield_now();
@@ -1239,7 +1245,7 @@ mod tests {
         // forwarding on their own wait/test) this deadlocks: 3 waits for
         // 2's forward, 2 waits for 3's ack. Arrival-driven delivery
         // feeds rank 3 at the root's post, so the cycle never forms.
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let req = comm.ibcast(0, (comm.rank() == 0).then_some(7u64));
             match comm.rank() {
                 2 => {
@@ -1262,25 +1268,27 @@ mod tests {
         // Blocking-bcast twin of the arrival-driven test: rank 2 (the
         // tree parent of rank 3) refuses to enter the broadcast until
         // rank 3 has already received its value.
-        let out = Cluster::run(4, |comm| match comm.rank() {
-            2 => {
-                let ack = comm.recv::<u64>(3, 1);
-                let v = comm.bcast(0, None::<u64>);
-                v + ack
-            }
-            3 => {
-                let v = comm.bcast(0, None);
-                comm.send(2, 1, v * 10);
-                v
-            }
-            _ => comm.bcast(0, (comm.rank() == 0).then_some(5u64)),
-        });
+        let out = Runner::new(Backend::InProcess)
+            .ranks(4)
+            .run(|comm| match comm.rank() {
+                2 => {
+                    let ack = comm.recv::<u64>(3, 1);
+                    let v = comm.bcast(0, None::<u64>);
+                    v + ack
+                }
+                3 => {
+                    let v = comm.bcast(0, None);
+                    comm.send(2, 1, v * 10);
+                    v
+                }
+                _ => comm.bcast(0, (comm.rank() == 0).then_some(5u64)),
+            });
         assert_eq!(out, vec![5, 5, 55, 5]);
     }
 
     #[test]
     fn ibcast_interleaves_with_blocking_collectives() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let req = comm.ibcast(2, (comm.rank() == 2).then_some(9u64));
             let sum = comm.allreduce(1u64, |a, b| a + b);
             let v = req.wait();
@@ -1292,16 +1300,17 @@ mod tests {
 
     #[test]
     fn ibcast_books_wait_not_comm_time() {
-        use crate::runtime::Cluster;
-        let (_, profile) = Cluster::run_profiled(2, |comm| {
-            let _g = comm.phase("stage");
-            if comm.rank() == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(15));
-                comm.ibcast(0, Some(3u64)).wait()
-            } else {
-                comm.ibcast(0, None).wait()
-            }
-        });
+        let (_, profile) = Runner::new(Backend::InProcess)
+            .ranks(2)
+            .run_profiled(|comm| {
+                let _g = comm.phase("stage");
+                if comm.rank() == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(15));
+                    comm.ibcast(0, Some(3u64)).wait()
+                } else {
+                    comm.ibcast(0, None).wait()
+                }
+            });
         assert!(
             profile.max_wait_secs("stage") > 0.005,
             "wait bucket must fill"
@@ -1316,7 +1325,7 @@ mod tests {
     fn ialltoallv_equals_alltoallv_all_sizes() {
         for p in nonpow2_sizes() {
             for chunk in [1usize, 3, 64] {
-                let out = Cluster::run(p, move |comm| {
+                let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                     let make = || -> Vec<Vec<u64>> {
                         (0..comm.size())
                             .map(|dst| {
@@ -1339,7 +1348,7 @@ mod tests {
     fn ialltoallv_chunks_preserve_source_order() {
         // One big buffer split into many chunks: concatenation in arrival
         // order must reproduce it exactly (per-(source, tag) FIFO).
-        let out = Cluster::run(3, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(3).run(|comm| {
             let bufs: Vec<Vec<u64>> = (0..3)
                 .map(|dst| (0..47u64).map(|i| dst as u64 * 1000 + i).collect())
                 .collect();
@@ -1370,7 +1379,7 @@ mod tests {
         // rounds, folding inbound chunks between posts; totals must match
         // the sum of everything posted toward each rank.
         let p = 4;
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let rounds = comm.rank() + 1; // uneven traffic per rank
             let mut req = comm.ialltoallv_stream::<u64>(3);
             let mut received: Vec<u64> = Vec::new();
@@ -1413,12 +1422,12 @@ mod tests {
 
     #[test]
     fn ialltoallv_empty_and_single_rank() {
-        let out = Cluster::run(1, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(1).run(|comm| {
             let got = comm.ialltoallv(vec![vec![7u64, 8, 9]], 2).wait();
             got == vec![vec![7u64, 8, 9]]
         });
         assert!(out[0]);
-        let out = Cluster::run(3, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(3).run(|comm| {
             let got = comm.ialltoallv(vec![Vec::<u64>::new(); 3], 4).wait();
             got.iter().all(Vec::is_empty)
         });
@@ -1427,7 +1436,7 @@ mod tests {
 
     #[test]
     fn ialltoallv_interleaves_with_collectives_and_p2p() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let right = (comm.rank() + 1) % comm.size();
             let left = (comm.rank() + comm.size() - 1) % comm.size();
             let p2p = comm.irecv::<u64>(left, 11);
@@ -1448,14 +1457,16 @@ mod tests {
 
     #[test]
     fn ialltoallv_books_wait_not_comm_time() {
-        let (_, profile) = Cluster::run_profiled(2, |comm| {
-            let _g = comm.phase("stage");
-            if comm.rank() == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(15));
-            }
-            let bufs: Vec<Vec<u64>> = vec![vec![1], vec![2]];
-            comm.ialltoallv(bufs, 8).wait()
-        });
+        let (_, profile) = Runner::new(Backend::InProcess)
+            .ranks(2)
+            .run_profiled(|comm| {
+                let _g = comm.phase("stage");
+                if comm.rank() == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(15));
+                }
+                let bufs: Vec<Vec<u64>> = vec![vec![1], vec![2]];
+                comm.ialltoallv(bufs, 8).wait()
+            });
         assert!(
             profile.max_wait_secs("stage") > 0.005,
             "wait bucket must fill"
@@ -1471,7 +1482,7 @@ mod tests {
         // A fast sender against a deliberately slow receiver: the credit
         // protocol must keep unacknowledged chunks per destination at or
         // below the window, no matter how far ahead the sender scans.
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             let window = 3usize;
             let mut req = comm.ialltoallv_stream_with_window::<u64>(4, window);
             if comm.rank() == 0 {
@@ -1502,7 +1513,7 @@ mod tests {
         // still complete and reproduce the blocking exchange exactly,
         // including under mutual pressure on every pair at once.
         for p in [1usize, 2, 4, 5] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let make = || -> Vec<Vec<u64>> {
                     (0..comm.size())
                         .map(|dst| {
@@ -1534,7 +1545,7 @@ mod tests {
 
     #[test]
     fn collectives_interleave_with_p2p() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let right = (comm.rank() + 1) % comm.size();
             let left = (comm.rank() + comm.size() - 1) % comm.size();
             comm.send(right, 5, comm.rank() as u64);

@@ -98,11 +98,11 @@ impl ProcGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::Cluster;
+    use crate::runtime::{Backend, Runner};
 
     #[test]
     fn grid_coordinates() {
-        let out = Cluster::run(9, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(9).run(|comm| {
             let rank = comm.rank();
             let grid = ProcGrid::new(comm);
             assert_eq!(grid.rank_of(grid.myrow(), grid.mycol()), rank);
@@ -121,7 +121,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "perfect square")]
     fn non_square_rejected() {
-        let _ = Cluster::run(6, |comm| {
+        let _ = Runner::new(Backend::InProcess).ranks(6).run(|comm| {
             let _ = ProcGrid::new(comm);
         });
     }
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn row_allgather_collects_row() {
         // Mirrors the first half of the paper's Fig. 2 exchange.
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let rank = comm.rank();
             let grid = ProcGrid::new(comm);
             grid.row().allgather(rank as u64)
@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn transpose_exchange() {
         // Second half of Fig. 2: p2p with the transposed processor.
-        let out = Cluster::run(9, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(9).run(|comm| {
             let rank = comm.rank();
             let grid = ProcGrid::new(comm);
             let partner = grid.transpose_rank();
@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn diagonal_detection() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             grid.is_diagonal()
         });
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn column_communicator_spans_columns() {
-        let out = Cluster::run(9, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(9).run(|comm| {
             let rank = comm.rank();
             let grid = ProcGrid::new(comm);
             grid.col().allgather(rank as u64)

@@ -33,11 +33,14 @@
 //! sockets. Byte volumes are metered through [`msg::CommMsg`] *above*
 //! the transport, so profiled traffic is byte-identical across backends.
 //!
+//! Both backends sit behind one backend-generic entry point, the
+//! [`Runner`] builder:
+//!
 //! ```
-//! use elba_comm::Cluster;
+//! use elba_comm::{Backend, Runner};
 //!
 //! // SPMD "hello": every rank contributes its rank id, all check the sum.
-//! let results = Cluster::run(4, |comm| {
+//! let results = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
 //!     let sum: u64 = comm.allreduce(comm.rank() as u64, |a, b| a + b);
 //!     sum
 //! });
@@ -59,7 +62,9 @@ pub use grid::ProcGrid;
 pub use model::{CostConstants, MachineModel, SchedulePlan, SpGemmEstimate};
 pub use msg::CommMsg;
 pub use profile::{PhaseProfile, Profile, RunProfile};
-pub use runtime::{Cluster, Comm, MemCharge, Rank, RecvRequest, SendRequest, SharedMemCharge, Tag};
+pub use runtime::{
+    Backend, Cluster, Comm, MemCharge, Rank, RecvRequest, Runner, SendRequest, SharedMemCharge, Tag,
+};
 pub use transport::fault::{Fault, FaultKind, FaultMode, FaultPlan, Trigger};
 pub use transport::socket::{run_worker, MeshConfig, SocketCluster, WorkerError};
 pub use transport::Transport;

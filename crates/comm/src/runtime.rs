@@ -648,22 +648,9 @@ pub(crate) mod op {
 /// test oracles may recurse.
 const STACK_SIZE: usize = 16 * 1024 * 1024;
 
-/// Shared harness behind [`Cluster`] and [`crate::SocketCluster`]: one
-/// thread per transport endpoint, each wrapped in a fresh [`Comm`] with
-/// its own profile; a dead rank surfaces as a panic naming it (the
-/// raising face of [`run_spmd_checked`]).
-pub(crate) fn run_spmd<T, F>(transports: Vec<Arc<dyn Transport>>, f: F) -> (Vec<T>, RunProfile)
-where
-    T: Send + 'static,
-    F: Fn(Comm) -> T + Send + Sync + 'static,
-{
-    match run_spmd_checked(transports, f) {
-        Ok(out) => out,
-        Err(failure) => panic!("{failure}"),
-    }
-}
-
-/// The checked harness: every rank's unwind is caught and classified
+/// The checked harness behind [`Runner`]: one thread per transport
+/// endpoint, each wrapped in a fresh [`Comm`] with its own profile.
+/// Every rank's unwind is caught and classified
 /// ([`crate::FailureCause`]) instead of propagating, and the first
 /// casualty proactively aborts the whole mesh so surviving ranks unwind
 /// with `PeerGone` rather than parking in a collective forever. Returns
@@ -763,49 +750,199 @@ where
     }
 }
 
-/// Entry point: run an SPMD function over `nranks` in-process ranks.
+/// Which message plane a [`Runner`] builds its rank mesh on.
+///
+/// Both backends host ranks as threads of the calling process and run the
+/// same supervised harness; they differ only in how messages move. Profiled
+/// wire bytes are metered *above* the transport, so they are byte-identical
+/// across backends (pinned by the transport-equivalence tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Ranks exchange boxed values through in-process mailboxes — the MPI
+    /// communication *structure* without serialization cost. The default,
+    /// and the right choice for tests, benches, and single-host serving.
+    #[default]
+    InProcess,
+    /// Ranks exchange real serialized frames over Unix socketpairs — the
+    /// same wire codec `elba launch` uses for separate worker processes,
+    /// exercised without forking.
+    Socket,
+}
+
+impl Backend {
+    /// Build a world mesh of `nranks` transport endpoints on this backend.
+    fn transports(self, nranks: usize) -> Vec<Arc<dyn Transport>> {
+        match self {
+            Backend::InProcess => InProcess::world(nranks),
+            Backend::Socket => crate::transport::socket::SocketCluster::mesh(nranks),
+        }
+    }
+}
+
+/// The backend-generic SPMD entry point: build once, choose a [`Backend`],
+/// a rank count, and (optionally) a [`FaultPlan`], then run.
+///
+/// `Runner` collapses what used to be eight near-duplicate cluster
+/// functions (`Cluster::{run,run_profiled,try_run_profiled,
+/// try_run_with_faults}` mirrored on `SocketCluster`) into one builder
+/// that schedulers and tests can program against generically:
+///
+/// ```
+/// use elba_comm::{Backend, Runner};
+///
+/// // SPMD "hello": every rank contributes its rank id, all check the sum.
+/// let results = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
+///     let sum: u64 = comm.allreduce(comm.rank() as u64, |a, b| a + b);
+///     sum
+/// });
+/// assert!(results.iter().all(|&s| s == 0 + 1 + 2 + 3));
+/// ```
+///
+/// A `Runner` is a plain value: cheap to clone, reusable across runs
+/// (each run builds a fresh mesh, so a failed run never poisons the
+/// next — this is what lets a serving pool "recycle" a rank group by
+/// simply running the next job).
+#[derive(Debug, Clone)]
+pub struct Runner {
+    backend: Backend,
+    nranks: usize,
+    faults: Option<FaultPlan>,
+}
+
+impl Default for Runner {
+    /// One in-process rank, no fault plan.
+    fn default() -> Self {
+        Runner::new(Backend::InProcess)
+    }
+}
+
+impl Runner {
+    /// A runner on `backend` with 1 rank and no fault plan.
+    pub fn new(backend: Backend) -> Self {
+        Runner {
+            backend,
+            nranks: 1,
+            faults: None,
+        }
+    }
+
+    /// Set the number of ranks in the world communicator.
+    pub fn ranks(mut self, nranks: usize) -> Self {
+        assert!(nranks > 0, "runner needs at least one rank");
+        self.nranks = nranks;
+        self
+    }
+
+    /// Enforce an explicit [`FaultPlan`] below the comm layer: seeded
+    /// delivery jitter, severed links, and ranks killed mid-run by
+    /// message count or named phase (thread-mode kills — the doomed rank
+    /// unwinds with a [`crate::FaultKill`] payload, classified as
+    /// [`crate::FailureCause::Killed`]).
+    ///
+    /// Without this, the runner still honors [`FaultPlan::from_env`]
+    /// (`ELBA_FAULT_PLAN`), which is how `elba launch --fault` reaches
+    /// ranks it never constructs itself.
+    pub fn faults(mut self, plan: &FaultPlan) -> Self {
+        self.faults = Some(plan.clone());
+        self
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The configured rank count.
+    pub fn rank_count(&self) -> usize {
+        self.nranks
+    }
+
+    /// Run `f` on every rank; returns each rank's result, rank-ordered.
+    /// A dead rank panics with the classified failure — use
+    /// [`Runner::try_run_profiled`] to observe it as a typed error.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        self.run_profiled(f).0
+    }
+
+    /// Like [`Runner::run`] but also returns the per-rank profiles
+    /// (phase wall times + communication volumes) recorded during the run.
+    pub fn run_profiled<T, F>(&self, f: F) -> (Vec<T>, RunProfile)
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        match self.try_run_profiled(f) {
+            Ok(out) => out,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+
+    /// Like [`Runner::run_profiled`], but dead ranks surface as a typed
+    /// [`SpmdFailure`] instead of a panic: each rank's unwind is caught
+    /// and classified (fault kill / organic panic / `PeerGone` cascade),
+    /// and every casualty is reported by rank, root cause first.
+    pub fn try_run_profiled<T, F>(&self, f: F) -> Result<(Vec<T>, RunProfile), SpmdFailure>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        let transports = self.backend.transports(self.nranks);
+        match &self.faults {
+            Some(plan) => run_spmd_checked_with(transports, Some(plan), f),
+            None => run_spmd_checked(transports, f),
+        }
+    }
+}
+
+/// Deprecated entry point: run an SPMD function over `nranks` in-process
+/// ranks. Superseded by the backend-generic [`Runner`] builder; each
+/// method survives as a one-line shim.
 pub struct Cluster;
 
 impl Cluster {
     /// Run `f` on `nranks` ranks; returns each rank's result, rank-ordered.
+    #[deprecated(note = "use Runner::new(Backend::InProcess).ranks(n).run(f)")]
     pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
     where
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
-        Self::run_profiled(nranks, f).0
+        Runner::new(Backend::InProcess).ranks(nranks).run(f)
     }
 
-    /// Like [`Cluster::run`] but also returns the per-rank profiles
-    /// (phase wall times + communication volumes) recorded during the run.
+    /// Like `Cluster::run` but also returns the per-rank profiles.
+    #[deprecated(note = "use Runner::new(Backend::InProcess).ranks(n).run_profiled(f)")]
     pub fn run_profiled<T, F>(nranks: usize, f: F) -> (Vec<T>, RunProfile)
     where
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
-        assert!(nranks > 0, "cluster needs at least one rank");
-        run_spmd(InProcess::world(nranks), f)
+        Runner::new(Backend::InProcess)
+            .ranks(nranks)
+            .run_profiled(f)
     }
 
-    /// Like [`Cluster::run_profiled`], but dead ranks surface as a typed
-    /// [`SpmdFailure`] instead of a panic: each rank's unwind is caught
-    /// and classified (fault kill / organic panic / `PeerGone` cascade),
-    /// and every casualty is reported by rank, root cause first.
+    /// Like `Cluster::run_profiled`, but dead ranks surface as a typed
+    /// [`SpmdFailure`] instead of a panic.
+    #[deprecated(note = "use Runner::new(Backend::InProcess).ranks(n).try_run_profiled(f)")]
     pub fn try_run_profiled<T, F>(nranks: usize, f: F) -> Result<(Vec<T>, RunProfile), SpmdFailure>
     where
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
-        assert!(nranks > 0, "cluster needs at least one rank");
-        run_spmd_checked(InProcess::world(nranks), f)
+        Runner::new(Backend::InProcess)
+            .ranks(nranks)
+            .try_run_profiled(f)
     }
 
-    /// Like [`Cluster::try_run_profiled`], but with an explicit
-    /// [`FaultPlan`] enforced below the comm layer: seeded delivery
-    /// jitter, severed links, and ranks killed mid-run by message count
-    /// or named phase (thread-mode kills — the doomed rank unwinds with
-    /// a [`crate::FaultKill`] payload, classified as
-    /// [`crate::FailureCause::Killed`]).
+    /// Like `Cluster::try_run_profiled`, but with an explicit [`FaultPlan`].
+    #[deprecated(
+        note = "use Runner::new(Backend::InProcess).ranks(n).faults(plan).try_run_profiled(f)"
+    )]
     pub fn try_run_with_faults<T, F>(
         nranks: usize,
         plan: &FaultPlan,
@@ -815,8 +952,10 @@ impl Cluster {
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
-        assert!(nranks > 0, "cluster needs at least one rank");
-        run_spmd_checked_with(InProcess::world(nranks), Some(plan), f)
+        Runner::new(Backend::InProcess)
+            .ranks(nranks)
+            .faults(plan)
+            .try_run_profiled(f)
     }
 }
 
@@ -826,13 +965,15 @@ mod tests {
 
     #[test]
     fn single_rank_runs() {
-        let out = Cluster::run(1, |comm| comm.rank() + comm.size());
+        let out = Runner::new(Backend::InProcess)
+            .ranks(1)
+            .run(|comm| comm.rank() + comm.size());
         assert_eq!(out, vec![1]);
     }
 
     #[test]
     fn ring_send_recv() {
-        let out = Cluster::run(5, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(5).run(|comm| {
             let next = (comm.rank() + 1) % comm.size();
             let prev = (comm.rank() + comm.size() - 1) % comm.size();
             comm.send(next, 7, comm.rank() as u64);
@@ -843,7 +984,7 @@ mod tests {
 
     #[test]
     fn out_of_order_tags_are_buffered() {
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 1, 10u64);
                 comm.send(1, 2, 20u64);
@@ -863,7 +1004,7 @@ mod tests {
 
     #[test]
     fn send_to_self() {
-        let out = Cluster::run(3, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(3).run(|comm| {
             comm.send(comm.rank(), 9, comm.rank() as u64 * 3);
             comm.recv::<u64>(comm.rank(), 9)
         });
@@ -872,7 +1013,7 @@ mod tests {
 
     #[test]
     fn moves_large_buffers_without_copy() {
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, vec![1u8; 1 << 20]);
                 0usize
@@ -886,7 +1027,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "panicked")]
     fn rank_panic_propagates() {
-        let _ = Cluster::run(2, |comm| {
+        let _ = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 1 {
                 panic!("deliberate failure");
             }
@@ -898,7 +1039,7 @@ mod tests {
     #[test]
     fn split_into_rows() {
         // 6 ranks -> two colors {0,1,2} and {3,4,5}.
-        let out = Cluster::run(6, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(6).run(|comm| {
             let color = comm.rank() / 3;
             let sub = comm.split(color, comm.rank());
             // ring within subgroup
@@ -915,7 +1056,7 @@ mod tests {
 
     #[test]
     fn split_reverse_key_reverses_ranks() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let sub = comm.split(0, comm.size() - comm.rank());
             sub.rank()
         });
@@ -924,14 +1065,16 @@ mod tests {
 
     #[test]
     fn profiles_capture_phase_bytes() {
-        let (_, profile) = Cluster::run_profiled(2, |comm| {
-            let _g = comm.phase("exchange");
-            if comm.rank() == 0 {
-                comm.send(1, 0, vec![0u64; 100]);
-            } else {
-                let _ = comm.recv::<Vec<u64>>(0, 0);
-            }
-        });
+        let (_, profile) = Runner::new(Backend::InProcess)
+            .ranks(2)
+            .run_profiled(|comm| {
+                let _g = comm.phase("exchange");
+                if comm.rank() == 0 {
+                    comm.send(1, 0, vec![0u64; 100]);
+                } else {
+                    let _ = comm.recv::<Vec<u64>>(0, 0);
+                }
+            });
         let bytes = profile.total_p2p_bytes("exchange");
         assert_eq!(bytes, 8 + 800);
     }
@@ -942,39 +1085,43 @@ mod tests {
         // shared charges key on the allocation address, and a recycled
         // address would alias the stale tracker entry (ABA) — a second
         // block charged at the reused address would book zero bytes.
-        let (_, profile) = Cluster::run_profiled(1, |comm| {
-            let _g = comm.phase("pin");
-            let first = Arc::new(vec![0u8; 64]);
-            let guard_a = comm.mem_charge_shared(&first, 64);
-            drop(first); // guard keeps the allocation (and key) alive
-            let second = Arc::new(vec![0u8; 64]); // cannot reuse the address
-            let guard_b = comm.mem_charge_shared(&second, 64);
-            let current = comm.profile_handle();
-            let resident = crate::profile::lock_profile(&current).mem().current();
-            drop((guard_a, guard_b));
-            resident
-        });
+        let (_, profile) = Runner::new(Backend::InProcess)
+            .ranks(1)
+            .run_profiled(|comm| {
+                let _g = comm.phase("pin");
+                let first = Arc::new(vec![0u8; 64]);
+                let guard_a = comm.mem_charge_shared(&first, 64);
+                drop(first); // guard keeps the allocation (and key) alive
+                let second = Arc::new(vec![0u8; 64]); // cannot reuse the address
+                let guard_b = comm.mem_charge_shared(&second, 64);
+                let current = comm.profile_handle();
+                let resident = crate::profile::lock_profile(&current).mem().current();
+                drop((guard_a, guard_b));
+                resident
+            });
         assert_eq!(profile.max_mem_hw("pin"), 128, "both blocks must charge");
     }
 
     #[test]
     fn mem_charges_book_per_phase_high_water() {
-        let (_, profile) = Cluster::run_profiled(2, |comm| {
-            let big = if comm.rank() == 1 { 4096 } else { 1024 };
-            {
-                let _g = comm.phase("build");
-                let mut charge = comm.mem_charge(big);
-                charge.set(big * 2);
-                charge.set(big); // shrink again; hw keeps the peak
+        let (_, profile) = Runner::new(Backend::InProcess)
+            .ranks(2)
+            .run_profiled(|comm| {
+                let big = if comm.rank() == 1 { 4096 } else { 1024 };
                 {
-                    let _h = comm.phase("inner");
-                    comm.record_mem_transient(100);
+                    let _g = comm.phase("build");
+                    let mut charge = comm.mem_charge(big);
+                    charge.set(big * 2);
+                    charge.set(big); // shrink again; hw keeps the peak
+                    {
+                        let _h = comm.phase("inner");
+                        comm.record_mem_transient(100);
+                    }
+                    // charge dropped here: released before the next phase
                 }
-                // charge dropped here: released before the next phase
-            }
-            let _g = comm.phase("after");
-            comm.record_mem_transient(10);
-        });
+                let _g = comm.phase("after");
+                comm.record_mem_transient(10);
+            });
         assert_eq!(profile.max_mem_hw("build"), 8192);
         assert_eq!(profile.max_mem_hw("inner"), 4196, "residency + spike");
         assert_eq!(profile.max_mem_hw("after"), 10, "charge released");
@@ -989,7 +1136,7 @@ mod tests {
 
     #[test]
     fn irecv_wait_delivers() {
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 comm.isend(1, 4, 99u64).wait();
                 0
@@ -1003,7 +1150,7 @@ mod tests {
 
     #[test]
     fn irecv_test_polls_to_completion() {
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 comm.isend(1, 4, 7u64).wait();
                 0
@@ -1023,7 +1170,7 @@ mod tests {
     fn nonblocking_interoperates_with_blocking() {
         // isend -> recv and send -> irecv must pair up, including when
         // requests are posted before the matching blocking op runs.
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 let req = comm.irecv::<u64>(1, 21);
                 comm.isend(1, 20, 5u64).wait();
@@ -1039,7 +1186,7 @@ mod tests {
 
     #[test]
     fn multiple_outstanding_irecvs_match_by_tag() {
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 comm.isend(1, 2, 200u64).wait();
                 comm.isend(1, 1, 100u64).wait();
@@ -1057,7 +1204,7 @@ mod tests {
 
     #[test]
     fn dropped_request_leaves_message_for_blocking_recv() {
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 6, 42u64);
                 0
@@ -1084,7 +1231,7 @@ mod tests {
         // m1 buffered by test(), m2 already drained into pending behind
         // it: the drop must put m1 back at the FRONT so per-(src, tag)
         // delivery order survives the abandoned request.
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 6, 1u64); // m1
                 comm.send(1, 6, 2u64); // m2
@@ -1110,7 +1257,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "disconnected while polling")]
     fn test_poll_panics_when_peer_is_gone() {
-        let _ = Cluster::run(2, |comm| {
+        let _ = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 return; // exits without sending; its channels disconnect
             }
@@ -1123,7 +1270,7 @@ mod tests {
 
     #[test]
     fn dropped_unarrived_request_loses_nothing() {
-        let out = Cluster::run(2, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(|comm| {
             if comm.rank() == 0 {
                 comm.barrier();
                 comm.send(1, 6, 9u64);
@@ -1139,16 +1286,18 @@ mod tests {
 
     #[test]
     fn wait_time_is_attributed_separately() {
-        let (_, profile) = Cluster::run_profiled(2, |comm| {
-            let _g = comm.phase("overlap");
-            if comm.rank() == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                comm.isend(1, 3, 1u64).wait();
-            } else {
-                let req = comm.irecv::<u64>(0, 3);
-                let _ = req.wait();
-            }
-        });
+        let (_, profile) = Runner::new(Backend::InProcess)
+            .ranks(2)
+            .run_profiled(|comm| {
+                let _g = comm.phase("overlap");
+                if comm.rank() == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    comm.isend(1, 3, 1u64).wait();
+                } else {
+                    let req = comm.irecv::<u64>(0, 3);
+                    let _ = req.wait();
+                }
+            });
         // Rank 1 blocked in wait() for ~20ms; none of it may be booked as
         // blocking-communication time.
         assert!(profile.max_wait_secs("overlap") > 0.005);

@@ -3,7 +3,7 @@
 //! A [`FaultPlan`] describes *when ranks die* — kill rank `r` after its
 //! N-th posted or received message or while a named profiling phase is
 //! active, sever one peer link, jitter delivery with a seeded RNG — and
-//! a [`FaultTransport`] wrapper enforces it around any backend. The
+//! a `FaultTransport` wrapper enforces it around any backend. The
 //! wrapper sits **below** the wire-byte model (bytes are booked from
 //! [`crate::CommMsg::nbytes`] above the transport), so a plan that
 //! injects only delay perturbs scheduling without moving a single

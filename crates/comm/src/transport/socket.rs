@@ -42,7 +42,7 @@ use super::wire::{FrameHeader, FrameKind, FRAME_HEADER_BYTES};
 use super::{Envelope, Mailbox, Payload, PeerGone, SplitKey, Transport, TryRecvError};
 use crate::error::{CommError, FailureCause, SpmdFailure};
 use crate::profile::{lock_profile, Profile, RunProfile};
-use crate::runtime::{Comm, Rank};
+use crate::runtime::{Backend, Comm, Rank, Runner};
 
 /// Context id of the world communicator.
 const WORLD_CTX: u64 = 0;
@@ -476,7 +476,7 @@ fn pair_mesh(nranks: usize) -> std::io::Result<Vec<Arc<SocketNode>>> {
         .collect()
 }
 
-/// Mesh bring-up tuning: how long [`connect_mesh`] waits for sibling
+/// Mesh bring-up tuning: how long `connect_mesh` waits for sibling
 /// processes before giving up (a crashed sibling would otherwise hang
 /// the whole launch), and the retry cadence while it waits. Replaces
 /// the old hard-wired 60 s constant.
@@ -708,57 +708,58 @@ where
     }
 }
 
-/// Entry point: run an SPMD function over `nranks` socket-transport
-/// ranks hosted as threads of the current process.
+/// Deprecated entry point: run an SPMD function over `nranks`
+/// socket-transport ranks hosted as threads of the current process.
+/// Superseded by [`Runner`]`::new(Backend::Socket)`; each method
+/// survives as a one-line shim.
 ///
 /// The mesh is real — every cross-rank message is serialized into a
 /// frame, shipped through a Unix socketpair and deserialized by the
 /// receiver — but the ranks are threads, so tests and benches can pin
 /// cross-backend properties (byte-identical contigs and wire bytes
-/// against [`crate::Cluster`]) without forking processes. For genuinely
-/// separate processes, use `elba launch` / [`run_worker`].
+/// against the in-process backend) without forking processes. For
+/// genuinely separate processes, use `elba launch` / [`run_worker`].
 pub struct SocketCluster;
 
 impl SocketCluster {
     /// Run `f` on `nranks` ranks; returns each rank's result, rank-ordered.
+    #[deprecated(note = "use Runner::new(Backend::Socket).ranks(n).run(f)")]
     pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
     where
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
-        Self::run_profiled(nranks, f).0
+        Runner::new(Backend::Socket).ranks(nranks).run(f)
     }
 
-    /// Like [`SocketCluster::run`] but also returns the per-rank
-    /// profiles recorded during the run.
+    /// Like `SocketCluster::run` but also returns the per-rank profiles.
+    #[deprecated(note = "use Runner::new(Backend::Socket).ranks(n).run_profiled(f)")]
     pub fn run_profiled<T, F>(nranks: usize, f: F) -> (Vec<T>, RunProfile)
     where
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
-        match Self::try_run_profiled(nranks, f) {
-            Ok(out) => out,
-            Err(failure) => panic!("{failure}"),
-        }
+        Runner::new(Backend::Socket).ranks(nranks).run_profiled(f)
     }
 
-    /// Like [`SocketCluster::run_profiled`], but dead ranks surface as a
-    /// typed [`SpmdFailure`] instead of a panic: the harness catches
-    /// each rank's unwind, classifies it (fault kill / organic panic /
-    /// `PeerGone` cascade) and reports every casualty by rank.
+    /// Like `SocketCluster::run_profiled`, but dead ranks surface as a
+    /// typed [`SpmdFailure`] instead of a panic.
+    #[deprecated(note = "use Runner::new(Backend::Socket).ranks(n).try_run_profiled(f)")]
     pub fn try_run_profiled<T, F>(nranks: usize, f: F) -> Result<(Vec<T>, RunProfile), SpmdFailure>
     where
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
-        assert!(nranks > 0, "cluster needs at least one rank");
-        crate::runtime::run_spmd_checked(Self::mesh(nranks), f)
+        Runner::new(Backend::Socket)
+            .ranks(nranks)
+            .try_run_profiled(f)
     }
 
-    /// Like [`SocketCluster::try_run_profiled`], but with an explicit
-    /// [`FaultPlan`] enforced below the comm layer — same semantics as
-    /// [`crate::Cluster::try_run_with_faults`], over real serialized
-    /// frames (kills stay thread-mode: ranks here are threads).
+    /// Like `SocketCluster::try_run_profiled`, but with an explicit
+    /// [`FaultPlan`] (kills stay thread-mode: ranks here are threads).
+    #[deprecated(
+        note = "use Runner::new(Backend::Socket).ranks(n).faults(plan).try_run_profiled(f)"
+    )]
     pub fn try_run_with_faults<T, F>(
         nranks: usize,
         plan: &FaultPlan,
@@ -768,11 +769,13 @@ impl SocketCluster {
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
-        assert!(nranks > 0, "cluster needs at least one rank");
-        crate::runtime::run_spmd_checked_with(Self::mesh(nranks), Some(plan), f)
+        Runner::new(Backend::Socket)
+            .ranks(nranks)
+            .faults(plan)
+            .try_run_profiled(f)
     }
 
-    fn mesh(nranks: usize) -> Vec<Arc<dyn Transport>> {
+    pub(crate) fn mesh(nranks: usize) -> Vec<Arc<dyn Transport>> {
         pair_mesh(nranks)
             .unwrap_or_else(|e| panic!("socket mesh bring-up failed: {e}"))
             .into_iter()

@@ -3,7 +3,7 @@
 //! rank counts, and roots — including the non-power-of-two sizes where
 //! binomial-tree index bugs live.
 
-use elba_comm::Cluster;
+use elba_comm::{Backend, Runner};
 use proptest::prelude::*;
 
 proptest! {
@@ -12,7 +12,7 @@ proptest! {
     #[test]
     fn bcast_delivers_to_all(p in 1usize..10, root_k in 0usize..10, value: u64) {
         let root = root_k % p;
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             comm.bcast(root, (comm.rank() == root).then_some(value))
         });
         prop_assert!(out.iter().all(|&v| v == value));
@@ -22,7 +22,7 @@ proptest! {
     fn reduce_sums_like_serial(p in 1usize..10, root_k in 0usize..10, values in proptest::collection::vec(0u64..1_000_000, 10)) {
         let root = root_k % p;
         let values_in = values.clone();
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             comm.reduce(root, values_in[comm.rank() % values_in.len()], |a, b| a + b)
         });
         let expect: u64 = (0..p).map(|r| values[r % values.len()]).sum();
@@ -37,7 +37,7 @@ proptest! {
     #[test]
     fn allreduce_min_max(p in 1usize..10, values in proptest::collection::vec(0i64..1000, 10)) {
         let values_in = values.clone();
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let mine = values_in[comm.rank() % values_in.len()];
             (comm.allreduce(mine, i64::min), comm.allreduce(mine, i64::max))
         });
@@ -48,7 +48,7 @@ proptest! {
 
     #[test]
     fn allgather_is_rank_ordered(p in 1usize..10, salt: u64) {
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             comm.allgather(comm.rank() as u64 ^ salt)
         });
         let expect: Vec<u64> = (0..p as u64).map(|r| r ^ salt).collect();
@@ -57,7 +57,7 @@ proptest! {
 
     #[test]
     fn alltoallv_transposes_the_send_matrix(p in 1usize..8, salt in 0u64..1000) {
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let bufs: Vec<Vec<u64>> = (0..p)
                 .map(|dst| {
                     // variable-length buffers: dst receives (src+dst+salt) repeated
@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn exscan_matches_prefix_sums(p in 1usize..10, values in proptest::collection::vec(0u64..1000, 10)) {
         let values_in = values.clone();
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             comm.exscan(values_in[comm.rank() % values_in.len()], 0, |a, b| a + b)
         });
         let mut prefix = 0u64;
@@ -89,7 +89,7 @@ proptest! {
 
     #[test]
     fn reduce_scatter_block_matches_columnwise_sum(p in 1usize..8, salt in 0u64..100) {
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let contributions: Vec<u64> =
                 (0..p).map(|i| comm.rank() as u64 * 10 + i as u64 + salt).collect();
             comm.reduce_scatter_block(contributions, |a, b| a + b)
@@ -102,7 +102,7 @@ proptest! {
 
     #[test]
     fn split_groups_partition_the_world(p in 1usize..10, ncolors in 1usize..4) {
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let color = comm.rank() % ncolors;
             let sub = comm.split(color, comm.rank());
             // sum of ranks within the subgroup, computed two ways

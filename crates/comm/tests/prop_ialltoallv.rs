@@ -4,7 +4,7 @@
 //! arbitrary chunk sizes, incremental multi-round posting, and while
 //! unrelated `isend`/`irecv` traffic is in flight on user tags.
 
-use elba_comm::Cluster;
+use elba_comm::{Backend, Runner};
 use proptest::prelude::*;
 
 /// Deterministic payload rank `src` sends to rank `dst`.
@@ -25,7 +25,7 @@ proptest! {
     ) {
         let p = [1usize, 2, 3, 5][p_idx];
         let sizes_in = sizes.clone();
-        let ok = Cluster::run(p, move |comm| {
+        let ok = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let make = || -> Vec<Vec<u64>> {
                 (0..p)
                     .map(|dst| payload(comm.rank(), dst, sizes_in[(comm.rank() * p + dst) % sizes_in.len()]))
@@ -49,7 +49,7 @@ proptest! {
         // the whole thing — per-(source, tag) FIFO order end to end.
         let p = [1usize, 2, 4][p_idx];
         let rs = round_sizes.clone();
-        let ok = Cluster::run(p, move |comm| {
+        let ok = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let rounds = 3usize;
             let piece = |round: usize, dst: usize| -> Vec<u64> {
                 let len = rs[(round * p + dst + comm.rank()) % rs.len()];
@@ -93,7 +93,7 @@ proptest! {
         let p = [2usize, 3, 4][p_idx];
         let sizes_in = sizes.clone();
         let noise_in = noise.clone();
-        let ok = Cluster::run(p, move |comm| {
+        let ok = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let right = (comm.rank() + 1) % p;
             let left = (comm.rank() + p - 1) % p;
             let tag_a = 101;

@@ -3,7 +3,7 @@
 //! combination — same mailboxes, same `(source, tag)` matching, no
 //! messages lost or reordered within a tag.
 
-use elba_comm::Cluster;
+use elba_comm::{Backend, Runner};
 use proptest::prelude::*;
 
 proptest! {
@@ -15,7 +15,7 @@ proptest! {
     /// must deliver.
     #[test]
     fn ring_delivers_under_any_mix(p in 1usize..9, mode_bits in 0u64..65536) {
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let next = (comm.rank() + 1) % comm.size();
             let prev = (comm.rank() + comm.size() - 1) % comm.size();
             let payload = comm.rank() as u64 * 1000 + 7;
@@ -45,7 +45,7 @@ proptest! {
         send_mix in 0u64..4096,
         perm_seed in 0u64..10_000,
     ) {
-        let out = Cluster::run(2, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(2).run(move |comm| {
             if comm.rank() == 0 {
                 for tag in 0..n_msgs as u64 {
                     let value = tag * 11 + 5;
@@ -81,7 +81,7 @@ proptest! {
     /// and test() never falsely completes before the send happened.
     #[test]
     fn early_posted_irecv_waits_for_late_send(p in 2usize..6, value in 0u64..1_000_000) {
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             if comm.rank() == 1 {
                 let mut req = comm.irecv::<u64>(0, 9);
                 let premature = req.test();
@@ -106,7 +106,7 @@ proptest! {
     #[test]
     fn ibcast_agrees_with_bcast(p in 1usize..10, root_k in 0usize..10, value: u64) {
         let root = root_k % p;
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let req = comm.ibcast(root, (comm.rank() == root).then_some(value));
             let blocking = comm.bcast(root, (comm.rank() == root).then_some(value ^ 1));
             (req.wait(), blocking)

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use elba_comm::Cluster;
+use elba_comm::{Backend, Runner};
 use proptest::prelude::*;
 
 proptest! {
@@ -20,7 +20,7 @@ proptest! {
         payload in proptest::collection::vec(any::<u64>(), 0..40),
     ) {
         let root = root_k % p;
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let owned = comm
                 .ibcast(root, (comm.rank() == root).then(|| payload.clone()))
                 .wait();
@@ -39,7 +39,7 @@ proptest! {
         payload in proptest::collection::vec(any::<u32>(), 0..40),
     ) {
         let root = root_k % p;
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let owned = comm.bcast(root, (comm.rank() == root).then(|| payload.clone()));
             let shared =
                 comm.bcast_shared(root, (comm.rank() == root).then(|| Arc::new(payload.clone())));
@@ -59,7 +59,7 @@ proptest! {
         // byte-identical to the owned path — we simulate MPI traffic,
         // and zero-copy transport must not change the model.
         let root = root_k % p;
-        let (_, profile) = Cluster::run_profiled(p, move |comm| {
+        let (_, profile) = Runner::new(Backend::InProcess).ranks(p).run_profiled(move |comm| {
             let value = vec![7u64; n];
             {
                 let _g = comm.phase("owned");
@@ -101,7 +101,7 @@ proptest! {
         // (per-(source, tag) FIFO must survive the broadcast's pushes),
         // and an owned collective interleaved between post and wait.
         let root = root_k % p;
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let right = (comm.rank() + 1) % comm.size();
             let left = (comm.rank() + comm.size() - 1) % comm.size();
             comm.send(right, 3, salt + comm.rank() as u64); // m1, tag 3
@@ -131,19 +131,21 @@ fn shared_payload_is_mem_charged_once_per_rank() {
     // broadcast result, a second guard, and (on the root) the resident
     // source block itself — charges its bytes exactly once.
     let bytes = 100_000usize;
-    let (_, profile) = Cluster::run_profiled(4, move |comm| {
-        let _g = comm.phase("charge");
-        let payload = (comm.rank() == 0).then(|| Arc::new(vec![0u8; bytes]));
-        // The root charges its resident copy up front, like a pipeline
-        // stage charging a matrix it is about to broadcast.
-        let _resident = payload
-            .as_ref()
-            .map(|arc| comm.mem_charge_shared(arc, bytes));
-        let arc = comm.ibcast_shared(0, payload).wait();
-        let _c1 = comm.mem_charge_shared(&arc, bytes);
-        let _c2 = comm.mem_charge_shared(&arc, bytes);
-        comm.barrier();
-    });
+    let (_, profile) = Runner::new(Backend::InProcess)
+        .ranks(4)
+        .run_profiled(move |comm| {
+            let _g = comm.phase("charge");
+            let payload = (comm.rank() == 0).then(|| Arc::new(vec![0u8; bytes]));
+            // The root charges its resident copy up front, like a pipeline
+            // stage charging a matrix it is about to broadcast.
+            let _resident = payload
+                .as_ref()
+                .map(|arc| comm.mem_charge_shared(arc, bytes));
+            let arc = comm.ibcast_shared(0, payload).wait();
+            let _c1 = comm.mem_charge_shared(&arc, bytes);
+            let _c2 = comm.mem_charge_shared(&arc, bytes);
+            comm.barrier();
+        });
     for rank in profile.rank_profiles() {
         assert_eq!(
             rank.mem().high_water("charge"),
@@ -158,14 +160,16 @@ fn shared_payload_is_mem_charged_once_per_rank() {
 
 #[test]
 fn distinct_blocks_still_charge_separately() {
-    let (_, profile) = Cluster::run_profiled(2, |comm| {
-        let _g = comm.phase("two");
-        let a = comm.ibcast_shared(0, (comm.rank() == 0).then(|| Arc::new(vec![1u8; 1000])));
-        let b = comm.ibcast_shared(1, (comm.rank() == 1).then(|| Arc::new(vec![2u8; 500])));
-        let (a, b) = (a.wait(), b.wait());
-        let _ca = comm.mem_charge_shared(&a, 1000);
-        let _cb = comm.mem_charge_shared(&b, 500);
-        comm.barrier();
-    });
+    let (_, profile) = Runner::new(Backend::InProcess)
+        .ranks(2)
+        .run_profiled(|comm| {
+            let _g = comm.phase("two");
+            let a = comm.ibcast_shared(0, (comm.rank() == 0).then(|| Arc::new(vec![1u8; 1000])));
+            let b = comm.ibcast_shared(1, (comm.rank() == 1).then(|| Arc::new(vec![2u8; 500])));
+            let (a, b) = (a.wait(), b.wait());
+            let _ca = comm.mem_charge_shared(&a, 1000);
+            let _cb = comm.mem_charge_shared(&b, 500);
+            comm.barrier();
+        });
     assert_eq!(profile.max_mem_hw("two"), 1500);
 }

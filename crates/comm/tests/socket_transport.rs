@@ -5,11 +5,11 @@
 //! identically when every cross-rank message is serialized into a frame
 //! and shipped through a Unix socketpair ([`SocketCluster`]).
 
-use elba_comm::{Cluster, SocketCluster};
+use elba_comm::{Backend, Runner};
 
 #[test]
 fn ring_send_recv_over_sockets() {
-    let out = SocketCluster::run(5, |comm| {
+    let out = Runner::new(Backend::Socket).ranks(5).run(|comm| {
         let next = (comm.rank() + 1) % comm.size();
         let prev = (comm.rank() + comm.size() - 1) % comm.size();
         comm.send(next, 7, comm.rank() as u64);
@@ -20,7 +20,7 @@ fn ring_send_recv_over_sockets() {
 
 #[test]
 fn out_of_order_tags_are_buffered_over_sockets() {
-    let out = SocketCluster::run(2, |comm| {
+    let out = Runner::new(Backend::Socket).ranks(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send(1, 1, 10u64);
             comm.send(1, 2, 20u64);
@@ -41,7 +41,7 @@ fn large_buffers_frame_and_decode() {
     // A multi-MB payload exercises the frame length header and the bulk
     // scalar slice codec end to end.
     let n = 4 << 20;
-    let out = SocketCluster::run(2, move |comm| {
+    let out = Runner::new(Backend::Socket).ranks(2).run(move |comm| {
         if comm.rank() == 0 {
             let buf: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
             comm.send(1, 0, buf);
@@ -57,7 +57,7 @@ fn large_buffers_frame_and_decode() {
 
 #[test]
 fn send_to_self_skips_serialization() {
-    let out = SocketCluster::run(3, |comm| {
+    let out = Runner::new(Backend::Socket).ranks(3).run(|comm| {
         comm.send(comm.rank(), 9, comm.rank() as u64 * 3);
         comm.recv::<u64>(comm.rank(), 9)
     });
@@ -66,7 +66,7 @@ fn send_to_self_skips_serialization() {
 
 #[test]
 fn structured_payloads_round_trip() {
-    let out = SocketCluster::run(2, |comm| {
+    let out = Runner::new(Backend::Socket).ranks(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send(1, 1, (String::from("contig"), vec![1u32, 2, 3], Some(7u64)));
             0
@@ -97,14 +97,18 @@ fn collectives_match_in_process() {
         let bc = comm.bcast(1, (comm.rank() == 1).then_some(me * 7));
         (sum, all, ex, exchanged, bc)
     }
-    let a = Cluster::run(4, |comm| body(&comm));
-    let b = SocketCluster::run(4, |comm| body(&comm));
+    let a = Runner::new(Backend::InProcess)
+        .ranks(4)
+        .run(|comm| body(&comm));
+    let b = Runner::new(Backend::Socket)
+        .ranks(4)
+        .run(|comm| body(&comm));
     assert_eq!(a, b);
 }
 
 #[test]
 fn split_builds_working_grids() {
-    let out = SocketCluster::run(6, |comm| {
+    let out = Runner::new(Backend::Socket).ranks(6).run(|comm| {
         let color = comm.rank() / 3;
         let sub = comm.split(color, comm.rank());
         let next = (sub.rank() + 1) % sub.size();
@@ -122,7 +126,7 @@ fn split_builds_working_grids() {
 fn nested_splits_and_dup() {
     // ProcGrid does exactly this: world → row comms → col comms, plus a
     // dup for auxiliary traffic. Contexts must never collide.
-    let out = SocketCluster::run(4, |comm| {
+    let out = Runner::new(Backend::Socket).ranks(4).run(|comm| {
         let row = comm.split(comm.rank() / 2, comm.rank());
         let col = comm.split(comm.rank() % 2, comm.rank());
         let aux = comm.dup();
@@ -142,7 +146,7 @@ fn ialltoallv_streams_over_sockets() {
     // only happens with inbound ready or credit pending).
     let sizes = [1usize, 2, 3, 4, 5];
     for &p in &sizes {
-        let out = SocketCluster::run(p, move |comm| {
+        let out = Runner::new(Backend::Socket).ranks(p).run(move |comm| {
             let bufs: Vec<Vec<u64>> = (0..comm.size())
                 .map(|dst| {
                     let n = (comm.rank() * 7 + dst * 3) % 11;
@@ -157,7 +161,7 @@ fn ialltoallv_streams_over_sockets() {
             }
             total
         });
-        let expect = Cluster::run(p, move |comm| {
+        let expect = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let bufs: Vec<Vec<u64>> = (0..comm.size())
                 .map(|dst| {
                     let n = (comm.rank() * 7 + dst * 3) % 11;
@@ -189,8 +193,12 @@ fn profiled_wire_bytes_match_in_process() {
         let _ = comm.recv::<Vec<u64>>(prev, 1);
         let _ = comm.allgather(comm.rank() as u64);
     }
-    let (_, a) = Cluster::run_profiled(3, |comm| body(&comm));
-    let (_, b) = SocketCluster::run_profiled(3, |comm| body(&comm));
+    let (_, a) = Runner::new(Backend::InProcess)
+        .ranks(3)
+        .run_profiled(|comm| body(&comm));
+    let (_, b) = Runner::new(Backend::Socket)
+        .ranks(3)
+        .run_profiled(|comm| body(&comm));
     for rank in 0..3 {
         let pa = &a.rank_profiles()[rank];
         let pb = &b.rank_profiles()[rank];
@@ -204,7 +212,7 @@ fn profiled_wire_bytes_match_in_process() {
 #[test]
 #[should_panic(expected = "panicked")]
 fn rank_panic_propagates_over_sockets() {
-    let _ = SocketCluster::run(2, |comm| {
+    let _ = Runner::new(Backend::Socket).ranks(2).run(|comm| {
         if comm.rank() == 1 {
             panic!("deliberate failure");
         }
@@ -215,7 +223,7 @@ fn rank_panic_propagates_over_sockets() {
 #[test]
 #[should_panic(expected = "disconnected while waiting")]
 fn blocked_recv_fails_when_peer_exits() {
-    let _ = SocketCluster::run(2, |comm| {
+    let _ = Runner::new(Backend::Socket).ranks(2).run(|comm| {
         if comm.rank() == 0 {
             return 0; // drops its Comm: Close frames + EOF reach rank 1
         }

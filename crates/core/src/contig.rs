@@ -242,7 +242,7 @@ pub fn partitioning_is_valid(part: &Partitioning, nparts: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
     use elba_seq::Seq;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -317,7 +317,7 @@ mod tests {
     #[test]
     fn single_chain_assembles_to_genome() {
         for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let g = genome(750, 21); // 7 reads of 150 at stride 100 tile it exactly
                 let (s, store, n) = exact_string_graph(&grid, &g, 150, 100, 5);
@@ -343,7 +343,7 @@ mod tests {
         // Chain 0-1-2-3-4-5 plus a spurious edge 2-5: vertex 2 reaches
         // degree 3 (a branch) while 5 stays at degree 2. Masking vertex 2
         // leaves chains {0,1} and {3,4,5}.
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let g = genome(650, 33); // 6 reads: vertices 0..=5 exist
             let (s, store, _) = exact_string_graph(&grid, &g, 150, 100, 7);
@@ -394,7 +394,7 @@ mod tests {
 
     #[test]
     fn load_balancing_spreads_contigs() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             // three separate genomes → three contigs
             let mut reads = Vec::new();
@@ -446,7 +446,7 @@ mod tests {
     fn determinism_across_rank_counts() {
         let mut results: Vec<Vec<String>> = Vec::new();
         for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let g = genome(850, 55); // 8 reads tile it exactly
                 let (s, store, _) = exact_string_graph(&grid, &g, 150, 100, 9);

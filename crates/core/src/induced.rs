@@ -103,7 +103,7 @@ pub fn induced_subgraph(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
 
     fn edge(suffix: u32) -> SgEdge {
         SgEdge {
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn components_land_whole_on_their_owner() {
         for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let (l, labels, owners) = setup(&grid);
                 let local = induced_subgraph(&grid, &l, &labels, &owners);
@@ -169,7 +169,7 @@ mod tests {
 
     #[test]
     fn local_reindexing_preserves_edge_payloads() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let (l, labels, owners) = setup(&grid);
             let local = induced_subgraph(&grid, &l, &labels, &owners);
@@ -189,7 +189,7 @@ mod tests {
 
     #[test]
     fn unassigned_components_are_dropped() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let (l, labels, mut owners) = setup(&grid);
             owners.remove(&3); // second chain unassigned
@@ -209,7 +209,7 @@ mod tests {
     fn degrees_match_paper_walk_precondition() {
         // After induction, every component must have exactly two degree-1
         // vertices (the roots) — the local-assembly invariant.
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let (l, labels, owners) = setup(&grid);
             let local = induced_subgraph(&grid, &l, &labels, &owners);

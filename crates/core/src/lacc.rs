@@ -121,12 +121,12 @@ impl UnionFind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
     fn run_cc(p: usize, n: usize, edges: Vec<(u64, u64)>) -> (Vec<u64>, usize) {
-        let out = Cluster::run(p, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let triples: Vec<(u64, u64, u8)> = if grid.world().rank() == 0 {
                 edges

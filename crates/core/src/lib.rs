@@ -23,11 +23,18 @@ pub mod lacc;
 pub mod partition;
 pub mod pipeline;
 pub mod scaffold;
+pub mod serve;
 
 pub use assembly::{local_assembly, AssemblyConfig, AssemblyStats, Contig};
 pub use contig::{contig_generation, gather_contigs, ContigConfig, ContigStats};
 pub use induced::{induced_subgraph, LocalGraph};
 pub use lacc::{connected_components, ComponentLabels, UnionFind};
 pub use partition::{partition, PartitionStrategy, Partitioning};
-pub use pipeline::{assemble, assemble_gathered, PipelineConfig, PipelineResult};
+pub use pipeline::{
+    assemble, assemble_gathered, ChainingConfig, KmerExchangeConfig, PipelineConfig, PipelineResult,
+};
 pub use scaffold::{scaffold_contigs, scaffold_distributed, ScaffoldConfig, ScaffoldStats};
+pub use serve::{
+    JobId, JobInput, JobOutcome, JobResult, JobSpec, JobState, Scheduler, ServeConfig, Server,
+    SubmitError,
+};

@@ -27,6 +27,50 @@ const A_RECORD_BYTES: usize = std::mem::size_of::<(u64, u64, u32, bool)>();
 /// `batch_rows` from a budget.
 const SPGEMM_ROW_BYTES_HINT: usize = 1024;
 
+/// Exchange-schedule knobs for the k-mer stage, the argument of
+/// [`PipelineConfig::kmer_exchange`]. `Default` matches
+/// [`KmerConfig::default`]: the streaming exchange with 64 Ki-occurrence
+/// flush windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmerExchangeConfig {
+    /// Which personalized-exchange schedule moves k-mer occurrences.
+    pub exchange: KmerExchange,
+    /// Occurrences scanned between flushes in the streaming schedule.
+    pub batch_kmers: usize,
+}
+
+impl Default for KmerExchangeConfig {
+    fn default() -> Self {
+        let kmer = KmerConfig::default();
+        KmerExchangeConfig {
+            exchange: kmer.exchange,
+            batch_kmers: kmer.batch_kmers,
+        }
+    }
+}
+
+/// Seed-chaining knobs for the alignment stage, the argument of
+/// [`PipelineConfig::seed_chaining`]. `Default` matches
+/// [`OverlapConfig::default`]: chain mode with a 128-diagonal band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainingConfig {
+    /// Seed-selection policy (the CLI's `--seed-chaining`).
+    pub chaining: SeedChaining,
+    /// Co-linearity band, used both to merge seeds into chains and as
+    /// diagonal slack in the geometric early-reject.
+    pub chain_band: usize,
+}
+
+impl Default for ChainingConfig {
+    fn default() -> Self {
+        let overlap = OverlapConfig::default();
+        ChainingConfig {
+            chaining: overlap.chaining,
+            chain_band: overlap.chain_band,
+        }
+    }
+}
+
 /// All pipeline parameters.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -108,13 +152,24 @@ impl PipelineConfig {
     }
 
     /// Run the k-mer stage's personalized exchanges (`count_kmers` and
-    /// `build_a_triples`) under `exchange`, flushing after `batch_kmers`
-    /// scanned occurrences in the streaming schedule — the CountKmer
-    /// twin of [`PipelineConfig::with_spgemm`].
-    pub fn with_kmer_exchange(mut self, exchange: KmerExchange, batch_kmers: usize) -> Self {
-        self.kmer.exchange = exchange;
-        self.kmer.batch_kmers = batch_kmers;
+    /// `build_a_triples`) under the given schedule — the CountKmer twin
+    /// of [`PipelineConfig::with_spgemm`]. Schedule transparency is
+    /// pinned: every [`KmerExchangeConfig`] produces byte-identical
+    /// contigs; the knobs change *how* k-mers move, never *what* is
+    /// assembled.
+    pub fn kmer_exchange(mut self, cfg: KmerExchangeConfig) -> Self {
+        self.kmer.exchange = cfg.exchange;
+        self.kmer.batch_kmers = cfg.batch_kmers;
         self
+    }
+
+    /// Two-arg form of [`PipelineConfig::kmer_exchange`].
+    #[deprecated(note = "use kmer_exchange(KmerExchangeConfig { exchange, batch_kmers })")]
+    pub fn with_kmer_exchange(self, exchange: KmerExchange, batch_kmers: usize) -> Self {
+        self.kmer_exchange(KmerExchangeConfig {
+            exchange,
+            batch_kmers,
+        })
     }
 
     /// Run every intra-rank threaded kernel — the local multiply of each
@@ -143,14 +198,22 @@ impl PipelineConfig {
     }
 
     /// Seed-selection policy for the alignment stage (the CLI's
-    /// `--seed-chaining`), with the co-linearity band used both to
-    /// merge seeds into chains and as diagonal slack in the geometric
-    /// early-reject. [`SeedChaining::All`] reproduces the historical
+    /// `--seed-chaining`). [`ChainingConfig::default`] is the chained
+    /// default; `SeedChaining::All` reproduces the historical
     /// extend-every-seed sweep.
-    pub fn with_seed_chaining(mut self, chaining: SeedChaining, chain_band: usize) -> Self {
-        self.overlap.chaining = chaining;
-        self.overlap.chain_band = chain_band;
+    pub fn seed_chaining(mut self, cfg: ChainingConfig) -> Self {
+        self.overlap.chaining = cfg.chaining;
+        self.overlap.chain_band = cfg.chain_band;
         self
+    }
+
+    /// Two-arg form of [`PipelineConfig::seed_chaining`].
+    #[deprecated(note = "use seed_chaining(ChainingConfig { chaining, chain_band })")]
+    pub fn with_seed_chaining(self, chaining: SeedChaining, chain_band: usize) -> Self {
+        self.seed_chaining(ChainingConfig {
+            chaining,
+            chain_band,
+        })
     }
 
     /// Cap this run's per-rank memory at `budget` and derive every
@@ -319,7 +382,7 @@ pub fn assemble_gathered(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
     use elba_seq::sim::{random_genome, simulate_reads, GenomeConfig, ReadSimConfig};
 
     fn small_cfg(k: usize) -> PipelineConfig {
@@ -352,7 +415,7 @@ mod tests {
     #[test]
     fn error_free_dataset_assembles_most_of_genome() {
         for p in [1usize, 4] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let genome = random_genome(&GenomeConfig {
                     length: 8_000,
@@ -396,7 +459,7 @@ mod tests {
     fn results_identical_across_rank_counts() {
         let mut all: Vec<Vec<String>> = Vec::new();
         for p in [1usize, 4] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let genome = random_genome(&GenomeConfig {
                     length: 5_000,
@@ -443,7 +506,7 @@ mod tests {
         // many chunked flushes) must assemble identical contig sets.
         let mut per_schedule: Vec<Vec<String>> = Vec::new();
         for exchange in [KmerExchange::Eager, KmerExchange::Streaming] {
-            let out = Cluster::run(4, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let genome = random_genome(&GenomeConfig {
                     length: 5_000,
@@ -465,7 +528,10 @@ mod tests {
                 .into_iter()
                 .map(|r| r.seq)
                 .collect();
-                let cfg = small_cfg(17).with_kmer_exchange(exchange, 97);
+                let cfg = small_cfg(17).kmer_exchange(KmerExchangeConfig {
+                    exchange,
+                    batch_kmers: 97,
+                });
                 let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
                 contigs
                     .iter()
@@ -502,7 +568,7 @@ mod tests {
             (SpGemmOptions::auto(), 4),
         ];
         for (opts, threads) in cases {
-            let out = Cluster::run(4, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let genome = random_genome(&GenomeConfig {
                     length: 5_000,
@@ -543,7 +609,7 @@ mod tests {
 
     #[test]
     fn noisy_reads_still_produce_contigs() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let genome = random_genome(&GenomeConfig {
                 length: 6_000,

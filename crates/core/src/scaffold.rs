@@ -247,7 +247,7 @@ pub fn scaffold_distributed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -361,22 +361,24 @@ mod tests {
         ];
         let (serial, serial_stats) = scaffold_contigs(&pieces, &cfg());
         let pieces_in = pieces.to_vec();
-        let (dist, dist_stats) = Cluster::run(4, move |comm| {
-            let grid = ProcGrid::new(comm);
-            // distribute pieces: rank r holds piece r (if any)
-            let local: Vec<Contig> = pieces_in
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| i % 4 == grid.world().rank())
-                .map(|(i, seq)| Contig {
-                    seq: seq.clone(),
-                    read_ids: vec![i as u64],
-                    circular: false,
-                })
-                .collect();
-            scaffold_distributed(&grid, &local, &cfg())
-        })
-        .remove(0);
+        let (dist, dist_stats) = Runner::new(Backend::InProcess)
+            .ranks(4)
+            .run(move |comm| {
+                let grid = ProcGrid::new(comm);
+                // distribute pieces: rank r holds piece r (if any)
+                let local: Vec<Contig> = pieces_in
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i % 4 == grid.world().rank())
+                    .map(|(i, seq)| Contig {
+                        seq: seq.clone(),
+                        read_ids: vec![i as u64],
+                        circular: false,
+                    })
+                    .collect();
+                scaffold_distributed(&grid, &local, &cfg())
+            })
+            .remove(0);
         assert_eq!(dist_stats, serial_stats);
         assert_eq!(dist, serial);
     }

@@ -3,7 +3,8 @@
 //! components as contigs, with LPT keeping per-rank loads balanced.
 
 use elba_align::{dovetail_edges, OverlapAln, SgEdge};
-use elba_comm::{Cluster, ProcGrid};
+use elba_comm::ProcGrid;
+use elba_comm::{Backend, Runner};
 use elba_core::{contig_generation, gather_contigs, ContigConfig};
 use elba_seq::{ReadStore, Seq};
 use elba_sparse::DistMat;
@@ -90,7 +91,7 @@ proptest! {
         let expected_contigs = chain_sizes.len();
         let reads_in = all_reads.clone();
         let triples_in = all_triples;
-        let contigs = Cluster::run(p, move |comm| {
+        let contigs = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let store = ReadStore::from_replicated(&grid, &reads_in);
             let mine = if grid.world().rank() == 0 { triples_in.clone() } else { Vec::new() };
@@ -136,7 +137,7 @@ proptest! {
         let n = all_reads.len();
         let reads_in = all_reads;
         let triples_in = all_triples;
-        let per_rank = Cluster::run(p, move |comm| {
+        let per_rank = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let store = ReadStore::from_replicated(&grid, &reads_in);
             let mine = if grid.world().rank() == 0 { triples_in.clone() } else { Vec::new() };

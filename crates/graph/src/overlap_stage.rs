@@ -622,7 +622,7 @@ pub fn overlap_graph(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
     use elba_seq::{build_a_triples, count_kmers, KmerConfig, Seq};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -660,7 +660,7 @@ mod tests {
     #[test]
     fn pipeline_to_overlap_graph_is_linear_chain() {
         for p in [1usize, 4] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let g = genome(600, 42);
                 let reads = tiled_reads(&g, 200, 100);
@@ -715,49 +715,51 @@ mod tests {
         // overlap is instrumented, not just claimed.
         let mut results: Vec<Vec<(u64, u64, u32)>> = Vec::new();
         for eager in [false, true] {
-            let (out, profile) = elba_comm::Cluster::run_profiled(4, move |comm| {
-                let grid = ProcGrid::new(comm);
-                let g = genome(600, 42);
-                let reads = tiled_reads(&g, 200, 100);
-                let n = reads.len();
-                let store = ReadStore::from_replicated(&grid, &reads);
-                let mut cfg = test_cfg();
-                cfg.spgemm = if eager {
-                    elba_sparse::SpGemmOptions::eager()
-                } else {
-                    elba_sparse::SpGemmOptions::pipelined()
-                };
-                let kcfg = KmerConfig {
-                    k: cfg.k,
-                    reliable_min: 2,
-                    reliable_max: 16,
-                    ..KmerConfig::default()
-                };
-                let table = count_kmers(&grid, &store, &kcfg);
-                let a_triples = build_a_triples(&grid, &store, &table, &kcfg);
-                let a = DistMat::from_triples(
-                    &grid,
-                    n,
-                    table.n_global as usize,
-                    a_triples,
-                    |acc, v: AEntry| {
-                        if v.pos < acc.pos {
-                            *acc = v;
-                        }
-                    },
-                );
-                let c = {
-                    let _g = grid.world().phase("DetectOverlap");
-                    candidate_matrix(&grid, &a, &cfg)
-                };
-                let mut triples: Vec<(u64, u64, u32)> = c
-                    .gather_triples(&grid)
-                    .into_iter()
-                    .map(|(r, s, v)| (r, s, v.count))
-                    .collect();
-                triples.sort_unstable();
-                triples
-            });
+            let (out, profile) = elba_comm::Runner::new(Backend::InProcess)
+                .ranks(4)
+                .run_profiled(move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let g = genome(600, 42);
+                    let reads = tiled_reads(&g, 200, 100);
+                    let n = reads.len();
+                    let store = ReadStore::from_replicated(&grid, &reads);
+                    let mut cfg = test_cfg();
+                    cfg.spgemm = if eager {
+                        elba_sparse::SpGemmOptions::eager()
+                    } else {
+                        elba_sparse::SpGemmOptions::pipelined()
+                    };
+                    let kcfg = KmerConfig {
+                        k: cfg.k,
+                        reliable_min: 2,
+                        reliable_max: 16,
+                        ..KmerConfig::default()
+                    };
+                    let table = count_kmers(&grid, &store, &kcfg);
+                    let a_triples = build_a_triples(&grid, &store, &table, &kcfg);
+                    let a = DistMat::from_triples(
+                        &grid,
+                        n,
+                        table.n_global as usize,
+                        a_triples,
+                        |acc, v: AEntry| {
+                            if v.pos < acc.pos {
+                                *acc = v;
+                            }
+                        },
+                    );
+                    let c = {
+                        let _g = grid.world().phase("DetectOverlap");
+                        candidate_matrix(&grid, &a, &cfg)
+                    };
+                    let mut triples: Vec<(u64, u64, u32)> = c
+                        .gather_triples(&grid)
+                        .into_iter()
+                        .map(|(r, s, v)| (r, s, v.count))
+                        .collect();
+                    triples.sort_unstable();
+                    triples
+                });
             if eager {
                 assert_eq!(
                     profile.max_wait_secs("DetectOverlap"),
@@ -799,45 +801,48 @@ mod tests {
         // separately).
         let mut runs = Vec::new();
         for threads in [1usize, 4] {
-            let (out, profile) = elba_comm::Cluster::run_profiled(4, move |comm| {
-                let grid = ProcGrid::new(comm);
-                let g = genome(900, 53);
-                let reads = tiled_reads(&g, 200, 100);
-                let n = reads.len();
-                let store = ReadStore::from_replicated(&grid, &reads);
-                let mut cfg = test_cfg();
-                cfg.threads = threads;
-                cfg.spgemm = cfg.spgemm.with_threads(threads);
-                let kcfg = KmerConfig {
-                    k: cfg.k,
-                    reliable_min: 2,
-                    reliable_max: 16,
-                    threads,
-                    ..KmerConfig::default()
-                };
-                let _g = grid.world().phase("front");
-                let table = count_kmers(&grid, &store, &kcfg);
-                let a_triples = build_a_triples(&grid, &store, &table, &kcfg);
-                let a = DistMat::from_triples(
-                    &grid,
-                    n,
-                    table.n_global as usize,
-                    a_triples,
-                    |acc, v: AEntry| {
-                        if v.pos < acc.pos {
-                            *acc = v;
-                        }
-                    },
-                );
-                let c = candidate_matrix(&grid, &a, &cfg);
-                let (mut triples, contained, stats) = align_and_classify(&grid, &c, &store, &cfg);
-                triples.sort_by_key(|&(i, j, _)| (i, j));
-                (
-                    triples,
-                    contained.to_global(&grid),
-                    (stats.candidate_pairs, stats.dovetails, stats.contained),
-                )
-            });
+            let (out, profile) = elba_comm::Runner::new(Backend::InProcess)
+                .ranks(4)
+                .run_profiled(move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let g = genome(900, 53);
+                    let reads = tiled_reads(&g, 200, 100);
+                    let n = reads.len();
+                    let store = ReadStore::from_replicated(&grid, &reads);
+                    let mut cfg = test_cfg();
+                    cfg.threads = threads;
+                    cfg.spgemm = cfg.spgemm.with_threads(threads);
+                    let kcfg = KmerConfig {
+                        k: cfg.k,
+                        reliable_min: 2,
+                        reliable_max: 16,
+                        threads,
+                        ..KmerConfig::default()
+                    };
+                    let _g = grid.world().phase("front");
+                    let table = count_kmers(&grid, &store, &kcfg);
+                    let a_triples = build_a_triples(&grid, &store, &table, &kcfg);
+                    let a = DistMat::from_triples(
+                        &grid,
+                        n,
+                        table.n_global as usize,
+                        a_triples,
+                        |acc, v: AEntry| {
+                            if v.pos < acc.pos {
+                                *acc = v;
+                            }
+                        },
+                    );
+                    let c = candidate_matrix(&grid, &a, &cfg);
+                    let (mut triples, contained, stats) =
+                        align_and_classify(&grid, &c, &store, &cfg);
+                    triples.sort_by_key(|&(i, j, _)| (i, j));
+                    (
+                        triples,
+                        contained.to_global(&grid),
+                        (stats.candidate_pairs, stats.dovetails, stats.contained),
+                    )
+                });
             let bytes: Vec<u64> = profile
                 .rank_profiles()
                 .iter()
@@ -903,7 +908,7 @@ mod tests {
 
     #[test]
     fn contained_reads_masked_out() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let g = genome(400, 11);
             // read 1 is contained inside read 0; read 2 dovetails read 0.

@@ -90,7 +90,7 @@ pub fn symmetrize(grid: &ProcGrid, s: DistMat<SgEdge>) -> DistMat<SgEdge> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
 
     /// Build the symmetric edge pair for two reads laid consecutively on a
     /// genome: read i covers [i*stride, i*stride + len).
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn chain_reduces_to_adjacent_edges() {
         for p in [1usize, 4] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 // 6 reads of length 100 at stride 30: read i overlaps
                 // i+1, i+2, i+3 — reduction must keep only i↔i+1.
@@ -167,7 +167,7 @@ mod tests {
     fn reduction_respects_direction_compatibility() {
         // u→w→v exists but w's orientation is inconsistent between the two
         // hops, so the direct edge u→v must survive.
-        let out = Cluster::run(1, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(1).run(|comm| {
             let grid = ProcGrid::new(comm);
             let triples = vec![
                 (
@@ -214,7 +214,7 @@ mod tests {
 
     #[test]
     fn compatible_two_hop_removes_direct_edge() {
-        let out = Cluster::run(1, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(1).run(|comm| {
             let grid = ProcGrid::new(comm);
             let triples = vec![
                 (
@@ -266,7 +266,7 @@ mod tests {
 
     #[test]
     fn fuzz_tolerates_inexact_suffix_sums() {
-        let out = Cluster::run(1, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(1).run(|comm| {
             let grid = ProcGrid::new(comm);
             // two-hop sum 23 vs direct suffix 20: transitive only if fuzz >= 3
             let triples = vec![
@@ -320,7 +320,7 @@ mod tests {
 
     #[test]
     fn symmetrize_drops_unpaired_edges() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let e = SgEdge {
                 pre: 0,

@@ -632,7 +632,7 @@ pub fn reliable_occurrences(grid: &ProcGrid, triples_local: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::dna::Seq;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
 
     fn store_from(grid: &ProcGrid, reads: &[&str]) -> ReadStore {
         let seqs: Vec<Seq> = reads.iter().map(|s| s.parse().expect("dna")).collect();
@@ -658,7 +658,7 @@ mod tests {
     fn counts_match_serial_reference() {
         for exchange in both_exchanges() {
             for p in [1usize, 4, 9] {
-                let out = Cluster::run(p, move |comm| {
+                let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                     let grid = ProcGrid::new(comm);
                     let reads = ["ACGTACGTACGT", "CGTACGTACG", "TTTTTTTTTT"];
                     let store = store_from(&grid, &reads);
@@ -685,7 +685,7 @@ mod tests {
     #[test]
     fn reliable_band_filters_singletons() {
         for exchange in both_exchanges() {
-            let out = Cluster::run(4, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 // reads 0/1 are identical (all their k-mers have multiplicity
                 // >= 2); read 2 contributes only singletons, which the
@@ -714,7 +714,7 @@ mod tests {
     #[test]
     fn ids_are_dense_and_unique() {
         for exchange in both_exchanges() {
-            let out = Cluster::run(4, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let reads = ["ACGTACGTACGTGGCCA", "GGCCATTACGAACGT"];
                 let store = store_from(&grid, &reads);
@@ -734,7 +734,7 @@ mod tests {
     #[test]
     fn a_triples_cover_occurrences() {
         for exchange in both_exchanges() {
-            let out = Cluster::run(4, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let reads = ["ACGTACGTAC", "ACGTACGTAC"];
                 let store = store_from(&grid, &reads);
@@ -779,7 +779,7 @@ mod tests {
 
     #[test]
     fn strand_flag_consistent_for_rc_read_pair() {
-        let out = Cluster::run(1, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(1).run(|comm| {
             let grid = ProcGrid::new(comm);
             // chosen so no 5-mer window is the reverse complement (or a
             // duplicate) of another window: every canonical k-mer occurs
@@ -821,7 +821,7 @@ mod tests {
         // The acceptance bound: peak resident exchange buffering on both
         // sides never exceeds batch_kmers, while the eager schedule's
         // grows with the dataset.
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             // 4 distinct-ish reads so every rank holds one.
             let reads = [
@@ -890,7 +890,7 @@ mod tests {
         // occurrence stream of the serial scan: identical tables and
         // identical (already canonically ordered) A triples at every
         // thread count, under both exchange schedules.
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let reads = [
                 "ACGTACGTACGTGGCCATTACGAACGTAGGT",
@@ -926,7 +926,7 @@ mod tests {
     fn streaming_equals_eager_end_to_end() {
         // Byte-identical KmerTable contents and triples across schedules.
         for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let reads = [
                     "ACGTACGTACGTGGCCATTACGAACGT",

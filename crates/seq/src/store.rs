@@ -285,7 +285,7 @@ impl ReadStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
 
     fn reads(n: usize) -> Vec<Seq> {
         (0..n)
@@ -298,7 +298,7 @@ mod tests {
 
     #[test]
     fn replicated_construction_partitions() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let all = reads(23);
             let store = ReadStore::from_replicated(&grid, &all);
@@ -314,7 +314,7 @@ mod tests {
 
     #[test]
     fn subsequence_forward_and_rc() {
-        let out = Cluster::run(1, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(1).run(|comm| {
             let grid = ProcGrid::new(comm);
             let all = vec!["AGAACT".parse::<Seq>().expect("dna")];
             let store = ReadStore::from_replicated(&grid, &all);
@@ -330,7 +330,7 @@ mod tests {
 
     #[test]
     fn exchange_moves_reads_to_targets() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let all = reads(10);
             let store = ReadStore::from_replicated(&grid, &all);
@@ -349,7 +349,7 @@ mod tests {
 
     #[test]
     fn exchange_can_replicate_reads() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let all = reads(4);
             let store = ReadStore::from_replicated(&grid, &all);
@@ -374,7 +374,7 @@ mod tests {
     fn large_message_contiguous_path() {
         // Force the contiguous-datatype path with an artificially tiny
         // count limit; content must survive unchanged.
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let all = reads(12);
             let store = ReadStore::from_replicated(&grid, &all);
@@ -402,7 +402,7 @@ mod tests {
     #[test]
     fn fetch_block_aligned_covers_row_and_col_ranges() {
         for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let all = reads(29);
                 let store = ReadStore::from_replicated(&grid, &all);

@@ -3,7 +3,8 @@
 //! identical A-matrix triples, and exchange buffering bounded by
 //! `batch_kmers`, across randomized read sets, k values and batch sizes.
 
-use elba_comm::{Cluster, ProcGrid};
+use elba_comm::ProcGrid;
+use elba_comm::{Backend, Runner};
 use elba_seq::{
     build_a_triples_with_stats, count_kmers_with_stats, KmerConfig, KmerExchange, ReadStore, Seq,
 };
@@ -31,7 +32,7 @@ proptest! {
     ) {
         let p = [1usize, 4, 9][p_idx];
         let reads = seqs_from(&codes);
-        let ok = Cluster::run(p, move |comm| {
+        let ok = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let store = ReadStore::from_replicated(&grid, &reads);
             let run = |exchange: KmerExchange| {

@@ -1651,7 +1651,7 @@ mod tests {
     use super::*;
     use crate::dense::Dense;
     use crate::semiring::{Count, PlusTimes};
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -1684,7 +1684,7 @@ mod tests {
     #[test]
     fn from_triples_round_trip() {
         for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 // Only rank 0 contributes; routing must deliver to owners.
                 let triples = if grid.world().rank() == 0 {
@@ -1707,7 +1707,7 @@ mod tests {
 
     #[test]
     fn duplicate_triples_combined() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             // every rank contributes the same entry
             let triples = vec![(2u64, 2u64, 1.0f64)];
@@ -1720,7 +1720,7 @@ mod tests {
     #[test]
     fn transpose_matches_serial() {
         for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let mut rng = StdRng::seed_from_u64(11);
                 let triples = random_triples(&mut rng, 13, 7, 0.2);
@@ -1747,7 +1747,7 @@ mod tests {
     #[test]
     fn summa_matches_dense_reference() {
         for p in [1usize, 4, 9, 16] {
-            let ok = Cluster::run(p, move |comm| {
+            let ok = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let mut rng = StdRng::seed_from_u64(23 + p as u64);
                 let (n, k, m) = (17, 11, 9);
@@ -1795,7 +1795,7 @@ mod tests {
                 SpGemmOptions::layered(7), // > q everywhere: clamps
                 SpGemmOptions::auto(),
             ] {
-                let ok = Cluster::run(p, move |comm| {
+                let ok = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                     let grid = ProcGrid::new(comm);
                     let mut rng = StdRng::seed_from_u64(101 + p as u64);
                     let (n, k, m) = (15, 12, 10);
@@ -1858,29 +1858,31 @@ mod tests {
         // retained sizes: 4/3 × (pruned C + two resident broadcast
         // stages) — the packer's feasibility bound — plus slack.
         let run = |opts: SpGemmOptions| {
-            Cluster::run_profiled(4, move |comm| {
-                let grid = ProcGrid::new(comm);
-                let mut rng = StdRng::seed_from_u64(4242);
-                let (n, k) = (200usize, 64usize);
-                let triples = random_triples(&mut rng, n, k, 0.2);
-                let mine = if grid.world().rank() == 0 {
-                    triples
-                } else {
-                    Vec::new()
-                };
-                let a = DistMat::from_triples(&grid, n, k, mine, |_, _| unreachable!());
-                let at = a.transpose(&grid);
-                let c = {
-                    let _g = grid.world().phase("spgemm");
-                    a.spgemm_pruned_with(&grid, &at, &PlusTimes, &opts, |r, col, v| {
-                        r < col && *v >= 6.0
-                    })
-                };
-                let stage_bytes = a.heap_bytes() + at.heap_bytes();
-                let mut got = c.gather_triples(&grid);
-                got.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
-                (got, c.heap_bytes(), stage_bytes)
-            })
+            Runner::new(Backend::InProcess)
+                .ranks(4)
+                .run_profiled(move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let mut rng = StdRng::seed_from_u64(4242);
+                    let (n, k) = (200usize, 64usize);
+                    let triples = random_triples(&mut rng, n, k, 0.2);
+                    let mine = if grid.world().rank() == 0 {
+                        triples
+                    } else {
+                        Vec::new()
+                    };
+                    let a = DistMat::from_triples(&grid, n, k, mine, |_, _| unreachable!());
+                    let at = a.transpose(&grid);
+                    let c = {
+                        let _g = grid.world().phase("spgemm");
+                        a.spgemm_pruned_with(&grid, &at, &PlusTimes, &opts, |r, col, v| {
+                            r < col && *v >= 6.0
+                        })
+                    };
+                    let stage_bytes = a.heap_bytes() + at.heap_bytes();
+                    let mut got = c.gather_triples(&grid);
+                    got.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+                    (got, c.heap_bytes(), stage_bytes)
+                })
         };
         let (outputs, unbatched) = run(SpGemmOptions::column_batched(64, None));
         let hw_single = unbatched.max_mem_hw("spgemm");
@@ -1914,7 +1916,7 @@ mod tests {
     fn aat_with_count_semiring_counts_shared_columns() {
         // Mirrors overlap detection: A is reads×kmers, C = AAᵀ counts
         // shared k-mers between each read pair.
-        let ok = Cluster::run(4, |comm| {
+        let ok = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             // reads: 0 has kmers {0,1}, 1 has {1,2}, 2 has {3}
             let triples = if grid.world().rank() == 0 {
@@ -1941,7 +1943,7 @@ mod tests {
     #[test]
     fn row_degrees_match_serial() {
         for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 // path graph 0-1-2-3-4 plus branch 2-5, symmetric
                 let edges: Vec<(u64, u64)> = vec![(0, 1), (1, 2), (2, 3), (3, 4), (2, 5)];
@@ -1967,7 +1969,7 @@ mod tests {
         // (0-indexed: v3 = vertex 2). Masking vertex 2 leaves chains
         // {0,1}, {3,4,5}, {6,7}.
         for p in [1usize, 4] {
-            let out = Cluster::run(p, move |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let edges: Vec<(u64, u64)> =
                     vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6), (6, 7)];
@@ -2007,7 +2009,7 @@ mod tests {
 
     #[test]
     fn map_values_and_prune() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let triples = if grid.world().rank() == 0 {
                 vec![(0u64, 1u64, 5u64), (1, 0, 6), (2, 2, 7)]

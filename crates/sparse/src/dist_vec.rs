@@ -195,12 +195,12 @@ impl<T: Clone + CommMsg> DistVec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elba_comm::Cluster;
+    use elba_comm::{Backend, Runner};
 
     #[test]
     fn round_trip_global() {
         for p in [1usize, 4, 9] {
-            let out = Cluster::run(p, |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(|comm| {
                 let grid = ProcGrid::new(comm);
                 let data: Vec<u64> = (0..37).map(|i| i * i).collect();
                 let v = DistVec::from_global(&grid, &data);
@@ -213,7 +213,7 @@ mod tests {
 
     #[test]
     fn from_fn_matches_from_global() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let v = DistVec::from_fn(&grid, 23, |g| g as u64 * 3);
             v.to_global(&grid)
@@ -223,7 +223,7 @@ mod tests {
 
     #[test]
     fn gather_arbitrary_indices() {
-        let out = Cluster::run(9, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(9).run(|comm| {
             let grid = ProcGrid::new(comm);
             let v = DistVec::from_fn(&grid, 50, |g| g as u64 + 100);
             // every rank asks for a scattered, rank-dependent set
@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn gather_with_duplicates_and_empty() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let v = DistVec::from_fn(&grid, 10, |g| g as u64);
             if grid.world().rank() == 0 {
@@ -256,7 +256,7 @@ mod tests {
 
     #[test]
     fn scatter_combine_accumulates() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let mut v = DistVec::from_fn(&grid, 8, |_| 0u64);
             // every rank increments every index by its rank+1
@@ -273,7 +273,7 @@ mod tests {
     #[test]
     fn fetch_aligned_covers_block_ranges() {
         for p in [1usize, 4, 9, 16] {
-            let out = Cluster::run(p, |comm| {
+            let out = Runner::new(Backend::InProcess).ranks(p).run(|comm| {
                 let grid = ProcGrid::new(comm);
                 let n = 29;
                 let v = DistVec::from_fn(&grid, n, |g| g as u64 * 2);
@@ -298,7 +298,7 @@ mod tests {
 
     #[test]
     fn map_keeps_layout() {
-        let out = Cluster::run(4, |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
             let grid = ProcGrid::new(comm);
             let v = DistVec::from_fn(&grid, 11, |g| g as u64);
             let w = v.map(&grid, |g, &x| (g as u64) + x);

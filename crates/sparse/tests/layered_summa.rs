@@ -12,7 +12,8 @@
 //! * `SpGemmAlgorithm::Auto` resolves to a concrete schedule, matches
 //!   the eager output, and reports its pick.
 
-use elba_comm::{Cluster, ProcGrid, RunProfile};
+use elba_comm::{Backend, Runner};
+use elba_comm::{ProcGrid, RunProfile};
 use elba_sparse::semiring::PlusTimes;
 use elba_sparse::{last_auto_spgemm_pick, DistMat, SpGemmOptions};
 
@@ -41,19 +42,22 @@ fn run_profiled(
     k: usize,
     opts: SpGemmOptions,
 ) -> (Vec<(u64, u64, f64)>, RunProfile) {
-    let (mut results, profile) = Cluster::run_profiled(p, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let mine = if grid.world().rank() == 0 {
-            fixture_triples(n, k)
-        } else {
-            Vec::new()
-        };
-        let a = DistMat::from_triples(&grid, n, k, mine, |acc, v| *acc += v);
-        let at = a.transpose(&grid);
-        let _guard = grid.world().phase("spgemm");
-        a.spgemm_with(&grid, &at, &PlusTimes, &opts)
-            .gather_triples(&grid)
-    });
+    let (mut results, profile) =
+        Runner::new(Backend::InProcess)
+            .ranks(p)
+            .run_profiled(move |comm| {
+                let grid = ProcGrid::new(comm);
+                let mine = if grid.world().rank() == 0 {
+                    fixture_triples(n, k)
+                } else {
+                    Vec::new()
+                };
+                let a = DistMat::from_triples(&grid, n, k, mine, |acc, v| *acc += v);
+                let at = a.transpose(&grid);
+                let _guard = grid.world().phase("spgemm");
+                a.spgemm_with(&grid, &at, &PlusTimes, &opts)
+                    .gather_triples(&grid)
+            });
     let mut triples = results.remove(0);
     triples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     (triples, profile)

@@ -2,7 +2,8 @@
 //! dense oracle, transpose involution, distributed-vector primitives and
 //! the Fig. 2 exchange, across random shapes and rank counts.
 
-use elba_comm::{Cluster, ProcGrid};
+use elba_comm::ProcGrid;
+use elba_comm::{Backend, Runner};
 use elba_sparse::dense::Dense;
 use elba_sparse::semiring::PlusTimes;
 use elba_sparse::{DistMat, DistVec};
@@ -46,7 +47,7 @@ proptest! {
         let b_triples = to_triples(k, m, &b_entries);
         let want = dense_from(n, k, &a_triples).matmul(&dense_from(k, m, &b_triples));
         let (at, bt) = (a_triples.clone(), b_triples.clone());
-        let got_triples = Cluster::run(p, move |comm| {
+        let got_triples = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let mine_a = if grid.world().rank() == 0 { at.clone() } else { Vec::new() };
             let mine_b = if grid.world().rank() == 0 { bt.clone() } else { Vec::new() };
@@ -70,7 +71,7 @@ proptest! {
         let p = [1usize, 4, 9][p_idx];
         let triples = to_triples(n, m, &entries);
         let t_in = triples.clone();
-        let (round_trip, transposed) = Cluster::run(p, move |comm| {
+        let (round_trip, transposed) = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let mine = if grid.world().rank() == 0 { t_in.clone() } else { Vec::new() };
             let a = DistMat::from_triples(&grid, n, m, mine, |_, _| unreachable!());
@@ -104,7 +105,7 @@ proptest! {
             want[r as usize] += 1;
         }
         let t_in = triples.clone();
-        let got = Cluster::run(p, move |comm| {
+        let got = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let mine = if grid.world().rank() == 0 { t_in.clone() } else { Vec::new() };
             let m = DistMat::from_triples(&grid, n, n, mine, |_, _| unreachable!());
@@ -122,7 +123,7 @@ proptest! {
         let p = [1usize, 4, 9][p_idx];
         let indices: Vec<usize> = queries.iter().map(|&q| q % n).collect();
         let idx = indices.clone();
-        let got = Cluster::run(p, move |comm| {
+        let got = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let v = DistVec::from_fn(&grid, n, |g| g as u64 * 7 + 3);
             // only rank 0 issues this query set; others ask for nothing
@@ -142,7 +143,7 @@ proptest! {
         n in 1usize..60,
     ) {
         let p = [1usize, 4, 9][p_idx];
-        let ok = Cluster::run(p, move |comm| {
+        let ok = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let v = DistVec::from_fn(&grid, n, |g| g as u64 + 11);
             let (rows, cols) = v.fetch_aligned(&grid);
@@ -172,7 +173,7 @@ proptest! {
             .map(|&(r, c, _)| (r, c))
             .collect();
         let (t_in, m_in) = (triples.clone(), mask.clone());
-        let got = Cluster::run(p, move |comm| {
+        let got = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let mine = if grid.world().rank() == 0 { t_in.clone() } else { Vec::new() };
             let mat = DistMat::from_triples(&grid, n, n, mine, |_, _| unreachable!());

@@ -7,7 +7,8 @@
 //! Determinism is the contract that makes threading safe to land: if
 //! these fail, `--threads` would change assembled contigs.
 
-use elba_comm::{Cluster, ProcGrid};
+use elba_comm::ProcGrid;
+use elba_comm::{Backend, Runner};
 use elba_sparse::semiring::{Count, MinPlus, PlusTimes, Semiring};
 use elba_sparse::{Csr, DistMat, SpGemmBatcher, SpGemmOptions};
 use proptest::prelude::*;
@@ -130,7 +131,7 @@ proptest! {
         for threads in [1usize, 4] {
             let opts = base.with_threads(threads);
             let (at, bt) = (a_triples.clone(), b_triples.clone());
-            let (out, profile) = Cluster::run_profiled(p, move |comm| {
+            let (out, profile) = Runner::new(Backend::InProcess).ranks(p).run_profiled(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let mine_a = if grid.world().rank() == 0 { at.clone() } else { Vec::new() };
                 let mine_b = if grid.world().rank() == 0 { bt.clone() } else { Vec::new() };

@@ -8,7 +8,8 @@
 //! schedule through many single-column rounds, the worst case for a
 //! concatenation bug.
 
-use elba_comm::{Cluster, ProcGrid};
+use elba_comm::ProcGrid;
+use elba_comm::{Backend, Runner};
 use elba_sparse::semiring::{MinPlus, PlusTimes};
 use elba_sparse::{DistMat, SpGemmOptions};
 use proptest::prelude::*;
@@ -38,24 +39,26 @@ fn run_schedule(
     opts: SpGemmOptions,
 ) -> Vec<(u64, u64, f64)> {
     let (at, bt) = (a_triples.to_vec(), b_triples.to_vec());
-    let mut got = Cluster::run(p, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let mine_a = if grid.world().rank() == 0 {
-            at.clone()
-        } else {
-            Vec::new()
-        };
-        let mine_b = if grid.world().rank() == 0 {
-            bt.clone()
-        } else {
-            Vec::new()
-        };
-        let a = DistMat::from_triples(&grid, n, k, mine_a, |_, _| unreachable!());
-        let b = DistMat::from_triples(&grid, k, m, mine_b, |_, _| unreachable!());
-        a.spgemm_with(&grid, &b, &PlusTimes, &opts)
-            .gather_triples(&grid)
-    })
-    .remove(0);
+    let mut got = Runner::new(Backend::InProcess)
+        .ranks(p)
+        .run(move |comm| {
+            let grid = ProcGrid::new(comm);
+            let mine_a = if grid.world().rank() == 0 {
+                at.clone()
+            } else {
+                Vec::new()
+            };
+            let mine_b = if grid.world().rank() == 0 {
+                bt.clone()
+            } else {
+                Vec::new()
+            };
+            let a = DistMat::from_triples(&grid, n, k, mine_a, |_, _| unreachable!());
+            let b = DistMat::from_triples(&grid, k, m, mine_b, |_, _| unreachable!());
+            a.spgemm_with(&grid, &b, &PlusTimes, &opts)
+                .gather_triples(&grid)
+        })
+        .remove(0);
     got.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     got
 }
@@ -117,7 +120,7 @@ proptest! {
         let triples = to_triples(n, k, &entries);
         let run = |opts: SpGemmOptions| {
             let t = triples.clone();
-            let mut got = Cluster::run(p, move |comm| {
+            let mut got = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let mine = if grid.world().rank() == 0 { t.clone() } else { Vec::new() };
                 let a = DistMat::from_triples(&grid, n, k, mine, |_, _| unreachable!());
@@ -156,7 +159,7 @@ proptest! {
         };
         let run = |opts: SpGemmOptions| {
             let t = triples.clone();
-            let mut got = Cluster::run(p, move |comm| {
+            let mut got = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let mine = if grid.world().rank() == 0 { t.clone() } else { Vec::new() };
                 let a = DistMat::from_triples(&grid, n, n, mine, |_, _| unreachable!());

@@ -7,7 +7,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use elba_comm::{Cluster, CommMsg, ProcGrid};
+use elba_comm::{Backend, Runner};
+use elba_comm::{CommMsg, ProcGrid};
 use elba_sparse::semiring::Semiring;
 use elba_sparse::{DistMat, SpGemmOptions};
 
@@ -74,7 +75,7 @@ fn summa_schedules_deep_copy_no_payloads() {
             ("layered2", SpGemmOptions::layered(2)),
             ("layered3", SpGemmOptions::layered(3)),
         ] {
-            let checks = Cluster::run(p, move |comm| {
+            let checks = Runner::new(Backend::InProcess).ranks(p).run(move |comm| {
                 let grid = ProcGrid::new(comm);
                 let (n, k) = (30usize, 24usize);
                 let triples: Vec<(u64, u64, Tick)> = if grid.world().rank() == 0 {
@@ -127,7 +128,7 @@ fn schedules_agree_on_tick_product() {
         SpGemmOptions::column_batched(4, Some(2 << 10)),
         SpGemmOptions::layered(2),
     ] {
-        let out = Cluster::run(4, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let triples: Vec<(u64, u64, Tick)> = if grid.world().rank() == 0 {
                 (0..20u64)

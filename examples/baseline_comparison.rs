@@ -42,12 +42,14 @@ fn main() {
     let cfg = PipelineConfig::for_dataset(&spec);
     let reads_clone = reads.clone();
     let started = Instant::now();
-    let contigs = Cluster::run(4, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let (contigs, _) = assemble_gathered(&grid, &reads_clone, &cfg);
-        contigs
-    })
-    .remove(0);
+    let contigs = Runner::new(Backend::InProcess)
+        .ranks(4)
+        .run(move |comm| {
+            let grid = ProcGrid::new(comm);
+            let (contigs, _) = assemble_gathered(&grid, &reads_clone, &cfg);
+            contigs
+        })
+        .remove(0);
     let elba_secs = started.elapsed().as_secs_f64();
     let elba_seqs: Vec<Seq> = contigs.iter().map(|c| c.seq.clone()).collect();
     quality_row("ELBA (P=4)", elba_secs, &genome, &elba_seqs);

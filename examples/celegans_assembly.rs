@@ -48,12 +48,14 @@ fn main() {
         let reads_clone = reads.clone();
         let cfg_clone = cfg.clone();
         let started = std::time::Instant::now();
-        let contigs = Cluster::run(nranks, move |comm| {
-            let grid = ProcGrid::new(comm);
-            let (contigs, _) = assemble_gathered(&grid, &reads_clone, &cfg_clone);
-            contigs
-        })
-        .remove(0);
+        let contigs = Runner::new(Backend::InProcess)
+            .ranks(nranks)
+            .run(move |comm| {
+                let grid = ProcGrid::new(comm);
+                let (contigs, _) = assemble_gathered(&grid, &reads_clone, &cfg_clone);
+                contigs
+            })
+            .remove(0);
         println!(
             "P = {nranks}: {} contigs in {:.2}s",
             contigs.len(),

@@ -28,10 +28,13 @@ fn main() {
 
     let cfg = PipelineConfig::for_dataset(&spec);
     let reads_clone = reads.clone();
-    let (mut outputs, profile) = Cluster::run_profiled(4, move |comm| {
-        let grid = ProcGrid::new(comm);
-        assemble_gathered(&grid, &reads_clone, &cfg)
-    });
+    let (mut outputs, profile) =
+        Runner::new(Backend::InProcess)
+            .ranks(4)
+            .run_profiled(move |comm| {
+                let grid = ProcGrid::new(comm);
+                assemble_gathered(&grid, &reads_clone, &cfg)
+            });
     let (contigs, result) = outputs.remove(0);
 
     println!("\nphase breakdown (the Alignment share dominates at high error):");

@@ -26,10 +26,13 @@ fn main() {
     let cfg = PipelineConfig::for_dataset(&spec);
     let nranks = 4;
     let reads_for_ranks = reads.clone();
-    let (mut outputs, profile) = Cluster::run_profiled(nranks, move |comm| {
-        let grid = ProcGrid::new(comm);
-        assemble_gathered(&grid, &reads_for_ranks, &cfg)
-    });
+    let (mut outputs, profile) =
+        Runner::new(Backend::InProcess)
+            .ranks(nranks)
+            .run_profiled(move |comm| {
+                let grid = ProcGrid::new(comm);
+                assemble_gathered(&grid, &reads_for_ranks, &cfg)
+            });
     let (contigs, result) = outputs.remove(0);
 
     println!("\npipeline phases (max wall over {nranks} ranks):");

@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::process::{Child, ExitCode, ExitStatus};
 use std::time::{Duration, Instant};
 
+use elba::core::{JobInput, JobOutcome, JobResult, JobSpec, ServeConfig, Server};
 use elba::exit;
 use elba::prelude::*;
 use elba::seq::fasta::{read_fasta, write_fasta, FastaRecord};
@@ -199,7 +200,10 @@ fn assemble_setup(flags: &HashMap<String, String>) -> Result<AssembleSetup, Stri
             ))
         }
     };
-    cfg = cfg.with_seed_chaining(chaining, chain_band);
+    cfg = cfg.seed_chaining(ChainingConfig {
+        chaining,
+        chain_band,
+    });
     let schedule = flags
         .get("spgemm")
         .map(String::as_str)
@@ -253,8 +257,8 @@ fn assemble_setup(flags: &HashMap<String, String>) -> Result<AssembleSetup, Stri
     if batch_kmers == 0 {
         return Err("--batch-kmers must be at least 1".to_owned());
     }
-    cfg = cfg.with_kmer_exchange(
-        match kmer_exchange {
+    cfg = cfg.kmer_exchange(KmerExchangeConfig {
+        exchange: match kmer_exchange {
             "eager" => KmerExchange::Eager,
             "streaming" => KmerExchange::Streaming,
             other => {
@@ -264,7 +268,7 @@ fn assemble_setup(flags: &HashMap<String, String>) -> Result<AssembleSetup, Stri
             }
         },
         batch_kmers,
-    );
+    });
     // --mem-budget overrides the batching knobs above: one lever derives
     // batch_kmers, batch_rows, and the column-batched SpGEMM cap.
     if let Some(raw) = flags.get("mem-budget") {
@@ -434,18 +438,20 @@ fn cmd_assemble(flags: HashMap<String, String>) -> Result<(), CliError> {
     print_banner(&setup, "in-process");
     let reads = std::mem::take(&mut setup.reads);
     let cfg = setup.cfg.clone();
-    let (mut outputs, profile) = Cluster::try_run_profiled(setup.ranks, move |comm| {
-        let grid = ProcGrid::new(comm);
-        assemble_gathered(&grid, &reads, &cfg)
-    })
-    .map_err(|failure| CliError {
-        // Dead ranks are a typed outcome, not a panic: name every
-        // casualty (root cause first) and exit with the rank-failure
-        // code so `elba launch --transport inprocess` reports exactly
-        // like the socket supervisor.
-        code: exit::RANK_FAILED,
-        message: format!("assemble: {failure}"),
-    })?;
+    let (mut outputs, profile) = Runner::new(Backend::InProcess)
+        .ranks(setup.ranks)
+        .try_run_profiled(move |comm| {
+            let grid = ProcGrid::new(comm);
+            assemble_gathered(&grid, &reads, &cfg)
+        })
+        .map_err(|failure| CliError {
+            // Dead ranks are a typed outcome, not a panic: name every
+            // casualty (root cause first) and exit with the rank-failure
+            // code so `elba launch --transport inprocess` reports exactly
+            // like the socket supervisor.
+            code: exit::RANK_FAILED,
+            message: format!("assemble: {failure}"),
+        })?;
     let (contigs, result) = outputs.remove(0);
     assemble_finish(&flags, &setup, contigs, result, &profile).map_err(CliError::from)
 }
@@ -503,11 +509,21 @@ fn cmd_launch(rest: &[String]) -> Result<(), CliError> {
         fault,
     };
     let Some((sub, sub_rest)) = tail.split_first() else {
-        return Err(CliError::usage("launch needs a subcommand after '--'"));
-    };
-    if sub != "assemble" {
         return Err(CliError::usage(format!(
-            "launch wraps only the assemble subcommand, got '{sub}'"
+            "launch needs a subcommand after '--' (launchable: {})",
+            launchable_names()
+        )));
+    };
+    let Some(entry) = subcommand(sub) else {
+        return Err(CliError::usage(format!(
+            "launch cannot wrap unknown subcommand '{sub}' (launchable: {})",
+            launchable_names()
+        )));
+    };
+    if !entry.launchable {
+        return Err(CliError::usage(format!(
+            "launch wraps only SPMD subcommands ({}), got '{sub}'",
+            launchable_names()
         )));
     }
     match transport {
@@ -519,7 +535,7 @@ fn cmd_launch(rest: &[String]) -> Result<(), CliError> {
                 // socket workers do; thread-mode kills, same taxonomy.
                 std::env::set_var(elba::comm::transport::fault::FAULT_PLAN_ENV, plan);
             }
-            cmd_assemble(sub_flags)
+            (entry.run)(sub_flags)
         }
         "socket" => launch_socket(ranks, &opts, sub_rest),
         other => Err(CliError::usage(format!(
@@ -814,8 +830,231 @@ fn cmd_evaluate(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// elba serve
+// ---------------------------------------------------------------------
+
+/// Parse one job-file line of whitespace-separated `key=value` tokens:
+/// `name=j1 sim=celegans scale=0.05 seed=3 mem=32M fault=kill:1@phase:X`
+/// or `name=j2 fasta=/path/reads.fasta mem=16M`. Blank lines and `#`
+/// comments are skipped by the caller.
+fn parse_job_line(line: &str, lineno: usize) -> Result<JobSpec, String> {
+    let mut kv: HashMap<&str, &str> = HashMap::new();
+    for token in line.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("jobs line {lineno}: token '{token}' is not key=value"))?;
+        if kv.insert(key, value).is_some() {
+            return Err(format!("jobs line {lineno}: duplicate key '{key}'"));
+        }
+    }
+    let name = kv
+        .get("name")
+        .ok_or_else(|| format!("jobs line {lineno}: missing name="))?
+        .to_string();
+    let input = match (kv.get("sim"), kv.get("fasta")) {
+        (Some(dataset), None) => {
+            let scale: f64 = kv.get("scale").map_or(Ok(0.1), |raw| {
+                raw.parse()
+                    .map_err(|_| format!("jobs line {lineno}: scale '{raw}'"))
+            })?;
+            let seed: u64 = kv.get("seed").map_or(Ok(1), |raw| {
+                raw.parse()
+                    .map_err(|_| format!("jobs line {lineno}: seed '{raw}'"))
+            })?;
+            JobInput::Sim {
+                dataset: dataset.to_string(),
+                scale,
+                seed,
+            }
+        }
+        (None, Some(path)) => JobInput::FastaPath(path.to_string()),
+        _ => {
+            return Err(format!(
+                "jobs line {lineno}: need exactly one of sim=DATASET or fasta=PATH"
+            ))
+        }
+    };
+    let budget_bytes = match kv.get("mem") {
+        None => 0,
+        Some(raw) => MemBudget::parse(raw)
+            .map_err(|e| format!("jobs line {lineno}: mem: {e}"))?
+            .total()
+            .unwrap_or(0),
+    };
+    Ok(JobSpec {
+        name,
+        input,
+        budget_bytes,
+        fault: kv.get("fault").map(|f| f.to_string()),
+    })
+}
+
+fn read_job_file(path: &str) -> Result<Vec<JobSpec>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut specs = Vec::new();
+    for (i, line) in raw.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        specs.push(parse_job_line(line, i + 1)?);
+    }
+    if specs.is_empty() {
+        return Err(format!("{path}: no jobs"));
+    }
+    Ok(specs)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// `elba serve`: run a batch of assembly jobs over a fixed pool of
+/// supervised rank groups with budget admission control. Exits 0 iff
+/// every submission was accepted and every job without a fault plan
+/// completed — an injected kill failing its own job is expected chaos.
+fn cmd_serve(flags: HashMap<String, String>) -> Result<(), CliError> {
+    let groups: usize = num(&flags, "groups", 2).map_err(CliError::usage)?;
+    let group_ranks: usize = num(&flags, "group-ranks", 4).map_err(CliError::usage)?;
+    let threads: usize = num(&flags, "threads", 1).map_err(CliError::usage)?;
+    if groups == 0 {
+        return Err(CliError::usage("--groups must be at least 1"));
+    }
+    let q = (group_ranks as f64).sqrt().round() as usize;
+    if group_ranks == 0 || q * q != group_ranks {
+        return Err(CliError::usage(format!(
+            "--group-ranks must be a positive perfect square, got {group_ranks}"
+        )));
+    }
+    let backend = match flags
+        .get("transport")
+        .map(String::as_str)
+        .unwrap_or("inprocess")
+    {
+        "inprocess" => Backend::InProcess,
+        "socket" => Backend::Socket,
+        other => {
+            return Err(CliError::usage(format!(
+                "--transport must be inprocess or socket; got '{other}'"
+            )))
+        }
+    };
+    let host_cap = match flags.get("host-mem") {
+        None => MemBudget::unlimited(),
+        Some(raw) => {
+            MemBudget::parse(raw).map_err(|e| CliError::usage(format!("--host-mem: {e}")))?
+        }
+    };
+    let specs =
+        read_job_file(get(&flags, "jobs").map_err(CliError::usage)?).map_err(CliError::usage)?;
+
+    println!(
+        "[serve] groups={groups} group-ranks={group_ranks} transport={} host-mem={} jobs={}",
+        match backend {
+            Backend::InProcess => "inprocess",
+            Backend::Socket => "socket",
+        },
+        host_cap
+            .total()
+            .map_or("unlimited".to_string(), |b| b.to_string()),
+        specs.len()
+    );
+    let server = Server::start(ServeConfig {
+        groups,
+        group_ranks,
+        backend,
+        host_cap,
+        threads,
+    });
+    let started = Instant::now();
+    let mut rejected = 0usize;
+    for spec in specs {
+        if let Err(e) = server.submit(spec.clone()) {
+            println!("job {}: REJECTED: {e}", spec.name);
+            rejected += 1;
+        }
+    }
+    let results = server.drain();
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut unexpected_failures = 0usize;
+    let mut completed = 0usize;
+    let mut fault_killed = 0usize;
+    for r in &results {
+        match &r.outcome {
+            JobOutcome::Completed {
+                contigs, report, ..
+            } => {
+                completed += 1;
+                let quality = report.as_ref().map_or(String::new(), |q| {
+                    format!(" completeness={:.1}% ng50={}", q.completeness, q.ng50)
+                });
+                println!(
+                    "job {}: completed in {:.2}s (queued {:.2}s) contigs={}{quality}",
+                    r.name,
+                    r.run_secs,
+                    r.queued_secs,
+                    contigs.len()
+                );
+            }
+            JobOutcome::Failed {
+                error,
+                killed_by_fault,
+            } => {
+                if *killed_by_fault {
+                    fault_killed += 1;
+                } else {
+                    unexpected_failures += 1;
+                }
+                println!(
+                    "job {}: FAILED{}: {error}",
+                    r.name,
+                    if *killed_by_fault {
+                        " (killed by fault plan)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+    }
+    let mut latencies: Vec<f64> = results.iter().map(JobResult::latency_secs).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let failed = results.len() - completed;
+    println!(
+        "[serve] jobs={} completed={completed} failed={failed} fault-killed={fault_killed} rejected={rejected}",
+        results.len()
+    );
+    println!(
+        "[serve] throughput: {:.1} jobs/min | latency p50={:.2}s p99={:.2}s",
+        results.len() as f64 / (wall / 60.0),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    );
+    let peak = server_peak(&results);
+    println!("[serve] wall={wall:.2}s peak-latency={peak:.2}s");
+    if unexpected_failures > 0 || rejected > 0 {
+        return Err(CliError::failure(format!(
+            "{unexpected_failures} job(s) failed without a fault plan, {rejected} rejected"
+        )));
+    }
+    Ok(())
+}
+
+fn server_peak(results: &[JobResult]) -> f64 {
+    results
+        .iter()
+        .map(JobResult::latency_secs)
+        .fold(0.0, f64::max)
+}
+
 fn usage() -> String {
-    "usage: elba <simulate|assemble|launch|evaluate> [--flag value]...\n\
+    "usage: elba <simulate|assemble|serve|launch|evaluate> [--flag value]...\n\
      \n\
      simulate --dataset celegans|osativa|hsapiens --reads OUT.fasta\n\
      \u{20}        [--genome OUT.fasta] [--scale 0.2] [--seed 2022]\n\
@@ -826,12 +1065,72 @@ fn usage() -> String {
      \u{20}        [--spgemm eager|pipelined|blocked|layered:c|auto] [--batch-rows 1024]\n\
      \u{20}        [--kmer-exchange eager|streaming] [--batch-kmers 65536]\n\
      \u{20}        [--mem-budget 64M] [--gfa graph.gfa]\n\
+     serve    --jobs jobs.txt [--groups 2] [--group-ranks 4] [--threads 1]\n\
+     \u{20}        [--transport inprocess|socket] [--host-mem 512M]\n\
+     \u{20}        (job lines: name=j1 sim=celegans scale=0.05 seed=3 mem=32M\n\
+     \u{20}        [fault=kill:1@phase:Alignment] — or fasta=reads.fasta)\n\
      launch   --ranks 4 [--transport socket|inprocess] [--launch-timeout 600]\n\
      \u{20}        [--socket-dir DIR] -- assemble <flags>...\n\
      \u{20}        (socket: ranks are separate supervised processes over a\n\
      \u{20}        Unix-socket mesh; first abnormal exit kills the survivors)\n\
      evaluate --reference genome.fasta --contigs contigs.fasta"
         .to_owned()
+}
+
+/// One CLI subcommand: its name, whether `elba launch` may wrap it over
+/// worker rank processes, and its entry point. `main` and `cmd_launch`
+/// both dispatch through this table, so the wrapping rules and the
+/// allowed-set named by usage errors live in one place.
+struct Subcommand {
+    name: &'static str,
+    /// `elba launch` may wrap it: the subcommand runs the SPMD pipeline
+    /// itself and honors the injected `--ranks` / fault-plan environment.
+    launchable: bool,
+    run: fn(HashMap<String, String>) -> Result<(), CliError>,
+}
+
+const SUBCOMMANDS: &[Subcommand] = &[
+    Subcommand {
+        name: "simulate",
+        launchable: false,
+        run: |flags| cmd_simulate(flags).map_err(CliError::from),
+    },
+    Subcommand {
+        name: "assemble",
+        launchable: true,
+        run: cmd_assemble,
+    },
+    Subcommand {
+        name: "serve",
+        launchable: false,
+        run: cmd_serve,
+    },
+    Subcommand {
+        name: "evaluate",
+        launchable: false,
+        run: |flags| cmd_evaluate(flags).map_err(CliError::from),
+    },
+];
+
+fn subcommand(name: &str) -> Option<&'static Subcommand> {
+    SUBCOMMANDS.iter().find(|s| s.name == name)
+}
+
+fn subcommand_names() -> String {
+    SUBCOMMANDS
+        .iter()
+        .map(|s| s.name)
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn launchable_names() -> String {
+    SUBCOMMANDS
+        .iter()
+        .filter(|s| s.launchable)
+        .map(|s| s.name)
+        .collect::<Vec<_>>()
+        .join("|")
 }
 
 /// Worker identity injected by `elba launch --transport socket`; absent
@@ -881,19 +1180,20 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(exit::USAGE);
     };
+    // `launch` wraps another subcommand and parses its own argv shape;
+    // everything else dispatches through the table.
     let result = match command.as_str() {
         "launch" => cmd_launch(rest),
-        _ => parse_flags(rest)
-            .map_err(CliError::usage)
-            .and_then(|flags| match command.as_str() {
-                "simulate" => cmd_simulate(flags).map_err(CliError::from),
-                "assemble" => cmd_assemble(flags),
-                "evaluate" => cmd_evaluate(flags).map_err(CliError::from),
-                other => Err(CliError::usage(format!(
-                    "unknown command '{other}'\n{}",
-                    usage()
-                ))),
-            }),
+        other => match subcommand(other) {
+            Some(entry) => parse_flags(rest)
+                .map_err(CliError::usage)
+                .and_then(entry.run),
+            None => Err(CliError::usage(format!(
+                "unknown command '{other}' (expected {}|launch)\n{}",
+                subcommand_names(),
+                usage()
+            ))),
+        },
     };
     report(result)
 }

@@ -20,7 +20,7 @@
 //!
 //! // 2. Run the distributed pipeline on 4 in-process ranks.
 //! let cfg = PipelineConfig::for_dataset(&spec);
-//! let contigs = Cluster::run(4, move |comm| {
+//! let contigs = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
 //!     let grid = ProcGrid::new(comm);
 //!     let (contigs, _result) = assemble_gathered(&grid, &reads, &cfg);
 //!     contigs
@@ -77,10 +77,11 @@ pub use elba_sparse as sparse;
 pub mod prelude {
     pub use elba_align::{OverlapAln, OverlapClass, Scoring, SgEdge, XdropKernel};
     pub use elba_baseline::{assemble_bog, assemble_minimizer, BaselineConfig};
-    pub use elba_comm::{Cluster, Comm, MachineModel, ProcGrid, RunProfile};
+    pub use elba_comm::{Backend, Comm, FaultPlan, MachineModel, ProcGrid, RunProfile, Runner};
     pub use elba_core::{
-        assemble, assemble_gathered, contig_generation, gather_contigs, AssemblyConfig, Contig,
-        ContigConfig, PartitionStrategy, PipelineConfig, PipelineResult,
+        assemble, assemble_gathered, contig_generation, gather_contigs, AssemblyConfig,
+        ChainingConfig, Contig, ContigConfig, KmerExchangeConfig, PartitionStrategy,
+        PipelineConfig, PipelineResult,
     };
     pub use elba_graph::{OverlapConfig, SeedChaining};
     pub use elba_mem::{MemBudget, MemTracker};

@@ -29,12 +29,14 @@ fn canonical(contigs: &[Contig]) -> Vec<String> {
 fn run_at(nranks: usize, reads: &[Seq], cfg: &PipelineConfig) -> Vec<Contig> {
     let reads = reads.to_vec();
     let cfg = cfg.clone();
-    Cluster::run(nranks, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
-        contigs
-    })
-    .remove(0)
+    Runner::new(Backend::InProcess)
+        .ranks(nranks)
+        .run(move |comm| {
+            let grid = ProcGrid::new(comm);
+            let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+            contigs
+        })
+        .remove(0)
 }
 
 #[test]
@@ -85,14 +87,17 @@ fn contig_set_is_invariant_across_thread_counts() {
     for threads in [1usize, 4] {
         let cfg = PipelineConfig::for_dataset(&spec).with_threads(threads);
         let reads = reads.clone();
-        let (mut outputs, profile) = Cluster::run_profiled(4, move |comm| {
-            let grid = ProcGrid::new(comm);
-            let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
-            contigs
-                .into_iter()
-                .map(|c| c.seq.to_string())
-                .collect::<Vec<String>>()
-        });
+        let (mut outputs, profile) =
+            Runner::new(Backend::InProcess)
+                .ranks(4)
+                .run_profiled(move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+                    contigs
+                        .into_iter()
+                        .map(|c| c.seq.to_string())
+                        .collect::<Vec<String>>()
+                });
         let phase_bytes: Vec<(String, u64)> = profile
             .phase_names()
             .iter()
@@ -123,14 +128,17 @@ fn contigs_and_wire_bytes_are_invariant_across_alignment_knobs() {
     let (_genome, reads) = reads_of(&spec);
     let run = |cfg: PipelineConfig| {
         let reads = reads.clone();
-        let (mut outputs, profile) = Cluster::run_profiled(4, move |comm| {
-            let grid = ProcGrid::new(comm);
-            let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
-            contigs
-                .into_iter()
-                .map(|c| c.seq.to_string())
-                .collect::<Vec<String>>()
-        });
+        let (mut outputs, profile) =
+            Runner::new(Backend::InProcess)
+                .ranks(4)
+                .run_profiled(move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+                    contigs
+                        .into_iter()
+                        .map(|c| c.seq.to_string())
+                        .collect::<Vec<String>>()
+                });
         let phase_bytes: Vec<(String, u64)> = profile
             .phase_names()
             .iter()
@@ -142,13 +150,19 @@ fn contigs_and_wire_bytes_are_invariant_across_alignment_knobs() {
     let reference = run(base
         .clone()
         .with_xdrop_kernel(XdropKernel::Scalar)
-        .with_seed_chaining(SeedChaining::All, 128));
+        .seed_chaining(ChainingConfig {
+            chaining: SeedChaining::All,
+            chain_band: 128,
+        }));
     let variants = [
         (
             "bitparallel + extend-all",
             base.clone()
                 .with_xdrop_kernel(XdropKernel::BitParallel)
-                .with_seed_chaining(SeedChaining::All, 128),
+                .seed_chaining(ChainingConfig {
+                    chaining: SeedChaining::All,
+                    chain_band: 128,
+                }),
         ),
         ("shipped defaults (auto + chain)", base.clone()),
         ("defaults + threads=4", base.clone().with_threads(4)),
@@ -156,7 +170,10 @@ fn contigs_and_wire_bytes_are_invariant_across_alignment_knobs() {
             "scalar + chain, narrow band",
             base.clone()
                 .with_xdrop_kernel(XdropKernel::Scalar)
-                .with_seed_chaining(SeedChaining::Chain, 32),
+                .seed_chaining(ChainingConfig {
+                    chaining: SeedChaining::Chain,
+                    chain_band: 32,
+                }),
         ),
     ];
     for (label, cfg) in variants {
@@ -201,7 +218,10 @@ fn budgeted_pipeline_respects_memory_budget_and_output() {
     let budget_bytes: u64 = 8 << 20; // feasible: inputs alone are ~5 MB/rank
     let eager_cfg = PipelineConfig::for_dataset(&spec)
         .with_spgemm(elba::sparse::SpGemmOptions::eager())
-        .with_kmer_exchange(KmerExchange::Eager, 1 << 16);
+        .kmer_exchange(KmerExchangeConfig {
+            exchange: KmerExchange::Eager,
+            batch_kmers: 1 << 16,
+        });
     let budget_cfg =
         PipelineConfig::for_dataset(&spec).with_mem_budget(MemBudget::bytes(budget_bytes));
     assert_eq!(
@@ -212,11 +232,14 @@ fn budgeted_pipeline_respects_memory_budget_and_output() {
 
     let run_profiled = |cfg: PipelineConfig| {
         let reads = reads.clone();
-        let (mut outs, profile) = Cluster::run_profiled(4, move |comm| {
-            let grid = ProcGrid::new(comm);
-            let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
-            contigs
-        });
+        let (mut outs, profile) =
+            Runner::new(Backend::InProcess)
+                .ranks(4)
+                .run_profiled(move |comm| {
+                    let grid = ProcGrid::new(comm);
+                    let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
+                    contigs
+                });
         (canonical(&outs.remove(0)), profile)
     };
     let (eager_contigs, _) = run_profiled(eager_cfg);
@@ -268,15 +291,17 @@ fn high_error_dataset_survives_the_pipeline() {
     let cfg = PipelineConfig::for_dataset(&spec);
     let reads_run = reads.clone();
     let cfg_run = cfg.clone();
-    let result = Cluster::run(4, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let result = assemble(&grid, &reads_run, &cfg_run);
-        (
-            result.align_stats.candidate_pairs,
-            result.contig_stats.assembly.contigs as u64,
-        )
-    })
-    .remove(0);
+    let result = Runner::new(Backend::InProcess)
+        .ranks(4)
+        .run(move |comm| {
+            let grid = ProcGrid::new(comm);
+            let result = assemble(&grid, &reads_run, &cfg_run);
+            (
+                result.align_stats.candidate_pairs,
+                result.contig_stats.assembly.contigs as u64,
+            )
+        })
+        .remove(0);
     // the pipeline must at least look at candidates and not crash;
     // at this scale and error rate contigs may be few
     assert!(result.0 > 0, "no candidate pairs at 15% error");
@@ -287,10 +312,12 @@ fn pipeline_profile_contains_paper_phases() {
     let spec = DatasetSpec::celegans_like(0.05, 321);
     let (_genome, reads) = reads_of(&spec);
     let cfg = PipelineConfig::for_dataset(&spec);
-    let (_, profile) = Cluster::run_profiled(4, move |comm| {
-        let grid = ProcGrid::new(comm);
-        assemble(&grid, &reads, &cfg)
-    });
+    let (_, profile) = Runner::new(Backend::InProcess)
+        .ranks(4)
+        .run_profiled(move |comm| {
+            let grid = ProcGrid::new(comm);
+            assemble(&grid, &reads, &cfg)
+        });
     let names = profile.phase_names();
     for phase in [
         "CountKmer",

@@ -6,7 +6,7 @@ use elba::prelude::*;
 
 #[test]
 fn empty_read_set() {
-    let contigs = Cluster::run(4, |comm| {
+    let contigs = Runner::new(Backend::InProcess).ranks(4).run(|comm| {
         let grid = ProcGrid::new(comm);
         let (contigs, _) = assemble_gathered(&grid, &[], &PipelineConfig::default());
         contigs.len()
@@ -20,7 +20,7 @@ fn single_read_produces_no_contig() {
     let read: Seq = "ACGTACGTACGTACGTACGTACGTACGTAAACCCGGGTTT"
         .parse()
         .expect("dna");
-    let contigs = Cluster::run(4, move |comm| {
+    let contigs = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
         let grid = ProcGrid::new(comm);
         let (contigs, _) = assemble_gathered(
             &grid,
@@ -41,7 +41,7 @@ fn disjoint_reads_produce_no_contigs() {
     let (_, b) = spec_b.generate();
     // take one read from each of two unrelated genomes
     let reads: Vec<Seq> = vec![a[0].seq.clone(), b[0].seq.clone()];
-    let out = Cluster::run(4, move |comm| {
+    let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
         let grid = ProcGrid::new(comm);
         let result = assemble(&grid, &reads, &PipelineConfig::default());
         (result.candidate_nnz, result.contig_stats.assembly.contigs)
@@ -60,27 +60,31 @@ fn tiny_mpi_count_limit_still_correct() {
 
     let reads_a = reads.clone();
     let cfg_a = cfg.clone();
-    let normal = Cluster::run(4, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let (contigs, _) = assemble_gathered(&grid, &reads_a, &cfg_a);
-        contigs
-            .iter()
-            .map(|c| c.seq.to_string())
-            .collect::<Vec<_>>()
-    })
-    .remove(0);
+    let normal = Runner::new(Backend::InProcess)
+        .ranks(4)
+        .run(move |comm| {
+            let grid = ProcGrid::new(comm);
+            let (contigs, _) = assemble_gathered(&grid, &reads_a, &cfg_a);
+            contigs
+                .iter()
+                .map(|c| c.seq.to_string())
+                .collect::<Vec<_>>()
+        })
+        .remove(0);
 
     cfg.contig.count_limit = 64; // bytes!
     let reads_b = reads;
-    let limited = Cluster::run(4, move |comm| {
-        let grid = ProcGrid::new(comm);
-        let (contigs, _) = assemble_gathered(&grid, &reads_b, &cfg);
-        contigs
-            .iter()
-            .map(|c| c.seq.to_string())
-            .collect::<Vec<_>>()
-    })
-    .remove(0);
+    let limited = Runner::new(Backend::InProcess)
+        .ranks(4)
+        .run(move |comm| {
+            let grid = ProcGrid::new(comm);
+            let (contigs, _) = assemble_gathered(&grid, &reads_b, &cfg);
+            contigs
+                .iter()
+                .map(|c| c.seq.to_string())
+                .collect::<Vec<_>>()
+        })
+        .remove(0);
 
     assert_eq!(normal, limited, "count-limit path must not change results");
 }
@@ -88,7 +92,7 @@ fn tiny_mpi_count_limit_still_correct() {
 #[test]
 #[should_panic(expected = "perfect square")]
 fn non_square_rank_count_is_rejected() {
-    Cluster::run(6, |comm| {
+    Runner::new(Backend::InProcess).ranks(6).run(|comm| {
         let _grid = ProcGrid::new(comm);
     });
 }
@@ -103,7 +107,7 @@ fn duplicate_reads_are_handled_as_containments() {
     let dup = reads[0].clone();
     reads.push(dup);
     let cfg = PipelineConfig::for_dataset(&spec);
-    let out = Cluster::run(4, move |comm| {
+    let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
         let grid = ProcGrid::new(comm);
         let result = assemble(&grid, &reads, &cfg);
         result.align_stats.contained
@@ -121,7 +125,7 @@ fn all_identical_reads_collapse() {
     cfg.kmer.k = 15;
     cfg.overlap.k = 15;
     cfg.overlap.min_overlap = 10;
-    let out = Cluster::run(4, move |comm| {
+    let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
         let grid = ProcGrid::new(comm);
         let (contigs, result) = assemble_gathered(&grid, &reads, &cfg);
         (contigs.len(), result.align_stats.contained)

@@ -21,7 +21,7 @@ use std::process::Command;
 use std::sync::{Arc, Mutex};
 
 use elba::comm::error::raise;
-use elba::comm::{CommError, FailureCause, FaultPlan, SocketCluster, SpmdFailure};
+use elba::comm::{CommError, FailureCause, FaultPlan, SpmdFailure};
 use elba::exit;
 use elba::prelude::*;
 
@@ -41,9 +41,15 @@ fn run_pipeline_with_plan(
         assemble_gathered(&grid, &reads.clone(), &cfg.clone())
     };
     if socket {
-        SocketCluster::try_run_with_faults(nranks, plan, body)
+        Runner::new(Backend::Socket)
+            .ranks(nranks)
+            .faults(plan)
+            .try_run_profiled(body)
     } else {
-        Cluster::try_run_with_faults(nranks, plan, body)
+        Runner::new(Backend::InProcess)
+            .ranks(nranks)
+            .faults(plan)
+            .try_run_profiled(body)
     }
 }
 
@@ -172,9 +178,15 @@ fn checked_stream_survivors_observe_typed_peer_gone() {
                 }
             };
             let failure = if socket {
-                SocketCluster::try_run_with_faults(4, &plan, body)
+                Runner::new(Backend::Socket)
+                    .ranks(4)
+                    .faults(&plan)
+                    .try_run_profiled(body)
             } else {
-                Cluster::try_run_with_faults(4, &plan, body)
+                Runner::new(Backend::InProcess)
+                    .ranks(4)
+                    .faults(&plan)
+                    .try_run_profiled(body)
             }
             .expect_err("killed rank must fail the run");
 
@@ -217,21 +229,24 @@ fn severed_link_fails_the_sender_with_typed_error() {
     let plan = FaultPlan::parse("sever:0-1@posts:2").expect("valid plan");
     let seen: Arc<Mutex<Vec<(usize, CommError)>>> = Arc::new(Mutex::new(Vec::new()));
     let seen_in = Arc::clone(&seen);
-    let failure = Cluster::try_run_with_faults(2, &plan, move |comm| {
-        match checked_exchange(&comm, usize::MAX) {
-            Ok(chunks) => chunks,
-            Err(e) => {
-                seen_in
-                    .lock()
-                    .expect("record")
-                    .push((comm.rank(), e.clone()));
-                // Re-raise so the peer (blocked waiting on the cut link)
-                // is torn down instead of parking forever.
-                raise(e)
+    let failure = Runner::new(Backend::InProcess)
+        .ranks(2)
+        .faults(&plan)
+        .try_run_profiled(move |comm| {
+            match checked_exchange(&comm, usize::MAX) {
+                Ok(chunks) => chunks,
+                Err(e) => {
+                    seen_in
+                        .lock()
+                        .expect("record")
+                        .push((comm.rank(), e.clone()));
+                    // Re-raise so the peer (blocked waiting on the cut link)
+                    // is torn down instead of parking forever.
+                    raise(e)
+                }
             }
-        }
-    })
-    .expect_err("a severed link must fail the run");
+        })
+        .expect_err("a severed link must fail the run");
     for f in &failure.failures {
         assert!(
             matches!(f.cause, FailureCause::PeerGone(_)),
@@ -252,10 +267,13 @@ fn severed_link_fails_the_sender_with_typed_error() {
 fn seeded_jitter_preserves_contigs_and_wire_bytes() {
     let (reads, cfg) = small_dataset();
     let (reads_a, cfg_a) = (reads.clone(), cfg.clone());
-    let (mut clean, clean_prof) = Cluster::run_profiled(4, move |comm| {
-        let grid = ProcGrid::new(comm);
-        assemble_gathered(&grid, &reads_a.clone(), &cfg_a.clone())
-    });
+    let (mut clean, clean_prof) =
+        Runner::new(Backend::InProcess)
+            .ranks(4)
+            .run_profiled(move |comm| {
+                let grid = ProcGrid::new(comm);
+                assemble_gathered(&grid, &reads_a.clone(), &cfg_a.clone())
+            });
     let plan = FaultPlan::parse("seed:9;delay:25").expect("valid plan");
     let (mut jittered, jitter_prof) =
         run_pipeline_with_plan(false, 4, &plan, reads, cfg).expect("jitter alone kills nobody");

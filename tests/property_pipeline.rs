@@ -59,7 +59,7 @@ proptest! {
         let reads = tiled_reads(&genome, read_len, stride, flip_every);
         let cfg = pipeline_cfg();
         let genome_check = genome.clone();
-        let out = Cluster::run(4, move |comm| {
+        let out = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
             contigs
@@ -105,7 +105,7 @@ proptest! {
         let reads: Vec<Seq> = sim_reads.into_iter().map(|r| r.seq).collect();
         let n = reads.len();
         let cfg = pipeline_cfg();
-        let contigs = Cluster::run(4, move |comm| {
+        let contigs = Runner::new(Backend::InProcess).ranks(4).run(move |comm| {
             let grid = ProcGrid::new(comm);
             let (contigs, _) = assemble_gathered(&grid, &reads, &cfg);
             contigs

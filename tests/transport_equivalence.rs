@@ -6,7 +6,6 @@
 //! contigs and byte-identical per-rank wire counts in every named
 //! phase, on every grid shape.
 
-use elba::comm::SocketCluster;
 use elba::prelude::*;
 
 fn body(comm: Comm, reads: Vec<Seq>, cfg: PipelineConfig) -> (Vec<Contig>, PipelineResult) {
@@ -41,11 +40,13 @@ fn contigs_and_wire_bytes_match_across_transports() {
     let cfg = PipelineConfig::for_dataset(&spec);
     for p in [1usize, 4, 9] {
         let (reads_a, cfg_a) = (reads.clone(), cfg.clone());
-        let (mut out_a, prof_a) =
-            Cluster::run_profiled(p, move |comm| body(comm, reads_a.clone(), cfg_a.clone()));
+        let (mut out_a, prof_a) = Runner::new(Backend::InProcess)
+            .ranks(p)
+            .run_profiled(move |comm| body(comm, reads_a.clone(), cfg_a.clone()));
         let (reads_b, cfg_b) = (reads.clone(), cfg.clone());
-        let (mut out_b, prof_b) =
-            SocketCluster::run_profiled(p, move |comm| body(comm, reads_b.clone(), cfg_b.clone()));
+        let (mut out_b, prof_b) = Runner::new(Backend::Socket)
+            .ranks(p)
+            .run_profiled(move |comm| body(comm, reads_b.clone(), cfg_b.clone()));
 
         let (contigs_a, result_a) = out_a.remove(0);
         let (contigs_b, result_b) = out_b.remove(0);
